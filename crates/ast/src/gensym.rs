@@ -1,0 +1,68 @@
+//! Fresh name generation for source-to-source transformations.
+//!
+//! The §3.3, §4.1, §4.2, §5 and §6 transformations all introduce new
+//! predicate symbols and variables (`collect`, `q1`, `magic_p`, …). A
+//! [`Gensym`] hands out names that cannot collide with user names because
+//! they embed a `'` character, which the lexer rejects in user identifiers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ldl_value::Symbol;
+
+use crate::term::Var;
+
+/// A fresh-name source. Distinct instances never collide (process-global
+/// counter).
+#[derive(Debug, Default)]
+pub struct Gensym;
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl Gensym {
+    /// Create a fresh-name source.
+    pub fn new() -> Gensym {
+        Gensym
+    }
+
+    fn next(&self) -> u64 {
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// A fresh predicate symbol, e.g. `collect'3` for `base = "collect"`.
+    pub fn pred(&self, base: &str) -> Symbol {
+        Symbol::intern(&format!("{base}'{}", self.next()))
+    }
+
+    /// A fresh variable, e.g. `V'7`.
+    pub fn var(&self, base: &str) -> Var {
+        Var(Symbol::intern(&format!("{base}'{}", self.next())))
+    }
+
+    /// A batch of `n` fresh variables with a shared base name.
+    pub fn vars(&self, base: &str, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.var(base)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_fresh() {
+        let g = Gensym::new();
+        let a = g.pred("q");
+        let b = g.pred("q");
+        assert_ne!(a, b);
+        assert!(a.as_str().starts_with("q'"));
+    }
+
+    #[test]
+    fn vars_batch() {
+        let g = Gensym::new();
+        let vs = g.vars("Y", 3);
+        assert_eq!(vs.len(), 3);
+        assert_ne!(vs[0], vs[1]);
+        assert_ne!(vs[1], vs[2]);
+    }
+}

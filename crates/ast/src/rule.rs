@@ -1,0 +1,146 @@
+//! Rules (clauses).
+
+use std::fmt;
+
+use crate::literal::{Atom, Literal};
+use crate::term::Var;
+
+/// A rule `head <- B₁, …, Bₘ` (§2.1). A rule with an empty body is a *fact*.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rule {
+    /// The head predicate (always positive).
+    pub head: Atom,
+    /// The body literals; empty for facts.
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Build a rule.
+    pub fn new(head: Atom, body: Vec<Literal>) -> Rule {
+        Rule { head, body }
+    }
+
+    /// Build a fact (empty body).
+    pub fn fact(head: Atom) -> Rule {
+        Rule {
+            head,
+            body: Vec::new(),
+        }
+    }
+
+    /// Is this a fact?
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Is this a *grouping rule* (contains `<…>` in the head, §2.1)?
+    pub fn is_grouping(&self) -> bool {
+        self.head.has_group()
+    }
+
+    /// Is this a *simple rule* (§3.2): no `<…>` in the head and no negative
+    /// body literal?
+    pub fn is_simple(&self) -> bool {
+        !self.is_grouping() && self.body.iter().all(|l| l.positive)
+    }
+
+    /// All named variables of the rule, first-occurrence order (head first).
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        for t in &self.head.args {
+            t.vars(&mut out);
+        }
+        for l in &self.body {
+            for t in &l.atom.args {
+                t.vars(&mut out);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if self.body.is_empty() {
+            return f.write_str(".");
+        }
+        f.write_str(" <- ")?;
+        for (i, l) in self.body.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        f.write_str(".")
+    }
+}
+
+impl fmt::Debug for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn ancestor_rule() -> Rule {
+        Rule::new(
+            Atom::new("ancestor", vec![Term::var("X"), Term::var("Y")]),
+            vec![
+                Literal::pos(Atom::new("parent", vec![Term::var("X"), Term::var("Z")])),
+                Literal::pos(Atom::new("ancestor", vec![Term::var("Z"), Term::var("Y")])),
+            ],
+        )
+    }
+
+    #[test]
+    fn display_rule_and_fact() {
+        assert_eq!(
+            ancestor_rule().to_string(),
+            "ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y)."
+        );
+        let f = Rule::fact(Atom::new("r", vec![Term::int(1)]));
+        assert_eq!(f.to_string(), "r(1).");
+        assert!(f.is_fact());
+    }
+
+    #[test]
+    fn classification() {
+        let r = ancestor_rule();
+        assert!(r.is_simple());
+        assert!(!r.is_grouping());
+
+        let g = Rule::new(
+            Atom::new("part", vec![Term::var("P"), Term::group_var("S")]),
+            vec![Literal::pos(Atom::new(
+                "p",
+                vec![Term::var("P"), Term::var("S")],
+            ))],
+        );
+        assert!(g.is_grouping());
+        assert!(!g.is_simple());
+
+        let n = Rule::new(
+            Atom::new("q", vec![Term::var("X")]),
+            vec![
+                Literal::pos(Atom::new("r", vec![Term::var("X")])),
+                Literal::neg(Atom::new("s", vec![Term::var("X")])),
+            ],
+        );
+        assert!(!n.is_simple());
+        assert!(!n.is_grouping());
+    }
+
+    #[test]
+    fn rule_vars_head_first() {
+        let vs = ancestor_rule().vars();
+        assert_eq!(
+            vs,
+            vec![Var::new("X"), Var::new("Y"), Var::new("Z")]
+        );
+    }
+}

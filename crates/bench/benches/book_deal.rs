@@ -1,0 +1,23 @@
+//! P8 — set enumeration: the §1 book_deal three-way self-join with an
+//! arithmetic filter, sweeping the catalogue size.
+//!
+//! Expected shape: cubic in the number of books below the price cap (the
+//! filter prunes, dedup into canonical sets caps the output).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldl_bench::{books, eval_with, opts, BOOK_DEAL};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P8_book_deal");
+    g.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let db = books(n, 99);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| eval_with(BOOK_DEAL, &db, opts(true, true)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! P9 — index ablation: hash-index probes vs full scans for the same
+//! plans, on transitive closure and the young query.
+//!
+//! Expected shape: indexes win roughly by the average selectivity of the
+//! probed column (large on chains, smaller on dense graphs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldl_bench::{chain, eval_with, family_forest, opts, random_graph, ANCESTOR, YOUNG};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P9_index_ablation");
+    g.sample_size(10);
+
+    for n in [100i64, 300] {
+        let db = chain(n);
+        g.bench_with_input(BenchmarkId::new("chain/indexed", n), &n, |b, _| {
+            b.iter(|| eval_with(ANCESTOR, &db, opts(true, true)));
+        });
+        g.bench_with_input(BenchmarkId::new("chain/scan", n), &n, |b, _| {
+            b.iter(|| eval_with(ANCESTOR, &db, opts(true, false)));
+        });
+    }
+
+    let db = random_graph(150, 300, 3);
+    g.bench_function("random/indexed", |b| {
+        b.iter(|| eval_with(ANCESTOR, &db, opts(true, true)));
+    });
+    g.bench_function("random/scan", |b| {
+        b.iter(|| eval_with(ANCESTOR, &db, opts(true, false)));
+    });
+
+    let (db, _) = family_forest(2, 4);
+    g.bench_function("young/indexed", |b| {
+        b.iter(|| eval_with(YOUNG, &db, opts(true, true)));
+    });
+    g.bench_function("young/scan", |b| {
+        b.iter(|| eval_with(YOUNG, &db, opts(true, false)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! P7 — §5 ablation: the `subset` test as a native built-in vs through the
+//! Theorem 3 LPS translation (a/b/c/d grouping rules).
+//!
+//! Expected shape: the translation enumerates |X| membership tuples per
+//! pair and groups them twice, so it loses to the built-in by a factor
+//! growing with the set sizes — the price of expressing ∀ inside the
+//! language.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldl_bench::{eval_program_with, eval_with, opts};
+use ldl1::transform::lps::{translate_lps, LpsRule};
+use ldl1::{Database, Value};
+
+fn pairs_db(pairs: usize, set_size: i64) -> Database {
+    let mut db = Database::new();
+    for i in 0..pairs as i64 {
+        // Distinct pairs: offset every element by a per-pair stride.
+        let x = Value::set((0..set_size).map(|k| Value::int(i * 100 + k * 2)));
+        let y = Value::set((0..set_size + 2).map(|k| Value::int(i * 100 + k)));
+        db.insert_tuple("pair", vec![x, y]);
+    }
+    db
+}
+
+fn lps_subset_program() -> ldl1::Program {
+    let rule = LpsRule {
+        head: ldl1::parser::parse_atom("sub(X, Y)").unwrap(),
+        domain: vec![ldl1::ast::literal::Literal::pos(
+            ldl1::parser::parse_atom("pair(X, Y)").unwrap(),
+        )],
+        quantifiers: vec![("E".into(), "X".into())],
+        body: vec![ldl1::ast::literal::Literal::pos(
+            ldl1::parser::parse_atom("member(E, Y)").unwrap(),
+        )],
+    };
+    translate_lps(&[rule]).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P7_lps_translation");
+    g.sample_size(10);
+    let native = "sub(X, Y) <- pair(X, Y), subset(X, Y).";
+    let translated = lps_subset_program();
+    for (pairs, size) in [(50usize, 4i64), (200, 4), (50, 8)] {
+        let db = pairs_db(pairs, size);
+        let label = format!("{pairs}pairs_{size}elems");
+        g.bench_with_input(BenchmarkId::new("native_builtin", &label), &pairs, |b, _| {
+            b.iter(|| eval_with(native, &db, opts(true, true)));
+        });
+        g.bench_with_input(BenchmarkId::new("lps_translated", &label), &pairs, |b, _| {
+            b.iter(|| eval_program_with(&translated, &db, opts(true, true)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! P1 — the headline §6 experiment: the bound `young(leaf, S)` query on a
+//! growing family forest, under naive, semi-naive, and magic evaluation.
+//!
+//! Expected shape: magic ≪ semi-naive < naive, with the gap growing with
+//! the forest (plain evaluation materializes the full ancestor closure;
+//! magic only touches the queried leaf's cone).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldl_bench::{eval_with, family_forest, magic_query, opts, plain_query, YOUNG};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P1_magic_young");
+    g.sample_size(10);
+    for depth in [3u32, 4, 5] {
+        let (db, leaf) = family_forest(4, depth);
+        let query = format!("young({leaf}, S)");
+        let persons = 4 * ((1usize << (depth + 1)) - 1);
+
+        g.bench_with_input(BenchmarkId::new("magic", persons), &depth, |b, _| {
+            b.iter(|| magic_query(YOUNG, &db, &query));
+        });
+        g.bench_with_input(BenchmarkId::new("semi_naive", persons), &depth, |b, _| {
+            b.iter(|| plain_query(YOUNG, &db, &query));
+        });
+        if depth <= 4 {
+            // Naive evaluation re-derives everything each round; cap it.
+            g.bench_with_input(BenchmarkId::new("naive", persons), &depth, |b, _| {
+                b.iter(|| eval_with(YOUNG, &db, opts(false, true)));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

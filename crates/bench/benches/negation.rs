@@ -1,0 +1,32 @@
+//! P5 — stratified negation cost: the §1 exclusive-ancestor program.
+//!
+//! Expected shape: the negation layer's cost is dominated by the size of
+//! the cross product anc × node it filters, i.e. roughly quadratic in n on
+//! a chain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldl_bench::{eval_with, opts, EXCL_ANCESTOR};
+use ldl1::{Database, Value};
+
+fn chain_with_nodes(n: i64) -> Database {
+    let mut db = ldl_bench::chain(n);
+    for i in 0..=n {
+        db.insert_tuple("node", vec![Value::int(i)]);
+    }
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P5_negation");
+    g.sample_size(10);
+    for n in [20i64, 40, 80] {
+        let db = chain_with_nodes(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| eval_with(EXCL_ANCESTOR, &db, opts(true, true)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

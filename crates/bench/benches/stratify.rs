@@ -1,0 +1,30 @@
+//! P10 — stratifier scaling: admissibility + layering on synthetic layered
+//! programs (§3.1's algorithmic content).
+//!
+//! Expected shape: linear in rules + dependency edges (Tarjan SCC +
+//! longest path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldl_bench::layered_program;
+use ldl1::Stratification;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("P10_stratify");
+    g.sample_size(20);
+    for (layers, width) in [(10usize, 10usize), (50, 10), (100, 20), (200, 20)] {
+        let src = layered_program(layers, width);
+        let program = ldl1::parser::parse_program(&src).unwrap();
+        let rules = program.len();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rules}rules")),
+            &rules,
+            |b, _| {
+                b.iter(|| Stratification::canonical(&program).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

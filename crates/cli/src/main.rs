@@ -1,0 +1,217 @@
+//! `ldl1` — interactive REPL and batch runner for LDL1 programs.
+//!
+//! ```console
+//! $ ldl1 family.ldl            # load a program, answer its ?- queries, REPL
+//! $ ldl1                       # empty REPL
+//! ldl1> parent(abe, bob).
+//! ldl1> anc(X, Y) <- parent(X, Y).
+//! ldl1> anc(X, Y) <- parent(X, Z), anc(Z, Y).
+//! ldl1> ?- anc(abe, Y).
+//! Y = bob
+//! ldl1> :magic anc(abe, Y).    # answer through the §6 magic-set pipeline
+//! ldl1> :help
+//! ```
+//!
+//! Inside a file, `?- q(…).` lines are answered as they are reached.
+
+use std::io::{BufRead, Write};
+
+use ldl1::{Stratification, System};
+
+const HELP: &str = "\
+Input is LDL1/LDL1.5 source: facts, rules, and ?- queries.
+Commands:
+  :help               this message
+  :load FILE          load a program file (rules, facts, ?- queries)
+  :program            show the compiled core-LDL1 program
+  :strata             show the layering of the current program
+  :facts PRED         list the model's facts for one predicate
+  :magic QUERY.       answer a query via the magic-set pipeline
+  :save FILE          write the model (all facts) as loadable fact syntax
+  :quit               exit";
+
+fn main() {
+    let mut sys = System::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut batch = false;
+    for a in &args {
+        match a.as_str() {
+            "--batch" | "-b" => batch = true,
+            "--help" | "-h" => {
+                println!("usage: ldl1 [--batch] [FILE...]\n\n{HELP}");
+                return;
+            }
+            file => {
+                if let Err(e) = load_file(&mut sys, file) {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    if batch {
+        return;
+    }
+
+    let stdin = std::io::stdin();
+    let interactive = is_tty();
+    if interactive {
+        println!("ldl1 — sets and negation in a logic database language (PODS 1987)");
+        println!("type :help for commands, :quit to exit");
+    }
+    let mut pending = String::new();
+    loop {
+        if interactive {
+            if pending.is_empty() {
+                print!("ldl1> ");
+            } else {
+                print!("  ... ");
+            }
+            let _ = std::io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if pending.is_empty() && trimmed.starts_with(':') {
+            if !command(&mut sys, trimmed) {
+                break;
+            }
+            continue;
+        }
+        pending.push_str(&line);
+        // Statements end with '.'; keep accumulating until one does.
+        if !trimmed.ends_with('.') {
+            continue;
+        }
+        let stmt = std::mem::take(&mut pending);
+        if let Err(e) = statement(&mut sys, &stmt) {
+            eprintln!("error: {e}");
+        }
+    }
+}
+
+fn is_tty() -> bool {
+    // No external crates: rely on the TERM heuristic plus stdin not being
+    // redirected is unknowable portably — prompt unless piped input is
+    // likely (TERM unset).
+    std::env::var_os("TERM").is_some()
+}
+
+/// Handle one `:command`. Returns false to exit.
+fn command(sys: &mut System, cmd: &str) -> bool {
+    let (name, rest) = match cmd.split_once(char::is_whitespace) {
+        Some((n, r)) => (n, r.trim()),
+        None => (cmd, ""),
+    };
+    match name {
+        ":quit" | ":q" | ":exit" => return false,
+        ":help" | ":h" => println!("{HELP}"),
+        ":load" => {
+            if let Err(e) = load_file(sys, rest) {
+                eprintln!("error: {e}");
+            }
+        }
+        ":program" => print!("{}", sys.program()),
+        ":strata" => match Stratification::canonical(sys.program()) {
+            Ok(s) => {
+                let mut by_layer: Vec<Vec<String>> = vec![Vec::new(); s.num_layers()];
+                for (p, &l) in &s.layer_of {
+                    by_layer[l].push(p.to_string());
+                }
+                for (l, preds) in by_layer.iter_mut().enumerate() {
+                    preds.sort();
+                    println!("layer {l}: {}", preds.join(", "));
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ":facts" => match sys.facts(rest) {
+            Ok(facts) => {
+                for f in facts {
+                    println!("{f}");
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ":save" => {
+            let result = sys
+                .model()
+                .map(|m| m.dump())
+                .map_err(|e| e.to_string())
+                .and_then(|text| std::fs::write(rest, text).map_err(|e| e.to_string()));
+            match result {
+                Ok(()) => println!("saved model to {rest}"),
+                Err(e) => eprintln!("error: {e}"),
+            }
+        }
+        ":magic" => match sys.query_magic(rest) {
+            Ok(answers) => print_answers(&answers),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        other => eprintln!("unknown command {other}; try :help"),
+    }
+    true
+}
+
+/// Handle one source statement: a query or program text.
+fn statement(sys: &mut System, stmt: &str) -> Result<(), ldl1::Error> {
+    if stmt.trim_start().starts_with("?-") {
+        let answers = sys.query(stmt.trim())?;
+        print_answers(&answers);
+        Ok(())
+    } else {
+        sys.load(stmt)
+    }
+}
+
+fn print_answers(answers: &[ldl1::QueryAnswer]) {
+    if answers.is_empty() {
+        println!("no");
+        return;
+    }
+    for a in answers {
+        if a.bindings.is_empty() {
+            println!("yes");
+        } else {
+            let parts: Vec<String> = a
+                .bindings
+                .iter()
+                .map(|(v, val)| format!("{v} = {val}"))
+                .collect();
+            println!("{}", parts.join(", "));
+        }
+    }
+}
+
+fn load_file(sys: &mut System, path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    // Split into statements on '.' boundaries is fragile ('.' inside
+    // strings); instead: split out ?- query lines, load the rest wholesale.
+    let mut program = String::new();
+    for line in text.lines() {
+        if line.trim_start().starts_with("?-") {
+            // Flush what we have so the query sees it.
+            if !program.trim().is_empty() {
+                sys.load(&program).map_err(|e| e.to_string())?;
+                program.clear();
+            }
+            let answers = sys.query(line.trim()).map_err(|e| e.to_string())?;
+            println!("{}", line.trim());
+            print_answers(&answers);
+        } else {
+            program.push_str(line);
+            program.push('\n');
+        }
+    }
+    if !program.trim().is_empty() {
+        sys.load(&program).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}

@@ -1,0 +1,514 @@
+//! Evaluation of built-in predicates (§2.2 restrictions).
+//!
+//! Built-ins have fixed interpretations over `U` and are *evaluated*, not
+//! stored. Each supports a set of binding modes; the planner
+//! ([`crate::plan`]) orders body literals so that a supported mode is always
+//! available at execution time, and [`can_schedule`] is the planner's oracle
+//! for that.
+//!
+//! Generative modes that enumerate subsets (`union` with only the result
+//! bound, `partition`, `subset` with the subset free) are exponential in the
+//! set size; they mirror the paper's use of `partition` on small constituent
+//! sets (§1 `tc` example). The set size is capped to keep mistakes loud.
+
+use ldl_ast::program::Builtin;
+use ldl_ast::term::Term;
+use ldl_value::arith::{ArithOp, CmpOp};
+use ldl_value::{SetValue, Value};
+
+use crate::bindings::Bindings;
+use crate::unify::{eval_term, is_ground_under, match_term};
+
+/// Largest set for which the exponential generative modes are allowed.
+const MAX_ENUMERATED_SET: usize = 20;
+
+/// Can this built-in literal execute once the variables for which
+/// `bound(v)` holds are bound?
+pub fn can_schedule(bi: Builtin, args: &[Term], bound: &dyn Fn(&Term) -> bool) -> bool {
+    match bi {
+        Builtin::Member => bound(&args[1]),
+        Builtin::Union => (bound(&args[0]) && bound(&args[1])) || bound(&args[2]),
+        Builtin::Partition => bound(&args[0]) || (bound(&args[1]) && bound(&args[2])),
+        Builtin::Subset => bound(&args[1]),
+        Builtin::Intersection | Builtin::Difference => bound(&args[0]) && bound(&args[1]),
+        Builtin::Card => bound(&args[0]),
+        Builtin::Cmp(CmpOp::Eq) => bound(&args[0]) || bound(&args[1]),
+        Builtin::Cmp(_) => bound(&args[0]) && bound(&args[1]),
+        Builtin::Arith(op) => {
+            let (a, b, c) = (bound(&args[0]), bound(&args[1]), bound(&args[2]));
+            match op {
+                // Any two of the three arguments determine the third.
+                ArithOp::Add | ArithOp::Sub => {
+                    usize::from(a) + usize::from(b) + usize::from(c) >= 2
+                }
+                _ => a && b,
+            }
+        }
+    }
+}
+
+fn as_set(v: &Value) -> Option<&SetValue> {
+    v.as_set()
+}
+
+/// Evaluate a built-in literal, calling `k` once per solution.
+///
+/// Precondition (ensured by the planner): a supported mode is available.
+/// When it is not — which can only happen if callers bypass the planner —
+/// the literal simply fails (no solutions), matching the paper's "otherwise
+/// it is false" reading of the built-in restrictions.
+pub fn eval_builtin(
+    bi: Builtin,
+    args: &[Term],
+    b: &mut Bindings,
+    k: &mut dyn FnMut(&mut Bindings),
+) {
+    match bi {
+        Builtin::Member => {
+            let Some(sv) = eval_term(&args[1], b) else { return };
+            let Some(s) = as_set(&sv) else { return };
+            for e in s.iter() {
+                match_term(&args[0], e, b, k);
+            }
+        }
+        Builtin::Union => eval_union(args, b, k),
+        Builtin::Intersection | Builtin::Difference => {
+            let (Some(v0), Some(v1)) = (eval_term(&args[0], b), eval_term(&args[1], b)) else {
+                return;
+            };
+            let (Some(s0), Some(s1)) = (as_set(&v0), as_set(&v1)) else { return };
+            let result = match bi {
+                Builtin::Intersection => s0.intersection(s1),
+                _ => s0.difference(s1),
+            };
+            match_term(&args[2], &Value::Set(result), b, k);
+        }
+        Builtin::Partition => eval_partition(args, b, k),
+        Builtin::Subset => {
+            let Some(sup_v) = eval_term(&args[1], b) else { return };
+            let Some(sup) = as_set(&sup_v) else { return };
+            if is_ground_under(&args[0], b) {
+                let Some(sub_v) = eval_term(&args[0], b) else { return };
+                let Some(sub) = as_set(&sub_v) else { return };
+                if sub.is_subset(sup) {
+                    k(b);
+                }
+            } else {
+                // Generative: enumerate all subsets.
+                let n = sup.len();
+                assert!(
+                    n <= MAX_ENUMERATED_SET,
+                    "subset/2 enumeration over a set of {n} elements"
+                );
+                for mask in 0..(1usize << n) {
+                    let sub = SetValue::from_iter(
+                        sup.iter()
+                            .enumerate()
+                            .filter(|(i, _)| mask & (1 << i) != 0)
+                            .map(|(_, e)| e.clone()),
+                    );
+                    match_term(&args[0], &Value::Set(sub), b, k);
+                }
+            }
+        }
+        Builtin::Card => {
+            let Some(sv) = eval_term(&args[0], b) else { return };
+            let Some(s) = as_set(&sv) else { return };
+            let n = i64::try_from(s.len()).expect("set size fits i64");
+            match_term(&args[1], &Value::Int(n), b, k);
+        }
+        Builtin::Cmp(CmpOp::Eq) => {
+            if is_ground_under(&args[0], b) {
+                let Some(lv) = eval_term(&args[0], b) else { return };
+                match_term(&args[1], &lv, b, k);
+            } else if is_ground_under(&args[1], b) {
+                let Some(rv) = eval_term(&args[1], b) else { return };
+                match_term(&args[0], &rv, b, k);
+            }
+        }
+        Builtin::Cmp(op) => {
+            let (Some(l), Some(r)) = (eval_term(&args[0], b), eval_term(&args[1], b)) else {
+                return;
+            };
+            if op.eval(&l, &r) == Some(true) {
+                k(b);
+            }
+        }
+        Builtin::Arith(op) => eval_arith(op, args, b, k),
+    }
+}
+
+fn eval_union(args: &[Term], b: &mut Bindings, k: &mut dyn FnMut(&mut Bindings)) {
+    let g0 = is_ground_under(&args[0], b);
+    let g1 = is_ground_under(&args[1], b);
+    if g0 && g1 {
+        let (Some(v0), Some(v1)) = (eval_term(&args[0], b), eval_term(&args[1], b)) else {
+            return;
+        };
+        let (Some(s0), Some(s1)) = (as_set(&v0), as_set(&v1)) else { return };
+        match_term(&args[2], &Value::Set(s0.union(s1)), b, k);
+        return;
+    }
+    // Generative mode: result bound, enumerate (S₁, S₂) with S₁ ∪ S₂ = S₃.
+    let Some(v2) = eval_term(&args[2], b) else { return };
+    let Some(s3) = as_set(&v2) else { return };
+    let n = s3.len();
+    assert!(
+        n <= MAX_ENUMERATED_SET,
+        "union/3 enumeration over a set of {n} elements"
+    );
+    // Each element is in S₁ only (0), S₂ only (1), or both (2).
+    let total = 3usize.pow(n as u32);
+    for combo in 0..total {
+        let mut c = combo;
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for e in s3.iter() {
+            match c % 3 {
+                0 => left.push(e.clone()),
+                1 => right.push(e.clone()),
+                _ => {
+                    left.push(e.clone());
+                    right.push(e.clone());
+                }
+            }
+            c /= 3;
+        }
+        match_term(&args[0], &Value::set(left), b, &mut |b2| {
+            match_term(&args[1], &Value::set(right.clone()), b2, k);
+        });
+    }
+}
+
+fn eval_partition(args: &[Term], b: &mut Bindings, k: &mut dyn FnMut(&mut Bindings)) {
+    if is_ground_under(&args[0], b) {
+        let Some(v0) = eval_term(&args[0], b) else { return };
+        let Some(s) = as_set(&v0) else { return };
+        assert!(
+            s.len() <= MAX_ENUMERATED_SET,
+            "partition/3 of a set of {} elements",
+            s.len()
+        );
+        for (l, r) in s.partitions() {
+            match_term(&args[1], &Value::Set(l), b, &mut |b2| {
+                match_term(&args[2], &Value::Set(r.clone()), b2, k);
+            });
+        }
+        return;
+    }
+    // Inverse mode: both parts bound — must be disjoint; S is their union.
+    let (Some(v1), Some(v2)) = (eval_term(&args[1], b), eval_term(&args[2], b)) else {
+        return;
+    };
+    let (Some(s1), Some(s2)) = (as_set(&v1), as_set(&v2)) else { return };
+    if s1.is_disjoint(s2) {
+        match_term(&args[0], &Value::Set(s1.union(s2)), b, k);
+    }
+}
+
+fn eval_arith(op: ArithOp, args: &[Term], b: &mut Bindings, k: &mut dyn FnMut(&mut Bindings)) {
+    let g: Vec<bool> = args.iter().map(|t| is_ground_under(t, b)).collect();
+    if g[0] && g[1] {
+        let (Some(x), Some(y)) = (eval_term(&args[0], b), eval_term(&args[1], b)) else {
+            return;
+        };
+        if let Some(z) = op.eval(&x, &y) {
+            match_term(&args[2], &z, b, k);
+        }
+        return;
+    }
+    // Inverse modes for + and −: solve for the free argument.
+    let inv = |z: &Value, known: &Value, solve_first: bool| -> Option<Value> {
+        match op {
+            // x + y = z  ⇒  free = z − known (either side).
+            ArithOp::Add => ArithOp::Sub.eval(z, known),
+            // x − y = z: x = z + y;  y = x − z.
+            ArithOp::Sub => {
+                if solve_first {
+                    ArithOp::Add.eval(z, known)
+                } else {
+                    ArithOp::Sub.eval(known, z)
+                }
+            }
+            _ => None,
+        }
+    };
+    if g[0] && g[2] {
+        let (Some(x), Some(z)) = (eval_term(&args[0], b), eval_term(&args[2], b)) else {
+            return;
+        };
+        if let Some(y) = inv(&z, &x, false) {
+            // Verify (guards against overflow asymmetries), then bind.
+            if op.eval(&x, &y).as_ref() == Some(&z) {
+                match_term(&args[1], &y, b, k);
+            }
+        }
+    } else if g[1] && g[2] {
+        let (Some(y), Some(z)) = (eval_term(&args[1], b), eval_term(&args[2], b)) else {
+            return;
+        };
+        if let Some(x) = inv(&z, &y, true) {
+            if op.eval(&x, &y).as_ref() == Some(&z) {
+                match_term(&args[0], &x, b, k);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_ast::term::Var;
+
+    fn set(xs: &[i64]) -> Value {
+        Value::set(xs.iter().map(|&i| Value::int(i)))
+    }
+
+    fn run(bi: Builtin, args: &[Term], pre: &[(&str, Value)]) -> Vec<Vec<(String, Value)>> {
+        let mut b = Bindings::new();
+        for (n, v) in pre {
+            b.bind(Var::new(n), v.clone());
+        }
+        let depth = b.len();
+        let mut out = Vec::new();
+        eval_builtin(bi, args, &mut b, &mut |b2| {
+            let mut snap: Vec<(String, Value)> = b2
+                .iter()
+                .skip(depth)
+                .map(|(v, val)| (v.name().to_string(), val.clone()))
+                .collect();
+            snap.sort_by(|a, c| a.0.cmp(&c.0));
+            out.push(snap);
+        });
+        assert_eq!(b.len(), depth, "bindings restored");
+        out
+    }
+
+    #[test]
+    fn member_enumerates() {
+        let sols = run(
+            Builtin::Member,
+            &[Term::var("X"), Term::var("S")],
+            &[("S", set(&[1, 2, 3]))],
+        );
+        assert_eq!(sols.len(), 3);
+    }
+
+    #[test]
+    fn member_checks() {
+        let sols = run(
+            Builtin::Member,
+            &[Term::int(2), Term::var("S")],
+            &[("S", set(&[1, 2]))],
+        );
+        assert_eq!(sols.len(), 1);
+        let none = run(
+            Builtin::Member,
+            &[Term::int(9), Term::var("S")],
+            &[("S", set(&[1, 2]))],
+        );
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn member_of_non_set_fails() {
+        let sols = run(
+            Builtin::Member,
+            &[Term::var("X"), Term::var("S")],
+            &[("S", Value::int(3))],
+        );
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn union_forward() {
+        let sols = run(
+            Builtin::Union,
+            &[Term::var("A"), Term::var("B"), Term::var("C")],
+            &[("A", set(&[1, 2])), ("B", set(&[2, 3]))],
+        );
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0][0], ("C".to_string(), set(&[1, 2, 3])));
+    }
+
+    #[test]
+    fn union_generative_counts_3_pow_n() {
+        let sols = run(
+            Builtin::Union,
+            &[Term::var("A"), Term::var("B"), Term::var("C")],
+            &[("C", set(&[1, 2]))],
+        );
+        assert_eq!(sols.len(), 9);
+        for s in &sols {
+            let a = s[0].1.as_set().unwrap();
+            let bs = s[1].1.as_set().unwrap();
+            assert_eq!(Value::Set(a.union(bs)), set(&[1, 2]));
+        }
+    }
+
+    #[test]
+    fn partition_generative_and_inverse() {
+        let sols = run(
+            Builtin::Partition,
+            &[Term::var("S"), Term::var("A"), Term::var("B")],
+            &[("S", set(&[1, 2]))],
+        );
+        assert_eq!(sols.len(), 4);
+        for s in &sols {
+            let a = s[0].1.as_set().unwrap();
+            let bs = s[1].1.as_set().unwrap();
+            assert!(a.is_disjoint(bs));
+        }
+        // Inverse mode.
+        let sols2 = run(
+            Builtin::Partition,
+            &[Term::var("S"), Term::var("A"), Term::var("B")],
+            &[("A", set(&[1])), ("B", set(&[2]))],
+        );
+        assert_eq!(sols2.len(), 1);
+        assert_eq!(sols2[0][0], ("S".to_string(), set(&[1, 2])));
+        // Overlapping parts: not a partition.
+        let none = run(
+            Builtin::Partition,
+            &[Term::var("S"), Term::var("A"), Term::var("B")],
+            &[("A", set(&[1])), ("B", set(&[1, 2]))],
+        );
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn subset_check_and_enumerate() {
+        let yes = run(
+            Builtin::Subset,
+            &[Term::var("A"), Term::var("B")],
+            &[("A", set(&[1])), ("B", set(&[1, 2]))],
+        );
+        assert_eq!(yes.len(), 1);
+        let all = run(
+            Builtin::Subset,
+            &[Term::var("A"), Term::var("B")],
+            &[("B", set(&[1, 2]))],
+        );
+        assert_eq!(all.len(), 4); // {}, {1}, {2}, {1,2}
+    }
+
+    #[test]
+    fn intersection_and_difference() {
+        let sols = run(
+            Builtin::Intersection,
+            &[Term::var("A"), Term::var("B"), Term::var("C")],
+            &[("A", set(&[1, 2, 3])), ("B", set(&[2, 3, 4]))],
+        );
+        assert_eq!(sols, vec![vec![("C".to_string(), set(&[2, 3]))]]);
+        let sols2 = run(
+            Builtin::Difference,
+            &[Term::var("A"), Term::var("B"), Term::var("C")],
+            &[("A", set(&[1, 2, 3])), ("B", set(&[2, 3, 4]))],
+        );
+        assert_eq!(sols2, vec![vec![("C".to_string(), set(&[1]))]]);
+        // Check mode: third argument bound.
+        let ok = run(
+            Builtin::Intersection,
+            &[Term::var("A"), Term::var("B"), Term::var("A")],
+            &[("A", set(&[1])), ("B", set(&[1, 2]))],
+        );
+        assert_eq!(ok.len(), 1); // {1} ∩ {1,2} = {1} = A
+    }
+
+    #[test]
+    fn card_binds() {
+        let sols = run(
+            Builtin::Card,
+            &[Term::var("S"), Term::var("N")],
+            &[("S", set(&[5, 6, 7]))],
+        );
+        assert_eq!(sols, vec![vec![("N".to_string(), Value::int(3))]]);
+    }
+
+    #[test]
+    fn eq_binds_patterns() {
+        // S = {T} with T bound (the §3.3 transform uses this shape).
+        let sols = run(
+            Builtin::Cmp(CmpOp::Eq),
+            &[Term::var("S"), Term::SetEnum(vec![Term::var("T")])],
+            &[("T", Value::atom("a"))],
+        );
+        assert_eq!(
+            sols,
+            vec![vec![("S".to_string(), Value::set(vec![Value::atom("a")]))]]
+        );
+        // Reverse: pattern on the left, ground on the right.
+        let sols2 = run(
+            Builtin::Cmp(CmpOp::Eq),
+            &[Term::SetEnum(vec![Term::var("X")]), Term::var("S")],
+            &[("S", set(&[9]))],
+        );
+        assert_eq!(sols2, vec![vec![("X".to_string(), Value::int(9))]]);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            run(
+                Builtin::Cmp(CmpOp::Lt),
+                &[Term::int(45), Term::int(100)],
+                &[]
+            )
+            .len(),
+            1
+        );
+        assert!(run(
+            Builtin::Cmp(CmpOp::Lt),
+            &[Term::int(145), Term::int(100)],
+            &[]
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn arith_forward_and_inverse() {
+        let fwd = run(
+            Builtin::Arith(ArithOp::Add),
+            &[Term::int(20), Term::int(25), Term::var("C")],
+            &[],
+        );
+        assert_eq!(fwd, vec![vec![("C".to_string(), Value::int(45))]]);
+        let inv = run(
+            Builtin::Arith(ArithOp::Add),
+            &[Term::var("A"), Term::int(25), Term::int(45)],
+            &[],
+        );
+        assert_eq!(inv, vec![vec![("A".to_string(), Value::int(20))]]);
+        let inv2 = run(
+            Builtin::Arith(ArithOp::Sub),
+            &[Term::int(45), Term::var("B"), Term::int(20)],
+            &[],
+        );
+        assert_eq!(inv2, vec![vec![("B".to_string(), Value::int(25))]]);
+    }
+
+    #[test]
+    fn scheduling_oracle() {
+        let bound_s = |t: &Term| matches!(t, Term::Var(v) if v.name() == "S");
+        assert!(can_schedule(
+            Builtin::Member,
+            &[Term::var("X"), Term::var("S")],
+            &bound_s
+        ));
+        assert!(!can_schedule(
+            Builtin::Member,
+            &[Term::var("S"), Term::var("X")],
+            &bound_s
+        ));
+        assert!(can_schedule(
+            Builtin::Cmp(CmpOp::Eq),
+            &[Term::var("X"), Term::var("S")],
+            &bound_s
+        ));
+        assert!(!can_schedule(
+            Builtin::Cmp(CmpOp::Lt),
+            &[Term::var("X"), Term::var("S")],
+            &bound_s
+        ));
+    }
+}

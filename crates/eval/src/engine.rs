@@ -1,0 +1,139 @@
+//! The evaluation engine facade.
+
+use ldl_ast::literal::Atom;
+use ldl_ast::program::Program;
+use ldl_ast::wf::{check_program, Dialect};
+use ldl_storage::Database;
+use ldl_stratify::Stratification;
+use ldl_value::{Fact, Value};
+
+use crate::bindings::Bindings;
+use crate::error::EvalError;
+use crate::fixpoint;
+use crate::unify::match_slice;
+
+/// Evaluation configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalOptions {
+    /// Semi-naive (delta-driven) iteration instead of naive re-evaluation.
+    pub semi_naive: bool,
+    /// Probe hash indexes for bound argument positions.
+    pub use_indexes: bool,
+    /// Check well-formedness before evaluating.
+    pub check_wf: bool,
+    /// Dialect for the well-formedness check. `Ldl15` additionally permits
+    /// `<t>` patterns in rule bodies, which the matcher evaluates natively
+    /// with the §4.1 uniform-structure semantics.
+    pub dialect: Dialect,
+}
+
+impl Default for EvalOptions {
+    fn default() -> EvalOptions {
+        EvalOptions {
+            semi_naive: true,
+            use_indexes: true,
+            check_wf: true,
+            dialect: Dialect::Ldl1,
+        }
+    }
+}
+
+/// One answer to a query: the queried atom's variables bound to values.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QueryAnswer {
+    /// `(variable name, value)` pairs in first-occurrence order.
+    pub bindings: Vec<(String, Value)>,
+}
+
+impl QueryAnswer {
+    /// The value bound to `var`, if the query mentioned it.
+    pub fn get(&self, var: &str) -> Option<&Value> {
+        self.bindings
+            .iter()
+            .find(|(v, _)| v == var)
+            .map(|(_, val)| val)
+    }
+}
+
+/// Bottom-up evaluator for admissible LDL1 programs.
+#[derive(Clone, Debug, Default)]
+pub struct Evaluator {
+    /// Evaluation configuration.
+    pub options: EvalOptions,
+}
+
+impl Evaluator {
+    /// Evaluator with default options (semi-naive, indexed).
+    pub fn new() -> Evaluator {
+        Evaluator::default()
+    }
+
+    /// Evaluator with explicit options.
+    pub fn with_options(options: EvalOptions) -> Evaluator {
+        Evaluator { options }
+    }
+
+    /// Compute the standard (minimal) model of `program` w.r.t. `edb`,
+    /// using the canonical layering.
+    pub fn evaluate(&self, program: &Program, edb: &Database) -> Result<Database, EvalError> {
+        let strat = Stratification::canonical(program)?;
+        self.evaluate_with(program, edb, &strat)
+    }
+
+    /// Compute the model using a caller-supplied layering (Theorem 2: the
+    /// result is the same for every valid layering).
+    pub fn evaluate_with(
+        &self,
+        program: &Program,
+        edb: &Database,
+        strat: &Stratification,
+    ) -> Result<Database, EvalError> {
+        if self.options.check_wf {
+            check_program(program, self.options.dialect).map_err(EvalError::from)?;
+        }
+        fixpoint::evaluate(program, edb, strat, &self.options)
+    }
+
+    /// Answer a query atom against an evaluated database: every fact of the
+    /// query predicate matching the pattern, as variable bindings.
+    ///
+    /// A query on an unknown predicate, or with the wrong arity for a known
+    /// one, matches nothing and returns no answers — the Datalog convention
+    /// (absent facts are false). Use [`Database::relation`] to distinguish
+    /// "empty relation" from "no such relation".
+    pub fn query(&self, db: &Database, query: &Atom) -> Vec<QueryAnswer> {
+        let mut out = Vec::new();
+        let Some(rel) = db.relation(query.pred) else {
+            return out;
+        };
+        if rel.arity() != query.arity() {
+            return out;
+        }
+        let vars = query.vars();
+        let mut b = Bindings::new();
+        for tuple in rel.iter() {
+            match_slice(&query.args, tuple, &mut b, &mut |b2| {
+                let bindings = vars
+                    .iter()
+                    .map(|v| {
+                        (
+                            v.name().to_string(),
+                            b2.get(*v).cloned().expect("query var bound by match"),
+                        )
+                    })
+                    .collect();
+                out.push(QueryAnswer { bindings });
+            });
+        }
+        out.sort_by(|a, b| format!("{:?}", a.bindings).cmp(&format!("{:?}", b.bindings)));
+        out.dedup();
+        out
+    }
+
+    /// All facts of one predicate in the database, sorted for determinism.
+    pub fn facts(&self, db: &Database, pred: &str) -> Vec<Fact> {
+        let mut v = db.facts_of(pred.into());
+        v.sort();
+        v
+    }
+}

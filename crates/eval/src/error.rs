@@ -1,0 +1,76 @@
+//! Evaluation errors.
+
+use std::fmt;
+
+use ldl_ast::rule::Rule;
+use ldl_ast::wf::WfError;
+use ldl_stratify::NotAdmissible;
+
+/// Errors raised while compiling or evaluating a program.
+#[derive(Clone, Debug)]
+pub enum EvalError {
+    /// The program failed §2.1 well-formedness.
+    WellFormedness(Vec<WfError>),
+    /// The program is not admissible (§3.1) — no layering exists.
+    NotAdmissible(NotAdmissible),
+    /// No executable ordering of a rule's body exists: some built-in or
+    /// negated literal can never have its required arguments bound.
+    Unschedulable {
+        /// The offending rule.
+        rule: Rule,
+        /// Which literals could not be scheduled.
+        detail: String,
+    },
+    /// The §6 magic-set pipeline could not adorn the program for a query.
+    Adornment(String),
+    /// A relation is used with two different arities.
+    ArityMismatch {
+        /// The predicate name.
+        pred: String,
+        /// Arity seen first.
+        expected: usize,
+        /// Conflicting arity.
+        found: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::WellFormedness(errs) => {
+                writeln!(f, "program is not well-formed:")?;
+                for e in errs {
+                    writeln!(f, "  - {e}")?;
+                }
+                Ok(())
+            }
+            EvalError::NotAdmissible(e) => write!(f, "{e}"),
+            EvalError::Unschedulable { rule, detail } => {
+                write!(f, "cannot schedule body of rule {rule}: {detail}")
+            }
+            EvalError::Adornment(msg) => write!(f, "magic-set compilation failed: {msg}"),
+            EvalError::ArityMismatch {
+                pred,
+                expected,
+                found,
+            } => write!(
+                f,
+                "predicate {pred} used with arity {found}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<NotAdmissible> for EvalError {
+    fn from(e: NotAdmissible) -> EvalError {
+        EvalError::NotAdmissible(e)
+    }
+}
+
+impl From<Vec<WfError>> for EvalError {
+    fn from(e: Vec<WfError>) -> EvalError {
+        EvalError::WellFormedness(e)
+    }
+}

@@ -1,0 +1,185 @@
+//! Layered fixpoint evaluation (Theorem 1).
+
+use ldl_ast::program::Program;
+use ldl_storage::Database;
+use ldl_stratify::Stratification;
+use ldl_value::fxhash::{FastMap, FastSet};
+use ldl_value::{Fact, Symbol};
+
+use crate::bindings::Bindings;
+use crate::engine::EvalOptions;
+use crate::error::EvalError;
+use crate::grouping::run_grouping_rule;
+use crate::plan::{ensure_indexes, run_body, DeltaRestriction, HeadKind, RulePlan};
+use crate::unify::eval_term;
+
+/// Evaluate `program` bottom-up over `edb` using the given layering,
+/// returning the extended database `Mₙ` (EDB plus all derived facts).
+pub fn evaluate(
+    program: &Program,
+    edb: &Database,
+    strat: &Stratification,
+    opts: &EvalOptions,
+) -> Result<Database, EvalError> {
+    let mut db = edb.clone();
+    for layer_rules in &strat.rules_by_layer {
+        let mut grouping_plans = Vec::new();
+        let mut rest_plans = Vec::new();
+        let mut layer_preds: FastSet<Symbol> = FastSet::default();
+        for &ri in layer_rules {
+            let rule = &program.rules[ri];
+            let plan = RulePlan::compile(rule)?;
+            // Predicates defined by *fixpoint* rules in this layer are the
+            // ones whose deltas drive semi-naive iteration. Grouping heads
+            // are excluded: they are computed once, up front.
+            match plan.head_kind {
+                HeadKind::Grouping { .. } => grouping_plans.push(plan),
+                HeadKind::Simple => {
+                    layer_preds.insert(rule.head.pred);
+                    rest_plans.push(plan);
+                }
+            }
+        }
+
+        // Pre-create head relations so negation/containment tests see them.
+        for plan in grouping_plans.iter().chain(&rest_plans) {
+            let arity = plan.head.arity();
+            let existing = db.relation(plan.head.pred).map(|r| r.arity());
+            if let Some(a) = existing {
+                if a != arity {
+                    return Err(EvalError::ArityMismatch {
+                        pred: plan.head.pred.to_string(),
+                        expected: a,
+                        found: arity,
+                    });
+                }
+            }
+            db.relation_mut(plan.head.pred, arity);
+        }
+
+        // Lemma 3.2.3: grouping rules first, once, over the lower layers.
+        ensure_indexes(&grouping_plans, &mut db);
+        for plan in &grouping_plans {
+            for fact in run_grouping_rule(plan, &db, opts.use_indexes) {
+                db.insert(fact);
+            }
+        }
+
+        // Then the remaining rules to fixpoint.
+        ensure_indexes(&rest_plans, &mut db);
+        if opts.semi_naive {
+            semi_naive_fixpoint(&rest_plans, &layer_preds, &mut db, opts);
+        } else {
+            naive_fixpoint(&rest_plans, &mut db, opts);
+        }
+    }
+    Ok(db)
+}
+
+/// Run one compiled non-grouping rule, inserting derived facts. Returns the
+/// number of new facts.
+pub fn run_rule_once(
+    plan: &RulePlan,
+    db: &mut Database,
+    restrict: Option<DeltaRestriction>,
+    opts: &EvalOptions,
+) -> usize {
+    let mut derived: Vec<Fact> = Vec::new();
+    let mut b = Bindings::new();
+    run_body(plan, db, restrict, opts.use_indexes, &mut b, &mut |b2| {
+        // §3.2 applicability: Bθ must be a U-fact; an argument evaluating
+        // outside U (scons onto a non-set, arithmetic failure) derives
+        // nothing.
+        let args: Option<Vec<_>> = plan.head.args.iter().map(|t| eval_term(t, b2)).collect();
+        if let Some(args) = args {
+            derived.push(Fact::new(plan.head.pred, args));
+        }
+    });
+    let mut new = 0;
+    for f in derived {
+        if db.insert(f) {
+            new += 1;
+        }
+    }
+    new
+}
+
+/// Naive iteration: apply every rule to the whole database until nothing
+/// changes (the literal `R_{i+1}(M) = ⋃ r(R_i(M)) ∪ R_i(M)` of §3.2).
+/// Public so the magic-set evaluator can drive its own fixpoints.
+pub fn naive_fixpoint(plans: &[RulePlan], db: &mut Database, opts: &EvalOptions) {
+    loop {
+        let mut new = 0;
+        for plan in plans {
+            new += run_rule_once(plan, db, None, opts);
+        }
+        if new == 0 {
+            break;
+        }
+    }
+}
+
+/// Semi-naive iteration: after one full pass, re-evaluate each rule once per
+/// recursive body literal, restricting that literal to the facts derived in
+/// the previous round.
+pub fn semi_naive_fixpoint(
+    plans: &[RulePlan],
+    layer_preds: &FastSet<Symbol>,
+    db: &mut Database,
+    opts: &EvalOptions,
+) {
+    // For each plan, the scan steps over predicates defined in this layer.
+    let recursive_steps: Vec<Vec<usize>> = plans
+        .iter()
+        .map(|p| {
+            p.scan_steps
+                .iter()
+                .filter(|(_, pred)| layer_preds.contains(pred))
+                .map(|(i, _)| *i)
+                .collect()
+        })
+        .collect();
+
+    let len_of = |db: &Database, p: Symbol| db.relation(p).map_or(0, |r| r.len());
+
+    // Invariant: every derivation whose recursive-literal tuples all have
+    // positions below `delta_lo` has already been performed.
+    let mut delta_lo: FastMap<Symbol, usize> = layer_preds
+        .iter()
+        .map(|&p| (p, len_of(db, p)))
+        .collect();
+
+    // Round 0: full evaluation of every rule (covers all tuples existing
+    // before the round, i.e. positions below the initial `delta_lo`, plus
+    // opportunistically many of the new ones).
+    for plan in plans {
+        run_rule_once(plan, db, None, opts);
+    }
+
+    loop {
+        let delta_hi: FastMap<Symbol, usize> = layer_preds
+            .iter()
+            .map(|&p| (p, len_of(db, p)))
+            .collect();
+        if delta_hi == delta_lo {
+            break; // previous round derived nothing new
+        }
+        for (pi, plan) in plans.iter().enumerate() {
+            // Non-recursive rules are complete after round 0.
+            for &step in &recursive_steps[pi] {
+                let pred = plan
+                    .scan_steps
+                    .iter()
+                    .find(|(i, _)| *i == step)
+                    .expect("step listed")
+                    .1;
+                let (lo, hi) = (delta_lo[&pred] as u32, delta_hi[&pred] as u32);
+                if lo >= hi {
+                    continue; // no new facts feed this literal
+                }
+                run_rule_once(plan, db, Some(DeltaRestriction { step, lo, hi }), opts);
+            }
+        }
+        delta_lo = delta_hi;
+    }
+}

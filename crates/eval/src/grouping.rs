@@ -1,0 +1,226 @@
+//! The grouping operator (§2.2 semantics, §3.2 `r(M)` for grouping rules).
+//!
+//! For a rule `p(t̄, <Y>) <- body`, let `Z̄` be the variables occurring in
+//! `t̄` (outside the grouping argument). The body is evaluated against `M`;
+//! its solutions are partitioned by their `Z̄` values; for each class the `Y`
+//! values are collected into a set `S`, and `p(t̄θ, S)` is derived. A class
+//! with no solutions derives nothing — "when the set of elements to be
+//! grouped is empty, the formula evaluates to true even if p does not hold
+//! on the empty set" (§2.2); this is also why the §6 `young` query *fails*
+//! for a person with no same-generation members.
+
+use ldl_storage::Database;
+use ldl_value::fxhash::{FastMap, FastSet};
+use ldl_value::{Fact, Value};
+
+use crate::bindings::Bindings;
+use crate::plan::{run_body, HeadKind, RulePlan};
+use crate::unify::eval_term;
+
+/// Evaluate a grouping rule once against `db`, returning the derived facts.
+///
+/// Admissibility guarantees every body predicate lies in a strictly lower
+/// layer (§3.1 clause 2), so `db` already holds their complete relations.
+pub fn run_grouping_rule(plan: &RulePlan, db: &Database, use_indexes: bool) -> Vec<Fact> {
+    let HeadKind::Grouping {
+        group_pos,
+        group_var,
+    } = plan.head_kind
+    else {
+        panic!("run_grouping_rule on a non-grouping plan");
+    };
+    let zbar = plan.head.vars_outside_group();
+
+    // key (Z̄ values) → (evaluated non-group head args, collected Y values).
+    // Insertion order of keys is preserved for deterministic output.
+    let mut groups: FastMap<Vec<Value>, (Vec<Value>, FastSet<Value>)> = FastMap::default();
+    let mut key_order: Vec<Vec<Value>> = Vec::new();
+
+    let mut b = Bindings::new();
+    run_body(plan, db, None, use_indexes, &mut b, &mut |b2| {
+        let Some(y) = b2.get(group_var).cloned() else {
+            // Range restriction guarantees Y is bound; an unbound Y here
+            // means the rule slipped past well-formedness — fail loudly.
+            panic!("group variable {group_var} unbound in grouping rule");
+        };
+        let key: Option<Vec<Value>> = zbar.iter().map(|&z| b2.get(z).cloned().ok_or(())).collect::<Result<_, _>>().ok();
+        let Some(key) = key else {
+            panic!("head variable unbound in grouping rule");
+        };
+        match groups.get_mut(&key) {
+            Some((_, ys)) => {
+                ys.insert(y);
+            }
+            None => {
+                // Evaluate the non-group head arguments under this
+                // solution's bindings (they depend only on Z̄, so any
+                // representative of the class gives the same values).
+                let other: Option<Vec<Value>> = plan
+                    .head
+                    .args
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != group_pos)
+                    .map(|(_, t)| eval_term(t, b2))
+                    .collect();
+                if let Some(other) = other {
+                    let mut ys = FastSet::default();
+                    ys.insert(y);
+                    key_order.push(key.clone());
+                    groups.insert(key, (other, ys));
+                }
+                // `None` (an argument outside U) derives nothing for this
+                // class, matching the applicability condition of §3.2.
+            }
+        }
+    });
+
+    key_order
+        .into_iter()
+        .map(|key| {
+            let (other, ys) = groups.remove(&key).expect("key recorded");
+            let set = Value::set(ys);
+            let mut args = Vec::with_capacity(other.len() + 1);
+            let mut it = other.into_iter();
+            for i in 0..=it.len() {
+                if i == group_pos {
+                    args.push(set.clone());
+                } else if let Some(v) = it.next() {
+                    args.push(v);
+                }
+            }
+            Fact::new(plan.head.pred, args)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_parser::parse_rule;
+    use ldl_value::Symbol;
+
+    fn db_with(facts: &[(&str, Vec<Value>)]) -> Database {
+        let mut db = Database::new();
+        for (p, args) in facts {
+            db.insert_tuple(*p, args.clone());
+        }
+        db
+    }
+
+    fn plan(src: &str) -> RulePlan {
+        RulePlan::compile(&parse_rule(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn paper_part_example() {
+        // §1: p = {(1,2),(1,7),(2,3),(2,4),(3,5),(3,6)} ⇒
+        // part = {(1,{2,7}), (2,{3,4}), (3,{5,6})}.
+        let db = db_with(&[
+            ("p", vec![Value::int(1), Value::int(2)]),
+            ("p", vec![Value::int(1), Value::int(7)]),
+            ("p", vec![Value::int(2), Value::int(3)]),
+            ("p", vec![Value::int(2), Value::int(4)]),
+            ("p", vec![Value::int(3), Value::int(5)]),
+            ("p", vec![Value::int(3), Value::int(6)]),
+        ]);
+        let facts = run_grouping_rule(&plan("part(P, <S>) <- p(P, S)."), &db, false);
+        assert_eq!(facts.len(), 3);
+        let expect = |p: i64, s: &[i64]| {
+            Fact::new(
+                "part",
+                vec![Value::int(p), Value::set(s.iter().map(|&i| Value::int(i)))],
+            )
+        };
+        assert!(facts.contains(&expect(1, &[2, 7])));
+        assert!(facts.contains(&expect(2, &[3, 4])));
+        assert!(facts.contains(&expect(3, &[5, 6])));
+    }
+
+    #[test]
+    fn empty_body_derives_nothing() {
+        let db = Database::new();
+        let facts = run_grouping_rule(&plan("part(P, <S>) <- p(P, S)."), &db, false);
+        assert!(facts.is_empty());
+    }
+
+    #[test]
+    fn grouping_with_no_other_args() {
+        // all(<X>) <- q(X): one tuple holding the whole column.
+        let db = db_with(&[
+            ("q", vec![Value::int(1)]),
+            ("q", vec![Value::int(2)]),
+        ]);
+        let facts = run_grouping_rule(&plan("all(<X>) <- q(X)."), &db, false);
+        assert_eq!(facts.len(), 1);
+        assert_eq!(
+            facts[0],
+            Fact::new("all", vec![Value::set(vec![Value::int(1), Value::int(2)])])
+        );
+    }
+
+    #[test]
+    fn duplicate_y_values_deduplicate() {
+        let db = db_with(&[
+            ("e", vec![Value::int(1), Value::int(5)]),
+            ("e", vec![Value::int(2), Value::int(5)]),
+        ]);
+        // s(<Y>) <- e(_, Y): Y = 5 twice, grouped set {5}.
+        let facts = run_grouping_rule(&plan("s(<Y>) <- e(_, Y)."), &db, false);
+        assert_eq!(facts.len(), 1);
+        assert_eq!(
+            facts[0],
+            Fact::new("s", vec![Value::set(vec![Value::int(5)])])
+        );
+    }
+
+    #[test]
+    fn group_var_also_outside_group_gives_singletons() {
+        // §2.2: "when a variable X appearing in head of a rule also appears
+        // as <X> in the same head then the grouped set is a singleton".
+        let db = db_with(&[
+            ("q", vec![Value::int(1)]),
+            ("q", vec![Value::int(2)]),
+        ]);
+        let facts = run_grouping_rule(&plan("w(X, <X>) <- q(X)."), &db, false);
+        assert_eq!(facts.len(), 2);
+        assert!(facts.contains(&Fact::new(
+            "w",
+            vec![Value::int(1), Value::set(vec![Value::int(1)])]
+        )));
+        assert!(facts.contains(&Fact::new(
+            "w",
+            vec![Value::int(2), Value::set(vec![Value::int(2)])]
+        )));
+    }
+
+    #[test]
+    fn group_position_first() {
+        let db = db_with(&[("p", vec![Value::int(1), Value::int(2)])]);
+        let facts = run_grouping_rule(&plan("part(<S>, P) <- p(P, S)."), &db, false);
+        assert_eq!(
+            facts[0],
+            Fact::new(
+                "part",
+                vec![Value::set(vec![Value::int(2)]), Value::int(1)]
+            )
+        );
+        let _ = Symbol::intern("part");
+    }
+
+    #[test]
+    fn grouped_sets_can_nest() {
+        // Sets of sets: w(<S>) over set-valued column.
+        let db = db_with(&[
+            ("h", vec![Value::set(vec![Value::int(1)])]),
+            ("h", vec![Value::set(vec![Value::int(2)])]),
+        ]);
+        let facts = run_grouping_rule(&plan("w(<S>) <- h(S)."), &db, false);
+        assert_eq!(facts.len(), 1);
+        let expected = Value::set(vec![
+            Value::set(vec![Value::int(1)]),
+            Value::set(vec![Value::int(2)]),
+        ]);
+        assert_eq!(facts[0], Fact::new("w", vec![expected]));
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Bottom-up evaluation of admissible LDL1 programs (§3.2).
+//!
+//! The evaluator implements the layered fixpoint of Theorem 1: given an
+//! admissible program `P` with layering `L₁, …, Lₙ` and an input database
+//! `M₀`, it computes `Mᵢ = Lᵢ(Mᵢ₋₁)` layer by layer, where within a layer
+//! (Lemma 3.2.3):
+//!
+//! 1. grouping rules are applied **once**, grouping over the facts of the
+//!    lower layers only (admissibility guarantees their body predicates are
+//!    strictly below), then
+//! 2. the remaining rules run to a fixpoint, with negated literals tested
+//!    against the (already complete) lower layers.
+//!
+//! The result is a minimal model of `P` w.r.t. `M₀` (unique when `P` is
+//! positive). Rule bodies are compiled to index-backed join plans
+//! ([`plan`]), with both naive and semi-naive ([`fixpoint`]) iteration.
+//! [`model`] implements the §2.2 truth definition directly, for checking
+//! whether an arbitrary interpretation is a model (used to reproduce the
+//! §2.3/§2.4 counterexamples).
+
+pub mod bindings;
+pub mod builtins;
+pub mod engine;
+pub mod error;
+pub mod fixpoint;
+pub mod grouping;
+pub mod model;
+pub mod plan;
+pub mod unify;
+
+pub use engine::{EvalOptions, Evaluator, QueryAnswer};
+pub use error::EvalError;
+pub use model::{check_model, ModelViolation};

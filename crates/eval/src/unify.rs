@@ -1,0 +1,373 @@
+//! One-way matching of term patterns against ground values.
+//!
+//! Bottom-up evaluation only ever matches a rule's (possibly non-ground)
+//! *pattern* against *ground* tuples, so full unification is unnecessary.
+//! Set patterns make matching **multi-solution**: the enumerated-set pattern
+//! `{X, Y}` matches the ground set `{a, b}` two ways (`X=a,Y=b` and
+//! `X=b,Y=a`) and matches `{a}` one way (`X=Y=a` — enumeration eliminates
+//! duplicates, §1), and `scons(H, T)` matches a set `S` once per choice of
+//! `H ∈ S` with `T` either `S` or `S − {H}` (both satisfy `{H} ∪ T = S`).
+//! Matching therefore reports solutions through a callback.
+
+use ldl_ast::term::Term;
+use ldl_value::{SetValue, Value};
+
+use crate::bindings::Bindings;
+
+/// Evaluate a term to a ground value under the current bindings. `None` if
+/// some variable is unbound or a built-in restriction fails (e.g. `scons`
+/// onto a non-set, arithmetic on non-integers — "objects outside U").
+pub fn eval_term(t: &Term, b: &Bindings) -> Option<Value> {
+    match t {
+        Term::Var(v) => b.get(*v).cloned(),
+        Term::Anon | Term::Group(_) => None,
+        Term::Const(v) => Some(v.clone()),
+        Term::Compound(f, args) => {
+            let vals: Option<Vec<Value>> = args.iter().map(|a| eval_term(a, b)).collect();
+            Some(Value::compound(*f, vals?))
+        }
+        Term::SetEnum(args) => {
+            let vals: Option<Vec<Value>> = args.iter().map(|a| eval_term(a, b)).collect();
+            Some(Value::set(vals?))
+        }
+        Term::Scons(h, tail) => {
+            let head = eval_term(h, b)?;
+            match eval_term(tail, b)? {
+                Value::Set(s) => Some(Value::Set(s.insert(head))),
+                _ => None,
+            }
+        }
+        Term::Arith(op, l, r) => op.eval(&eval_term(l, b)?, &eval_term(r, b)?),
+    }
+}
+
+/// Are all variables of `t` bound (so [`eval_term`] can succeed)?
+pub fn is_ground_under(t: &Term, b: &Bindings) -> bool {
+    match t {
+        Term::Var(v) => b.is_bound(*v),
+        Term::Anon | Term::Group(_) => false,
+        Term::Const(_) => true,
+        Term::Compound(_, args) | Term::SetEnum(args) => {
+            args.iter().all(|a| is_ground_under(a, b))
+        }
+        Term::Scons(h, tail) => is_ground_under(h, b) && is_ground_under(tail, b),
+        Term::Arith(_, l, r) => is_ground_under(l, b) && is_ground_under(r, b),
+    }
+}
+
+/// Match pattern `t` against ground `v`, invoking `k` once per solution
+/// (with the solution's bindings active). Bindings are restored before
+/// returning.
+pub fn match_term(t: &Term, v: &Value, b: &mut Bindings, k: &mut dyn FnMut(&mut Bindings)) {
+    let m = b.mark();
+    match t {
+        Term::Anon => k(b),
+        Term::Var(var) => match b.get(*var) {
+            Some(bound) => {
+                if bound == v {
+                    k(b);
+                }
+            }
+            None => {
+                b.bind(*var, v.clone());
+                k(b);
+                b.undo(m);
+            }
+        },
+        Term::Const(c) => {
+            if c == v {
+                k(b);
+            }
+        }
+        Term::Compound(f, args) => {
+            if let Value::Compound(c) = v {
+                if c.functor() == *f && c.arity() == args.len() {
+                    match_slice(args, c.args(), b, k);
+                    b.undo(m);
+                }
+            }
+        }
+        Term::SetEnum(pats) => {
+            if let Value::Set(s) = v {
+                match_set_enum(pats, s, b, k);
+                b.undo(m);
+            }
+        }
+        Term::Scons(h, tail) => {
+            if let Value::Set(s) = v {
+                // {Hθ} ∪ Tθ = S requires Hθ ∈ S and Tθ ∈ {S, S − {Hθ}}.
+                for e in s.iter() {
+                    match_term(h, e, b, &mut |b2| {
+                        let without = Value::Set(s.difference(&SetValue::from_iter([e.clone()])));
+                        let full = Value::Set(s.clone());
+                        match_term(tail, &full, b2, k);
+                        if without != full {
+                            match_term(tail, &without, b2, k);
+                        }
+                    });
+                }
+                b.undo(m);
+            }
+        }
+        Term::Group(inner) => {
+            // §4.1 body semantics, implemented natively: `<t>` matches only
+            // a *set* value all of whose elements have `t`'s uniform
+            // structure, and `t`'s variables then range over the elements.
+            // (`p(<<X>>)` matches `p({{1,2},{3}})` but not `p({{1,2}, 3})`.)
+            // Uniformity is structural — checked with a fresh variable
+            // scope, exactly like the fresh-variable copy of `t` in the
+            // paper's `collect` rule.
+            if let Value::Set(s) = v {
+                let uniform = s.iter().all(|e| {
+                    let mut scratch = Bindings::new();
+                    let mut any = false;
+                    match_term(inner, e, &mut scratch, &mut |_| any = true);
+                    any
+                });
+                if uniform {
+                    for e in s.iter() {
+                        match_term(inner, e, b, k);
+                    }
+                    b.undo(m);
+                }
+            }
+        }
+        Term::Arith(..) => {
+            if let Some(val) = eval_term(t, b) {
+                if val == *v {
+                    k(b);
+                }
+            }
+        }
+    }
+}
+
+/// Match a sequence of patterns against a sequence of ground values
+/// (all-solutions product).
+pub fn match_slice(
+    pats: &[Term],
+    vals: &[Value],
+    b: &mut Bindings,
+    k: &mut dyn FnMut(&mut Bindings),
+) {
+    debug_assert_eq!(pats.len(), vals.len());
+    match pats.split_first() {
+        None => k(b),
+        Some((p0, rest_p)) => {
+            let (v0, rest_v) = vals.split_first().expect("lengths equal");
+            match_term(p0, v0, b, &mut |b2| match_slice(rest_p, rest_v, b2, k));
+        }
+    }
+}
+
+/// Match an enumerated-set pattern `{p₁, …, pₖ}` against a ground set `s`:
+/// assign each pattern element to some element of `s` such that the assigned
+/// elements *cover* all of `s` (so the evaluated pattern equals `s`).
+fn match_set_enum(
+    pats: &[Term],
+    s: &SetValue,
+    b: &mut Bindings,
+    k: &mut dyn FnMut(&mut Bindings),
+) {
+    // The pattern can only equal s if it has at least |s| elements to cover
+    // it, and it can never produce more distinct elements than it has.
+    if s.len() > pats.len() {
+        return;
+    }
+    if pats.is_empty() {
+        if s.is_empty() {
+            k(b);
+        }
+        return;
+    }
+    // `covered` is a bitmask of s-elements hit so far.
+    fn go(
+        pats: &[Term],
+        s: &SetValue,
+        covered: u64,
+        b: &mut Bindings,
+        k: &mut dyn FnMut(&mut Bindings),
+    ) {
+        match pats.split_first() {
+            None => {
+                if covered == (1u64 << s.len()) - 1 {
+                    k(b);
+                }
+            }
+            Some((p0, rest)) => {
+                // Remaining patterns must still be able to cover the
+                // remaining elements.
+                let missing = s.len() as u32 - covered.count_ones();
+                if (rest.len() as u32) + 1 < missing {
+                    return;
+                }
+                for (i, e) in s.iter().enumerate() {
+                    match_term(p0, e, b, &mut |b2| {
+                        go(rest, s, covered | (1 << i), b2, k);
+                    });
+                }
+            }
+        }
+    }
+    assert!(s.len() <= 64, "enumerated-set pattern against a set of >64 elements");
+    go(pats, s, 0, b, k);
+}
+
+/// Collect all solutions of matching `t` against `v` as binding snapshots
+/// (testing convenience).
+#[cfg(test)]
+fn solutions(t: &Term, v: &Value) -> Vec<Vec<(String, Value)>> {
+    let mut b = Bindings::new();
+    let mut out = Vec::new();
+    match_term(t, v, &mut b, &mut |b2| {
+        let mut snap: Vec<(String, Value)> = b2
+            .iter()
+            .map(|(var, val)| (var.name().to_string(), val.clone()))
+            .collect();
+        snap.sort_by(|a, c| a.0.cmp(&c.0));
+        out.push(snap);
+    });
+    assert!(b.is_empty(), "bindings must be restored");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_ast::term::Var;
+
+    fn set(xs: &[i64]) -> Value {
+        Value::set(xs.iter().map(|&i| Value::int(i)))
+    }
+
+    #[test]
+    fn var_binds_and_checks() {
+        let sols = solutions(&Term::var("X"), &Value::int(3));
+        assert_eq!(sols, vec![vec![("X".to_string(), Value::int(3))]]);
+        // Bound variable must agree.
+        let mut b = Bindings::new();
+        b.bind(Var::new("X"), Value::int(3));
+        let mut hits = 0;
+        match_term(&Term::var("X"), &Value::int(4), &mut b, &mut |_| hits += 1);
+        assert_eq!(hits, 0);
+        match_term(&Term::var("X"), &Value::int(3), &mut b, &mut |_| hits += 1);
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn compound_match() {
+        let t = Term::compound("f", vec![Term::var("X"), Term::int(2)]);
+        let v = Value::compound("f", vec![Value::atom("a"), Value::int(2)]);
+        assert_eq!(solutions(&t, &v).len(), 1);
+        let wrong = Value::compound("g", vec![Value::atom("a"), Value::int(2)]);
+        assert!(solutions(&t, &wrong).is_empty());
+    }
+
+    #[test]
+    fn set_enum_pattern_multi_solutions() {
+        // {X, Y} vs {1, 2}: two solutions.
+        let t = Term::SetEnum(vec![Term::var("X"), Term::var("Y")]);
+        let sols = solutions(&t, &set(&[1, 2]));
+        assert_eq!(sols.len(), 2);
+        // {X, Y} vs {1}: one solution with X = Y = 1.
+        let sols1 = solutions(&t, &set(&[1]));
+        assert_eq!(sols1.len(), 1);
+        assert_eq!(sols1[0][0].1, Value::int(1));
+        assert_eq!(sols1[0][1].1, Value::int(1));
+        // {X, Y} vs {1, 2, 3}: impossible.
+        assert!(solutions(&t, &set(&[1, 2, 3])).is_empty());
+    }
+
+    #[test]
+    fn singleton_pattern_matches_only_singletons() {
+        // result(X, C) <- tc({X}, C) — {X} must match only singleton sets.
+        let t = Term::SetEnum(vec![Term::var("X")]);
+        assert_eq!(solutions(&t, &set(&[7])).len(), 1);
+        assert!(solutions(&t, &set(&[7, 8])).is_empty());
+        assert!(solutions(&t, &set(&[])).is_empty());
+    }
+
+    #[test]
+    fn empty_set_pattern() {
+        let t = Term::SetEnum(vec![]);
+        assert_eq!(solutions(&t, &set(&[])).len(), 1);
+        assert!(solutions(&t, &set(&[1])).is_empty());
+    }
+
+    #[test]
+    fn ground_elements_in_set_pattern() {
+        // {1, X} vs {1, 2}: X = 2, plus the covering where X = 1? No —
+        // {1, 1} = {1} ≠ {1, 2}. Exactly one solution.
+        let t = Term::SetEnum(vec![Term::int(1), Term::var("X")]);
+        let sols = solutions(&t, &set(&[1, 2]));
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0][0].1, Value::int(2));
+        // {1, X} vs {2, 3}: the constant 1 is absent — no solutions.
+        assert!(solutions(&t, &set(&[2, 3])).is_empty());
+    }
+
+    #[test]
+    fn scons_pattern() {
+        // scons(H, T) vs {1, 2}: H=1 with T∈{{1,2},{2}}, H=2 with T∈{{1,2},{1}}.
+        let t = Term::Scons(Box::new(Term::var("H")), Box::new(Term::var("T")));
+        let sols = solutions(&t, &set(&[1, 2]));
+        assert_eq!(sols.len(), 4);
+        // Every solution satisfies {H} ∪ T = {1,2}.
+        for sol in &sols {
+            let h = &sol[0].1;
+            let tval = sol[1].1.as_set().unwrap();
+            assert_eq!(Value::Set(tval.insert(h.clone())), set(&[1, 2]));
+        }
+        // vs {}: no solutions (no element to pick).
+        assert!(solutions(&t, &set(&[])).is_empty());
+    }
+
+    #[test]
+    fn arith_pattern_checks_value() {
+        let mut b = Bindings::new();
+        b.bind(Var::new("X"), Value::int(4));
+        let t = Term::Arith(
+            ldl_value::arith::ArithOp::Add,
+            Box::new(Term::var("X")),
+            Box::new(Term::int(1)),
+        );
+        let mut hits = 0;
+        match_term(&t, &Value::int(5), &mut b, &mut |_| hits += 1);
+        assert_eq!(hits, 1);
+        match_term(&t, &Value::int(6), &mut b, &mut |_| hits += 1);
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn eval_term_respects_restrictions() {
+        let mut b = Bindings::new();
+        b.bind(Var::new("S"), set(&[1]));
+        let t = Term::Scons(Box::new(Term::int(2)), Box::new(Term::var("S")));
+        assert_eq!(eval_term(&t, &b), Some(set(&[1, 2])));
+        // scons onto non-set is outside U.
+        let bad = Term::Scons(Box::new(Term::int(2)), Box::new(Term::int(1)));
+        assert_eq!(eval_term(&bad, &b), None);
+        // Unbound variable: not ground.
+        assert_eq!(eval_term(&Term::var("Q"), &b), None);
+        assert!(!is_ground_under(&Term::var("Q"), &b));
+        assert!(is_ground_under(&Term::var("S"), &b));
+    }
+
+    #[test]
+    fn nested_set_patterns() {
+        // {{X}} vs {{3}}: X = 3.
+        let t = Term::SetEnum(vec![Term::SetEnum(vec![Term::var("X")])]);
+        let v = Value::set(vec![set(&[3])]);
+        let sols = solutions(&t, &v);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0][0].1, Value::int(3));
+    }
+
+    #[test]
+    fn repeated_var_in_set_pattern() {
+        // {X, X} vs {1}: X = 1 (one solution). vs {1,2}: impossible.
+        let t = Term::SetEnum(vec![Term::var("X"), Term::var("X")]);
+        assert_eq!(solutions(&t, &set(&[1])).len(), 1);
+        assert!(solutions(&t, &set(&[1, 2])).is_empty());
+    }
+}

@@ -1,0 +1,341 @@
+#![warn(missing_docs)]
+
+//! # ldl1 — a deductive database engine for LDL1
+//!
+//! A from-scratch reproduction of *Sets and Negation in a Logic Database
+//! Language (LDL1)* (Beeri, Naqvi, Ramakrishnan, Shmueli, Tsur; PODS 1987):
+//! Datalog with function symbols, **finite sets as first-class values**
+//! (enumeration `{a, b}` and grouping `<X>`), **stratified negation**,
+//! bottom-up minimal-model evaluation, the LDL1.5 surface extensions, and
+//! **magic-set** query compilation.
+//!
+//! ```
+//! use ldl1::System;
+//!
+//! let mut sys = System::new();
+//! sys.load(
+//!     "ancestor(X, Y) <- parent(X, Y).
+//!      ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y).
+//!      kids(P, <K>)   <- parent(P, K).",
+//! ).unwrap();
+//! sys.fact("parent(abe, bob).").unwrap();
+//! sys.fact("parent(bob, cal).").unwrap();
+//!
+//! let answers = sys.query("ancestor(abe, X)").unwrap();
+//! assert_eq!(answers.len(), 2);
+//!
+//! let kids = sys.query("kids(abe, S)").unwrap();
+//! assert_eq!(kids[0].bindings[0].1.to_string(), "{bob}");
+//! ```
+//!
+//! The crates underneath (re-exported here) map to the paper:
+//!
+//! | crate | paper section |
+//! |---|---|
+//! | [`value`] | §2.2 — the LDL1 universe `U`, domination order §2.4 |
+//! | [`ast`], [`parser`] | §2.1 — syntax |
+//! | [`stratify`] | §3.1 — admissibility and layering |
+//! | [`eval`] | §3.2 — layered bottom-up minimal-model computation |
+//! | [`transform`] | §3.3 negation→grouping, §4 LDL1.5, §5 LPS |
+//! | [`magic`] | §6 — sips, adornment, generalized magic sets |
+
+use std::fmt;
+
+pub use ldl_ast as ast;
+pub use ldl_eval as eval;
+pub use ldl_magic as magic;
+pub use ldl_parser as parser;
+pub use ldl_storage as storage;
+pub use ldl_stratify as stratify;
+pub use ldl_transform as transform;
+pub use ldl_value as value;
+
+pub use ldl_ast::program::Program;
+pub use ldl_eval::{check_model, EvalOptions, Evaluator, QueryAnswer};
+pub use ldl_magic::MagicEvaluator;
+pub use ldl_storage::Database;
+pub use ldl_stratify::Stratification;
+pub use ldl_transform::head_terms::GroupingSemantics;
+pub use ldl_value::{Fact, FactSet, SetValue, Symbol, Value};
+
+/// Any error the system can raise.
+#[derive(Debug)]
+pub enum Error {
+    /// Lexing/parsing failed.
+    Parse(ldl_parser::ParseError),
+    /// An LDL1.5 → LDL1 rewrite failed.
+    Transform(ldl_transform::TransformError),
+    /// Well-formedness, admissibility, or evaluation failed.
+    Eval(ldl_eval::EvalError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "{e}"),
+            Error::Transform(e) => write!(f, "{e}"),
+            Error::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ldl_parser::ParseError> for Error {
+    fn from(e: ldl_parser::ParseError) -> Error {
+        Error::Parse(e)
+    }
+}
+
+impl From<ldl_transform::TransformError> for Error {
+    fn from(e: ldl_transform::TransformError) -> Error {
+        Error::Transform(e)
+    }
+}
+
+impl From<ldl_eval::EvalError> for Error {
+    fn from(e: ldl_eval::EvalError) -> Error {
+        Error::Eval(e)
+    }
+}
+
+/// A deductive database session: rules + facts + cached model.
+///
+/// Programs may use the full LDL1.5 surface; they are macro-expanded to
+/// core LDL1 on load (§4). Facts can be added incrementally; the model is
+/// recomputed lazily after any change.
+#[derive(Clone, Debug)]
+pub struct System {
+    source: Program,
+    compiled: Program,
+    edb: Database,
+    options: EvalOptions,
+    grouping_semantics: GroupingSemantics,
+    model: Option<Database>,
+}
+
+impl Default for System {
+    fn default() -> System {
+        System::new()
+    }
+}
+
+impl System {
+    /// A fresh system with default options (semi-naive, indexed).
+    pub fn new() -> System {
+        System {
+            source: Program::new(),
+            compiled: Program::new(),
+            edb: Database::new(),
+            options: EvalOptions::default(),
+            grouping_semantics: GroupingSemantics::PerGroup,
+            model: None,
+        }
+    }
+
+    /// Override evaluation options.
+    pub fn with_options(options: EvalOptions) -> System {
+        System {
+            options,
+            ..System::new()
+        }
+    }
+
+    /// Choose the §4.2 grouping semantics — (ii) `PerGroup` (default) or
+    /// (ii)′ `WithContext`. Recompiles the loaded rules; an error leaves
+    /// the previous compilation (and semantics choice) in place.
+    pub fn set_grouping_semantics(&mut self, s: GroupingSemantics) -> Result<(), Error> {
+        let compiled = compile_ldl15(&self.source, s)?;
+        self.grouping_semantics = s;
+        self.compiled = compiled;
+        self.model = None;
+        Ok(())
+    }
+
+    /// Load rules (and inline facts) written in LDL1 / LDL1.5 concrete
+    /// syntax. Ground facts go to the EDB; rules are compiled to core LDL1.
+    pub fn load(&mut self, src: &str) -> Result<(), Error> {
+        let parsed = ldl_parser::parse_program(src)?;
+        for rule in parsed.rules {
+            if rule.is_fact() {
+                if let Some(args) = rule
+                    .head
+                    .args
+                    .iter()
+                    .map(|t| t.to_value())
+                    .collect::<Option<Vec<_>>>()
+                {
+                    self.edb.insert(Fact::new(rule.head.pred, args));
+                    continue;
+                }
+            }
+            self.source.push(rule);
+        }
+        self.compiled = compile_ldl15(&self.source, self.grouping_semantics)?;
+        self.model = None;
+        Ok(())
+    }
+
+    /// Add one fact, e.g. `sys.fact("parent(abe, bob).")`.
+    pub fn fact(&mut self, src: &str) -> Result<(), Error> {
+        let atom = ldl_parser::parse_atom(src)?;
+        let args: Option<Vec<Value>> = atom.args.iter().map(|t| t.to_value()).collect();
+        let Some(args) = args else {
+            return Err(Error::Parse(ldl_parser::ParseError {
+                pos: ldl_parser::error::Pos { line: 1, col: 1 },
+                message: format!("fact is not ground: {src}"),
+            }));
+        };
+        self.edb.insert(Fact::new(atom.pred, args));
+        self.model = None;
+        Ok(())
+    }
+
+    /// Add one fact from parts.
+    pub fn insert(&mut self, pred: &str, args: Vec<Value>) {
+        self.edb.insert_tuple(pred, args);
+        self.model = None;
+    }
+
+    /// The compiled core-LDL1 program.
+    pub fn program(&self) -> &Program {
+        &self.compiled
+    }
+
+    /// The extensional database.
+    pub fn edb(&self) -> &Database {
+        &self.edb
+    }
+
+    /// Compute (or fetch the cached) standard model — Theorem 1's `Mₙ`.
+    pub fn model(&mut self) -> Result<&Database, Error> {
+        if self.model.is_none() {
+            let ev = Evaluator::with_options(self.eval_options());
+            self.model = Some(ev.evaluate(&self.compiled, &self.edb)?);
+        }
+        Ok(self.model.as_ref().expect("just computed"))
+    }
+
+    /// The compiled program is trusted output of the LDL1.5 compiler and
+    /// may retain `<t>` patterns inside built-in literals, which the
+    /// evaluator matches natively — so it is checked as LDL1.5.
+    fn eval_options(&self) -> EvalOptions {
+        EvalOptions {
+            dialect: ast::wf::Dialect::Ldl15,
+            ..self.options
+        }
+    }
+
+    /// Answer a query against the standard model (full bottom-up
+    /// evaluation, then pattern matching).
+    pub fn query(&mut self, query: &str) -> Result<Vec<QueryAnswer>, Error> {
+        let atom = ldl_parser::parse_atom(query)?;
+        let options = self.options;
+        let m = self.model()?;
+        Ok(Evaluator::with_options(options).query(m, &atom))
+    }
+
+    /// Answer a query through the §6 magic-set pipeline (sips → adornment →
+    /// generalized magic rewriting → constrained evaluation). Usually much
+    /// faster for queries with bound arguments; always produces the same
+    /// answers (Theorems 3/4).
+    pub fn query_magic(&self, query: &str) -> Result<Vec<QueryAnswer>, Error> {
+        let atom = ldl_parser::parse_atom(query)?;
+        let ev = MagicEvaluator::with_options(self.eval_options());
+        Ok(ev.query(&self.compiled, &self.edb, &atom)?)
+    }
+
+    /// All facts of one predicate in the model, sorted.
+    pub fn facts(&mut self, pred: &str) -> Result<Vec<Fact>, Error> {
+        let options = self.options;
+        let m = self.model()?;
+        Ok(Evaluator::with_options(options).facts(m, pred))
+    }
+
+    /// The model as an interpretation (for model checking / domination
+    /// comparisons).
+    pub fn model_facts(&mut self) -> Result<FactSet, Error> {
+        Ok(self.model()?.to_fact_set())
+    }
+}
+
+fn compile_ldl15(
+    source: &Program,
+    semantics: GroupingSemantics,
+) -> Result<Program, Error> {
+    let p = ldl_transform::body_angle::eliminate_body_groups(source)?;
+    let p = ldl_transform::head_terms::eliminate_complex_heads(&p, semantics)?;
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_flow() {
+        let mut sys = System::new();
+        sys.load(
+            "ancestor(X, Y) <- parent(X, Y).\n\
+             ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y).\n\
+             parent(abe, bob). parent(bob, cal).",
+        )
+        .unwrap();
+        let a = sys.query("ancestor(abe, X)").unwrap();
+        assert_eq!(a.len(), 2);
+        let b = sys.query_magic("ancestor(abe, X)").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ldl15_heads_compile_on_load() {
+        let mut sys = System::new();
+        sys.load("out(T, <S>, <D>) <- r(T, S, C, D).").unwrap();
+        sys.fact("r(t1, s1, c1, d1).").unwrap();
+        sys.fact("r(t1, s2, c1, d2).").unwrap();
+        let ans = sys.query("out(t1, S, D)").unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans[0].bindings[0].1.to_string(), "{s1, s2}");
+        assert_eq!(ans[0].bindings[1].1.to_string(), "{d1, d2}");
+    }
+
+    #[test]
+    fn incremental_facts_invalidate_model() {
+        let mut sys = System::new();
+        sys.load("r(X) <- e(X).").unwrap();
+        sys.fact("e(1).").unwrap();
+        assert_eq!(sys.query("r(X)").unwrap().len(), 1);
+        sys.fact("e(2).").unwrap();
+        assert_eq!(sys.query("r(X)").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn errors_surface() {
+        let mut sys = System::new();
+        assert!(matches!(sys.load("p(X) <-"), Err(Error::Parse(_))));
+        assert!(sys.fact("p(X).").is_err()); // non-ground fact
+        sys.load("even(s(X)) <- num(X), ~even(X). num(z). even(z).")
+            .unwrap();
+        assert!(matches!(sys.query("even(X)"), Err(Error::Eval(_))));
+    }
+
+    #[test]
+    fn alternative_grouping_semantics() {
+        // (ii) vs (ii)′ differ on *nested* groupings: the inner set is
+        // scoped per Y alone under (ii), per X and Y under (ii)′.
+        let src = "out(T, <h(S, <D>)>) <- r(T, S, D).";
+        let mut sys = System::new();
+        sys.load(src).unwrap();
+        sys.fact("r(t1, s1, d1).").unwrap();
+        sys.fact("r(t2, s1, d2).").unwrap();
+        // Under (ii), s1's day set is {d1, d2} — across all T.
+        let per_group = sys.query("out(t1, G)").unwrap();
+        assert_eq!(
+            per_group[0].bindings[0].1.to_string(),
+            "{h(s1, {d1, d2})}"
+        );
+        sys.set_grouping_semantics(GroupingSemantics::WithContext).unwrap();
+        let scoped = sys.query("out(t1, G)").unwrap();
+        assert_eq!(scoped[0].bindings[0].1.to_string(), "{h(s1, {d1})}");
+    }
+}

@@ -1,0 +1,322 @@
+//! Adornment: specializing predicates by binding patterns (§6, after
+//! \[BR87\]).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use ldl_ast::literal::{Atom, Literal};
+use ldl_ast::program::{Builtin, Program};
+use ldl_ast::rule::Rule;
+use ldl_ast::term::Term;
+use ldl_value::fxhash::{FastMap, FastSet};
+use ldl_value::Symbol;
+
+use crate::sip::{default_sip, Sip};
+
+/// A binding pattern: one `b`/`f` per argument position.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Adornment(pub Vec<bool>);
+
+impl Adornment {
+    /// The all-free adornment of the given arity.
+    pub fn all_free(arity: usize) -> Adornment {
+        Adornment(vec![false; arity])
+    }
+
+    /// Number of bound positions.
+    pub fn bound_count(&self) -> usize {
+        self.0.iter().filter(|&&b| b).count()
+    }
+
+    /// The `bf`-style suffix.
+    pub fn suffix(&self) -> String {
+        self.0.iter().map(|&b| if b { 'b' } else { 'f' }).collect()
+    }
+}
+
+impl fmt::Display for Adornment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.suffix())
+    }
+}
+
+/// The adorned name `p'bf` for `p` with adornment `a`. The `'` keeps the
+/// namespace disjoint from user predicates.
+pub fn adorned_name(pred: Symbol, a: &Adornment) -> Symbol {
+    pred.map_name(|n| format!("{n}'{}", a.suffix()))
+}
+
+/// One adorned rule, with its sip retained for the magic rewriting.
+#[derive(Clone, Debug)]
+pub struct AdornedRule {
+    /// The rule with IDB predicates renamed to their adorned versions and
+    /// the body in sip order.
+    pub rule: Rule,
+    /// The original head predicate.
+    pub head_pred: Symbol,
+    /// The head's binding pattern.
+    pub head_adornment: Adornment,
+    /// For each body literal (in the rewritten order): the original
+    /// predicate and adornment if it is an adorned IDB literal.
+    pub body_adornments: Vec<Option<(Symbol, Adornment)>>,
+    /// Bound argument terms of the head (the magic predicate's arguments).
+    pub bound_head_args: Vec<Term>,
+}
+
+/// An adorned program: the reachable adorned rules plus the adorned query.
+#[derive(Clone, Debug)]
+pub struct AdornedProgram {
+    /// All reachable adorned rules.
+    pub rules: Vec<AdornedRule>,
+    /// The adorned query predicate name.
+    pub query_pred: Symbol,
+    /// The query's binding pattern.
+    pub query_adornment: Adornment,
+    /// Original predicate of the query.
+    pub original_query_pred: Symbol,
+}
+
+/// Errors from adornment.
+#[derive(Clone, Debug)]
+pub enum AdornError {
+    /// A rule has no executable sip for a required binding pattern.
+    NoSip {
+        /// The rule, rendered.
+        rule: String,
+        /// The binding pattern that could not be propagated.
+        adornment: String,
+    },
+    /// The query predicate has no rules and is not an EDB predicate the
+    /// caller can scan directly.
+    NotIdb(String),
+}
+
+impl fmt::Display for AdornError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdornError::NoSip { rule, adornment } => {
+                write!(f, "no executable sip for rule {rule} with adornment {adornment}")
+            }
+            AdornError::NotIdb(p) => write!(f, "query predicate {p} is not defined by rules"),
+        }
+    }
+}
+
+impl std::error::Error for AdornError {}
+
+/// Compute the adornment of the query atom: argument positions whose terms
+/// are ground are bound. Grouped positions are never bound (§6).
+pub fn query_adornment(query: &Atom) -> Adornment {
+    Adornment(
+        query
+            .args
+            .iter()
+            // Bound = ground *and* denoting an element of U: a term like
+            // `scons(1, 2)` is syntactically ground but evaluates outside U
+            // (§2.2 restriction 1); treating it as free keeps the seed's
+            // arity honest and the term is post-filtered against answers
+            // (matching nothing, as it should).
+            .map(|t| t.is_ground() && t.to_value().is_some())
+            .collect(),
+    )
+}
+
+/// Produce the adorned program reachable from `query` (e.g. the paper's
+/// rules 1–5 become the `a^bf`/`sg^bf`/`young^bf` set).
+pub fn adorn_program(program: &Program, query: &Atom) -> Result<AdornedProgram, AdornError> {
+    let idb = program.idb_predicates();
+    if !idb.contains_key(&query.pred) {
+        return Err(AdornError::NotIdb(query.pred.to_string()));
+    }
+    let q_adorn = query_adornment(query);
+
+    let mut done: FastSet<(Symbol, Adornment)> = FastSet::default();
+    let mut queue: VecDeque<(Symbol, Adornment)> = VecDeque::new();
+    let mut rules = Vec::new();
+    queue.push_back((query.pred, q_adorn.clone()));
+    done.insert((query.pred, q_adorn.clone()));
+
+    while let Some((pred, adornment)) = queue.pop_front() {
+        for rule in program.rules_for(pred) {
+            // §6: grouped head arguments are never bound.
+            let bound_args: Vec<bool> = adornment
+                .0
+                .iter()
+                .zip(&rule.head.args)
+                .map(|(&b, t)| b && !t.has_group())
+                .collect();
+            let Some(sip) = default_sip(rule, &bound_args) else {
+                return Err(AdornError::NoSip {
+                    rule: rule.to_string(),
+                    adornment: adornment.suffix(),
+                });
+            };
+            let adorned = adorn_rule(rule, &bound_args, &adornment, &sip, &idb);
+            // Enqueue newly-discovered adorned predicates.
+            for entry in adorned.body_adornments.iter().flatten() {
+                if done.insert(entry.clone()) {
+                    queue.push_back(entry.clone());
+                }
+            }
+            rules.push(adorned);
+        }
+    }
+
+    Ok(AdornedProgram {
+        rules,
+        query_pred: adorned_name(query.pred, &q_adorn),
+        query_adornment: q_adorn,
+        original_query_pred: query.pred,
+    })
+}
+
+fn adorn_rule(
+    rule: &Rule,
+    bound_args: &[bool],
+    head_adornment: &Adornment,
+    sip: &Sip,
+    idb: &FastMap<Symbol, usize>,
+) -> AdornedRule {
+    let mut body = Vec::with_capacity(rule.body.len());
+    let mut body_adornments = Vec::with_capacity(rule.body.len());
+    for (k, &li) in sip.order.iter().enumerate() {
+        let lit = &rule.body[li];
+        let is_builtin = Builtin::resolve(lit.atom.pred, lit.atom.arity()).is_some();
+        if !is_builtin && idb.contains_key(&lit.atom.pred) {
+            let bound = &sip.bound_before[k];
+            let adornment = Adornment(
+                lit.atom
+                    .args
+                    .iter()
+                    .map(|t| t.is_bound_under(&|v| bound.contains(&v)))
+                    .collect(),
+            );
+            let renamed = Atom::new(adorned_name(lit.atom.pred, &adornment), lit.atom.args.clone());
+            body.push(Literal {
+                positive: lit.positive,
+                atom: renamed,
+            });
+            body_adornments.push(Some((lit.atom.pred, adornment)));
+        } else {
+            body.push(lit.clone());
+            body_adornments.push(None);
+        }
+    }
+    let bound_head_args: Vec<Term> = rule
+        .head
+        .args
+        .iter()
+        .zip(bound_args)
+        .filter(|(_, &b)| b)
+        .map(|(t, _)| t.clone())
+        .collect();
+    let head = Atom::new(
+        adorned_name(rule.head.pred, head_adornment),
+        rule.head.args.clone(),
+    );
+    AdornedRule {
+        rule: Rule::new(head, body),
+        head_pred: rule.head.pred,
+        head_adornment: head_adornment.clone(),
+        body_adornments,
+        bound_head_args,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_parser::{parse_atom, parse_program};
+
+    fn young_program() -> Program {
+        parse_program(
+            "a(X, Y) <- p(X, Y).\n\
+             a(X, Y) <- a(X, Z), a(Z, Y).\n\
+             sg(X, Y) <- siblings(X, Y).\n\
+             sg(X, Y) <- p(Z1, X), sg(Z1, Z2), p(Z2, Y).\n\
+             young(X, <Y>) <- ~a(X, _), sg(X, Y).",
+        )
+        .unwrap()
+    }
+
+    /// The paper's running example: the adorned set uses a^bf, sg^bf,
+    /// young^bf throughout (its rules 1–5 with the bf superscripts).
+    #[test]
+    fn young_adornment_matches_paper() {
+        let p = young_program();
+        let ap = adorn_program(&p, &parse_atom("young(john, S)").unwrap()).unwrap();
+        assert_eq!(ap.query_pred.as_str(), "young'bf");
+        // Every adorned body literal is ^bf.
+        let mut seen = FastSet::default();
+        for r in &ap.rules {
+            seen.insert(r.rule.head.pred);
+            for ad in r.body_adornments.iter().flatten() {
+                assert_eq!(ad.1.suffix(), "bf", "in {}", r.rule);
+            }
+        }
+        assert!(seen.contains(&Symbol::intern("a'bf")));
+        assert!(seen.contains(&Symbol::intern("sg'bf")));
+        assert!(seen.contains(&Symbol::intern("young'bf")));
+        // 5 original rules, each adorned exactly once.
+        assert_eq!(ap.rules.len(), 5);
+    }
+
+    #[test]
+    fn free_query_gives_all_free_adornments() {
+        let p = parse_program(
+            "anc(X, Y) <- par(X, Y).\n\
+             anc(X, Y) <- par(X, Z), anc(Z, Y).",
+        )
+        .unwrap();
+        let ap = adorn_program(&p, &parse_atom("anc(X, Y)").unwrap()).unwrap();
+        assert_eq!(ap.query_pred.as_str(), "anc'ff");
+        // The recursive literal stays ff or becomes bf depending on the sip;
+        // with nothing bound the scan order binds X, Z first via par.
+        assert!(ap.rules.len() >= 2);
+    }
+
+    #[test]
+    fn bound_first_arg_propagates() {
+        let p = parse_program(
+            "anc(X, Y) <- par(X, Y).\n\
+             anc(X, Y) <- par(X, Z), anc(Z, Y).",
+        )
+        .unwrap();
+        let ap = adorn_program(&p, &parse_atom("anc(a, Y)").unwrap()).unwrap();
+        assert_eq!(ap.query_pred.as_str(), "anc'bf");
+        // Recursive call anc(Z, Y) with Z bound by par(X, Z): adorned bf.
+        let rec = ap
+            .rules
+            .iter()
+            .find(|r| r.rule.body.len() == 2)
+            .expect("recursive rule");
+        let adorned: Vec<_> = rec.body_adornments.iter().flatten().collect();
+        assert_eq!(adorned.len(), 1);
+        assert_eq!(adorned[0].1.suffix(), "bf");
+    }
+
+    #[test]
+    fn non_idb_query_rejected() {
+        let p = parse_program("anc(X, Y) <- par(X, Y).").unwrap();
+        assert!(matches!(
+            adorn_program(&p, &parse_atom("par(a, Y)").unwrap()),
+            Err(AdornError::NotIdb(_))
+        ));
+    }
+
+    #[test]
+    fn grouped_query_position_is_free() {
+        let p = young_program();
+        // Even a ground second argument must not bind the grouped position.
+        let ap = adorn_program(&p, &parse_atom("young(john, {a})").unwrap()).unwrap();
+        assert_eq!(ap.query_adornment.suffix(), "bb");
+        // ... the query adornment records it, but the head-side binding is
+        // dropped for the grouped arg: the young rule's magic args are [X].
+        let young_rule = ap
+            .rules
+            .iter()
+            .find(|r| r.head_pred == Symbol::intern("young"))
+            .unwrap();
+        assert_eq!(young_rule.bound_head_args.len(), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Sideways information passing strategies (§6).
+//!
+//! A sip for a rule (given a set of bound head arguments) is, for our
+//! purposes, a total order on the body literals together with, per literal,
+//! the set of variables bound when it is reached. The paper's graph
+//! formulation (conditions 1–3) admits many sips; we construct the greedy
+//! one the join planner would execute, which satisfies the paper's
+//! conditions by construction:
+//!
+//! * arc labels only use variables from bound head arguments or earlier
+//!   *positive* literals (negated literals supply no bindings);
+//! * a variable occurring in the head **only inside `<X>`** is never
+//!   treated as bound — §6: restricting the body to the values inside a
+//!   bound grouped argument would be unsound, because the grouped set is
+//!   defined as *all* values satisfying the body.
+
+use ldl_ast::program::Builtin;
+use ldl_ast::rule::Rule;
+use ldl_ast::term::{Term, Var};
+use ldl_value::fxhash::FastSet;
+
+/// The sip-induced execution order for one rule.
+#[derive(Clone, Debug)]
+pub struct Sip {
+    /// Body literal indices in sip order.
+    pub order: Vec<usize>,
+    /// For each entry of `order`: the variables bound *before* that literal
+    /// executes.
+    pub bound_before: Vec<FastSet<Var>>,
+}
+
+/// Variables of the head that receive bindings from the given bound
+/// argument positions — grouped arguments never contribute.
+pub fn head_bound_vars(rule: &Rule, bound_args: &[bool]) -> FastSet<Var> {
+    let mut out = FastSet::default();
+    for (i, t) in rule.head.args.iter().enumerate() {
+        if !bound_args.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        if t.has_group() {
+            continue; // §6: bound grouped arguments pass nothing
+        }
+        let mut vs = Vec::new();
+        t.vars(&mut vs);
+        out.extend(vs);
+    }
+    out
+}
+
+/// Is every variable of `t` in `bound` (and `t` free of `_` and `<…>`)?
+fn term_bound(t: &Term, bound: &FastSet<Var>) -> bool {
+    let mut vs = Vec::new();
+    t.vars(&mut vs);
+    if t.has_group() {
+        return false;
+    }
+    fn has_anon(t: &Term) -> bool {
+        match t {
+            Term::Anon => true,
+            Term::Var(_) | Term::Const(_) => false,
+            Term::Compound(_, args) | Term::SetEnum(args) => args.iter().any(has_anon),
+            Term::Scons(h, s) => has_anon(h) || has_anon(s),
+            Term::Group(g) => has_anon(g),
+            Term::Arith(_, l, r) => has_anon(l) || has_anon(r),
+        }
+    }
+    !has_anon(t) && vs.iter().all(|v| bound.contains(v))
+}
+
+/// Build the default sip for `rule` with the given bound head argument
+/// positions. Returns `None` when no executable order exists (the same
+/// condition the planner reports as unschedulable).
+pub fn default_sip(rule: &Rule, bound_args: &[bool]) -> Option<Sip> {
+    let mut bound = head_bound_vars(rule, bound_args);
+    let mut remaining: Vec<usize> = (0..rule.body.len()).collect();
+    let mut order = Vec::new();
+    let mut bound_before = Vec::new();
+
+    while !remaining.is_empty() {
+        let mut best: Option<(usize, i32)> = None;
+        for (ri, &li) in remaining.iter().enumerate() {
+            let lit = &rule.body[li];
+            let builtin = Builtin::resolve(lit.atom.pred, lit.atom.arity());
+            let all_bound = lit.vars().iter().all(|v| bound.contains(v));
+            let score = match builtin {
+                Some(bi) => {
+                    if all_bound {
+                        Some(100)
+                    } else if lit.positive
+                        && ldl_eval::builtins::can_schedule(bi, &lit.atom.args, &|t| {
+                            term_bound(t, &bound)
+                        })
+                    {
+                        Some(50)
+                    } else {
+                        None
+                    }
+                }
+                None if lit.positive => {
+                    let bound_cnt = lit
+                        .atom
+                        .args
+                        .iter()
+                        .filter(|t| term_bound(t, &bound))
+                        .count() as i32;
+                    Some(10 + bound_cnt)
+                }
+                None => all_bound.then_some(90),
+            };
+            if let Some(s) = score {
+                if best.is_none_or(|(_, bs)| s > bs) {
+                    best = Some((ri, s));
+                }
+            }
+        }
+        let (ri, _) = best?;
+        let li = remaining.remove(ri);
+        order.push(li);
+        bound_before.push(bound.clone());
+        let lit = &rule.body[li];
+        if lit.positive {
+            bound.extend(lit.vars());
+        }
+    }
+    Some(Sip {
+        order,
+        bound_before,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_parser::parse_rule;
+
+    #[test]
+    fn sip_orders_negation_after_bindings() {
+        // §6 rule 5: young(X, <Y>) <- ~a(X, Z), sg(X, Y), with head X bound:
+        // the paper's sip runs ¬a first (X bound suffices? a needs all vars
+        // bound for negation — Z is free, so sg or nothing binds Z).
+        // Written safely with `_`, ¬a(X, _) runs as soon as X is bound.
+        let r = parse_rule("young(X, <Y>) <- ~a(X, _), sg(X, Y).").unwrap();
+        let sip = default_sip(&r, &[true, false]).unwrap();
+        // X bound from head ⇒ ¬a first (score 90 vs scan 11), then sg.
+        assert_eq!(sip.order, vec![0, 1]);
+        assert!(sip.bound_before[0].contains(&Var::new("X")));
+    }
+
+    #[test]
+    fn grouped_head_arg_passes_nothing() {
+        let r = parse_rule("p(X, <Y>) <- e(X, Y).").unwrap();
+        // Even if the caller claims the second argument bound, Y gets no
+        // binding.
+        let vars = head_bound_vars(&r, &[true, true]);
+        assert!(vars.contains(&Var::new("X")));
+        assert!(!vars.contains(&Var::new("Y")));
+    }
+
+    #[test]
+    fn unexecutable_sip_is_none() {
+        let r = parse_rule("q(X) <- member(X, S).").unwrap();
+        assert!(default_sip(&r, &[false]).is_none());
+        assert!(default_sip(&r, &[true]).is_none()); // S still unbound
+    }
+
+    #[test]
+    fn bound_head_arg_drives_order() {
+        let r = parse_rule("sg(X, Y) <- p(Z1, X), sg(Z1, Z2), p(Z2, Y).").unwrap();
+        let sip = default_sip(&r, &[true, false]).unwrap();
+        // p(Z1, X) has a bound arg; it goes first, as in the paper's sip
+        // for rule 4: {sg_h, p} → Z1 sg.
+        assert_eq!(sip.order[0], 0);
+    }
+}

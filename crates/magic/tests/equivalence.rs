@@ -1,0 +1,239 @@
+//! Theorems 3 and 4 of §6, empirically: for every database and every
+//! binding of the query's bound arguments, `(P, q^a)`, `(P^ad, q^a)` and
+//! `(P^mg ∪ {seed}, q^a)` produce the same answers.
+
+use ldl_eval::{Evaluator, QueryAnswer};
+use ldl_magic::MagicEvaluator;
+use ldl_parser::{parse_atom, parse_program};
+use ldl_storage::Database;
+use ldl_value::Value;
+
+fn plain_answers(src: &str, edb: &Database, query: &str) -> Vec<QueryAnswer> {
+    let p = parse_program(src).unwrap();
+    let ev = Evaluator::new();
+    let m = ev.evaluate(&p, edb).unwrap();
+    ev.query(&m, &parse_atom(query).unwrap())
+}
+
+fn magic_answers(src: &str, edb: &Database, query: &str) -> Vec<QueryAnswer> {
+    let p = parse_program(src).unwrap();
+    MagicEvaluator::new()
+        .query(&p, edb, &parse_atom(query).unwrap())
+        .unwrap()
+}
+
+fn assert_equiv(src: &str, edb: &Database, query: &str) {
+    let plain = plain_answers(src, edb, query);
+    let magic = magic_answers(src, edb, query);
+    assert_eq!(plain, magic, "answers differ for query {query}");
+}
+
+fn atom(s: &str) -> Value {
+    Value::atom(s)
+}
+
+const ANCESTOR: &str = "anc(X, Y) <- par(X, Y).\n\
+                        anc(X, Y) <- par(X, Z), anc(Z, Y).";
+
+fn chain_edb(n: i64) -> Database {
+    let mut edb = Database::new();
+    for i in 0..n {
+        edb.insert_tuple("par", vec![Value::int(i), Value::int(i + 1)]);
+    }
+    edb
+}
+
+#[test]
+fn ancestor_bound_query() {
+    let edb = chain_edb(50);
+    assert_equiv(ANCESTOR, &edb, "anc(0, Y)");
+    assert_equiv(ANCESTOR, &edb, "anc(25, Y)");
+    assert_equiv(ANCESTOR, &edb, "anc(49, Y)");
+    assert_equiv(ANCESTOR, &edb, "anc(99, Y)"); // no such node
+}
+
+#[test]
+fn ancestor_free_and_fully_bound() {
+    let edb = chain_edb(12);
+    assert_equiv(ANCESTOR, &edb, "anc(X, Y)");
+    assert_equiv(ANCESTOR, &edb, "anc(3, 7)");
+    assert_equiv(ANCESTOR, &edb, "anc(7, 3)");
+}
+
+#[test]
+fn ancestor_magic_restricts_computation() {
+    // The point of magic sets: a bound query on a forest only explores the
+    // queried tree. We verify the rewritten evaluation derives fewer anc
+    // facts than the full model.
+    let mut edb = Database::new();
+    // Two disjoint chains.
+    for i in 0..40 {
+        edb.insert_tuple("par", vec![Value::int(i), Value::int(i + 1)]);
+        edb.insert_tuple(
+            "par",
+            vec![Value::int(1000 + i), Value::int(1001 + i)],
+        );
+    }
+    let p = parse_program(ANCESTOR).unwrap();
+    let q = parse_atom("anc(1020, Y)").unwrap();
+    let mp = MagicEvaluator::compile(&p, &q).unwrap();
+    let ev = MagicEvaluator::new();
+    let db = ev.evaluate(&mp, &p, &edb).unwrap();
+    let derived = db
+        .relation(ldl_value::Symbol::intern("anc'bf"))
+        .map_or(0, |r| r.len());
+    // Only the 1020.. suffix of the second chain is explored: 20 descendants
+    // of 1020, plus the recursive calls' results — far fewer than the full
+    // 2 × (40·41/2) = 1640 anc facts.
+    assert!(derived <= 20 * 21 / 2, "derived {derived} anc'bf facts");
+    // And the answers are right.
+    assert_equiv(ANCESTOR, &edb, "anc(1020, Y)");
+}
+
+/// The §6 running example, end to end.
+#[test]
+fn young_query_equivalence() {
+    let src = "a(X, Y) <- p(X, Y).\n\
+               a(X, Y) <- a(X, Z), a(Z, Y).\n\
+               sg(X, Y) <- siblings(X, Y).\n\
+               sg(X, Y) <- p(Z1, X), sg(Z1, Z2), p(Z2, Y).\n\
+               young(X, <Y>) <- ~a(X, _), sg(X, Y).";
+    // Build a three-generation family with two branches.
+    let mut edb = Database::new();
+    let pairs = [
+        ("gp", "f"),
+        ("gp", "u"),
+        ("f", "john"),
+        ("f", "mary"),
+        ("u", "cousin1"),
+        ("u", "cousin2"),
+    ];
+    for (x, y) in pairs {
+        edb.insert_tuple("p", vec![atom(x), atom(y)]);
+    }
+    edb.insert_tuple("siblings", vec![atom("f"), atom("u")]);
+    edb.insert_tuple("siblings", vec![atom("u"), atom("f")]);
+
+    assert_equiv(src, &edb, "young(john, S)");
+    // john's same-generation set: mary (shared parent chain via sg
+    // recursion? sg needs siblings at the top; john & mary share parent f
+    // but sg(f,f) is not derived... john's sg partners come via
+    // p(f, john), sg(f, u), p(u, cousin): cousins).
+    let ans = magic_answers(src, &edb, "young(john, S)");
+    assert_eq!(ans.len(), 1);
+    let set = ans[0].bindings[0].1.as_set().unwrap();
+    assert!(set.contains(&atom("cousin1")));
+    assert!(set.contains(&atom("cousin2")));
+    // f has descendants: query fails both ways.
+    assert_equiv(src, &edb, "young(f, S)");
+    assert!(magic_answers(src, &edb, "young(f, S)").is_empty());
+    // young of someone with no sg partners: fails (empty group).
+    assert_equiv(src, &edb, "young(gp, S)");
+}
+
+/// Negation guarded by magic: the negated relation is only computed for the
+/// bindings the query reaches, yet the answers match plain evaluation.
+#[test]
+fn negation_under_magic() {
+    let src = "r(X, Y) <- e(X, Y).\n\
+               r(X, Y) <- e(X, Z), r(Z, Y).\n\
+               unreach(X, Y) <- node(X), node(Y), ~r(X, Y).";
+    let mut edb = Database::new();
+    for i in 0..6 {
+        edb.insert_tuple("node", vec![Value::int(i)]);
+    }
+    for (a, b) in [(0, 1), (1, 2), (3, 4)] {
+        edb.insert_tuple("e", vec![Value::int(a), Value::int(b)]);
+    }
+    assert_equiv(src, &edb, "unreach(0, Y)");
+    assert_equiv(src, &edb, "unreach(3, Y)");
+    assert_equiv(src, &edb, "unreach(X, Y)");
+}
+
+/// Grouping below another grouping (two strata of guarded rules).
+#[test]
+fn stacked_grouping_under_magic() {
+    let src = "kids(P, <K>) <- par(P, K).\n\
+               clans(G, <S>) <- clan(G, P), kids(P, S).\n\
+               clan_of(G, N) <- clans(G, S), card(S, N).";
+    let mut edb = Database::new();
+    for (p, k) in [("a", 1), ("a", 2), ("b", 3), ("c", 4), ("c", 5)] {
+        edb.insert_tuple("par", vec![atom(p), Value::int(k)]);
+    }
+    for (g, p) in [("g1", "a"), ("g1", "b"), ("g2", "c")] {
+        edb.insert_tuple("clan", vec![atom(g), atom(p)]);
+    }
+    assert_equiv(src, &edb, "clan_of(g1, N)");
+    assert_equiv(src, &edb, "clan_of(g2, N)");
+    assert_equiv(src, &edb, "clan_of(G, N)");
+}
+
+/// Sets flowing through magic: bound set-valued argument.
+#[test]
+fn set_valued_bound_argument() {
+    let src = "tc({X}, C) <- q(X, C).\n\
+               tc(S, C) <- partition(S, S1, S2), S1 /= {}, S2 /= {}, \
+                           tc(S1, C1), tc(S2, C2), +(C1, C2, C).";
+    let mut edb = Database::new();
+    for (x, c) in [(1, 10), (2, 20), (3, 30)] {
+        edb.insert_tuple("q", vec![Value::int(x), Value::int(c)]);
+    }
+    assert_equiv(src, &edb, "tc({1, 2}, C)");
+    assert_equiv(src, &edb, "tc({1, 2, 3}, C)");
+    let ans = magic_answers(src, &edb, "tc({1, 2, 3}, C)");
+    assert_eq!(ans.len(), 1);
+    assert_eq!(ans[0].bindings[0].1, Value::int(60));
+}
+
+/// Same-generation with a bound query — the classic magic benchmark shape.
+#[test]
+fn same_generation_equivalence() {
+    let src = "sg(X, Y) <- flat(X, Y).\n\
+               sg(X, Y) <- up(X, Z1), sg(Z1, Z2), down(Z2, Y).";
+    let mut edb = Database::new();
+    for i in 0..10 {
+        edb.insert_tuple("up", vec![Value::int(i), Value::int(i + 100)]);
+        edb.insert_tuple("down", vec![Value::int(i + 100), Value::int(i)]);
+        edb.insert_tuple("flat", vec![Value::int(i + 100), Value::int(((i + 1) % 10) + 100)]);
+    }
+    assert_equiv(src, &edb, "sg(3, Y)");
+    assert_equiv(src, &edb, "sg(X, Y)");
+}
+
+/// Multiple rules per predicate and EDB-only queries through an IDB alias.
+#[test]
+fn union_rules_equivalence() {
+    let src = "reach(X) <- start(X).\n\
+               reach(Y) <- reach(X), e(X, Y).\n\
+               far(Y) <- reach(Y), ~start(Y).";
+    let mut edb = Database::new();
+    edb.insert_tuple("start", vec![Value::int(0)]);
+    for (a, b) in [(0, 1), (1, 2), (2, 0), (5, 6)] {
+        edb.insert_tuple("e", vec![Value::int(a), Value::int(b)]);
+    }
+    assert_equiv(src, &edb, "far(Y)");
+    assert_equiv(src, &edb, "far(2)");
+    assert_equiv(src, &edb, "reach(X)");
+}
+
+/// Regression: a negation at stratum 2 must not run before a stratum-1
+/// *grouping* has been evaluated for magic tuples minted in the same pass.
+/// Found by the stratified-program fuzzer: with p1 defined through a group-
+/// and-flatten pair, the magic pipeline derived p2(2, 4) even though
+/// p1(4, 2) holds (the ~p1(Y, X) test saw an incomplete p1).
+#[test]
+fn negation_waits_for_lower_grouping() {
+    let src = "p0(X, Y) <- e0(X, Y).\n\
+               p0(X, Y) <- e0(X, Z), p0(Z, Y).\n\
+               g1(X, <Y>) <- p0(X, Y).\n\
+               p1(X, Y) <- g1(X, S), member(Y, S).\n\
+               p2(X, Y) <- p1(X, Y), ~p1(Y, X).";
+    let mut edb = Database::new();
+    for (a, b) in [(4, 2), (2, 4), (0, 0)] {
+        edb.insert_tuple("e0", vec![Value::int(a), Value::int(b)]);
+    }
+    // p1 = TC of e0 (symmetric on {2,4}), so ~p1(Y,X) blocks everything.
+    assert_equiv(src, &edb, "p2(2, Y)");
+    assert!(magic_answers(src, &edb, "p2(2, Y)").is_empty());
+    assert_equiv(src, &edb, "p2(X, Y)");
+}

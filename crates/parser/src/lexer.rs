@@ -1,0 +1,429 @@
+//! Tokenizer for the LDL1 concrete syntax.
+
+use crate::error::{ParseError, Pos};
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Lower-case-initial identifier: atom / functor / predicate name.
+    Ident(String),
+    /// Upper-case- or `_`-initial identifier: variable name.
+    Var(String),
+    /// The bare anonymous variable `_`.
+    Anon,
+    /// Integer literal (optionally negative).
+    Int(i64),
+    /// Double-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `|` (list tail separator)
+    Pipe,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `/=` or `!=`
+    Ne,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `<-` or `:-`
+    Arrow,
+    /// `~`
+    Tilde,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `mod` (keyword)
+    Mod,
+    /// `?-` query prefix.
+    Query,
+}
+
+/// A token together with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Its source position.
+    pub pos: Pos,
+}
+
+/// Tokenize `src` completely.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    loop {
+        // Skip whitespace and comments.
+        loop {
+            match chars.peek() {
+                Some(c) if c.is_whitespace() => {
+                    bump!();
+                }
+                Some('%') => {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        bump!();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let pos = Pos { line, col };
+        let Some(&c) = chars.peek() else { break };
+
+        let tok = match c {
+            '(' => {
+                bump!();
+                Tok::LParen
+            }
+            ')' => {
+                bump!();
+                Tok::RParen
+            }
+            '{' => {
+                bump!();
+                Tok::LBrace
+            }
+            '}' => {
+                bump!();
+                Tok::RBrace
+            }
+            '[' => {
+                bump!();
+                Tok::LBracket
+            }
+            ']' => {
+                bump!();
+                Tok::RBracket
+            }
+            '|' => {
+                bump!();
+                Tok::Pipe
+            }
+            ',' => {
+                bump!();
+                Tok::Comma
+            }
+            '.' => {
+                bump!();
+                Tok::Dot
+            }
+            '~' => {
+                bump!();
+                Tok::Tilde
+            }
+            '+' => {
+                bump!();
+                Tok::Plus
+            }
+            '*' => {
+                bump!();
+                Tok::Star
+            }
+            '=' => {
+                bump!();
+                Tok::Eq
+            }
+            '!' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    Tok::Ne
+                } else {
+                    return Err(ParseError::new(pos, "expected '=' after '!'"));
+                }
+            }
+            '-' => {
+                bump!();
+                // `-` followed by a digit is a negative integer literal only
+                // when it cannot be infix minus; we lex it as Minus and let
+                // the parser build negative constants, except for the common
+                // `-3` directly after punctuation — simpler: always Minus.
+                Tok::Minus
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    Tok::Ne
+                } else {
+                    Tok::Slash
+                }
+            }
+            ':' => {
+                bump!();
+                if chars.peek() == Some(&'-') {
+                    bump!();
+                    Tok::Arrow
+                } else {
+                    return Err(ParseError::new(pos, "expected '-' after ':'"));
+                }
+            }
+            '?' => {
+                bump!();
+                if chars.peek() == Some(&'-') {
+                    bump!();
+                    Tok::Query
+                } else {
+                    return Err(ParseError::new(pos, "expected '-' after '?'"));
+                }
+            }
+            '<' => {
+                bump!();
+                match chars.peek() {
+                    Some('-') => {
+                        bump!();
+                        Tok::Arrow
+                    }
+                    Some('=') => {
+                        bump!();
+                        Tok::Le
+                    }
+                    _ => Tok::Lt,
+                }
+            }
+            '>' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        Some('"') => break,
+                        Some('\\') => match bump!() {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('\\') => s.push('\\'),
+                            Some('"') => s.push('"'),
+                            other => {
+                                return Err(ParseError::new(
+                                    pos,
+                                    format!("bad string escape {other:?}"),
+                                ))
+                            }
+                        },
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(ParseError::new(pos, "unterminated string literal"))
+                        }
+                    }
+                }
+                Tok::Str(s)
+            }
+            c if c.is_ascii_digit() => {
+                let mut n = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        n.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let v: i64 = n
+                    .parse()
+                    .map_err(|_| ParseError::new(pos, format!("integer out of range: {n}")))?;
+                Tok::Int(v)
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut id = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        id.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                if id == "_" {
+                    Tok::Anon
+                } else if id == "mod" {
+                    Tok::Mod
+                } else if id.starts_with(|c: char| c.is_uppercase() || c == '_') {
+                    Tok::Var(id)
+                } else {
+                    Tok::Ident(id)
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    pos,
+                    format!("unexpected character {other:?}"),
+                ))
+            }
+        };
+        out.push(Spanned { tok, pos });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lex_rule() {
+        assert_eq!(
+            toks("a(X) <- p(X)."),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::LParen,
+                Tok::Var("X".into()),
+                Tok::RParen,
+                Tok::Arrow,
+                Tok::Ident("p".into()),
+                Tok::LParen,
+                Tok::Var("X".into()),
+                Tok::RParen,
+                Tok::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        assert_eq!(
+            toks("< <= > >= = /= != <- :- ?- ~ + - * / mod"),
+            vec![
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Arrow,
+                Tok::Arrow,
+                Tok::Query,
+                Tok::Tilde,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::Mod,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_sets_groups_vars() {
+        assert_eq!(
+            toks("part(P, <Sub>) <- p(P, {1, 2})."),
+            vec![
+                Tok::Ident("part".into()),
+                Tok::LParen,
+                Tok::Var("P".into()),
+                Tok::Comma,
+                Tok::Lt,
+                Tok::Var("Sub".into()),
+                Tok::Gt,
+                Tok::RParen,
+                Tok::Arrow,
+                Tok::Ident("p".into()),
+                Tok::LParen,
+                Tok::Var("P".into()),
+                Tok::Comma,
+                Tok::LBrace,
+                Tok::Int(1),
+                Tok::Comma,
+                Tok::Int(2),
+                Tok::RBrace,
+                Tok::RParen,
+                Tok::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace_skipped() {
+        assert_eq!(
+            toks("% header\n  p(1). % trailing\n"),
+            vec![
+                Tok::Ident("p".into()),
+                Tok::LParen,
+                Tok::Int(1),
+                Tok::RParen,
+                Tok::Dot
+            ]
+        );
+    }
+
+    #[test]
+    fn anon_and_underscore_vars() {
+        assert_eq!(
+            toks("_ _X Abc"),
+            vec![Tok::Anon, Tok::Var("_X".into()), Tok::Var("Abc".into())]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks(r#""a\nb""#), vec![Tok::Str("a\nb".into())]);
+    }
+
+    #[test]
+    fn positions_reported() {
+        let ts = lex("p(\n  X)").unwrap();
+        assert_eq!(ts[2].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("p :: q").is_err());
+        assert!(lex("p # q").is_err());
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Concrete syntax for LDL1 / LDL1.5.
+//!
+//! The paper writes rules as `head <-- body` with `¬` for negation and angle
+//! brackets for grouping. Our ASCII concrete syntax:
+//!
+//! ```text
+//! % the ancestor program (§1)
+//! ancestor(X, Y) <- parent(X, Y).
+//! ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y).
+//! excl_ancestor(X, Y, Z) <- ancestor(X, Y), ~ancestor(X, Z).
+//!
+//! % grouping and sets
+//! part(P, <Sub>) <- p(P, Sub).
+//! book_deal({X, Y, Z}) <- book(X, Px), book(Y, Py), book(Z, Pz),
+//!                         Px + Py + Pz < 100.
+//! ```
+//!
+//! * Variables start with an upper-case letter or `_`; `_` alone is the
+//!   anonymous variable.
+//! * Atoms/functors/predicates start with a lower-case letter; `scons` is
+//!   recognized as the built-in set constructor.
+//! * `{t₁, …, tₙ}` is an enumerated set, `{}` the empty set.
+//! * `<t>` in term position is a grouping term; `t₁ < t₂` at literal level is
+//!   a comparison (the position disambiguates, as in the paper).
+//! * `~p(…)` is a negative literal. `<-` and `:-` both introduce bodies.
+//! * Infix arithmetic (`+ - * / mod`) is sugar for evaluable terms; the
+//!   functional forms `+(X, Y, Z)` etc. are also accepted as built-in
+//!   predicates.
+//! * `%` starts a line comment.
+
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use error::ParseError;
+pub use parser::{parse_atom, parse_program, parse_rule, parse_term};

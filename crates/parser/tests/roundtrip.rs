@@ -1,0 +1,88 @@
+//! Property: pretty-printing any rule and reparsing it yields the same AST.
+//!
+//! The generator avoids the one deliberate print/parse asymmetry: a ground
+//! `Term::Const(Value::Set(..))` prints as `{…}`, which reparses as the
+//! equivalent `Term::SetEnum` — so sets are generated as `SetEnum` here
+//! (semantically identical, structurally distinct).
+
+use ldl_ast::literal::{Atom, Literal};
+use ldl_ast::rule::Rule;
+use ldl_ast::term::Term;
+use ldl_parser::parse_rule;
+use ldl_value::arith::ArithOp;
+use proptest::prelude::*;
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        prop_oneof![Just("X"), Just("Y"), Just("Zz")].prop_map(Term::var),
+        Just(Term::Anon),
+        (-9i64..9).prop_map(Term::int),
+        prop_oneof![Just("a"), Just("bee"), Just("c1")].prop_map(Term::atom),
+        Just(Term::empty_set()),
+        Just(Term::Const(ldl_value::Value::str("s x"))),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![Just("f"), Just("g")],
+                prop::collection::vec(inner.clone(), 1..3)
+            )
+                .prop_map(|(f, args)| Term::compound(f, args)),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Term::SetEnum),
+            (inner.clone(), inner.clone()).prop_map(|(h, t)| {
+                Term::Scons(Box::new(h), Box::new(t))
+            }),
+            (inner.clone(), inner).prop_map(|(l, r)| {
+                Term::Arith(ArithOp::Add, Box::new(l), Box::new(r))
+            }),
+        ]
+    })
+}
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    (
+        prop_oneof![Just("p"), Just("q"), Just("r")],
+        prop::collection::vec(term_strategy(), 0..3),
+        any::<bool>(),
+    )
+        .prop_map(|(pred, args, positive)| Literal {
+            positive,
+            atom: Atom::new(pred, args),
+        })
+}
+
+fn rule_strategy() -> impl Strategy<Value = Rule> {
+    (
+        prop::collection::vec(term_strategy(), 0..3),
+        any::<bool>(),
+        prop::collection::vec(literal_strategy(), 0..3),
+    )
+        .prop_map(|(mut head_args, group, body)| {
+            if group {
+                head_args.push(Term::group_var("G"));
+            }
+            // Facts with variables are well-formedness errors but must still
+            // round-trip syntactically.
+            Rule::new(Atom::new("h", head_args), body)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rule_display_reparses(rule in rule_strategy()) {
+        let text = rule.to_string();
+        let reparsed = parse_rule(&text)
+            .unwrap_or_else(|e| panic!("failed to reparse {text:?}: {e}"));
+        prop_assert_eq!(&reparsed, &rule, "text was {}", text);
+    }
+
+    #[test]
+    fn term_display_reparses(t in term_strategy()) {
+        let text = t.to_string();
+        let reparsed = ldl_parser::parse_term(&text)
+            .unwrap_or_else(|e| panic!("failed to reparse {text:?}: {e}"));
+        prop_assert_eq!(&reparsed, &t, "text was {}", text);
+    }
+}

@@ -1,0 +1,181 @@
+//! Databases: named relations.
+
+use std::sync::Arc;
+
+use ldl_value::fxhash::FastMap;
+use ldl_value::{Fact, FactSet, Symbol, Value};
+
+use crate::relation::{Relation, Tuple};
+
+/// A database: a collection of facts (§6: "A database D is a collection of
+/// facts"), organized as one [`Relation`] per predicate symbol.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: FastMap<Symbol, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Insert one fact; creates the relation on first use. Returns `true`
+    /// iff the fact was new.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        let rel = self
+            .relations
+            .entry(fact.pred())
+            .or_insert_with(|| Relation::new(fact.arity()));
+        rel.insert(fact.args_arc())
+    }
+
+    /// Insert a fact given as predicate + values.
+    pub fn insert_tuple(&mut self, pred: impl Into<Symbol>, args: Vec<Value>) -> bool {
+        self.insert(Fact::new(pred, args))
+    }
+
+    /// Bulk insert.
+    pub fn extend(&mut self, facts: impl IntoIterator<Item = Fact>) {
+        for f in facts {
+            self.insert(f);
+        }
+    }
+
+    /// The relation for `pred`, if any facts exist.
+    pub fn relation(&self, pred: Symbol) -> Option<&Relation> {
+        self.relations.get(&pred)
+    }
+
+    /// Mutable access, creating an empty relation of the given arity if
+    /// absent.
+    pub fn relation_mut(&mut self, pred: Symbol, arity: usize) -> &mut Relation {
+        self.relations
+            .entry(pred)
+            .or_insert_with(|| Relation::new(arity))
+    }
+
+    /// Does the database contain this fact?
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.relations
+            .get(&fact.pred())
+            .is_some_and(|r| r.contains(fact.args()))
+    }
+
+    /// All predicate symbols with at least one relation (possibly empty).
+    pub fn predicates(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.relations.keys().copied()
+    }
+
+    /// Total number of facts.
+    pub fn num_facts(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// All facts of one predicate.
+    pub fn facts_of(&self, pred: Symbol) -> Vec<Fact> {
+        self.relations
+            .get(&pred)
+            .into_iter()
+            .flat_map(|r| r.iter().map(move |t| Fact::from_arc(pred, Arc::clone(t))))
+            .collect()
+    }
+
+    /// Snapshot the whole database as a [`FactSet`] (an interpretation, for
+    /// model checking).
+    pub fn to_fact_set(&self) -> FactSet {
+        let mut out = FactSet::default();
+        for (&p, r) in &self.relations {
+            for t in r.iter() {
+                out.insert(Fact::from_arc(p, Arc::clone(t)));
+            }
+        }
+        out
+    }
+
+    /// Render every fact as LDL1 fact syntax, sorted, one per line — a text
+    /// dump that `ldl1::System::load` (or the CLI `:load`) reads back.
+    pub fn dump(&self) -> String {
+        let mut lines: Vec<String> = self
+            .to_fact_set()
+            .iter()
+            .map(|f| format!("{f}."))
+            .collect();
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Build a database from an interpretation.
+    pub fn from_fact_set(facts: &FactSet) -> Database {
+        let mut db = Database::new();
+        for f in facts {
+            db.insert(f.clone());
+        }
+        db
+    }
+}
+
+/// Convenience: make a tuple from values.
+pub fn tuple(vals: Vec<Value>) -> Tuple {
+    Arc::from(vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mut db = Database::new();
+        assert!(db.insert_tuple("parent", vec![Value::atom("a"), Value::atom("b")]));
+        assert!(!db.insert_tuple("parent", vec![Value::atom("a"), Value::atom("b")]));
+        assert!(db.contains(&Fact::new("parent", vec![Value::atom("a"), Value::atom("b")])));
+        assert!(!db.contains(&Fact::new("parent", vec![Value::atom("b"), Value::atom("a")])));
+        assert_eq!(db.num_facts(), 1);
+    }
+
+    #[test]
+    fn fact_set_round_trip() {
+        let mut db = Database::new();
+        db.insert_tuple("q", vec![Value::int(1)]);
+        db.insert_tuple("w", vec![Value::set(vec![Value::int(1)]), Value::int(7)]);
+        let fs = db.to_fact_set();
+        assert_eq!(fs.len(), 2);
+        let db2 = Database::from_fact_set(&fs);
+        assert_eq!(db2.to_fact_set(), fs);
+    }
+
+    #[test]
+    fn facts_of_lists_one_predicate() {
+        let mut db = Database::new();
+        db.insert_tuple("p", vec![Value::int(1)]);
+        db.insert_tuple("p", vec![Value::int(2)]);
+        db.insert_tuple("q", vec![Value::int(3)]);
+        let ps = db.facts_of(Symbol::intern("p"));
+        assert_eq!(ps.len(), 2);
+        assert!(ps.iter().all(|f| f.pred() == Symbol::intern("p")));
+    }
+
+    #[test]
+    fn dump_is_sorted_fact_syntax() {
+        let mut db = Database::new();
+        db.insert_tuple("q", vec![Value::int(2)]);
+        db.insert_tuple("q", vec![Value::int(1)]);
+        db.insert_tuple("w", vec![Value::set(vec![Value::int(1)])]);
+        assert_eq!(db.dump(), "q(1).\nq(2).\nw({1}).\n");
+        assert_eq!(Database::new().dump(), "");
+    }
+
+    #[test]
+    fn relation_mut_creates() {
+        let mut db = Database::new();
+        let r = db.relation_mut(Symbol::intern("fresh"), 3);
+        assert_eq!(r.arity(), 3);
+        assert!(db.relation(Symbol::intern("fresh")).is_some());
+        assert!(db.relation(Symbol::intern("missing")).is_none());
+    }
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! Relational storage substrate for bottom-up evaluation.
+//!
+//! The evaluator works on *relations* of ground tuples over the LDL1
+//! universe. This crate provides:
+//!
+//! * [`Relation`]: an append-only, duplicate-free tuple store with
+//!   incrementally-maintained hash indexes on arbitrary column subsets —
+//!   append-only storage gives semi-naive evaluation its deltas for free
+//!   (a delta is just an index range);
+//! * [`Database`]: a name → relation map holding the EDB and, during
+//!   evaluation, the growing IDB.
+
+pub mod database;
+pub mod relation;
+
+pub use database::Database;
+pub use relation::{Relation, Tuple};

@@ -1,0 +1,250 @@
+//! Append-only relations with hash indexes.
+
+use std::sync::Arc;
+
+use ldl_value::fxhash::{FastMap, FastSet};
+use ldl_value::Value;
+
+/// A ground tuple. Cheap to clone (shared allocation).
+pub type Tuple = Arc<[Value]>;
+
+/// A hash index over a subset of columns.
+///
+/// Maps the projection of a tuple onto `cols` to the positions (insertion
+/// indices) of all tuples with that projection. Maintained incrementally as
+/// tuples are inserted.
+#[derive(Clone, Debug)]
+struct Index {
+    cols: Vec<usize>,
+    map: FastMap<Box<[Value]>, Vec<u32>>,
+}
+
+impl Index {
+    fn key_of(&self, tuple: &[Value]) -> Box<[Value]> {
+        self.cols.iter().map(|&c| tuple[c].clone()).collect()
+    }
+
+    fn add(&mut self, tuple: &[Value], pos: u32) {
+        self.map.entry(self.key_of(tuple)).or_default().push(pos);
+    }
+}
+
+/// An append-only, duplicate-free relation.
+///
+/// Tuples keep their insertion order and are never removed, so a *delta*
+/// (the tuples derived since some point in time) is just the index range
+/// `[mark, len)` — exactly what semi-naive evaluation needs.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    arity: usize,
+    tuples: Vec<Tuple>,
+    seen: FastSet<Tuple>,
+    indexes: FastMap<u64, Index>,
+}
+
+impl Relation {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            arity,
+            tuples: Vec::new(),
+            seen: FastSet::default(),
+            indexes: FastMap::default(),
+        }
+    }
+
+    /// Column count.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of (distinct) tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Insert a tuple; returns `true` iff it was new. Panics on arity
+    /// mismatch (a schema violation is a caller bug, not data).
+    pub fn insert(&mut self, tuple: Tuple) -> bool {
+        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
+        if !self.seen.insert(Arc::clone(&tuple)) {
+            return false;
+        }
+        let pos = u32::try_from(self.tuples.len()).expect("relation exceeds u32 tuples");
+        for idx in self.indexes.values_mut() {
+            idx.add(&tuple, pos);
+        }
+        self.tuples.push(tuple);
+        true
+    }
+
+    /// Does the relation contain exactly this tuple?
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        // FastSet<Arc<[Value]>> can be probed with a borrowed slice because
+        // Arc<[Value]>: Borrow<[Value]>.
+        self.seen.contains(tuple)
+    }
+
+    /// The tuple at insertion position `pos`.
+    pub fn get(&self, pos: u32) -> &Tuple {
+        &self.tuples[pos as usize]
+    }
+
+    /// All tuples in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Tuples in the insertion range `[from, to)` — a delta.
+    pub fn range(&self, from: usize, to: usize) -> &[Tuple] {
+        &self.tuples[from..to]
+    }
+
+    fn mask_of(cols: &[usize]) -> u64 {
+        let mut m = 0u64;
+        for &c in cols {
+            assert!(c < 64, "index columns beyond 64 unsupported");
+            m |= 1 << c;
+        }
+        m
+    }
+
+    /// Ensure a hash index exists on `cols` (sorted, deduplicated by caller
+    /// convention — we normalize anyway). No-op if already present.
+    pub fn ensure_index(&mut self, cols: &[usize]) {
+        let mut cols: Vec<usize> = cols.to_vec();
+        cols.sort_unstable();
+        cols.dedup();
+        assert!(cols.iter().all(|&c| c < self.arity), "index column out of range");
+        let mask = Self::mask_of(&cols);
+        if self.indexes.contains_key(&mask) {
+            return;
+        }
+        let mut idx = Index {
+            cols,
+            map: FastMap::default(),
+        };
+        for (pos, t) in self.tuples.iter().enumerate() {
+            idx.add(t, pos as u32);
+        }
+        self.indexes.insert(mask, idx);
+    }
+
+    /// Probe the index on `cols` (which must exist) with `key` values in the
+    /// same (sorted) column order. Returns matching insertion positions.
+    pub fn probe(&self, cols: &[usize], key: &[Value]) -> &[u32] {
+        let mask = Self::mask_of(cols);
+        let idx = self
+            .indexes
+            .get(&mask)
+            .expect("probe of a non-existent index; call ensure_index first");
+        debug_assert_eq!(key.len(), idx.cols.len());
+        idx.map.get(key).map_or(&[], |v| &v[..])
+    }
+
+    /// Does an index exist on `cols`?
+    pub fn has_index(&self, cols: &[usize]) -> bool {
+        self.indexes.contains_key(&Self::mask_of(cols))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&v| Value::int(v)).collect()
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(t(&[1, 2])));
+        assert!(!r.insert(t(&[1, 2])));
+        assert!(r.insert(t(&[1, 3])));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[Value::int(1), Value::int(2)]));
+        assert!(!r.contains(&[Value::int(2), Value::int(1)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1]));
+    }
+
+    #[test]
+    fn index_probe() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1, 10]));
+        r.insert(t(&[1, 20]));
+        r.insert(t(&[2, 30]));
+        r.ensure_index(&[0]);
+        let hits = r.probe(&[0], &[Value::int(1)]);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(r.get(hits[0])[1], Value::int(10));
+        assert_eq!(r.get(hits[1])[1], Value::int(20));
+        assert!(r.probe(&[0], &[Value::int(9)]).is_empty());
+    }
+
+    #[test]
+    fn index_maintained_incrementally() {
+        let mut r = Relation::new(2);
+        r.ensure_index(&[1]);
+        r.insert(t(&[1, 10]));
+        r.insert(t(&[2, 10]));
+        assert_eq!(r.probe(&[1], &[Value::int(10)]).len(), 2);
+        r.insert(t(&[3, 10]));
+        assert_eq!(r.probe(&[1], &[Value::int(10)]).len(), 3);
+    }
+
+    #[test]
+    fn multi_column_index_key_order_is_sorted_cols() {
+        let mut r = Relation::new(3);
+        r.insert(t(&[1, 2, 3]));
+        r.ensure_index(&[2, 0]); // normalized to [0, 2]
+        assert!(r.has_index(&[0, 2]));
+        let hits = r.probe(&[0, 2], &[Value::int(1), Value::int(3)]);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn ranges_are_deltas() {
+        let mut r = Relation::new(1);
+        r.insert(t(&[1]));
+        let mark = r.len();
+        r.insert(t(&[2]));
+        r.insert(t(&[1])); // duplicate, not part of the delta
+        r.insert(t(&[3]));
+        let delta = r.range(mark, r.len());
+        assert_eq!(delta.len(), 2);
+        assert_eq!(delta[0][0], Value::int(2));
+        assert_eq!(delta[1][0], Value::int(3));
+    }
+
+    #[test]
+    fn zero_arity_relation_holds_one_tuple() {
+        let mut r = Relation::new(0);
+        let empty: Tuple = Arc::from(Vec::<Value>::new());
+        assert!(r.insert(Arc::clone(&empty)));
+        assert!(!r.insert(empty));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn set_valued_columns_index_correctly() {
+        let mut r = Relation::new(2);
+        let s12 = Value::set(vec![Value::int(1), Value::int(2)]);
+        let s21 = Value::set(vec![Value::int(2), Value::int(1)]);
+        r.insert(Arc::from(vec![Value::atom("a"), s12.clone()]));
+        r.ensure_index(&[1]);
+        // Canonical sets: {2,1} probes equal to {1,2}.
+        assert_eq!(r.probe(&[1], &[s21]).len(), 1);
+    }
+}

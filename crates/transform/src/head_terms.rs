@@ -1,0 +1,431 @@
+//! §4.2: complex head terms — Distribution, Grouping, Nesting.
+//!
+//! LDL1.5 head terms may mix tuples, functors, and `<…>` at any depth
+//! (§4.2.1). The rewrite rules:
+//!
+//! * **(i) Distribution** — several complex terms in one head are computed
+//!   by independent auxiliary predicates joined back on `Z` (the head
+//!   variables occurring outside every `<…>`):
+//!   `p(X, term₁, …, termₙ) <- body` becomes `pᵢ(Z, termᵢ) <- body` and
+//!   `p(X, Y₁, …, Yₙ) <- p₁(Z, Y₁), …, pₙ(Z, Yₙ), body`.
+//! * **(ii) Grouping** — `p(X, <g(Y, term₁, …, termₙ)>) <- body` becomes
+//!   `q(Y, term₁…) <- body`, `q1(Y, g(Y, Ȳ)) <- q(Y, Ȳ)`,
+//!   `p(X, <S>) <- q1(Y, S), body`.
+//! * **(iii) Nesting** — `p(X, g(Y, term₁, …, termₙ)) <- body` becomes
+//!   `q1(Z, term₁…) <- body`, `q2(Z, g(Y, Ȳ)) <- q1(Z, Ȳ)`,
+//!   `p(X, S) <- q2(Z, S), body`.
+//!
+//! Degenerate cases (a)–(d) fall out of treating `X`, `Y`, `g`, and the
+//! `termᵢ` as possibly-empty. The alternative semantics (ii)′ — where the
+//! ungrouped head variables `X` participate in the grouping — is available
+//! as [`GroupingSemantics::WithContext`].
+//!
+//! The rules are applied repeatedly until every head is plain LDL1 (at most
+//! one grouping argument, of the simple form `<X>`); each application
+//! strictly reduces nesting depth, so the process terminates (§4.1's
+//! termination argument applies unchanged).
+
+use ldl_ast::gensym::Gensym;
+use ldl_ast::literal::{Atom, Literal};
+use ldl_ast::program::Program;
+use ldl_ast::rule::Rule;
+use ldl_ast::term::{Term, Var};
+
+use crate::TransformError;
+
+/// Which grouping semantics to give rule (ii): the paper presents (ii) and
+/// notes "the syntax used here can be used with a different semantics",
+/// offering (ii)′ as the example alternative.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GroupingSemantics {
+    /// Rule (ii): group only by the `Y` variables of the grouped term.
+    PerGroup,
+    /// Rule (ii)′: the head's ungrouped variables `X` also partition the
+    /// groups.
+    WithContext,
+}
+
+/// Rewrite every rule until all heads are plain LDL1.
+pub fn eliminate_complex_heads(
+    program: &Program,
+    semantics: GroupingSemantics,
+) -> Result<Program, TransformError> {
+    let g = Gensym::new();
+    let mut out = Program::new();
+    let mut queue: Vec<Rule> = program.rules.clone();
+    while let Some(rule) = queue.pop() {
+        match rewrite_head(&rule, semantics, &g)? {
+            None => out.push(rule),
+            Some(new_rules) => queue.extend(new_rules),
+        }
+    }
+    out.rules.sort_by_key(|r| r.to_string());
+    Ok(out)
+}
+
+/// Is this head argument legal in core LDL1 (no `<…>`, or exactly `<X>`)?
+fn arg_is_core(t: &Term) -> bool {
+    !t.has_group() || t.as_simple_group().is_some()
+}
+
+/// One rewriting step on the head; `None` when the head is already core.
+fn rewrite_head(
+    rule: &Rule,
+    semantics: GroupingSemantics,
+    g: &Gensym,
+) -> Result<Option<Vec<Rule>>, TransformError> {
+    let head = &rule.head;
+    let group_args: Vec<usize> = (0..head.args.len())
+        .filter(|&i| head.args[i].has_group())
+        .collect();
+    let complex_args: Vec<usize> = group_args
+        .iter()
+        .copied()
+        .filter(|&i| !arg_is_core(&head.args[i]))
+        .collect();
+    if group_args.len() <= 1 && complex_args.is_empty() {
+        return Ok(None); // already core LDL1
+    }
+
+    // (i) Distribution: more than one argument carries grouping.
+    if group_args.len() >= 2 {
+        return distribution(rule, &group_args, g).map(Some);
+    }
+
+    // Exactly one argument carries grouping, and it is complex.
+    let pos = complex_args[0];
+    match &head.args[pos] {
+        Term::Group(inner) => match &**inner {
+            Term::Const(_) => {
+                // <c>: introduce <V> with V = c.
+                let v = g.var("V");
+                let mut new_head = head.clone();
+                new_head.args[pos] = Term::group(Term::Var(v));
+                let mut body = rule.body.clone();
+                body.push(Literal::pos(Atom::new(
+                    "=",
+                    vec![Term::Var(v), (**inner).clone()],
+                )));
+                Ok(Some(vec![Rule::new(new_head, body)]))
+            }
+            Term::Compound(..) => grouping(rule, pos, semantics, g).map(Some),
+            other => Err(TransformError::UnsupportedGroupPosition(format!(
+                "<{other}> in a rule head"
+            ))),
+        },
+        Term::Compound(..) => nesting(rule, pos, g).map(Some),
+        other => Err(TransformError::UnsupportedGroupPosition(format!(
+            "{other} in a rule head"
+        ))),
+    }
+}
+
+/// The `Z` of the rewrite rules: head variables that occur somewhere outside
+/// every `<…>`.
+fn z_vars(head: &Atom) -> Vec<Var> {
+    head.vars_outside_group()
+}
+
+/// (i) Distribution.
+fn distribution(rule: &Rule, group_args: &[usize], g: &Gensym) -> Result<Vec<Rule>, TransformError> {
+    let z = z_vars(&rule.head);
+    let z_terms: Vec<Term> = z.iter().map(|&v| Term::Var(v)).collect();
+    let mut out = Vec::new();
+    let mut final_head = rule.head.clone();
+    let mut final_body: Vec<Literal> = Vec::new();
+    for &i in group_args {
+        let pi = g.pred(&format!("{}_d", rule.head.pred));
+        let yi = g.var("Y");
+        // pᵢ(Z, termᵢ) <- body.
+        let mut pi_args = z_terms.clone();
+        pi_args.push(rule.head.args[i].clone());
+        out.push(Rule::new(Atom::new(pi, pi_args), rule.body.clone()));
+        // …and in the final rule the term is a fresh variable joined via pᵢ.
+        final_head.args[i] = Term::Var(yi);
+        let mut join_args = z_terms.clone();
+        join_args.push(Term::Var(yi));
+        final_body.push(Literal::pos(Atom::new(pi, join_args)));
+    }
+    final_body.extend(rule.body.iter().cloned());
+    out.push(Rule::new(final_head, final_body));
+    Ok(out)
+}
+
+/// Split a grouped compound `g(args…)` into its distinct variable arguments
+/// `Y` and its non-variable arguments `termᵢ`, remembering how to rebuild.
+struct GSplit {
+    functor: ldl_value::Symbol,
+    /// Distinct variable arguments, in first-occurrence order.
+    y: Vec<Var>,
+    /// The non-variable arguments.
+    terms: Vec<Term>,
+    /// For each original argument: `Ok(var)` or `Err(index into terms)`.
+    layout: Vec<Result<Var, usize>>,
+}
+
+impl GSplit {
+    fn of(functor: ldl_value::Symbol, args: &[Term]) -> GSplit {
+        let mut y = Vec::new();
+        let mut terms = Vec::new();
+        let mut layout = Vec::new();
+        for a in args {
+            match a {
+                Term::Var(v) => {
+                    if !y.contains(v) {
+                        y.push(*v);
+                    }
+                    layout.push(Ok(*v));
+                }
+                other => {
+                    layout.push(Err(terms.len()));
+                    terms.push(other.clone());
+                }
+            }
+        }
+        GSplit {
+            functor,
+            y,
+            terms,
+            layout,
+        }
+    }
+
+    /// Rebuild `g(…)` with the non-variable arguments replaced by the given
+    /// fresh variables.
+    fn rebuild(&self, fresh: &[Var]) -> Term {
+        let args: Vec<Term> = self
+            .layout
+            .iter()
+            .map(|slot| match slot {
+                Ok(v) => Term::Var(*v),
+                Err(i) => Term::Var(fresh[*i]),
+            })
+            .collect();
+        Term::compound(self.functor, args)
+    }
+}
+
+/// (ii) Grouping (and (ii)′ when `semantics` is `WithContext`).
+fn grouping(
+    rule: &Rule,
+    pos: usize,
+    semantics: GroupingSemantics,
+    g: &Gensym,
+) -> Result<Vec<Rule>, TransformError> {
+    let Term::Group(inner) = &rule.head.args[pos] else {
+        unreachable!("grouping() called on a non-group argument")
+    };
+    let Term::Compound(gf, gargs) = &**inner else {
+        unreachable!("grouping() called on a non-compound group")
+    };
+    let split = GSplit::of(*gf, gargs);
+    let y_terms: Vec<Term> = split.y.iter().map(|&v| Term::Var(v)).collect();
+    let fresh: Vec<Var> = g.vars("Y", split.terms.len());
+    let fresh_terms: Vec<Term> = fresh.iter().map(|&v| Term::Var(v)).collect();
+
+    // The X of (ii)′: head variables outside groups.
+    let x = z_vars(&rule.head);
+    let x_terms: Vec<Term> = x.iter().map(|&v| Term::Var(v)).collect();
+
+    let q = g.pred("q");
+    let q1 = g.pred("q1");
+    let s = g.var("S");
+    let mut out = Vec::new();
+
+    match semantics {
+        GroupingSemantics::PerGroup => {
+            // q(Y, term₁…termₙ) <- body.
+            let mut q_args = y_terms.clone();
+            q_args.extend(split.terms.iter().cloned());
+            out.push(Rule::new(Atom::new(q, q_args), rule.body.clone()));
+            // q1(Y, g(Y, Ȳ)) <- q(Y, Ȳ).
+            let mut q1_args = y_terms.clone();
+            q1_args.push(split.rebuild(&fresh));
+            let mut q_join = y_terms.clone();
+            q_join.extend(fresh_terms.iter().cloned());
+            out.push(Rule::new(
+                Atom::new(q1, q1_args),
+                vec![Literal::pos(Atom::new(q, q_join))],
+            ));
+            // p(X, <S>) <- q1(Y, S), body.
+            let mut final_head = rule.head.clone();
+            final_head.args[pos] = Term::group(Term::Var(s));
+            let mut q1_probe = y_terms.clone();
+            q1_probe.push(Term::Var(s));
+            let mut body = vec![Literal::pos(Atom::new(q1, q1_probe))];
+            body.extend(rule.body.iter().cloned());
+            out.push(Rule::new(final_head, body));
+        }
+        GroupingSemantics::WithContext => {
+            // (ii)′ — X takes part in the grouping key.
+            // q(X, Y, term₁…termₙ) <- body.
+            let mut q_args = x_terms.clone();
+            q_args.extend(y_terms.iter().cloned());
+            q_args.extend(split.terms.iter().cloned());
+            out.push(Rule::new(Atom::new(q, q_args), rule.body.clone()));
+            // q1(X, Y, g(X, Y, Ȳ)) <- q(X, Y, Ȳ).
+            let mut wide_args = x_terms.clone();
+            wide_args.extend(y_terms.iter().cloned());
+            wide_args.extend(fresh_terms.iter().cloned());
+            let mut q1_args = x_terms.clone();
+            q1_args.extend(y_terms.iter().cloned());
+            q1_args.push(Term::compound(*gf, wide_args.clone()));
+            let mut q_join = x_terms.clone();
+            q_join.extend(y_terms.iter().cloned());
+            q_join.extend(fresh_terms.iter().cloned());
+            out.push(Rule::new(
+                Atom::new(q1, q1_args),
+                vec![Literal::pos(Atom::new(q, q_join))],
+            ));
+            // p(X, <S>) <- q1(X, Y, g(X,Y,Ȳ)), S = g(Y, Ȳ), body.
+            let mut final_head = rule.head.clone();
+            final_head.args[pos] = Term::group(Term::Var(s));
+            let mut q1_probe = x_terms.clone();
+            q1_probe.extend(y_terms.iter().cloned());
+            q1_probe.push(Term::compound(*gf, wide_args));
+            let narrow = split.rebuild(&fresh);
+            let mut body = vec![
+                Literal::pos(Atom::new(q1, q1_probe)),
+                Literal::pos(Atom::new("=", vec![Term::Var(s), narrow])),
+            ];
+            body.extend(rule.body.iter().cloned());
+            out.push(Rule::new(final_head, body));
+        }
+    }
+    Ok(out)
+}
+
+/// (iii) Nesting.
+fn nesting(rule: &Rule, pos: usize, g: &Gensym) -> Result<Vec<Rule>, TransformError> {
+    let Term::Compound(gf, gargs) = &rule.head.args[pos] else {
+        unreachable!("nesting() called on a non-compound argument")
+    };
+    let split = GSplit::of(*gf, gargs);
+    let z = z_vars(&rule.head);
+    let z_terms: Vec<Term> = z.iter().map(|&v| Term::Var(v)).collect();
+    let fresh: Vec<Var> = g.vars("Y", split.terms.len());
+    let fresh_terms: Vec<Term> = fresh.iter().map(|&v| Term::Var(v)).collect();
+
+    let q1 = g.pred("q1");
+    let q2 = g.pred("q2");
+    let s = g.var("S");
+    let mut out = Vec::new();
+
+    // q1(Z, term₁…termₙ) <- body.
+    let mut q1_args = z_terms.clone();
+    q1_args.extend(split.terms.iter().cloned());
+    out.push(Rule::new(Atom::new(q1, q1_args), rule.body.clone()));
+    // q2(Z, g(Y, Ȳ)) <- q1(Z, Ȳ).
+    let mut q2_args = z_terms.clone();
+    q2_args.push(split.rebuild(&fresh));
+    let mut q1_join = z_terms.clone();
+    q1_join.extend(fresh_terms.iter().cloned());
+    out.push(Rule::new(
+        Atom::new(q2, q2_args),
+        vec![Literal::pos(Atom::new(q1, q1_join))],
+    ));
+    // p(X, S) <- q2(Z, S), body.
+    let mut final_head = rule.head.clone();
+    final_head.args[pos] = Term::Var(s);
+    let mut q2_probe = z_terms.clone();
+    q2_probe.push(Term::Var(s));
+    let mut body = vec![Literal::pos(Atom::new(q2, q2_probe))];
+    body.extend(rule.body.iter().cloned());
+    out.push(Rule::new(final_head, body));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_ast::wf::{check_program, Dialect};
+    use ldl_parser::parse_program;
+
+    fn rewrite(src: &str) -> Program {
+        let p = parse_program(src).unwrap();
+        eliminate_complex_heads(&p, GroupingSemantics::PerGroup).unwrap()
+    }
+
+    fn assert_core(p: &Program) {
+        for r in &p.rules {
+            let groups: Vec<_> = r.head.args.iter().filter(|t| t.has_group()).collect();
+            assert!(groups.len() <= 1, "multiple groups in {r}");
+            for t in groups {
+                assert!(t.as_simple_group().is_some(), "complex group in {r}");
+            }
+        }
+        check_program(p, Dialect::Ldl1).unwrap();
+    }
+
+    #[test]
+    fn simple_heads_untouched() {
+        let p = rewrite("part(P, <S>) <- p(P, S). q(X) <- r(X).");
+        assert_eq!(p.len(), 2);
+        assert_core(&p);
+    }
+
+    #[test]
+    fn two_groups_distributed() {
+        // (T, <S>, <D>) from §4.2.1, flattened into a 3-ary head.
+        let p = rewrite("out(T, <S>, <D>) <- r(T, S, C, D).");
+        assert_core(&p);
+        // Two auxiliary grouping rules + the join rule.
+        assert_eq!(p.len(), 3);
+        let grouping_rules = p.rules.iter().filter(|r| r.is_grouping()).count();
+        assert_eq!(grouping_rules, 2);
+    }
+
+    #[test]
+    fn grouped_compound_expands() {
+        // <g(S, D)> — a grouped tuple of variables.
+        let p = rewrite("out(T, <g(S, D)>) <- r(T, S, C, D).");
+        assert_core(&p);
+        // q, q1, final.
+        assert_eq!(p.len(), 3);
+        // Some rule builds the g-term.
+        assert!(p.to_string().contains("g(S, D)"));
+    }
+
+    #[test]
+    fn nested_grouping_from_paper() {
+        // (T, <h(S, <D>)>) — §4.2.1's second example, flattened.
+        let p = rewrite("out(T, <h(S, <D>)>) <- r(T, S, C, D).");
+        assert_core(&p);
+    }
+
+    #[test]
+    fn deep_nesting_from_paper() {
+        // ((T,S), <(C, <D>)>) — §4.2.1's third example: tuples all the way.
+        let p = rewrite("out((T, S), <(C, <D>)>) <- r(T, S, C, D).");
+        assert_core(&p);
+    }
+
+    #[test]
+    fn nesting_without_group_left_alone() {
+        // f(X, Y) in a head is a plain LDL1 term — no rewrite.
+        let p = rewrite("q(f(X, Y)) <- r(X, Y).");
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn grouped_constant() {
+        let p = rewrite("q(X, <c>) <- r(X).");
+        assert_core(&p);
+        assert!(p.to_string().contains("= c") || p.to_string().contains("c)"));
+    }
+
+    #[test]
+    fn with_context_semantics_builds_eq() {
+        let prog = parse_program("out(T, <g(S)>) <- r(T, S).").unwrap();
+        let p = eliminate_complex_heads(&prog, GroupingSemantics::WithContext).unwrap();
+        assert_core(&p);
+        // (ii)′ introduces the S = g(Y, Ȳ) equality.
+        assert!(p.to_string().contains('='), "{p}");
+    }
+
+    #[test]
+    fn set_enum_group_rejected() {
+        let prog = parse_program("q(<{X}>) <- r(X).").unwrap();
+        assert!(eliminate_complex_heads(&prog, GroupingSemantics::PerGroup).is_err());
+    }
+}

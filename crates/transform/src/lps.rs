@@ -1,0 +1,205 @@
+//! §5: translating LPS (Kuper's logic programming with sets) into LDL1.
+//!
+//! An LPS rule has the form
+//!
+//! ```text
+//! head <- (∀x₁ ∈ X₁) … (∀xₙ ∈ Xₙ) [B₁, …, Bₘ]
+//! ```
+//!
+//! — the body must hold for *every* combination of elements of the (finite)
+//! sets `X₁ … Xₙ`. Theorem 3's construction derives, per combination of the
+//! sets, the collection of `g`-tuples for which the body holds (`a`/`c`
+//! rules) and the collection of *all* combinations (`b`/`d` rules); `head`
+//! fires when the two grouped sets coincide.
+//!
+//! Two gaps in the paper's sketch are filled here:
+//!
+//! * the auxiliary rules leave `X₁ … Xₙ` unbound, so we require *domain
+//!   literals* that generate the candidate sets (in examples like `disj`
+//!   or `subset`, the relations the sets are drawn from);
+//! * "we have not handled the case where some `Xᵢ`'s may be empty" — a
+//!   universal over an empty set is vacuously true, so we emit one extra
+//!   rule per `Xᵢ` deriving `head` directly when `Xᵢ = {}`.
+
+use ldl_ast::gensym::Gensym;
+use ldl_ast::literal::{Atom, Literal};
+use ldl_ast::program::Program;
+use ldl_ast::rule::Rule;
+use ldl_ast::term::{Term, Var};
+
+use crate::TransformError;
+
+/// An LPS rule `head <- domain, (∀x₁∈X₁)…(∀xₙ∈Xₙ)[body]`.
+#[derive(Clone, Debug)]
+pub struct LpsRule {
+    /// The derived head.
+    pub head: Atom,
+    /// Positive literals binding the set variables (and any other head
+    /// variables) — the generator the paper leaves implicit.
+    pub domain: Vec<Literal>,
+    /// `(element variable, set variable)` pairs, outermost first.
+    pub quantifiers: Vec<(Var, Var)>,
+    /// The quantified body `B₁, …, Bₘ`.
+    pub body: Vec<Literal>,
+}
+
+/// Translate one LPS rule into LDL1 rules (Theorem 3's construction plus
+/// the empty-set completion).
+pub fn translate_lps_rule(rule: &LpsRule) -> Result<Vec<Rule>, TransformError> {
+    if rule.quantifiers.is_empty() {
+        return Err(TransformError::Unsupported(
+            "LPS rule without quantifiers is already an LDL1 rule".into(),
+        ));
+    }
+    let g = Gensym::new();
+    let set_vars: Vec<Var> = rule.quantifiers.iter().map(|&(_, sv)| sv).collect();
+    let elem_vars: Vec<Var> = rule.quantifiers.iter().map(|&(ev, _)| ev).collect();
+    let set_terms: Vec<Term> = set_vars.iter().map(|&v| Term::Var(v)).collect();
+    let gf = g.pred("g");
+    let g_tuple = Term::compound(
+        gf,
+        elem_vars.iter().map(|&v| Term::Var(v)).collect::<Vec<_>>(),
+    );
+
+    let member_lits: Vec<Literal> = rule
+        .quantifiers
+        .iter()
+        .map(|&(ev, sv)| {
+            Literal::pos(Atom::new(
+                "member",
+                vec![Term::Var(ev), Term::Var(sv)],
+            ))
+        })
+        .collect();
+
+    let (a, b, c, d) = (g.pred("a"), g.pred("b"), g.pred("c"), g.pred("d"));
+    let mut out = Vec::new();
+
+    // a(X̄, g(x̄)) <- domain, member(xᵢ, Xᵢ)…, B₁…Bₘ.
+    let mut a_args = set_terms.clone();
+    a_args.push(g_tuple.clone());
+    let mut a_body = rule.domain.clone();
+    a_body.extend(member_lits.iter().cloned());
+    a_body.extend(rule.body.iter().cloned());
+    out.push(Rule::new(Atom::new(a, a_args), a_body));
+
+    // b(X̄, g(x̄)) <- domain, member(xᵢ, Xᵢ)….
+    let mut b_args = set_terms.clone();
+    b_args.push(g_tuple);
+    let mut b_body = rule.domain.clone();
+    b_body.extend(member_lits.iter().cloned());
+    out.push(Rule::new(Atom::new(b, b_args), b_body));
+
+    // c(X̄, <S>) <- a(X̄, S).       d(X̄, <S>) <- b(X̄, S).
+    for (outer, inner) in [(c, a), (d, b)] {
+        let s = g.var("S");
+        let mut head_args = set_terms.clone();
+        head_args.push(Term::group(Term::Var(s)));
+        let mut body_args = set_terms.clone();
+        body_args.push(Term::Var(s));
+        out.push(Rule::new(
+            Atom::new(outer, head_args),
+            vec![Literal::pos(Atom::new(inner, body_args))],
+        ));
+    }
+
+    // head <- domain, d(X̄, S), c(X̄, S).
+    let s = g.var("S");
+    let mut probe = set_terms.clone();
+    probe.push(Term::Var(s));
+    let mut main_body = rule.domain.clone();
+    main_body.push(Literal::pos(Atom::new(d, probe.clone())));
+    main_body.push(Literal::pos(Atom::new(c, probe)));
+    out.push(Rule::new(rule.head.clone(), main_body));
+
+    // Empty-set completion: head <- domain, Xᵢ = {}.
+    for &sv in &set_vars {
+        let mut body = rule.domain.clone();
+        body.push(Literal::pos(Atom::new(
+            "=",
+            vec![Term::Var(sv), Term::empty_set()],
+        )));
+        out.push(Rule::new(rule.head.clone(), body));
+    }
+
+    Ok(out)
+}
+
+/// Translate a batch of LPS rules into one LDL1 program.
+pub fn translate_lps(rules: &[LpsRule]) -> Result<Program, TransformError> {
+    let mut out = Program::new();
+    for r in rules {
+        for rule in translate_lps_rule(r)? {
+            out.push(rule);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_ast::wf::{check_program, Dialect};
+
+    /// The §5 example: subset(X, Y) <- (∀x ∈ X) member(x, Y).
+    fn subset_rule() -> LpsRule {
+        LpsRule {
+            head: Atom::new("lps_subset", vec![Term::var("X"), Term::var("Y")]),
+            domain: vec![Literal::pos(Atom::new(
+                "pair",
+                vec![Term::var("X"), Term::var("Y")],
+            ))],
+            quantifiers: vec![(Var::new("Xe"), Var::new("X"))],
+            body: vec![Literal::pos(Atom::new(
+                "member",
+                vec![Term::var("Xe"), Term::var("Y")],
+            ))],
+        }
+    }
+
+    /// The §5 example: disj(X, Y) <- (∀x∈X)(∀y∈Y) x ≠ y.
+    fn disj_rule() -> LpsRule {
+        LpsRule {
+            head: Atom::new("lps_disj", vec![Term::var("X"), Term::var("Y")]),
+            domain: vec![Literal::pos(Atom::new(
+                "pair",
+                vec![Term::var("X"), Term::var("Y")],
+            ))],
+            quantifiers: vec![(Var::new("Xe"), Var::new("X")), (Var::new("Ye"), Var::new("Y"))],
+            body: vec![Literal::pos(Atom::new(
+                "/=",
+                vec![Term::var("Xe"), Term::var("Ye")],
+            ))],
+        }
+    }
+
+    #[test]
+    fn subset_translation_shape() {
+        let rules = translate_lps_rule(&subset_rule()).unwrap();
+        // a, b, c, d, main, one empty-set rule.
+        assert_eq!(rules.len(), 6);
+        let p = Program::from_rules(rules);
+        check_program(&p, Dialect::Ldl1).unwrap();
+        // Two grouping rules (c and d).
+        assert_eq!(p.rules.iter().filter(|r| r.is_grouping()).count(), 2);
+    }
+
+    #[test]
+    fn disj_translation_shape() {
+        let rules = translate_lps_rule(&disj_rule()).unwrap();
+        // a, b, c, d, main, two empty-set rules.
+        assert_eq!(rules.len(), 7);
+        check_program(&Program::from_rules(rules), Dialect::Ldl1).unwrap();
+    }
+
+    #[test]
+    fn no_quantifiers_rejected() {
+        let r = LpsRule {
+            head: Atom::new("h", vec![]),
+            domain: vec![],
+            quantifiers: vec![],
+            body: vec![],
+        };
+        assert!(translate_lps_rule(&r).is_err());
+    }
+}

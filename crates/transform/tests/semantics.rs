@@ -1,0 +1,414 @@
+//! Semantic correctness of the source transformations: the transformed
+//! program, evaluated bottom-up and restricted to the original predicates,
+//! computes exactly the original model.
+
+use ldl_ast::program::Program;
+use ldl_eval::Evaluator;
+use ldl_parser::{parse_atom, parse_program};
+use ldl_storage::Database;
+use ldl_transform::head_terms::GroupingSemantics;
+use ldl_transform::lps::LpsRule;
+use ldl_transform::{body_angle, head_terms, lps, neg_elim};
+use ldl_value::{Fact, FactSet, Symbol, Value};
+
+fn eval(program: &Program, edb: &Database) -> Database {
+    Evaluator::new().evaluate(program, edb).unwrap()
+}
+
+/// Evaluate with the LDL1.5 dialect (residual `<t>` patterns inside
+/// built-in literals are matched natively).
+fn eval_ldl15(program: &Program, edb: &Database) -> Database {
+    let opts = ldl_eval::EvalOptions {
+        dialect: ldl_ast::wf::Dialect::Ldl15,
+        ..Default::default()
+    };
+    Evaluator::with_options(opts).evaluate(program, edb).unwrap()
+}
+
+/// The model restricted to the given predicates.
+fn restrict(db: &Database, preds: &[&str]) -> FactSet {
+    let mut out = FactSet::default();
+    for &p in preds {
+        for f in db.facts_of(Symbol::intern(p)) {
+            out.insert(f);
+        }
+    }
+    out
+}
+
+fn atom(s: &str) -> Value {
+    Value::atom(s)
+}
+
+fn set(xs: &[i64]) -> Value {
+    Value::set(xs.iter().map(|&i| Value::int(i)))
+}
+
+// ---------------------------------------------------------------- §3.3 ----
+
+/// §3.3 observation (2): the standard model of the negation-eliminated
+/// program, restricted to the original predicates, is the standard model of
+/// the original.
+#[test]
+fn negation_elimination_preserves_excl_ancestor() {
+    let src = "ancestor(X, Y) <- parent(X, Y).\n\
+               ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y).\n\
+               excl_ancestor(X, Y, Z) <- ancestor(X, Y), person(Z), ~ancestor(X, Z).";
+    let original = parse_program(src).unwrap();
+    let positive = neg_elim::eliminate_negation(&original).unwrap();
+    assert!(positive.is_positive());
+    // §3.3 observation (1): still admissible.
+    ldl_stratify::Stratification::canonical(&positive).unwrap();
+
+    let mut edb = Database::new();
+    for (a, b) in [("a", "b"), ("b", "c"), ("d", "e")] {
+        edb.insert_tuple("parent", vec![atom(a), atom(b)]);
+    }
+    for p in ["a", "b", "c", "d", "e"] {
+        edb.insert_tuple("person", vec![atom(p)]);
+    }
+    let preds = ["ancestor", "excl_ancestor"];
+    let m1 = restrict(&eval(&original, &edb), &preds);
+    let m2 = restrict(&eval(&positive, &edb), &preds);
+    assert_eq!(m1, m2);
+    assert!(!m1.is_empty());
+}
+
+#[test]
+fn negation_elimination_preserves_multiple_negations() {
+    let src = "q(X) <- r(X), ~s(X), ~t(X).";
+    let original = parse_program(src).unwrap();
+    let positive = neg_elim::eliminate_negation(&original).unwrap();
+    let mut edb = Database::new();
+    for i in 0..10 {
+        edb.insert_tuple("r", vec![Value::int(i)]);
+    }
+    for i in [1, 2, 3] {
+        edb.insert_tuple("s", vec![Value::int(i)]);
+    }
+    for i in [3, 4, 5] {
+        edb.insert_tuple("t", vec![Value::int(i)]);
+    }
+    let m1 = restrict(&eval(&original, &edb), &["q"]);
+    let m2 = restrict(&eval(&positive, &edb), &["q"]);
+    assert_eq!(m1, m2);
+    assert_eq!(m1.len(), 5); // 0, 6, 7, 8, 9
+}
+
+// ---------------------------------------------------------------- §4.1 ----
+
+/// §4.1's own example: p(<X>) matches tuples whose entry is a set, with X
+/// ranging over the elements.
+#[test]
+fn body_group_ranges_over_elements() {
+    let p = parse_program(
+        "q(X) <- p(<X>).\n\
+         p({1, 2}). p({3}). p(7).",
+    )
+    .unwrap();
+    let rewritten = body_angle::eliminate_body_groups(&p).unwrap();
+    let m = eval(&rewritten, &Database::new());
+    let q: FactSet = restrict(&m, &["q"]);
+    let expect: FactSet = [1, 2, 3]
+        .iter()
+        .map(|&i| Fact::new("q", vec![Value::int(i)]))
+        .collect();
+    // p(7) is not a set: contributes nothing.
+    assert_eq!(q, expect);
+}
+
+/// §4.1's uniformity example: p(<<X>>) matches p({{1,2},{3},{4,5}}) but not
+/// p({{1,2}, 3, {4,5}}).
+#[test]
+fn body_group_requires_uniform_structure() {
+    let p = parse_program(
+        "q(X) <- p(<<X>>).\n\
+         p({{1, 2}, {3}, {4, 5}}).\n\
+         p({{6, 7}, 3, {8, 9}}).",
+    )
+    .unwrap();
+    let rewritten = body_angle::eliminate_body_groups(&p).unwrap();
+    let m = eval_ldl15(&rewritten, &Database::new());
+    let q = restrict(&m, &["q"]);
+    // X ranges over the elements *of the elements* (the nested pattern), and
+    // the non-uniform set contributes nothing — its member 3 is not a set.
+    let expect: FactSet = [1, 2, 3, 4, 5]
+        .iter()
+        .map(|&i| Fact::new("q", vec![Value::int(i)]))
+        .collect();
+    assert_eq!(q, expect);
+}
+
+/// Body groups under a compound: r(h(T, <D>)) matches h-terms whose second
+/// argument is a set.
+#[test]
+fn body_group_under_compound() {
+    let p = parse_program(
+        "q(T, D) <- r(h(T, <D>)).\n\
+         r(h(a, {1, 2})).\n\
+         r(h(b, 9)).",
+    )
+    .unwrap();
+    let rewritten = body_angle::eliminate_body_groups(&p).unwrap();
+    let m = eval(&rewritten, &Database::new());
+    let q = restrict(&m, &["q"]);
+    let expect: FactSet = [
+        Fact::new("q", vec![atom("a"), Value::int(1)]),
+        Fact::new("q", vec![atom("a"), Value::int(2)]),
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(q, expect);
+}
+
+// ---------------------------------------------------------------- §4.2 ----
+
+/// §4.2.1 teaching example, head (T, <S>, <D>): "each tuple has a teacher,
+/// the set of students taking some class with this teacher, and the set of
+/// days on which this teacher teaches some class".
+#[test]
+fn head_terms_teacher_students_days() {
+    let p = parse_program("out(T, <S>, <D>) <- r(T, S, C, D).").unwrap();
+    let rewritten =
+        head_terms::eliminate_complex_heads(&p, GroupingSemantics::PerGroup).unwrap();
+    let mut edb = Database::new();
+    // r(Teacher, Student, Class, Day)
+    for (t, s, c, d) in [
+        ("ht", "sam", "math", "mon"),
+        ("ht", "ann", "math", "tue"),
+        ("ht", "sam", "phys", "wed"),
+        ("mr", "bob", "chem", "mon"),
+    ] {
+        edb.insert_tuple("r", vec![atom(t), atom(s), atom(c), atom(d)]);
+    }
+    let m = eval(&rewritten, &edb);
+    let out = restrict(&m, &["out"]);
+    let expect: FactSet = [
+        Fact::new(
+            "out",
+            vec![
+                atom("ht"),
+                Value::set(vec![atom("sam"), atom("ann")]),
+                Value::set(vec![atom("mon"), atom("tue"), atom("wed")]),
+            ],
+        ),
+        Fact::new(
+            "out",
+            vec![
+                atom("mr"),
+                Value::set(vec![atom("bob")]),
+                Value::set(vec![atom("mon")]),
+            ],
+        ),
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(out, expect);
+}
+
+/// §4.2.1 second example, head (T, <h(S, <D>)>): per teacher, the set of
+/// h(student, set-of-days) pairs; the days are the days the *student* takes
+/// some class (not necessarily with this teacher) — that is rule (ii)'s
+/// per-Y grouping semantics.
+#[test]
+fn head_terms_nested_h() {
+    let p = parse_program("out(T, <h(S, <D>)>) <- r(T, S, C, D).").unwrap();
+    let rewritten =
+        head_terms::eliminate_complex_heads(&p, GroupingSemantics::PerGroup).unwrap();
+    let mut edb = Database::new();
+    for (t, s, c, d) in [
+        ("ht", "sam", "math", "mon"),
+        ("mr", "sam", "chem", "fri"),
+        ("ht", "ann", "math", "tue"),
+    ] {
+        edb.insert_tuple("r", vec![atom(t), atom(s), atom(c), atom(d)]);
+    }
+    let m = eval(&rewritten, &edb);
+    let out = restrict(&m, &["out"]);
+    // sam's day-set is {mon, fri} — across teachers (rule (ii) groups by Y
+    // = S only).
+    let h_sam = Value::compound(
+        "h",
+        vec![atom("sam"), Value::set(vec![atom("mon"), atom("fri")])],
+    );
+    let h_ann = Value::compound("h", vec![atom("ann"), Value::set(vec![atom("tue")])]);
+    let expect: FactSet = [
+        Fact::new(
+            "out",
+            vec![atom("ht"), Value::set(vec![h_sam.clone(), h_ann])],
+        ),
+        Fact::new("out", vec![atom("mr"), Value::set(vec![h_sam])]),
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(out, expect);
+}
+
+/// The same head under the alternative semantics (ii)′: the day-sets are
+/// scoped to the teacher as well (X participates in the grouping).
+#[test]
+fn head_terms_nested_h_with_context() {
+    let p = parse_program("out(T, <h(S, <D>)>) <- r(T, S, C, D).").unwrap();
+    let rewritten =
+        head_terms::eliminate_complex_heads(&p, GroupingSemantics::WithContext).unwrap();
+    let mut edb = Database::new();
+    for (t, s, c, d) in [
+        ("ht", "sam", "math", "mon"),
+        ("mr", "sam", "chem", "fri"),
+        ("ht", "ann", "math", "tue"),
+    ] {
+        edb.insert_tuple("r", vec![atom(t), atom(s), atom(c), atom(d)]);
+    }
+    let m = eval(&rewritten, &edb);
+    let out = restrict(&m, &["out"]);
+    // Under (ii)′ sam's days split per teacher: {mon} with ht, {fri} with mr.
+    let h_sam_ht = Value::compound("h", vec![atom("sam"), Value::set(vec![atom("mon")])]);
+    let h_sam_mr = Value::compound("h", vec![atom("sam"), Value::set(vec![atom("fri")])]);
+    let h_ann = Value::compound("h", vec![atom("ann"), Value::set(vec![atom("tue")])]);
+    let expect: FactSet = [
+        Fact::new(
+            "out",
+            vec![atom("ht"), Value::set(vec![h_sam_ht, h_ann])],
+        ),
+        Fact::new("out", vec![atom("mr"), Value::set(vec![h_sam_mr])]),
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(out, expect);
+}
+
+/// §4.2.1 third example, head ((T, S), <(C, <D>)>).
+#[test]
+fn head_terms_tuple_of_tuples() {
+    let p = parse_program("out((T, S), <(C, <D>)>) <- r(T, S, C, D).").unwrap();
+    let rewritten =
+        head_terms::eliminate_complex_heads(&p, GroupingSemantics::PerGroup).unwrap();
+    let mut edb = Database::new();
+    for (t, s, c, d) in [
+        ("ht", "sam", "math", "mon"),
+        ("ht", "sam", "math", "tue"),
+        ("ht", "sam", "phys", "wed"),
+    ] {
+        edb.insert_tuple("r", vec![atom(t), atom(s), atom(c), atom(d)]);
+    }
+    let m = eval(&rewritten, &edb);
+    let out = restrict(&m, &["out"]);
+    assert_eq!(out.len(), 1);
+    let fact = out.iter().next().unwrap();
+    // First arg: (ht, sam).
+    assert_eq!(
+        fact.args()[0],
+        Value::compound("tuple", vec![atom("ht"), atom("sam")])
+    );
+    // Second: {(math, {mon,tue}), (phys, {wed})}.
+    let math = Value::compound(
+        "tuple",
+        vec![atom("math"), Value::set(vec![atom("mon"), atom("tue")])],
+    );
+    let phys = Value::compound("tuple", vec![atom("phys"), Value::set(vec![atom("wed")])]);
+    assert_eq!(fact.args()[1], Value::set(vec![math, phys]));
+}
+
+/// The LDL1.5 one-shot pipeline compiles mixed programs.
+#[test]
+fn full_ldl15_pipeline() {
+    let p = parse_program(
+        "kids(P, <K>) <- par(P, K).\n\
+         fam(<g(P, <K>)>) <- par(P, K).\n\
+         names(N) <- kids(N, <_K>).",
+    )
+    .unwrap();
+    // names(N) <- kids(N, <_K>): anonymous inner var — each element matched.
+    // (Body groups and complex heads in one program.)
+    let compiled = ldl_transform::ldl15_to_ldl1(&p);
+    // `_K` is anonymous-prefixed but named; acceptable. The pipeline must
+    // produce core LDL1.
+    let compiled = compiled.unwrap();
+    ldl_ast::wf::check_program(&compiled, ldl_ast::wf::Dialect::Ldl1).unwrap();
+    let mut edb = Database::new();
+    for (a, b) in [("p1", "k1"), ("p1", "k2"), ("p2", "k3")] {
+        edb.insert_tuple("par", vec![atom(a), atom(b)]);
+    }
+    let m = eval(&compiled, &edb);
+    let names = restrict(&m, &["names"]);
+    assert_eq!(names.len(), 2);
+    let fam = restrict(&m, &["fam"]);
+    assert_eq!(fam.len(), 1);
+}
+
+// ----------------------------------------------------------------- §5 ----
+
+/// §5's subset and disj examples, translated and evaluated.
+#[test]
+fn lps_subset_and_disj() {
+    let subset = LpsRule {
+        head: parse_atom("lps_subset(X, Y)").unwrap(),
+        domain: vec![ldl_ast::literal::Literal::pos(
+            parse_atom("pair(X, Y)").unwrap(),
+        )],
+        quantifiers: vec![("Xe".into(), "X".into())],
+        body: vec![ldl_ast::literal::Literal::pos(
+            parse_atom("member(Xe, Y)").unwrap(),
+        )],
+    };
+    let disj = LpsRule {
+        head: parse_atom("lps_disj(X, Y)").unwrap(),
+        domain: vec![ldl_ast::literal::Literal::pos(
+            parse_atom("pair(X, Y)").unwrap(),
+        )],
+        quantifiers: vec![("Xe".into(), "X".into()), ("Ye".into(), "Y".into())],
+        body: vec![ldl_ast::literal::Literal::pos(
+            parse_atom("/=(Xe, Ye)").unwrap(),
+        )],
+    };
+    let program = lps::translate_lps(&[subset, disj]).unwrap();
+    let mut edb = Database::new();
+    let pairs: Vec<(Value, Value)> = vec![
+        (set(&[1, 2]), set(&[1, 2, 3])), // subset ✓, disj ✗
+        (set(&[1, 4]), set(&[1, 2, 3])), // subset ✗, disj ✗
+        (set(&[4, 5]), set(&[1, 2, 3])), // subset ✗, disj ✓
+        (set(&[]), set(&[1])),           // subset ✓ (vacuous), disj ✓ (vacuous)
+        (set(&[2]), set(&[2])),          // subset ✓, disj ✗
+    ];
+    for (x, y) in &pairs {
+        edb.insert_tuple("pair", vec![x.clone(), y.clone()]);
+    }
+    let m = eval(&program, &edb);
+    let subset_facts = restrict(&m, &["lps_subset"]);
+    let disj_facts = restrict(&m, &["lps_disj"]);
+
+    let f = |p: &str, x: &Value, y: &Value| Fact::new(p, vec![x.clone(), y.clone()]);
+    assert!(subset_facts.contains(&f("lps_subset", &pairs[0].0, &pairs[0].1)));
+    assert!(!subset_facts.contains(&f("lps_subset", &pairs[1].0, &pairs[1].1)));
+    assert!(!subset_facts.contains(&f("lps_subset", &pairs[2].0, &pairs[2].1)));
+    assert!(subset_facts.contains(&f("lps_subset", &pairs[3].0, &pairs[3].1)));
+    assert!(subset_facts.contains(&f("lps_subset", &pairs[4].0, &pairs[4].1)));
+
+    assert!(!disj_facts.contains(&f("lps_disj", &pairs[0].0, &pairs[0].1)));
+    assert!(!disj_facts.contains(&f("lps_disj", &pairs[1].0, &pairs[1].1)));
+    assert!(disj_facts.contains(&f("lps_disj", &pairs[2].0, &pairs[2].1)));
+    assert!(disj_facts.contains(&f("lps_disj", &pairs[3].0, &pairs[3].1)));
+    assert!(!disj_facts.contains(&f("lps_disj", &pairs[4].0, &pairs[4].1)));
+}
+
+/// §5 Proposition: LDL1 builds sets of sets of sets — models LPS cannot
+/// express (LPS domains are D ∪ P(D)). We verify the witness program's
+/// unique minimal model.
+#[test]
+fn lps_proposition_witness() {
+    let p = parse_program(
+        "p(<X>) <- q(X).\n\
+         w(<X>) <- p(X).\n\
+         q(1).",
+    )
+    .unwrap();
+    let m = eval(&p, &Database::new());
+    // M = {q(1), p({1}), w({{1}})}.
+    assert!(m.contains(&Fact::new("q", vec![Value::int(1)])));
+    assert!(m.contains(&Fact::new("p", vec![set(&[1])])));
+    assert!(m.contains(&Fact::new(
+        "w",
+        vec![Value::set(vec![set(&[1])])]
+    )));
+    assert_eq!(m.num_facts(), 3);
+}

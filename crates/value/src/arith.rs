@@ -1,0 +1,192 @@
+//! Integer arithmetic and comparisons on values.
+//!
+//! The paper keeps "arithmetic and comparison predicates" as built-ins whose
+//! treatment is "outside the scope of this paper" (§2.1 Remark), but its own
+//! examples use them (`Px + Py + Pz < 100` in `book_deal`, `+(C1,C2,C)` in
+//! `tc`). We give them the standard evaluable-predicate semantics: arguments
+//! must be bound to integers; division by zero and overflow make the binding
+//! fail rather than panic (the candidate binding is simply not a U-fact).
+
+use crate::value::Value;
+
+/// Binary arithmetic operators available in rule bodies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum ArithOp {
+    /// Addition `+`.
+    Add,
+    /// Subtraction `-`.
+    Sub,
+    /// Multiplication `*`.
+    Mul,
+    /// Truncating integer division `/`.
+    Div,
+    /// Remainder `mod`.
+    Mod,
+}
+
+impl ArithOp {
+    /// Evaluate on two values; `None` if either is not an integer or the
+    /// result is undefined (division by zero, overflow).
+    pub fn eval(self, a: &Value, b: &Value) -> Option<Value> {
+        let (x, y) = (a.as_int()?, b.as_int()?);
+        let r = match self {
+            ArithOp::Add => x.checked_add(y)?,
+            ArithOp::Sub => x.checked_sub(y)?,
+            ArithOp::Mul => x.checked_mul(y)?,
+            ArithOp::Div => x.checked_div(y)?,
+            ArithOp::Mod => x.checked_rem(y)?,
+        };
+        Some(Value::Int(r))
+    }
+
+    /// The name used in the concrete (functional) syntax, e.g. `+(C1,C2,C)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Mod => "mod",
+        }
+    }
+
+    /// Parse an operator name.
+    pub fn from_name(name: &str) -> Option<ArithOp> {
+        Some(match name {
+            "+" => ArithOp::Add,
+            "-" => ArithOp::Sub,
+            "*" => ArithOp::Mul,
+            "/" => ArithOp::Div,
+            "mod" => ArithOp::Mod,
+            _ => return None,
+        })
+    }
+}
+
+/// Comparison operators available in rule bodies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum CmpOp {
+    /// `=` — true iff both arguments are (identical) elements of U (§2.2,
+    /// restriction 4).
+    Eq,
+    /// `/=` — the complement of `=` on U.
+    Ne,
+    /// `<` on integers and strings.
+    Lt,
+    /// `<=` on integers and strings.
+    Le,
+    /// `>` on integers and strings.
+    Gt,
+    /// `>=` on integers and strings.
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate on two ground values.
+    ///
+    /// `=` and `/=` are defined on all of U; the ordered comparisons are
+    /// defined on integers and strings (same-variant only) and return `None`
+    /// — binding failure — otherwise.
+    pub fn eval(self, a: &Value, b: &Value) -> Option<bool> {
+        match self {
+            CmpOp::Eq => Some(a == b),
+            CmpOp::Ne => Some(a != b),
+            _ => {
+                let ord = match (a, b) {
+                    (Value::Int(x), Value::Int(y)) => x.cmp(y),
+                    (Value::Str(x), Value::Str(y)) => x.cmp(y),
+                    _ => return None,
+                };
+                Some(match self {
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Le => ord.is_le(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Ge => ord.is_ge(),
+                    CmpOp::Eq | CmpOp::Ne => unreachable!(),
+                })
+            }
+        }
+    }
+
+    /// Concrete-syntax spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "/=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// Parse a comparison spelling.
+    pub fn from_name(name: &str) -> Option<CmpOp> {
+        Some(match name {
+            "=" => CmpOp::Eq,
+            "/=" | "!=" => CmpOp::Ne,
+            "<" => CmpOp::Lt,
+            "<=" => CmpOp::Le,
+            ">" => CmpOp::Gt,
+            ">=" => CmpOp::Ge,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_evaluates() {
+        assert_eq!(
+            ArithOp::Add.eval(&Value::int(20), &Value::int(25)),
+            Some(Value::int(45))
+        );
+        assert_eq!(
+            ArithOp::Mul.eval(&Value::int(6), &Value::int(7)),
+            Some(Value::int(42))
+        );
+        assert_eq!(
+            ArithOp::Mod.eval(&Value::int(7), &Value::int(3)),
+            Some(Value::int(1))
+        );
+    }
+
+    #[test]
+    fn arithmetic_fails_cleanly() {
+        assert_eq!(ArithOp::Div.eval(&Value::int(1), &Value::int(0)), None);
+        assert_eq!(
+            ArithOp::Add.eval(&Value::int(i64::MAX), &Value::int(1)),
+            None
+        );
+        assert_eq!(ArithOp::Add.eval(&Value::atom("a"), &Value::int(1)), None);
+    }
+
+    #[test]
+    fn equality_is_universal() {
+        let s = Value::set(vec![Value::int(1)]);
+        assert_eq!(CmpOp::Eq.eval(&s, &s), Some(true));
+        assert_eq!(CmpOp::Ne.eval(&s, &Value::int(1)), Some(true));
+    }
+
+    #[test]
+    fn ordered_comparisons() {
+        assert_eq!(CmpOp::Lt.eval(&Value::int(95), &Value::int(100)), Some(true));
+        assert_eq!(CmpOp::Ge.eval(&Value::int(5), &Value::int(5)), Some(true));
+        assert_eq!(CmpOp::Lt.eval(&Value::str("a"), &Value::str("b")), Some(true));
+        // Mixed types: binding failure, not falsity.
+        assert_eq!(CmpOp::Lt.eval(&Value::int(1), &Value::atom("a")), None);
+    }
+
+    #[test]
+    fn op_names_round_trip() {
+        for op in [ArithOp::Add, ArithOp::Sub, ArithOp::Mul, ArithOp::Div, ArithOp::Mod] {
+            assert_eq!(ArithOp::from_name(op.name()), Some(op));
+        }
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(CmpOp::from_name(op.name()), Some(op));
+        }
+    }
+}

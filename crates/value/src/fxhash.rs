@@ -1,0 +1,114 @@
+//! A fast, non-cryptographic hasher for interned keys and ground values.
+//!
+//! Bottom-up Datalog evaluation is dominated by hash-join probes and
+//! duplicate-elimination inserts, and the keys are small (interned symbols,
+//! integers, short tuples). The default SipHash is measurably slower for this
+//! shape of key, so we use the FxHash algorithm (the multiply-xor hash used by
+//! rustc). HashDoS resistance is irrelevant here: all keys derive from the
+//! user's own program and database.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash hasher: `state = (state.rotate_left(5) ^ word) * SEED` per word.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.add_to_hash(word);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` with the fast hasher.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the fast hasher.
+pub type FastSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Hash one value with the fast hasher (used for precomputed hash caches).
+pub fn hash_one<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_inputs_equal_hashes() {
+        assert_eq!(hash_one(&(1u32, "abc")), hash_one(&(1u32, "abc")));
+    }
+
+    #[test]
+    fn different_inputs_usually_differ() {
+        assert_ne!(hash_one(&1u64), hash_one(&2u64));
+        assert_ne!(hash_one(&"a"), hash_one(&"b"));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FastMap<u32, &str> = FastMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FastSet<&str> = FastSet::default();
+        assert!(s.insert("x"));
+        assert!(!s.insert("x"));
+    }
+
+    #[test]
+    fn unaligned_tail_bytes_hash() {
+        // 11 bytes exercises both the 8-byte chunk and the 3-byte remainder.
+        assert_eq!(hash_one(&[1u8; 11]), hash_one(&[1u8; 11]));
+        assert_ne!(hash_one(&[1u8; 11]), hash_one(&[1u8; 12]));
+    }
+}

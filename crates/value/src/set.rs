@@ -1,0 +1,319 @@
+//! Canonical finite sets — the `F(·)` closure of §2.2.
+//!
+//! A [`SetValue`] stores its elements sorted (by the total order on
+//! [`Value`]) and deduplicated behind an `Arc`, so:
+//!
+//! * equality and hashing are structural and O(n),
+//! * membership is a binary search,
+//! * union/intersection/difference are linear merges,
+//! * cloning a set (e.g. when copying tuples) is a refcount bump.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// A canonical (sorted, deduplicated) finite set of values.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SetValue {
+    elems: Arc<[Value]>,
+}
+
+impl SetValue {
+    /// The empty set `{}`.
+    pub fn empty() -> SetValue {
+        static EMPTY: std::sync::OnceLock<SetValue> = std::sync::OnceLock::new();
+        EMPTY
+            .get_or_init(|| SetValue {
+                elems: Arc::from(Vec::new()),
+            })
+            .clone()
+    }
+
+    /// Build from elements, sorting and deduplicating.
+    ///
+    /// Shadows `FromIterator::from_iter` on purpose: the inherent method is
+    /// the canonical constructor and the trait impl delegates here.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter(elems: impl IntoIterator<Item = Value>) -> SetValue {
+        let mut v: Vec<Value> = elems.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        SetValue { elems: v.into() }
+    }
+
+    /// Build from a vector already known to be sorted and deduplicated.
+    ///
+    /// Checked in debug builds; used by the merge operations below.
+    fn from_sorted(v: Vec<Value>) -> SetValue {
+        debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "not canonical");
+        SetValue { elems: v.into() }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Is this the empty set?
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// The elements in canonical order.
+    pub fn as_slice(&self) -> &[Value] {
+        &self.elems
+    }
+
+    /// Iterate elements in canonical order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.elems.iter()
+    }
+
+    /// Membership test (`member(t, S)` built-in): binary search.
+    pub fn contains(&self, v: &Value) -> bool {
+        self.elems.binary_search(v).is_ok()
+    }
+
+    /// `scons(t, S) = {t} ∪ S` (restriction (1) of §2.2).
+    pub fn insert(&self, v: Value) -> SetValue {
+        match self.elems.binary_search(&v) {
+            Ok(_) => self.clone(),
+            Err(pos) => {
+                let mut out = Vec::with_capacity(self.len() + 1);
+                out.extend_from_slice(&self.elems[..pos]);
+                out.push(v);
+                out.extend_from_slice(&self.elems[pos..]);
+                SetValue::from_sorted(out)
+            }
+        }
+    }
+
+    /// Set union (the `union(S₁, S₂, S₃)` built-in checks `S₁ ∪ S₂ = S₃`).
+    pub fn union(&self, other: &SetValue) -> SetValue {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.len() && j < other.len() {
+            match self.elems[i].cmp(&other.elems[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.elems[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.elems[j].clone());
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.elems[i].clone());
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.elems[i..]);
+        out.extend_from_slice(&other.elems[j..]);
+        SetValue::from_sorted(out)
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &SetValue) -> SetValue {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.len() && j < other.len() {
+            match self.elems[i].cmp(&other.elems[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.elems[i].clone());
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        SetValue::from_sorted(out)
+    }
+
+    /// Set difference `self − other`.
+    pub fn difference(&self, other: &SetValue) -> SetValue {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.len() {
+            if j >= other.len() {
+                out.extend_from_slice(&self.elems[i..]);
+                break;
+            }
+            match self.elems[i].cmp(&other.elems[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.elems[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        SetValue::from_sorted(out)
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset(&self, other: &SetValue) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        let mut j = 0;
+        'outer: for e in self.iter() {
+            while j < other.len() {
+                match other.elems[j].cmp(e) {
+                    std::cmp::Ordering::Less => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        j += 1;
+                        continue 'outer;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Is `self ∩ other = ∅`? (the LPS `disj` example of §5).
+    pub fn is_disjoint(&self, other: &SetValue) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.len() && j < other.len() {
+            match self.elems[i].cmp(&other.elems[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// All ways to split `self` into two *disjoint* subsets `(S₁, S₂)` with
+    /// `S₁ ∪ S₂ = self` — the `partition(S, S1, S2)` built-in used by the §1
+    /// `tc` example. 2^n pairs; callers restrict to small sets.
+    pub fn partitions(&self) -> Vec<(SetValue, SetValue)> {
+        let n = self.len();
+        assert!(n <= 20, "partitions of a set with {n} elements is too large");
+        let mut out = Vec::with_capacity(1usize << n);
+        for mask in 0..(1usize << n) {
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            for (idx, e) in self.iter().enumerate() {
+                if mask & (1 << idx) != 0 {
+                    left.push(e.clone());
+                } else {
+                    right.push(e.clone());
+                }
+            }
+            out.push((SetValue::from_sorted(left), SetValue::from_sorted(right)));
+        }
+        out
+    }
+}
+
+impl fmt::Display for SetValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, e) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl fmt::Debug for SetValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromIterator<Value> for SetValue {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> SetValue {
+        SetValue::from_iter(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a SetValue {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(xs: &[i64]) -> SetValue {
+        xs.iter().map(|&i| Value::int(i)).collect()
+    }
+
+    #[test]
+    fn canonical_construction() {
+        assert_eq!(ints(&[3, 1, 2, 1]), ints(&[1, 2, 3]));
+        assert_eq!(ints(&[]).len(), 0);
+        assert!(ints(&[]).is_empty());
+    }
+
+    #[test]
+    fn membership() {
+        let s = ints(&[1, 3, 5]);
+        assert!(s.contains(&Value::int(3)));
+        assert!(!s.contains(&Value::int(2)));
+    }
+
+    #[test]
+    fn insert_is_scons() {
+        let s = ints(&[2]);
+        assert_eq!(s.insert(Value::int(1)), ints(&[1, 2]));
+        // Duplicate insertion eliminates duplicates, as §1 requires for
+        // set-enumeration ("duplicate elements are eliminated").
+        assert_eq!(s.insert(Value::int(2)), ints(&[2]));
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = ints(&[1, 2, 3]);
+        let b = ints(&[2, 3, 4]);
+        assert_eq!(a.union(&b), ints(&[1, 2, 3, 4]));
+        assert_eq!(a.intersection(&b), ints(&[2, 3]));
+        assert_eq!(a.difference(&b), ints(&[1]));
+        assert_eq!(b.difference(&a), ints(&[4]));
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        assert!(ints(&[1, 3]).is_subset(&ints(&[1, 2, 3])));
+        assert!(!ints(&[1, 4]).is_subset(&ints(&[1, 2, 3])));
+        assert!(ints(&[]).is_subset(&ints(&[])));
+        assert!(ints(&[1, 2]).is_disjoint(&ints(&[3, 4])));
+        assert!(!ints(&[1, 2]).is_disjoint(&ints(&[2, 3])));
+    }
+
+    #[test]
+    fn partitions_cover_all_splits() {
+        let s = ints(&[1, 2]);
+        let parts = s.partitions();
+        assert_eq!(parts.len(), 4);
+        for (l, r) in &parts {
+            assert!(l.is_disjoint(r));
+            assert_eq!(l.union(r), s);
+        }
+    }
+
+    #[test]
+    fn empty_set_is_shared() {
+        let a = SetValue::empty();
+        let b = SetValue::empty();
+        assert_eq!(a, b);
+        assert!(std::sync::Arc::ptr_eq(&a.elems, &b.elems));
+    }
+}

@@ -1,0 +1,55 @@
+//! The §1 bill-of-materials program: grouping, recursion over sets,
+//! `partition`, and arithmetic — "included to demonstrate the power of the
+//! language".
+//!
+//! `p(P#, Subpart#)` lists immediate subparts; `q(P#, Cost)` prices the
+//! elementary parts. The program computes the cost of every part, elementary
+//! or aggregate, as the sum of its immediate subparts' costs.
+//!
+//! Run with: `cargo run --example bill_of_materials`
+
+use ldl1::System;
+
+fn main() -> Result<(), ldl1::Error> {
+    let mut sys = System::new();
+
+    // Verbatim from §1 (with the nonempty-split guards partition needs to
+    // terminate usefully).
+    sys.load(
+        "part(P, <S>) <- p(P, S).
+         tc({X}, C)   <- q(X, C).
+         tc({X}, C)   <- part(X, S), tc(S, C).
+         tc(S, C)     <- partition(S, S1, S2), S1 /= {}, S2 /= {},
+                         tc(S1, C1), tc(S2, C2), +(C1, C2, C).
+         result(X, C) <- tc({X}, C).",
+    )?;
+
+    // The paper's data: part 1 = {2, 7}, part 2 = {3, 4}, part 3 = {5, 6};
+    // elementary costs q(4,20), q(5,10), q(6,15), q(7,200).
+    for (a, b) in [(1, 2), (1, 7), (2, 3), (2, 4), (3, 5), (3, 6)] {
+        sys.fact(&format!("p({a}, {b})."))?;
+    }
+    for (x, c) in [(4, 20), (5, 10), (6, 15), (7, 200)] {
+        sys.fact(&format!("q({x}, {c})."))?;
+    }
+
+    println!("== grouped immediate-subpart sets ==");
+    for f in sys.facts("part")? {
+        println!("  {f}");
+    }
+
+    println!("\n== cost of every part (paper: 3->25, 2->45, 1->245) ==");
+    for f in sys.facts("result")? {
+        println!("  {f}");
+    }
+
+    // Cross-check the paper's stated answers.
+    let one = sys.query("result(1, C)")?;
+    assert_eq!(one[0].bindings[0].1, ldl1::Value::int(245));
+    let two = sys.query("result(2, C)")?;
+    assert_eq!(two[0].bindings[0].1, ldl1::Value::int(45));
+    let three = sys.query("result(3, C)")?;
+    assert_eq!(three[0].bindings[0].1, ldl1::Value::int(25));
+    println!("\nall three match the paper's numbers ✓");
+    Ok(())
+}

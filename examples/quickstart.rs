@@ -1,0 +1,58 @@
+//! Quickstart: the §1 programs — ancestor, exclusive ancestor (negation),
+//! and per-parent grouping — on a small family database.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ldl1::System;
+
+fn main() -> Result<(), ldl1::Error> {
+    let mut sys = System::new();
+
+    // The paper's first two example programs, §1.
+    sys.load(
+        "ancestor(X, Y)         <- parent(X, Y).
+         ancestor(X, Y)         <- parent(X, Z), ancestor(Z, Y).
+         excl_ancestor(X, Y, Z) <- ancestor(X, Y), person(Z), ~ancestor(X, Z).
+         kids(P, <K>)           <- parent(P, K).",
+    )?;
+
+    for (p, k) in [
+        ("abe", "bob"),
+        ("abe", "ann"),
+        ("bob", "cal"),
+        ("ann", "dee"),
+        ("cal", "eve"),
+    ] {
+        sys.fact(&format!("parent({p}, {k})."))?;
+    }
+    for person in ["abe", "bob", "ann", "cal", "dee", "eve"] {
+        sys.fact(&format!("person({person})."))?;
+    }
+
+    println!("== all ancestor facts (the transitive closure) ==");
+    for f in sys.facts("ancestor")? {
+        println!("  {f}");
+    }
+
+    println!("\n== ?- ancestor(abe, X) ==");
+    for a in sys.query("ancestor(abe, X)")? {
+        println!("  X = {}", a.bindings[0].1);
+    }
+
+    println!("\n== the same query through magic sets ==");
+    for a in sys.query_magic("ancestor(abe, X)")? {
+        println!("  X = {}", a.bindings[0].1);
+    }
+
+    println!("\n== grouping: ?- kids(P, S) ==");
+    for a in sys.query("kids(P, S)")? {
+        println!("  {} -> {}", a.bindings[0].1, a.bindings[1].1);
+    }
+
+    println!("\n== stratified negation: excl_ancestor(abe, Y, Z) ==");
+    println!("   (Y is a descendant of abe, Z is not)");
+    for a in sys.query("excl_ancestor(abe, Y, Z)")? {
+        println!("  Y = {}, Z = {}", a.bindings[0].1, a.bindings[1].1);
+    }
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! The §4.2.1 teaching-schedule example: LDL1.5 complex head terms over a
+//! relation r(Teacher, Student, Class, Day), with all three of the paper's
+//! head shapes, plus the alternative (ii)′ semantics.
+//!
+//! Run with: `cargo run --example teaching`
+
+use ldl1::{GroupingSemantics, System};
+
+const DATA: &[(&str, &str, &str, &str)] = &[
+    ("hopper", "sam", "math", "mon"),
+    ("hopper", "sam", "phys", "wed"),
+    ("hopper", "ann", "math", "tue"),
+    ("mccarthy", "sam", "lisp", "fri"),
+    ("mccarthy", "bob", "lisp", "mon"),
+];
+
+fn load(sys: &mut System) -> Result<(), ldl1::Error> {
+    for (t, s, c, d) in DATA {
+        sys.fact(&format!("r({t}, {s}, {c}, {d})."))?;
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), ldl1::Error> {
+    // Shape 1: (T, <S>, <D>) — per teacher, their students and their days.
+    let mut sys = System::new();
+    sys.load("sched1(T, <S>, <D>) <- r(T, S, C, D).")?;
+    load(&mut sys)?;
+    println!("== (T, <S>, <D>) ==");
+    for f in sys.facts("sched1")? {
+        println!("  {f}");
+    }
+
+    // Shape 2: (T, <h(S, <D>)>) — per teacher, h(student, the days the
+    // student takes *some* class — not necessarily with this teacher).
+    let mut sys = System::new();
+    sys.load("sched2(T, <h(S, <D>)>) <- r(T, S, C, D).")?;
+    load(&mut sys)?;
+    println!("\n== (T, <h(S, <D>)>) — note sam's days are global ==");
+    for f in sys.facts("sched2")? {
+        println!("  {f}");
+    }
+
+    // The same under the alternative semantics (ii)′: day sets scoped to
+    // the teacher too.
+    let mut sys = System::new();
+    sys.set_grouping_semantics(GroupingSemantics::WithContext)?;
+    sys.load("sched2(T, <h(S, <D>)>) <- r(T, S, C, D).")?;
+    load(&mut sys)?;
+    println!("\n== the same head under (ii)′ — sam's days split per teacher ==");
+    for f in sys.facts("sched2")? {
+        println!("  {f}");
+    }
+
+    // Shape 3: ((T, S), <(C, <D>)>) — per (teacher, student), the classes
+    // and each class's days.
+    let mut sys = System::new();
+    sys.load("sched3((T, S), <(C, <D>)>) <- r(T, S, C, D).")?;
+    load(&mut sys)?;
+    println!("\n== ((T, S), <(C, <D>)>) ==");
+    for f in sys.facts("sched3")? {
+        println!("  {f}");
+    }
+
+    // Body-side angle patterns (§4.1): extract students from the grouped
+    // relation.
+    let mut sys = System::new();
+    sys.load(
+        "students(T, <S>) <- r(T, S, C, D).
+         has_student(T, X) <- students(T, <X>).",
+    )?;
+    load(&mut sys)?;
+    println!("\n== body <X>: has_student via a set-valued column ==");
+    for f in sys.facts("has_student")? {
+        println!("  {f}");
+    }
+    Ok(())
+}

@@ -1,0 +1,320 @@
+//! Property-based tests on the core data structures and engine invariants.
+
+use std::collections::BTreeSet;
+
+use ldl1::value::order::{dominates_elaborate, factset_dominated};
+use ldl1::{check_model, Database, EvalOptions, Evaluator, FactSet, SetValue, System, Value};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- values --
+
+/// Bounded random values over a small alphabet (so collisions happen).
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        (-5i64..5).prop_map(Value::int),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(Value::atom),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4)
+                .prop_map(|vs| Value::compound("f", vs)),
+            prop::collection::vec(inner, 0..4).prop_map(Value::set),
+        ]
+    })
+}
+
+fn int_set_strategy() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(-8i64..8, 0..12)
+}
+
+proptest! {
+    /// SetValue agrees with a BTreeSet model on every operation.
+    #[test]
+    fn set_ops_match_btreeset(xs in int_set_strategy(), ys in int_set_strategy()) {
+        let sx: SetValue = xs.iter().map(|&i| Value::int(i)).collect();
+        let sy: SetValue = ys.iter().map(|&i| Value::int(i)).collect();
+        let bx: BTreeSet<i64> = xs.iter().copied().collect();
+        let by: BTreeSet<i64> = ys.iter().copied().collect();
+
+        prop_assert_eq!(sx.len(), bx.len());
+        let as_vals = |b: &BTreeSet<i64>| -> SetValue {
+            b.iter().map(|&i| Value::int(i)).collect()
+        };
+        prop_assert_eq!(sx.union(&sy), as_vals(&bx.union(&by).copied().collect()));
+        prop_assert_eq!(
+            sx.intersection(&sy),
+            as_vals(&bx.intersection(&by).copied().collect())
+        );
+        prop_assert_eq!(
+            sx.difference(&sy),
+            as_vals(&bx.difference(&by).copied().collect())
+        );
+        prop_assert_eq!(sx.is_subset(&sy), bx.is_subset(&by));
+        prop_assert_eq!(sx.is_disjoint(&sy), bx.is_disjoint(&by));
+        for i in -8..8 {
+            prop_assert_eq!(sx.contains(&Value::int(i)), bx.contains(&i));
+        }
+    }
+
+    /// insert is idempotent and grows by at most one.
+    #[test]
+    fn set_insert_properties(xs in int_set_strategy(), x in -8i64..8) {
+        let s: SetValue = xs.iter().map(|&i| Value::int(i)).collect();
+        let s1 = s.insert(Value::int(x));
+        let s2 = s1.insert(Value::int(x));
+        prop_assert_eq!(&s1, &s2);
+        prop_assert!(s1.contains(&Value::int(x)));
+        prop_assert!(s1.len() <= s.len() + 1);
+        prop_assert!(s.is_subset(&s1));
+    }
+
+    /// The total order on values is a total order (antisymmetric,
+    /// transitive), and set canonicalization is order-insensitive.
+    #[test]
+    fn value_order_lawful(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+        use std::cmp::Ordering;
+        // Totality + consistency with Eq.
+        prop_assert_eq!(a.cmp(&b) == Ordering::Equal, a == b);
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // Transitivity.
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+        // Canonical sets ignore construction order.
+        let s1 = Value::set(vec![a.clone(), b.clone(), c.clone()]);
+        let s2 = Value::set(vec![c, a, b]);
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// Elaborate domination (§2.4 Remark) is reflexive and transitive, and
+    /// set insertion is monotone for it.
+    #[test]
+    fn domination_is_preorder(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+        prop_assert!(dominates_elaborate(&a, &a));
+        if dominates_elaborate(&a, &b) && dominates_elaborate(&b, &c) {
+            prop_assert!(dominates_elaborate(&a, &c));
+        }
+        if let (Value::Set(sa), Value::Set(_)) = (&a, &b) {
+            let bigger = Value::Set(sa.insert(b.clone()));
+            prop_assert!(dominates_elaborate(&a, &bigger));
+        }
+    }
+
+    /// Ground terms survive printing + reparsing.
+    #[test]
+    fn value_display_reparses(v in value_strategy()) {
+        let text = v.to_string();
+        let term = ldl1::parser::parse_term(&text).unwrap();
+        prop_assert_eq!(term.to_value(), Some(v));
+    }
+}
+
+// ---------------------------------------------------------------- engine --
+
+fn edges_strategy() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0i64..12, 0i64..12), 0..25)
+}
+
+const TC: &str = "r(X, Y) <- e(X, Y).\n\
+                  r(X, Y) <- e(X, Z), r(Z, Y).";
+
+fn tc_model(edges: &[(i64, i64)], opts: EvalOptions) -> FactSet {
+    let program = ldl1::parser::parse_program(TC).unwrap();
+    let mut edb = Database::new();
+    for &(a, b) in edges {
+        edb.insert_tuple("e", vec![Value::int(a), Value::int(b)]);
+    }
+    Evaluator::with_options(opts)
+        .evaluate(&program, &edb)
+        .unwrap()
+        .to_fact_set()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Naive, semi-naive, indexed, and unindexed evaluation all compute the
+    /// same model on arbitrary graphs (cycles included).
+    #[test]
+    fn all_configs_agree_on_random_graphs(edges in edges_strategy()) {
+        let base = tc_model(&edges, EvalOptions::default());
+        for semi_naive in [false, true] {
+            for use_indexes in [false, true] {
+                let m = tc_model(&edges, EvalOptions {
+                    semi_naive,
+                    use_indexes,
+                    ..EvalOptions::default()
+                });
+                prop_assert_eq!(&m, &base);
+            }
+        }
+        // And the result is a model of the program (Theorem 1).
+        let program = ldl1::parser::parse_program(TC).unwrap();
+        prop_assert!(check_model(&program, &base).is_ok());
+    }
+
+    /// The computed transitive closure equals the reachability relation
+    /// computed by a plain BFS oracle.
+    #[test]
+    fn tc_matches_bfs_oracle(edges in edges_strategy()) {
+        let m = tc_model(&edges, EvalOptions::default());
+        let derived: BTreeSet<(i64, i64)> = m
+            .iter()
+            .filter(|f| f.pred().as_str() == "r")
+            .map(|f| (f.args()[0].as_int().unwrap(), f.args()[1].as_int().unwrap()))
+            .collect();
+        // Oracle.
+        let mut oracle = BTreeSet::new();
+        for start in 0..12 {
+            let mut seen = BTreeSet::new();
+            let mut stack: Vec<i64> = edges
+                .iter()
+                .filter(|&&(a, _)| a == start)
+                .map(|&(_, b)| b)
+                .collect();
+            while let Some(n) = stack.pop() {
+                if seen.insert(n) {
+                    oracle.insert((start, n));
+                    stack.extend(
+                        edges.iter().filter(|&&(a, _)| a == n).map(|&(_, b)| b),
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(derived, oracle);
+    }
+
+    /// Magic-set evaluation agrees with plain evaluation on random graphs
+    /// and random query bindings (Theorem 4, fuzzed).
+    #[test]
+    fn magic_equivalence_fuzzed(edges in edges_strategy(), src in 0i64..12) {
+        let mut sys = System::new();
+        sys.load(TC).unwrap();
+        for &(a, b) in &edges {
+            sys.insert("e", vec![Value::int(a), Value::int(b)]);
+        }
+        let q = format!("r({src}, Y)");
+        prop_assert_eq!(sys.query(&q).unwrap(), sys.query_magic(&q).unwrap());
+        let qf = "r(X, Y)";
+        prop_assert_eq!(sys.query(qf).unwrap(), sys.query_magic(qf).unwrap());
+    }
+
+    /// Grouping invariants on random parent relations: each parent's group
+    /// is exactly its distinct children, and the grouped sets dominate any
+    /// subset-model per §2.4.
+    #[test]
+    fn grouping_collects_exactly(edges in edges_strategy()) {
+        let mut sys = System::new();
+        sys.load("kids(P, <K>) <- e(P, K).").unwrap();
+        for &(a, b) in &edges {
+            sys.insert("e", vec![Value::int(a), Value::int(b)]);
+        }
+        let kids = sys.facts("kids").unwrap();
+        // One tuple per distinct parent.
+        let parents: BTreeSet<i64> = edges.iter().map(|&(a, _)| a).collect();
+        prop_assert_eq!(kids.len(), parents.len());
+        for f in &kids {
+            let p = f.args()[0].as_int().unwrap();
+            let expect: BTreeSet<i64> = edges
+                .iter()
+                .filter(|&&(a, _)| a == p)
+                .map(|&(_, b)| b)
+                .collect();
+            let got: BTreeSet<i64> = f.args()[1]
+                .as_set()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_int().unwrap())
+                .collect();
+            prop_assert_eq!(got, expect);
+        }
+        // Fact-set self-domination sanity.
+        let m: FactSet = kids.iter().cloned().collect();
+        prop_assert!(factset_dominated(&m, &m));
+    }
+}
+
+// ------------------------------------------------- stratified program fuzz --
+
+/// A random admissible program over EDB predicates e0/e1: `layers` strata,
+/// each defining pred `pL` from the stratum below with a random mix of
+/// positive deps, negation, and grouping.
+fn random_stratified_program(layers: usize, choices: &[u8]) -> String {
+    let mut out = String::new();
+    out.push_str("p0(X, Y) <- e0(X, Y).\np0(X, Y) <- e0(X, Z), p0(Z, Y).\n");
+    for l in 1..layers {
+        let below = l - 1;
+        match choices.get(l - 1).copied().unwrap_or(0) % 4 {
+            0 => out.push_str(&format!(
+                "p{l}(X, Y) <- p{below}(X, Y).\np{l}(X, Y) <- p{below}(X, Z), p{l}(Z, Y).\n"
+            )),
+            1 => out.push_str(&format!(
+                "p{l}(X, Y) <- p{below}(X, Y), ~e1(Y).\n"
+            )),
+            2 => {
+                // Grouping then flattening keeps arity 2.
+                out.push_str(&format!(
+                    "g{l}(X, <Y>) <- p{below}(X, Y).\n\
+                     p{l}(X, Y) <- g{l}(X, S), member(Y, S).\n"
+                ));
+            }
+            _ => out.push_str(&format!(
+                "p{l}(X, Y) <- p{below}(X, Y), ~p{below}(Y, X).\n"
+            )),
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Theorem 2, fuzzed: canonical and fine layerings agree on random
+    /// admissible programs with negation and grouping at random strata.
+    #[test]
+    fn theorem2_fuzzed(
+        edges in prop::collection::vec((0i64..8, 0i64..8), 1..15),
+        marked in prop::collection::vec(0i64..8, 0..5),
+        choices in prop::collection::vec(0u8..4, 3),
+    ) {
+        let src = random_stratified_program(4, &choices);
+        let program = ldl1::parser::parse_program(&src).unwrap();
+        let mut edb = Database::new();
+        for &(a, b) in &edges {
+            edb.insert_tuple("e0", vec![Value::int(a), Value::int(b)]);
+        }
+        for &m in &marked {
+            edb.insert_tuple("e1", vec![Value::int(m)]);
+        }
+        let ev = Evaluator::new();
+        let canon = ldl1::Stratification::canonical(&program).unwrap();
+        let fine = ldl1::Stratification::fine(&program).unwrap();
+        canon.validate(&program).unwrap();
+        fine.validate(&program).unwrap();
+        let m1 = ev.evaluate_with(&program, &edb, &canon).unwrap();
+        let m2 = ev.evaluate_with(&program, &edb, &fine).unwrap();
+        prop_assert_eq!(m1.to_fact_set(), m2.to_fact_set());
+    }
+
+    /// Magic-set equivalence on the random stratified programs, querying
+    /// the top predicate with a bound first argument.
+    #[test]
+    fn magic_on_stratified_fuzzed(
+        edges in prop::collection::vec((0i64..6, 0i64..6), 1..12),
+        marked in prop::collection::vec(0i64..6, 0..4),
+        choices in prop::collection::vec(0u8..4, 2),
+        src_node in 0i64..6,
+    ) {
+        let src = random_stratified_program(3, &choices);
+        let mut sys = System::new();
+        sys.load(&src).unwrap();
+        for &(a, b) in &edges {
+            sys.insert("e0", vec![Value::int(a), Value::int(b)]);
+        }
+        for &m in &marked {
+            sys.insert("e1", vec![Value::int(m)]);
+        }
+        let q = format!("p2({src_node}, Y)");
+        prop_assert_eq!(sys.query(&q).unwrap(), sys.query_magic(&q).unwrap());
+    }
+}

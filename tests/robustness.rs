@@ -1,0 +1,239 @@
+//! Failure injection and edge cases: the engine must fail loudly and
+//! precisely on bad programs, and behave sensibly at the boundaries of `U`.
+
+use ldl1::{Database, EvalOptions, Evaluator, Fact, System, Value};
+
+#[test]
+fn arity_mismatch_across_rules_rejected() {
+    let mut sys = System::new();
+    sys.load("p(X) <- e(X). p(X, Y) <- e2(X, Y).").unwrap();
+    sys.fact("e(1).").unwrap();
+    sys.fact("e2(1, 2).").unwrap();
+    let err = sys.query("p(X)").unwrap_err().to_string();
+    assert!(err.contains("arity"), "{err}");
+}
+
+#[test]
+fn arithmetic_overflow_derives_nothing() {
+    // i64::MAX + 1 is outside U: the binding fails, no fact, no panic.
+    let mut sys = System::new();
+    sys.load(&format!(
+        "big(Y) <- n(X), Y = X + 1.\n\
+         n({}).",
+        i64::MAX
+    ))
+    .unwrap();
+    assert!(sys.facts("big").unwrap().is_empty());
+    // Division by zero likewise.
+    let mut sys2 = System::new();
+    sys2.load("d(Y) <- n(X), Y = 1 / X. n(0). n(2).").unwrap();
+    let d = sys2.facts("d").unwrap();
+    assert_eq!(d, vec![Fact::new("d", vec![Value::int(0)])]);
+}
+
+#[test]
+fn scons_onto_non_set_derives_nothing() {
+    let mut sys = System::new();
+    sys.load("s(scons(X, X)) <- n(X). n(1). n(2).").unwrap();
+    // scons(1, 1): 1 is not a set — outside U, nothing derived.
+    assert!(sys.facts("s").unwrap().is_empty());
+}
+
+#[test]
+fn unschedulable_rule_reported_with_detail() {
+    let mut sys = System::new();
+    sys.load("q(X, S) <- member(X, S), e(X).").unwrap();
+    sys.fact("e(1).").unwrap();
+    // S never bound: member can never run; and S is a head variable with no
+    // positive binder, which well-formedness already rejects.
+    let err = sys.query("q(X, S)").unwrap_err().to_string();
+    assert!(
+        err.contains("S") || err.contains("member"),
+        "diagnostic should mention the culprit: {err}"
+    );
+}
+
+#[test]
+fn empty_edb_empty_model() {
+    let mut sys = System::new();
+    sys.load(
+        "anc(X, Y) <- par(X, Y).\n\
+         anc(X, Y) <- par(X, Z), anc(Z, Y).\n\
+         kids(P, <K>) <- par(P, K).",
+    )
+    .unwrap();
+    assert!(sys.facts("anc").unwrap().is_empty());
+    assert!(sys.facts("kids").unwrap().is_empty());
+    assert!(sys.query("anc(X, Y)").unwrap().is_empty());
+    assert!(sys.query_magic("anc(a, Y)").unwrap().is_empty());
+}
+
+#[test]
+fn zero_arity_predicates_evaluate() {
+    let mut sys = System::new();
+    sys.load(
+        "go.\n\
+         ready <- go.\n\
+         blocked <- go, ~ready.",
+    )
+    .unwrap();
+    assert_eq!(sys.query("ready").unwrap().len(), 1);
+    assert!(sys.query("blocked").unwrap().is_empty());
+}
+
+#[test]
+fn deeply_nested_sets_round_trip() {
+    // Build {{{...{1}...}}} ten levels deep through rules.
+    let mut src = String::from("l0(1).\n");
+    for i in 1..=10 {
+        src.push_str(&format!("l{i}(<X>) <- l{}(X).\n", i - 1));
+    }
+    let mut sys = System::new();
+    sys.load(&src).unwrap();
+    let facts = sys.facts("l10").unwrap();
+    assert_eq!(facts.len(), 1);
+    let mut v = &facts[0].args()[0];
+    for _ in 0..10 {
+        let s = v.as_set().expect("nested set");
+        assert_eq!(s.len(), 1);
+        v = &s.as_slice()[0];
+    }
+    assert_eq!(v, &Value::int(1));
+    // And the printed form parses back to the same value.
+    let text = facts[0].args()[0].to_string();
+    let parsed = ldl1::parser::parse_term(&text).unwrap().to_value().unwrap();
+    assert_eq!(parsed, facts[0].args()[0]);
+}
+
+#[test]
+fn duplicate_rules_and_facts_are_idempotent() {
+    let mut sys = System::new();
+    sys.load(
+        "anc(X, Y) <- par(X, Y).\n\
+         anc(X, Y) <- par(X, Y).\n\
+         par(a, b). par(a, b).",
+    )
+    .unwrap();
+    assert_eq!(sys.facts("anc").unwrap().len(), 1);
+}
+
+#[test]
+fn self_join_same_relation_twice() {
+    let mut sys = System::new();
+    sys.load("grand(X, Z) <- par(X, Y), par(Y, Z).").unwrap();
+    for (a, b) in [("a", "b"), ("b", "c"), ("b", "d")] {
+        sys.fact(&format!("par({a}, {b}).")).unwrap();
+    }
+    let g = sys.facts("grand").unwrap();
+    assert_eq!(g.len(), 2); // (a,c), (a,d)
+}
+
+#[test]
+fn negation_on_empty_relation_succeeds() {
+    // `missing` never gains facts; negating it must succeed for all
+    // candidates, not error on the absent relation.
+    let mut sys = System::new();
+    sys.load(
+        "ok(X) <- e(X), ~missing(X).\n\
+         missing(X) <- e(X), e2(X).",
+    )
+    .unwrap();
+    sys.fact("e(1).").unwrap();
+    assert_eq!(sys.facts("ok").unwrap().len(), 1);
+}
+
+#[test]
+fn large_group_sets() {
+    // One group of 5000 elements: canonical set construction must not
+    // degrade quadratically in a way that matters at this scale.
+    let mut sys = System::new();
+    sys.load("all(<X>) <- e(X).").unwrap();
+    for i in 0..5000 {
+        sys.insert("e", vec![Value::int(i)]);
+    }
+    let all = sys.facts("all").unwrap();
+    assert_eq!(all[0].args()[0].as_set().unwrap().len(), 5000);
+}
+
+#[test]
+fn naive_mode_handles_negation_and_grouping_too() {
+    let opts = EvalOptions {
+        semi_naive: false,
+        use_indexes: false,
+        ..EvalOptions::default()
+    };
+    let program = ldl1::parser::parse_program(
+        "r(X, Y) <- e(X, Y).\n\
+         r(X, Y) <- e(X, Z), r(Z, Y).\n\
+         sinks(X, <Y>) <- r(X, Y), ~hasout(Y).\n\
+         hasout(X) <- e(X, _).",
+    )
+    .unwrap();
+    let mut edb = Database::new();
+    for (a, b) in [(0, 1), (1, 2)] {
+        edb.insert_tuple("e", vec![Value::int(a), Value::int(b)]);
+    }
+    let m = Evaluator::with_options(opts).evaluate(&program, &edb).unwrap();
+    assert!(m.contains(&Fact::new(
+        "sinks",
+        vec![Value::int(0), Value::set(vec![Value::int(2)])]
+    )));
+}
+
+#[test]
+fn strings_as_keys_and_in_sets() {
+    let mut sys = System::new();
+    sys.load(
+        "tags(D, <T>) <- tag(D, T).\n\
+         same(A, B) <- tags(A, S), tags(B, S), A /= B.",
+    )
+    .unwrap();
+    for (d, t) in [
+        ("d1", "\"x y\""),
+        ("d1", "\"z\""),
+        ("d2", "\"x y\""),
+        ("d2", "\"z\""),
+        ("d3", "\"z\""),
+    ] {
+        sys.fact(&format!("tag({d}, {t}).")).unwrap();
+    }
+    let same = sys.facts("same").unwrap();
+    assert_eq!(same.len(), 2); // (d1,d2) and (d2,d1)
+}
+
+#[test]
+fn update_after_query_recomputes() {
+    let mut sys = System::new();
+    sys.load("kids(P, <K>) <- par(P, K).").unwrap();
+    sys.fact("par(a, 1).").unwrap();
+    assert_eq!(
+        sys.query("kids(a, S)").unwrap()[0].bindings[0].1,
+        Value::set(vec![Value::int(1)])
+    );
+    sys.fact("par(a, 2).").unwrap();
+    assert_eq!(
+        sys.query("kids(a, S)").unwrap()[0].bindings[0].1,
+        Value::set(vec![Value::int(1), Value::int(2)])
+    );
+}
+
+#[test]
+fn magic_query_with_outside_u_term() {
+    // scons(1, 2) is syntactically ground but denotes nothing in U (scons
+    // onto a non-set); the magic pipeline must answer "no", not panic.
+    let mut sys = System::new();
+    sys.load(
+        "anc(X, Y) <- par(X, Y).\n\
+         anc(X, Y) <- par(X, Z), anc(Z, Y).\n\
+         par(1, 2).",
+    )
+    .unwrap();
+    assert!(sys.query_magic("anc(scons(1, 2), Y)").unwrap().is_empty());
+    assert!(sys.query("anc(scons(1, 2), Y)").unwrap().is_empty());
+    // Non-recursive variant (no other adornment creates the magic relation,
+    // which exercised a different failure path historically).
+    let mut sys2 = System::new();
+    sys2.load("anc(X, Y) <- par(X, Y). par(1, 2).").unwrap();
+    assert!(sys2.query_magic("anc(scons(1, 2), Y)").unwrap().is_empty());
+    assert_eq!(sys2.query_magic("anc(1, Y)").unwrap().len(), 1);
+}
