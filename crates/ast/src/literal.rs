@@ -173,10 +173,7 @@ mod tests {
 
     #[test]
     fn group_positions() {
-        let a = Atom::new(
-            "part",
-            vec![Term::var("P"), Term::group_var("S")],
-        );
+        let a = Atom::new("part", vec![Term::var("P"), Term::group_var("S")]);
         assert!(a.has_group());
         assert_eq!(a.simple_group_positions(), vec![(1, Var::new("S"))]);
         assert_eq!(a.vars_outside_group(), vec![Var::new("P")]);

@@ -136,9 +136,7 @@ impl Program {
 
     /// Is the program positive (no negated body literal, §2.1)?
     pub fn is_positive(&self) -> bool {
-        self.rules
-            .iter()
-            .all(|r| r.body.iter().all(|l| l.positive))
+        self.rules.iter().all(|r| r.body.iter().all(|l| l.positive))
     }
 }
 
@@ -194,9 +192,15 @@ mod tests {
 
     #[test]
     fn builtins_resolve_by_name_and_arity() {
-        assert_eq!(Builtin::resolve(Symbol::intern("member"), 2), Some(Builtin::Member));
+        assert_eq!(
+            Builtin::resolve(Symbol::intern("member"), 2),
+            Some(Builtin::Member)
+        );
         assert_eq!(Builtin::resolve(Symbol::intern("member"), 3), None);
-        assert_eq!(Builtin::resolve(Symbol::intern("union"), 3), Some(Builtin::Union));
+        assert_eq!(
+            Builtin::resolve(Symbol::intern("union"), 3),
+            Some(Builtin::Union)
+        );
         assert_eq!(
             Builtin::resolve(Symbol::intern("<"), 2),
             Some(Builtin::Cmp(CmpOp::Lt))

@@ -138,9 +138,6 @@ mod tests {
     #[test]
     fn rule_vars_head_first() {
         let vs = ancestor_rule().vars();
-        assert_eq!(
-            vs,
-            vec![Var::new("X"), Var::new("Y"), Var::new("Z")]
-        );
+        assert_eq!(vs, vec![Var::new("X"), Var::new("Y"), Var::new("Z")]);
     }
 }

@@ -121,9 +121,7 @@ impl Term {
         match self {
             Term::Var(_) | Term::Anon | Term::Group(_) => false,
             Term::Const(_) => true,
-            Term::Compound(_, args) | Term::SetEnum(args) => {
-                args.iter().all(Term::is_ground)
-            }
+            Term::Compound(_, args) | Term::SetEnum(args) => args.iter().all(Term::is_ground),
             Term::Scons(h, t) => h.is_ground() && t.is_ground(),
             Term::Arith(_, l, r) => l.is_ground() && r.is_ground(),
         }
@@ -150,9 +148,7 @@ impl Term {
         match self {
             Term::Group(_) => true,
             Term::Var(_) | Term::Anon | Term::Const(_) => false,
-            Term::Compound(_, args) | Term::SetEnum(args) => {
-                args.iter().any(Term::has_group)
-            }
+            Term::Compound(_, args) | Term::SetEnum(args) => args.iter().any(Term::has_group),
             Term::Scons(h, t) => h.has_group() || t.has_group(),
             Term::Arith(_, l, r) => l.has_group() || r.has_group(),
         }
@@ -228,17 +224,15 @@ impl Term {
         match self {
             Term::Var(v) => subst(*v).unwrap_or_else(|| self.clone()),
             Term::Anon | Term::Const(_) => self.clone(),
-            Term::Compound(f, args) => Term::Compound(
-                *f,
-                args.iter().map(|a| a.substitute(subst)).collect(),
-            ),
+            Term::Compound(f, args) => {
+                Term::Compound(*f, args.iter().map(|a| a.substitute(subst)).collect())
+            }
             Term::SetEnum(args) => {
                 Term::SetEnum(args.iter().map(|a| a.substitute(subst)).collect())
             }
-            Term::Scons(h, t) => Term::Scons(
-                Box::new(h.substitute(subst)),
-                Box::new(t.substitute(subst)),
-            ),
+            Term::Scons(h, t) => {
+                Term::Scons(Box::new(h.substitute(subst)), Box::new(t.substitute(subst)))
+            }
             Term::Group(inner) => Term::Group(Box::new(inner.substitute(subst))),
             Term::Arith(op, l, r) => Term::Arith(
                 *op,
@@ -350,7 +344,10 @@ mod tests {
     #[test]
     fn ground_set_enum_evaluates() {
         let t = Term::SetEnum(vec![Term::int(2), Term::int(1), Term::int(2)]);
-        assert_eq!(t.to_value(), Some(Value::set(vec![Value::int(1), Value::int(2)])));
+        assert_eq!(
+            t.to_value(),
+            Some(Value::set(vec![Value::int(1), Value::int(2)]))
+        );
     }
 
     #[test]
@@ -374,17 +371,18 @@ mod tests {
         let t = Term::Arith(
             ArithOp::Add,
             Box::new(Term::int(20)),
-            Box::new(Term::Arith(ArithOp::Add, Box::new(Term::int(20)), Box::new(Term::int(5)))),
+            Box::new(Term::Arith(
+                ArithOp::Add,
+                Box::new(Term::int(20)),
+                Box::new(Term::int(5)),
+            )),
         );
         assert_eq!(t.to_value(), Some(Value::int(45)));
     }
 
     #[test]
     fn vars_in_first_occurrence_order() {
-        let t = Term::compound(
-            "f",
-            vec![Term::var("Y"), Term::var("X"), Term::var("Y")],
-        );
+        let t = Term::compound("f", vec![Term::var("Y"), Term::var("X"), Term::var("Y")]);
         let mut vs = Vec::new();
         t.vars(&mut vs);
         assert_eq!(vs, vec![Var::new("Y"), Var::new("X")]);

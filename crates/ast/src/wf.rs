@@ -247,10 +247,7 @@ mod tests {
     #[test]
     fn multiple_head_groups_rejected_in_ldl1() {
         let r = rule(
-            Atom::new(
-                "q",
-                vec![Term::group_var("X"), Term::group_var("Y")],
-            ),
+            Atom::new("q", vec![Term::group_var("X"), Term::group_var("Y")]),
             vec![Literal::pos(Atom::new(
                 "p",
                 vec![Term::var("X"), Term::var("Y")],
@@ -267,10 +264,7 @@ mod tests {
     fn nested_head_group_rejected_in_ldl1() {
         // q(f(<X>)) <- p(X).
         let r = rule(
-            Atom::new(
-                "q",
-                vec![Term::compound("f", vec![Term::group_var("X")])],
-            ),
+            Atom::new("q", vec![Term::compound("f", vec![Term::group_var("X")])]),
             vec![Literal::pos(Atom::new("p", vec![Term::var("X")]))],
         );
         assert!(check_rule(&r, Dialect::Ldl1)

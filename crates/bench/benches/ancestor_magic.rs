@@ -5,21 +5,18 @@
 //! the queried node's reachable set; on a bound chain-midpoint query that
 //! is ~O(n²)/O(n).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ldl_bench::{binary_tree, chain, magic_query, plain_query, random_graph, ANCESTOR};
+use ldl_testkit::bench;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("P2_ancestor_magic");
-    g.sample_size(10);
-
+fn main() {
     for n in [100i64, 300, 600] {
         let db = chain(n);
         let q = format!("anc({}, Y)", n / 2);
-        g.bench_with_input(BenchmarkId::new("chain/magic", n), &n, |b, _| {
-            b.iter(|| magic_query(ANCESTOR, &db, &q));
+        bench("P2_ancestor_magic", &format!("chain/magic/{n}"), 10, || {
+            magic_query(ANCESTOR, &db, &q);
         });
-        g.bench_with_input(BenchmarkId::new("chain/plain", n), &n, |b, _| {
-            b.iter(|| plain_query(ANCESTOR, &db, &q));
+        bench("P2_ancestor_magic", &format!("chain/plain/{n}"), 10, || {
+            plain_query(ANCESTOR, &db, &q);
         });
     }
 
@@ -27,11 +24,11 @@ fn bench(c: &mut Criterion) {
         let db = binary_tree(depth);
         let q = "anc(2, Y)"; // one subtree
         let n = (1i64 << depth) - 1;
-        g.bench_with_input(BenchmarkId::new("tree/magic", n), &depth, |b, _| {
-            b.iter(|| magic_query(ANCESTOR, &db, q));
+        bench("P2_ancestor_magic", &format!("tree/magic/{n}"), 10, || {
+            magic_query(ANCESTOR, &db, q);
         });
-        g.bench_with_input(BenchmarkId::new("tree/plain", n), &depth, |b, _| {
-            b.iter(|| plain_query(ANCESTOR, &db, q));
+        bench("P2_ancestor_magic", &format!("tree/plain/{n}"), 10, || {
+            plain_query(ANCESTOR, &db, q);
         });
     }
 
@@ -39,19 +36,21 @@ fn bench(c: &mut Criterion) {
     for &(n, e) in &[(200i64, 150usize), (200, 400)] {
         let db = random_graph(n, e, 7);
         let q = "anc(0, Y)";
-        g.bench_with_input(
-            BenchmarkId::new("random/magic", format!("{n}n{e}e")),
-            &n,
-            |b, _| b.iter(|| magic_query(ANCESTOR, &db, q)),
+        bench(
+            "P2_ancestor_magic",
+            &format!("random/magic/{n}n{e}e"),
+            10,
+            || {
+                magic_query(ANCESTOR, &db, q);
+            },
         );
-        g.bench_with_input(
-            BenchmarkId::new("random/plain", format!("{n}n{e}e")),
-            &n,
-            |b, _| b.iter(|| plain_query(ANCESTOR, &db, q)),
+        bench(
+            "P2_ancestor_magic",
+            &format!("random/plain/{n}n{e}e"),
+            10,
+            || {
+                plain_query(ANCESTOR, &db, q);
+            },
         );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -4,20 +4,14 @@
 //! Expected shape: cubic in the number of books below the price cap (the
 //! filter prunes, dedup into canonical sets caps the output).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ldl_bench::{books, eval_with, opts, BOOK_DEAL};
+use ldl_testkit::bench;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("P8_book_deal");
-    g.sample_size(10);
+fn main() {
     for n in [10usize, 20, 40] {
         let db = books(n, 99);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| eval_with(BOOK_DEAL, &db, opts(true, true)));
+        bench("P8_book_deal", &n.to_string(), 10, || {
+            eval_with(BOOK_DEAL, &db, opts(true, true));
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -7,33 +7,21 @@
 //! `result(root, C)` query across sizes, plus full evaluation at the
 //! paper's own scale (7 parts) for contrast.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ldl_bench::{bom, eval_with, magic_query, opts, BOM};
+use ldl_testkit::bench;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("P4_grouping_bom");
-    g.sample_size(10);
+fn main() {
     for (depth, branching) in [(2u32, 2i64), (3, 2), (4, 2), (5, 2), (2, 3)] {
         let db = bom(depth, branching);
         let parts = db.num_facts();
-        g.bench_with_input(
-            BenchmarkId::new(
-                format!("magic_b{branching}"),
-                format!("d{depth}_{parts}facts"),
-            ),
-            &depth,
-            |b, _| {
-                b.iter(|| magic_query(BOM, &db, "result(1, C)"));
-            },
-        );
+        let label = format!("magic_b{branching}/d{depth}_{parts}facts");
+        bench("P4_grouping_bom", &label, 10, || {
+            magic_query(BOM, &db, "result(1, C)");
+        });
     }
     // Full-model evaluation at the paper's scale only.
     let db = bom(2, 2);
-    g.bench_function("full_model_paper_scale", |b| {
-        b.iter(|| eval_with(BOM, &db, opts(true, true)));
+    bench("P4_grouping_bom", "full_model_paper_scale", 10, || {
+        eval_with(BOM, &db, opts(true, true));
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! P11 — incremental maintenance: committing one new `par` edge into a
+//! cached ancestor model vs recomputing the model from scratch.
+//!
+//! The workload is a 10,000-edge forest of ancestor chains (1,000 chains ×
+//! 10 edges — one long chain's closure is quadratic and would dwarf any
+//! realistic update pattern). Each timed commit extends one chain by a
+//! fresh edge, so the delta pass derives only that chain's new ancestor
+//! facts; the full recompute re-derives all ~55,000.
+//!
+//! Expected shape: the one-fact commit wins by orders of magnitude — the
+//! acceptance bar is ≥10×.
+
+use ldl1::{Database, EvalOptions, Evaluator, System, Value};
+use ldl_bench::{opts, ANCESTOR};
+use ldl_testkit::bench;
+
+const CHAINS: i64 = 1_000;
+const LINKS: i64 = 10; // edges per chain => 10_000 edges total
+const STRIDE: i64 = 1_000_000; // id space per chain, room to grow
+
+fn edges() -> Vec<(i64, i64)> {
+    let mut es = Vec::new();
+    for c in 0..CHAINS {
+        let base = c * STRIDE;
+        for i in 0..LINKS {
+            es.push((base + i, base + i + 1));
+        }
+    }
+    es
+}
+
+fn main() {
+    let es = edges();
+
+    // Baseline: full recompute of the model over all 10k edges.
+    let mut db = Database::new();
+    for &(x, y) in &es {
+        db.insert_tuple("par", vec![Value::int(x), Value::int(y)]);
+    }
+    let program = ldl1::parser::parse_program(ANCESTOR).unwrap();
+    let ev = Evaluator::with_options(EvalOptions {
+        check_wf: false,
+        ..opts(true, true)
+    });
+    let full = bench(
+        "P11_incremental_update",
+        "full_recompute_10k_edges",
+        5,
+        || {
+            ev.evaluate(&program, &db).unwrap();
+        },
+    );
+
+    // Incremental: one-fact batch commits against the cached model. Each
+    // iteration extends a different chain's tail with a fresh edge.
+    let mut sys = System::new();
+    sys.load(ANCESTOR).unwrap();
+    for &(x, y) in &es {
+        sys.insert("par", vec![Value::int(x), Value::int(y)]);
+    }
+    sys.model().unwrap(); // build + cache the model
+    let mut tails: Vec<i64> = (0..CHAINS).map(|c| c * STRIDE + LINKS).collect();
+    let mut turn = 0usize;
+    let one = bench("P11_incremental_update", "one_fact_commit", 50, || {
+        let c = turn % CHAINS as usize;
+        turn += 1;
+        let t = tails[c];
+        tails[c] = t + 1;
+        let mut b = sys.batch();
+        b.insert("par", vec![Value::int(t), Value::int(t + 1)]);
+        b.commit().unwrap();
+    });
+
+    let speedup = one.speedup_over(&full);
+    println!("P11_incremental_update/speedup: {speedup:.1}x (acceptance bar: 10x)");
+    assert!(
+        speedup >= 10.0,
+        "incremental commit must beat full recompute by >=10x, got {speedup:.1}x"
+    );
+}

@@ -4,40 +4,38 @@
 //! Expected shape: indexes win roughly by the average selectivity of the
 //! probed column (large on chains, smaller on dense graphs).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ldl_bench::{chain, eval_with, family_forest, opts, random_graph, ANCESTOR, YOUNG};
+use ldl_testkit::bench;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("P9_index_ablation");
-    g.sample_size(10);
-
+fn main() {
     for n in [100i64, 300] {
         let db = chain(n);
-        g.bench_with_input(BenchmarkId::new("chain/indexed", n), &n, |b, _| {
-            b.iter(|| eval_with(ANCESTOR, &db, opts(true, true)));
-        });
-        g.bench_with_input(BenchmarkId::new("chain/scan", n), &n, |b, _| {
-            b.iter(|| eval_with(ANCESTOR, &db, opts(true, false)));
+        bench(
+            "P9_index_ablation",
+            &format!("chain/indexed/{n}"),
+            10,
+            || {
+                eval_with(ANCESTOR, &db, opts(true, true));
+            },
+        );
+        bench("P9_index_ablation", &format!("chain/scan/{n}"), 10, || {
+            eval_with(ANCESTOR, &db, opts(true, false));
         });
     }
 
     let db = random_graph(150, 300, 3);
-    g.bench_function("random/indexed", |b| {
-        b.iter(|| eval_with(ANCESTOR, &db, opts(true, true)));
+    bench("P9_index_ablation", "random/indexed", 10, || {
+        eval_with(ANCESTOR, &db, opts(true, true));
     });
-    g.bench_function("random/scan", |b| {
-        b.iter(|| eval_with(ANCESTOR, &db, opts(true, false)));
+    bench("P9_index_ablation", "random/scan", 10, || {
+        eval_with(ANCESTOR, &db, opts(true, false));
     });
 
     let (db, _) = family_forest(2, 4);
-    g.bench_function("young/indexed", |b| {
-        b.iter(|| eval_with(YOUNG, &db, opts(true, true)));
+    bench("P9_index_ablation", "young/indexed", 10, || {
+        eval_with(YOUNG, &db, opts(true, true));
     });
-    g.bench_function("young/scan", |b| {
-        b.iter(|| eval_with(YOUNG, &db, opts(true, false)));
+    bench("P9_index_ablation", "young/scan", 10, || {
+        eval_with(YOUNG, &db, opts(true, false));
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -6,10 +6,10 @@
 //! growing with the set sizes — the price of expressing ∀ inside the
 //! language.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ldl_bench::{eval_program_with, eval_with, opts};
 use ldl1::transform::lps::{translate_lps, LpsRule};
 use ldl1::{Database, Value};
+use ldl_bench::{eval_program_with, eval_with, opts};
+use ldl_testkit::bench;
 
 fn pairs_db(pairs: usize, set_size: i64) -> Database {
     let mut db = Database::new();
@@ -36,23 +36,27 @@ fn lps_subset_program() -> ldl1::Program {
     translate_lps(&[rule]).unwrap()
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("P7_lps_translation");
-    g.sample_size(10);
+fn main() {
     let native = "sub(X, Y) <- pair(X, Y), subset(X, Y).";
     let translated = lps_subset_program();
     for (pairs, size) in [(50usize, 4i64), (200, 4), (50, 8)] {
         let db = pairs_db(pairs, size);
         let label = format!("{pairs}pairs_{size}elems");
-        g.bench_with_input(BenchmarkId::new("native_builtin", &label), &pairs, |b, _| {
-            b.iter(|| eval_with(native, &db, opts(true, true)));
-        });
-        g.bench_with_input(BenchmarkId::new("lps_translated", &label), &pairs, |b, _| {
-            b.iter(|| eval_program_with(&translated, &db, opts(true, true)));
-        });
+        bench(
+            "P7_lps_translation",
+            &format!("native_builtin/{label}"),
+            10,
+            || {
+                eval_with(native, &db, opts(true, true));
+            },
+        );
+        bench(
+            "P7_lps_translation",
+            &format!("lps_translated/{label}"),
+            10,
+            || {
+                eval_program_with(&translated, &db, opts(true, true));
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

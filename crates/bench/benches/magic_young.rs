@@ -5,32 +5,31 @@
 //! the forest (plain evaluation materializes the full ancestor closure;
 //! magic only touches the queried leaf's cone).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ldl_bench::{eval_with, family_forest, magic_query, opts, plain_query, YOUNG};
+use ldl_testkit::bench;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("P1_magic_young");
-    g.sample_size(10);
+fn main() {
     for depth in [3u32, 4, 5] {
         let (db, leaf) = family_forest(4, depth);
         let query = format!("young({leaf}, S)");
         let persons = 4 * ((1usize << (depth + 1)) - 1);
 
-        g.bench_with_input(BenchmarkId::new("magic", persons), &depth, |b, _| {
-            b.iter(|| magic_query(YOUNG, &db, &query));
+        bench("P1_magic_young", &format!("magic/{persons}"), 10, || {
+            magic_query(YOUNG, &db, &query);
         });
-        g.bench_with_input(BenchmarkId::new("semi_naive", persons), &depth, |b, _| {
-            b.iter(|| plain_query(YOUNG, &db, &query));
-        });
+        bench(
+            "P1_magic_young",
+            &format!("semi_naive/{persons}"),
+            10,
+            || {
+                plain_query(YOUNG, &db, &query);
+            },
+        );
         if depth <= 4 {
             // Naive evaluation re-derives everything each round; cap it.
-            g.bench_with_input(BenchmarkId::new("naive", persons), &depth, |b, _| {
-                b.iter(|| eval_with(YOUNG, &db, opts(false, true)));
+            bench("P1_magic_young", &format!("naive/{persons}"), 10, || {
+                eval_with(YOUNG, &db, opts(false, true));
             });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -4,9 +4,9 @@
 //! the cross product anc × node it filters, i.e. roughly quadratic in n on
 //! a chain.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ldl_bench::{eval_with, opts, EXCL_ANCESTOR};
 use ldl1::{Database, Value};
+use ldl_bench::{eval_with, opts, EXCL_ANCESTOR};
+use ldl_testkit::bench;
 
 fn chain_with_nodes(n: i64) -> Database {
     let mut db = ldl_bench::chain(n);
@@ -16,17 +16,11 @@ fn chain_with_nodes(n: i64) -> Database {
     db
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("P5_negation");
-    g.sample_size(10);
+fn main() {
     for n in [20i64, 40, 80] {
         let db = chain_with_nodes(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| eval_with(EXCL_ANCESTOR, &db, opts(true, true)));
+        bench("P5_negation", &n.to_string(), 10, || {
+            eval_with(EXCL_ANCESTOR, &db, opts(true, true));
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -5,10 +5,10 @@
 //! pays for the dom/ok/g scaffolding — a constant-factor slowdown that
 //! grows with the number of negation call sites.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ldl_bench::{eval_program_with, eval_with, opts, EXCL_ANCESTOR};
 use ldl1::transform::neg_elim::eliminate_negation;
 use ldl1::{Database, Value};
+use ldl_bench::{eval_program_with, eval_with, opts, EXCL_ANCESTOR};
+use ldl_testkit::bench;
 
 fn chain_with_nodes(n: i64) -> Database {
     let mut db = ldl_bench::chain(n);
@@ -18,24 +18,28 @@ fn chain_with_nodes(n: i64) -> Database {
     db
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("P6_negation_vs_grouping");
-    g.sample_size(10);
+fn main() {
     let positive = {
         let p = ldl1::parser::parse_program(EXCL_ANCESTOR).unwrap();
         eliminate_negation(&p).unwrap()
     };
     for n in [20i64, 40, 80] {
         let db = chain_with_nodes(n);
-        g.bench_with_input(BenchmarkId::new("native_negation", n), &n, |b, _| {
-            b.iter(|| eval_with(EXCL_ANCESTOR, &db, opts(true, true)));
-        });
-        g.bench_with_input(BenchmarkId::new("grouping_compiled", n), &n, |b, _| {
-            b.iter(|| eval_program_with(&positive, &db, opts(true, true)));
-        });
+        bench(
+            "P6_negation_vs_grouping",
+            &format!("native_negation/{n}"),
+            10,
+            || {
+                eval_with(EXCL_ANCESTOR, &db, opts(true, true));
+            },
+        );
+        bench(
+            "P6_negation_vs_grouping",
+            &format!("grouping_compiled/{n}"),
+            10,
+            || {
+                eval_program_with(&positive, &db, opts(true, true));
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

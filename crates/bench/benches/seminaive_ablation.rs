@@ -3,23 +3,22 @@
 //! Expected shape: naive re-derives every fact every round (O(n) rounds on
 //! a chain ⇒ ~O(n³) work); semi-naive touches each derivation once.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ldl_bench::{chain, eval_with, opts, ANCESTOR};
+use ldl_testkit::bench;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("P3_seminaive_ablation");
-    g.sample_size(10);
+fn main() {
     for n in [50i64, 100, 200] {
         let db = chain(n);
-        g.bench_with_input(BenchmarkId::new("semi_naive", n), &n, |b, _| {
-            b.iter(|| eval_with(ANCESTOR, &db, opts(true, true)));
-        });
-        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
-            b.iter(|| eval_with(ANCESTOR, &db, opts(false, true)));
+        bench(
+            "P3_seminaive_ablation",
+            &format!("semi_naive/{n}"),
+            10,
+            || {
+                eval_with(ANCESTOR, &db, opts(true, true));
+            },
+        );
+        bench("P3_seminaive_ablation", &format!("naive/{n}"), 10, || {
+            eval_with(ANCESTOR, &db, opts(false, true));
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -4,27 +4,17 @@
 //! Expected shape: linear in rules + dependency edges (Tarjan SCC +
 //! longest path).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ldl_bench::layered_program;
 use ldl1::Stratification;
+use ldl_bench::layered_program;
+use ldl_testkit::bench;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("P10_stratify");
-    g.sample_size(20);
+fn main() {
     for (layers, width) in [(10usize, 10usize), (50, 10), (100, 20), (200, 20)] {
         let src = layered_program(layers, width);
         let program = ldl1::parser::parse_program(&src).unwrap();
         let rules = program.len();
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{rules}rules")),
-            &rules,
-            |b, _| {
-                b.iter(|| Stratification::canonical(&program).unwrap());
-            },
-        );
+        bench("P10_stratify", &format!("{rules}rules"), 20, || {
+            Stratification::canonical(&program).unwrap();
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -7,10 +7,10 @@
 
 use std::time::{Duration, Instant};
 
-use ldl_bench::*;
 use ldl1::transform::lps::{translate_lps, LpsRule};
 use ldl1::transform::neg_elim::eliminate_negation;
 use ldl1::{Database, Stratification, Value};
+use ldl_bench::*;
 
 fn median(mut xs: Vec<Duration>) -> Duration {
     xs.sort();
@@ -87,7 +87,12 @@ fn p2() {
         let tm = time(|| {
             magic_query(ANCESTOR, &db, &q);
         });
-        println!("| chain n={n} | {} | {} | {} |", ms(tp), ms(tm), ratio(tp, tm));
+        println!(
+            "| chain n={n} | {} | {} | {} |",
+            ms(tp),
+            ms(tm),
+            ratio(tp, tm)
+        );
     }
     for depth in [8u32, 10] {
         let db = binary_tree(depth);
@@ -270,7 +275,12 @@ fn p9() {
         let ts = time(|| {
             eval_with(ANCESTOR, &db, opts(true, false));
         });
-        println!("| chain n={n} | {} | {} | {} |", ms(ti), ms(ts), ratio(ts, ti));
+        println!(
+            "| chain n={n} | {} | {} | {} |",
+            ms(ti),
+            ms(ts),
+            ratio(ts, ti)
+        );
     }
     let db = random_graph(150, 300, 3);
     let ti = time(|| {
@@ -279,7 +289,12 @@ fn p9() {
     let ts = time(|| {
         eval_with(ANCESTOR, &db, opts(true, false));
     });
-    println!("| random 150n/300e | {} | {} | {} |", ms(ti), ms(ts), ratio(ts, ti));
+    println!(
+        "| random 150n/300e | {} | {} | {} |",
+        ms(ti),
+        ms(ts),
+        ratio(ts, ti)
+    );
     let (db, _) = family_forest(2, 4);
     let ti = time(|| {
         eval_with(YOUNG, &db, opts(true, true));
@@ -287,7 +302,12 @@ fn p9() {
     let ts = time(|| {
         eval_with(YOUNG, &db, opts(true, false));
     });
-    println!("| young forest | {} | {} | {} |", ms(ti), ms(ts), ratio(ts, ti));
+    println!(
+        "| young forest | {} | {} | {} |",
+        ms(ti),
+        ms(ts),
+        ratio(ts, ti)
+    );
 }
 
 fn p10() {

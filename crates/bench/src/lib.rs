@@ -13,8 +13,7 @@
 //! bill-of-materials program, price lists for `book_deal`.
 
 use ldl1::{Database, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ldl_testkit::Rng;
 
 /// The §1 ancestor program.
 pub const ANCESTOR: &str = "anc(X, Y) <- par(X, Y).\n\
@@ -72,14 +71,14 @@ pub fn binary_tree(depth: u32) -> Database {
 /// A seeded random `par` graph with `n` nodes and `e` edges, plus a `node`
 /// relation listing all nodes (for the negation workloads).
 pub fn random_graph(n: i64, e: usize, seed: u64) -> Database {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut db = Database::new();
     for i in 0..n {
         db.insert_tuple("node", vec![Value::int(i)]);
     }
     for _ in 0..e {
-        let a = rng.gen_range(0..n);
-        let b = rng.gen_range(0..n);
+        let a = rng.range(0, n);
+        let b = rng.range(0, n);
         db.insert_tuple("par", vec![Value::int(a), Value::int(b)]);
     }
     db
@@ -138,15 +137,12 @@ pub fn bom(depth: u32, branching: i64) -> Database {
 
 /// `n` books with seeded pseudo-random prices in 10..=60.
 pub fn books(n: usize, seed: u64) -> Database {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut db = Database::new();
     for i in 0..n {
         db.insert_tuple(
             "book",
-            vec![
-                Value::atom(&format!("b{i}")),
-                Value::int(rng.gen_range(10..=60)),
-            ],
+            vec![Value::atom(&format!("b{i}")), Value::int(rng.range(10, 61))],
         );
     }
     db
@@ -194,7 +190,9 @@ pub fn eval_program_with(
 pub fn plain_query(src: &str, db: &Database, query: &str) -> Vec<ldl1::QueryAnswer> {
     let program = ldl1::parser::parse_program(src).expect("benchmark program parses");
     let ev = ldl1::Evaluator::new();
-    let m = ev.evaluate(&program, db).expect("benchmark program evaluates");
+    let m = ev
+        .evaluate(&program, db)
+        .expect("benchmark program evaluates");
     ev.query(&m, &ldl1::parser::parse_atom(query).expect("query parses"))
 }
 
@@ -234,7 +232,10 @@ mod tests {
         assert!(bom(2, 2).num_facts() >= 6);
         assert_eq!(books(5, 1).num_facts(), 5);
         let g = random_graph(10, 20, 42);
-        assert_eq!(g.num_facts(), 10 + g.relation("par".into()).map_or(0, |r| r.len()));
+        assert_eq!(
+            g.num_facts(),
+            10 + g.relation("par".into()).map_or(0, |r| r.len())
+        );
     }
 
     #[test]

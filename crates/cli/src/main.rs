@@ -27,6 +27,7 @@ Commands:
   :strata             show the layering of the current program
   :facts PRED         list the model's facts for one predicate
   :magic QUERY.       answer a query via the magic-set pipeline
+  :stats              work counters of the last evaluation (full or incremental)
   :save FILE          write the model (all facts) as loadable fact syntax
   :quit               exit";
 
@@ -155,6 +156,7 @@ fn command(sys: &mut System, cmd: &str) -> bool {
             Ok(answers) => print_answers(&answers),
             Err(e) => eprintln!("error: {e}"),
         },
+        ":stats" => println!("{}", sys.last_stats()),
         other => eprintln!("unknown command {other}; try :help"),
     }
     true
@@ -177,16 +179,7 @@ fn print_answers(answers: &[ldl1::QueryAnswer]) {
         return;
     }
     for a in answers {
-        if a.bindings.is_empty() {
-            println!("yes");
-        } else {
-            let parts: Vec<String> = a
-                .bindings
-                .iter()
-                .map(|(v, val)| format!("{v} = {val}"))
-                .collect();
-            println!("{}", parts.join(", "));
-        }
+        println!("{a}"); // Prolog-style `X = 1, Y = f(2)`, or `yes`
     }
 }
 

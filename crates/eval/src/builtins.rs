@@ -65,7 +65,9 @@ pub fn eval_builtin(
 ) {
     match bi {
         Builtin::Member => {
-            let Some(sv) = eval_term(&args[1], b) else { return };
+            let Some(sv) = eval_term(&args[1], b) else {
+                return;
+            };
             let Some(s) = as_set(&sv) else { return };
             for e in s.iter() {
                 match_term(&args[0], e, b, k);
@@ -76,7 +78,9 @@ pub fn eval_builtin(
             let (Some(v0), Some(v1)) = (eval_term(&args[0], b), eval_term(&args[1], b)) else {
                 return;
             };
-            let (Some(s0), Some(s1)) = (as_set(&v0), as_set(&v1)) else { return };
+            let (Some(s0), Some(s1)) = (as_set(&v0), as_set(&v1)) else {
+                return;
+            };
             let result = match bi {
                 Builtin::Intersection => s0.intersection(s1),
                 _ => s0.difference(s1),
@@ -85,10 +89,14 @@ pub fn eval_builtin(
         }
         Builtin::Partition => eval_partition(args, b, k),
         Builtin::Subset => {
-            let Some(sup_v) = eval_term(&args[1], b) else { return };
+            let Some(sup_v) = eval_term(&args[1], b) else {
+                return;
+            };
             let Some(sup) = as_set(&sup_v) else { return };
             if is_ground_under(&args[0], b) {
-                let Some(sub_v) = eval_term(&args[0], b) else { return };
+                let Some(sub_v) = eval_term(&args[0], b) else {
+                    return;
+                };
                 let Some(sub) = as_set(&sub_v) else { return };
                 if sub.is_subset(sup) {
                     k(b);
@@ -112,17 +120,23 @@ pub fn eval_builtin(
             }
         }
         Builtin::Card => {
-            let Some(sv) = eval_term(&args[0], b) else { return };
+            let Some(sv) = eval_term(&args[0], b) else {
+                return;
+            };
             let Some(s) = as_set(&sv) else { return };
             let n = i64::try_from(s.len()).expect("set size fits i64");
             match_term(&args[1], &Value::Int(n), b, k);
         }
         Builtin::Cmp(CmpOp::Eq) => {
             if is_ground_under(&args[0], b) {
-                let Some(lv) = eval_term(&args[0], b) else { return };
+                let Some(lv) = eval_term(&args[0], b) else {
+                    return;
+                };
                 match_term(&args[1], &lv, b, k);
             } else if is_ground_under(&args[1], b) {
-                let Some(rv) = eval_term(&args[1], b) else { return };
+                let Some(rv) = eval_term(&args[1], b) else {
+                    return;
+                };
                 match_term(&args[0], &rv, b, k);
             }
         }
@@ -145,12 +159,16 @@ fn eval_union(args: &[Term], b: &mut Bindings, k: &mut dyn FnMut(&mut Bindings))
         let (Some(v0), Some(v1)) = (eval_term(&args[0], b), eval_term(&args[1], b)) else {
             return;
         };
-        let (Some(s0), Some(s1)) = (as_set(&v0), as_set(&v1)) else { return };
+        let (Some(s0), Some(s1)) = (as_set(&v0), as_set(&v1)) else {
+            return;
+        };
         match_term(&args[2], &Value::Set(s0.union(s1)), b, k);
         return;
     }
     // Generative mode: result bound, enumerate (S₁, S₂) with S₁ ∪ S₂ = S₃.
-    let Some(v2) = eval_term(&args[2], b) else { return };
+    let Some(v2) = eval_term(&args[2], b) else {
+        return;
+    };
     let Some(s3) = as_set(&v2) else { return };
     let n = s3.len();
     assert!(
@@ -182,7 +200,9 @@ fn eval_union(args: &[Term], b: &mut Bindings, k: &mut dyn FnMut(&mut Bindings))
 
 fn eval_partition(args: &[Term], b: &mut Bindings, k: &mut dyn FnMut(&mut Bindings)) {
     if is_ground_under(&args[0], b) {
-        let Some(v0) = eval_term(&args[0], b) else { return };
+        let Some(v0) = eval_term(&args[0], b) else {
+            return;
+        };
         let Some(s) = as_set(&v0) else { return };
         assert!(
             s.len() <= MAX_ENUMERATED_SET,
@@ -200,7 +220,9 @@ fn eval_partition(args: &[Term], b: &mut Bindings, k: &mut dyn FnMut(&mut Bindin
     let (Some(v1), Some(v2)) = (eval_term(&args[1], b), eval_term(&args[2], b)) else {
         return;
     };
-    let (Some(s1), Some(s2)) = (as_set(&v1), as_set(&v2)) else { return };
+    let (Some(s1), Some(s2)) = (as_set(&v1), as_set(&v2)) else {
+        return;
+    };
     if s1.is_disjoint(s2) {
         match_term(&args[0], &Value::Set(s1.union(s2)), b, k);
     }

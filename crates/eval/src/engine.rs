@@ -1,5 +1,7 @@
 //! The evaluation engine facade.
 
+use std::fmt;
+
 use ldl_ast::literal::Atom;
 use ldl_ast::program::Program;
 use ldl_ast::wf::{check_program, Dialect};
@@ -10,6 +12,7 @@ use ldl_value::{Fact, Value};
 use crate::bindings::Bindings;
 use crate::error::EvalError;
 use crate::fixpoint;
+use crate::stats::EvalStats;
 use crate::unify::match_slice;
 
 /// Evaluation configuration.
@@ -39,7 +42,10 @@ impl Default for EvalOptions {
 }
 
 /// One answer to a query: the queried atom's variables bound to values.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Answers sort by their bindings (variable name, then the total order on
+/// [`Value`]), which is also the order [`Evaluator::query`] returns them in.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub struct QueryAnswer {
     /// `(variable name, value)` pairs in first-occurrence order.
     pub bindings: Vec<(String, Value)>,
@@ -52,6 +58,59 @@ impl QueryAnswer {
             .iter()
             .find(|(v, _)| v == var)
             .map(|(_, val)| val)
+    }
+
+    /// The `i`-th binding's value, in the query's first-occurrence variable
+    /// order (e.g. `a.get_index(0)` for a single-variable query).
+    pub fn get_index(&self, i: usize) -> Option<&Value> {
+        self.bindings.get(i).map(|(_, val)| val)
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// A ground (variable-free) query answered `yes` has no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Iterate over `(variable, value)` pairs.
+    pub fn iter(&self) -> std::slice::Iter<'_, (String, Value)> {
+        self.bindings.iter()
+    }
+}
+
+/// Prints Prolog-style: `X = 1, Y = f(2)`; an empty answer prints `yes`.
+impl fmt::Display for QueryAnswer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bindings.is_empty() {
+            return f.write_str("yes");
+        }
+        for (i, (var, val)) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{var} = {val}")?;
+        }
+        Ok(())
+    }
+}
+
+impl IntoIterator for QueryAnswer {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.bindings.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a QueryAnswer {
+    type Item = &'a (String, Value);
+    type IntoIter = std::slice::Iter<'a, (String, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.bindings.iter()
     }
 }
 
@@ -80,6 +139,16 @@ impl Evaluator {
         self.evaluate_with(program, edb, &strat)
     }
 
+    /// [`Evaluator::evaluate`], also returning the work counters.
+    pub fn evaluate_stats(
+        &self,
+        program: &Program,
+        edb: &Database,
+    ) -> Result<(Database, EvalStats), EvalError> {
+        let strat = Stratification::canonical(program)?;
+        self.evaluate_with_stats(program, edb, &strat)
+    }
+
     /// Compute the model using a caller-supplied layering (Theorem 2: the
     /// result is the same for every valid layering).
     pub fn evaluate_with(
@@ -88,10 +157,23 @@ impl Evaluator {
         edb: &Database,
         strat: &Stratification,
     ) -> Result<Database, EvalError> {
+        self.evaluate_with_stats(program, edb, strat)
+            .map(|(db, _)| db)
+    }
+
+    /// [`Evaluator::evaluate_with`], also returning the work counters.
+    pub fn evaluate_with_stats(
+        &self,
+        program: &Program,
+        edb: &Database,
+        strat: &Stratification,
+    ) -> Result<(Database, EvalStats), EvalError> {
         if self.options.check_wf {
             check_program(program, self.options.dialect).map_err(EvalError::from)?;
         }
-        fixpoint::evaluate(program, edb, strat, &self.options)
+        let mut stats = EvalStats::new();
+        let db = fixpoint::evaluate(program, edb, strat, &self.options, &mut stats)?;
+        Ok((db, stats))
     }
 
     /// Answer a query atom against an evaluated database: every fact of the
@@ -125,7 +207,7 @@ impl Evaluator {
                 out.push(QueryAnswer { bindings });
             });
         }
-        out.sort_by(|a, b| format!("{:?}", a.bindings).cmp(&format!("{:?}", b.bindings)));
+        out.sort();
         out.dedup();
         out
     }

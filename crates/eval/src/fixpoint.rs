@@ -11,38 +11,49 @@ use crate::engine::EvalOptions;
 use crate::error::EvalError;
 use crate::grouping::run_grouping_rule;
 use crate::plan::{ensure_indexes, run_body, DeltaRestriction, HeadKind, RulePlan};
+use crate::stats::EvalStats;
 use crate::unify::eval_term;
 
-/// Evaluate `program` bottom-up over `edb` using the given layering,
-/// returning the extended database `Mₙ` (EDB plus all derived facts).
-pub fn evaluate(
-    program: &Program,
-    edb: &Database,
-    strat: &Stratification,
-    opts: &EvalOptions,
-) -> Result<Database, EvalError> {
-    let mut db = edb.clone();
-    for layer_rules in &strat.rules_by_layer {
-        let mut grouping_plans = Vec::new();
-        let mut rest_plans = Vec::new();
-        let mut layer_preds: FastSet<Symbol> = FastSet::default();
-        for &ri in layer_rules {
+/// The compiled rules of one layer, split the way Lemma 3.2.3 executes them.
+pub(crate) struct LayerPlans {
+    /// Grouping-head rules (run once, up front).
+    pub grouping: Vec<RulePlan>,
+    /// Simple-head rules (run to fixpoint).
+    pub rest: Vec<RulePlan>,
+    /// Head predicates of the fixpoint rules — the semi-naive deltas.
+    pub preds: FastSet<Symbol>,
+}
+
+impl LayerPlans {
+    pub(crate) fn compile(program: &Program, rule_ids: &[usize]) -> Result<LayerPlans, EvalError> {
+        let mut grouping = Vec::new();
+        let mut rest = Vec::new();
+        let mut preds: FastSet<Symbol> = FastSet::default();
+        for &ri in rule_ids {
             let rule = &program.rules[ri];
             let plan = RulePlan::compile(rule)?;
             // Predicates defined by *fixpoint* rules in this layer are the
             // ones whose deltas drive semi-naive iteration. Grouping heads
             // are excluded: they are computed once, up front.
             match plan.head_kind {
-                HeadKind::Grouping { .. } => grouping_plans.push(plan),
+                HeadKind::Grouping { .. } => grouping.push(plan),
                 HeadKind::Simple => {
-                    layer_preds.insert(rule.head.pred);
-                    rest_plans.push(plan);
+                    preds.insert(rule.head.pred);
+                    rest.push(plan);
                 }
             }
         }
+        Ok(LayerPlans {
+            grouping,
+            rest,
+            preds,
+        })
+    }
 
-        // Pre-create head relations so negation/containment tests see them.
-        for plan in grouping_plans.iter().chain(&rest_plans) {
+    /// Pre-create head relations (so negation/containment tests see empty
+    /// relations rather than missing ones), checking arity consistency.
+    pub(crate) fn ensure_head_relations(&self, db: &mut Database) -> Result<(), EvalError> {
+        for plan in self.grouping.iter().chain(&self.rest) {
             let arity = plan.head.arity();
             let existing = db.relation(plan.head.pred).map(|r| r.arity());
             if let Some(a) = existing {
@@ -56,24 +67,61 @@ pub fn evaluate(
             }
             db.relation_mut(plan.head.pred, arity);
         }
+        Ok(())
+    }
+}
+
+/// Evaluate `program` bottom-up over `edb` using the given layering,
+/// returning the extended database `Mₙ` (EDB plus all derived facts).
+pub fn evaluate(
+    program: &Program,
+    edb: &Database,
+    strat: &Stratification,
+    opts: &EvalOptions,
+    stats: &mut EvalStats,
+) -> Result<Database, EvalError> {
+    let mut db = edb.clone();
+    evaluate_layers(program, &mut db, strat, 0, opts, stats)?;
+    Ok(db)
+}
+
+/// Evaluate layers `from ..` of `program` in place over `db`, which must
+/// already contain the complete relations of every layer below `from`.
+/// This is both the body of [`evaluate`] (with `from = 0`) and the replay
+/// step of incremental maintenance (with `from = k` after the layers ≥ `k`
+/// have been truncated back to their EDB state).
+pub fn evaluate_layers(
+    program: &Program,
+    db: &mut Database,
+    strat: &Stratification,
+    from: usize,
+    opts: &EvalOptions,
+    stats: &mut EvalStats,
+) -> Result<(), EvalError> {
+    for layer_rules in strat.rules_by_layer.iter().skip(from) {
+        let plans = LayerPlans::compile(program, layer_rules)?;
+        plans.ensure_head_relations(db)?;
 
         // Lemma 3.2.3: grouping rules first, once, over the lower layers.
-        ensure_indexes(&grouping_plans, &mut db);
-        for plan in &grouping_plans {
-            for fact in run_grouping_rule(plan, &db, opts.use_indexes) {
-                db.insert(fact);
+        ensure_indexes(&plans.grouping, db);
+        for plan in &plans.grouping {
+            stats.rules_fired += 1;
+            for fact in run_grouping_rule(plan, db, opts.use_indexes) {
+                if db.insert(fact) {
+                    stats.facts_derived += 1;
+                }
             }
         }
 
         // Then the remaining rules to fixpoint.
-        ensure_indexes(&rest_plans, &mut db);
+        ensure_indexes(&plans.rest, db);
         if opts.semi_naive {
-            semi_naive_fixpoint(&rest_plans, &layer_preds, &mut db, opts);
+            semi_naive_fixpoint(&plans.rest, &plans.preds, db, opts, stats);
         } else {
-            naive_fixpoint(&rest_plans, &mut db, opts);
+            naive_fixpoint(&plans.rest, db, opts, stats);
         }
     }
-    Ok(db)
+    Ok(())
 }
 
 /// Run one compiled non-grouping rule, inserting derived facts. Returns the
@@ -83,6 +131,7 @@ pub fn run_rule_once(
     db: &mut Database,
     restrict: Option<DeltaRestriction>,
     opts: &EvalOptions,
+    stats: &mut EvalStats,
 ) -> usize {
     let mut derived: Vec<Fact> = Vec::new();
     let mut b = Bindings::new();
@@ -101,17 +150,24 @@ pub fn run_rule_once(
             new += 1;
         }
     }
+    stats.rules_fired += 1;
+    stats.facts_derived += new as u64;
     new
 }
 
 /// Naive iteration: apply every rule to the whole database until nothing
 /// changes (the literal `R_{i+1}(M) = ⋃ r(R_i(M)) ∪ R_i(M)` of §3.2).
 /// Public so the magic-set evaluator can drive its own fixpoints.
-pub fn naive_fixpoint(plans: &[RulePlan], db: &mut Database, opts: &EvalOptions) {
+pub fn naive_fixpoint(
+    plans: &[RulePlan],
+    db: &mut Database,
+    opts: &EvalOptions,
+    stats: &mut EvalStats,
+) {
     loop {
         let mut new = 0;
         for plan in plans {
-            new += run_rule_once(plan, db, None, opts);
+            new += run_rule_once(plan, db, None, opts, stats);
         }
         if new == 0 {
             break;
@@ -127,59 +183,82 @@ pub fn semi_naive_fixpoint(
     layer_preds: &FastSet<Symbol>,
     db: &mut Database,
     opts: &EvalOptions,
+    stats: &mut EvalStats,
 ) {
-    // For each plan, the scan steps over predicates defined in this layer.
-    let recursive_steps: Vec<Vec<usize>> = plans
-        .iter()
-        .map(|p| {
-            p.scan_steps
-                .iter()
-                .filter(|(_, pred)| layer_preds.contains(pred))
-                .map(|(i, _)| *i)
-                .collect()
-        })
-        .collect();
-
-    let len_of = |db: &Database, p: Symbol| db.relation(p).map_or(0, |r| r.len());
-
     // Invariant: every derivation whose recursive-literal tuples all have
     // positions below `delta_lo` has already been performed.
-    let mut delta_lo: FastMap<Symbol, usize> = layer_preds
-        .iter()
-        .map(|&p| (p, len_of(db, p)))
-        .collect();
+    let delta_lo: FastMap<Symbol, usize> =
+        layer_preds.iter().map(|&p| (p, len_of(db, p))).collect();
 
     // Round 0: full evaluation of every rule (covers all tuples existing
     // before the round, i.e. positions below the initial `delta_lo`, plus
     // opportunistically many of the new ones).
     for plan in plans {
-        run_rule_once(plan, db, None, opts);
+        run_rule_once(plan, db, None, opts, stats);
+    }
+
+    semi_naive_continue(plans, layer_preds, db, delta_lo, opts, stats);
+}
+
+/// The semi-naive delta loop, starting from a given per-predicate delta
+/// frontier instead of a fresh full pass. Every derivation all of whose
+/// recursive-literal tuples lie below `delta_lo` must already have been
+/// performed by the caller — either by [`semi_naive_fixpoint`]'s round 0 or
+/// by the incremental driver's delta-injection passes.
+pub fn semi_naive_continue(
+    plans: &[RulePlan],
+    layer_preds: &FastSet<Symbol>,
+    db: &mut Database,
+    mut delta_lo: FastMap<Symbol, usize>,
+    opts: &EvalOptions,
+    stats: &mut EvalStats,
+) {
+    // For each plan, a delta-first variant per scan over a predicate
+    // defined in this layer: the delta literal runs as step 0 so a
+    // restricted pass costs O(delta), not O(outer relation).
+    let variants: Vec<Vec<(Symbol, RulePlan)>> = plans
+        .iter()
+        .map(|p| {
+            p.scan_steps
+                .iter()
+                .filter(|(_, pred)| layer_preds.contains(pred))
+                .map(|&(step, pred)| (pred, p.delta_first(step)))
+                .collect()
+        })
+        .collect();
+    for vs in &variants {
+        for (_, v) in vs {
+            ensure_indexes(std::slice::from_ref(v), db);
+        }
     }
 
     loop {
-        let delta_hi: FastMap<Symbol, usize> = layer_preds
-            .iter()
-            .map(|&p| (p, len_of(db, p)))
-            .collect();
+        let delta_hi: FastMap<Symbol, usize> =
+            layer_preds.iter().map(|&p| (p, len_of(db, p))).collect();
         if delta_hi == delta_lo {
             break; // previous round derived nothing new
         }
-        for (pi, plan) in plans.iter().enumerate() {
-            // Non-recursive rules are complete after round 0.
-            for &step in &recursive_steps[pi] {
-                let pred = plan
-                    .scan_steps
-                    .iter()
-                    .find(|(i, _)| *i == step)
-                    .expect("step listed")
-                    .1;
-                let (lo, hi) = (delta_lo[&pred] as u32, delta_hi[&pred] as u32);
+        // Non-recursive rules are complete after round 0.
+        for vs in &variants {
+            for (pred, variant) in vs {
+                let (lo, hi) = (delta_lo[pred] as u32, delta_hi[pred] as u32);
                 if lo >= hi {
                     continue; // no new facts feed this literal
                 }
-                run_rule_once(plan, db, Some(DeltaRestriction { step, lo, hi }), opts);
+                let step = variant.scan_steps[0].0;
+                run_rule_once(
+                    variant,
+                    db,
+                    Some(DeltaRestriction { step, lo, hi }),
+                    opts,
+                    stats,
+                );
             }
         }
         delta_lo = delta_hi;
     }
+}
+
+pub(crate) fn len_of(db: &Database, p: Symbol) -> usize {
+    db.relation(p).map_or(0, |r| r.len())
 }

@@ -43,7 +43,11 @@ pub fn run_grouping_rule(plan: &RulePlan, db: &Database, use_indexes: bool) -> V
             // means the rule slipped past well-formedness — fail loudly.
             panic!("group variable {group_var} unbound in grouping rule");
         };
-        let key: Option<Vec<Value>> = zbar.iter().map(|&z| b2.get(z).cloned().ok_or(())).collect::<Result<_, _>>().ok();
+        let key: Option<Vec<Value>> = zbar
+            .iter()
+            .map(|&z| b2.get(z).cloned().ok_or(()))
+            .collect::<Result<_, _>>()
+            .ok();
         let Some(key) = key else {
             panic!("head variable unbound in grouping rule");
         };
@@ -147,10 +151,7 @@ mod tests {
     #[test]
     fn grouping_with_no_other_args() {
         // all(<X>) <- q(X): one tuple holding the whole column.
-        let db = db_with(&[
-            ("q", vec![Value::int(1)]),
-            ("q", vec![Value::int(2)]),
-        ]);
+        let db = db_with(&[("q", vec![Value::int(1)]), ("q", vec![Value::int(2)])]);
         let facts = run_grouping_rule(&plan("all(<X>) <- q(X)."), &db, false);
         assert_eq!(facts.len(), 1);
         assert_eq!(
@@ -178,10 +179,7 @@ mod tests {
     fn group_var_also_outside_group_gives_singletons() {
         // §2.2: "when a variable X appearing in head of a rule also appears
         // as <X> in the same head then the grouped set is a singleton".
-        let db = db_with(&[
-            ("q", vec![Value::int(1)]),
-            ("q", vec![Value::int(2)]),
-        ]);
+        let db = db_with(&[("q", vec![Value::int(1)]), ("q", vec![Value::int(2)])]);
         let facts = run_grouping_rule(&plan("w(X, <X>) <- q(X)."), &db, false);
         assert_eq!(facts.len(), 2);
         assert!(facts.contains(&Fact::new(
@@ -200,10 +198,7 @@ mod tests {
         let facts = run_grouping_rule(&plan("part(<S>, P) <- p(P, S)."), &db, false);
         assert_eq!(
             facts[0],
-            Fact::new(
-                "part",
-                vec![Value::set(vec![Value::int(2)]), Value::int(1)]
-            )
+            Fact::new("part", vec![Value::set(vec![Value::int(2)]), Value::int(1)])
         );
         let _ = Symbol::intern("part");
     }

@@ -26,10 +26,14 @@ pub mod engine;
 pub mod error;
 pub mod fixpoint;
 pub mod grouping;
+pub mod incremental;
 pub mod model;
 pub mod plan;
+pub mod stats;
 pub mod unify;
 
 pub use engine::{EvalOptions, Evaluator, QueryAnswer};
 pub use error::EvalError;
+pub use incremental::{apply_update, DeltaFrontier};
 pub use model::{check_model, ModelViolation};
+pub use stats::EvalStats;

@@ -104,7 +104,7 @@ pub fn check_model(program: &Program, m: &FactSet) -> Result<(), ModelViolation>
 mod tests {
     use super::*;
     use ldl_parser::parse_program;
-    use ldl_value::{Value};
+    use ldl_value::Value;
 
     fn facts(list: &[Fact]) -> FactSet {
         list.iter().cloned().collect()

@@ -126,18 +126,13 @@ impl RulePlan {
             for (ri, &li) in remaining.iter().enumerate() {
                 let lit = &rule.body[li];
                 let builtin = Builtin::resolve(lit.atom.pred, lit.atom.arity());
-                let all_vars_bound = lit
-                    .vars()
-                    .iter()
-                    .all(|v| bound.contains(v));
+                let all_vars_bound = lit.vars().iter().all(|v| bound.contains(v));
                 let score = match builtin {
                     Some(bi) => {
                         if lit.positive {
                             if all_vars_bound {
                                 Some(100)
-                            } else if can_schedule(bi, &lit.atom.args, &|t| {
-                                term_bound(t, &bound)
-                            }) {
+                            } else if can_schedule(bi, &lit.atom.args, &|t| term_bound(t, &bound)) {
                                 Some(50)
                             } else {
                                 None
@@ -242,6 +237,76 @@ impl RulePlan {
         })
     }
 
+    /// A variant of this plan that executes scan step `step` (an index into
+    /// `steps`, which must be a [`Step::Scan`]) *first* — the delta-first
+    /// ordering of semi-naive evaluation. Restricting the moved step (now
+    /// step 0) to a delta range makes the whole pass proportional to the
+    /// delta instead of to the outer relation: the remaining steps keep
+    /// their relative order (so every literal still runs after its
+    /// binders), with index columns recomputed for the new binding order.
+    pub fn delta_first(&self, step: usize) -> RulePlan {
+        assert!(
+            matches!(self.steps[step], Step::Scan { .. }),
+            "delta_first target must be a scan step"
+        );
+        let mut steps = self.steps.clone();
+        let moved = steps.remove(step);
+        steps.insert(0, moved);
+
+        // Recompute which argument positions are bound (probeable) at each
+        // scan, mirroring `compile`'s bookkeeping: positive steps bind all
+        // their variables, negation binds nothing.
+        let mut bound: FastSet<Var> = FastSet::default();
+        let term_bound = |t: &Term, bound: &FastSet<Var>| -> bool {
+            let mut vs = Vec::new();
+            t.vars(&mut vs);
+            !has_anon(t) && !t.has_group() && vs.iter().all(|v| bound.contains(v))
+        };
+        let bind_all = |args: &[Term], bound: &mut FastSet<Var>| {
+            let mut vs = Vec::new();
+            for t in args {
+                t.vars(&mut vs);
+            }
+            bound.extend(vs);
+        };
+        for s in &mut steps {
+            match s {
+                Step::Scan {
+                    args, index_cols, ..
+                } => {
+                    *index_cols = args
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| term_bound(t, &bound))
+                        .map(|(i, _)| i)
+                        .collect();
+                    bind_all(args, &mut bound);
+                }
+                Step::BuiltinStep { args, negated, .. } => {
+                    if !*negated {
+                        bind_all(args, &mut bound);
+                    }
+                }
+                Step::NegScan { .. } => {}
+            }
+        }
+
+        let scan_steps = steps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Step::Scan { pred, .. } => Some((i, *pred)),
+                _ => None,
+            })
+            .collect();
+        RulePlan {
+            head: self.head.clone(),
+            head_kind: self.head_kind.clone(),
+            steps,
+            scan_steps,
+        }
+    }
+
     /// The (predicate, index columns) pairs this plan probes — the indexes
     /// to build before running it.
     pub fn required_indexes(&self) -> Vec<(Symbol, Vec<usize>)> {
@@ -315,7 +380,9 @@ fn run_steps(
             args,
             index_cols,
         } => {
-            let Some(rel) = db.relation(*pred) else { return };
+            let Some(rel) = db.relation(*pred) else {
+                return;
+            };
             let (lo, hi) = match restrict {
                 Some(r) if r.step == i => (r.lo, r.hi),
                 _ => (0, rel.len() as u32),
@@ -380,9 +447,7 @@ fn run_steps(
                     }
                 }
             }
-            let present = db
-                .relation(*pred)
-                .is_some_and(|r| r.contains(&vals));
+            let present = db.relation(*pred).is_some_and(|r| r.contains(&vals));
             if !present {
                 run_steps(plan, i + 1, db, restrict, use_indexes, b, k);
             }
@@ -510,5 +575,26 @@ mod tests {
         assert_eq!(p.scan_steps.len(), 2);
         assert_eq!(p.scan_steps[0].1.as_str(), "r");
         assert_eq!(p.scan_steps[1].1.as_str(), "s");
+    }
+
+    #[test]
+    fn delta_first_reorders_and_reindexes() {
+        // Original order: par(X, Z) then anc(Z, Y) probed on column 0.
+        let p = plan_of("anc(X, Y) <- par(X, Z), anc(Z, Y).");
+        let (anc_step, _) = p.scan_steps[1];
+        let d = p.delta_first(anc_step);
+        // The anc scan now runs first, unrestricted by an index...
+        assert_eq!(d.scan_steps[0].0, 0);
+        assert_eq!(d.scan_steps[0].1.as_str(), "anc");
+        let Step::Scan { index_cols, .. } = &d.steps[0] else {
+            panic!("moved step must be a scan")
+        };
+        assert!(index_cols.is_empty());
+        // ...and par is probed on its now-bound second column (Z).
+        assert_eq!(d.scan_steps[1].1.as_str(), "par");
+        let Step::Scan { index_cols, .. } = &d.steps[d.scan_steps[1].0] else {
+            panic!("par step must be a scan")
+        };
+        assert_eq!(index_cols, &vec![1]);
     }
 }

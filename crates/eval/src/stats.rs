@@ -1,0 +1,56 @@
+//! Evaluation observability counters.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters collected by one evaluation or incremental update.
+///
+/// These are the observability hook for the serving roadmap: they expose
+/// *how much work* an operation did (rule passes, new facts, strata touched)
+/// independently of wall-clock noise, so regressions in the incremental
+/// planner show up deterministically in tests and benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Rule-pass executions (each `run_rule_once` or grouping-rule run).
+    pub rules_fired: u64,
+    /// Facts newly inserted into the database (duplicates excluded).
+    pub facts_derived: u64,
+    /// Strata evaluated from scratch (initial evaluation, or the replayed
+    /// suffix of an incremental update).
+    pub strata_replayed: u64,
+    /// Strata updated by delta-restricted propagation only.
+    pub strata_delta: u64,
+    /// Strata skipped entirely because no changed predicate reaches them.
+    pub strata_skipped: u64,
+}
+
+impl EvalStats {
+    /// A zeroed counter set.
+    pub fn new() -> EvalStats {
+        EvalStats::default()
+    }
+}
+
+impl AddAssign for EvalStats {
+    fn add_assign(&mut self, rhs: EvalStats) {
+        self.rules_fired += rhs.rules_fired;
+        self.facts_derived += rhs.facts_derived;
+        self.strata_replayed += rhs.strata_replayed;
+        self.strata_delta += rhs.strata_delta;
+        self.strata_skipped += rhs.strata_skipped;
+    }
+}
+
+impl fmt::Display for EvalStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rules fired: {}, facts derived: {}, strata replayed: {}, delta-updated: {}, skipped: {}",
+            self.rules_fired,
+            self.facts_derived,
+            self.strata_replayed,
+            self.strata_delta,
+            self.strata_skipped
+        )
+    }
+}

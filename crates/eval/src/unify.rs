@@ -47,9 +47,7 @@ pub fn is_ground_under(t: &Term, b: &Bindings) -> bool {
         Term::Var(v) => b.is_bound(*v),
         Term::Anon | Term::Group(_) => false,
         Term::Const(_) => true,
-        Term::Compound(_, args) | Term::SetEnum(args) => {
-            args.iter().all(|a| is_ground_under(a, b))
-        }
+        Term::Compound(_, args) | Term::SetEnum(args) => args.iter().all(|a| is_ground_under(a, b)),
         Term::Scons(h, tail) => is_ground_under(h, b) && is_ground_under(tail, b),
         Term::Arith(_, l, r) => is_ground_under(l, b) && is_ground_under(r, b),
     }
@@ -163,12 +161,7 @@ pub fn match_slice(
 /// Match an enumerated-set pattern `{p₁, …, pₖ}` against a ground set `s`:
 /// assign each pattern element to some element of `s` such that the assigned
 /// elements *cover* all of `s` (so the evaluated pattern equals `s`).
-fn match_set_enum(
-    pats: &[Term],
-    s: &SetValue,
-    b: &mut Bindings,
-    k: &mut dyn FnMut(&mut Bindings),
-) {
+fn match_set_enum(pats: &[Term], s: &SetValue, b: &mut Bindings, k: &mut dyn FnMut(&mut Bindings)) {
     // The pattern can only equal s if it has at least |s| elements to cover
     // it, and it can never produce more distinct elements than it has.
     if s.len() > pats.len() {
@@ -209,7 +202,10 @@ fn match_set_enum(
             }
         }
     }
-    assert!(s.len() <= 64, "enumerated-set pattern against a set of >64 elements");
+    assert!(
+        s.len() <= 64,
+        "enumerated-set pattern against a set of >64 elements"
+    );
     go(pats, s, 0, b, k);
 }
 

@@ -107,7 +107,10 @@ fn book_deal_set_enumeration() {
         // {sets} = 120 ✗... singleton {logic} (90), {sets}? 40*3=120 ✗,
         // {magic}? 135 ✗. {logic,sets} needs sum<100: 30+30+40=100 ✗,
         // 30+40+40=110 ✗ ⇒ absent.
-        assert!(deals.contains(&Fact::new("book_deal", vec![Value::set(vec![atom("logic")])])));
+        assert!(deals.contains(&Fact::new(
+            "book_deal",
+            vec![Value::set(vec![atom("logic")])]
+        )));
         assert!(!deals
             .iter()
             .any(|f| f.args()[0] == Value::set(vec![atom("logic"), atom("sets")])));
@@ -193,7 +196,9 @@ fn young_same_generation() {
         assert!(ev.query(&m, &parse_atom("young(f, S)").unwrap()).is_empty());
         // gp has no same-generation member ⇒ empty group ⇒ no tuple
         // (the §6 footnote: the query fails if S would be empty).
-        assert!(ev.query(&m, &parse_atom("young(gp, S)").unwrap()).is_empty());
+        assert!(ev
+            .query(&m, &parse_atom("young(gp, S)").unwrap())
+            .is_empty());
     }
 }
 
@@ -260,7 +265,9 @@ fn inadmissible_rejected() {
          int(s(X)) <- int(X).",
     )
     .unwrap();
-    let err = Evaluator::new().evaluate(&program, &Database::new()).unwrap_err();
+    let err = Evaluator::new()
+        .evaluate(&program, &Database::new())
+        .unwrap_err();
     assert!(err.to_string().contains("not admissible"));
 }
 
@@ -268,7 +275,9 @@ fn inadmissible_rejected() {
 #[test]
 fn ill_formed_rejected() {
     let program = parse_program("q(X, Y) <- p(X).").unwrap();
-    let err = Evaluator::new().evaluate(&program, &Database::new()).unwrap_err();
+    let err = Evaluator::new()
+        .evaluate(&program, &Database::new())
+        .unwrap_err();
     assert!(err.to_string().contains("not well-formed"));
 }
 

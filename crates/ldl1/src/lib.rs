@@ -51,7 +51,7 @@ pub use ldl_transform as transform;
 pub use ldl_value as value;
 
 pub use ldl_ast::program::Program;
-pub use ldl_eval::{check_model, EvalOptions, Evaluator, QueryAnswer};
+pub use ldl_eval::{check_model, EvalOptions, EvalStats, Evaluator, QueryAnswer};
 pub use ldl_magic::MagicEvaluator;
 pub use ldl_storage::Database;
 pub use ldl_stratify::Stratification;
@@ -59,7 +59,11 @@ pub use ldl_transform::head_terms::GroupingSemantics;
 pub use ldl_value::{Fact, FactSet, SetValue, Symbol, Value};
 
 /// Any error the system can raise.
+///
+/// Marked `#[non_exhaustive]`: future versions may add variants, so match
+/// with a `_` arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum Error {
     /// Lexing/parsing failed.
     Parse(ldl_parser::ParseError),
@@ -67,6 +71,12 @@ pub enum Error {
     Transform(ldl_transform::TransformError),
     /// Well-formedness, admissibility, or evaluation failed.
     Eval(ldl_eval::EvalError),
+    /// A fact to assert contains variables (or other non-value terms); only
+    /// ground facts can enter the EDB.
+    NotGround {
+        /// The offending fact, as written.
+        text: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -75,11 +85,21 @@ impl fmt::Display for Error {
             Error::Parse(e) => write!(f, "{e}"),
             Error::Transform(e) => write!(f, "{e}"),
             Error::Eval(e) => write!(f, "{e}"),
+            Error::NotGround { text } => write!(f, "fact is not ground: {text}"),
         }
     }
 }
 
-impl std::error::Error for Error {}
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Parse(e) => Some(e),
+            Error::Transform(e) => Some(e),
+            Error::Eval(e) => Some(e),
+            Error::NotGround { .. } => None,
+        }
+    }
+}
 
 impl From<ldl_parser::ParseError> for Error {
     fn from(e: ldl_parser::ParseError) -> Error {
@@ -102,8 +122,13 @@ impl From<ldl_eval::EvalError> for Error {
 /// A deductive database session: rules + facts + cached model.
 ///
 /// Programs may use the full LDL1.5 surface; they are macro-expanded to
-/// core LDL1 on load (§4). Facts can be added incrementally; the model is
-/// recomputed lazily after any change.
+/// core LDL1 on load (§4). Facts can be added incrementally — one at a
+/// time with [`System::fact`]/[`System::insert`], or transactionally with
+/// [`System::batch`]. Once a model has been computed it is *maintained*:
+/// committing new facts seeds the semi-naive machinery with them as the
+/// initial delta instead of recomputing from scratch (see
+/// [`eval::incremental`]). Loading new rules or changing the grouping
+/// semantics invalidates the cache.
 #[derive(Clone, Debug)]
 pub struct System {
     source: Program,
@@ -111,7 +136,18 @@ pub struct System {
     edb: Database,
     options: EvalOptions,
     grouping_semantics: GroupingSemantics,
-    model: Option<Database>,
+    cache: Option<CachedModel>,
+    last_stats: EvalStats,
+}
+
+/// The evaluated model plus everything incremental maintenance needs to
+/// keep it current: the layering it was computed under and the per-layer
+/// read-sensitivity classification.
+#[derive(Clone, Debug)]
+struct CachedModel {
+    db: Database,
+    strat: Stratification,
+    sens: Vec<ldl_stratify::LayerSensitivity>,
 }
 
 impl Default for System {
@@ -129,7 +165,8 @@ impl System {
             edb: Database::new(),
             options: EvalOptions::default(),
             grouping_semantics: GroupingSemantics::PerGroup,
-            model: None,
+            cache: None,
+            last_stats: EvalStats::new(),
         }
     }
 
@@ -148,14 +185,20 @@ impl System {
         let compiled = compile_ldl15(&self.source, s)?;
         self.grouping_semantics = s;
         self.compiled = compiled;
-        self.model = None;
+        self.cache = None;
         Ok(())
     }
 
     /// Load rules (and inline facts) written in LDL1 / LDL1.5 concrete
     /// syntax. Ground facts go to the EDB; rules are compiled to core LDL1.
+    ///
+    /// New rules invalidate the cached model; a facts-only `src` is
+    /// committed like a [`System::batch`], maintaining the model
+    /// incrementally.
     pub fn load(&mut self, src: &str) -> Result<(), Error> {
         let parsed = ldl_parser::parse_program(src)?;
+        let mut facts = Vec::new();
+        let mut rules = Vec::new();
         for rule in parsed.rules {
             if rule.is_fact() {
                 if let Some(args) = rule
@@ -165,36 +208,101 @@ impl System {
                     .map(|t| t.to_value())
                     .collect::<Option<Vec<_>>>()
                 {
-                    self.edb.insert(Fact::new(rule.head.pred, args));
+                    facts.push(Fact::new(rule.head.pred, args));
                     continue;
                 }
             }
-            self.source.push(rule);
+            rules.push(rule);
         }
-        self.compiled = compile_ldl15(&self.source, self.grouping_semantics)?;
-        self.model = None;
-        Ok(())
+        if !rules.is_empty() {
+            self.source.rules.extend(rules);
+            self.compiled = compile_ldl15(&self.source, self.grouping_semantics)?;
+            self.cache = None;
+        }
+        self.commit_facts(facts)
     }
 
-    /// Add one fact, e.g. `sys.fact("parent(abe, bob).")`.
+    /// Add one fact, e.g. `sys.fact("parent(abe, bob).")`. A convenience
+    /// for a batch of one: if a model is cached, it is maintained
+    /// incrementally.
     pub fn fact(&mut self, src: &str) -> Result<(), Error> {
-        let atom = ldl_parser::parse_atom(src)?;
-        let args: Option<Vec<Value>> = atom.args.iter().map(|t| t.to_value()).collect();
-        let Some(args) = args else {
-            return Err(Error::Parse(ldl_parser::ParseError {
-                pos: ldl_parser::error::Pos { line: 1, col: 1 },
-                message: format!("fact is not ground: {src}"),
-            }));
-        };
-        self.edb.insert(Fact::new(atom.pred, args));
-        self.model = None;
-        Ok(())
+        let mut b = self.batch();
+        b.fact(src)?;
+        b.commit()
     }
 
-    /// Add one fact from parts.
+    /// Add one fact from parts. A convenience for a batch of one; an
+    /// incremental-maintenance failure invalidates the cached model (the
+    /// error resurfaces from the next full evaluation).
     pub fn insert(&mut self, pred: &str, args: Vec<Value>) {
-        self.edb.insert_tuple(pred, args);
-        self.model = None;
+        let mut b = self.batch();
+        b.insert(pred, args);
+        let _ = b.commit();
+    }
+
+    /// Start a transaction: facts staged on the returned [`Batch`] become
+    /// visible all at once when it commits, and the cached model (if any)
+    /// is brought up to date in a single incremental step.
+    pub fn batch(&mut self) -> Batch<'_> {
+        Batch {
+            sys: self,
+            staged: Vec::new(),
+        }
+    }
+
+    /// Work counters from the most recent evaluation — full or
+    /// incremental. After an incremental commit, `strata_skipped` /
+    /// `strata_delta` / `strata_replayed` show how each stratum was
+    /// maintained.
+    pub fn last_stats(&self) -> EvalStats {
+        self.last_stats
+    }
+
+    /// Apply a committed batch: extend the EDB and, if a model is cached,
+    /// propagate the new tuples through it incrementally.
+    fn commit_facts(&mut self, staged: Vec<Fact>) -> Result<(), Error> {
+        let opts = self.eval_options();
+        let Some(cache) = &mut self.cache else {
+            for f in staged {
+                self.edb.insert(f);
+            }
+            return Ok(());
+        };
+        // Stage into the model first, recording each predicate's
+        // pre-insertion length the first time it grows: the delta frontier
+        // `[lo, len)` for incremental propagation. Duplicates (already in
+        // the model) are no-ops and join no frontier.
+        let mut changed = eval::DeltaFrontier::default();
+        for f in staged {
+            let pred = f.pred();
+            let lo = cache.db.relation(pred).map_or(0, |r| r.len());
+            if cache.db.insert(f.clone()) {
+                changed.entry(pred).or_insert(lo);
+            }
+            self.edb.insert(f);
+        }
+        if changed.is_empty() {
+            return Ok(());
+        }
+        let mut stats = EvalStats::new();
+        let res = eval::apply_update(
+            &self.compiled,
+            &cache.strat,
+            &cache.sens,
+            &self.edb,
+            &mut cache.db,
+            changed,
+            &opts,
+            &mut stats,
+        );
+        self.last_stats = stats;
+        if let Err(e) = res {
+            // The model may be half-updated; drop it so the next query
+            // recomputes (and re-raises the error) from scratch.
+            self.cache = None;
+            return Err(e.into());
+        }
+        Ok(())
     }
 
     /// The compiled core-LDL1 program.
@@ -209,11 +317,17 @@ impl System {
 
     /// Compute (or fetch the cached) standard model — Theorem 1's `Mₙ`.
     pub fn model(&mut self) -> Result<&Database, Error> {
-        if self.model.is_none() {
+        if self.cache.is_none() {
             let ev = Evaluator::with_options(self.eval_options());
-            self.model = Some(ev.evaluate(&self.compiled, &self.edb)?);
+            let strat = Stratification::canonical(&self.compiled)
+                .map_err(ldl_eval::EvalError::from)
+                .map_err(Error::Eval)?;
+            let (db, stats) = ev.evaluate_with_stats(&self.compiled, &self.edb, &strat)?;
+            let sens = strat.sensitivity(&self.compiled);
+            self.last_stats = stats;
+            self.cache = Some(CachedModel { db, strat, sens });
         }
-        Ok(self.model.as_ref().expect("just computed"))
+        Ok(&self.cache.as_ref().expect("just computed").db)
     }
 
     /// The compiled program is trusted output of the LDL1.5 compiler and
@@ -259,10 +373,63 @@ impl System {
     }
 }
 
-fn compile_ldl15(
-    source: &Program,
-    semantics: GroupingSemantics,
-) -> Result<Program, Error> {
+/// A transaction of facts to assert against a [`System`].
+///
+/// Facts staged with [`Batch::fact`] / [`Batch::insert`] are invisible —
+/// to queries and to the EDB — until [`Batch::commit`]. Commit applies
+/// them atomically with respect to the model: the cached model goes from
+/// the old state to the new state in one incremental-maintenance step,
+/// never exposing a half-updated intermediate. Duplicate facts (already
+/// in the EDB, or staged twice) are no-ops. Dropping a batch without
+/// committing discards it.
+#[derive(Debug)]
+pub struct Batch<'a> {
+    sys: &'a mut System,
+    staged: Vec<Fact>,
+}
+
+impl Batch<'_> {
+    /// Stage one fact written in concrete syntax, e.g.
+    /// `b.fact("parent(abe, bob).")`. Fails with [`Error::NotGround`] if
+    /// the fact contains variables.
+    pub fn fact(&mut self, src: &str) -> Result<&mut Self, Error> {
+        let atom = ldl_parser::parse_atom(src)?;
+        let args: Option<Vec<Value>> = atom.args.iter().map(|t| t.to_value()).collect();
+        let Some(args) = args else {
+            return Err(Error::NotGround {
+                text: src.trim().to_string(),
+            });
+        };
+        self.staged.push(Fact::new(atom.pred, args));
+        Ok(self)
+    }
+
+    /// Stage one fact from parts.
+    pub fn insert(&mut self, pred: &str, args: Vec<Value>) -> &mut Self {
+        self.staged.push(Fact::new(pred, args));
+        self
+    }
+
+    /// Number of staged facts (duplicates included — they collapse on
+    /// commit).
+    pub fn len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.staged.is_empty()
+    }
+
+    /// Apply the staged facts: extend the EDB, and bring the cached model
+    /// (if any) up to date in one incremental step.
+    pub fn commit(self) -> Result<(), Error> {
+        let Batch { sys, staged } = self;
+        sys.commit_facts(staged)
+    }
+}
+
+fn compile_ldl15(source: &Program, semantics: GroupingSemantics) -> Result<Program, Error> {
     let p = ldl_transform::body_angle::eliminate_body_groups(source)?;
     let p = ldl_transform::head_terms::eliminate_complex_heads(&p, semantics)?;
     Ok(p)
@@ -300,23 +467,110 @@ mod tests {
     }
 
     #[test]
-    fn incremental_facts_invalidate_model() {
+    fn incremental_facts_maintain_model() {
         let mut sys = System::new();
         sys.load("r(X) <- e(X).").unwrap();
         sys.fact("e(1).").unwrap();
         assert_eq!(sys.query("r(X)").unwrap().len(), 1);
+        // The model is now cached; this fact flows through the
+        // incremental path rather than invalidating it.
         sys.fact("e(2).").unwrap();
+        assert_eq!(sys.last_stats().strata_delta, 1);
         assert_eq!(sys.query("r(X)").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn batch_commit_is_one_step() {
+        let mut sys = System::new();
+        sys.load(
+            "tc(X, Y) <- e(X, Y). tc(X, Y) <- e(X, Z), tc(Z, Y).\n\
+             e(1, 2).",
+        )
+        .unwrap();
+        assert_eq!(sys.query("tc(1, X)").unwrap().len(), 1);
+
+        let mut b = sys.batch();
+        b.fact("e(2, 3).").unwrap();
+        b.fact("e(3, 4).").unwrap();
+        b.fact("e(1, 2).").unwrap(); // duplicate: no-op
+        assert_eq!(b.len(), 3);
+        b.commit().unwrap();
+
+        let stats = sys.last_stats();
+        assert_eq!(stats.strata_delta, 1);
+        assert_eq!(stats.strata_replayed, 0);
+        assert_eq!(sys.query("tc(1, X)").unwrap().len(), 3);
+
+        // Incremental result == full recompute.
+        let mut fresh = System::new();
+        fresh
+            .load(
+                "tc(X, Y) <- e(X, Y). tc(X, Y) <- e(X, Z), tc(Z, Y).\n\
+                 e(1, 2). e(2, 3). e(3, 4).",
+            )
+            .unwrap();
+        assert_eq!(sys.model_facts().unwrap(), fresh.model_facts().unwrap());
+    }
+
+    #[test]
+    fn commit_replays_negation_strata() {
+        let mut sys = System::new();
+        sys.load(
+            "lonely(X) <- node(X), ~e(X, X).\n\
+             node(a). node(b). e(b, b).",
+        )
+        .unwrap();
+        assert_eq!(sys.query("lonely(X)").unwrap().len(), 1);
+        // `e` feeds a negated literal: the commit must retract lonely(a).
+        sys.fact("e(a, a).").unwrap();
+        assert!(sys.last_stats().strata_replayed > 0);
+        assert_eq!(sys.query("lonely(X)").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn commit_replaces_grouped_sets() {
+        let mut sys = System::new();
+        sys.load("kids(P, <K>) <- parent(P, K). parent(abe, bob).")
+            .unwrap();
+        assert_eq!(
+            sys.query("kids(abe, S)").unwrap()[0].bindings[0]
+                .1
+                .to_string(),
+            "{bob}"
+        );
+        sys.fact("parent(abe, cal).").unwrap();
+        let kids = sys.query("kids(abe, S)").unwrap();
+        assert_eq!(kids.len(), 1, "old smaller set must be gone");
+        assert_eq!(kids[0].bindings[0].1.to_string(), "{bob, cal}");
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let mut sys = System::new();
+        sys.load("r(X) <- e(X). e(1).").unwrap();
+        sys.query("r(X)").unwrap();
+        let before = sys.last_stats();
+        sys.fact("e(1).").unwrap();
+        // Nothing changed, so no evaluation ran at all.
+        assert_eq!(sys.last_stats(), before);
+        assert_eq!(sys.query("r(X)").unwrap().len(), 1);
     }
 
     #[test]
     fn errors_surface() {
         let mut sys = System::new();
         assert!(matches!(sys.load("p(X) <-"), Err(Error::Parse(_))));
-        assert!(sys.fact("p(X).").is_err()); // non-ground fact
+        assert!(matches!(sys.fact("p(X)."), Err(Error::NotGround { .. })));
         sys.load("even(s(X)) <- num(X), ~even(X). num(z). even(z).")
             .unwrap();
-        assert!(matches!(sys.query("even(X)"), Err(Error::Eval(_))));
+        let err = sys.query("even(X)").unwrap_err();
+        assert!(matches!(err, Error::Eval(_)));
+        // source() forwards to the wrapped error.
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(std::error::Error::source(&Error::NotGround {
+            text: "p(X).".into()
+        })
+        .is_none());
     }
 
     #[test]
@@ -330,11 +584,9 @@ mod tests {
         sys.fact("r(t2, s1, d2).").unwrap();
         // Under (ii), s1's day set is {d1, d2} — across all T.
         let per_group = sys.query("out(t1, G)").unwrap();
-        assert_eq!(
-            per_group[0].bindings[0].1.to_string(),
-            "{h(s1, {d1, d2})}"
-        );
-        sys.set_grouping_semantics(GroupingSemantics::WithContext).unwrap();
+        assert_eq!(per_group[0].bindings[0].1.to_string(), "{h(s1, {d1, d2})}");
+        sys.set_grouping_semantics(GroupingSemantics::WithContext)
+            .unwrap();
         let scoped = sys.query("out(t1, G)").unwrap();
         assert_eq!(scoped[0].bindings[0].1.to_string(), "{h(s1, {d1})}");
     }

@@ -95,7 +95,10 @@ impl fmt::Display for AdornError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AdornError::NoSip { rule, adornment } => {
-                write!(f, "no executable sip for rule {rule} with adornment {adornment}")
+                write!(
+                    f,
+                    "no executable sip for rule {rule} with adornment {adornment}"
+                )
             }
             AdornError::NotIdb(p) => write!(f, "query predicate {p} is not defined by rules"),
         }
@@ -191,7 +194,10 @@ fn adorn_rule(
                     .map(|t| t.is_bound_under(&|v| bound.contains(&v)))
                     .collect(),
             );
-            let renamed = Atom::new(adorned_name(lit.atom.pred, &adornment), lit.atom.args.clone());
+            let renamed = Atom::new(
+                adorned_name(lit.atom.pred, &adornment),
+                lit.atom.args.clone(),
+            );
             body.push(Literal {
                 positive: lit.positive,
                 atom: renamed,

@@ -26,6 +26,7 @@ use ldl_ast::wf::Dialect;
 use ldl_eval::fixpoint::{naive_fixpoint, run_rule_once, semi_naive_fixpoint};
 use ldl_eval::grouping::run_grouping_rule;
 use ldl_eval::plan::{ensure_indexes, HeadKind, RulePlan};
+use ldl_eval::stats::EvalStats;
 use ldl_eval::{EvalError, EvalOptions, Evaluator, QueryAnswer};
 use ldl_storage::Database;
 use ldl_stratify::Stratification;
@@ -84,9 +85,10 @@ impl MagicEvaluator {
         let mut guarded: Vec<(usize, RulePlan)> = Vec::new();
         for rule in &mp.program.rules {
             let plan = RulePlan::compile(rule)?;
-            let has_negation = rule.body.iter().any(|l| {
-                !l.positive && Builtin::resolve(l.atom.pred, l.atom.arity()).is_none()
-            });
+            let has_negation = rule
+                .body
+                .iter()
+                .any(|l| !l.positive && Builtin::resolve(l.atom.pred, l.atom.arity()).is_none());
             let is_grouping = matches!(plan.head_kind, HeadKind::Grouping { .. });
             if has_negation || is_grouping {
                 let mut s = stratum_of(rule.head.pred);
@@ -119,15 +121,16 @@ impl MagicEvaluator {
 
         let run_base = |db: &mut Database, opts: &EvalOptions| {
             ensure_indexes(&base, db);
+            let mut stats = EvalStats::new();
             if opts.semi_naive {
-                semi_naive_fixpoint(&base, &base_preds, db, opts);
+                semi_naive_fixpoint(&base, &base_preds, db, opts, &mut stats);
             } else {
-                naive_fixpoint(&base, db, opts);
+                naive_fixpoint(&base, db, opts, &mut stats);
             }
         };
         let apply_guarded = |db: &mut Database,
-                            opts: &EvalOptions,
-                            pick: &dyn Fn(usize) -> bool|
+                             opts: &EvalOptions,
+                             pick: &dyn Fn(usize) -> bool|
          -> usize {
             let mut changed = 0;
             for (gs, plan) in &guarded {
@@ -145,7 +148,7 @@ impl MagicEvaluator {
                         }
                         n
                     }
-                    HeadKind::Simple => run_rule_once(plan, db, None, opts),
+                    HeadKind::Simple => run_rule_once(plan, db, None, opts, &mut EvalStats::new()),
                 };
             }
             changed

@@ -179,8 +179,14 @@ mod tests {
         let ap = adorn_program(&p, &q).unwrap();
         let mp = rewrite_magic(&ap, &q);
         let text = mp.program.to_string();
-        assert!(text.contains("m'anc'bf(Z) <- m'anc'bf(X), par(X, Z)."), "{text}");
-        assert!(text.contains("anc'bf(X, Y) <- m'anc'bf(X), par(X, Y)."), "{text}");
+        assert!(
+            text.contains("m'anc'bf(Z) <- m'anc'bf(X), par(X, Z)."),
+            "{text}"
+        );
+        assert!(
+            text.contains("anc'bf(X, Y) <- m'anc'bf(X), par(X, Y)."),
+            "{text}"
+        );
         assert_eq!(mp.seed.to_string(), "m'anc'bf(a)");
         assert_eq!(mp.query.pred.as_str(), "anc'bf");
     }

@@ -69,10 +69,7 @@ fn ancestor_magic_restricts_computation() {
     // Two disjoint chains.
     for i in 0..40 {
         edb.insert_tuple("par", vec![Value::int(i), Value::int(i + 1)]);
-        edb.insert_tuple(
-            "par",
-            vec![Value::int(1000 + i), Value::int(1001 + i)],
-        );
+        edb.insert_tuple("par", vec![Value::int(1000 + i), Value::int(1001 + i)]);
     }
     let p = parse_program(ANCESTOR).unwrap();
     let q = parse_atom("anc(1020, Y)").unwrap();
@@ -194,7 +191,10 @@ fn same_generation_equivalence() {
     for i in 0..10 {
         edb.insert_tuple("up", vec![Value::int(i), Value::int(i + 100)]);
         edb.insert_tuple("down", vec![Value::int(i + 100), Value::int(i)]);
-        edb.insert_tuple("flat", vec![Value::int(i + 100), Value::int(((i + 1) % 10) + 100)]);
+        edb.insert_tuple(
+            "flat",
+            vec![Value::int(i + 100), Value::int(((i + 1) % 10) + 100)],
+        );
     }
     assert_equiv(src, &edb, "sg(3, Y)");
     assert_equiv(src, &edb, "sg(X, Y)");

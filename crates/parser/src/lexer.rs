@@ -252,9 +252,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                             }
                         },
                         Some(c) => s.push(c),
-                        None => {
-                            return Err(ParseError::new(pos, "unterminated string literal"))
-                        }
+                        None => return Err(ParseError::new(pos, "unterminated string literal")),
                     }
                 }
                 Tok::Str(s)

@@ -166,9 +166,10 @@ impl Parser {
                     Term::atom("nil")
                 };
                 self.expect(&Tok::RBracket, "']'")?;
-                Ok(elems.into_iter().rev().fold(tail, |acc, e| {
-                    Term::Compound("cons".into(), vec![e, acc])
-                }))
+                Ok(elems
+                    .into_iter()
+                    .rev()
+                    .fold(tail, |acc, e| Term::Compound("cons".into(), vec![e, acc])))
             }
             Some(Tok::Lt) => {
                 let inner = self.term()?;
@@ -367,10 +368,7 @@ mod tests {
 
     #[test]
     fn parse_negation() {
-        let r = parse_rule(
-            "excl_ancestor(X, Y, Z) <- ancestor(X, Y), ~ancestor(X, Z).",
-        )
-        .unwrap();
+        let r = parse_rule("excl_ancestor(X, Y, Z) <- ancestor(X, Y), ~ancestor(X, Z).").unwrap();
         assert!(!r.body[1].positive);
         assert_eq!(r.body[1].atom.pred.as_str(), "ancestor");
     }
@@ -386,7 +384,10 @@ mod tests {
     fn parse_sets_and_facts() {
         let p = parse_program("r(1). h({1}). w({1, 2}, 7). e({}).").unwrap();
         assert_eq!(p.len(), 4);
-        assert_eq!(p.rules[1].head.args[0].to_value(), Some(Value::set(vec![Value::int(1)])));
+        assert_eq!(
+            p.rules[1].head.args[0].to_value(),
+            Some(Value::set(vec![Value::int(1)]))
+        );
         assert_eq!(p.rules[3].head.args[0], Term::empty_set());
     }
 
@@ -405,10 +406,9 @@ mod tests {
 
     #[test]
     fn parse_functional_arith_predicate() {
-        let r = parse_rule(
-            "tc(S, C) <- partition(S, S1, S2), tc(S1, C1), tc(S2, C2), +(C1, C2, C).",
-        )
-        .unwrap();
+        let r =
+            parse_rule("tc(S, C) <- partition(S, S1, S2), tc(S1, C1), tc(S2, C2), +(C1, C2, C).")
+                .unwrap();
         assert_eq!(r.body[3].atom.pred.as_str(), "+");
         assert_eq!(r.body[3].atom.arity(), 3);
     }
@@ -417,7 +417,10 @@ mod tests {
     fn parse_scons() {
         let t = parse_term("scons(a, {b})").unwrap();
         assert!(matches!(t, Term::Scons(..)));
-        assert_eq!(t.to_value(), Some(Value::set(vec![Value::atom("a"), Value::atom("b")])));
+        assert_eq!(
+            t.to_value(),
+            Some(Value::set(vec![Value::atom("a"), Value::atom("b")]))
+        );
         assert!(parse_term("scons(a)").is_err());
     }
 
@@ -461,9 +464,18 @@ mod tests {
 
     #[test]
     fn arith_precedence() {
-        assert_eq!(parse_term("1 + 2 * 3").unwrap().to_value(), Some(Value::int(7)));
-        assert_eq!(parse_term("(1 + 2) * 3").unwrap().to_value(), Some(Value::int(9)));
-        assert_eq!(parse_term("7 mod 3 + 1").unwrap().to_value(), Some(Value::int(2)));
+        assert_eq!(
+            parse_term("1 + 2 * 3").unwrap().to_value(),
+            Some(Value::int(7))
+        );
+        assert_eq!(
+            parse_term("(1 + 2) * 3").unwrap().to_value(),
+            Some(Value::int(9))
+        );
+        assert_eq!(
+            parse_term("7 mod 3 + 1").unwrap().to_value(),
+            Some(Value::int(2))
+        );
     }
 
     #[test]

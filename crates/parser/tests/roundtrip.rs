@@ -9,80 +9,81 @@ use ldl_ast::literal::{Atom, Literal};
 use ldl_ast::rule::Rule;
 use ldl_ast::term::Term;
 use ldl_parser::parse_rule;
+use ldl_testkit::{cases, Rng};
 use ldl_value::arith::ArithOp;
-use proptest::prelude::*;
 
-fn term_strategy() -> impl Strategy<Value = Term> {
-    let leaf = prop_oneof![
-        prop_oneof![Just("X"), Just("Y"), Just("Zz")].prop_map(Term::var),
-        Just(Term::Anon),
-        (-9i64..9).prop_map(Term::int),
-        prop_oneof![Just("a"), Just("bee"), Just("c1")].prop_map(Term::atom),
-        Just(Term::empty_set()),
-        Just(Term::Const(ldl_value::Value::str("s x"))),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![Just("f"), Just("g")],
-                prop::collection::vec(inner.clone(), 1..3)
-            )
-                .prop_map(|(f, args)| Term::compound(f, args)),
-            prop::collection::vec(inner.clone(), 1..3).prop_map(Term::SetEnum),
-            (inner.clone(), inner.clone()).prop_map(|(h, t)| {
-                Term::Scons(Box::new(h), Box::new(t))
-            }),
-            (inner.clone(), inner).prop_map(|(l, r)| {
-                Term::Arith(ArithOp::Add, Box::new(l), Box::new(r))
-            }),
-        ]
-    })
-}
-
-fn literal_strategy() -> impl Strategy<Value = Literal> {
-    (
-        prop_oneof![Just("p"), Just("q"), Just("r")],
-        prop::collection::vec(term_strategy(), 0..3),
-        any::<bool>(),
-    )
-        .prop_map(|(pred, args, positive)| Literal {
-            positive,
-            atom: Atom::new(pred, args),
-        })
-}
-
-fn rule_strategy() -> impl Strategy<Value = Rule> {
-    (
-        prop::collection::vec(term_strategy(), 0..3),
-        any::<bool>(),
-        prop::collection::vec(literal_strategy(), 0..3),
-    )
-        .prop_map(|(mut head_args, group, body)| {
-            if group {
-                head_args.push(Term::group_var("G"));
+fn rand_term(rng: &mut Rng, depth: u32) -> Term {
+    if depth == 0 || rng.chance(1, 2) {
+        match rng.index(6) {
+            0 => Term::var(["X", "Y", "Zz"][rng.index(3)]),
+            1 => Term::Anon,
+            2 => Term::int(rng.range(-9, 9)),
+            3 => Term::atom(["a", "bee", "c1"][rng.index(3)]),
+            4 => Term::empty_set(),
+            _ => Term::Const(ldl_value::Value::str("s x")),
+        }
+    } else {
+        match rng.index(4) {
+            0 => {
+                let f = *rng.pick(&["f", "g"]);
+                let n = 1 + rng.index(2);
+                Term::compound(f, (0..n).map(|_| rand_term(rng, depth - 1)).collect())
             }
-            // Facts with variables are well-formedness errors but must still
-            // round-trip syntactically.
-            Rule::new(Atom::new("h", head_args), body)
-        })
+            1 => {
+                let n = 1 + rng.index(2);
+                Term::SetEnum((0..n).map(|_| rand_term(rng, depth - 1)).collect())
+            }
+            2 => Term::Scons(
+                Box::new(rand_term(rng, depth - 1)),
+                Box::new(rand_term(rng, depth - 1)),
+            ),
+            _ => Term::Arith(
+                ArithOp::Add,
+                Box::new(rand_term(rng, depth - 1)),
+                Box::new(rand_term(rng, depth - 1)),
+            ),
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn rule_display_reparses(rule in rule_strategy()) {
-        let text = rule.to_string();
-        let reparsed = parse_rule(&text)
-            .unwrap_or_else(|e| panic!("failed to reparse {text:?}: {e}"));
-        prop_assert_eq!(&reparsed, &rule, "text was {}", text);
+fn rand_literal(rng: &mut Rng) -> Literal {
+    let pred = *rng.pick(&["p", "q", "r"]);
+    let args: Vec<Term> = (0..rng.index(3)).map(|_| rand_term(rng, 3)).collect();
+    Literal {
+        positive: rng.chance(1, 2),
+        atom: Atom::new(pred, args),
     }
+}
 
-    #[test]
-    fn term_display_reparses(t in term_strategy()) {
+fn rand_rule(rng: &mut Rng) -> Rule {
+    let mut head_args: Vec<Term> = (0..rng.index(3)).map(|_| rand_term(rng, 3)).collect();
+    if rng.chance(1, 2) {
+        head_args.push(Term::group_var("G"));
+    }
+    let body: Vec<Literal> = (0..rng.index(3)).map(|_| rand_literal(rng)).collect();
+    // Facts with variables are well-formedness errors but must still
+    // round-trip syntactically.
+    Rule::new(Atom::new("h", head_args), body)
+}
+
+#[test]
+fn rule_display_reparses() {
+    cases(256, |rng| {
+        let rule = rand_rule(rng);
+        let text = rule.to_string();
+        let reparsed =
+            parse_rule(&text).unwrap_or_else(|e| panic!("failed to reparse {text:?}: {e}"));
+        assert_eq!(&reparsed, &rule, "text was {text}");
+    });
+}
+
+#[test]
+fn term_display_reparses() {
+    cases(256, |rng| {
+        let t = rand_term(rng, 3);
         let text = t.to_string();
         let reparsed = ldl_parser::parse_term(&text)
             .unwrap_or_else(|e| panic!("failed to reparse {text:?}: {e}"));
-        prop_assert_eq!(&reparsed, &t, "text was {}", text);
-    }
+        assert_eq!(&reparsed, &t, "text was {text}");
+    });
 }

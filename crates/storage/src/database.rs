@@ -96,11 +96,7 @@ impl Database {
     /// Render every fact as LDL1 fact syntax, sorted, one per line — a text
     /// dump that `ldl1::System::load` (or the CLI `:load`) reads back.
     pub fn dump(&self) -> String {
-        let mut lines: Vec<String> = self
-            .to_fact_set()
-            .iter()
-            .map(|f| format!("{f}."))
-            .collect();
+        let mut lines: Vec<String> = self.to_fact_set().iter().map(|f| format!("{f}.")).collect();
         lines.sort();
         let mut out = lines.join("\n");
         if !out.is_empty() {
@@ -117,6 +113,53 @@ impl Database {
         }
         db
     }
+
+    /// Snapshot the current size of every relation. Together with
+    /// [`Database::truncate_to`] this gives an *epoch* mechanism over the
+    /// append-only storage: facts inserted after a mark form the delta
+    /// `[mark, len)` per relation, and the database can be rolled back to
+    /// the mark without copying any tuples.
+    pub fn mark(&self) -> Mark {
+        Mark {
+            lens: self.relations.iter().map(|(&p, r)| (p, r.len())).collect(),
+        }
+    }
+
+    /// The number of tuples relation `pred` held at `mark` (0 if it did not
+    /// exist yet).
+    pub fn len_at(mark: &Mark, pred: Symbol) -> usize {
+        mark.lens.get(&pred).copied().unwrap_or(0)
+    }
+
+    /// Roll every relation back to its size at `mark`. Relations created
+    /// after the mark are removed entirely; the rest drop the tuples
+    /// appended since (indexes are pruned, not rebuilt).
+    pub fn truncate_to(&mut self, mark: &Mark) {
+        self.relations.retain(|p, r| match mark.lens.get(p) {
+            Some(&len) => {
+                r.truncate(len);
+                true
+            }
+            None => false,
+        });
+    }
+
+    /// Remove one relation wholesale (used when an IDB predicate is rebuilt
+    /// from scratch during incremental maintenance).
+    pub fn remove_relation(&mut self, pred: Symbol) -> Option<Relation> {
+        self.relations.remove(&pred)
+    }
+
+    /// Install `rel` as the relation for `pred`, replacing any existing one.
+    pub fn set_relation(&mut self, pred: Symbol, rel: Relation) {
+        self.relations.insert(pred, rel);
+    }
+}
+
+/// A per-relation length snapshot — see [`Database::mark`].
+#[derive(Clone, Debug, Default)]
+pub struct Mark {
+    lens: FastMap<Symbol, usize>,
 }
 
 /// Convenience: make a tuple from values.
@@ -133,8 +176,14 @@ mod tests {
         let mut db = Database::new();
         assert!(db.insert_tuple("parent", vec![Value::atom("a"), Value::atom("b")]));
         assert!(!db.insert_tuple("parent", vec![Value::atom("a"), Value::atom("b")]));
-        assert!(db.contains(&Fact::new("parent", vec![Value::atom("a"), Value::atom("b")])));
-        assert!(!db.contains(&Fact::new("parent", vec![Value::atom("b"), Value::atom("a")])));
+        assert!(db.contains(&Fact::new(
+            "parent",
+            vec![Value::atom("a"), Value::atom("b")]
+        )));
+        assert!(!db.contains(&Fact::new(
+            "parent",
+            vec![Value::atom("b"), Value::atom("a")]
+        )));
         assert_eq!(db.num_facts(), 1);
     }
 
@@ -168,6 +217,39 @@ mod tests {
         db.insert_tuple("w", vec![Value::set(vec![Value::int(1)])]);
         assert_eq!(db.dump(), "q(1).\nq(2).\nw({1}).\n");
         assert_eq!(Database::new().dump(), "");
+    }
+
+    #[test]
+    fn mark_and_truncate_roll_back_epochs() {
+        let mut db = Database::new();
+        db.insert_tuple("p", vec![Value::int(1)]);
+        db.insert_tuple("q", vec![Value::int(1), Value::int(2)]);
+        let mark = db.mark();
+        assert_eq!(Database::len_at(&mark, Symbol::intern("p")), 1);
+        assert_eq!(Database::len_at(&mark, Symbol::intern("fresh")), 0);
+
+        db.insert_tuple("p", vec![Value::int(2)]);
+        db.insert_tuple("fresh", vec![Value::int(9)]);
+        assert_eq!(db.num_facts(), 4);
+
+        db.truncate_to(&mark);
+        assert_eq!(db.num_facts(), 2);
+        assert!(db.relation(Symbol::intern("fresh")).is_none());
+        assert!(db.contains(&Fact::new("p", vec![Value::int(1)])));
+        assert!(!db.contains(&Fact::new("p", vec![Value::int(2)])));
+        // Rolled-back facts can be inserted again as new.
+        assert!(db.insert_tuple("p", vec![Value::int(2)]));
+    }
+
+    #[test]
+    fn set_and_remove_relation() {
+        let mut db = Database::new();
+        db.insert_tuple("p", vec![Value::int(1)]);
+        let taken = db.remove_relation(Symbol::intern("p")).unwrap();
+        assert_eq!(taken.len(), 1);
+        assert!(db.relation(Symbol::intern("p")).is_none());
+        db.set_relation(Symbol::intern("p"), taken);
+        assert!(db.contains(&Fact::new("p", vec![Value::int(1)])));
     }
 
     #[test]

@@ -120,7 +120,10 @@ impl Relation {
         let mut cols: Vec<usize> = cols.to_vec();
         cols.sort_unstable();
         cols.dedup();
-        assert!(cols.iter().all(|&c| c < self.arity), "index column out of range");
+        assert!(
+            cols.iter().all(|&c| c < self.arity),
+            "index column out of range"
+        );
         let mask = Self::mask_of(&cols);
         if self.indexes.contains_key(&mask) {
             return;
@@ -150,6 +153,28 @@ impl Relation {
     /// Does an index exist on `cols`?
     pub fn has_index(&self, cols: &[usize]) -> bool {
         self.indexes.contains_key(&Self::mask_of(cols))
+    }
+
+    /// Discard every tuple at insertion position `len` or beyond, restoring
+    /// the relation to an earlier snapshot (see [`Relation::len`], whose
+    /// value is exactly such a snapshot mark). Hash indexes and the
+    /// duplicate filter are pruned in place; positions below `len` keep
+    /// their identities, so outstanding delta ranges `[lo, hi)` with
+    /// `hi <= len` stay valid. No-op if `len >= self.len()`.
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.tuples.len() {
+            return;
+        }
+        for dropped in self.tuples.drain(len..) {
+            self.seen.remove(&dropped);
+        }
+        let cutoff = len as u32;
+        for idx in self.indexes.values_mut() {
+            idx.map.retain(|_, postings| {
+                postings.retain(|&pos| pos < cutoff);
+                !postings.is_empty()
+            });
+        }
     }
 }
 
@@ -226,6 +251,32 @@ mod tests {
         assert_eq!(delta.len(), 2);
         assert_eq!(delta[0][0], Value::int(2));
         assert_eq!(delta[1][0], Value::int(3));
+    }
+
+    #[test]
+    fn truncate_restores_snapshot() {
+        let mut r = Relation::new(2);
+        r.ensure_index(&[0]);
+        r.insert(t(&[1, 10]));
+        r.insert(t(&[1, 20]));
+        let mark = r.len();
+        r.insert(t(&[1, 30]));
+        r.insert(t(&[2, 40]));
+        assert_eq!(r.probe(&[0], &[Value::int(1)]).len(), 3);
+
+        r.truncate(mark);
+        assert_eq!(r.len(), 2);
+        // Duplicate filter forgets the dropped tuples…
+        assert!(!r.contains(&[Value::int(1), Value::int(30)]));
+        assert!(r.insert(t(&[1, 30])));
+        // …and indexes are pruned: the (2, 40) posting list is gone, the
+        // re-inserted (1, 30) shows up again.
+        r.truncate(2);
+        assert!(r.probe(&[0], &[Value::int(2)]).is_empty());
+        assert_eq!(r.probe(&[0], &[Value::int(1)]).len(), 2);
+        // Truncating beyond the end is a no-op.
+        r.truncate(99);
+        assert_eq!(r.len(), 2);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod graph;
 use std::fmt;
 
 use ldl_ast::program::{Builtin, Program};
-use ldl_value::fxhash::FastMap;
+use ldl_value::fxhash::{FastMap, FastSet};
 use ldl_value::Symbol;
 
 pub use graph::{DepGraph, EdgeKind};
@@ -120,11 +120,7 @@ impl Stratification {
         Ok(Self::assemble(program, &sccs, &scc_layer))
     }
 
-    fn assemble(
-        program: &Program,
-        sccs: &graph::Sccs,
-        scc_layer: &[usize],
-    ) -> Stratification {
+    fn assemble(program: &Program, sccs: &graph::Sccs, scc_layer: &[usize]) -> Stratification {
         let mut layer_of: FastMap<Symbol, usize> = FastMap::default();
         let mut max_layer = 0usize;
         for (ci, comp) in sccs.components.iter().enumerate() {
@@ -142,6 +138,48 @@ impl Stratification {
             layer_of,
             rules_by_layer,
         }
+    }
+
+    /// How each layer *reads* lower predicates — the dependency query that
+    /// drives incremental maintenance. For a layer `k` and a predicate `p`
+    /// whose facts changed:
+    ///
+    /// * `p ∈ positive(k)` — some rule of layer `k` reads `p` through a
+    ///   positive, non-grouping body literal. New `p` facts only *add*
+    ///   derivations (monotone), so they can be propagated by
+    ///   delta-restricted rule passes.
+    /// * `p ∈ nonmonotone(k)` — some rule of layer `k` reads `p` under
+    ///   negation, or from the body of a grouping-head rule. New `p` facts
+    ///   can *retract* conclusions (a `~p(…)` test flips to false; a grouped
+    ///   set `<X>` grows, and §2.2 semantics replace the old set rather than
+    ///   keep both), so the layer's output must be recomputed from scratch.
+    ///
+    /// Admissibility (§3.1) guarantees every `nonmonotone` predicate lies in
+    /// a strictly lower layer, which is what makes "recompute from layer `k`
+    /// up" sound: layers below `k` are already final when `k` replays.
+    pub fn sensitivity(&self, program: &Program) -> Vec<LayerSensitivity> {
+        let mut out: Vec<LayerSensitivity> = (0..self.num_layers())
+            .map(|_| LayerSensitivity::default())
+            .collect();
+        for (layer, rules) in self.rules_by_layer.iter().enumerate() {
+            let sens = &mut out[layer];
+            for &ri in rules {
+                let rule = &program.rules[ri];
+                let grouping = rule.head.has_group();
+                for lit in &rule.body {
+                    let q = lit.atom.pred;
+                    if Builtin::resolve(q, lit.atom.arity()).is_some() {
+                        continue;
+                    }
+                    if grouping || !lit.positive {
+                        sens.nonmonotone.insert(q);
+                    } else {
+                        sens.positive.insert(q);
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Validate the layering conditions against a program (§3.1). Used by
@@ -171,6 +209,30 @@ impl Stratification {
             }
         }
         Ok(())
+    }
+}
+
+/// What one layer reads from the database — see [`Stratification::sensitivity`].
+#[derive(Clone, Debug, Default)]
+pub struct LayerSensitivity {
+    /// Predicates read by positive literals of non-grouping rules: changes
+    /// propagate monotonically (delta passes suffice).
+    pub positive: FastSet<Symbol>,
+    /// Predicates read under negation or inside grouping-rule bodies:
+    /// changes force the layer (and everything above) to replay.
+    pub nonmonotone: FastSet<Symbol>,
+}
+
+impl LayerSensitivity {
+    /// Does a change to `p` affect this layer at all?
+    pub fn affected_by(&self, p: Symbol) -> bool {
+        self.positive.contains(&p) || self.nonmonotone.contains(&p)
+    }
+
+    /// Does a change to `p` invalidate (rather than merely extend) this
+    /// layer's output?
+    pub fn requires_replay_for(&self, p: Symbol) -> bool {
+        self.nonmonotone.contains(&p)
     }
 }
 
@@ -308,14 +370,16 @@ mod tests {
         assert_eq!(layer(&s, "part"), 1);
         assert_eq!(layer(&s, "tc"), 1);
         assert_eq!(layer(&s, "result"), 1);
-        s.validate(&parse_program(
-            "part(P, <S>) <- p(P, S).\n\
+        s.validate(
+            &parse_program(
+                "part(P, <S>) <- p(P, S).\n\
              tc({X}, C) <- q(X, C).\n\
              tc({X}, C) <- part(X, S), tc(S, C).\n\
              tc(S, C) <- partition(S, S1, S2), tc(S1, C1), tc(S2, C2), +(C1, C2, C).\n\
              result(X, C) <- tc({X}, C).",
+            )
+            .unwrap(),
         )
-        .unwrap())
         .unwrap();
     }
 
@@ -373,6 +437,45 @@ mod tests {
         assert_eq!(layer(&s, "s1"), 1);
         assert_eq!(layer(&s, "s2"), 2);
         assert_eq!(layer(&s, "s3"), 3);
+    }
+
+    #[test]
+    fn sensitivity_classifies_reads() {
+        let src = "anc(X, Y) <- par(X, Y).\n\
+                   anc(X, Y) <- par(X, Z), anc(Z, Y).\n\
+                   kids(P, <K>) <- par(P, K).\n\
+                   excl(X, Y, Z) <- anc(X, Y), node(Z), ~anc(X, Z).";
+        let p = parse_program(src).unwrap();
+        let s = Stratification::canonical(&p).unwrap();
+        let sens = s.sensitivity(&p);
+        assert_eq!(sens.len(), s.num_layers());
+        let (par, anc) = (Symbol::intern("par"), Symbol::intern("anc"));
+
+        // Layer 0 (anc): par and anc are read positively, nothing replays.
+        let l0 = &sens[s.layer(anc)];
+        assert!(l0.affected_by(par) && l0.affected_by(anc));
+        assert!(!l0.requires_replay_for(par));
+
+        // kids' layer groups over par: a par change forces replay.
+        let lk = &sens[s.layer(Symbol::intern("kids"))];
+        assert!(lk.requires_replay_for(par));
+
+        // excl's layer negates anc (replay) but reads node positively.
+        let le = &sens[s.layer(Symbol::intern("excl"))];
+        assert!(le.requires_replay_for(anc));
+        assert!(le.affected_by(Symbol::intern("node")));
+        assert!(!le.requires_replay_for(Symbol::intern("node")));
+    }
+
+    #[test]
+    fn sensitivity_skips_builtins() {
+        let src = "q(X, S) <- p(X), member(X, S), r(S), X < 5.";
+        let p = parse_program(src).unwrap();
+        let s = Stratification::canonical(&p).unwrap();
+        let sens = s.sensitivity(&p);
+        assert!(!sens[0].affected_by(Symbol::intern("member")));
+        assert!(!sens[0].affected_by(Symbol::intern("<")));
+        assert!(sens[0].affected_by(Symbol::intern("p")));
     }
 
     #[test]

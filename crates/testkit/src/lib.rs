@@ -1,0 +1,182 @@
+#![warn(missing_docs)]
+
+//! Self-contained test and benchmark support.
+//!
+//! The workspace builds offline, so it cannot pull `proptest`, `rand`, or
+//! `criterion` from crates.io. This crate provides the small slice of that
+//! functionality the tests and benches actually use:
+//!
+//! * [`Rng`] — a seeded, deterministic xorshift64* generator;
+//! * [`cases`] — a property-test driver running a closure over many seeds
+//!   and reporting the failing seed on panic;
+//! * [`bench`] / [`Sample`] — wall-clock timing with median/min reporting
+//!   for the `harness = false` benchmark binaries.
+
+use std::time::{Duration, Instant};
+
+/// A deterministic xorshift64* pseudo-random generator.
+///
+/// Not cryptographic; statistically fine for generating test workloads.
+/// The same seed always yields the same stream on every platform.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator seeded with `seed` (any value, including 0, is fine).
+    pub fn new(seed: u64) -> Rng {
+        // Avoid the all-zero fixed point and decorrelate small seeds.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        state ^= state >> 30;
+        Rng { state }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform `i64` in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = (hi - lo) as u64;
+        lo + (self.next_u64() % span) as i64
+    }
+
+    /// A uniform `usize` in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index into empty range");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// A uniform choice from a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.index(xs.len())]
+    }
+
+    /// `true` with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_u64() % den < num
+    }
+}
+
+/// Run `body` once per case with a fresh deterministic [`Rng`], labelling
+/// any panic with the case number so failures are reproducible: re-run with
+/// `cases_from(failing_case, 1, body)`.
+pub fn cases(n: u64, body: impl Fn(&mut Rng)) {
+    cases_from(0, n, body);
+}
+
+/// [`cases`] starting from a specific case number (to replay one failure).
+pub fn cases_from(start: u64, n: u64, body: impl Fn(&mut Rng)) {
+    for case in start..start + n {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = Rng::new(0xC0FFEE ^ case.wrapping_mul(0x9E37_79B9));
+            body(&mut rng);
+        }));
+        if let Err(payload) = result {
+            eprintln!("property failed at case {case} (replay with cases_from({case}, 1, ..))");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// One benchmark measurement: per-iteration wall-clock statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct Sample {
+    /// Median duration of one iteration.
+    pub median: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Number of timed iterations.
+    pub iters: usize,
+}
+
+impl Sample {
+    /// Median in milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        self.median.as_secs_f64() * 1e3
+    }
+
+    /// `other.median / self.median` — how many times faster `self` is.
+    pub fn speedup_over(&self, other: &Sample) -> f64 {
+        other.median.as_secs_f64() / self.median.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Time `f` for `iters` iterations (after one untimed warm-up) and print
+/// `group/label: median ms` in a stable, grep-friendly format.
+pub fn bench(group: &str, label: &str, iters: usize, mut f: impl FnMut()) -> Sample {
+    assert!(iters > 0);
+    f(); // warm-up
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        times.push(t.elapsed());
+    }
+    times.sort();
+    let s = Sample {
+        median: times[times.len() / 2],
+        min: times[0],
+        iters,
+    };
+    println!(
+        "{group}/{label}: {:.3} ms (min {:.3} ms, n={iters})",
+        s.median_ms(),
+        s.min.as_secs_f64() * 1e3
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_spread() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        let xs: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        // Different seeds diverge.
+        let mut c = Rng::new(43);
+        assert_ne!(xs[0], c.next_u64());
+        // Ranges stay in bounds and hit both halves.
+        let mut r = Rng::new(7);
+        let vals: Vec<i64> = (0..200).map(|_| r.range(-5, 5)).collect();
+        assert!(vals.iter().all(|&v| (-5..5).contains(&v)));
+        assert!(vals.iter().any(|&v| v < 0) && vals.iter().any(|&v| v >= 0));
+    }
+
+    #[test]
+    fn cases_run_distinct_streams() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let first = AtomicU64::new(0);
+        let distinct = AtomicU64::new(0);
+        cases(8, |rng| {
+            let v = rng.next_u64();
+            let prev = first.swap(v, Ordering::SeqCst);
+            if prev != 0 && prev != v {
+                distinct.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(distinct.load(Ordering::SeqCst) >= 6);
+    }
+
+    #[test]
+    fn bench_reports_sane_sample() {
+        let s = bench("testkit", "noop", 5, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert_eq!(s.iters, 5);
+        assert!(s.min <= s.median);
+    }
+}

@@ -88,10 +88,7 @@ fn rewrite_one(rule: &Rule, g: &Gensym) -> Result<Option<Vec<Rule>>, TransformEr
                 Atom::new(collect, vec![Term::Var(x), Term::group(Term::Var(y))]),
                 vec![
                     Literal::pos(Atom::new(dom, vec![Term::Var(x)])),
-                    Literal::pos(Atom::new(
-                        "member",
-                        vec![Term::Var(y), Term::Var(x)],
-                    )),
+                    Literal::pos(Atom::new("member", vec![Term::Var(y), Term::Var(x)])),
                     Literal::pos(Atom::new("=", vec![Term::Var(y), inner_fresh])),
                 ],
             );

@@ -127,7 +127,11 @@ fn z_vars(head: &Atom) -> Vec<Var> {
 }
 
 /// (i) Distribution.
-fn distribution(rule: &Rule, group_args: &[usize], g: &Gensym) -> Result<Vec<Rule>, TransformError> {
+fn distribution(
+    rule: &Rule,
+    group_args: &[usize],
+    g: &Gensym,
+) -> Result<Vec<Rule>, TransformError> {
     let z = z_vars(&rule.head);
     let z_terms: Vec<Term> = z.iter().map(|&v| Term::Var(v)).collect();
     let mut out = Vec::new();

@@ -64,12 +64,7 @@ pub fn translate_lps_rule(rule: &LpsRule) -> Result<Vec<Rule>, TransformError> {
     let member_lits: Vec<Literal> = rule
         .quantifiers
         .iter()
-        .map(|&(ev, sv)| {
-            Literal::pos(Atom::new(
-                "member",
-                vec![Term::Var(ev), Term::Var(sv)],
-            ))
-        })
+        .map(|&(ev, sv)| Literal::pos(Atom::new("member", vec![Term::Var(ev), Term::Var(sv)])))
         .collect();
 
     let (a, b, c, d) = (g.pred("a"), g.pred("b"), g.pred("c"), g.pred("d"));
@@ -165,7 +160,10 @@ mod tests {
                 "pair",
                 vec![Term::var("X"), Term::var("Y")],
             ))],
-            quantifiers: vec![(Var::new("Xe"), Var::new("X")), (Var::new("Ye"), Var::new("Y"))],
+            quantifiers: vec![
+                (Var::new("Xe"), Var::new("X")),
+                (Var::new("Ye"), Var::new("Y")),
+            ],
             body: vec![Literal::pos(Atom::new(
                 "/=",
                 vec![Term::var("Xe"), Term::var("Ye")],

@@ -22,7 +22,9 @@ fn eval_ldl15(program: &Program, edb: &Database) -> Database {
         dialect: ldl_ast::wf::Dialect::Ldl15,
         ..Default::default()
     };
-    Evaluator::with_options(opts).evaluate(program, edb).unwrap()
+    Evaluator::with_options(opts)
+        .evaluate(program, edb)
+        .unwrap()
 }
 
 /// The model restricted to the given predicates.
@@ -169,8 +171,7 @@ fn body_group_under_compound() {
 #[test]
 fn head_terms_teacher_students_days() {
     let p = parse_program("out(T, <S>, <D>) <- r(T, S, C, D).").unwrap();
-    let rewritten =
-        head_terms::eliminate_complex_heads(&p, GroupingSemantics::PerGroup).unwrap();
+    let rewritten = head_terms::eliminate_complex_heads(&p, GroupingSemantics::PerGroup).unwrap();
     let mut edb = Database::new();
     // r(Teacher, Student, Class, Day)
     for (t, s, c, d) in [
@@ -213,8 +214,7 @@ fn head_terms_teacher_students_days() {
 #[test]
 fn head_terms_nested_h() {
     let p = parse_program("out(T, <h(S, <D>)>) <- r(T, S, C, D).").unwrap();
-    let rewritten =
-        head_terms::eliminate_complex_heads(&p, GroupingSemantics::PerGroup).unwrap();
+    let rewritten = head_terms::eliminate_complex_heads(&p, GroupingSemantics::PerGroup).unwrap();
     let mut edb = Database::new();
     for (t, s, c, d) in [
         ("ht", "sam", "math", "mon"),
@@ -266,10 +266,7 @@ fn head_terms_nested_h_with_context() {
     let h_sam_mr = Value::compound("h", vec![atom("sam"), Value::set(vec![atom("fri")])]);
     let h_ann = Value::compound("h", vec![atom("ann"), Value::set(vec![atom("tue")])]);
     let expect: FactSet = [
-        Fact::new(
-            "out",
-            vec![atom("ht"), Value::set(vec![h_sam_ht, h_ann])],
-        ),
+        Fact::new("out", vec![atom("ht"), Value::set(vec![h_sam_ht, h_ann])]),
         Fact::new("out", vec![atom("mr"), Value::set(vec![h_sam_mr])]),
     ]
     .into_iter()
@@ -281,8 +278,7 @@ fn head_terms_nested_h_with_context() {
 #[test]
 fn head_terms_tuple_of_tuples() {
     let p = parse_program("out((T, S), <(C, <D>)>) <- r(T, S, C, D).").unwrap();
-    let rewritten =
-        head_terms::eliminate_complex_heads(&p, GroupingSemantics::PerGroup).unwrap();
+    let rewritten = head_terms::eliminate_complex_heads(&p, GroupingSemantics::PerGroup).unwrap();
     let mut edb = Database::new();
     for (t, s, c, d) in [
         ("ht", "sam", "math", "mon"),
@@ -406,9 +402,6 @@ fn lps_proposition_witness() {
     // M = {q(1), p({1}), w({{1}})}.
     assert!(m.contains(&Fact::new("q", vec![Value::int(1)])));
     assert!(m.contains(&Fact::new("p", vec![set(&[1])])));
-    assert!(m.contains(&Fact::new(
-        "w",
-        vec![Value::set(vec![set(&[1])])]
-    )));
+    assert!(m.contains(&Fact::new("w", vec![Value::set(vec![set(&[1])])])));
     assert_eq!(m.num_facts(), 3);
 }

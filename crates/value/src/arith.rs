@@ -173,19 +173,38 @@ mod tests {
 
     #[test]
     fn ordered_comparisons() {
-        assert_eq!(CmpOp::Lt.eval(&Value::int(95), &Value::int(100)), Some(true));
+        assert_eq!(
+            CmpOp::Lt.eval(&Value::int(95), &Value::int(100)),
+            Some(true)
+        );
         assert_eq!(CmpOp::Ge.eval(&Value::int(5), &Value::int(5)), Some(true));
-        assert_eq!(CmpOp::Lt.eval(&Value::str("a"), &Value::str("b")), Some(true));
+        assert_eq!(
+            CmpOp::Lt.eval(&Value::str("a"), &Value::str("b")),
+            Some(true)
+        );
         // Mixed types: binding failure, not falsity.
         assert_eq!(CmpOp::Lt.eval(&Value::int(1), &Value::atom("a")), None);
     }
 
     #[test]
     fn op_names_round_trip() {
-        for op in [ArithOp::Add, ArithOp::Sub, ArithOp::Mul, ArithOp::Div, ArithOp::Mod] {
+        for op in [
+            ArithOp::Add,
+            ArithOp::Sub,
+            ArithOp::Mul,
+            ArithOp::Div,
+            ArithOp::Mod,
+        ] {
             assert_eq!(ArithOp::from_name(op.name()), Some(op));
         }
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(CmpOp::from_name(op.name()), Some(op));
         }
     }

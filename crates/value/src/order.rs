@@ -72,8 +72,7 @@ pub fn fact_dominates_elaborate(a: &Fact, b: &Fact) -> bool {
 /// Fact-set domination `A ≤ B`: every fact of `A` is dominated by some fact
 /// of `B` (the image-of-a-preserving-function condition).
 pub fn factset_dominated(a: &FactSet, b: &FactSet) -> bool {
-    a.iter()
-        .all(|fa| b.iter().any(|fb| fact_dominates(fa, fb)))
+    a.iter().all(|fa| b.iter().any(|fb| fact_dominates(fa, fb)))
 }
 
 /// The §2.4 minimality comparison: is `cand` "at least as small" a model as

@@ -197,7 +197,10 @@ impl SetValue {
     /// `tc` example. 2^n pairs; callers restrict to small sets.
     pub fn partitions(&self) -> Vec<(SetValue, SetValue)> {
         let n = self.len();
-        assert!(n <= 20, "partitions of a set with {n} elements is too large");
+        assert!(
+            n <= 20,
+            "partitions of a set with {n} elements is too large"
+        );
         let mut out = Vec::with_capacity(1usize << n);
         for mask in 0..(1usize << n) {
             let mut left = Vec::new();

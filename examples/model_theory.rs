@@ -62,7 +62,9 @@ fn main() -> Result<(), ldl1::Error> {
     println!("  M1 is a model: {}", check_model(&prog, &m1).is_ok());
 
     // 4. §2.4: domination-based minimality.
-    println!("\n== §2.4 minimality: M2 = {{q(1), p({{1}})}} beats M1 = {{q(1), q(2), p({{1,2}})}} ==");
+    println!(
+        "\n== §2.4 minimality: M2 = {{q(1), p({{1}})}} beats M1 = {{q(1), q(2), p({{1,2}})}} =="
+    );
     let prog = ldl1::parser::parse_program(
         "q(1).\n\
          p(<X>) <- q(X).\n\

@@ -26,14 +26,8 @@ fn forest(sys: &mut System, roots: usize, depth: u32) {
             for node in &level {
                 let (a, b) = (format!("n{id}"), format!("n{}", id + 1));
                 id += 2;
-                sys.insert(
-                    "p",
-                    vec![ldl1::Value::atom(node), ldl1::Value::atom(&a)],
-                );
-                sys.insert(
-                    "p",
-                    vec![ldl1::Value::atom(node), ldl1::Value::atom(&b)],
-                );
+                sys.insert("p", vec![ldl1::Value::atom(node), ldl1::Value::atom(&a)]);
+                sys.insert("p", vec![ldl1::Value::atom(node), ldl1::Value::atom(&b)]);
                 sys.insert(
                     "siblings",
                     vec![ldl1::Value::atom(&a), ldl1::Value::atom(&b)],
@@ -64,10 +58,16 @@ fn main() -> Result<(), ldl1::Error> {
     for a in sys.query_magic("young(john, S)")? {
         println!("john is young; same generation: S = {}", a.bindings[0].1);
     }
-    println!("young(f, S) answers: {:?} (f has descendants — the query fails)", sys.query_magic("young(f, S)")?.len());
+    println!(
+        "young(f, S) answers: {:?} (f has descendants — the query fails)",
+        sys.query_magic("young(f, S)")?.len()
+    );
 
     // Now scale: who wins, plain bottom-up or magic?
-    println!("\n{:>8} {:>12} {:>12} {:>8}", "leaves", "plain", "magic", "speedup");
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>8}",
+        "leaves", "plain", "magic", "speedup"
+    );
     for depth in [4, 5, 6] {
         let mut sys = System::with_options(EvalOptions::default());
         sys.load(PROGRAM)?;

@@ -24,9 +24,15 @@ fn young_rewrite_shape() {
     // 3′: magic_a^bf(X) <- magic_young^bf(X).
     assert!(text.contains("m'a'bf(X) <- m'young'bf(X)."), "{text}");
     // 2′: magic_a^bf(Z) <- magic_a^bf(X), a^bf(X, Z).
-    assert!(text.contains("m'a'bf(Z) <- m'a'bf(X), a'bf(X, Z)."), "{text}");
+    assert!(
+        text.contains("m'a'bf(Z) <- m'a'bf(X), a'bf(X, Z)."),
+        "{text}"
+    );
     // 4′ shape: recursive magic for sg through p.
-    assert!(text.contains("m'sg'bf(Z1) <- m'sg'bf(X), p(Z1, X)."), "{text}");
+    assert!(
+        text.contains("m'sg'bf(Z1) <- m'sg'bf(X), p(Z1, X)."),
+        "{text}"
+    );
     // 6′: a^bf(X, Y) <- magic_a^bf(X), p(X, Y).
     assert!(text.contains("a'bf(X, Y) <- m'a'bf(X), p(X, Y)."), "{text}");
     // 7′: the doubly-guarded recursive a rule.
@@ -53,25 +59,32 @@ fn young_answers_agree() {
     for (pairs, siblings, who, expect_some) in [
         // The paper's scenario: john is young.
         (
-            vec![("gp", "f"), ("gp", "u"), ("f", "john"), ("u", "c1"), ("u", "c2")],
+            vec![
+                ("gp", "f"),
+                ("gp", "u"),
+                ("f", "john"),
+                ("u", "c1"),
+                ("u", "c2"),
+            ],
             vec![("f", "u"), ("u", "f")],
             "john",
             true,
         ),
         // john has a child: not young.
         (
-            vec![("gp", "f"), ("gp", "u"), ("f", "john"), ("john", "kid"), ("u", "c1")],
+            vec![
+                ("gp", "f"),
+                ("gp", "u"),
+                ("f", "john"),
+                ("john", "kid"),
+                ("u", "c1"),
+            ],
             vec![("f", "u"), ("u", "f")],
             "john",
             false,
         ),
         // No same-generation partner: empty group, query fails.
-        (
-            vec![("gp", "f"), ("f", "john")],
-            vec![],
-            "john",
-            false,
-        ),
+        (vec![("gp", "f"), ("f", "john")], vec![], "john", false),
     ] {
         let mut sys = System::new();
         sys.load(YOUNG).unwrap();
@@ -139,7 +152,13 @@ fn magic_grab_bag_equivalence() {
     for (a, b) in [(0, 1), (1, 2), (2, 3), (1, 4), (5, 6)] {
         sys.insert("e", vec![Value::int(a), Value::int(b)]);
     }
-    for q in ["sinks(0, S)", "sinks(1, S)", "sinks(3, S)", "sinks(5, S)", "sinks(X, S)"] {
+    for q in [
+        "sinks(0, S)",
+        "sinks(1, S)",
+        "sinks(3, S)",
+        "sinks(5, S)",
+        "sinks(X, S)",
+    ] {
         assert_eq!(
             sys.query(q).unwrap(),
             sys.query_magic(q).unwrap(),

@@ -2,9 +2,7 @@
 //! through the public API (`check_model`, the §2.4 domination order, and
 //! the engine's computed standard model).
 
-use ldl1::value::order::{
-    dominates, dominates_elaborate, fact_dominates, strictly_smaller_model,
-};
+use ldl1::value::order::{dominates, dominates_elaborate, fact_dominates, strictly_smaller_model};
 use ldl1::{check_model, Fact, FactSet, Program, System, Value};
 
 fn facts(list: &[Fact]) -> FactSet {
@@ -85,7 +83,11 @@ fn russell_no_model() {
 
     let mut sys = System::new();
     sys.load("p(<X>) <- p(X). p(1).").unwrap();
-    assert!(sys.query("p(X)").unwrap_err().to_string().contains("not admissible"));
+    assert!(sys
+        .query("p(X)")
+        .unwrap_err()
+        .to_string()
+        .contains("not admissible"));
 }
 
 /// X9 — §2.3/§2.4: the positive program with two incomparable minimal
@@ -158,10 +160,7 @@ fn domination_minimality() {
 /// and reaches through constructors.
 #[test]
 fn elaborate_domination_remark() {
-    let basic_pairs = [
-        (set(&[1]), set(&[1, 2])),
-        (Value::int(3), Value::int(3)),
-    ];
+    let basic_pairs = [(set(&[1]), set(&[1, 2])), (Value::int(3), Value::int(3))];
     for (a, b) in &basic_pairs {
         assert!(dominates(a, b));
         assert!(dominates_elaborate(a, b));

@@ -90,7 +90,11 @@ fn book_deal_program() {
     let deals = sys.facts("book_deal").unwrap();
     // {lp, db, ai} via 20+30+44 = 94 ✓.
     assert!(deals.iter().any(|f| f.args()[0]
-        == Value::set(vec![Value::atom("ai"), Value::atom("db"), Value::atom("lp")])));
+        == Value::set(vec![
+            Value::atom("ai"),
+            Value::atom("db"),
+            Value::atom("lp")
+        ])));
     // Singletons appear (e.g. {lp} via 20*3 = 60 < 100).
     assert!(deals
         .iter()

@@ -173,7 +173,9 @@ fn naive_mode_handles_negation_and_grouping_too() {
     for (a, b) in [(0, 1), (1, 2)] {
         edb.insert_tuple("e", vec![Value::int(a), Value::int(b)]);
     }
-    let m = Evaluator::with_options(opts).evaluate(&program, &edb).unwrap();
+    let m = Evaluator::with_options(opts)
+        .evaluate(&program, &edb)
+        .unwrap();
     assert!(m.contains(&Fact::new(
         "sinks",
         vec![Value::int(0), Value::set(vec![Value::int(2)])]

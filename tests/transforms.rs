@@ -86,7 +86,7 @@ fn head_terms_through_facade() {
     assert_eq!(sys.facts("flat").unwrap().len(), 2); // one per teacher
     assert_eq!(sys.facts("nested").unwrap().len(), 2);
     assert_eq!(sys.facts("paired").unwrap().len(), 3); // per (T, S)
-    // Grouped constant: the set {c} per teacher.
+                                                       // Grouped constant: the set {c} per teacher.
     for f in sys.facts("gconst").unwrap() {
         assert_eq!(f.args()[1], Value::set(vec![Value::atom("c")]));
     }
