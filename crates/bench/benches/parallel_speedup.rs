@@ -1,0 +1,95 @@
+//! P12 — parallel stratum evaluation: the same workload at 1/2/4/8 workers.
+//!
+//! Two workloads with different parallelism profiles:
+//!
+//! * **ancestor, 10k edges** (1,000 chains × 10 links): the semi-naive delta
+//!   stays wide for all ten rounds — thousands of tuples per round — so the
+//!   range partitioner gets long contiguous slices to hand to the workers.
+//! * **BOM** (paper-scale depth-2 binary part hierarchy — the full `tc`
+//!   model is exponential in the part count, so 7 parts is the practical
+//!   full-evaluation ceiling; see `grouping_bom`): grouping + recursive set
+//!   aggregation; rounds are narrow, so this measures how gracefully the
+//!   snapshot/merge round degrades when there is little work to spread.
+//!
+//! The model is asserted identical across worker counts in every
+//! configuration (the determinism contract), so this bench doubles as an
+//! end-to-end check that parallelism changes *nothing* but wall-clock time.
+//! Speedup scales with the machine: on a multi-core box the 10k-edge
+//! ancestor workload is expected to reach ≥ 1.8× at 4 workers; on a
+//! single-core container every configuration degenerates to ≈ 1.0× (the
+//! pool's threads just time-slice one CPU).
+//!
+//! `cargo bench -p ldl-bench --bench parallel_speedup -- smoke` runs a tiny
+//! 1-iteration configuration for CI.
+
+use ldl1::{Database, EvalOptions, Value};
+use ldl_bench::{bom, eval_with, opts, ANCESTOR, BOM};
+use ldl_testkit::{bench, Sample};
+
+const JOBS: [usize; 4] = [1, 2, 4, 8];
+
+fn ancestor_edb(chains: i64, links: i64) -> Database {
+    const STRIDE: i64 = 1_000_000;
+    let mut db = Database::new();
+    for c in 0..chains {
+        let base = c * STRIDE;
+        for i in 0..links {
+            db.insert_tuple("par", vec![Value::int(base + i), Value::int(base + i + 1)]);
+        }
+    }
+    db
+}
+
+fn with_jobs(jobs: usize) -> EvalOptions {
+    EvalOptions {
+        check_wf: false,
+        parallelism: jobs,
+        ..opts(true, true)
+    }
+}
+
+/// Bench one (label, program, EDB) workload across all worker counts,
+/// asserting the models are identical, and report each speedup over jobs=1.
+fn sweep(label: &str, src: &str, db: &Database, iters: usize) -> Vec<(usize, Sample)> {
+    let baseline_model = eval_with(src, db, with_jobs(1)).to_fact_set();
+    let mut samples = Vec::new();
+    for jobs in JOBS {
+        let model = eval_with(src, db, with_jobs(jobs)).to_fact_set();
+        assert_eq!(
+            model, baseline_model,
+            "{label}: model differs at jobs={jobs}"
+        );
+        let s = bench(
+            "P12_parallel_speedup",
+            &format!("{label}_jobs{jobs}"),
+            iters,
+            || {
+                eval_with(src, db, with_jobs(jobs));
+            },
+        );
+        samples.push((jobs, s));
+    }
+    let base = samples[0].1;
+    for &(jobs, s) in &samples[1..] {
+        println!(
+            "P12_parallel_speedup/{label}_speedup_jobs{jobs}: {:.2}x",
+            s.speedup_over(&base)
+        );
+    }
+    samples
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "smoke" || a == "--smoke");
+    let (chains, links, depth, iters) = if smoke {
+        (20, 5, 2, 1) // 100 edges, 1 iteration: CI rot check only
+    } else {
+        (1_000, 10, 2, 9) // the 10k-edge acceptance workload
+    };
+
+    let anc_db = ancestor_edb(chains, links);
+    sweep("ancestor_10k_edges", ANCESTOR, &anc_db, iters);
+
+    let bom_db = bom(depth, 2);
+    sweep("bom", BOM, &bom_db, iters);
+}

@@ -28,6 +28,7 @@ Commands:
   :facts PRED         list the model's facts for one predicate
   :magic QUERY.       answer a query via the magic-set pipeline
   :stats              work counters of the last evaluation (full or incremental)
+  :jobs [N]           show or set evaluation worker count (0 = all cores)
   :save FILE          write the model (all facts) as loadable fact syntax
   :quit               exit";
 
@@ -35,12 +36,23 @@ fn main() {
     let mut sys = System::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut batch = false;
-    for a in &args {
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
         match a.as_str() {
             "--batch" | "-b" => batch = true,
             "--help" | "-h" => {
-                println!("usage: ldl1 [--batch] [FILE...]\n\n{HELP}");
+                println!("usage: ldl1 [--batch] [--jobs N] [FILE...]\n\n{HELP}");
                 return;
+            }
+            "--jobs" | "-j" => {
+                let jobs = iter.next().and_then(|v| v.parse::<usize>().ok());
+                match jobs {
+                    Some(n) => sys.set_parallelism(n),
+                    None => {
+                        eprintln!("error: --jobs requires a number (0 = all cores)");
+                        std::process::exit(1);
+                    }
+                }
             }
             file => {
                 if let Err(e) = load_file(&mut sys, file) {
@@ -157,6 +169,16 @@ fn command(sys: &mut System, cmd: &str) -> bool {
             Err(e) => eprintln!("error: {e}"),
         },
         ":stats" => println!("{}", sys.last_stats()),
+        ":jobs" => {
+            if rest.is_empty() {
+                println!("jobs: {}", sys.parallelism());
+            } else {
+                match rest.parse::<usize>() {
+                    Ok(n) => sys.set_parallelism(n),
+                    Err(_) => eprintln!("error: :jobs takes a number (0 = all cores)"),
+                }
+            }
+        }
         other => eprintln!("unknown command {other}; try :help"),
     }
     true

@@ -28,6 +28,19 @@ pub struct EvalOptions {
     /// `<t>` patterns in rule bodies, which the matcher evaluates natively
     /// with the §4.1 uniform-structure semantics.
     pub dialect: Dialect,
+    /// Worker count for parallel stratum evaluation: each fixpoint round
+    /// evaluates its rule passes (and slices of large delta ranges) on this
+    /// many threads against an immutable database snapshot, merging the
+    /// derived-fact buffers in fixed rule order. The computed model —
+    /// including every tuple's insertion position — is bit-for-bit
+    /// identical at any setting.
+    ///
+    /// `1` (the default) evaluates inline with no threads; `0` means "use
+    /// [`std::thread::available_parallelism`]". The default can be
+    /// overridden process-wide with the `LDL1_JOBS` environment variable
+    /// (read once), which CI uses to run the whole suite through the
+    /// parallel path.
+    pub parallelism: usize,
 }
 
 impl Default for EvalOptions {
@@ -37,8 +50,33 @@ impl Default for EvalOptions {
             use_indexes: true,
             check_wf: true,
             dialect: Dialect::Ldl1,
+            parallelism: env_default_parallelism(),
         }
     }
+}
+
+impl EvalOptions {
+    /// The actual worker count to use: `parallelism`, with `0` resolved to
+    /// the machine's available parallelism (at least 1).
+    pub fn effective_parallelism(&self) -> usize {
+        match self.parallelism {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+    }
+}
+
+/// The process-wide default for [`EvalOptions::parallelism`]: `LDL1_JOBS`
+/// if set to a number, else 1. Cached after the first read.
+fn env_default_parallelism() -> usize {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("LDL1_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(1)
+    })
 }
 
 /// One answer to a query: the queried atom's variables bound to values.

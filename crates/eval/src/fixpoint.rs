@@ -1,4 +1,16 @@
-//! Layered fixpoint evaluation (Theorem 1).
+//! Layered fixpoint evaluation (Theorem 1), with parallel rounds.
+//!
+//! Every fixpoint here is driven by one primitive, [`run_round`]: apply a
+//! batch of rule passes to an *immutable snapshot* of the database,
+//! collecting each pass's derived facts into its own buffer, then merge the
+//! buffers into the database in fixed rule order. Because §3.2 defines one
+//! bottom-up step as `R(M) = ⋃ r(M)` — every rule applied to the *same*
+//! `M` — the passes of a round are independent and can execute on a worker
+//! pool ([`crate::pool`]); large delta ranges are additionally partitioned
+//! into contiguous slices, one task per slice. The ordered merge makes the
+//! result — including every tuple's insertion position, which the
+//! [`DeltaRestriction`] frontiers and incremental maintenance depend on —
+//! bit-for-bit identical at any worker count, including 1.
 
 use ldl_ast::program::Program;
 use ldl_storage::Database;
@@ -11,6 +23,7 @@ use crate::engine::EvalOptions;
 use crate::error::EvalError;
 use crate::grouping::run_grouping_rule;
 use crate::plan::{ensure_indexes, run_body, DeltaRestriction, HeadKind, RulePlan};
+use crate::pool::{Job, Pool};
 use crate::stats::EvalStats;
 use crate::unify::eval_term;
 
@@ -98,44 +111,48 @@ pub fn evaluate_layers(
     opts: &EvalOptions,
     stats: &mut EvalStats,
 ) -> Result<(), EvalError> {
+    let pool = Pool::new(opts.effective_parallelism());
     for layer_rules in strat.rules_by_layer.iter().skip(from) {
         let plans = LayerPlans::compile(program, layer_rules)?;
         plans.ensure_head_relations(db)?;
 
         // Lemma 3.2.3: grouping rules first, once, over the lower layers.
+        // Admissibility (§3.1 clause 2) puts every grouping body predicate
+        // strictly below this layer, so the grouping rules cannot observe
+        // each other's heads — one parallel round, merged in rule order.
         ensure_indexes(&plans.grouping, db);
-        for plan in &plans.grouping {
-            stats.rules_fired += 1;
-            for fact in run_grouping_rule(plan, db, opts.use_indexes) {
-                if db.insert(fact) {
-                    stats.facts_derived += 1;
-                }
-            }
-        }
+        run_grouping_round(&plans.grouping, db, &pool, opts, stats);
 
         // Then the remaining rules to fixpoint.
         ensure_indexes(&plans.rest, db);
         if opts.semi_naive {
-            semi_naive_fixpoint(&plans.rest, &plans.preds, db, opts, stats);
+            semi_naive_pooled(&plans.rest, &plans.preds, db, &pool, opts, stats);
         } else {
-            naive_fixpoint(&plans.rest, db, opts, stats);
+            naive_pooled(&plans.rest, db, &pool, opts, stats);
         }
     }
     Ok(())
 }
 
-/// Run one compiled non-grouping rule, inserting derived facts. Returns the
-/// number of new facts.
-pub fn run_rule_once(
+/// One rule pass of a round: a compiled plan, optionally restricted to a
+/// delta range of its step-0 scan.
+pub(crate) struct RoundTask<'p> {
+    pub plan: &'p RulePlan,
+    pub restrict: Option<DeltaRestriction>,
+}
+
+/// Evaluate `plan` against an immutable `db`, returning the facts its head
+/// derives (in body-solution order, duplicates included). This is the
+/// parallel work unit: it never mutates anything.
+pub(crate) fn derive_once(
     plan: &RulePlan,
-    db: &mut Database,
+    db: &Database,
     restrict: Option<DeltaRestriction>,
-    opts: &EvalOptions,
-    stats: &mut EvalStats,
-) -> usize {
+    use_indexes: bool,
+) -> Vec<Fact> {
     let mut derived: Vec<Fact> = Vec::new();
     let mut b = Bindings::new();
-    run_body(plan, db, restrict, opts.use_indexes, &mut b, &mut |b2| {
+    run_body(plan, db, restrict, use_indexes, &mut b, &mut |b2| {
         // §3.2 applicability: Bθ must be a U-fact; an argument evaluating
         // outside U (scons onto a non-set, arithmetic failure) derives
         // nothing.
@@ -144,6 +161,171 @@ pub fn run_rule_once(
             derived.push(Fact::new(plan.head.pred, args));
         }
     });
+    derived
+}
+
+/// Below this many delta tuples a pass is not worth splitting across
+/// workers: the per-task dispatch cost would outweigh the join work.
+const MIN_SLICE: u32 = 64;
+
+/// Execute one evaluation round: run every task against the current
+/// database state (immutable for the duration), then merge the derived
+/// buffers in task order. Returns the number of new facts.
+///
+/// Work distribution: each task is one unit, except that a task whose
+/// step-0 scan covers a range of ≥ 2·[`MIN_SLICE`] tuples is split into up
+/// to `parallelism` contiguous slices. Slices of one task stay adjacent in
+/// the merge, so the concatenated derivation order — and therefore every
+/// insertion position — is identical to an unsplit, single-threaded pass.
+pub(crate) fn run_round(
+    tasks: &[RoundTask<'_>],
+    db: &mut Database,
+    pool: &Pool,
+    opts: &EvalOptions,
+    stats: &mut EvalStats,
+) -> usize {
+    if tasks.is_empty() {
+        return 0;
+    }
+    stats.rounds += 1;
+    stats.rules_fired += tasks.len() as u64;
+
+    // Expand tasks into work units, slicing large ranges.
+    let mut units: Vec<(&RulePlan, Option<DeltaRestriction>)> = Vec::new();
+    for t in tasks {
+        let range = match t.restrict {
+            Some(r) => Some(r),
+            // An unrestricted pass whose first step is a scan can be
+            // partitioned on that scan's position range; the full range
+            // restriction is semantically a no-op.
+            None => t.plan.scan_steps.first().and_then(|&(step, pred)| {
+                if step != 0 {
+                    return None;
+                }
+                let len = len_of(db, pred) as u32;
+                Some(DeltaRestriction {
+                    step: 0,
+                    lo: 0,
+                    hi: len,
+                })
+            }),
+        };
+        match range {
+            Some(r) if pool.parallelism() > 1 && r.hi - r.lo >= 2 * MIN_SLICE => {
+                let span = r.hi - r.lo;
+                let slices = (span / MIN_SLICE).min(pool.parallelism() as u32).max(1);
+                let step = span / slices;
+                for s in 0..slices {
+                    let lo = r.lo + s * step;
+                    let hi = if s + 1 == slices { r.hi } else { lo + step };
+                    units.push((
+                        t.plan,
+                        Some(DeltaRestriction {
+                            step: r.step,
+                            lo,
+                            hi,
+                        }),
+                    ));
+                }
+            }
+            _ => units.push((t.plan, t.restrict)),
+        }
+    }
+    stats.parallel_tasks += units.len() as u64;
+
+    // Derive phase: immutable snapshot, one buffer per unit.
+    let mut buffers: Vec<Vec<Fact>> = Vec::new();
+    buffers.resize_with(units.len(), Vec::new);
+    if pool.parallelism() == 1 || units.len() <= 1 {
+        for ((plan, restrict), buf) in units.iter().zip(&mut buffers) {
+            *buf = derive_once(plan, db, *restrict, opts.use_indexes);
+        }
+    } else {
+        let snapshot: &Database = db;
+        let use_indexes = opts.use_indexes;
+        let jobs: Vec<Job<'_>> = units
+            .iter()
+            .zip(buffers.iter_mut())
+            .map(|(&(plan, restrict), buf)| {
+                Box::new(move || {
+                    *buf = derive_once(plan, snapshot, restrict, use_indexes);
+                }) as Job<'_>
+            })
+            .collect();
+        pool.run(jobs);
+    }
+
+    // Merge phase: sequential, in unit order — deterministic positions.
+    let mut new = 0;
+    for buf in buffers {
+        for f in buf {
+            if db.insert(f) {
+                new += 1;
+            }
+        }
+    }
+    stats.facts_derived += new as u64;
+    new
+}
+
+/// Apply every grouping rule of a layer once, in one parallel round.
+fn run_grouping_round(
+    plans: &[RulePlan],
+    db: &mut Database,
+    pool: &Pool,
+    opts: &EvalOptions,
+    stats: &mut EvalStats,
+) {
+    if plans.is_empty() {
+        return;
+    }
+    stats.rounds += 1;
+    stats.rules_fired += plans.len() as u64;
+    stats.parallel_tasks += plans.len() as u64;
+    // A grouping rule must see *all* body solutions of its group in one
+    // task (the aggregation is not decomposable), so the unit is the whole
+    // rule — never a delta slice.
+    let mut buffers: Vec<Vec<Fact>> = Vec::new();
+    buffers.resize_with(plans.len(), Vec::new);
+    if pool.parallelism() == 1 || plans.len() <= 1 {
+        for (plan, buf) in plans.iter().zip(&mut buffers) {
+            *buf = run_grouping_rule(plan, db, opts.use_indexes);
+        }
+    } else {
+        let snapshot: &Database = db;
+        let use_indexes = opts.use_indexes;
+        let jobs: Vec<Job<'_>> = plans
+            .iter()
+            .zip(buffers.iter_mut())
+            .map(|(plan, buf)| {
+                Box::new(move || {
+                    *buf = run_grouping_rule(plan, snapshot, use_indexes);
+                }) as Job<'_>
+            })
+            .collect();
+        pool.run(jobs);
+    }
+    for buf in buffers {
+        for fact in buf {
+            if db.insert(fact) {
+                stats.facts_derived += 1;
+            }
+        }
+    }
+}
+
+/// Run one compiled non-grouping rule, inserting derived facts. Returns the
+/// number of new facts. (The sequential convenience used by the magic-set
+/// evaluator's guarded passes; the fixpoints below batch whole rounds
+/// instead.)
+pub fn run_rule_once(
+    plan: &RulePlan,
+    db: &mut Database,
+    restrict: Option<DeltaRestriction>,
+    opts: &EvalOptions,
+    stats: &mut EvalStats,
+) -> usize {
+    let derived = derive_once(plan, db, restrict, opts.use_indexes);
     let mut new = 0;
     for f in derived {
         if db.insert(f) {
@@ -156,7 +338,8 @@ pub fn run_rule_once(
 }
 
 /// Naive iteration: apply every rule to the whole database until nothing
-/// changes (the literal `R_{i+1}(M) = ⋃ r(R_i(M)) ∪ R_i(M)` of §3.2).
+/// changes (the literal `R_{i+1}(M) = ⋃ r(R_i(M)) ∪ R_i(M)` of §3.2, with
+/// each round's rules reading the same snapshot `R_i(M)`).
 /// Public so the magic-set evaluator can drive its own fixpoints.
 pub fn naive_fixpoint(
     plans: &[RulePlan],
@@ -164,12 +347,26 @@ pub fn naive_fixpoint(
     opts: &EvalOptions,
     stats: &mut EvalStats,
 ) {
+    let pool = Pool::new(opts.effective_parallelism());
+    naive_pooled(plans, db, &pool, opts, stats);
+}
+
+fn naive_pooled(
+    plans: &[RulePlan],
+    db: &mut Database,
+    pool: &Pool,
+    opts: &EvalOptions,
+    stats: &mut EvalStats,
+) {
     loop {
-        let mut new = 0;
-        for plan in plans {
-            new += run_rule_once(plan, db, None, opts, stats);
-        }
-        if new == 0 {
+        let tasks: Vec<RoundTask<'_>> = plans
+            .iter()
+            .map(|plan| RoundTask {
+                plan,
+                restrict: None,
+            })
+            .collect();
+        if run_round(&tasks, db, pool, opts, stats) == 0 {
             break;
         }
     }
@@ -185,19 +382,36 @@ pub fn semi_naive_fixpoint(
     opts: &EvalOptions,
     stats: &mut EvalStats,
 ) {
+    let pool = Pool::new(opts.effective_parallelism());
+    semi_naive_pooled(plans, layer_preds, db, &pool, opts, stats);
+}
+
+pub(crate) fn semi_naive_pooled(
+    plans: &[RulePlan],
+    layer_preds: &FastSet<Symbol>,
+    db: &mut Database,
+    pool: &Pool,
+    opts: &EvalOptions,
+    stats: &mut EvalStats,
+) {
     // Invariant: every derivation whose recursive-literal tuples all have
     // positions below `delta_lo` has already been performed.
     let delta_lo: FastMap<Symbol, usize> =
         layer_preds.iter().map(|&p| (p, len_of(db, p))).collect();
 
-    // Round 0: full evaluation of every rule (covers all tuples existing
-    // before the round, i.e. positions below the initial `delta_lo`, plus
-    // opportunistically many of the new ones).
-    for plan in plans {
-        run_rule_once(plan, db, None, opts, stats);
-    }
+    // Round 0: full evaluation of every rule against the layer's input
+    // snapshot (covers all tuples existing before the round, i.e.
+    // positions below the initial `delta_lo`).
+    let tasks: Vec<RoundTask<'_>> = plans
+        .iter()
+        .map(|plan| RoundTask {
+            plan,
+            restrict: None,
+        })
+        .collect();
+    run_round(&tasks, db, pool, opts, stats);
 
-    semi_naive_continue(plans, layer_preds, db, delta_lo, opts, stats);
+    semi_naive_continue_pooled(plans, layer_preds, db, delta_lo, pool, opts, stats);
 }
 
 /// The semi-naive delta loop, starting from a given per-predicate delta
@@ -209,7 +423,20 @@ pub fn semi_naive_continue(
     plans: &[RulePlan],
     layer_preds: &FastSet<Symbol>,
     db: &mut Database,
+    delta_lo: FastMap<Symbol, usize>,
+    opts: &EvalOptions,
+    stats: &mut EvalStats,
+) {
+    let pool = Pool::new(opts.effective_parallelism());
+    semi_naive_continue_pooled(plans, layer_preds, db, delta_lo, &pool, opts, stats);
+}
+
+pub(crate) fn semi_naive_continue_pooled(
+    plans: &[RulePlan],
+    layer_preds: &FastSet<Symbol>,
+    db: &mut Database,
     mut delta_lo: FastMap<Symbol, usize>,
+    pool: &Pool,
     opts: &EvalOptions,
     stats: &mut EvalStats,
 ) {
@@ -238,7 +465,10 @@ pub fn semi_naive_continue(
         if delta_hi == delta_lo {
             break; // previous round derived nothing new
         }
-        // Non-recursive rules are complete after round 0.
+        // Non-recursive rules are complete after round 0. All delta passes
+        // of one round read the same snapshot; cross-delta derivations
+        // (one new tuple per pass) surface in the next round's frontier.
+        let mut tasks: Vec<RoundTask<'_>> = Vec::new();
         for vs in &variants {
             for (pred, variant) in vs {
                 let (lo, hi) = (delta_lo[pred] as u32, delta_hi[pred] as u32);
@@ -246,15 +476,13 @@ pub fn semi_naive_continue(
                     continue; // no new facts feed this literal
                 }
                 let step = variant.scan_steps[0].0;
-                run_rule_once(
-                    variant,
-                    db,
-                    Some(DeltaRestriction { step, lo, hi }),
-                    opts,
-                    stats,
-                );
+                tasks.push(RoundTask {
+                    plan: variant,
+                    restrict: Some(DeltaRestriction { step, lo, hi }),
+                });
             }
         }
+        run_round(&tasks, db, pool, opts, stats);
         delta_lo = delta_hi;
     }
 }

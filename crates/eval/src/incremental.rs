@@ -33,8 +33,11 @@ use ldl_value::Symbol;
 
 use crate::engine::EvalOptions;
 use crate::error::EvalError;
-use crate::fixpoint::{evaluate_layers, len_of, run_rule_once, semi_naive_continue, LayerPlans};
-use crate::plan::{ensure_indexes, DeltaRestriction};
+use crate::fixpoint::{
+    evaluate_layers, len_of, run_round, semi_naive_continue_pooled, LayerPlans, RoundTask,
+};
+use crate::plan::{ensure_indexes, DeltaRestriction, RulePlan};
+use crate::pool::Pool;
 use crate::stats::EvalStats;
 
 /// The changed-predicate frontier: for each predicate, the insertion
@@ -66,6 +69,7 @@ pub fn apply_update(
     stats: &mut EvalStats,
 ) -> Result<(), EvalError> {
     debug_assert_eq!(sens.len(), strat.num_layers());
+    let pool = Pool::new(opts.effective_parallelism());
     for (k, sens_k) in sens.iter().enumerate() {
         if changed.keys().any(|&p| sens_k.requires_replay_for(p)) {
             return replay_from(program, strat, edb, db, k, opts, stats);
@@ -89,33 +93,50 @@ pub fn apply_update(
         // while the others see the full (new-tuple-inclusive) relation
         // covers every derivation that uses at least one new tuple. Each
         // pass runs a delta-first plan variant, so its cost is
-        // proportional to the delta, not to the database.
+        // proportional to the delta, not to the database. All seed passes
+        // read the same snapshot, so they run as one parallel round;
+        // anything a seed pass derives lands above `pre` and is picked up
+        // by the semi-naive continuation below.
+        let mut seed: Vec<(RulePlan, DeltaRestriction)> = Vec::new();
         for plan in &plans.rest {
             for &(step, pred) in &plan.scan_steps {
                 if let Some(&lo) = changed.get(&pred) {
                     let hi = len_of(db, pred) as u32;
                     if (lo as u32) < hi {
                         let variant = plan.delta_first(step);
-                        ensure_indexes(std::slice::from_ref(&variant), db);
-                        run_rule_once(
-                            &variant,
-                            db,
-                            Some(DeltaRestriction {
-                                step: variant.scan_steps[0].0,
-                                lo: lo as u32,
-                                hi,
-                            }),
-                            opts,
-                            stats,
-                        );
+                        let restrict = DeltaRestriction {
+                            step: variant.scan_steps[0].0,
+                            lo: lo as u32,
+                            hi,
+                        };
+                        seed.push((variant, restrict));
                     }
                 }
             }
         }
+        for (variant, _) in &seed {
+            ensure_indexes(std::slice::from_ref(variant), db);
+        }
+        let tasks: Vec<RoundTask<'_>> = seed
+            .iter()
+            .map(|(variant, restrict)| RoundTask {
+                plan: variant,
+                restrict: Some(*restrict),
+            })
+            .collect();
+        run_round(&tasks, db, &pool, opts, stats);
 
-        // Everything the seed passes derived sits above `pre`; let the
+        // Everything the seed round derived sits above `pre`; let the
         // ordinary semi-naive loop run the layer to fixpoint from there.
-        semi_naive_continue(&plans.rest, &plans.preds, db, pre.clone(), opts, stats);
+        semi_naive_continue_pooled(
+            &plans.rest,
+            &plans.preds,
+            db,
+            pre.clone(),
+            &pool,
+            opts,
+            stats,
+        );
         stats.strata_delta += 1;
 
         // New facts of this layer's predicates join the frontier for the

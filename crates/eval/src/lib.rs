@@ -29,6 +29,7 @@ pub mod grouping;
 pub mod incremental;
 pub mod model;
 pub mod plan;
+pub mod pool;
 pub mod stats;
 pub mod unify;
 

@@ -1,0 +1,317 @@
+//! A dependency-free scoped worker pool for parallel rule evaluation.
+//!
+//! The §3.2 bottom-up step applies every rule of a layer to the *same*
+//! database state (`R(M) = ⋃ r(M)`), which makes one evaluation round
+//! embarrassingly parallel: each task only needs a shared `&Database`
+//! snapshot and its own output buffer. This pool provides exactly that
+//! shape — [`Pool::run`] executes a batch of borrowed closures across the
+//! workers (the submitting thread participates too) and does not return
+//! until every closure has finished, so the borrows they capture are
+//! guaranteed to outlive their execution.
+//!
+//! The workspace is dependency-free by policy, so this is `std` threads
+//! only: a mutex-protected job queue, a condvar for sleeping workers, and a
+//! pending-counter latch for batch completion. A pool of parallelism 1
+//! spawns no threads at all and runs every batch inline — the sequential
+//! path pays nothing.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A borrowed unit of work: boxed so batches are homogeneous, `Send` so
+/// workers can run it, `'env` so it may capture the caller's borrows.
+pub type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+type StaticJob = Box<dyn FnOnce() + Send + 'static>;
+type PanicPayload = Box<dyn std::any::Any + Send>;
+
+struct State {
+    queue: VecDeque<StaticJob>,
+    /// Jobs submitted but not yet finished (queued or running).
+    pending: usize,
+    /// First panic payload observed in this batch, if any.
+    panic: Option<PanicPayload>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers sleep here waiting for jobs (or shutdown).
+    work_cv: Condvar,
+    /// The submitter sleeps here waiting for `pending == 0`.
+    done_cv: Condvar,
+}
+
+impl Shared {
+    /// Run one job, recording a panic instead of unwinding through the
+    /// worker, and wake the submitter when the batch drains.
+    fn execute(&self, job: StaticJob) {
+        let result = catch_unwind(AssertUnwindSafe(job));
+        let mut st = self.state.lock().unwrap();
+        if let Err(payload) = result {
+            st.panic.get_or_insert(payload);
+        }
+        st.pending -= 1;
+        if st.pending == 0 {
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// A fixed-size worker pool executing batches of scoped jobs.
+///
+/// `Pool::new(n)` keeps `n - 1` worker threads; the thread calling
+/// [`Pool::run`] acts as the `n`-th worker, so parallelism 1 means "no
+/// threads, run inline".
+pub struct Pool {
+    shared: Option<Arc<Shared>>,
+    workers: Vec<JoinHandle<()>>,
+    parallelism: usize,
+}
+
+impl Pool {
+    /// A pool of the given total parallelism (clamped to at least 1).
+    /// Thread-spawn failures degrade gracefully: the pool stays correct
+    /// with fewer workers because the submitting thread always drains the
+    /// queue itself.
+    pub fn new(parallelism: usize) -> Pool {
+        let parallelism = parallelism.max(1);
+        if parallelism == 1 {
+            return Pool {
+                shared: None,
+                workers: Vec::new(),
+                parallelism,
+            };
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                pending: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let mut workers = Vec::with_capacity(parallelism - 1);
+        for i in 0..parallelism - 1 {
+            let sh = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("ldl1-eval-{i}"))
+                .spawn(move || worker_loop(&sh));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(_) => break, // resource limit: run with fewer workers
+            }
+        }
+        Pool {
+            shared: Some(shared),
+            workers,
+            parallelism,
+        }
+    }
+
+    /// The configured total parallelism (including the submitting thread).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Execute every job in `jobs`, returning once all have completed.
+    ///
+    /// Jobs may capture borrows of the caller's data (`'env`): the batch
+    /// latch guarantees none of them outlives this call. Job *outputs* must
+    /// go through captured `&mut` slots (one disjoint slot per job) — the
+    /// merge back into shared state happens after `run` returns, on the
+    /// caller's thread, in whatever order the caller chooses. If a job
+    /// panics, the first payload is re-raised here after the whole batch
+    /// has drained.
+    pub fn run<'env>(&self, jobs: Vec<Job<'env>>) {
+        let Some(shared) = &self.shared else {
+            for job in jobs {
+                job();
+            }
+            return;
+        };
+        if jobs.len() <= 1 {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        {
+            let mut st = shared.state.lock().unwrap();
+            st.pending += jobs.len();
+            for job in jobs {
+                // SAFETY: `run` does not return until `pending` drops back
+                // to zero, i.e. every submitted closure has finished (or
+                // its panic has been captured). The `'env` borrows inside
+                // each job therefore strictly outlive its execution; the
+                // lifetime is erased only to park the job in the shared
+                // queue.
+                let job: StaticJob = unsafe { std::mem::transmute::<Job<'env>, StaticJob>(job) };
+                st.queue.push_back(job);
+            }
+        }
+        shared.work_cv.notify_all();
+
+        // Participate: drain the queue on this thread too.
+        loop {
+            let job = shared.state.lock().unwrap().queue.pop_front();
+            match job {
+                Some(job) => shared.execute(job),
+                None => break,
+            }
+        }
+        // Wait for in-flight jobs on the workers.
+        let mut st = shared.state.lock().unwrap();
+        while st.pending > 0 {
+            st = shared.done_cv.wait(st).unwrap();
+        }
+        if let Some(payload) = st.panic.take() {
+            drop(st);
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.shared {
+            shared.state.lock().unwrap().shutdown = true;
+            shared.work_cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("parallelism", &self.parallelism)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    break Some(job);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        match job {
+            Some(job) => shared.execute(job),
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn sequential_pool_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.parallelism(), 1);
+        let mut out = vec![0u32; 4];
+        {
+            let jobs: Vec<Job> = out
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| Box::new(move || *slot = i as u32 + 1) as Job)
+                .collect();
+            pool.run(jobs);
+        }
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn parallel_pool_completes_every_job() {
+        let pool = Pool::new(4);
+        let counter = AtomicUsize::new(0);
+        let mut out = vec![0usize; 64];
+        {
+            let jobs: Vec<Job> = out
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    let counter = &counter;
+                    Box::new(move || {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        *slot = i * i;
+                    }) as Job
+                })
+                .collect();
+            pool.run(jobs);
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn pool_survives_many_batches() {
+        let pool = Pool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..50 {
+            let jobs: Vec<Job> = (0..5)
+                .map(|_| {
+                    let total = &total;
+                    Box::new(move || {
+                        total.fetch_add(1, Ordering::SeqCst);
+                    }) as Job
+                })
+                .collect();
+            pool.run(jobs);
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 250);
+    }
+
+    #[test]
+    fn panic_in_job_propagates_after_batch_drains() {
+        let pool = Pool::new(2);
+        let ran = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<Job> = (0..8)
+                .map(|i| {
+                    let ran = &ran;
+                    Box::new(move || {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                        if i == 3 {
+                            panic!("boom");
+                        }
+                    }) as Job
+                })
+                .collect();
+            pool.run(jobs);
+        }));
+        assert!(result.is_err(), "panic must propagate to the submitter");
+        assert_eq!(ran.load(Ordering::SeqCst), 8, "batch drains fully");
+        // The pool is still usable after a panicking batch.
+        let jobs: Vec<Job> = (0..4)
+            .map(|_| {
+                let ran = &ran;
+                Box::new(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                }) as Job
+            })
+            .collect();
+        pool.run(jobs);
+        assert_eq!(ran.load(Ordering::SeqCst), 12);
+    }
+}

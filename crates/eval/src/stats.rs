@@ -22,6 +22,16 @@ pub struct EvalStats {
     pub strata_delta: u64,
     /// Strata skipped entirely because no changed predicate reaches them.
     pub strata_skipped: u64,
+    /// Evaluation rounds executed (one round = every eligible rule pass of
+    /// a stratum applied against one immutable database snapshot). This is
+    /// deterministic: it does not vary with `EvalOptions::parallelism`.
+    pub rounds: u64,
+    /// Parallel work units executed (a rule pass, or one slice of a
+    /// partitioned delta range). Unlike every other counter this *does*
+    /// depend on `parallelism` — large deltas split into more tasks when
+    /// more workers are available — so it measures how much work was
+    /// available to spread, not what was derived.
+    pub parallel_tasks: u64,
 }
 
 impl EvalStats {
@@ -38,6 +48,8 @@ impl AddAssign for EvalStats {
         self.strata_replayed += rhs.strata_replayed;
         self.strata_delta += rhs.strata_delta;
         self.strata_skipped += rhs.strata_skipped;
+        self.rounds += rhs.rounds;
+        self.parallel_tasks += rhs.parallel_tasks;
     }
 }
 
@@ -45,12 +57,14 @@ impl fmt::Display for EvalStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rules fired: {}, facts derived: {}, strata replayed: {}, delta-updated: {}, skipped: {}",
+            "rules fired: {}, facts derived: {}, strata replayed: {}, delta-updated: {}, skipped: {}, rounds: {}, tasks: {}",
             self.rules_fired,
             self.facts_derived,
             self.strata_replayed,
             self.strata_delta,
-            self.strata_skipped
+            self.strata_skipped,
+            self.rounds,
+            self.parallel_tasks
         )
     }
 }

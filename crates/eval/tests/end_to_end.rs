@@ -12,12 +12,15 @@ fn all_configs() -> Vec<Evaluator> {
     let mut out = Vec::new();
     for semi_naive in [false, true] {
         for use_indexes in [false, true] {
-            out.push(Evaluator::with_options(EvalOptions {
-                semi_naive,
-                use_indexes,
-                check_wf: true,
-                dialect: ldl_ast::wf::Dialect::Ldl1,
-            }));
+            for parallelism in [1, 4] {
+                out.push(Evaluator::with_options(EvalOptions {
+                    semi_naive,
+                    use_indexes,
+                    check_wf: true,
+                    dialect: ldl_ast::wf::Dialect::Ldl1,
+                    parallelism,
+                }));
+            }
         }
     }
     out

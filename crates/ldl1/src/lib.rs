@@ -178,6 +178,19 @@ impl System {
         }
     }
 
+    /// Set the worker count for parallel stratum evaluation (see
+    /// [`EvalOptions::parallelism`]: `1` = inline, `0` = all available
+    /// cores). The computed model is bit-for-bit identical at any setting,
+    /// so a cached model — if any — stays valid.
+    pub fn set_parallelism(&mut self, jobs: usize) {
+        self.options.parallelism = jobs;
+    }
+
+    /// The configured worker count ([`EvalOptions::parallelism`]).
+    pub fn parallelism(&self) -> usize {
+        self.options.parallelism
+    }
+
     /// Choose the §4.2 grouping semantics — (ii) `PerGroup` (default) or
     /// (ii)′ `WithContext`. Recompiles the loaded rules; an error leaves
     /// the previous compilation (and semantics choice) in place.

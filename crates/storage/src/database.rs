@@ -9,10 +9,25 @@ use crate::relation::{Relation, Tuple};
 
 /// A database: a collection of facts (§6: "A database D is a collection of
 /// facts"), organized as one [`Relation`] per predicate symbol.
+///
+/// A `&Database` is a valid *shared snapshot*: every read path is `&self`,
+/// so the parallel evaluator hands one borrow to each worker of a round and
+/// all of them see the identical state — the compiler rules out any
+/// mutation while those borrows live. The `Send + Sync` assertion below
+/// turns an accidental introduction of interior mutability (`Cell`,
+/// `RefCell`, `Rc`) anywhere in the storage types into a compile error
+/// rather than a data race.
 #[derive(Clone, Debug, Default)]
 pub struct Database {
     relations: FastMap<Symbol, Relation>,
 }
+
+// Shared-snapshot contract: a `&Database` must be usable from many threads
+// at once (see the parallel round in `ldl-eval`).
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<Database>()
+};
 
 impl Database {
     /// An empty database.

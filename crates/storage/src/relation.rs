@@ -33,7 +33,12 @@ impl Index {
 ///
 /// Tuples keep their insertion order and are never removed, so a *delta*
 /// (the tuples derived since some point in time) is just the index range
-/// `[mark, len)` — exactly what semi-naive evaluation needs.
+/// `[mark, len)` — exactly what semi-naive evaluation needs. The same
+/// property makes a contiguous sub-range `[lo, hi)` a well-defined slice of
+/// work: the parallel evaluator partitions a delta into such slices, one
+/// per worker, each reading through a shared `&Relation`. All reads are
+/// `&self` with no interior mutability (enforced by the `Send + Sync`
+/// assertion on `Database`), so a borrow shared across threads is safe.
 #[derive(Clone, Debug)]
 pub struct Relation {
     arity: usize,

@@ -9,8 +9,15 @@
 //! * [`Rng`] — a seeded, deterministic xorshift64* generator;
 //! * [`cases`] — a property-test driver running a closure over many seeds
 //!   and reporting the failing seed on panic;
+//! * [`cases_shrink`] — the same driver with a size parameter, which on
+//!   failure re-runs the seed at progressively smaller sizes and reports
+//!   the minimal failing one;
+//! * [`gen`] — random stratified LDL1 programs (recursion + negation +
+//!   grouping) for differential testing;
 //! * [`bench`] / [`Sample`] — wall-clock timing with median/min reporting
 //!   for the `harness = false` benchmark binaries.
+
+pub mod gen;
 
 use std::time::{Duration, Instant};
 
@@ -66,6 +73,21 @@ impl Rng {
     }
 }
 
+/// The [`Rng`] seed for property-test case number `case`.
+///
+/// A full-avalanche (splitmix64-style) finalizer: every output bit depends
+/// on every input bit, so consecutive case numbers get thoroughly
+/// decorrelated, collision-free seeds. The previous derivation
+/// (`0xC0FFEE ^ case * 0x9E3779B9`) only mixed the low 32 bits and mapped
+/// distinct cases worryingly close together; `Rng::new`'s weak seed
+/// scrambling then had to carry all the weight.
+pub fn case_seed(case: u64) -> u64 {
+    let mut z = case.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Run `body` once per case with a fresh deterministic [`Rng`], labelling
 /// any panic with the case number so failures are reproducible: re-run with
 /// `cases_from(failing_case, 1, body)`.
@@ -77,7 +99,7 @@ pub fn cases(n: u64, body: impl Fn(&mut Rng)) {
 pub fn cases_from(start: u64, n: u64, body: impl Fn(&mut Rng)) {
     for case in start..start + n {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut rng = Rng::new(0xC0FFEE ^ case.wrapping_mul(0x9E37_79B9));
+            let mut rng = Rng::new(case_seed(case));
             body(&mut rng);
         }));
         if let Err(payload) = result {
@@ -85,6 +107,53 @@ pub fn cases_from(start: u64, n: u64, body: impl Fn(&mut Rng)) {
             std::panic::resume_unwind(payload);
         }
     }
+}
+
+/// [`cases`] with shrinking: `body` receives a *size* alongside the `Rng`
+/// and must generate an input no bigger than it. Each case first runs at
+/// `max_size`; on failure the driver re-runs the same seed at sizes `1,
+/// 2, …` and reports the **minimal failing size** for that seed, so the
+/// counterexample you debug is as small as the generator can express.
+/// Replay with `cases_shrink_from(case, 1, reported_size, body)`.
+pub fn cases_shrink(n: u64, max_size: u32, body: impl Fn(&mut Rng, u32)) {
+    cases_shrink_from(0, n, max_size, body);
+}
+
+/// [`cases_shrink`] starting from a specific case number.
+pub fn cases_shrink_from(start: u64, n: u64, max_size: u32, body: impl Fn(&mut Rng, u32)) {
+    for case in start..start + n {
+        let seed = case_seed(case);
+        let run = |size: u32| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut rng = Rng::new(seed);
+                body(&mut rng, size);
+            }))
+        };
+        if let Err(payload) = run(max_size) {
+            let (size, payload) = minimal_failing_size(max_size, payload, run);
+            eprintln!(
+                "property failed at case {case} (seed {seed:#018x}), minimal failing size \
+                 {size} of {max_size} (replay with cases_shrink_from({case}, 1, {size}, ..))"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// The smallest size in `1..=max_size` at which `run` fails, with that
+/// failure's payload; falls back to (`max_size`, `original`) when only the
+/// full size fails. Sizes are tried ascending, so the first hit is minimal.
+fn minimal_failing_size<E>(
+    max_size: u32,
+    original: E,
+    run: impl Fn(u32) -> Result<(), E>,
+) -> (u32, E) {
+    for size in 1..max_size {
+        if let Err(payload) = run(size) {
+            return (size, payload);
+        }
+    }
+    (max_size, original)
 }
 
 /// One benchmark measurement: per-iteration wall-clock statistics.
@@ -169,6 +238,74 @@ mod tests {
             }
         });
         assert!(distinct.load(Ordering::SeqCst) >= 6);
+    }
+
+    #[test]
+    fn case_seeds_are_collision_free_and_decorrelated() {
+        // No collisions over a realistic sweep of case numbers…
+        let seeds: std::collections::HashSet<u64> = (0..4096).map(case_seed).collect();
+        assert_eq!(seeds.len(), 4096);
+        // …and adjacent cases produce unrelated streams, not shifted ones.
+        for case in 0..64 {
+            let a = Rng::new(case_seed(case)).next_u64();
+            let b = Rng::new(case_seed(case + 1)).next_u64();
+            assert_ne!(a, b, "cases {case} and {} share a stream", case + 1);
+            // The old derivation mapped different cases to nearby seeds;
+            // full avalanche means roughly half the bits differ.
+            let hamming = (case_seed(case) ^ case_seed(case + 1)).count_ones();
+            assert!(
+                (8..=56).contains(&hamming),
+                "seeds of cases {case}/{} differ in only {hamming} bits",
+                case + 1
+            );
+        }
+    }
+
+    #[test]
+    fn shrink_finds_minimal_failing_size() {
+        // Failure iff size ≥ 5: the minimal reported size must be 5
+        // regardless of the size the failure was first observed at.
+        let run = |size: u32| if size >= 5 { Err(size) } else { Ok(()) };
+        let (size, payload) = minimal_failing_size(12, 12, run);
+        assert_eq!(size, 5);
+        assert_eq!(payload, 5);
+        // A failure only at the maximum size reports the maximum.
+        let only_max = |size: u32| if size >= 9 { Err(size) } else { Ok(()) };
+        let (size, _) = minimal_failing_size(9, 9, only_max);
+        assert_eq!(size, 9);
+    }
+
+    #[test]
+    fn cases_shrink_passes_when_property_holds() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let ran = AtomicU64::new(0);
+        cases_shrink(6, 10, |rng, size| {
+            assert!(size >= 1);
+            let v = rng.range(0, i64::from(size) + 1);
+            assert!(v <= i64::from(size));
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn cases_shrink_reports_minimal_size() {
+        // The property fails whenever size ≥ 3; shrinking must re-raise
+        // from the size-3 run (payload is checked via the panic message).
+        let result = std::panic::catch_unwind(|| {
+            cases_shrink(1, 8, |_rng, size| {
+                assert!(size < 3, "failed at size {size}");
+            });
+        });
+        let payload = result.expect_err("property must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("failed at size 3"),
+            "expected the minimal (size 3) failure, got: {msg}"
+        );
     }
 
     #[test]
