@@ -1,0 +1,198 @@
+//! P13 — value representation on the dedup/probe/grouping hot path.
+//!
+//! Three micro-kernels isolate the engine operations that deep-hash and
+//! deep-compare ground values, each driven through the public evaluator so
+//! the same bench source measures any internal representation:
+//!
+//! * **dedup_insert_sets** — a cross product re-derives each set-valued
+//!   tuple many times; the duplicate-elimination insert must hash and
+//!   compare the set on every rejection.
+//! * **probe_set_keys** — a join indexed on a set-valued column; every
+//!   probe hashes the set key against the index.
+//! * **grouping_set_elems** — `<S>` grouping whose collected elements are
+//!   themselves sets; the per-group dedup set hashes each candidate.
+//!
+//! Plus one end-to-end workload: `programs/bill_of_materials.ldl` exactly
+//! as the CLI would run it (parse, evaluate, answer its three queries) —
+//! §1's program is set-keyed throughout (`tc({X}, C)`, `partition`), so it
+//! is the whole-engine view of the same cost.
+//!
+//! Results go to `BENCH_value_intern.json` at the workspace root (the
+//! machine-readable perf-trajectory format; see EXPERIMENTS.md P13). If
+//! `BENCH_value_intern.baseline.json` exists — a saved copy of a previous
+//! run — each kernel also reports its speedup over that baseline.
+//!
+//! `cargo bench -p ldl-bench --bench value_intern -- smoke` runs a tiny
+//! 1-iteration configuration for CI and skips the JSON file.
+
+use ldl1::{Database, EvalOptions, System, Value};
+use ldl_bench::{eval_with, opts};
+use ldl_testkit::{bench, Sample};
+
+fn plain_opts() -> EvalOptions {
+    EvalOptions {
+        check_wf: false,
+        parallelism: 1,
+        ..opts(true, true)
+    }
+}
+
+/// `groups` sets of `set_len` integers each, as an `e(X, Y)` EDB, plus
+/// `markers` rows of `m(Z)`.
+fn set_edb(groups: i64, set_len: i64, markers: i64) -> Database {
+    let mut db = Database::new();
+    for x in 0..groups {
+        for k in 0..set_len {
+            // Distinct element domains per group keep every set unique.
+            db.insert_tuple("e", vec![Value::int(x), Value::int(x * set_len + k)]);
+        }
+    }
+    for z in 0..markers {
+        db.insert_tuple("m", vec![Value::int(z)]);
+    }
+    db
+}
+
+/// Duplicate derivation: `dup(S)` is re-derived once per marker, so the
+/// dedup insert rejects `groups × (markers − 1)` set-valued duplicates.
+fn dedup_kernel(groups: i64, set_len: i64, markers: i64, iters: usize) -> Sample {
+    let db = set_edb(groups, set_len, markers);
+    let src = "s(X, <Y>) <- e(X, Y).\n\
+               dup(S) <- s(X, S), m(Z).";
+    bench("P13_value_intern", "dedup_insert_sets", iters, || {
+        eval_with(src, &db, plain_opts());
+    })
+}
+
+/// Indexed join on a set-valued column: `r` is keyed by the set `S`, and
+/// the `j` rule probes that index `markers × groups` times.
+fn probe_kernel(groups: i64, set_len: i64, markers: i64, iters: usize) -> Sample {
+    let db = set_edb(groups, set_len, markers);
+    let src = "s(X, <Y>) <- e(X, Y).\n\
+               r(S, X) <- s(X, S).\n\
+               j(Z, X) <- m(Z), s(X, S), r(S, X2), X = X2.";
+    bench("P13_value_intern", "probe_set_keys", iters, || {
+        eval_with(src, &db, plain_opts());
+    })
+}
+
+/// Grouping whose collected elements are sets: each class accumulates
+/// `picks` candidate sets (with repeats) into its dedup structure.
+fn grouping_kernel(groups: i64, set_len: i64, classes: i64, picks: i64, iters: usize) -> Sample {
+    let mut db = set_edb(groups, set_len, 0);
+    for z in 0..classes {
+        for p in 0..picks {
+            // Overlapping picks: consecutive classes share most sources, so
+            // within-group dedup sees both hits and misses.
+            db.insert_tuple("c", vec![Value::int(z), Value::int((z + p) % groups)]);
+        }
+    }
+    let src = "s(X, <Y>) <- e(X, Y).\n\
+               gs(Z, <S>) <- c(Z, X), s(X, S).";
+    bench("P13_value_intern", "grouping_set_elems", iters, || {
+        eval_with(src, &db, plain_opts());
+    })
+}
+
+/// End-to-end: the checked-in §1 bill-of-materials program, run the way the
+/// CLI runs it — parse source, evaluate, answer every `?-` query.
+fn bom_end_to_end(iters: usize) -> Sample {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../programs/bill_of_materials.ldl"
+    );
+    let text = std::fs::read_to_string(path).expect("bill_of_materials.ldl readable");
+    let mut program = String::new();
+    let mut queries = Vec::new();
+    for line in text.lines() {
+        if let Some(q) = line.trim().strip_prefix("?-") {
+            queries.push(q.trim().trim_end_matches('.').to_string());
+        } else {
+            program.push_str(line);
+            program.push('\n');
+        }
+    }
+    bench("P13_value_intern", "bill_of_materials_e2e", iters, || {
+        let mut sys = System::new();
+        sys.load(&program).expect("program loads");
+        for q in &queries {
+            let answers = sys.query(q).expect("query evaluates");
+            assert!(!answers.is_empty(), "{q} must have answers");
+        }
+    })
+}
+
+/// Pull `"key": <number>` out of one flat JSON object chunk.
+fn json_number(chunk: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = chunk.find(&pat)? + pat.len();
+    let rest = chunk[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Per-kernel medians from a previous run's JSON, by kernel name.
+fn read_baseline(path: &str) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for chunk in text.split('{').skip(1) {
+        let name = chunk
+            .find("\"name\":")
+            .and_then(|i| {
+                chunk[i + 7..]
+                    .trim_start()
+                    .strip_prefix('"')
+                    .map(String::from)
+            })
+            .and_then(|s| s.split('"').next().map(String::from));
+        if let (Some(name), Some(median)) = (name, json_number(chunk, "median_ms")) {
+            out.push((name, median));
+        }
+    }
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "smoke" || a == "--smoke");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+
+    let mut results: Vec<(&str, Sample)> = Vec::new();
+    if smoke {
+        results.push(("dedup_insert_sets", dedup_kernel(8, 4, 4, 1)));
+        results.push(("probe_set_keys", probe_kernel(8, 4, 4, 1)));
+        results.push(("grouping_set_elems", grouping_kernel(8, 4, 4, 4, 1)));
+        results.push(("bill_of_materials_e2e", bom_end_to_end(1)));
+        return; // rot check only: no JSON, no baseline comparison
+    }
+    results.push(("dedup_insert_sets", dedup_kernel(200, 12, 100, 15)));
+    results.push(("probe_set_keys", probe_kernel(200, 12, 100, 15)));
+    results.push(("grouping_set_elems", grouping_kernel(200, 12, 100, 40, 15)));
+    results.push(("bill_of_materials_e2e", bom_end_to_end(60)));
+
+    let baseline = read_baseline(&format!("{root}/BENCH_value_intern.baseline.json"));
+    let mut json = String::from("{\n  \"bench\": \"value_intern\",\n  \"kernels\": [\n");
+    for (i, (name, s)) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"median_ms\": {:.4}, \"min_ms\": {:.4}, \"iters\": {}",
+            s.median_ms(),
+            s.min.as_secs_f64() * 1e3,
+            s.iters
+        ));
+        if let Some((_, base)) = baseline.iter().find(|(n, _)| n == name) {
+            let speedup = base / s.median_ms().max(1e-9);
+            json.push_str(&format!(
+                ", \"baseline_median_ms\": {base:.4}, \"speedup\": {speedup:.2}"
+            ));
+            println!("P13_value_intern/{name}_speedup: {speedup:.2}x");
+        }
+        json.push_str(if i + 1 < results.len() { "},\n" } else { "}\n" });
+    }
+    json.push_str("  ]\n}\n");
+    let out = format!("{root}/BENCH_value_intern.json");
+    std::fs::write(&out, json).expect("write BENCH_value_intern.json");
+    println!("wrote {out}");
+}

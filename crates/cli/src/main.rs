@@ -36,12 +36,14 @@ fn main() {
     let mut sys = System::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut batch = false;
+    let mut show_stats = false;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--batch" | "-b" => batch = true,
+            "--stats" => show_stats = true,
             "--help" | "-h" => {
-                println!("usage: ldl1 [--batch] [--jobs N] [FILE...]\n\n{HELP}");
+                println!("usage: ldl1 [--batch] [--stats] [--jobs N] [FILE...]\n\n{HELP}");
                 return;
             }
             "--jobs" | "-j" => {
@@ -61,6 +63,15 @@ fn main() {
                 }
             }
         }
+    }
+    if show_stats {
+        // Force a model so the counters reflect the loaded program even if
+        // no file contained a query, then print them like `:stats` would.
+        if let Err(e) = sys.model() {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("{}", sys.last_stats());
     }
     if batch {
         return;

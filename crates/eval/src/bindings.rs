@@ -2,12 +2,13 @@
 //!
 //! Rule bodies are evaluated by nested-loop/index joins that bind variables
 //! incrementally and backtrack. A [`Bindings`] is a stack of
-//! (variable, value) pairs: binding pushes, backtracking truncates to a
+//! (variable, id) pairs: binding pushes, backtracking truncates to a
 //! [`Mark`]. Lookup is a linear scan — rules have a handful of variables, so
-//! this beats any map.
+//! this beats any map. Values are interned [`ValueId`]s, so a slot is two
+//! words and an equality check is an integer compare.
 
 use ldl_ast::term::Var;
-use ldl_value::Value;
+use ldl_value::ValueId;
 
 /// A snapshot of the binding stack, for undo.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -16,7 +17,7 @@ pub struct Mark(usize);
 /// The binding environment `θ` of §3.2.
 #[derive(Clone, Debug, Default)]
 pub struct Bindings {
-    slots: Vec<(Var, Value)>,
+    slots: Vec<(Var, ValueId)>,
 }
 
 impl Bindings {
@@ -26,12 +27,12 @@ impl Bindings {
     }
 
     /// The current value of `v`, if bound.
-    pub fn get(&self, v: Var) -> Option<&Value> {
+    pub fn get(&self, v: Var) -> Option<ValueId> {
         self.slots
             .iter()
             .rev()
             .find(|(u, _)| *u == v)
-            .map(|(_, val)| val)
+            .map(|&(_, val)| val)
     }
 
     /// Is `v` bound?
@@ -41,7 +42,7 @@ impl Bindings {
 
     /// Bind `v` to `val`. The caller must know `v` is unbound (debug-checked)
     /// — rebinding is always a bug; equality tests go through matching.
-    pub fn bind(&mut self, v: Var, val: Value) {
+    pub fn bind(&mut self, v: Var, val: ValueId) {
         debug_assert!(self.get(v).is_none(), "rebinding {v}");
         self.slots.push((v, val));
     }
@@ -67,31 +68,32 @@ impl Bindings {
     }
 
     /// Iterate current bindings (innermost last).
-    pub fn iter(&self) -> impl Iterator<Item = (Var, &Value)> {
-        self.slots.iter().map(|(v, val)| (*v, val))
+    pub fn iter(&self) -> impl Iterator<Item = (Var, ValueId)> + '_ {
+        self.slots.iter().map(|&(v, val)| (v, val))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ldl_value::intern;
 
     #[test]
     fn bind_and_get() {
         let mut b = Bindings::new();
         let x = Var::new("X");
         assert!(!b.is_bound(x));
-        b.bind(x, Value::int(1));
-        assert_eq!(b.get(x), Some(&Value::int(1)));
+        b.bind(x, intern::mk_int(1));
+        assert_eq!(b.get(x), Some(intern::mk_int(1)));
     }
 
     #[test]
     fn mark_undo() {
         let mut b = Bindings::new();
         let (x, y) = (Var::new("X"), Var::new("Y"));
-        b.bind(x, Value::int(1));
+        b.bind(x, intern::mk_int(1));
         let m = b.mark();
-        b.bind(y, Value::int(2));
+        b.bind(y, intern::mk_int(2));
         assert!(b.is_bound(y));
         b.undo(m);
         assert!(!b.is_bound(y));
@@ -104,7 +106,7 @@ mod tests {
     fn rebinding_panics_in_debug() {
         let mut b = Bindings::new();
         let x = Var::new("X");
-        b.bind(x, Value::int(1));
-        b.bind(x, Value::int(2));
+        b.bind(x, intern::mk_int(1));
+        b.bind(x, intern::mk_int(2));
     }
 }

@@ -6,15 +6,23 @@
 //! available at execution time, and [`can_schedule`] is the planner's oracle
 //! for that.
 //!
+//! Set arguments are interned ids whose element slices are already in
+//! canonical [`intern::cmp_ids`] order, so union / intersection /
+//! difference / subset / disjoint are all linear merges over `&[ValueId]` —
+//! no tree walks, no allocation beyond the result.
+//!
 //! Generative modes that enumerate subsets (`union` with only the result
 //! bound, `partition`, `subset` with the subset free) are exponential in the
 //! set size; they mirror the paper's use of `partition` on small constituent
 //! sets (§1 `tc` example). The set size is capped to keep mistakes loud.
 
+use std::cmp::Ordering;
+
 use ldl_ast::program::Builtin;
 use ldl_ast::term::Term;
 use ldl_value::arith::{ArithOp, CmpOp};
-use ldl_value::{SetValue, Value};
+use ldl_value::intern::{self, Node};
+use ldl_value::ValueId;
 
 use crate::bindings::Bindings;
 use crate::unify::{eval_term, is_ground_under, match_term};
@@ -47,8 +55,84 @@ pub fn can_schedule(bi: Builtin, args: &[Term], bound: &dyn Fn(&Term) -> bool) -
     }
 }
 
-fn as_set(v: &Value) -> Option<&SetValue> {
-    v.as_set()
+/// The canonical element slice of a set id, or `None` for non-sets.
+fn as_set(v: ValueId) -> Option<&'static [ValueId]> {
+    match intern::node(v) {
+        Node::Set(elems) => Some(elems),
+        _ => None,
+    }
+}
+
+/// Merge-union of two canonical element slices.
+fn merge_union(a: &[ValueId], b: &[ValueId]) -> Vec<ValueId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match intern::cmp_ids(a[i], b[j]) {
+            Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Merge-intersection (`keep = true`) or merge-difference (`keep = false`)
+/// of two canonical element slices: keeps the elements of `a` that are /
+/// are not in `b`.
+fn merge_filter(a: &[ValueId], b: &[ValueId], keep: bool) -> Vec<ValueId> {
+    let mut out = Vec::new();
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && intern::cmp_ids(b[j], x) == Ordering::Less {
+            j += 1;
+        }
+        let present = j < b.len() && b[j] == x;
+        if present == keep {
+            out.push(x);
+        }
+    }
+    out
+}
+
+/// Is canonical `a` a subset of canonical `b`?
+fn is_subset(a: &[ValueId], b: &[ValueId]) -> bool {
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && intern::cmp_ids(b[j], x) == Ordering::Less {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+/// Are canonical `a` and `b` disjoint?
+fn is_disjoint(a: &[ValueId], b: &[ValueId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match intern::cmp_ids(a[i], b[j]) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => return false,
+        }
+    }
+    true
 }
 
 /// Evaluate a built-in literal, calling `k` once per solution.
@@ -68,8 +152,8 @@ pub fn eval_builtin(
             let Some(sv) = eval_term(&args[1], b) else {
                 return;
             };
-            let Some(s) = as_set(&sv) else { return };
-            for e in s.iter() {
+            let Some(s) = as_set(sv) else { return };
+            for &e in s {
                 match_term(&args[0], e, b, k);
             }
         }
@@ -78,44 +162,42 @@ pub fn eval_builtin(
             let (Some(v0), Some(v1)) = (eval_term(&args[0], b), eval_term(&args[1], b)) else {
                 return;
             };
-            let (Some(s0), Some(s1)) = (as_set(&v0), as_set(&v1)) else {
+            let (Some(s0), Some(s1)) = (as_set(v0), as_set(v1)) else {
                 return;
             };
-            let result = match bi {
-                Builtin::Intersection => s0.intersection(s1),
-                _ => s0.difference(s1),
-            };
-            match_term(&args[2], &Value::Set(result), b, k);
+            let result = merge_filter(s0, s1, bi == Builtin::Intersection);
+            match_term(&args[2], intern::mk_set_sorted(result), b, k);
         }
         Builtin::Partition => eval_partition(args, b, k),
         Builtin::Subset => {
             let Some(sup_v) = eval_term(&args[1], b) else {
                 return;
             };
-            let Some(sup) = as_set(&sup_v) else { return };
+            let Some(sup) = as_set(sup_v) else { return };
             if is_ground_under(&args[0], b) {
                 let Some(sub_v) = eval_term(&args[0], b) else {
                     return;
                 };
-                let Some(sub) = as_set(&sub_v) else { return };
-                if sub.is_subset(sup) {
+                let Some(sub) = as_set(sub_v) else { return };
+                if is_subset(sub, sup) {
                     k(b);
                 }
             } else {
-                // Generative: enumerate all subsets.
+                // Generative: enumerate all subsets (mask-selected elements
+                // of a canonical slice stay canonical).
                 let n = sup.len();
                 assert!(
                     n <= MAX_ENUMERATED_SET,
                     "subset/2 enumeration over a set of {n} elements"
                 );
                 for mask in 0..(1usize << n) {
-                    let sub = SetValue::from_iter(
-                        sup.iter()
-                            .enumerate()
-                            .filter(|(i, _)| mask & (1 << i) != 0)
-                            .map(|(_, e)| e.clone()),
-                    );
-                    match_term(&args[0], &Value::Set(sub), b, k);
+                    let sub: Vec<ValueId> = sup
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, &e)| e)
+                        .collect();
+                    match_term(&args[0], intern::mk_set_sorted(sub), b, k);
                 }
             }
         }
@@ -123,28 +205,28 @@ pub fn eval_builtin(
             let Some(sv) = eval_term(&args[0], b) else {
                 return;
             };
-            let Some(s) = as_set(&sv) else { return };
+            let Some(s) = as_set(sv) else { return };
             let n = i64::try_from(s.len()).expect("set size fits i64");
-            match_term(&args[1], &Value::Int(n), b, k);
+            match_term(&args[1], intern::mk_int(n), b, k);
         }
         Builtin::Cmp(CmpOp::Eq) => {
             if is_ground_under(&args[0], b) {
                 let Some(lv) = eval_term(&args[0], b) else {
                     return;
                 };
-                match_term(&args[1], &lv, b, k);
+                match_term(&args[1], lv, b, k);
             } else if is_ground_under(&args[1], b) {
                 let Some(rv) = eval_term(&args[1], b) else {
                     return;
                 };
-                match_term(&args[0], &rv, b, k);
+                match_term(&args[0], rv, b, k);
             }
         }
         Builtin::Cmp(op) => {
             let (Some(l), Some(r)) = (eval_term(&args[0], b), eval_term(&args[1], b)) else {
                 return;
             };
-            if op.eval(&l, &r) == Some(true) {
+            if op.eval_ids(l, r) == Some(true) {
                 k(b);
             }
         }
@@ -159,17 +241,17 @@ fn eval_union(args: &[Term], b: &mut Bindings, k: &mut dyn FnMut(&mut Bindings))
         let (Some(v0), Some(v1)) = (eval_term(&args[0], b), eval_term(&args[1], b)) else {
             return;
         };
-        let (Some(s0), Some(s1)) = (as_set(&v0), as_set(&v1)) else {
+        let (Some(s0), Some(s1)) = (as_set(v0), as_set(v1)) else {
             return;
         };
-        match_term(&args[2], &Value::Set(s0.union(s1)), b, k);
+        match_term(&args[2], intern::mk_set_sorted(merge_union(s0, s1)), b, k);
         return;
     }
     // Generative mode: result bound, enumerate (S₁, S₂) with S₁ ∪ S₂ = S₃.
     let Some(v2) = eval_term(&args[2], b) else {
         return;
     };
-    let Some(s3) = as_set(&v2) else { return };
+    let Some(s3) = as_set(v2) else { return };
     let n = s3.len();
     assert!(
         n <= MAX_ENUMERATED_SET,
@@ -181,19 +263,20 @@ fn eval_union(args: &[Term], b: &mut Bindings, k: &mut dyn FnMut(&mut Bindings))
         let mut c = combo;
         let mut left = Vec::new();
         let mut right = Vec::new();
-        for e in s3.iter() {
+        for &e in s3 {
             match c % 3 {
-                0 => left.push(e.clone()),
-                1 => right.push(e.clone()),
+                0 => left.push(e),
+                1 => right.push(e),
                 _ => {
-                    left.push(e.clone());
-                    right.push(e.clone());
+                    left.push(e);
+                    right.push(e);
                 }
             }
             c /= 3;
         }
-        match_term(&args[0], &Value::set(left), b, &mut |b2| {
-            match_term(&args[1], &Value::set(right.clone()), b2, k);
+        let right = intern::mk_set_sorted(right);
+        match_term(&args[0], intern::mk_set_sorted(left), b, &mut |b2| {
+            match_term(&args[1], right, b2, k);
         });
     }
 }
@@ -203,15 +286,26 @@ fn eval_partition(args: &[Term], b: &mut Bindings, k: &mut dyn FnMut(&mut Bindin
         let Some(v0) = eval_term(&args[0], b) else {
             return;
         };
-        let Some(s) = as_set(&v0) else { return };
+        let Some(s) = as_set(v0) else { return };
+        let n = s.len();
         assert!(
-            s.len() <= MAX_ENUMERATED_SET,
-            "partition/3 of a set of {} elements",
-            s.len()
+            n <= MAX_ENUMERATED_SET,
+            "partition/3 of a set of {n} elements"
         );
-        for (l, r) in s.partitions() {
-            match_term(&args[1], &Value::Set(l), b, &mut |b2| {
-                match_term(&args[2], &Value::Set(r.clone()), b2, k);
+        // Every two-coloring of the elements; both halves stay canonical.
+        for mask in 0..(1usize << n) {
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            for (i, &e) in s.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    left.push(e);
+                } else {
+                    right.push(e);
+                }
+            }
+            let right = intern::mk_set_sorted(right);
+            match_term(&args[1], intern::mk_set_sorted(left), b, &mut |b2| {
+                match_term(&args[2], right, b2, k);
             });
         }
         return;
@@ -220,11 +314,11 @@ fn eval_partition(args: &[Term], b: &mut Bindings, k: &mut dyn FnMut(&mut Bindin
     let (Some(v1), Some(v2)) = (eval_term(&args[1], b), eval_term(&args[2], b)) else {
         return;
     };
-    let (Some(s1), Some(s2)) = (as_set(&v1), as_set(&v2)) else {
+    let (Some(s1), Some(s2)) = (as_set(v1), as_set(v2)) else {
         return;
     };
-    if s1.is_disjoint(s2) {
-        match_term(&args[0], &Value::Set(s1.union(s2)), b, k);
+    if is_disjoint(s1, s2) {
+        match_term(&args[0], intern::mk_set_sorted(merge_union(s1, s2)), b, k);
     }
 }
 
@@ -234,22 +328,22 @@ fn eval_arith(op: ArithOp, args: &[Term], b: &mut Bindings, k: &mut dyn FnMut(&m
         let (Some(x), Some(y)) = (eval_term(&args[0], b), eval_term(&args[1], b)) else {
             return;
         };
-        if let Some(z) = op.eval(&x, &y) {
-            match_term(&args[2], &z, b, k);
+        if let Some(z) = op.eval_ids(x, y) {
+            match_term(&args[2], z, b, k);
         }
         return;
     }
     // Inverse modes for + and −: solve for the free argument.
-    let inv = |z: &Value, known: &Value, solve_first: bool| -> Option<Value> {
+    let inv = |z: ValueId, known: ValueId, solve_first: bool| -> Option<ValueId> {
         match op {
             // x + y = z  ⇒  free = z − known (either side).
-            ArithOp::Add => ArithOp::Sub.eval(z, known),
+            ArithOp::Add => ArithOp::Sub.eval_ids(z, known),
             // x − y = z: x = z + y;  y = x − z.
             ArithOp::Sub => {
                 if solve_first {
-                    ArithOp::Add.eval(z, known)
+                    ArithOp::Add.eval_ids(z, known)
                 } else {
-                    ArithOp::Sub.eval(known, z)
+                    ArithOp::Sub.eval_ids(known, z)
                 }
             }
             _ => None,
@@ -259,19 +353,19 @@ fn eval_arith(op: ArithOp, args: &[Term], b: &mut Bindings, k: &mut dyn FnMut(&m
         let (Some(x), Some(z)) = (eval_term(&args[0], b), eval_term(&args[2], b)) else {
             return;
         };
-        if let Some(y) = inv(&z, &x, false) {
+        if let Some(y) = inv(z, x, false) {
             // Verify (guards against overflow asymmetries), then bind.
-            if op.eval(&x, &y).as_ref() == Some(&z) {
-                match_term(&args[1], &y, b, k);
+            if op.eval_ids(x, y) == Some(z) {
+                match_term(&args[1], y, b, k);
             }
         }
     } else if g[1] && g[2] {
         let (Some(y), Some(z)) = (eval_term(&args[1], b), eval_term(&args[2], b)) else {
             return;
         };
-        if let Some(x) = inv(&z, &y, true) {
-            if op.eval(&x, &y).as_ref() == Some(&z) {
-                match_term(&args[0], &x, b, k);
+        if let Some(x) = inv(z, y, true) {
+            if op.eval_ids(x, y) == Some(z) {
+                match_term(&args[0], x, b, k);
             }
         }
     }
@@ -281,6 +375,7 @@ fn eval_arith(op: ArithOp, args: &[Term], b: &mut Bindings, k: &mut dyn FnMut(&m
 mod tests {
     use super::*;
     use ldl_ast::term::Var;
+    use ldl_value::Value;
 
     fn set(xs: &[i64]) -> Value {
         Value::set(xs.iter().map(|&i| Value::int(i)))
@@ -289,7 +384,7 @@ mod tests {
     fn run(bi: Builtin, args: &[Term], pre: &[(&str, Value)]) -> Vec<Vec<(String, Value)>> {
         let mut b = Bindings::new();
         for (n, v) in pre {
-            b.bind(Var::new(n), v.clone());
+            b.bind(Var::new(n), intern::id_of(v));
         }
         let depth = b.len();
         let mut out = Vec::new();
@@ -297,7 +392,7 @@ mod tests {
             let mut snap: Vec<(String, Value)> = b2
                 .iter()
                 .skip(depth)
-                .map(|(v, val)| (v.name().to_string(), val.clone()))
+                .map(|(v, val)| (v.name().to_string(), intern::resolve(val)))
                 .collect();
             snap.sort_by(|a, c| a.0.cmp(&c.0));
             out.push(snap);
@@ -532,5 +627,26 @@ mod tests {
             &[Term::var("X"), Term::var("S")],
             &bound_s
         ));
+    }
+
+    #[test]
+    fn merge_helpers_agree_with_set_semantics() {
+        let ids = |xs: &[i64]| -> Vec<ValueId> {
+            match intern::node(intern::id_of(&set(xs))) {
+                Node::Set(e) => e.to_vec(),
+                _ => unreachable!(),
+            }
+        };
+        assert_eq!(merge_union(&ids(&[1, 3]), &ids(&[2, 3])), ids(&[1, 2, 3]));
+        assert_eq!(merge_filter(&ids(&[1, 2, 3]), &ids(&[2]), true), ids(&[2]));
+        assert_eq!(
+            merge_filter(&ids(&[1, 2, 3]), &ids(&[2]), false),
+            ids(&[1, 3])
+        );
+        assert!(is_subset(&ids(&[1, 3]), &ids(&[1, 2, 3])));
+        assert!(!is_subset(&ids(&[1, 4]), &ids(&[1, 2, 3])));
+        assert!(is_disjoint(&ids(&[1]), &ids(&[2])));
+        assert!(!is_disjoint(&ids(&[1, 2]), &ids(&[2])));
+        assert!(is_subset(&[], &ids(&[1])));
     }
 }

@@ -7,7 +7,7 @@ use ldl_ast::program::Program;
 use ldl_ast::wf::{check_program, Dialect};
 use ldl_storage::Database;
 use ldl_stratify::Stratification;
-use ldl_value::{Fact, Value};
+use ldl_value::{intern, Fact, Value};
 
 use crate::bindings::Bindings;
 use crate::error::EvalError;
@@ -211,6 +211,7 @@ impl Evaluator {
         }
         let mut stats = EvalStats::new();
         let db = fixpoint::evaluate(program, edb, strat, &self.options, &mut stats)?;
+        stats.interner_values = intern::len() as u64;
         Ok((db, stats))
     }
 
@@ -238,7 +239,7 @@ impl Evaluator {
                     .map(|v| {
                         (
                             v.name().to_string(),
-                            b2.get(*v).cloned().expect("query var bound by match"),
+                            intern::resolve(b2.get(*v).expect("query var bound by match")),
                         )
                     })
                     .collect();

@@ -1,6 +1,6 @@
 //! Layered fixpoint evaluation (Theorem 1), with parallel rounds.
 //!
-//! Every fixpoint here is driven by one primitive, [`run_round`]: apply a
+//! Every fixpoint here is driven by one primitive, `run_round`: apply a
 //! batch of rule passes to an *immutable snapshot* of the database,
 //! collecting each pass's derived facts into its own buffer, then merge the
 //! buffers into the database in fixed rule order. Because §3.2 defines one
@@ -13,16 +13,18 @@
 //! bit-for-bit identical at any worker count, including 1.
 
 use ldl_ast::program::Program;
-use ldl_storage::Database;
+use ldl_storage::{Database, Tuple};
 use ldl_stratify::Stratification;
 use ldl_value::fxhash::{FastMap, FastSet};
-use ldl_value::{Fact, Symbol};
+use ldl_value::{Symbol, ValueId};
 
 use crate::bindings::Bindings;
 use crate::engine::EvalOptions;
 use crate::error::EvalError;
 use crate::grouping::run_grouping_rule;
-use crate::plan::{ensure_indexes, run_body, DeltaRestriction, HeadKind, RulePlan};
+use crate::plan::{
+    ensure_indexes, run_body, take_index_probes, DeltaRestriction, HeadKind, RulePlan,
+};
 use crate::pool::{Job, Pool};
 use crate::stats::EvalStats;
 use crate::unify::eval_term;
@@ -141,27 +143,69 @@ pub(crate) struct RoundTask<'p> {
     pub restrict: Option<DeltaRestriction>,
 }
 
-/// Evaluate `plan` against an immutable `db`, returning the facts its head
-/// derives (in body-solution order, duplicates included). This is the
-/// parallel work unit: it never mutates anything.
+/// Derived tuples of one rule pass, stored flat in body-solution order
+/// (`arity`-sized chunks of `data`). Duplicates are *included*: the dedup
+/// decision happens at merge time against the database, and rejecting a
+/// duplicate from a borrowed chunk allocates nothing — the pass itself
+/// performs no per-tuple allocation at all.
+#[derive(Default)]
+pub(crate) struct DerivedBuf {
+    arity: usize,
+    data: Vec<ValueId>,
+    /// Tuple count. Equals `data.len() / arity` except for zero-arity
+    /// heads, whose tuples occupy no ids.
+    count: usize,
+}
+
+impl DerivedBuf {
+    /// Visit each derived tuple as a borrowed id-slice, in derivation order.
+    fn for_each(&self, f: &mut impl FnMut(&[ValueId])) {
+        if self.arity == 0 {
+            for _ in 0..self.count {
+                f(&[]);
+            }
+        } else {
+            for t in self.data.chunks_exact(self.arity) {
+                f(t);
+            }
+        }
+    }
+}
+
+/// Evaluate `plan` against an immutable `db`, returning the id-tuples its
+/// head derives (in body-solution order, duplicates included) and the
+/// number of index probes the pass performed. This is the parallel work
+/// unit: it never mutates anything.
 pub(crate) fn derive_once(
     plan: &RulePlan,
     db: &Database,
     restrict: Option<DeltaRestriction>,
     use_indexes: bool,
-) -> Vec<Fact> {
-    let mut derived: Vec<Fact> = Vec::new();
+) -> (DerivedBuf, u64) {
+    take_index_probes(); // discard counts from unrelated callers
+    let mut derived = DerivedBuf {
+        arity: plan.head.arity(),
+        data: Vec::new(),
+        count: 0,
+    };
     let mut b = Bindings::new();
     run_body(plan, db, restrict, use_indexes, &mut b, &mut |b2| {
         // §3.2 applicability: Bθ must be a U-fact; an argument evaluating
         // outside U (scons onto a non-set, arithmetic failure) derives
         // nothing.
-        let args: Option<Vec<_>> = plan.head.args.iter().map(|t| eval_term(t, b2)).collect();
-        if let Some(args) = args {
-            derived.push(Fact::new(plan.head.pred, args));
+        let start = derived.data.len();
+        for t in &plan.head.args {
+            match eval_term(t, b2) {
+                Some(v) => derived.data.push(v),
+                None => {
+                    derived.data.truncate(start);
+                    return;
+                }
+            }
         }
+        derived.count += 1;
     });
-    derived
+    (derived, take_index_probes())
 }
 
 /// Below this many delta tuples a pass is not worth splitting across
@@ -234,8 +278,8 @@ pub(crate) fn run_round(
     stats.parallel_tasks += units.len() as u64;
 
     // Derive phase: immutable snapshot, one buffer per unit.
-    let mut buffers: Vec<Vec<Fact>> = Vec::new();
-    buffers.resize_with(units.len(), Vec::new);
+    let mut buffers: Vec<(DerivedBuf, u64)> = Vec::new();
+    buffers.resize_with(units.len(), Default::default);
     if pool.parallelism() == 1 || units.len() <= 1 {
         for ((plan, restrict), buf) in units.iter().zip(&mut buffers) {
             *buf = derive_once(plan, db, *restrict, opts.use_indexes);
@@ -255,17 +299,25 @@ pub(crate) fn run_round(
         pool.run(jobs);
     }
 
-    // Merge phase: sequential, in unit order — deterministic positions.
+    // Merge phase: sequential, in unit order — deterministic positions. The
+    // tuples are already interned ids, so a rejected duplicate costs one
+    // hash of a few u32s.
     let mut new = 0;
-    for buf in buffers {
-        for f in buf {
-            if db.insert(f) {
+    let mut dedup = 0;
+    for ((plan, _), (buf, probes)) in units.iter().zip(buffers) {
+        stats.index_probes += probes;
+        let pred = plan.head.pred;
+        buf.for_each(&mut |t| {
+            if db.insert_id_slice(pred, t) {
                 new += 1;
+            } else {
+                dedup += 1;
             }
-        }
+        });
     }
+    stats.dedup_inserts += dedup;
     stats.facts_derived += new as u64;
-    new
+    new as usize
 }
 
 /// Apply every grouping rule of a layer once, in one parallel round.
@@ -285,11 +337,13 @@ fn run_grouping_round(
     // A grouping rule must see *all* body solutions of its group in one
     // task (the aggregation is not decomposable), so the unit is the whole
     // rule — never a delta slice.
-    let mut buffers: Vec<Vec<Fact>> = Vec::new();
-    buffers.resize_with(plans.len(), Vec::new);
+    let mut buffers: Vec<(Vec<Tuple>, u64)> = Vec::new();
+    buffers.resize_with(plans.len(), Default::default);
     if pool.parallelism() == 1 || plans.len() <= 1 {
         for (plan, buf) in plans.iter().zip(&mut buffers) {
-            *buf = run_grouping_rule(plan, db, opts.use_indexes);
+            take_index_probes();
+            let out = run_grouping_rule(plan, db, opts.use_indexes);
+            *buf = (out, take_index_probes());
         }
     } else {
         let snapshot: &Database = db;
@@ -299,16 +353,21 @@ fn run_grouping_round(
             .zip(buffers.iter_mut())
             .map(|(plan, buf)| {
                 Box::new(move || {
-                    *buf = run_grouping_rule(plan, snapshot, use_indexes);
+                    take_index_probes();
+                    let out = run_grouping_rule(plan, snapshot, use_indexes);
+                    *buf = (out, take_index_probes());
                 }) as Job<'_>
             })
             .collect();
         pool.run(jobs);
     }
-    for buf in buffers {
-        for fact in buf {
-            if db.insert(fact) {
+    for (plan, (buf, probes)) in plans.iter().zip(buffers) {
+        stats.index_probes += probes;
+        for t in buf {
+            if db.insert_ids(plan.head.pred, t) {
                 stats.facts_derived += 1;
+            } else {
+                stats.dedup_inserts += 1;
             }
         }
     }
@@ -325,13 +384,18 @@ pub fn run_rule_once(
     opts: &EvalOptions,
     stats: &mut EvalStats,
 ) -> usize {
-    let derived = derive_once(plan, db, restrict, opts.use_indexes);
-    let mut new = 0;
-    for f in derived {
-        if db.insert(f) {
+    let (derived, probes) = derive_once(plan, db, restrict, opts.use_indexes);
+    stats.index_probes += probes;
+    let mut new = 0usize;
+    let mut dedup = 0u64;
+    derived.for_each(&mut |t| {
+        if db.insert_id_slice(plan.head.pred, t) {
             new += 1;
+        } else {
+            dedup += 1;
         }
-    }
+    });
+    stats.dedup_inserts += dedup;
     stats.rules_fired += 1;
     stats.facts_derived += new as u64;
     new

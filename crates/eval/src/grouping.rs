@@ -8,20 +8,26 @@
 //! grouped is empty, the formula evaluates to true even if p does not hold
 //! on the empty set" (§2.2); this is also why the §6 `young` query *fails*
 //! for a person with no same-generation members.
+//!
+//! Group keys and accumulated elements are interned [`ValueId`]s, so both
+//! the key lookup and the per-element dedup hash a few `u32`s regardless of
+//! value depth. The final set is canonicalized by *structural* order
+//! ([`intern::mk_set`]) — never by raw id order, which is run-dependent.
 
-use ldl_storage::Database;
+use ldl_storage::{Database, Tuple};
 use ldl_value::fxhash::{FastMap, FastSet};
-use ldl_value::{Fact, Value};
+use ldl_value::{intern, ValueId};
 
 use crate::bindings::Bindings;
 use crate::plan::{run_body, HeadKind, RulePlan};
 use crate::unify::eval_term;
 
-/// Evaluate a grouping rule once against `db`, returning the derived facts.
+/// Evaluate a grouping rule once against `db`, returning the derived tuples
+/// (for the plan's head predicate).
 ///
 /// Admissibility guarantees every body predicate lies in a strictly lower
 /// layer (§3.1 clause 2), so `db` already holds their complete relations.
-pub fn run_grouping_rule(plan: &RulePlan, db: &Database, use_indexes: bool) -> Vec<Fact> {
+pub fn run_grouping_rule(plan: &RulePlan, db: &Database, use_indexes: bool) -> Vec<Tuple> {
     let HeadKind::Grouping {
         group_pos,
         group_var,
@@ -33,19 +39,20 @@ pub fn run_grouping_rule(plan: &RulePlan, db: &Database, use_indexes: bool) -> V
 
     // key (Z̄ values) → (evaluated non-group head args, collected Y values).
     // Insertion order of keys is preserved for deterministic output.
-    let mut groups: FastMap<Vec<Value>, (Vec<Value>, FastSet<Value>)> = FastMap::default();
-    let mut key_order: Vec<Vec<Value>> = Vec::new();
+    #[allow(clippy::type_complexity)]
+    let mut groups: FastMap<Vec<ValueId>, (Vec<ValueId>, FastSet<ValueId>)> = FastMap::default();
+    let mut key_order: Vec<Vec<ValueId>> = Vec::new();
 
     let mut b = Bindings::new();
     run_body(plan, db, None, use_indexes, &mut b, &mut |b2| {
-        let Some(y) = b2.get(group_var).cloned() else {
+        let Some(y) = b2.get(group_var) else {
             // Range restriction guarantees Y is bound; an unbound Y here
             // means the rule slipped past well-formedness — fail loudly.
             panic!("group variable {group_var} unbound in grouping rule");
         };
-        let key: Option<Vec<Value>> = zbar
+        let key: Option<Vec<ValueId>> = zbar
             .iter()
-            .map(|&z| b2.get(z).cloned().ok_or(()))
+            .map(|&z| b2.get(z).ok_or(()))
             .collect::<Result<_, _>>()
             .ok();
         let Some(key) = key else {
@@ -59,7 +66,7 @@ pub fn run_grouping_rule(plan: &RulePlan, db: &Database, use_indexes: bool) -> V
                 // Evaluate the non-group head arguments under this
                 // solution's bindings (they depend only on Z̄, so any
                 // representative of the class gives the same values).
-                let other: Option<Vec<Value>> = plan
+                let other: Option<Vec<ValueId>> = plan
                     .head
                     .args
                     .iter()
@@ -83,17 +90,19 @@ pub fn run_grouping_rule(plan: &RulePlan, db: &Database, use_indexes: bool) -> V
         .into_iter()
         .map(|key| {
             let (other, ys) = groups.remove(&key).expect("key recorded");
-            let set = Value::set(ys);
+            // mk_set sorts structurally, erasing the FastSet's
+            // (id-assignment-dependent) iteration order.
+            let set = intern::mk_set(ys.into_iter().collect());
             let mut args = Vec::with_capacity(other.len() + 1);
             let mut it = other.into_iter();
             for i in 0..=it.len() {
                 if i == group_pos {
-                    args.push(set.clone());
+                    args.push(set);
                 } else if let Some(v) = it.next() {
                     args.push(v);
                 }
             }
-            Fact::new(plan.head.pred, args)
+            Tuple::from(args)
         })
         .collect()
 }
@@ -102,7 +111,8 @@ pub fn run_grouping_rule(plan: &RulePlan, db: &Database, use_indexes: bool) -> V
 mod tests {
     use super::*;
     use ldl_parser::parse_rule;
-    use ldl_value::Symbol;
+    use ldl_storage::resolve_fact;
+    use ldl_value::{Fact, Symbol, Value};
 
     fn db_with(facts: &[(&str, Vec<Value>)]) -> Database {
         let mut db = Database::new();
@@ -114,6 +124,13 @@ mod tests {
 
     fn plan(src: &str) -> RulePlan {
         RulePlan::compile(&parse_rule(src).unwrap()).unwrap()
+    }
+
+    fn run(plan: &RulePlan, db: &Database) -> Vec<Fact> {
+        run_grouping_rule(plan, db, false)
+            .into_iter()
+            .map(|t| resolve_fact(plan.head.pred, &t))
+            .collect()
     }
 
     #[test]
@@ -128,7 +145,7 @@ mod tests {
             ("p", vec![Value::int(3), Value::int(5)]),
             ("p", vec![Value::int(3), Value::int(6)]),
         ]);
-        let facts = run_grouping_rule(&plan("part(P, <S>) <- p(P, S)."), &db, false);
+        let facts = run(&plan("part(P, <S>) <- p(P, S)."), &db);
         assert_eq!(facts.len(), 3);
         let expect = |p: i64, s: &[i64]| {
             Fact::new(
@@ -144,7 +161,7 @@ mod tests {
     #[test]
     fn empty_body_derives_nothing() {
         let db = Database::new();
-        let facts = run_grouping_rule(&plan("part(P, <S>) <- p(P, S)."), &db, false);
+        let facts = run(&plan("part(P, <S>) <- p(P, S)."), &db);
         assert!(facts.is_empty());
     }
 
@@ -152,7 +169,7 @@ mod tests {
     fn grouping_with_no_other_args() {
         // all(<X>) <- q(X): one tuple holding the whole column.
         let db = db_with(&[("q", vec![Value::int(1)]), ("q", vec![Value::int(2)])]);
-        let facts = run_grouping_rule(&plan("all(<X>) <- q(X)."), &db, false);
+        let facts = run(&plan("all(<X>) <- q(X)."), &db);
         assert_eq!(facts.len(), 1);
         assert_eq!(
             facts[0],
@@ -167,7 +184,7 @@ mod tests {
             ("e", vec![Value::int(2), Value::int(5)]),
         ]);
         // s(<Y>) <- e(_, Y): Y = 5 twice, grouped set {5}.
-        let facts = run_grouping_rule(&plan("s(<Y>) <- e(_, Y)."), &db, false);
+        let facts = run(&plan("s(<Y>) <- e(_, Y)."), &db);
         assert_eq!(facts.len(), 1);
         assert_eq!(
             facts[0],
@@ -180,7 +197,7 @@ mod tests {
         // §2.2: "when a variable X appearing in head of a rule also appears
         // as <X> in the same head then the grouped set is a singleton".
         let db = db_with(&[("q", vec![Value::int(1)]), ("q", vec![Value::int(2)])]);
-        let facts = run_grouping_rule(&plan("w(X, <X>) <- q(X)."), &db, false);
+        let facts = run(&plan("w(X, <X>) <- q(X)."), &db);
         assert_eq!(facts.len(), 2);
         assert!(facts.contains(&Fact::new(
             "w",
@@ -195,7 +212,7 @@ mod tests {
     #[test]
     fn group_position_first() {
         let db = db_with(&[("p", vec![Value::int(1), Value::int(2)])]);
-        let facts = run_grouping_rule(&plan("part(<S>, P) <- p(P, S)."), &db, false);
+        let facts = run(&plan("part(<S>, P) <- p(P, S)."), &db);
         assert_eq!(
             facts[0],
             Fact::new("part", vec![Value::set(vec![Value::int(2)]), Value::int(1)])
@@ -210,7 +227,7 @@ mod tests {
             ("h", vec![Value::set(vec![Value::int(1)])]),
             ("h", vec![Value::set(vec![Value::int(2)])]),
         ]);
-        let facts = run_grouping_rule(&plan("w(<S>) <- h(S)."), &db, false);
+        let facts = run(&plan("w(<S>) <- h(S)."), &db);
         assert_eq!(facts.len(), 1);
         let expected = Value::set(vec![
             Value::set(vec![Value::int(1)]),

@@ -13,7 +13,7 @@ use std::fmt;
 
 use ldl_ast::program::Program;
 use ldl_ast::rule::Rule;
-use ldl_storage::Database;
+use ldl_storage::{resolve_fact, Database};
 use ldl_value::{Fact, FactSet};
 
 use crate::bindings::Bindings;
@@ -63,7 +63,8 @@ pub fn check_model(program: &Program, m: &FactSet) -> Result<(), ModelViolation>
             HeadKind::Grouping { .. } => {
                 // §2.2: for each Z̄-class with a non-empty finite group, the
                 // corresponding p-tuple must be present.
-                for required in run_grouping_rule(&plan, &db, true) {
+                for tuple in run_grouping_rule(&plan, &db, true) {
+                    let required = resolve_fact(plan.head.pred, &tuple);
                     if !m.contains(&required) {
                         return Err(ModelViolation {
                             rule: rule.clone(),
@@ -82,7 +83,7 @@ pub fn check_model(program: &Program, m: &FactSet) -> Result<(), ModelViolation>
                     let args: Option<Vec<_>> =
                         plan.head.args.iter().map(|t| eval_term(t, b2)).collect();
                     if let Some(args) = args {
-                        let f = Fact::new(plan.head.pred, args);
+                        let f = resolve_fact(plan.head.pred, &args);
                         if !m.contains(&f) {
                             violation = Some(f);
                         }

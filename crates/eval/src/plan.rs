@@ -15,18 +15,33 @@
 //! `q(X) <- X < 3` — and compilation fails with a diagnostic rather than
 //! evaluation silently misbehaving.
 
+use std::cell::Cell;
+
 use ldl_ast::literal::Atom;
 use ldl_ast::program::Builtin;
 use ldl_ast::rule::Rule;
 use ldl_ast::term::{Term, Var};
 use ldl_storage::{Database, Relation};
 use ldl_value::fxhash::FastSet;
-use ldl_value::{Symbol, Value};
+use ldl_value::{Symbol, ValueId};
 
 use crate::bindings::Bindings;
 use crate::builtins::{can_schedule, eval_builtin};
 use crate::error::EvalError;
 use crate::unify::{eval_term, match_slice};
+
+thread_local! {
+    /// Hash-index probes performed on this thread since the last
+    /// [`take_index_probes`]. Thread-local so parallel workers count
+    /// independently; the fixpoint driver drains the counter per work unit,
+    /// which keeps the summed total deterministic at any worker count.
+    static INDEX_PROBES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Drain this thread's index-probe counter (returns the count, resets to 0).
+pub fn take_index_probes() -> u64 {
+    INDEX_PROBES.with(|c| c.replace(0))
+}
 
 /// One executable body step.
 #[derive(Clone, Debug)]
@@ -358,6 +373,15 @@ pub fn run_body(
     b: &mut Bindings,
     k: &mut dyn FnMut(&mut Bindings),
 ) {
+    // A positive relation literal over an empty (or absent) relation makes
+    // the whole conjunction unsatisfiable — skip the pass without
+    // enumerating the other literals' joins. (Typical win: a rule whose
+    // inner relation is filled by a later round of the same stratum.)
+    for &(_, pred) in &plan.scan_steps {
+        if db.relation(pred).is_none_or(|r| r.is_empty()) {
+            return;
+        }
+    }
     run_steps(plan, 0, db, restrict, use_indexes, b, k);
 }
 
@@ -383,34 +407,54 @@ fn run_steps(
             let Some(rel) = db.relation(*pred) else {
                 return;
             };
+            if rel.is_empty() {
+                return; // a positive literal over ∅ has no solutions
+            }
             let (lo, hi) = match restrict {
                 Some(r) if r.step == i => (r.lo, r.hi),
                 _ => (0, rel.len() as u32),
             };
-            let mut on_tuple = |tuple: &[Value], b: &mut Bindings| {
+            let mut on_tuple = |tuple: &[ValueId], b: &mut Bindings| {
                 match_slice(args, tuple, b, &mut |b2| {
                     run_steps(plan, i + 1, db, restrict, use_indexes, b2, k);
                 });
             };
-            if use_indexes && !index_cols.is_empty() && rel.has_index(index_cols) {
-                // Build the probe key; a key term failing to evaluate (e.g.
-                // arithmetic overflow) means no tuple can match.
-                let mut key = Vec::with_capacity(index_cols.len());
-                for &c in index_cols {
-                    match eval_term(&args[c], b) {
-                        Some(v) => key.push(v),
-                        None => return,
+            if use_indexes && !index_cols.is_empty() {
+                if let Some(idx) = rel.index(index_cols) {
+                    // Build the probe key in a stack buffer (keys are almost
+                    // always 1–3 columns — a probe allocates nothing); a key
+                    // term failing to evaluate (e.g. arithmetic overflow)
+                    // means no tuple can match.
+                    let mut stack = [ValueId::FILLER; 8];
+                    let mut heap: Vec<ValueId> = Vec::new();
+                    let key: &[ValueId] = if index_cols.len() <= stack.len() {
+                        for (slot, &c) in stack.iter_mut().zip(index_cols) {
+                            match eval_term(&args[c], b) {
+                                Some(v) => *slot = v,
+                                None => return,
+                            }
+                        }
+                        &stack[..index_cols.len()]
+                    } else {
+                        for &c in index_cols {
+                            match eval_term(&args[c], b) {
+                                Some(v) => heap.push(v),
+                                None => return,
+                            }
+                        }
+                        &heap
+                    };
+                    INDEX_PROBES.with(|c| c.set(c.get() + 1));
+                    for &pos in idx.probe(key) {
+                        if pos >= lo && pos < hi {
+                            on_tuple(rel.get(pos), b);
+                        }
                     }
+                    return;
                 }
-                for &pos in rel.probe(index_cols, &key) {
-                    if pos >= lo && pos < hi {
-                        on_tuple(rel.get(pos), b);
-                    }
-                }
-            } else {
-                for pos in lo..hi {
-                    on_tuple(rel.get(pos), b);
-                }
+            }
+            for pos in lo..hi {
+                on_tuple(rel.get(pos), b);
             }
         }
         Step::NegScan { pred, args } => {
@@ -435,7 +479,7 @@ fn run_steps(
                 }
                 return;
             }
-            let mut vals = Vec::with_capacity(args.len());
+            let mut vals: Vec<ValueId> = Vec::with_capacity(args.len());
             for t in args {
                 match eval_term(t, b) {
                     Some(v) => vals.push(v),

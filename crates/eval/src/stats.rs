@@ -15,6 +15,19 @@ pub struct EvalStats {
     pub rules_fired: u64,
     /// Facts newly inserted into the database (duplicates excluded).
     pub facts_derived: u64,
+    /// Derived tuples rejected by the duplicate filter at merge time — the
+    /// re-derivations that semi-naive evaluation exists to minimize, and the
+    /// dominant hash-and-compare cost that value interning collapses to a
+    /// few `u32`s per tuple.
+    pub dedup_inserts: u64,
+    /// Hash-index probes performed by rule passes (each probe is one lookup
+    /// of an interned key tuple; a full scan counts zero).
+    pub index_probes: u64,
+    /// Distinct values in the process-global interner when the operation
+    /// finished. A *gauge*, not a counter: the interner is append-only and
+    /// shared, so this only ever grows across operations and is combined by
+    /// `max`, not `+`, in [`AddAssign`].
+    pub interner_values: u64,
     /// Strata evaluated from scratch (initial evaluation, or the replayed
     /// suffix of an incremental update).
     pub strata_replayed: u64,
@@ -45,6 +58,9 @@ impl AddAssign for EvalStats {
     fn add_assign(&mut self, rhs: EvalStats) {
         self.rules_fired += rhs.rules_fired;
         self.facts_derived += rhs.facts_derived;
+        self.dedup_inserts += rhs.dedup_inserts;
+        self.index_probes += rhs.index_probes;
+        self.interner_values = self.interner_values.max(rhs.interner_values);
         self.strata_replayed += rhs.strata_replayed;
         self.strata_delta += rhs.strata_delta;
         self.strata_skipped += rhs.strata_skipped;
@@ -57,9 +73,12 @@ impl fmt::Display for EvalStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rules fired: {}, facts derived: {}, strata replayed: {}, delta-updated: {}, skipped: {}, rounds: {}, tasks: {}",
+            "rules fired: {}, facts derived: {}, dedup inserts: {}, index probes: {}, interned values: {}, strata replayed: {}, delta-updated: {}, skipped: {}, rounds: {}, tasks: {}",
             self.rules_fired,
             self.facts_derived,
+            self.dedup_inserts,
+            self.index_probes,
+            self.interner_values,
             self.strata_replayed,
             self.strata_delta,
             self.strata_skipped,

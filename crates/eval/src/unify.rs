@@ -8,36 +8,71 @@
 //! duplicates, §1), and `scons(H, T)` matches a set `S` once per choice of
 //! `H ∈ S` with `T` either `S` or `S − {H}` (both satisfy `{H} ∪ T = S`).
 //! Matching therefore reports solutions through a callback.
+//!
+//! Ground values are interned [`ValueId`]s: a leaf comparison is a `u32`
+//! compare, and descending into a compound or set reads the shallow
+//! [`Node`] from the interner without reconstructing anything.
 
 use ldl_ast::term::Term;
-use ldl_value::{SetValue, Value};
+use ldl_value::intern::{self, Node};
+use ldl_value::ValueId;
 
 use crate::bindings::Bindings;
 
 /// Evaluate a term to a ground value under the current bindings. `None` if
 /// some variable is unbound or a built-in restriction fails (e.g. `scons`
 /// onto a non-set, arithmetic on non-integers — "objects outside U").
-pub fn eval_term(t: &Term, b: &Bindings) -> Option<Value> {
+pub fn eval_term(t: &Term, b: &Bindings) -> Option<ValueId> {
     match t {
-        Term::Var(v) => b.get(*v).cloned(),
+        Term::Var(v) => b.get(*v),
         Term::Anon | Term::Group(_) => None,
-        Term::Const(v) => Some(v.clone()),
+        Term::Const(v) => Some(intern::id_of(v)),
         Term::Compound(f, args) => {
-            let vals: Option<Vec<Value>> = args.iter().map(|a| eval_term(a, b)).collect();
-            Some(Value::compound(*f, vals?))
+            let ids: Option<Vec<ValueId>> = args.iter().map(|a| eval_term(a, b)).collect();
+            Some(intern::mk_compound(*f, ids?))
         }
         Term::SetEnum(args) => {
-            let vals: Option<Vec<Value>> = args.iter().map(|a| eval_term(a, b)).collect();
-            Some(Value::set(vals?))
+            let ids: Option<Vec<ValueId>> = args.iter().map(|a| eval_term(a, b)).collect();
+            Some(intern::mk_set(ids?))
         }
         Term::Scons(h, tail) => {
             let head = eval_term(h, b)?;
-            match eval_term(tail, b)? {
-                Value::Set(s) => Some(Value::Set(s.insert(head))),
+            let tail = eval_term(tail, b)?;
+            match intern::node(tail) {
+                Node::Set(elems) => Some(set_insert(tail, elems, head)),
                 _ => None,
             }
         }
-        Term::Arith(op, l, r) => op.eval(&eval_term(l, b)?, &eval_term(r, b)?),
+        Term::Arith(op, l, r) => op.eval_ids(eval_term(l, b)?, eval_term(r, b)?),
+    }
+}
+
+/// `S ∪ {h}` for a canonical element slice `elems` of the set `s`. Returns
+/// `s` itself when `h` is already a member.
+fn set_insert(s: ValueId, elems: &[ValueId], h: ValueId) -> ValueId {
+    match elems.binary_search_by(|&e| intern::cmp_ids(e, h)) {
+        Ok(_) => s,
+        Err(at) => {
+            let mut out = Vec::with_capacity(elems.len() + 1);
+            out.extend_from_slice(&elems[..at]);
+            out.push(h);
+            out.extend_from_slice(&elems[at..]);
+            intern::mk_set_sorted(out)
+        }
+    }
+}
+
+/// `S − {h}` for a canonical element slice `elems` of the set `s`. Returns
+/// `s` itself when `h` is not a member.
+fn set_remove(s: ValueId, elems: &[ValueId], h: ValueId) -> ValueId {
+    match elems.binary_search_by(|&e| intern::cmp_ids(e, h)) {
+        Ok(at) => {
+            let mut out = Vec::with_capacity(elems.len() - 1);
+            out.extend_from_slice(&elems[..at]);
+            out.extend_from_slice(&elems[at + 1..]);
+            intern::mk_set_sorted(out)
+        }
+        Err(_) => s,
     }
 }
 
@@ -56,7 +91,7 @@ pub fn is_ground_under(t: &Term, b: &Bindings) -> bool {
 /// Match pattern `t` against ground `v`, invoking `k` once per solution
 /// (with the solution's bindings active). Bindings are restored before
 /// returning.
-pub fn match_term(t: &Term, v: &Value, b: &mut Bindings, k: &mut dyn FnMut(&mut Bindings)) {
+pub fn match_term(t: &Term, v: ValueId, b: &mut Bindings, k: &mut dyn FnMut(&mut Bindings)) {
     let m = b.mark();
     match t {
         Term::Anon => k(b),
@@ -67,40 +102,39 @@ pub fn match_term(t: &Term, v: &Value, b: &mut Bindings, k: &mut dyn FnMut(&mut 
                 }
             }
             None => {
-                b.bind(*var, v.clone());
+                b.bind(*var, v);
                 k(b);
                 b.undo(m);
             }
         },
         Term::Const(c) => {
-            if c == v {
+            if intern::id_of(c) == v {
                 k(b);
             }
         }
         Term::Compound(f, args) => {
-            if let Value::Compound(c) = v {
-                if c.functor() == *f && c.arity() == args.len() {
-                    match_slice(args, c.args(), b, k);
+            if let Node::Compound(g, ids) = intern::node(v) {
+                if g == f && ids.len() == args.len() {
+                    match_slice(args, ids, b, k);
                     b.undo(m);
                 }
             }
         }
         Term::SetEnum(pats) => {
-            if let Value::Set(s) = v {
-                match_set_enum(pats, s, b, k);
+            if let Node::Set(elems) = intern::node(v) {
+                match_set_enum(pats, elems, b, k);
                 b.undo(m);
             }
         }
         Term::Scons(h, tail) => {
-            if let Value::Set(s) = v {
+            if let Node::Set(elems) = intern::node(v) {
                 // {Hθ} ∪ Tθ = S requires Hθ ∈ S and Tθ ∈ {S, S − {Hθ}}.
-                for e in s.iter() {
+                for &e in elems.iter() {
                     match_term(h, e, b, &mut |b2| {
-                        let without = Value::Set(s.difference(&SetValue::from_iter([e.clone()])));
-                        let full = Value::Set(s.clone());
-                        match_term(tail, &full, b2, k);
-                        if without != full {
-                            match_term(tail, &without, b2, k);
+                        let without = set_remove(v, elems, e);
+                        match_term(tail, v, b2, k);
+                        if without != v {
+                            match_term(tail, without, b2, k);
                         }
                     });
                 }
@@ -115,15 +149,15 @@ pub fn match_term(t: &Term, v: &Value, b: &mut Bindings, k: &mut dyn FnMut(&mut 
             // Uniformity is structural — checked with a fresh variable
             // scope, exactly like the fresh-variable copy of `t` in the
             // paper's `collect` rule.
-            if let Value::Set(s) = v {
-                let uniform = s.iter().all(|e| {
+            if let Node::Set(elems) = intern::node(v) {
+                let uniform = elems.iter().all(|&e| {
                     let mut scratch = Bindings::new();
                     let mut any = false;
                     match_term(inner, e, &mut scratch, &mut |_| any = true);
                     any
                 });
                 if uniform {
-                    for e in s.iter() {
+                    for &e in elems.iter() {
                         match_term(inner, e, b, k);
                     }
                     b.undo(m);
@@ -131,10 +165,8 @@ pub fn match_term(t: &Term, v: &Value, b: &mut Bindings, k: &mut dyn FnMut(&mut 
             }
         }
         Term::Arith(..) => {
-            if let Some(val) = eval_term(t, b) {
-                if val == *v {
-                    k(b);
-                }
+            if eval_term(t, b) == Some(v) {
+                k(b);
             }
         }
     }
@@ -144,7 +176,7 @@ pub fn match_term(t: &Term, v: &Value, b: &mut Bindings, k: &mut dyn FnMut(&mut 
 /// (all-solutions product).
 pub fn match_slice(
     pats: &[Term],
-    vals: &[Value],
+    vals: &[ValueId],
     b: &mut Bindings,
     k: &mut dyn FnMut(&mut Bindings),
 ) {
@@ -153,15 +185,21 @@ pub fn match_slice(
         None => k(b),
         Some((p0, rest_p)) => {
             let (v0, rest_v) = vals.split_first().expect("lengths equal");
-            match_term(p0, v0, b, &mut |b2| match_slice(rest_p, rest_v, b2, k));
+            match_term(p0, *v0, b, &mut |b2| match_slice(rest_p, rest_v, b2, k));
         }
     }
 }
 
-/// Match an enumerated-set pattern `{p₁, …, pₖ}` against a ground set `s`:
-/// assign each pattern element to some element of `s` such that the assigned
-/// elements *cover* all of `s` (so the evaluated pattern equals `s`).
-fn match_set_enum(pats: &[Term], s: &SetValue, b: &mut Bindings, k: &mut dyn FnMut(&mut Bindings)) {
+/// Match an enumerated-set pattern `{p₁, …, pₖ}` against a ground set with
+/// canonical elements `s`: assign each pattern element to some element of
+/// `s` such that the assigned elements *cover* all of `s` (so the evaluated
+/// pattern equals `s`).
+fn match_set_enum(
+    pats: &[Term],
+    s: &[ValueId],
+    b: &mut Bindings,
+    k: &mut dyn FnMut(&mut Bindings),
+) {
     // The pattern can only equal s if it has at least |s| elements to cover
     // it, and it can never produce more distinct elements than it has.
     if s.len() > pats.len() {
@@ -176,7 +214,7 @@ fn match_set_enum(pats: &[Term], s: &SetValue, b: &mut Bindings, k: &mut dyn FnM
     // `covered` is a bitmask of s-elements hit so far.
     fn go(
         pats: &[Term],
-        s: &SetValue,
+        s: &[ValueId],
         covered: u64,
         b: &mut Bindings,
         k: &mut dyn FnMut(&mut Bindings),
@@ -194,7 +232,7 @@ fn match_set_enum(pats: &[Term], s: &SetValue, b: &mut Bindings, k: &mut dyn FnM
                 if (rest.len() as u32) + 1 < missing {
                     return;
                 }
-                for (i, e) in s.iter().enumerate() {
+                for (i, &e) in s.iter().enumerate() {
                     match_term(p0, e, b, &mut |b2| {
                         go(rest, s, covered | (1 << i), b2, k);
                     });
@@ -212,13 +250,13 @@ fn match_set_enum(pats: &[Term], s: &SetValue, b: &mut Bindings, k: &mut dyn FnM
 /// Collect all solutions of matching `t` against `v` as binding snapshots
 /// (testing convenience).
 #[cfg(test)]
-fn solutions(t: &Term, v: &Value) -> Vec<Vec<(String, Value)>> {
+fn solutions(t: &Term, v: &ldl_value::Value) -> Vec<Vec<(String, ldl_value::Value)>> {
     let mut b = Bindings::new();
     let mut out = Vec::new();
-    match_term(t, v, &mut b, &mut |b2| {
-        let mut snap: Vec<(String, Value)> = b2
+    match_term(t, intern::id_of(v), &mut b, &mut |b2| {
+        let mut snap: Vec<(String, ldl_value::Value)> = b2
             .iter()
-            .map(|(var, val)| (var.name().to_string(), val.clone()))
+            .map(|(var, val)| (var.name().to_string(), intern::resolve(val)))
             .collect();
         snap.sort_by(|a, c| a.0.cmp(&c.0));
         out.push(snap);
@@ -231,9 +269,14 @@ fn solutions(t: &Term, v: &Value) -> Vec<Vec<(String, Value)>> {
 mod tests {
     use super::*;
     use ldl_ast::term::Var;
+    use ldl_value::Value;
 
     fn set(xs: &[i64]) -> Value {
         Value::set(xs.iter().map(|&i| Value::int(i)))
+    }
+
+    fn id(v: &Value) -> ValueId {
+        intern::id_of(v)
     }
 
     #[test]
@@ -242,11 +285,15 @@ mod tests {
         assert_eq!(sols, vec![vec![("X".to_string(), Value::int(3))]]);
         // Bound variable must agree.
         let mut b = Bindings::new();
-        b.bind(Var::new("X"), Value::int(3));
+        b.bind(Var::new("X"), intern::mk_int(3));
         let mut hits = 0;
-        match_term(&Term::var("X"), &Value::int(4), &mut b, &mut |_| hits += 1);
+        match_term(&Term::var("X"), intern::mk_int(4), &mut b, &mut |_| {
+            hits += 1
+        });
         assert_eq!(hits, 0);
-        match_term(&Term::var("X"), &Value::int(3), &mut b, &mut |_| hits += 1);
+        match_term(&Term::var("X"), intern::mk_int(3), &mut b, &mut |_| {
+            hits += 1
+        });
         assert_eq!(hits, 1);
     }
 
@@ -321,25 +368,28 @@ mod tests {
     #[test]
     fn arith_pattern_checks_value() {
         let mut b = Bindings::new();
-        b.bind(Var::new("X"), Value::int(4));
+        b.bind(Var::new("X"), intern::mk_int(4));
         let t = Term::Arith(
             ldl_value::arith::ArithOp::Add,
             Box::new(Term::var("X")),
             Box::new(Term::int(1)),
         );
         let mut hits = 0;
-        match_term(&t, &Value::int(5), &mut b, &mut |_| hits += 1);
+        match_term(&t, intern::mk_int(5), &mut b, &mut |_| hits += 1);
         assert_eq!(hits, 1);
-        match_term(&t, &Value::int(6), &mut b, &mut |_| hits += 1);
+        match_term(&t, intern::mk_int(6), &mut b, &mut |_| hits += 1);
         assert_eq!(hits, 1);
     }
 
     #[test]
     fn eval_term_respects_restrictions() {
         let mut b = Bindings::new();
-        b.bind(Var::new("S"), set(&[1]));
+        b.bind(Var::new("S"), id(&set(&[1])));
         let t = Term::Scons(Box::new(Term::int(2)), Box::new(Term::var("S")));
-        assert_eq!(eval_term(&t, &b), Some(set(&[1, 2])));
+        assert_eq!(eval_term(&t, &b), Some(id(&set(&[1, 2]))));
+        // Inserting a present element returns the same set (same id).
+        let t1 = Term::Scons(Box::new(Term::int(1)), Box::new(Term::var("S")));
+        assert_eq!(eval_term(&t1, &b), Some(id(&set(&[1]))));
         // scons onto non-set is outside U.
         let bad = Term::Scons(Box::new(Term::int(2)), Box::new(Term::int(1)));
         assert_eq!(eval_term(&bad, &b), None);

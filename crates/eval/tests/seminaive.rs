@@ -5,7 +5,7 @@ use ldl_eval::plan::{run_body, DeltaRestriction, RulePlan};
 use ldl_eval::{EvalOptions, Evaluator};
 use ldl_parser::{parse_program, parse_rule};
 use ldl_storage::Database;
-use ldl_value::Value;
+use ldl_value::{intern, Value};
 
 #[test]
 fn delta_restriction_confines_one_step() {
@@ -28,7 +28,7 @@ fn delta_restriction_confines_one_step() {
         true,
         &mut b,
         &mut |b2| {
-            seen.push(b2.get("X".into()).cloned().unwrap());
+            seen.push(intern::resolve(b2.get("X".into()).unwrap()));
         },
     );
     assert_eq!(seen, vec![Value::int(2), Value::int(3)]);
@@ -58,7 +58,7 @@ fn delta_restriction_applies_through_indexes() {
         true,
         &mut b,
         &mut |b2| {
-            seen.push(b2.get("X".into()).cloned().unwrap());
+            seen.push(intern::resolve(b2.get("X".into()).unwrap()));
         },
     );
     assert_eq!(seen, vec![Value::int(4)]);

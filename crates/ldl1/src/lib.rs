@@ -308,6 +308,7 @@ impl System {
             &opts,
             &mut stats,
         );
+        stats.interner_values = ldl_value::intern::len() as u64;
         self.last_stats = stats;
         if let Err(e) = res {
             // The model may be half-updated; drop it so the next query

@@ -141,8 +141,8 @@ impl MagicEvaluator {
                 changed += match plan.head_kind {
                     HeadKind::Grouping { .. } => {
                         let mut n = 0;
-                        for f in run_grouping_rule(plan, db, opts.use_indexes) {
-                            if db.insert(f) {
+                        for t in run_grouping_rule(plan, db, opts.use_indexes) {
+                            if db.insert_ids(plan.head.pred, t) {
                                 n += 1;
                             }
                         }

@@ -1,9 +1,7 @@
 //! Databases: named relations.
 
-use std::sync::Arc;
-
 use ldl_value::fxhash::FastMap;
-use ldl_value::{Fact, FactSet, Symbol, Value};
+use ldl_value::{intern, Fact, FactSet, Symbol, Value, ValueId};
 
 use crate::relation::{Relation, Tuple};
 
@@ -36,13 +34,36 @@ impl Database {
     }
 
     /// Insert one fact; creates the relation on first use. Returns `true`
-    /// iff the fact was new.
+    /// iff the fact was new. This is the structural entry point: arguments
+    /// are interned here, once, and the engine runs on the resulting ids.
     pub fn insert(&mut self, fact: Fact) -> bool {
+        let tuple: Tuple = fact.args().iter().map(intern::id_of).collect();
         let rel = self
             .relations
             .entry(fact.pred())
             .or_insert_with(|| Relation::new(fact.arity()));
-        rel.insert(fact.args_arc())
+        rel.insert(tuple)
+    }
+
+    /// Insert an already-interned tuple — the evaluation hot path; no
+    /// structural value is touched. Returns `true` iff the tuple was new.
+    pub fn insert_ids(&mut self, pred: Symbol, tuple: Tuple) -> bool {
+        let rel = self
+            .relations
+            .entry(pred)
+            .or_insert_with(|| Relation::new(tuple.len()));
+        rel.insert(tuple)
+    }
+
+    /// Insert an interned tuple borrowed from a derivation buffer — the
+    /// merge-phase hot path. A rejected duplicate allocates nothing (see
+    /// [`Relation::insert_slice`]). Returns `true` iff the tuple was new.
+    pub fn insert_id_slice(&mut self, pred: Symbol, tuple: &[ValueId]) -> bool {
+        let rel = self
+            .relations
+            .entry(pred)
+            .or_insert_with(|| Relation::new(tuple.len()));
+        rel.insert_slice(tuple)
     }
 
     /// Insert a fact given as predicate + values.
@@ -72,9 +93,10 @@ impl Database {
 
     /// Does the database contain this fact?
     pub fn contains(&self, fact: &Fact) -> bool {
+        let ids: Vec<ValueId> = fact.args().iter().map(intern::id_of).collect();
         self.relations
             .get(&fact.pred())
-            .is_some_and(|r| r.contains(fact.args()))
+            .is_some_and(|r| r.contains(&ids))
     }
 
     /// All predicate symbols with at least one relation (possibly empty).
@@ -87,12 +109,13 @@ impl Database {
         self.relations.values().map(Relation::len).sum()
     }
 
-    /// All facts of one predicate.
+    /// All facts of one predicate (ids resolved back to structural values —
+    /// the public-API boundary).
     pub fn facts_of(&self, pred: Symbol) -> Vec<Fact> {
         self.relations
             .get(&pred)
             .into_iter()
-            .flat_map(|r| r.iter().map(move |t| Fact::from_arc(pred, Arc::clone(t))))
+            .flat_map(|r| r.iter().map(move |t| resolve_fact(pred, t)))
             .collect()
     }
 
@@ -102,7 +125,7 @@ impl Database {
         let mut out = FactSet::default();
         for (&p, r) in &self.relations {
             for t in r.iter() {
-                out.insert(Fact::from_arc(p, Arc::clone(t)));
+                out.insert(resolve_fact(p, t));
             }
         }
         out
@@ -177,9 +200,14 @@ pub struct Mark {
     lens: FastMap<Symbol, usize>,
 }
 
-/// Convenience: make a tuple from values.
+/// Convenience: make an interned tuple from structural values.
 pub fn tuple(vals: Vec<Value>) -> Tuple {
-    Arc::from(vals)
+    vals.iter().map(intern::id_of).collect()
+}
+
+/// Resolve an interned tuple of `pred` back into a structural [`Fact`].
+pub fn resolve_fact(pred: Symbol, tuple: &[ValueId]) -> Fact {
+    Fact::new(pred, tuple.iter().map(|&i| intern::resolve(i)).collect())
 }
 
 #[cfg(test)]

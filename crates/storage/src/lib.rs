@@ -15,5 +15,5 @@
 pub mod database;
 pub mod relation;
 
-pub use database::Database;
+pub use database::{resolve_fact, tuple, Database, Mark};
 pub use relation::{Relation, Tuple};

@@ -1,12 +1,31 @@
 //! Append-only relations with hash indexes.
+//!
+//! Tuples are stored as interned [`ValueId`]s: the duplicate filter and
+//! every index probe hash and compare a few `u32`s regardless of how deep
+//! the underlying values are. Structural [`ldl_value::Value`]s exist only
+//! at the [`crate::Database`] fact boundary.
 
 use std::sync::Arc;
 
 use ldl_value::fxhash::{FastMap, FastSet};
-use ldl_value::Value;
+use ldl_value::ValueId;
 
-/// A ground tuple. Cheap to clone (shared allocation).
-pub type Tuple = Arc<[Value]>;
+/// A ground tuple of interned values. Cheap to clone (shared allocation).
+pub type Tuple = Arc<[ValueId]>;
+
+/// An opaque handle to one of a relation's hash indexes (see
+/// [`Relation::index`]).
+#[derive(Clone, Copy, Debug)]
+pub struct IndexRef<'a>(&'a Index);
+
+impl<'a> IndexRef<'a> {
+    /// Insertion positions of all tuples whose projection equals `key` (ids
+    /// in sorted column order). Borrowed key: a probe allocates nothing.
+    pub fn probe(self, key: &[ValueId]) -> &'a [u32] {
+        debug_assert_eq!(key.len(), self.0.cols.len());
+        self.0.map.get(key).map_or(&[], |v| &v[..])
+    }
+}
 
 /// A hash index over a subset of columns.
 ///
@@ -16,16 +35,13 @@ pub type Tuple = Arc<[Value]>;
 #[derive(Clone, Debug)]
 struct Index {
     cols: Vec<usize>,
-    map: FastMap<Box<[Value]>, Vec<u32>>,
+    map: FastMap<Box<[ValueId]>, Vec<u32>>,
 }
 
 impl Index {
-    fn key_of(&self, tuple: &[Value]) -> Box<[Value]> {
-        self.cols.iter().map(|&c| tuple[c].clone()).collect()
-    }
-
-    fn add(&mut self, tuple: &[Value], pos: u32) {
-        self.map.entry(self.key_of(tuple)).or_default().push(pos);
+    fn add(&mut self, tuple: &[ValueId], pos: u32) {
+        let key: Box<[ValueId]> = self.cols.iter().map(|&c| tuple[c]).collect();
+        self.map.entry(key).or_default().push(pos);
     }
 }
 
@@ -44,7 +60,9 @@ pub struct Relation {
     arity: usize,
     tuples: Vec<Tuple>,
     seen: FastSet<Tuple>,
-    indexes: FastMap<u64, Index>,
+    /// Keyed by the sorted, deduplicated column list (probed borrowed as
+    /// `&[usize]`), so relations of any width can be indexed.
+    indexes: FastMap<Vec<usize>, Index>,
 }
 
 impl Relation {
@@ -88,10 +106,22 @@ impl Relation {
         true
     }
 
+    /// Insert a borrowed tuple; returns `true` iff it was new. The
+    /// duplicate probe happens on the borrowed slice, so a rejected
+    /// duplicate allocates nothing — this is the merge-phase hot path,
+    /// where semi-naive evaluation rejects most derivations.
+    pub fn insert_slice(&mut self, tuple: &[ValueId]) -> bool {
+        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
+        if self.seen.contains(tuple) {
+            return false;
+        }
+        self.insert(Tuple::from(tuple))
+    }
+
     /// Does the relation contain exactly this tuple?
-    pub fn contains(&self, tuple: &[Value]) -> bool {
-        // FastSet<Arc<[Value]>> can be probed with a borrowed slice because
-        // Arc<[Value]>: Borrow<[Value]>.
+    pub fn contains(&self, tuple: &[ValueId]) -> bool {
+        // FastSet<Arc<[ValueId]>> can be probed with a borrowed slice
+        // because Arc<[ValueId]>: Borrow<[ValueId]>.
         self.seen.contains(tuple)
     }
 
@@ -110,15 +140,6 @@ impl Relation {
         &self.tuples[from..to]
     }
 
-    fn mask_of(cols: &[usize]) -> u64 {
-        let mut m = 0u64;
-        for &c in cols {
-            assert!(c < 64, "index columns beyond 64 unsupported");
-            m |= 1 << c;
-        }
-        m
-    }
-
     /// Ensure a hash index exists on `cols` (sorted, deduplicated by caller
     /// convention — we normalize anyway). No-op if already present.
     pub fn ensure_index(&mut self, cols: &[usize]) {
@@ -129,35 +150,39 @@ impl Relation {
             cols.iter().all(|&c| c < self.arity),
             "index column out of range"
         );
-        let mask = Self::mask_of(&cols);
-        if self.indexes.contains_key(&mask) {
+        if self.indexes.contains_key(cols.as_slice()) {
             return;
         }
         let mut idx = Index {
-            cols,
+            cols: cols.clone(),
             map: FastMap::default(),
         };
         for (pos, t) in self.tuples.iter().enumerate() {
             idx.add(t, pos as u32);
         }
-        self.indexes.insert(mask, idx);
+        self.indexes.insert(cols, idx);
     }
 
-    /// Probe the index on `cols` (which must exist) with `key` values in the
+    /// Probe the index on `cols` (which must exist) with `key` ids in the
     /// same (sorted) column order. Returns matching insertion positions.
-    pub fn probe(&self, cols: &[usize], key: &[Value]) -> &[u32] {
-        let mask = Self::mask_of(cols);
-        let idx = self
-            .indexes
-            .get(&mask)
-            .expect("probe of a non-existent index; call ensure_index first");
-        debug_assert_eq!(key.len(), idx.cols.len());
-        idx.map.get(key).map_or(&[], |v| &v[..])
+    /// Both the column list and the key are borrowed — a probe allocates
+    /// nothing.
+    pub fn probe(&self, cols: &[usize], key: &[ValueId]) -> &[u32] {
+        self.index(cols)
+            .expect("probe of a non-existent index; call ensure_index first")
+            .probe(key)
+    }
+
+    /// The index on `cols`, if one exists — resolve the column list once,
+    /// then probe through the handle (one hash of `cols` instead of one per
+    /// probe).
+    pub fn index(&self, cols: &[usize]) -> Option<IndexRef<'_>> {
+        self.indexes.get(cols).map(IndexRef)
     }
 
     /// Does an index exist on `cols`?
     pub fn has_index(&self, cols: &[usize]) -> bool {
-        self.indexes.contains_key(&Self::mask_of(cols))
+        self.indexes.contains_key(cols)
     }
 
     /// Discard every tuple at insertion position `len` or beyond, restoring
@@ -186,9 +211,15 @@ impl Relation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ldl_value::intern;
+    use ldl_value::Value;
+
+    fn id(v: i64) -> ValueId {
+        intern::mk_int(v)
+    }
 
     fn t(vals: &[i64]) -> Tuple {
-        vals.iter().map(|&v| Value::int(v)).collect()
+        vals.iter().map(|&v| id(v)).collect()
     }
 
     #[test]
@@ -198,8 +229,8 @@ mod tests {
         assert!(!r.insert(t(&[1, 2])));
         assert!(r.insert(t(&[1, 3])));
         assert_eq!(r.len(), 2);
-        assert!(r.contains(&[Value::int(1), Value::int(2)]));
-        assert!(!r.contains(&[Value::int(2), Value::int(1)]));
+        assert!(r.contains(&[id(1), id(2)]));
+        assert!(!r.contains(&[id(2), id(1)]));
     }
 
     #[test]
@@ -216,11 +247,11 @@ mod tests {
         r.insert(t(&[1, 20]));
         r.insert(t(&[2, 30]));
         r.ensure_index(&[0]);
-        let hits = r.probe(&[0], &[Value::int(1)]);
+        let hits = r.probe(&[0], &[id(1)]);
         assert_eq!(hits.len(), 2);
-        assert_eq!(r.get(hits[0])[1], Value::int(10));
-        assert_eq!(r.get(hits[1])[1], Value::int(20));
-        assert!(r.probe(&[0], &[Value::int(9)]).is_empty());
+        assert_eq!(r.get(hits[0])[1], id(10));
+        assert_eq!(r.get(hits[1])[1], id(20));
+        assert!(r.probe(&[0], &[id(9)]).is_empty());
     }
 
     #[test]
@@ -229,9 +260,9 @@ mod tests {
         r.ensure_index(&[1]);
         r.insert(t(&[1, 10]));
         r.insert(t(&[2, 10]));
-        assert_eq!(r.probe(&[1], &[Value::int(10)]).len(), 2);
+        assert_eq!(r.probe(&[1], &[id(10)]).len(), 2);
         r.insert(t(&[3, 10]));
-        assert_eq!(r.probe(&[1], &[Value::int(10)]).len(), 3);
+        assert_eq!(r.probe(&[1], &[id(10)]).len(), 3);
     }
 
     #[test]
@@ -240,8 +271,25 @@ mod tests {
         r.insert(t(&[1, 2, 3]));
         r.ensure_index(&[2, 0]); // normalized to [0, 2]
         assert!(r.has_index(&[0, 2]));
-        let hits = r.probe(&[0, 2], &[Value::int(1), Value::int(3)]);
+        let hits = r.probe(&[0, 2], &[id(1), id(3)]);
         assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn wide_relations_index_beyond_column_64() {
+        // Regression: the index registry used a u64 column bitmask and
+        // panicked on any column ≥ 64.
+        let arity = 70;
+        let mut r = Relation::new(arity);
+        r.insert((0..arity as i64).map(id).collect());
+        r.insert((100..100 + arity as i64).map(id).collect());
+        r.ensure_index(&[68]);
+        assert!(r.has_index(&[68]));
+        assert_eq!(r.probe(&[68], &[id(68)]).len(), 1);
+        assert_eq!(r.probe(&[68], &[id(168)]).len(), 1);
+        assert!(r.probe(&[68], &[id(999)]).is_empty());
+        r.ensure_index(&[1, 69]);
+        assert_eq!(r.probe(&[1, 69], &[id(101), id(169)]), &[1]);
     }
 
     #[test]
@@ -254,8 +302,8 @@ mod tests {
         r.insert(t(&[3]));
         let delta = r.range(mark, r.len());
         assert_eq!(delta.len(), 2);
-        assert_eq!(delta[0][0], Value::int(2));
-        assert_eq!(delta[1][0], Value::int(3));
+        assert_eq!(delta[0][0], id(2));
+        assert_eq!(delta[1][0], id(3));
     }
 
     #[test]
@@ -267,18 +315,18 @@ mod tests {
         let mark = r.len();
         r.insert(t(&[1, 30]));
         r.insert(t(&[2, 40]));
-        assert_eq!(r.probe(&[0], &[Value::int(1)]).len(), 3);
+        assert_eq!(r.probe(&[0], &[id(1)]).len(), 3);
 
         r.truncate(mark);
         assert_eq!(r.len(), 2);
         // Duplicate filter forgets the dropped tuples…
-        assert!(!r.contains(&[Value::int(1), Value::int(30)]));
+        assert!(!r.contains(&[id(1), id(30)]));
         assert!(r.insert(t(&[1, 30])));
         // …and indexes are pruned: the (2, 40) posting list is gone, the
         // re-inserted (1, 30) shows up again.
         r.truncate(2);
-        assert!(r.probe(&[0], &[Value::int(2)]).is_empty());
-        assert_eq!(r.probe(&[0], &[Value::int(1)]).len(), 2);
+        assert!(r.probe(&[0], &[id(2)]).is_empty());
+        assert_eq!(r.probe(&[0], &[id(1)]).len(), 2);
         // Truncating beyond the end is a no-op.
         r.truncate(99);
         assert_eq!(r.len(), 2);
@@ -287,7 +335,7 @@ mod tests {
     #[test]
     fn zero_arity_relation_holds_one_tuple() {
         let mut r = Relation::new(0);
-        let empty: Tuple = Arc::from(Vec::<Value>::new());
+        let empty: Tuple = Arc::from(Vec::<ValueId>::new());
         assert!(r.insert(Arc::clone(&empty)));
         assert!(!r.insert(empty));
         assert_eq!(r.len(), 1);
@@ -296,11 +344,11 @@ mod tests {
     #[test]
     fn set_valued_columns_index_correctly() {
         let mut r = Relation::new(2);
-        let s12 = Value::set(vec![Value::int(1), Value::int(2)]);
-        let s21 = Value::set(vec![Value::int(2), Value::int(1)]);
-        r.insert(Arc::from(vec![Value::atom("a"), s12.clone()]));
+        let s12 = intern::id_of(&Value::set(vec![Value::int(1), Value::int(2)]));
+        let s21 = intern::id_of(&Value::set(vec![Value::int(2), Value::int(1)]));
+        r.insert(Arc::from(vec![intern::id_of(&Value::atom("a")), s12]));
         r.ensure_index(&[1]);
-        // Canonical sets: {2,1} probes equal to {1,2}.
+        // Canonical sets: {2,1} interns equal to {1,2}.
         assert_eq!(r.probe(&[1], &[s21]).len(), 1);
     }
 }

@@ -14,16 +14,39 @@
 //! template keeps arity 2 so layers compose freely, and every
 //! negated/grouped read looks strictly down the stack — the program is
 //! admissible by construction.
+//!
+//! EDB constants are not just integers: a slice of every node domain is
+//! set-valued (`{a, b}`) or compound-valued (`f(a, b)`), so joins,
+//! duplicate elimination, grouping, and negation all run over nested
+//! ground values — the structures whose identity an interning engine must
+//! get right — and grouping layers build sets *of* those sets.
 
 use crate::Rng;
+
+/// A ground constant in a generated EDB tuple.
+///
+/// Kept as plain data (no `ldl-value` dependency): the loader converts to
+/// engine values. Both endpoints of an edge draw from one shared per-case
+/// pool, so structurally-equal nested constants recur across tuples and
+/// joins/negation tests actually hit them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GenConst {
+    /// An integer constant.
+    Int(i64),
+    /// A set of integers, `{a, b, …}`. May list duplicates — set semantics
+    /// collapse them, which is itself worth exercising.
+    Set(Vec<i64>),
+    /// A compound term over integers, `f(a, b, …)`.
+    Compound(&'static str, Vec<i64>),
+}
 
 /// A generated differential-test case: program source plus EDB tuples.
 #[derive(Clone, Debug)]
 pub struct GeneratedCase {
     /// LDL1 source text (rules only; facts come from `edb`).
     pub src: String,
-    /// EDB tuples, as `(predicate, integer arguments)`.
-    pub edb: Vec<(&'static str, Vec<i64>)>,
+    /// EDB tuples, as `(predicate, ground arguments)`.
+    pub edb: Vec<(&'static str, Vec<GenConst>)>,
     /// Number of layers in the generated program (≥ 1).
     pub layers: usize,
     /// The top predicate name, `p{layers - 1}` — query this to reach every
@@ -60,12 +83,26 @@ pub fn stratified_case(rng: &mut Rng, size: u32) -> GeneratedCase {
         }
     }
 
-    let mut edb: Vec<(&'static str, Vec<i64>)> = Vec::new();
+    // One shared node pool per case: mostly ints, with a set-valued and a
+    // compound-valued minority. Edges and markers index into the same pool,
+    // so nested values participate in joins and negation, not just storage.
+    let pool: Vec<GenConst> = (0..nodes)
+        .map(|i| match rng.index(4) {
+            0 => GenConst::Set(vec![rng.range(0, nodes), rng.range(0, nodes)]),
+            1 => GenConst::Compound("f", vec![rng.range(0, nodes)]),
+            _ => GenConst::Int(i),
+        })
+        .collect();
+    let pick = |rng: &mut Rng| pool[rng.index(pool.len())].clone();
+
+    let mut edb: Vec<(&'static str, Vec<GenConst>)> = Vec::new();
     for _ in 0..rng.index(max_edges + 1) {
-        edb.push(("e0", vec![rng.range(0, nodes), rng.range(0, nodes)]));
+        let a = pick(rng);
+        let b = pick(rng);
+        edb.push(("e0", vec![a, b]));
     }
     for _ in 0..rng.index(size + 1) {
-        edb.push(("e1", vec![rng.range(0, nodes)]));
+        edb.push(("e1", vec![pick(rng)]));
     }
 
     GeneratedCase {
@@ -93,6 +130,8 @@ mod tests {
         let mut negation = false;
         let mut grouping = false;
         let mut recursion = false;
+        let mut sets = false;
+        let mut compounds = false;
         for seed in 0..64 {
             let c = stratified_case(&mut Rng::new(crate::case_seed(seed)), 10);
             assert!(c.layers >= 2 && c.layers <= 4);
@@ -101,17 +140,30 @@ mod tests {
             negation |= c.src.contains('~');
             grouping |= c.src.contains("<Y>");
             recursion |= c.src.contains("p1(X, Z), p1(Z, Y)") || c.layers == 2;
+            for (_, args) in &c.edb {
+                for a in args {
+                    sets |= matches!(a, GenConst::Set(_));
+                    compounds |= matches!(a, GenConst::Compound(..));
+                }
+            }
         }
         assert!(negation && grouping && recursion);
+        assert!(sets && compounds, "nested EDB constants never generated");
     }
 
     #[test]
     fn size_one_case_is_tiny() {
         let c = stratified_case(&mut Rng::new(1), 1);
         assert!(c.edb.len() <= 4);
+        let in_domain = |v: i64| (0..=2).contains(&v);
         for (_, args) in &c.edb {
-            for &v in args {
-                assert!((0..=2).contains(&v));
+            for a in args {
+                match a {
+                    GenConst::Int(v) => assert!(in_domain(*v)),
+                    GenConst::Set(xs) | GenConst::Compound(_, xs) => {
+                        assert!(xs.iter().all(|&v| in_domain(v)))
+                    }
+                }
             }
         }
     }

@@ -14,7 +14,7 @@
 //!   the minimal failing one;
 //! * [`gen`] — random stratified LDL1 programs (recursion + negation +
 //!   grouping) for differential testing;
-//! * [`bench`] / [`Sample`] — wall-clock timing with median/min reporting
+//! * [`bench()`] / [`Sample`] — wall-clock timing with median/min reporting
 //!   for the `harness = false` benchmark binaries.
 
 pub mod gen;

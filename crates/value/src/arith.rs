@@ -7,6 +7,7 @@
 //! must be bound to integers; division by zero and overflow make the binding
 //! fail rather than panic (the candidate binding is simply not a U-fact).
 
+use crate::intern::{self, Node, ValueId};
 use crate::value::Value;
 
 /// Binary arithmetic operators available in rule bodies.
@@ -37,6 +38,22 @@ impl ArithOp {
             ArithOp::Mod => x.checked_rem(y)?,
         };
         Some(Value::Int(r))
+    }
+
+    /// [`ArithOp::eval`] on interned ids — the evaluation hot path; touches
+    /// no structural value.
+    pub fn eval_ids(self, a: ValueId, b: ValueId) -> Option<ValueId> {
+        let (Node::Int(x), Node::Int(y)) = (intern::node(a), intern::node(b)) else {
+            return None;
+        };
+        let r = match self {
+            ArithOp::Add => x.checked_add(*y)?,
+            ArithOp::Sub => x.checked_sub(*y)?,
+            ArithOp::Mul => x.checked_mul(*y)?,
+            ArithOp::Div => x.checked_div(*y)?,
+            ArithOp::Mod => x.checked_rem(*y)?,
+        };
+        Some(intern::mk_int(r))
     }
 
     /// The name used in the concrete (functional) syntax, e.g. `+(C1,C2,C)`.
@@ -95,6 +112,29 @@ impl CmpOp {
                 let ord = match (a, b) {
                     (Value::Int(x), Value::Int(y)) => x.cmp(y),
                     (Value::Str(x), Value::Str(y)) => x.cmp(y),
+                    _ => return None,
+                };
+                Some(match self {
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Le => ord.is_le(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Ge => ord.is_ge(),
+                    CmpOp::Eq | CmpOp::Ne => unreachable!(),
+                })
+            }
+        }
+    }
+
+    /// [`CmpOp::eval`] on interned ids. Hash-consing turns `=`/`/=` into an
+    /// integer compare regardless of value depth.
+    pub fn eval_ids(self, a: ValueId, b: ValueId) -> Option<bool> {
+        match self {
+            CmpOp::Eq => Some(a == b),
+            CmpOp::Ne => Some(a != b),
+            _ => {
+                let ord = match (intern::node(a), intern::node(b)) {
+                    (Node::Int(x), Node::Int(y)) => x.cmp(y),
+                    (Node::Str(x), Node::Str(y)) => x.cmp(y),
                     _ => return None,
                 };
                 Some(match self {

@@ -17,6 +17,9 @@
 //! The crate also provides:
 //!
 //! * a global [`Symbol`] interner for predicate/functor/atom names,
+//! * a global hash-consing value interner ([`intern`]) mapping every
+//!   distinct ground value to a dense [`ValueId`] — the representation the
+//!   evaluation engine runs on,
 //! * the total order on values used to keep sets canonical,
 //! * the *domination* partial order of §2.4 (both the basic, argument-wise
 //!   variant and the "more elaborate" recursive variant from the Remark),
@@ -26,12 +29,14 @@
 pub mod arith;
 pub mod fact;
 pub mod fxhash;
+pub mod intern;
 pub mod order;
 pub mod set;
 pub mod symbol;
 pub mod value;
 
 pub use fact::{Fact, FactSet};
+pub use intern::ValueId;
 pub use order::{dominates, dominates_elaborate, fact_dominates, factset_dominated};
 pub use set::SetValue;
 pub use symbol::Symbol;

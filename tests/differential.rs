@@ -17,13 +17,26 @@
 //! facts.
 
 use ldl1::{Database, EvalOptions, Evaluator, FactSet, Symbol, System, Value};
-use ldl_testkit::gen::{stratified_case, GeneratedCase};
+use ldl_testkit::gen::{stratified_case, GenConst, GeneratedCase};
 use ldl_testkit::{cases_shrink, Rng};
+
+/// Generated constants include nested sets and compounds, so the oracle
+/// exercises structural identity (interning, set canonicalization), not
+/// just integer equality.
+fn value_of(c: &GenConst) -> Value {
+    match c {
+        GenConst::Int(i) => Value::int(*i),
+        GenConst::Set(xs) => Value::set(xs.iter().map(|&i| Value::int(i))),
+        GenConst::Compound(f, xs) => {
+            Value::compound(*f, xs.iter().map(|&i| Value::int(i)).collect())
+        }
+    }
+}
 
 fn edb_of(case: &GeneratedCase) -> Database {
     let mut edb = Database::new();
     for (pred, args) in &case.edb {
-        edb.insert_tuple(*pred, args.iter().map(|&v| Value::int(v)).collect());
+        edb.insert_tuple(*pred, args.iter().map(value_of).collect());
     }
     edb
 }
@@ -48,13 +61,13 @@ fn incremental_model(case: &GeneratedCase) -> FactSet {
     sys.load(&case.src).unwrap();
     let split = case.edb.len() / 2;
     for (pred, args) in &case.edb[..split] {
-        sys.insert(pred, args.iter().map(|&v| Value::int(v)).collect());
+        sys.insert(pred, args.iter().map(value_of).collect());
     }
     sys.model_facts().unwrap(); // cache a model before the commits
     for chunk in case.edb[split..].chunks(3) {
         let mut b = sys.batch();
         for (pred, args) in chunk {
-            b.insert(pred, args.iter().map(|&v| Value::int(v)).collect());
+            b.insert(pred, args.iter().map(value_of).collect());
         }
         b.commit().unwrap();
     }
@@ -62,7 +75,9 @@ fn incremental_model(case: &GeneratedCase) -> FactSet {
 }
 
 /// Every relation's tuples, in insertion order — the bit-for-bit view.
-fn insertion_orders(db: &Database) -> Vec<(Symbol, Vec<Vec<Value>>)> {
+/// Tuples are interned ids; within one process structurally-equal values
+/// share an id, so id-level comparison is exactly structural comparison.
+fn insertion_orders(db: &Database) -> Vec<(Symbol, Vec<Vec<ldl1::value::ValueId>>)> {
     let mut preds: Vec<Symbol> = db.predicates().collect();
     preds.sort_by_key(|p| p.to_string());
     preds
