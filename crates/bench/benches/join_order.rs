@@ -1,0 +1,243 @@
+//! P14 — cost-based join planning vs greedy bound-count scheduling.
+//!
+//! Two end-to-end kernels on deliberately *skewed* EDBs, each run twice
+//! through the public evaluator — once with `cost_based: false` (the greedy
+//! planner: most-bound-arguments first) and once with `cost_based: true`
+//! (the statistics-driven cost model plus existential short-circuiting):
+//!
+//! * **skewed_star_join** — rules
+//!   `qN(X, Y) <- mid(T, Z), big(Z, X), small(X), big(Z, Y), small(Y).`
+//!   where `big` is ~100× larger than the other relations and pairs every
+//!   hub `Z` with every spoke `X`. Greedy schedules the second `big`
+//!   occurrence as an index enumeration (one bound argument beats zero) and
+//!   walks every spoke of every hub once per `mid` tag — millions of rows —
+//!   before `small(Y)` filters them. The cost model reads the sketches,
+//!   sees `|big|/distinct(X)` is tiny but `|big|/distinct(Z)` is huge,
+//!   and schedules `small(Y)` before the second `big` occurrence, turning
+//!   it into a fully-bound containment check.
+//! * **existential_semijoin** — rules `reachN(X) <- cand(X), fan(X, Y).`
+//!   with 40 fan-out rows per candidate. Both planners order `cand` first
+//!   (size tie-break), but `Y` never reaches the head, so the cost-based
+//!   plan stops at the first witness per candidate instead of enumerating
+//!   all 40.
+//!
+//! Results go to `BENCH_join_order.json` at the workspace root (see
+//! EXPERIMENTS.md P14), including a `cost_vs_greedy` section with the
+//! speedup the planner must sustain (the P14 acceptance bar is ≥2×
+//! end-to-end). If `BENCH_join_order.baseline.json` exists, each kernel
+//! also reports its speedup over that saved run.
+//!
+//! `cargo bench -p ldl-bench --bench join_order -- smoke` runs a tiny
+//! 1-iteration configuration for CI and skips the JSON file.
+
+use ldl1::{Database, EvalOptions, Value};
+use ldl_bench::{eval_with, opts};
+use ldl_testkit::{bench, Sample};
+
+fn planner_opts(cost_based: bool) -> EvalOptions {
+    EvalOptions {
+        check_wf: false,
+        parallelism: 1,
+        cost_based,
+        ..opts(true, true)
+    }
+}
+
+/// The star-join EDB: `big(Z, X)` pairs every hub `Z ∈ 0..zs` with every
+/// spoke `X ∈ 0..xs`; `mid(T, Z)` tags every hub `tags` times; `small` has
+/// `small_in` values inside the spoke domain and `small_out` far outside
+/// it, so `small ⋈ big` is selective while `small` alone is not.
+fn star_join_edb(zs: i64, xs: i64, tags: i64, small_in: i64, small_out: i64) -> Database {
+    let mut db = Database::new();
+    for z in 0..zs {
+        for x in 0..xs {
+            db.insert_tuple("big", vec![Value::int(z), Value::int(x)]);
+        }
+        for t in 0..tags {
+            db.insert_tuple("mid", vec![Value::int(t), Value::int(z)]);
+        }
+    }
+    for k in 0..small_in {
+        db.insert_tuple("small", vec![Value::int(k * (xs / small_in.max(1)))]);
+    }
+    for k in 0..small_out {
+        db.insert_tuple("small", vec![Value::int(1_000_000 + k)]);
+    }
+    db
+}
+
+/// `rules` copies of the star join, so per-evaluation join work dominates
+/// the one-off EDB load that both planners pay identically.
+fn star_join_src(rules: usize) -> String {
+    (1..=rules)
+        .map(|n| format!("q{n}(X, Y) <- mid(T, Z), big(Z, X), small(X), big(Z, Y), small(Y).\n"))
+        .collect()
+}
+
+fn star_join_kernel(cost_based: bool, zs: i64, xs: i64, rules: usize, iters: usize) -> Sample {
+    let db = star_join_edb(zs, xs, 20, 10, 110);
+    let src = star_join_src(rules);
+    let name = kernel_name("skewed_star_join", cost_based);
+    bench("P14_join_order", name, iters, || {
+        eval_with(&src, &db, planner_opts(cost_based));
+    })
+}
+
+/// The semijoin EDB: `cand(0..cands)` and `fan(X, Y)` with `fanout` rows
+/// per candidate.
+fn semijoin_edb(cands: i64, fanout: i64) -> Database {
+    let mut db = Database::new();
+    for x in 0..cands {
+        db.insert_tuple("cand", vec![Value::int(x)]);
+        for y in 0..fanout {
+            db.insert_tuple("fan", vec![Value::int(x), Value::int(y)]);
+        }
+    }
+    db
+}
+
+fn semijoin_src(rules: usize) -> String {
+    (1..=rules)
+        .map(|n| format!("reach{n}(X) <- cand(X), fan(X, Y).\n"))
+        .collect()
+}
+
+fn semijoin_kernel(
+    cost_based: bool,
+    cands: i64,
+    fanout: i64,
+    rules: usize,
+    iters: usize,
+) -> Sample {
+    let db = semijoin_edb(cands, fanout);
+    let src = semijoin_src(rules);
+    let name = kernel_name("existential_semijoin", cost_based);
+    bench("P14_join_order", name, iters, || {
+        eval_with(&src, &db, planner_opts(cost_based));
+    })
+}
+
+fn kernel_name(base: &str, cost_based: bool) -> &'static str {
+    // `bench` wants a `&'static str`; enumerate the four names instead of
+    // leaking formatted strings.
+    match (base, cost_based) {
+        ("skewed_star_join", false) => "skewed_star_join_greedy",
+        ("skewed_star_join", true) => "skewed_star_join_cost",
+        ("existential_semijoin", false) => "existential_semijoin_greedy",
+        _ => "existential_semijoin_cost",
+    }
+}
+
+/// Pull `"key": <number>` out of one flat JSON object chunk.
+fn json_number(chunk: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = chunk.find(&pat)? + pat.len();
+    let rest = chunk[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Per-kernel medians from a previous run's JSON, by kernel name.
+fn read_baseline(path: &str) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for chunk in text.split('{').skip(1) {
+        let name = chunk
+            .find("\"name\":")
+            .and_then(|i| {
+                chunk[i + 7..]
+                    .trim_start()
+                    .strip_prefix('"')
+                    .map(String::from)
+            })
+            .and_then(|s| s.split('"').next().map(String::from));
+        if let (Some(name), Some(median)) = (name, json_number(chunk, "median_ms")) {
+            out.push((name, median));
+        }
+    }
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "smoke" || a == "--smoke");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+
+    let mut results: Vec<(&str, Sample)> = Vec::new();
+    if smoke {
+        for cost in [false, true] {
+            results.push((kernel_name("skewed_star_join", cost), {
+                star_join_kernel(cost, 4, 50, 1, 1)
+            }));
+            results.push((kernel_name("existential_semijoin", cost), {
+                semijoin_kernel(cost, 50, 8, 2, 1)
+            }));
+        }
+        return; // rot check only: no JSON, no baseline comparison
+    }
+    for cost in [false, true] {
+        results.push((kernel_name("skewed_star_join", cost), {
+            star_join_kernel(cost, 10, 2_000, 2, 15)
+        }));
+        results.push((kernel_name("existential_semijoin", cost), {
+            semijoin_kernel(cost, 2_000, 40, 3, 15)
+        }));
+    }
+
+    let median = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s.median_ms())
+            .unwrap()
+    };
+    let pairs = [
+        (
+            "skewed_star_join",
+            "skewed_star_join_greedy",
+            "skewed_star_join_cost",
+        ),
+        (
+            "existential_semijoin",
+            "existential_semijoin_greedy",
+            "existential_semijoin_cost",
+        ),
+    ];
+
+    let baseline = read_baseline(&format!("{root}/BENCH_join_order.baseline.json"));
+    let mut json = String::from("{\n  \"bench\": \"join_order\",\n  \"kernels\": [\n");
+    for (i, (name, s)) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"median_ms\": {:.4}, \"min_ms\": {:.4}, \"iters\": {}",
+            s.median_ms(),
+            s.min.as_secs_f64() * 1e3,
+            s.iters
+        ));
+        if let Some((_, base)) = baseline.iter().find(|(n, _)| n == name) {
+            let speedup = base / s.median_ms().max(1e-9);
+            json.push_str(&format!(
+                ", \"baseline_median_ms\": {base:.4}, \"speedup\": {speedup:.2}"
+            ));
+            println!("P14_join_order/{name}_speedup: {speedup:.2}x");
+        }
+        json.push_str(if i + 1 < results.len() { "},\n" } else { "}\n" });
+    }
+    json.push_str("  ],\n  \"cost_vs_greedy\": [\n");
+    for (i, (kernel, greedy, cost)) in pairs.iter().enumerate() {
+        let (g, c) = (median(greedy), median(cost));
+        let speedup = g / c.max(1e-9);
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{kernel}\", \"greedy_ms\": {g:.4}, \"cost_ms\": {c:.4}, \
+             \"cost_vs_greedy_speedup\": {speedup:.2}}}{}\n",
+            if i + 1 < pairs.len() { "," } else { "" }
+        ));
+        println!("P14_join_order/{kernel}_cost_vs_greedy: {speedup:.2}x");
+    }
+    json.push_str("  ]\n}\n");
+    let out = format!("{root}/BENCH_join_order.json");
+    std::fs::write(&out, json).expect("write BENCH_join_order.json");
+    println!("wrote {out}");
+}

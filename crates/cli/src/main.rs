@@ -26,6 +26,7 @@ Commands:
   :program            show the compiled core-LDL1 program
   :strata             show the layering of the current program
   :facts PRED         list the model's facts for one predicate
+  :plan [PRED]        show the join plans (step order, indexes, estimates)
   :magic QUERY.       answer a query via the magic-set pipeline
   :stats              work counters of the last evaluation (full or incremental)
   :jobs [N]           show or set evaluation worker count (0 = all cores)
@@ -37,13 +38,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut batch = false;
     let mut show_stats = false;
+    let mut show_plans = false;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--batch" | "-b" => batch = true,
             "--stats" => show_stats = true,
+            "--explain" => show_plans = true,
             "--help" | "-h" => {
-                println!("usage: ldl1 [--batch] [--stats] [--jobs N] [FILE...]\n\n{HELP}");
+                println!(
+                    "usage: ldl1 [--batch] [--stats] [--explain] [--jobs N] [FILE...]\n\n{HELP}"
+                );
                 return;
             }
             "--jobs" | "-j" => {
@@ -61,6 +66,17 @@ fn main() {
                     eprintln!("error: {e}");
                     std::process::exit(1);
                 }
+            }
+        }
+    }
+    if show_plans {
+        // Explain against post-model statistics so IDB relation sizes are
+        // visible to the cost model, like `:plan` would.
+        match sys.explain(None) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
             }
         }
     }
@@ -162,6 +178,10 @@ fn command(sys: &mut System, cmd: &str) -> bool {
                     println!("{f}");
                 }
             }
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ":plan" => match sys.explain(if rest.is_empty() { None } else { Some(rest) }) {
+            Ok(text) => print!("{text}"),
             Err(e) => eprintln!("error: {e}"),
         },
         ":save" => {

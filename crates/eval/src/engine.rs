@@ -41,6 +41,15 @@ pub struct EvalOptions {
     /// (read once), which CI uses to run the whole suite through the
     /// parallel path.
     pub parallelism: usize,
+    /// Order body literals by estimated output cardinality (relation
+    /// statistics: tuple count / distinct-value estimates of the bound
+    /// columns) instead of the greedy bound-position count, and enable
+    /// existential short-circuiting of plan tails that bind no head or
+    /// grouping variable. Plans are cached per (rule, delta role) and
+    /// re-costed only when a body relation's statistics epoch drifts.
+    /// `false` restores the pure greedy planner (the ablation
+    /// configuration); the computed model is identical either way.
+    pub cost_based: bool,
 }
 
 impl Default for EvalOptions {
@@ -51,6 +60,7 @@ impl Default for EvalOptions {
             check_wf: true,
             dialect: Dialect::Ldl1,
             parallelism: env_default_parallelism(),
+            cost_based: true,
         }
     }
 }

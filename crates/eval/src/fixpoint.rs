@@ -12,7 +12,10 @@
 //! [`DeltaRestriction`] frontiers and incremental maintenance depend on —
 //! bit-for-bit identical at any worker count, including 1.
 
-use ldl_ast::program::Program;
+use std::sync::Arc;
+
+use ldl_ast::program::{Builtin, Program};
+use ldl_ast::rule::Rule;
 use ldl_storage::{Database, Tuple};
 use ldl_stratify::Stratification;
 use ldl_value::fxhash::{FastMap, FastSet};
@@ -23,67 +26,168 @@ use crate::engine::EvalOptions;
 use crate::error::EvalError;
 use crate::grouping::run_grouping_rule;
 use crate::plan::{
-    ensure_indexes, run_body, take_index_probes, DeltaRestriction, HeadKind, RulePlan,
+    ensure_indexes, ensure_plan_indexes, run_body, take_exist_cuts, take_index_probes,
+    DeltaRestriction, RulePlan,
 };
 use crate::pool::{Job, Pool};
 use crate::stats::EvalStats;
 use crate::unify::eval_term;
 
-/// The compiled rules of one layer, split the way Lemma 3.2.3 executes them.
-pub(crate) struct LayerPlans {
+/// One layer's rules, split the way Lemma 3.2.3 executes them. Rules are
+/// kept as program indices — the compiled plans live in the [`PlanCache`],
+/// which can re-cost them as the database grows.
+pub(crate) struct LayerSplit {
     /// Grouping-head rules (run once, up front).
-    pub grouping: Vec<RulePlan>,
+    pub grouping: Vec<usize>,
     /// Simple-head rules (run to fixpoint).
-    pub rest: Vec<RulePlan>,
+    pub rest: Vec<usize>,
     /// Head predicates of the fixpoint rules — the semi-naive deltas.
     pub preds: FastSet<Symbol>,
 }
 
-impl LayerPlans {
-    pub(crate) fn compile(program: &Program, rule_ids: &[usize]) -> Result<LayerPlans, EvalError> {
+impl LayerSplit {
+    pub(crate) fn classify(program: &Program, rule_ids: &[usize]) -> LayerSplit {
         let mut grouping = Vec::new();
         let mut rest = Vec::new();
         let mut preds: FastSet<Symbol> = FastSet::default();
         for &ri in rule_ids {
             let rule = &program.rules[ri];
-            let plan = RulePlan::compile(rule)?;
             // Predicates defined by *fixpoint* rules in this layer are the
             // ones whose deltas drive semi-naive iteration. Grouping heads
-            // are excluded: they are computed once, up front.
-            match plan.head_kind {
-                HeadKind::Grouping { .. } => grouping.push(plan),
-                HeadKind::Simple => {
-                    preds.insert(rule.head.pred);
-                    rest.push(plan);
-                }
+            // are excluded: they are computed once, up front. (A malformed
+            // multi-grouping head classifies as grouping and fails with a
+            // diagnostic when its plan is compiled.)
+            if rule.head.simple_group_positions().is_empty() {
+                preds.insert(rule.head.pred);
+                rest.push(ri);
+            } else {
+                grouping.push(ri);
             }
         }
-        Ok(LayerPlans {
+        LayerSplit {
             grouping,
             rest,
             preds,
-        })
+        }
     }
 
     /// Pre-create head relations (so negation/containment tests see empty
     /// relations rather than missing ones), checking arity consistency.
-    pub(crate) fn ensure_head_relations(&self, db: &mut Database) -> Result<(), EvalError> {
-        for plan in self.grouping.iter().chain(&self.rest) {
-            let arity = plan.head.arity();
-            let existing = db.relation(plan.head.pred).map(|r| r.arity());
+    pub(crate) fn ensure_head_relations(
+        &self,
+        program: &Program,
+        db: &mut Database,
+    ) -> Result<(), EvalError> {
+        for &ri in self.grouping.iter().chain(&self.rest) {
+            let head = &program.rules[ri].head;
+            let arity = head.arity();
+            let existing = db.relation(head.pred).map(|r| r.arity());
             if let Some(a) = existing {
                 if a != arity {
                     return Err(EvalError::ArityMismatch {
-                        pred: plan.head.pred.to_string(),
+                        pred: head.pred.to_string(),
                         expected: a,
                         found: arity,
                     });
                 }
             }
-            db.relation_mut(plan.head.pred, arity);
+            db.relation_mut(head.pred, arity);
         }
         Ok(())
     }
+}
+
+/// Compiled-plan cache for one evaluation (or incremental-update) drive.
+///
+/// Keyed by `(rule id, role)`: role 0 is the full round-0 plan, role
+/// `occ + 1` the delta-first variant pinning body literal `occ` as step 0.
+/// Each entry remembers the statistics epoch of every body relation at
+/// compile time; a lookup re-costs the plan only when one of those epochs
+/// has drifted (relations bump their epoch geometrically on growth, so a
+/// stabilizing fixpoint stops re-planning after O(log n) rounds).
+#[derive(Default)]
+pub(crate) struct PlanCache {
+    map: FastMap<(usize, usize), CacheEntry>,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that compiled a plan for the first time.
+    pub misses: u64,
+    /// Cached plans discarded because a body relation's epoch drifted.
+    pub replans: u64,
+}
+
+struct CacheEntry {
+    /// Per body relation literal (in body order): the relation's
+    /// `stats_epoch` when the plan was compiled.
+    epochs: Vec<u64>,
+    plan: Arc<RulePlan>,
+}
+
+impl PlanCache {
+    /// The plan for `(rule_id, role)`, compiled against `db`'s current
+    /// statistics — cached, or (re)compiled when absent or stale.
+    pub(crate) fn get(
+        &mut self,
+        program: &Program,
+        rule_id: usize,
+        role: usize,
+        db: &Database,
+        cost_based: bool,
+    ) -> Result<Arc<RulePlan>, EvalError> {
+        use std::collections::hash_map::Entry;
+        let rule = &program.rules[rule_id];
+        let epochs = body_epochs(rule, db);
+        match self.map.entry((rule_id, role)) {
+            Entry::Occupied(mut e) => {
+                if e.get().epochs == epochs {
+                    self.hits += 1;
+                    return Ok(e.get().plan.clone());
+                }
+                self.replans += 1;
+                let plan = Arc::new(RulePlan::compile_with(
+                    rule,
+                    Some(db),
+                    cost_based,
+                    role.checked_sub(1),
+                )?);
+                e.insert(CacheEntry {
+                    epochs,
+                    plan: plan.clone(),
+                });
+                Ok(plan)
+            }
+            Entry::Vacant(v) => {
+                self.misses += 1;
+                let plan = Arc::new(RulePlan::compile_with(
+                    rule,
+                    Some(db),
+                    cost_based,
+                    role.checked_sub(1),
+                )?);
+                v.insert(CacheEntry {
+                    epochs,
+                    plan: plan.clone(),
+                });
+                Ok(plan)
+            }
+        }
+    }
+
+    /// Fold the cache's counters into an [`EvalStats`].
+    pub(crate) fn fold_into(&self, stats: &mut EvalStats) {
+        stats.plan_cache_hits += self.hits;
+        stats.plan_cache_misses += self.misses;
+        stats.plan_replans += self.replans;
+    }
+}
+
+/// The statistics epoch of each body *relation* literal, in body order.
+fn body_epochs(rule: &Rule, db: &Database) -> Vec<u64> {
+    rule.body
+        .iter()
+        .filter(|l| Builtin::resolve(l.atom.pred, l.atom.arity()).is_none())
+        .map(|l| db.stats_epoch(l.atom.pred))
+        .collect()
 }
 
 /// Evaluate `program` bottom-up over `edb` using the given layering,
@@ -114,24 +218,165 @@ pub fn evaluate_layers(
     stats: &mut EvalStats,
 ) -> Result<(), EvalError> {
     let pool = Pool::new(opts.effective_parallelism());
+    let mut cache = PlanCache::default();
     for layer_rules in strat.rules_by_layer.iter().skip(from) {
-        let plans = LayerPlans::compile(program, layer_rules)?;
-        plans.ensure_head_relations(db)?;
+        let split = LayerSplit::classify(program, layer_rules);
+        split.ensure_head_relations(program, db)?;
 
         // Lemma 3.2.3: grouping rules first, once, over the lower layers.
         // Admissibility (§3.1 clause 2) puts every grouping body predicate
         // strictly below this layer, so the grouping rules cannot observe
         // each other's heads — one parallel round, merged in rule order.
-        ensure_indexes(&plans.grouping, db);
-        run_grouping_round(&plans.grouping, db, &pool, opts, stats);
+        let gplans = lookup_round_plans(&split.grouping, program, &mut cache, db, opts)?;
+        run_grouping_round(&gplans, db, &pool, opts, stats);
 
         // Then the remaining rules to fixpoint.
-        ensure_indexes(&plans.rest, db);
         if opts.semi_naive {
-            semi_naive_pooled(&plans.rest, &plans.preds, db, &pool, opts, stats);
+            semi_naive_cached(program, &split, &mut cache, db, &pool, opts, stats)?;
         } else {
-            naive_pooled(&plans.rest, db, &pool, opts, stats);
+            naive_cached(program, &split, &mut cache, db, &pool, opts, stats)?;
         }
+    }
+    cache.fold_into(stats);
+    Ok(())
+}
+
+/// Look up the role-0 (full) plan of every rule in `rule_ids` against the
+/// database's current statistics, building any indexes the plans probe.
+pub(crate) fn lookup_round_plans(
+    rule_ids: &[usize],
+    program: &Program,
+    cache: &mut PlanCache,
+    db: &mut Database,
+    opts: &EvalOptions,
+) -> Result<Vec<Arc<RulePlan>>, EvalError> {
+    let mut plans = Vec::with_capacity(rule_ids.len());
+    for &ri in rule_ids {
+        let plan = cache.get(program, ri, 0, db, opts.cost_based)?;
+        ensure_plan_indexes(&plan, db);
+        plans.push(plan);
+    }
+    Ok(plans)
+}
+
+/// Naive iteration over cached, re-costable plans.
+fn naive_cached(
+    program: &Program,
+    split: &LayerSplit,
+    cache: &mut PlanCache,
+    db: &mut Database,
+    pool: &Pool,
+    opts: &EvalOptions,
+    stats: &mut EvalStats,
+) -> Result<(), EvalError> {
+    loop {
+        let plans = lookup_round_plans(&split.rest, program, cache, db, opts)?;
+        let tasks: Vec<RoundTask<'_>> = plans
+            .iter()
+            .map(|plan| RoundTask {
+                plan,
+                restrict: None,
+            })
+            .collect();
+        if run_round(&tasks, db, pool, opts, stats) == 0 {
+            return Ok(());
+        }
+    }
+}
+
+/// Semi-naive iteration over cached, re-costable plans: a full round 0,
+/// then the delta loop.
+#[allow(clippy::too_many_arguments)]
+fn semi_naive_cached(
+    program: &Program,
+    split: &LayerSplit,
+    cache: &mut PlanCache,
+    db: &mut Database,
+    pool: &Pool,
+    opts: &EvalOptions,
+    stats: &mut EvalStats,
+) -> Result<(), EvalError> {
+    let delta_lo: FastMap<Symbol, usize> =
+        split.preds.iter().map(|&p| (p, len_of(db, p))).collect();
+    let plans = lookup_round_plans(&split.rest, program, cache, db, opts)?;
+    let tasks: Vec<RoundTask<'_>> = plans
+        .iter()
+        .map(|plan| RoundTask {
+            plan,
+            restrict: None,
+        })
+        .collect();
+    run_round(&tasks, db, pool, opts, stats);
+    drop(tasks);
+    drop(plans);
+    delta_loop_cached(program, split, cache, db, delta_lo, pool, opts, stats)
+}
+
+/// The cached semi-naive delta loop: each round looks its delta-first plan
+/// variants up in the cache (re-costing them when the statistics epoch of a
+/// body relation drifted since the last round) and runs one delta-restricted
+/// pass per occurrence of a layer predicate with new tuples. Shared between
+/// [`evaluate_layers`] and the incremental driver's delta propagation.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn delta_loop_cached(
+    program: &Program,
+    split: &LayerSplit,
+    cache: &mut PlanCache,
+    db: &mut Database,
+    mut delta_lo: FastMap<Symbol, usize>,
+    pool: &Pool,
+    opts: &EvalOptions,
+    stats: &mut EvalStats,
+) -> Result<(), EvalError> {
+    // The delta occurrences: (rule id, body literal index) of every
+    // positive relation literal over a predicate defined in this layer.
+    let occs: Vec<(usize, usize, Symbol)> = split
+        .rest
+        .iter()
+        .flat_map(|&ri| {
+            program.rules[ri]
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| {
+                    l.positive
+                        && Builtin::resolve(l.atom.pred, l.atom.arity()).is_none()
+                        && split.preds.contains(&l.atom.pred)
+                })
+                .map(move |(occ, l)| (ri, occ, l.atom.pred))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    loop {
+        let delta_hi: FastMap<Symbol, usize> =
+            split.preds.iter().map(|&p| (p, len_of(db, p))).collect();
+        if delta_hi == delta_lo {
+            break; // previous round derived nothing new
+        }
+        // Non-recursive rules are complete after round 0. All delta passes
+        // of one round read the same snapshot; cross-delta derivations
+        // (one new tuple per pass) surface in the next round's frontier.
+        let mut round_plans: Vec<(Arc<RulePlan>, DeltaRestriction)> = Vec::new();
+        for &(ri, occ, pred) in &occs {
+            let (lo, hi) = (delta_lo[&pred] as u32, delta_hi[&pred] as u32);
+            if lo >= hi {
+                continue; // no new facts feed this literal
+            }
+            let plan = cache.get(program, ri, occ + 1, db, opts.cost_based)?;
+            ensure_plan_indexes(&plan, db);
+            // The forced delta literal is always step 0.
+            round_plans.push((plan, DeltaRestriction { step: 0, lo, hi }));
+        }
+        let tasks: Vec<RoundTask<'_>> = round_plans
+            .iter()
+            .map(|(plan, restrict)| RoundTask {
+                plan,
+                restrict: Some(*restrict),
+            })
+            .collect();
+        run_round(&tasks, db, pool, opts, stats);
+        delta_lo = delta_hi;
     }
     Ok(())
 }
@@ -173,16 +418,17 @@ impl DerivedBuf {
 }
 
 /// Evaluate `plan` against an immutable `db`, returning the id-tuples its
-/// head derives (in body-solution order, duplicates included) and the
-/// number of index probes the pass performed. This is the parallel work
-/// unit: it never mutates anything.
+/// head derives (in body-solution order, duplicates included) plus the
+/// index probes and existential short-circuits the pass performed. This is
+/// the parallel work unit: it never mutates anything.
 pub(crate) fn derive_once(
     plan: &RulePlan,
     db: &Database,
     restrict: Option<DeltaRestriction>,
     use_indexes: bool,
-) -> (DerivedBuf, u64) {
+) -> (DerivedBuf, u64, u64) {
     take_index_probes(); // discard counts from unrelated callers
+    take_exist_cuts();
     let mut derived = DerivedBuf {
         arity: plan.head.arity(),
         data: Vec::new(),
@@ -205,7 +451,7 @@ pub(crate) fn derive_once(
         }
         derived.count += 1;
     });
-    (derived, take_index_probes())
+    (derived, take_index_probes(), take_exist_cuts())
 }
 
 /// Below this many delta tuples a pass is not worth splitting across
@@ -278,7 +524,7 @@ pub(crate) fn run_round(
     stats.parallel_tasks += units.len() as u64;
 
     // Derive phase: immutable snapshot, one buffer per unit.
-    let mut buffers: Vec<(DerivedBuf, u64)> = Vec::new();
+    let mut buffers: Vec<(DerivedBuf, u64, u64)> = Vec::new();
     buffers.resize_with(units.len(), Default::default);
     if pool.parallelism() == 1 || units.len() <= 1 {
         for ((plan, restrict), buf) in units.iter().zip(&mut buffers) {
@@ -304,8 +550,9 @@ pub(crate) fn run_round(
     // hash of a few u32s.
     let mut new = 0;
     let mut dedup = 0;
-    for ((plan, _), (buf, probes)) in units.iter().zip(buffers) {
+    for ((plan, _), (buf, probes, cuts)) in units.iter().zip(buffers) {
         stats.index_probes += probes;
+        stats.exist_cuts += cuts;
         let pred = plan.head.pred;
         buf.for_each(&mut |t| {
             if db.insert_id_slice(pred, t) {
@@ -322,7 +569,7 @@ pub(crate) fn run_round(
 
 /// Apply every grouping rule of a layer once, in one parallel round.
 fn run_grouping_round(
-    plans: &[RulePlan],
+    plans: &[Arc<RulePlan>],
     db: &mut Database,
     pool: &Pool,
     opts: &EvalOptions,
@@ -337,13 +584,14 @@ fn run_grouping_round(
     // A grouping rule must see *all* body solutions of its group in one
     // task (the aggregation is not decomposable), so the unit is the whole
     // rule — never a delta slice.
-    let mut buffers: Vec<(Vec<Tuple>, u64)> = Vec::new();
+    let mut buffers: Vec<(Vec<Tuple>, u64, u64)> = Vec::new();
     buffers.resize_with(plans.len(), Default::default);
     if pool.parallelism() == 1 || plans.len() <= 1 {
         for (plan, buf) in plans.iter().zip(&mut buffers) {
             take_index_probes();
+            take_exist_cuts();
             let out = run_grouping_rule(plan, db, opts.use_indexes);
-            *buf = (out, take_index_probes());
+            *buf = (out, take_index_probes(), take_exist_cuts());
         }
     } else {
         let snapshot: &Database = db;
@@ -354,15 +602,17 @@ fn run_grouping_round(
             .map(|(plan, buf)| {
                 Box::new(move || {
                     take_index_probes();
+                    take_exist_cuts();
                     let out = run_grouping_rule(plan, snapshot, use_indexes);
-                    *buf = (out, take_index_probes());
+                    *buf = (out, take_index_probes(), take_exist_cuts());
                 }) as Job<'_>
             })
             .collect();
         pool.run(jobs);
     }
-    for (plan, (buf, probes)) in plans.iter().zip(buffers) {
+    for (plan, (buf, probes, cuts)) in plans.iter().zip(buffers) {
         stats.index_probes += probes;
+        stats.exist_cuts += cuts;
         for t in buf {
             if db.insert_ids(plan.head.pred, t) {
                 stats.facts_derived += 1;
@@ -384,8 +634,9 @@ pub fn run_rule_once(
     opts: &EvalOptions,
     stats: &mut EvalStats,
 ) -> usize {
-    let (derived, probes) = derive_once(plan, db, restrict, opts.use_indexes);
+    let (derived, probes, cuts) = derive_once(plan, db, restrict, opts.use_indexes);
     stats.index_probes += probes;
+    stats.exist_cuts += cuts;
     let mut new = 0usize;
     let mut dedup = 0u64;
     derived.for_each(&mut |t| {

@@ -31,12 +31,14 @@ use ldl_stratify::{LayerSensitivity, Stratification};
 use ldl_value::fxhash::FastMap;
 use ldl_value::Symbol;
 
+use std::sync::Arc;
+
 use crate::engine::EvalOptions;
 use crate::error::EvalError;
 use crate::fixpoint::{
-    evaluate_layers, len_of, run_round, semi_naive_continue_pooled, LayerPlans, RoundTask,
+    delta_loop_cached, evaluate_layers, len_of, run_round, LayerSplit, PlanCache, RoundTask,
 };
-use crate::plan::{ensure_indexes, DeltaRestriction, RulePlan};
+use crate::plan::{ensure_plan_indexes, DeltaRestriction, RulePlan};
 use crate::pool::Pool;
 use crate::stats::EvalStats;
 
@@ -70,8 +72,10 @@ pub fn apply_update(
 ) -> Result<(), EvalError> {
     debug_assert_eq!(sens.len(), strat.num_layers());
     let pool = Pool::new(opts.effective_parallelism());
+    let mut cache = PlanCache::default();
     for (k, sens_k) in sens.iter().enumerate() {
         if changed.keys().any(|&p| sens_k.requires_replay_for(p)) {
+            cache.fold_into(stats);
             return replay_from(program, strat, edb, db, k, opts, stats);
         }
         if !changed.keys().any(|p| sens_k.positive.contains(p)) {
@@ -82,30 +86,35 @@ pub fn apply_update(
         // Monotone delta propagation. Grouping rules of this layer are
         // untouched: their body predicates are all unchanged (otherwise the
         // replay branch above would have fired).
-        let plans = LayerPlans::compile(program, &strat.rules_by_layer[k])?;
-        plans.ensure_head_relations(db)?;
-        ensure_indexes(&plans.rest, db);
+        let split = LayerSplit::classify(program, &strat.rules_by_layer[k]);
+        split.ensure_head_relations(program, db)?;
 
-        let pre: DeltaFrontier = plans.preds.iter().map(|&p| (p, len_of(db, p))).collect();
+        let pre: DeltaFrontier = split.preds.iter().map(|&p| (p, len_of(db, p))).collect();
 
         // Seed: one delta-restricted pass per occurrence of a changed
         // predicate in a rule body. Restricting one occurrence at a time
         // while the others see the full (new-tuple-inclusive) relation
         // covers every derivation that uses at least one new tuple. Each
-        // pass runs a delta-first plan variant, so its cost is
-        // proportional to the delta, not to the database. All seed passes
-        // read the same snapshot, so they run as one parallel round;
-        // anything a seed pass derives lands above `pre` and is picked up
-        // by the semi-naive continuation below.
-        let mut seed: Vec<(RulePlan, DeltaRestriction)> = Vec::new();
-        for plan in &plans.rest {
-            for &(step, pred) in &plan.scan_steps {
-                if let Some(&lo) = changed.get(&pred) {
-                    let hi = len_of(db, pred) as u32;
+        // pass runs a delta-first plan variant — the same cached role the
+        // semi-naive loop uses, so its cost is proportional to the delta,
+        // not to the database. All seed passes read the same snapshot, so
+        // they run as one parallel round; anything a seed pass derives
+        // lands above `pre` and is picked up by the delta loop below.
+        let mut seed: Vec<(Arc<RulePlan>, DeltaRestriction)> = Vec::new();
+        for &ri in &split.rest {
+            for (occ, lit) in program.rules[ri].body.iter().enumerate() {
+                if !lit.positive
+                    || ldl_ast::program::Builtin::resolve(lit.atom.pred, lit.atom.arity()).is_some()
+                {
+                    continue;
+                }
+                if let Some(&lo) = changed.get(&lit.atom.pred) {
+                    let hi = len_of(db, lit.atom.pred) as u32;
                     if (lo as u32) < hi {
-                        let variant = plan.delta_first(step);
+                        let variant = cache.get(program, ri, occ + 1, db, opts.cost_based)?;
+                        ensure_plan_indexes(&variant, db);
                         let restrict = DeltaRestriction {
-                            step: variant.scan_steps[0].0,
+                            step: 0,
                             lo: lo as u32,
                             hi,
                         };
@@ -113,9 +122,6 @@ pub fn apply_update(
                     }
                 }
             }
-        }
-        for (variant, _) in &seed {
-            ensure_indexes(std::slice::from_ref(variant), db);
         }
         let tasks: Vec<RoundTask<'_>> = seed
             .iter()
@@ -125,29 +131,34 @@ pub fn apply_update(
             })
             .collect();
         run_round(&tasks, db, &pool, opts, stats);
+        drop(tasks);
+        drop(seed);
 
         // Everything the seed round derived sits above `pre`; let the
-        // ordinary semi-naive loop run the layer to fixpoint from there.
-        semi_naive_continue_pooled(
-            &plans.rest,
-            &plans.preds,
+        // ordinary semi-naive delta loop run the layer to fixpoint from
+        // there.
+        delta_loop_cached(
+            program,
+            &split,
+            &mut cache,
             db,
             pre.clone(),
             &pool,
             opts,
             stats,
-        );
+        )?;
         stats.strata_delta += 1;
 
         // New facts of this layer's predicates join the frontier for the
         // layers above. (A predicate already in `changed` — new EDB tuples
         // for an IDB predicate — keeps its earlier, lower mark.)
-        for &p in &plans.preds {
+        for &p in &split.preds {
             if len_of(db, p) > pre[&p] {
                 changed.entry(p).or_insert(pre[&p]);
             }
         }
     }
+    cache.fold_into(stats);
     Ok(())
 }
 

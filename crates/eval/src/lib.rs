@@ -24,6 +24,7 @@ pub mod bindings;
 pub mod builtins;
 pub mod engine;
 pub mod error;
+pub mod explain;
 pub mod fixpoint;
 pub mod grouping;
 pub mod incremental;
@@ -35,6 +36,7 @@ pub mod unify;
 
 pub use engine::{EvalOptions, Evaluator, QueryAnswer};
 pub use error::EvalError;
+pub use explain::explain;
 pub use incremental::{apply_update, DeltaFrontier};
 pub use model::{check_model, ModelViolation};
 pub use stats::EvalStats;

@@ -14,10 +14,25 @@
 //! If no executable literal remains, the rule is *unschedulable* — e.g.
 //! `q(X) <- X < 3` — and compilation fails with a diagnostic rather than
 //! evaluation silently misbehaving.
+//!
+//! With a database at hand ([`RulePlan::compile_with`]) the planner is
+//! *cost-based*: among the executable relation literals it picks the one
+//! with the smallest **estimated output cardinality** — `len(R)` for an
+//! unbound scan, `len(R) / distinct(bound columns)` for an indexable one,
+//! using the per-column distinct-value sketches `ldl-storage` maintains on
+//! insert. Ties (and the statistics-free greedy mode) break by relation
+//! size, then by source literal order — never by anything
+//! evaluation-order-dependent, so any worker count compiles the same plan.
+//!
+//! Plans also carry an *existential tail*: the first step index after which
+//! no head or grouping variable can be bound ([`RulePlan::exist_from`]).
+//! From that point every body solution projects to the same head tuple, so
+//! execution switches to a semi-join existence check that stops at the
+//! first witness instead of enumerating all matches.
 
 use std::cell::Cell;
 
-use ldl_ast::literal::Atom;
+use ldl_ast::literal::{Atom, Literal};
 use ldl_ast::program::Builtin;
 use ldl_ast::rule::Rule;
 use ldl_ast::term::{Term, Var};
@@ -43,6 +58,21 @@ pub fn take_index_probes() -> u64 {
     INDEX_PROBES.with(|c| c.replace(0))
 }
 
+thread_local! {
+    /// Existential short-circuits taken on this thread since the last
+    /// [`take_exist_cuts`]: body-tail existence checks that found a witness
+    /// and stopped. Drained per work unit like [`INDEX_PROBES`], so the
+    /// summed total is deterministic at any worker count (up to delta
+    /// slicing of ground-head rules — see `EvalStats::exist_cuts`).
+    static EXIST_CUTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Drain this thread's existential-cut counter (returns the count, resets
+/// to 0).
+pub fn take_exist_cuts() -> u64 {
+    EXIST_CUTS.with(|c| c.replace(0))
+}
+
 /// One executable body step.
 #[derive(Clone, Debug)]
 pub enum Step {
@@ -63,6 +93,11 @@ pub enum Step {
         pred: Symbol,
         /// The ground (or `_`-existential) argument patterns.
         args: Vec<Term>,
+        /// For `_`-existential negation only: the ground column positions,
+        /// probed through an index so the existence test inspects one
+        /// posting list instead of the whole relation. Empty for the plain
+        /// all-ground case (that is a single hash containment test already).
+        index_cols: Vec<usize>,
     },
     /// A built-in literal (possibly negated: then it must be fully bound and
     /// acts as a filter).
@@ -103,12 +138,57 @@ pub struct RulePlan {
     /// Positions (into `steps`) of positive relation literals, paired with
     /// their predicate — the candidates for semi-naive delta restriction.
     pub scan_steps: Vec<(usize, Symbol)>,
+    /// First step of the *existential tail*: steps `exist_from..` bind no
+    /// head (or grouping) variable, so for each prefix solution the head
+    /// tuple is already fully determined and execution stops at the first
+    /// witness instead of enumerating every remaining match. `steps.len()`
+    /// means no tail (always the case for greedy-compiled plans, which keep
+    /// the ablation comparison clean).
+    pub exist_from: usize,
+    /// Estimated output cardinality per step at compile time, parallel to
+    /// `steps`. `-1.0` where no estimate applies: built-ins, negation,
+    /// statistics-free compiles, and delta-restricted first steps (their
+    /// cardinality is the delta's, unknown at compile time).
+    pub est_rows: Vec<f64>,
 }
 
 impl RulePlan {
-    /// Compile one rule. `is_stored(p, n)` must say whether `p/n` is a
-    /// stored (EDB or IDB) predicate rather than a built-in.
+    /// Compile one rule with the statistics-free greedy planner: ties
+    /// between equally-bound scans keep source literal order, and no
+    /// existential tail is computed. This is the legacy entry point (magic
+    /// sets and ad-hoc callers); the fixpoint drivers use
+    /// [`RulePlan::compile_with`].
     pub fn compile(rule: &Rule) -> Result<RulePlan, EvalError> {
+        RulePlan::compile_with(rule, None, false, None)
+    }
+
+    /// Compile one rule, optionally cost-based.
+    ///
+    /// * `db` supplies relation statistics — tuple counts and the
+    ///   per-column distinct-value sketches `ldl-storage` maintains on
+    ///   insert. Without it every estimate degrades to zero and only the
+    ///   class priorities order the body.
+    /// * `cost_based` orders relation scans by estimated output cardinality
+    ///   (`len / distinct(bound columns)`) instead of bound-argument count,
+    ///   and computes the plan's existential tail
+    ///   ([`RulePlan::exist_from`]). Greedy plans disable the tail so the
+    ///   ablation configuration measures ordering and short-circuiting
+    ///   together.
+    /// * `force_first` pins one body literal (an index into `rule.body`,
+    ///   which must be a positive relation literal) as step 0 — the
+    ///   delta-first shape of semi-naive evaluation — and plans the rest
+    ///   around the bindings it provides.
+    ///
+    /// Tie-breaking is fully deterministic: class priority, then estimated
+    /// cost, then relation size, then source literal order. Nothing depends
+    /// on worker count or map iteration order, so every configuration
+    /// compiles bit-for-bit identical plans.
+    pub fn compile_with(
+        rule: &Rule,
+        db: Option<&Database>,
+        cost_based: bool,
+        force_first: Option<usize>,
+    ) -> Result<RulePlan, EvalError> {
         let head_kind = match rule.head.simple_group_positions().as_slice() {
             [] => HeadKind::Simple,
             [(pos, var)] => HeadKind::Grouping {
@@ -126,58 +206,72 @@ impl RulePlan {
         let mut remaining: Vec<usize> = (0..rule.body.len()).collect();
         let mut bound: FastSet<Var> = FastSet::default();
         let mut steps = Vec::with_capacity(rule.body.len());
+        let mut est_rows = Vec::with_capacity(rule.body.len());
 
-        let term_bound = |t: &Term, bound: &FastSet<Var>| -> bool {
-            let mut vs = Vec::new();
-            t.vars(&mut vs);
-            // `_` never binds and `<t>` patterns are multi-valued: neither
-            // can be evaluated to a single key value.
-            !has_anon(t) && !t.has_group() && vs.iter().all(|v| bound.contains(v))
-        };
+        if let Some(li) = force_first {
+            let lit = &rule.body[li];
+            debug_assert!(
+                lit.positive && Builtin::resolve(lit.atom.pred, lit.atom.arity()).is_none(),
+                "force_first must name a positive relation literal"
+            );
+            remaining.retain(|&x| x != li);
+            steps.push(emit_step(lit, &mut bound));
+            est_rows.push(-1.0); // restricted to a delta range at run time
+        }
 
         while !remaining.is_empty() {
             // Score each remaining literal; pick the best executable one.
-            let mut best: Option<(usize, i32)> = None;
+            // A score is (class, estimated cost, relation size): maximize
+            // class, then minimize cost, then size. Scanning `remaining` in
+            // source order with strict-improvement updates keeps the
+            // earliest literal on full ties.
+            let mut best: Option<(usize, (i32, f64, u64))> = None;
             for (ri, &li) in remaining.iter().enumerate() {
                 let lit = &rule.body[li];
                 let builtin = Builtin::resolve(lit.atom.pred, lit.atom.arity());
                 let all_vars_bound = lit.vars().iter().all(|v| bound.contains(v));
-                let score = match builtin {
+                let score: Option<(i32, f64, u64)> = match builtin {
                     Some(bi) => {
                         if lit.positive {
                             if all_vars_bound {
-                                Some(100)
+                                Some((100, 0.0, 0))
                             } else if can_schedule(bi, &lit.atom.args, &|t| term_bound(t, &bound)) {
-                                Some(50)
+                                Some((50, 0.0, 0))
                             } else {
                                 None
                             }
                         } else {
                             // Negated built-in: pure filter, needs groundness.
-                            all_vars_bound.then_some(100)
+                            all_vars_bound.then_some((100, 0.0, 0))
                         }
                     }
                     None => {
                         if lit.positive {
-                            let bound_args = lit
-                                .atom
-                                .args
-                                .iter()
-                                .filter(|t| term_bound(t, &bound))
-                                .count() as i32;
+                            let len = relation_len(db, lit.atom.pred);
                             if all_vars_bound {
                                 // Pure containment check: as cheap as a filter.
-                                Some(95)
+                                Some((95, 0.0, len))
+                            } else if cost_based {
+                                let cols = bound_cols(&lit.atom.args, &bound);
+                                let cost = scan_estimate(db, lit.atom.pred, &cols).unwrap_or(0.0);
+                                Some((10, cost, len))
                             } else {
-                                Some(10 + bound_args)
+                                let bound_args = bound_cols(&lit.atom.args, &bound).len() as i32;
+                                Some((10 + bound_args, 0.0, len))
                             }
                         } else {
-                            all_vars_bound.then_some(90)
+                            all_vars_bound.then_some((90, 0.0, 0))
                         }
                     }
                 };
                 if let Some(s) = score {
-                    if best.is_none_or(|(_, bs)| s > bs) {
+                    let better = match best {
+                        None => true,
+                        Some((_, b)) => {
+                            s.0 > b.0 || (s.0 == b.0 && (s.1 < b.1 || (s.1 == b.1 && s.2 < b.2)))
+                        }
+                    };
+                    if better {
                         best = Some((ri, s));
                     }
                 }
@@ -197,42 +291,15 @@ impl RulePlan {
             };
             let li = remaining.remove(ri);
             let lit = &rule.body[li];
-            let builtin = Builtin::resolve(lit.atom.pred, lit.atom.arity());
-            let step = match builtin {
-                Some(bi) => Step::BuiltinStep {
-                    builtin: bi,
-                    args: lit.atom.args.clone(),
-                    negated: !lit.positive,
-                },
-                None if lit.positive => {
-                    let index_cols: Vec<usize> = lit
-                        .atom
-                        .args
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, t)| term_bound(t, &bound))
-                        .map(|(i, _)| i)
-                        .collect();
-                    Step::Scan {
-                        pred: lit.atom.pred,
-                        args: lit.atom.args.clone(),
-                        index_cols,
-                    }
-                }
-                None => Step::NegScan {
-                    pred: lit.atom.pred,
-                    args: lit.atom.args.clone(),
-                },
+            let est = if lit.positive && Builtin::resolve(lit.atom.pred, lit.atom.arity()).is_none()
+            {
+                scan_estimate(db, lit.atom.pred, &bound_cols(&lit.atom.args, &bound))
+                    .unwrap_or(-1.0)
+            } else {
+                -1.0
             };
-            // All variables of the chosen literal become bound (positive
-            // literals bind by matching; built-ins bind via their modes;
-            // negation binds nothing but required groundness anyway).
-            if lit.positive {
-                for v in lit.vars() {
-                    bound.insert(v);
-                }
-            }
-            steps.push(step);
+            steps.push(emit_step(lit, &mut bound));
+            est_rows.push(est);
         }
 
         let scan_steps = steps
@@ -243,12 +310,19 @@ impl RulePlan {
                 _ => None,
             })
             .collect();
+        let exist_from = if cost_based {
+            compute_exist_from(&rule.head, &steps)
+        } else {
+            steps.len()
+        };
 
         Ok(RulePlan {
             head: rule.head.clone(),
             head_kind,
             steps,
             scan_steps,
+            exist_from,
+            est_rows,
         })
     }
 
@@ -267,16 +341,14 @@ impl RulePlan {
         let mut steps = self.steps.clone();
         let moved = steps.remove(step);
         steps.insert(0, moved);
+        let mut est_rows = self.est_rows.clone();
+        let moved_est = est_rows.remove(step);
+        est_rows.insert(0, moved_est);
 
         // Recompute which argument positions are bound (probeable) at each
         // scan, mirroring `compile`'s bookkeeping: positive steps bind all
         // their variables, negation binds nothing.
         let mut bound: FastSet<Var> = FastSet::default();
-        let term_bound = |t: &Term, bound: &FastSet<Var>| -> bool {
-            let mut vs = Vec::new();
-            t.vars(&mut vs);
-            !has_anon(t) && !t.has_group() && vs.iter().all(|v| bound.contains(v))
-        };
         let bind_all = |args: &[Term], bound: &mut FastSet<Var>| {
             let mut vs = Vec::new();
             for t in args {
@@ -289,12 +361,7 @@ impl RulePlan {
                 Step::Scan {
                     args, index_cols, ..
                 } => {
-                    *index_cols = args
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, t)| term_bound(t, &bound))
-                        .map(|(i, _)| i)
-                        .collect();
+                    *index_cols = bound_cols(args, &bound);
                     bind_all(args, &mut bound);
                 }
                 Step::BuiltinStep { args, negated, .. } => {
@@ -302,7 +369,15 @@ impl RulePlan {
                         bind_all(args, &mut bound);
                     }
                 }
-                Step::NegScan { .. } => {}
+                Step::NegScan {
+                    args, index_cols, ..
+                } => {
+                    *index_cols = if args.iter().any(has_anon) {
+                        bound_cols(args, &bound)
+                    } else {
+                        Vec::new()
+                    };
+                }
             }
         }
 
@@ -314,11 +389,20 @@ impl RulePlan {
                 _ => None,
             })
             .collect();
+        // Re-derive the existential tail for the new order (disabled plans
+        // stay disabled: both lengths are the same).
+        let exist_from = if self.exist_from >= self.steps.len() {
+            steps.len()
+        } else {
+            compute_exist_from(&self.head, &steps)
+        };
         RulePlan {
             head: self.head.clone(),
             head_kind: self.head_kind.clone(),
             steps,
             scan_steps,
+            exist_from,
+            est_rows,
         }
     }
 
@@ -330,11 +414,115 @@ impl RulePlan {
             .filter_map(|s| match s {
                 Step::Scan {
                     pred, index_cols, ..
+                }
+                | Step::NegScan {
+                    pred, index_cols, ..
                 } if !index_cols.is_empty() => Some((*pred, index_cols.clone())),
                 _ => None,
             })
             .collect()
     }
+}
+
+/// Can `t` be evaluated to a single key value right now? `_` never binds
+/// and `<t>` patterns are multi-valued, so neither qualifies.
+fn term_bound(t: &Term, bound: &FastSet<Var>) -> bool {
+    let mut vs = Vec::new();
+    t.vars(&mut vs);
+    !has_anon(t) && !t.has_group() && vs.iter().all(|v| bound.contains(v))
+}
+
+/// The argument positions evaluable to key values under `bound` — index
+/// columns for a scan scheduled at this point.
+fn bound_cols(args: &[Term], bound: &FastSet<Var>) -> Vec<usize> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, t)| term_bound(t, bound))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Build the executable step for body literal `lit` given the variables
+/// bound so far, then mark the literal's variables bound (positive literals
+/// bind by matching or via built-in modes; negation binds nothing but
+/// required groundness anyway).
+fn emit_step(lit: &Literal, bound: &mut FastSet<Var>) -> Step {
+    let builtin = Builtin::resolve(lit.atom.pred, lit.atom.arity());
+    let step = match builtin {
+        Some(bi) => Step::BuiltinStep {
+            builtin: bi,
+            args: lit.atom.args.clone(),
+            negated: !lit.positive,
+        },
+        None if lit.positive => Step::Scan {
+            pred: lit.atom.pred,
+            args: lit.atom.args.clone(),
+            index_cols: bound_cols(&lit.atom.args, bound),
+        },
+        None => Step::NegScan {
+            pred: lit.atom.pred,
+            args: lit.atom.args.clone(),
+            index_cols: if lit.atom.args.iter().any(has_anon) {
+                bound_cols(&lit.atom.args, bound)
+            } else {
+                Vec::new()
+            },
+        },
+    };
+    if lit.positive {
+        for v in lit.vars() {
+            bound.insert(v);
+        }
+    }
+    step
+}
+
+/// `pred`'s current tuple count, `0` without statistics.
+fn relation_len(db: Option<&Database>, pred: Symbol) -> u64 {
+    db.and_then(|d| d.relation(pred))
+        .map_or(0, |r| r.len() as u64)
+}
+
+/// Estimated output cardinality of scanning `pred` with `cols` ground:
+/// `len / distinct(cols)` per the stored sketches (the per-key selectivity
+/// model), or plain `len` for a full scan. `None` when the relation is
+/// absent (no statistics at all).
+fn scan_estimate(db: Option<&Database>, pred: Symbol, cols: &[usize]) -> Option<f64> {
+    db?.scan_estimate(pred, cols)
+}
+
+/// The first step index after which every head (and grouping) variable is
+/// bound — the start of the plan's existential tail. `steps.len()` when the
+/// head needs the very last step's bindings (or is never covered, which
+/// well-formedness rules out but an unchecked program may exhibit — the
+/// tail is then simply disabled).
+fn compute_exist_from(head: &Atom, steps: &[Step]) -> usize {
+    let needed = head.vars();
+    let mut bound: FastSet<Var> = FastSet::default();
+    if needed.iter().all(|v| bound.contains(v)) {
+        return 0; // ground head: the whole body is one existence test
+    }
+    for (i, s) in steps.iter().enumerate() {
+        match s {
+            Step::Scan { args, .. }
+            | Step::BuiltinStep {
+                args,
+                negated: false,
+                ..
+            } => {
+                let mut vs = Vec::new();
+                for t in args {
+                    t.vars(&mut vs);
+                }
+                bound.extend(vs);
+            }
+            _ => {}
+        }
+        if needed.iter().all(|v| bound.contains(v)) {
+            return i + 1;
+        }
+    }
+    steps.len()
 }
 
 fn has_anon(t: &Term) -> bool {
@@ -394,6 +582,18 @@ fn run_steps(
     b: &mut Bindings,
     k: &mut dyn FnMut(&mut Bindings),
 ) {
+    if i == plan.exist_from && i < plan.steps.len() {
+        // Every remaining step binds no head/grouping variable: the head
+        // tuple is fully determined by `b`, so one witness suffices. The
+        // first-occurrence order of distinct head tuples is unchanged — a
+        // prefix solution either has a witness (the full enumeration would
+        // emit here too, possibly many times) or has none (neither emits).
+        if exists_steps(plan, i, db, restrict, use_indexes, b) {
+            EXIST_CUTS.with(|c| c.set(c.get() + 1));
+            k(b);
+        }
+        return;
+    }
     let Some(step) = plan.steps.get(i) else {
         k(b);
         return;
@@ -421,28 +621,10 @@ fn run_steps(
             };
             if use_indexes && !index_cols.is_empty() {
                 if let Some(idx) = rel.index(index_cols) {
-                    // Build the probe key in a stack buffer (keys are almost
-                    // always 1–3 columns — a probe allocates nothing); a key
-                    // term failing to evaluate (e.g. arithmetic overflow)
-                    // means no tuple can match.
                     let mut stack = [ValueId::FILLER; 8];
                     let mut heap: Vec<ValueId> = Vec::new();
-                    let key: &[ValueId] = if index_cols.len() <= stack.len() {
-                        for (slot, &c) in stack.iter_mut().zip(index_cols) {
-                            match eval_term(&args[c], b) {
-                                Some(v) => *slot = v,
-                                None => return,
-                            }
-                        }
-                        &stack[..index_cols.len()]
-                    } else {
-                        for &c in index_cols {
-                            match eval_term(&args[c], b) {
-                                Some(v) => heap.push(v),
-                                None => return,
-                            }
-                        }
-                        &heap
+                    let Some(key) = probe_key(args, index_cols, b, &mut stack, &mut heap) else {
+                        return;
                     };
                     INDEX_PROBES.with(|c| c.set(c.get() + 1));
                     for &pos in idx.probe(key) {
@@ -457,42 +639,12 @@ fn run_steps(
                 on_tuple(rel.get(pos), b);
             }
         }
-        Step::NegScan { pred, args } => {
-            // §3.2 (2′): ¬Bθ succeeds iff Bθ ∉ M. Named variables are bound
-            // here (planner guarantee); anonymous variables make this a
-            // negated *existential* — the shape of the paper's own §6 rule
-            // `young(X, <Y>) <- ¬a(X, Z), sg(X, Y)` when written safely as
-            // `~a(X, _)` ("X has no descendants").
-            if args.iter().any(has_anon) {
-                let present = db.relation(*pred).is_some_and(|rel| {
-                    let mut any = false;
-                    for tuple in rel.iter() {
-                        match_slice(args, tuple, b, &mut |_| any = true);
-                        if any {
-                            break;
-                        }
-                    }
-                    any
-                });
-                if !present {
-                    run_steps(plan, i + 1, db, restrict, use_indexes, b, k);
-                }
-                return;
-            }
-            let mut vals: Vec<ValueId> = Vec::with_capacity(args.len());
-            for t in args {
-                match eval_term(t, b) {
-                    Some(v) => vals.push(v),
-                    // An argument outside U: Bθ is not a U-fact, so it is
-                    // certainly not in M; the negation succeeds.
-                    None => {
-                        run_steps(plan, i + 1, db, restrict, use_indexes, b, k);
-                        return;
-                    }
-                }
-            }
-            let present = db.relation(*pred).is_some_and(|r| r.contains(&vals));
-            if !present {
+        Step::NegScan {
+            pred,
+            args,
+            index_cols,
+        } => {
+            if neg_holds(*pred, args, index_cols, db, use_indexes, b) {
                 run_steps(plan, i + 1, db, restrict, use_indexes, b, k);
             }
         }
@@ -516,14 +668,199 @@ fn run_steps(
     }
 }
 
+/// Evaluate the `cols` argument terms into a contiguous index probe key.
+/// Keys are almost always 1–3 columns, so `stack` makes the common probe
+/// allocation-free; `heap` is the spillover for wider keys. `None` if a key
+/// term fails to evaluate (e.g. arithmetic overflow) — no tuple can match.
+fn probe_key<'k>(
+    args: &[Term],
+    cols: &[usize],
+    b: &mut Bindings,
+    stack: &'k mut [ValueId; 8],
+    heap: &'k mut Vec<ValueId>,
+) -> Option<&'k [ValueId]> {
+    if cols.len() <= stack.len() {
+        for (slot, &c) in stack.iter_mut().zip(cols) {
+            *slot = eval_term(&args[c], b)?;
+        }
+        Some(&stack[..cols.len()])
+    } else {
+        for &c in cols {
+            heap.push(eval_term(&args[c], b)?);
+        }
+        Some(&heap[..])
+    }
+}
+
+/// §3.2 (2′): does ¬Bθ hold, i.e. is Bθ ∉ M? Named variables are bound here
+/// (planner guarantee); anonymous variables make this a negated
+/// *existential* — the shape of the paper's own §6 rule
+/// `young(X, <Y>) <- ¬a(X, Z), sg(X, Y)` when written safely as `~a(X, _)`
+/// ("X has no descendants"). The existential probes an index on the ground
+/// columns when one is available and stops at the first match either way.
+fn neg_holds(
+    pred: Symbol,
+    args: &[Term],
+    index_cols: &[usize],
+    db: &Database,
+    use_indexes: bool,
+    b: &mut Bindings,
+) -> bool {
+    if args.iter().any(has_anon) {
+        let present = db.relation(pred).is_some_and(|rel| {
+            if rel.is_empty() {
+                return false;
+            }
+            if use_indexes && !index_cols.is_empty() {
+                if let Some(idx) = rel.index(index_cols) {
+                    let mut stack = [ValueId::FILLER; 8];
+                    let mut heap: Vec<ValueId> = Vec::new();
+                    // A key term outside U ⇒ Bθ is not a U-fact ⇒ absent.
+                    let Some(key) = probe_key(args, index_cols, b, &mut stack, &mut heap) else {
+                        return false;
+                    };
+                    INDEX_PROBES.with(|c| c.set(c.get() + 1));
+                    let mut any = false;
+                    for &pos in idx.probe(key) {
+                        match_slice(args, rel.get(pos), b, &mut |_| any = true);
+                        if any {
+                            break;
+                        }
+                    }
+                    return any;
+                }
+            }
+            let mut any = false;
+            for tuple in rel.iter() {
+                match_slice(args, tuple, b, &mut |_| any = true);
+                if any {
+                    break;
+                }
+            }
+            any
+        });
+        return !present;
+    }
+    let mut vals: Vec<ValueId> = Vec::with_capacity(args.len());
+    for t in args {
+        match eval_term(t, b) {
+            Some(v) => vals.push(v),
+            // An argument outside U: Bθ is not a U-fact, so it is
+            // certainly not in M; the negation succeeds.
+            None => return true,
+        }
+    }
+    !db.relation(pred).is_some_and(|r| r.contains(&vals))
+}
+
+/// Does the plan tail `steps[i..]` have at least one solution under `b`?
+/// A short-circuiting mirror of [`run_steps`] (same index probing, same
+/// delta restriction) that stops at the first witness instead of
+/// enumerating — the executor for a plan's existential tail.
+fn exists_steps(
+    plan: &RulePlan,
+    i: usize,
+    db: &Database,
+    restrict: Option<DeltaRestriction>,
+    use_indexes: bool,
+    b: &mut Bindings,
+) -> bool {
+    let Some(step) = plan.steps.get(i) else {
+        return true;
+    };
+    match step {
+        Step::Scan {
+            pred,
+            args,
+            index_cols,
+        } => {
+            let Some(rel) = db.relation(*pred) else {
+                return false;
+            };
+            if rel.is_empty() {
+                return false;
+            }
+            let (lo, hi) = match restrict {
+                Some(r) if r.step == i => (r.lo, r.hi),
+                _ => (0, rel.len() as u32),
+            };
+            let witness = |tuple: &[ValueId], b: &mut Bindings| -> bool {
+                let mut found = false;
+                match_slice(args, tuple, b, &mut |b2| {
+                    // `<t>` patterns can match one tuple several ways; one
+                    // successful continuation is enough.
+                    if !found {
+                        found = exists_steps(plan, i + 1, db, restrict, use_indexes, b2);
+                    }
+                });
+                found
+            };
+            if use_indexes && !index_cols.is_empty() {
+                if let Some(idx) = rel.index(index_cols) {
+                    let mut stack = [ValueId::FILLER; 8];
+                    let mut heap: Vec<ValueId> = Vec::new();
+                    let Some(key) = probe_key(args, index_cols, b, &mut stack, &mut heap) else {
+                        return false;
+                    };
+                    INDEX_PROBES.with(|c| c.set(c.get() + 1));
+                    for &pos in idx.probe(key) {
+                        if pos >= lo && pos < hi && witness(rel.get(pos), b) {
+                            return true;
+                        }
+                    }
+                    return false;
+                }
+            }
+            for pos in lo..hi {
+                if witness(rel.get(pos), b) {
+                    return true;
+                }
+            }
+            false
+        }
+        Step::NegScan {
+            pred,
+            args,
+            index_cols,
+        } => {
+            neg_holds(*pred, args, index_cols, db, use_indexes, b)
+                && exists_steps(plan, i + 1, db, restrict, use_indexes, b)
+        }
+        Step::BuiltinStep {
+            builtin,
+            args,
+            negated,
+        } => {
+            if *negated {
+                let mut any = false;
+                eval_builtin(*builtin, args, b, &mut |_| any = true);
+                !any && exists_steps(plan, i + 1, db, restrict, use_indexes, b)
+            } else {
+                let mut found = false;
+                eval_builtin(*builtin, args, b, &mut |b2| {
+                    if !found {
+                        found = exists_steps(plan, i + 1, db, restrict, use_indexes, b2);
+                    }
+                });
+                found
+            }
+        }
+    }
+}
+
 /// Create every index a set of plans needs (call whenever new relations
 /// appear).
 pub fn ensure_indexes(plans: &[RulePlan], db: &mut Database) {
     for plan in plans {
-        for (pred, cols) in plan.required_indexes() {
-            if let Some(arity) = db.relation(pred).map(Relation::arity) {
-                db.relation_mut(pred, arity).ensure_index(&cols);
-            }
+        ensure_plan_indexes(plan, db);
+    }
+}
+
+/// Create every index one plan needs.
+pub fn ensure_plan_indexes(plan: &RulePlan, db: &mut Database) {
+    for (pred, cols) in plan.required_indexes() {
+        if let Some(arity) = db.relation(pred).map(Relation::arity) {
+            db.relation_mut(pred, arity).ensure_index(&cols);
         }
     }
 }
@@ -619,6 +956,120 @@ mod tests {
         assert_eq!(p.scan_steps.len(), 2);
         assert_eq!(p.scan_steps[0].1.as_str(), "r");
         assert_eq!(p.scan_steps[1].1.as_str(), "s");
+    }
+
+    #[test]
+    fn cost_ordering_prefers_small_estimated_output() {
+        use ldl_value::Value;
+        // Greedy schedules big(X, C) right after tag(C): one bound argument
+        // beats small's zero. The sketches know big's C column holds only 4
+        // distinct values, so probing it still yields ~len/4 rows while
+        // small yields 20 — cost ordering flips the join.
+        let mut db = Database::new();
+        for i in 0..400 {
+            db.insert_tuple("big", vec![Value::int(i), Value::int(i % 4)]);
+        }
+        for i in 0..20 {
+            db.insert_tuple("small", vec![Value::int(i)]);
+        }
+        db.insert_tuple("tag", vec![Value::int(0)]);
+        let rule = parse_rule("q(X) <- tag(C), big(X, C), small(X).").unwrap();
+        let order = |p: &RulePlan| -> Vec<String> {
+            p.steps
+                .iter()
+                .map(|s| match s {
+                    Step::Scan { pred, .. } => pred.to_string(),
+                    other => panic!("expected scan, got {other:?}"),
+                })
+                .collect()
+        };
+        let greedy = RulePlan::compile_with(&rule, Some(&db), false, None).unwrap();
+        assert_eq!(order(&greedy), ["tag", "big", "small"]);
+        assert_eq!(greedy.exist_from, greedy.steps.len());
+        let cost = RulePlan::compile_with(&rule, Some(&db), true, None).unwrap();
+        assert_eq!(order(&cost), ["tag", "small", "big"]);
+        // X is bound after small: the fully-bound big check is existential.
+        assert_eq!(cost.exist_from, 2);
+        assert!(cost.est_rows[1] >= 1.0 && cost.est_rows[1] <= 40.0);
+    }
+
+    #[test]
+    fn greedy_ties_break_by_relation_size_then_source_order() {
+        use ldl_value::Value;
+        let mut db = Database::new();
+        for i in 0..50 {
+            db.insert_tuple("r1", vec![Value::int(i)]);
+        }
+        for i in 0..5 {
+            db.insert_tuple("r2", vec![Value::int(i)]);
+        }
+        let rule = parse_rule("q(X) <- r1(X), r2(X).").unwrap();
+        // Equal bound counts: the smaller relation leads when sizes are known.
+        let p = RulePlan::compile_with(&rule, Some(&db), false, None).unwrap();
+        assert_eq!(p.scan_steps[0].1.as_str(), "r2");
+        // Without statistics the tie keeps source order.
+        let p0 = RulePlan::compile(&rule).unwrap();
+        assert_eq!(p0.scan_steps[0].1.as_str(), "r1");
+    }
+
+    #[test]
+    fn existential_tail_emits_one_solution_per_head_tuple() {
+        use ldl_value::Value;
+        let mut db = Database::new();
+        db.insert_tuple("cand", vec![Value::int(1)]);
+        db.insert_tuple("cand", vec![Value::int(2)]);
+        for y in 0..10 {
+            db.insert_tuple("fan", vec![Value::int(1), Value::int(y)]);
+        }
+        let rule = parse_rule("reach(X) <- cand(X), fan(X, Y).").unwrap();
+        let cost = RulePlan::compile_with(&rule, Some(&db), true, None).unwrap();
+        assert_eq!(cost.exist_from, 1); // Y is not a head variable
+        let _ = take_exist_cuts();
+        let mut b = Bindings::new();
+        let mut n = 0;
+        run_body(&cost, &db, None, false, &mut b, &mut |_| n += 1);
+        assert_eq!(n, 1); // cand(1) has a witness, cand(2) has none
+        assert_eq!(take_exist_cuts(), 1);
+        let greedy = RulePlan::compile_with(&rule, Some(&db), false, None).unwrap();
+        assert_eq!(greedy.exist_from, greedy.steps.len());
+        let mut n2 = 0;
+        run_body(&greedy, &db, None, false, &mut b, &mut |_| n2 += 1);
+        assert_eq!(n2, 10); // full enumeration of the 10 witnesses
+        assert_eq!(take_exist_cuts(), 0);
+    }
+
+    #[test]
+    fn anon_negation_probes_bound_columns() {
+        let p = plan_of("leaf(X) <- node(X), ~e(X, _).");
+        match &p.steps[1] {
+            Step::NegScan { index_cols, .. } => assert_eq!(index_cols, &vec![0]),
+            other => panic!("expected negscan, got {other:?}"),
+        }
+        assert!(p
+            .required_indexes()
+            .iter()
+            .any(|(pred, cols)| pred.as_str() == "e" && cols == &vec![0]));
+    }
+
+    #[test]
+    fn force_first_pins_delta_literal() {
+        use ldl_value::Value;
+        let mut db = Database::new();
+        for i in 0..100 {
+            db.insert_tuple("par", vec![Value::int(i), Value::int(i + 1)]);
+        }
+        db.insert_tuple("anc", vec![Value::int(0), Value::int(1)]);
+        let rule = parse_rule("anc(X, Y) <- par(X, Z), anc(Z, Y).").unwrap();
+        // Body literal 1 (anc) runs first even though par would cost less.
+        let p = RulePlan::compile_with(&rule, Some(&db), true, Some(1)).unwrap();
+        assert_eq!(p.scan_steps[0].0, 0);
+        assert_eq!(p.scan_steps[0].1.as_str(), "anc");
+        assert_eq!(p.est_rows[0], -1.0);
+        // par is probed on its now-bound second column (Z).
+        let Step::Scan { index_cols, .. } = &p.steps[1] else {
+            panic!("par step must be a scan")
+        };
+        assert_eq!(index_cols, &vec![1]);
     }
 
     #[test]

@@ -45,6 +45,21 @@ pub struct EvalStats {
     /// more workers are available — so it measures how much work was
     /// available to spread, not what was derived.
     pub parallel_tasks: u64,
+    /// Plan-cache lookups answered from the cache (same rule, same delta
+    /// role, same relation-statistics epochs as when the plan was built).
+    pub plan_cache_hits: u64,
+    /// Plan-cache lookups that compiled a plan for the first time.
+    pub plan_cache_misses: u64,
+    /// Cached plans discarded and recompiled because a body relation's
+    /// statistics epoch drifted between rounds.
+    pub plan_replans: u64,
+    /// Existential short-circuits: body-tail existence checks (steps past a
+    /// plan's `exist_from` point, which bind no head or grouping variable)
+    /// that found a witness and stopped instead of enumerating all matches.
+    /// Like `parallel_tasks` this can vary with `parallelism`, but only for
+    /// rules whose *entire* body is existential (ground heads): each delta
+    /// slice then performs its own check.
+    pub exist_cuts: u64,
 }
 
 impl EvalStats {
@@ -66,6 +81,10 @@ impl AddAssign for EvalStats {
         self.strata_skipped += rhs.strata_skipped;
         self.rounds += rhs.rounds;
         self.parallel_tasks += rhs.parallel_tasks;
+        self.plan_cache_hits += rhs.plan_cache_hits;
+        self.plan_cache_misses += rhs.plan_cache_misses;
+        self.plan_replans += rhs.plan_replans;
+        self.exist_cuts += rhs.exist_cuts;
     }
 }
 
@@ -73,7 +92,7 @@ impl fmt::Display for EvalStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rules fired: {}, facts derived: {}, dedup inserts: {}, index probes: {}, interned values: {}, strata replayed: {}, delta-updated: {}, skipped: {}, rounds: {}, tasks: {}",
+            "rules fired: {}, facts derived: {}, dedup inserts: {}, index probes: {}, interned values: {}, strata replayed: {}, delta-updated: {}, skipped: {}, rounds: {}, tasks: {}, plan cache hits: {}, misses: {}, replans: {}, exist cuts: {}",
             self.rules_fired,
             self.facts_derived,
             self.dedup_inserts,
@@ -83,7 +102,11 @@ impl fmt::Display for EvalStats {
             self.strata_delta,
             self.strata_skipped,
             self.rounds,
-            self.parallel_tasks
+            self.parallel_tasks,
+            self.plan_cache_hits,
+            self.plan_cache_misses,
+            self.plan_replans,
+            self.exist_cuts
         )
     }
 }

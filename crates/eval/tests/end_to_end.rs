@@ -13,13 +13,16 @@ fn all_configs() -> Vec<Evaluator> {
     for semi_naive in [false, true] {
         for use_indexes in [false, true] {
             for parallelism in [1, 4] {
-                out.push(Evaluator::with_options(EvalOptions {
-                    semi_naive,
-                    use_indexes,
-                    check_wf: true,
-                    dialect: ldl_ast::wf::Dialect::Ldl1,
-                    parallelism,
-                }));
+                for cost_based in [false, true] {
+                    out.push(Evaluator::with_options(EvalOptions {
+                        semi_naive,
+                        use_indexes,
+                        check_wf: true,
+                        dialect: ldl_ast::wf::Dialect::Ldl1,
+                        parallelism,
+                        cost_based,
+                    }));
+                }
             }
         }
     }

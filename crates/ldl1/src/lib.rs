@@ -385,6 +385,19 @@ impl System {
     pub fn model_facts(&mut self) -> Result<FactSet, Error> {
         Ok(self.model()?.to_fact_set())
     }
+
+    /// Explain the join plans of the loaded rules (or of the rules defining
+    /// `pred` only): the step order the planner picks against the current
+    /// model's relation statistics, index columns, estimated cardinalities,
+    /// and existential tails. Forces evaluation first so IDB relations have
+    /// statistics to plan against — the output is what a *re*-evaluation
+    /// would use, which is also what incremental maintenance runs.
+    pub fn explain(&mut self, pred: Option<&str>) -> Result<String, Error> {
+        let opts = self.eval_options();
+        let program = self.compiled.clone();
+        let m = self.model()?;
+        Ok(eval::explain(&program, m, &opts, pred))
+    }
 }
 
 /// A transaction of facts to assert against a [`System`].
@@ -568,6 +581,21 @@ mod tests {
         // Nothing changed, so no evaluation ran at all.
         assert_eq!(sys.last_stats(), before);
         assert_eq!(sys.query("r(X)").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn explain_reports_plans() {
+        let mut sys = System::new();
+        sys.load(
+            "tc(X, Y) <- e(X, Y). tc(X, Y) <- e(X, Z), tc(Z, Y).\n\
+             e(1, 2). e(2, 3).",
+        )
+        .unwrap();
+        let text = sys.explain(None).unwrap();
+        assert!(text.contains("cost-based"), "{text}");
+        assert!(text.contains("scan e"), "{text}");
+        let filtered = sys.explain(Some("nosuch")).unwrap();
+        assert!(filtered.contains("no rules define nosuch"), "{filtered}");
     }
 
     #[test]

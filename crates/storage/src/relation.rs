@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use ldl_value::fxhash::{FastMap, FastSet};
-use ldl_value::ValueId;
+use ldl_value::{intern, ValueId};
 
 /// A ground tuple of interned values. Cheap to clone (shared allocation).
 pub type Tuple = Arc<[ValueId]>;
@@ -45,6 +45,57 @@ impl Index {
     }
 }
 
+/// A fixed-width linear-counting sketch estimating the number of distinct
+/// values in one column.
+///
+/// 256 one-bit bins (`[u64; 4]`, 32 bytes, allocated inline with the
+/// relation — observing a value is a hash, a shift, and an OR, with no heap
+/// traffic on the insert hot path). The classic linear-counting estimator
+/// `m · ln(m / zeros)` recovers the distinct count from the zero-bin count
+/// with good accuracy up to a few times `m`; a saturated sketch reports the
+/// tuple count (i.e. "assume all distinct"), which errs toward full-scan
+/// cost estimates rather than over-promising selectivity.
+///
+/// Values are observed through [`intern::struct_hash`], which depends only
+/// on value *structure* — never on raw id numbering, which varies by run
+/// and thread interleaving — so the sketch bits, and every plan choice
+/// derived from them, are bit-for-bit reproducible at any worker count.
+#[derive(Clone, Copy, Debug, Default)]
+struct ColSketch {
+    bits: [u64; 4],
+}
+
+/// Bin count of [`ColSketch`] (must match `bits` capacity).
+const SKETCH_BINS: u32 = 256;
+
+impl ColSketch {
+    #[inline]
+    fn observe(&mut self, v: ValueId) {
+        let h = intern::struct_hash(v);
+        let bin = (h % u64::from(SKETCH_BINS)) as usize;
+        self.bits[bin / 64] |= 1u64 << (bin % 64);
+    }
+
+    /// Estimated distinct count, clamped to `[1, len]` (0 when `len == 0`).
+    fn estimate(&self, len: usize) -> f64 {
+        if len == 0 {
+            return 0.0;
+        }
+        let zeros = self
+            .bits
+            .iter()
+            .map(|w| w.count_zeros() as u64)
+            .sum::<u64>();
+        let m = f64::from(SKETCH_BINS);
+        let est = if zeros == 0 {
+            len as f64 // saturated: assume all distinct
+        } else {
+            m * (m / zeros as f64).ln()
+        };
+        est.clamp(1.0, len as f64)
+    }
+}
+
 /// An append-only, duplicate-free relation.
 ///
 /// Tuples keep their insertion order and are never removed, so a *delta*
@@ -63,6 +114,15 @@ pub struct Relation {
     /// Keyed by the sorted, deduplicated column list (probed borrowed as
     /// `&[usize]`), so relations of any width can be indexed.
     indexes: FastMap<Vec<usize>, Index>,
+    /// One distinct-count sketch per column, maintained on every insert.
+    sketches: Vec<ColSketch>,
+    /// Bumped whenever the relation's statistics have drifted enough to
+    /// justify re-planning (a ~1.5× growth schedule — O(log n) bumps over a
+    /// relation's lifetime), and on every truncation. Plan caches key on
+    /// this.
+    stats_epoch: u64,
+    /// The tuple count at which the next epoch bump fires.
+    next_epoch_len: usize,
 }
 
 impl Relation {
@@ -73,6 +133,9 @@ impl Relation {
             tuples: Vec::new(),
             seen: FastSet::default(),
             indexes: FastMap::default(),
+            sketches: vec![ColSketch::default(); arity],
+            stats_epoch: 0,
+            next_epoch_len: 1,
         }
     }
 
@@ -102,7 +165,14 @@ impl Relation {
         for idx in self.indexes.values_mut() {
             idx.add(&tuple, pos);
         }
+        for (sk, &v) in self.sketches.iter_mut().zip(tuple.iter()) {
+            sk.observe(v);
+        }
         self.tuples.push(tuple);
+        if self.tuples.len() >= self.next_epoch_len {
+            self.stats_epoch += 1;
+            self.next_epoch_len = self.tuples.len() + (self.tuples.len() / 2).max(16);
+        }
         true
     }
 
@@ -185,6 +255,43 @@ impl Relation {
         self.indexes.contains_key(cols)
     }
 
+    /// The statistics epoch: bumped when tuple count / distinct-value
+    /// statistics have drifted enough (≈1.5× growth, or any truncation)
+    /// that cost-based plans built against older statistics should be
+    /// reconsidered. Monotone per relation *state* — two databases in the
+    /// same logical state can disagree on the epoch value, but within one
+    /// evaluation the sequence of epochs observed between rounds is
+    /// deterministic.
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats_epoch
+    }
+
+    /// Estimated number of distinct values in column `col` (linear-counting
+    /// sketch, clamped to `[1, len]`; `0.0` for an empty relation).
+    pub fn distinct_estimate(&self, col: usize) -> f64 {
+        self.sketches[col].estimate(self.tuples.len())
+    }
+
+    /// Estimated number of distinct *combinations* over `cols`: the product
+    /// of the per-column estimates, capped at the tuple count. The
+    /// independence assumption overestimates distinctness for correlated
+    /// columns, which errs toward predicting *fewer* matching rows — the
+    /// same bias every textbook System-R-style estimator accepts.
+    pub fn key_distinct_estimate(&self, cols: &[usize]) -> f64 {
+        if self.tuples.is_empty() {
+            return 0.0;
+        }
+        let len = self.tuples.len() as f64;
+        let mut combo = 1.0f64;
+        for &c in cols {
+            combo *= self.sketches[c].estimate(self.tuples.len());
+            if combo >= len {
+                return len;
+            }
+        }
+        combo.clamp(1.0, len)
+    }
+
     /// Discard every tuple at insertion position `len` or beyond, restoring
     /// the relation to an earlier snapshot (see [`Relation::len`], whose
     /// value is exactly such a snapshot mark). Hash indexes and the
@@ -205,6 +312,19 @@ impl Relation {
                 !postings.is_empty()
             });
         }
+        // Sketch bits cannot be un-set per dropped tuple; rebuild them from
+        // the surviving tuples (truncation is the rare snapshot-rollback
+        // path, never the insert hot path) and invalidate cached plans.
+        for sk in &mut self.sketches {
+            *sk = ColSketch::default();
+        }
+        for t in &self.tuples {
+            for (sk, &v) in self.sketches.iter_mut().zip(t.iter()) {
+                sk.observe(v);
+            }
+        }
+        self.stats_epoch += 1;
+        self.next_epoch_len = self.tuples.len() + (self.tuples.len() / 2).max(16);
     }
 }
 
@@ -330,6 +450,69 @@ mod tests {
         // Truncating beyond the end is a no-op.
         r.truncate(99);
         assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn distinct_estimates_track_column_cardinality() {
+        let mut r = Relation::new(2);
+        for x in 0..600 {
+            r.insert(t(&[x, x % 4])); // column 0: 600 distinct, column 1: 4
+        }
+        assert_eq!(r.distinct_estimate(0), 600.0, "saturated sketch → len");
+        let low = r.distinct_estimate(1);
+        assert!((1.0..=12.0).contains(&low), "4-distinct column got {low}");
+        // Key combo: capped product, never above len.
+        assert!(r.key_distinct_estimate(&[0, 1]) <= 600.0);
+        assert!(r.key_distinct_estimate(&[1]) <= 12.0);
+        assert_eq!(Relation::new(2).distinct_estimate(0), 0.0);
+    }
+
+    #[test]
+    fn distinct_estimate_small_relation_is_accurate() {
+        let mut r = Relation::new(1);
+        for x in 0..20 {
+            r.insert(t(&[x]));
+        }
+        let est = r.distinct_estimate(0);
+        assert!((15.0..=25.0).contains(&est), "20 distinct estimated {est}");
+    }
+
+    #[test]
+    fn stats_epoch_bumps_geometrically_and_on_truncate() {
+        let mut r = Relation::new(1);
+        assert_eq!(r.stats_epoch(), 0);
+        r.insert(t(&[0]));
+        let e1 = r.stats_epoch();
+        assert_eq!(e1, 1, "first insert crosses the initial threshold");
+        for x in 1..1000 {
+            r.insert(t(&[x]));
+        }
+        let grown = r.stats_epoch();
+        // ~1.5× growth schedule: far fewer epochs than inserts.
+        assert!(
+            grown > e1 && grown < 25,
+            "epoch after 1000 inserts: {grown}"
+        );
+        // Duplicates never bump (len does not change).
+        let before = r.stats_epoch();
+        r.insert(t(&[5]));
+        assert_eq!(r.stats_epoch(), before);
+
+        r.truncate(10);
+        assert!(r.stats_epoch() > grown, "truncate must invalidate plans");
+        // Sketches rebuilt from survivors: estimate reflects 10 tuples.
+        assert!(r.distinct_estimate(0) <= 10.0);
+    }
+
+    #[test]
+    fn set_valued_columns_sketch_structurally() {
+        use ldl_value::Value;
+        let mut r = Relation::new(1);
+        // Same canonical set inserted via two surface orders is one value…
+        let s12 = intern::id_of(&Value::set(vec![Value::int(1), Value::int(2)]));
+        r.insert(Arc::from(vec![s12]));
+        let one = r.distinct_estimate(0);
+        assert!((0.9..=1.5).contains(&one));
     }
 
     #[test]

@@ -8,18 +8,25 @@
 //!
 //! The shape mirrors the paper's layering discipline: a transitive-closure
 //! base layer `p0` over edge relation `e0(X, Y)`, then a random stack of
-//! layers `p1, p2, …` where each `pl` reads `p(l-1)` through one of four
+//! layers `p1, p2, …` where each `pl` reads `p(l-1)` through one of five
 //! templates (recursion, negation on the marker relation `e1(X)`,
-//! grouping with `member` flattening, or negated self-comparison). Every
-//! template keeps arity 2 so layers compose freely, and every
-//! negated/grouped read looks strictly down the stack — the program is
-//! admissible by construction.
+//! grouping with `member` flattening, a three-way join back through `e0`,
+//! or negated self-comparison). Every template keeps arity 2 so layers
+//! compose freely, and every negated/grouped read looks strictly down the
+//! stack — the program is admissible by construction.
 //!
 //! EDB constants are not just integers: a slice of every node domain is
 //! set-valued (`{a, b}`) or compound-valued (`f(a, b)`), so joins,
 //! duplicate elimination, grouping, and negation all run over nested
 //! ground values — the structures whose identity an interning engine must
 //! get right — and grouping layers build sets *of* those sets.
+//!
+//! Above a minimum size, a third of the cases **skew** one EDB relation
+//! 10–50× past the others (profiles: balanced, `e0`-heavy, `e1`-heavy).
+//! Skewed cases make join order matter: a planner that reads relation
+//! statistics schedules them differently from one counting bound argument
+//! positions, so the differential oracle actually exercises the claim that
+//! cost-based and greedy plans compute the same model.
 
 use crate::Rng;
 
@@ -52,6 +59,9 @@ pub struct GeneratedCase {
     /// The top predicate name, `p{layers - 1}` — query this to reach every
     /// layer below.
     pub top: String,
+    /// How far one EDB relation was inflated past the others (1 = balanced,
+    /// 10–50 = skewed). Skewed cases are join-order-sensitive.
+    pub skew_factor: u32,
 }
 
 /// Generate one random stratified program + EDB, scaled by `size`.
@@ -67,7 +77,7 @@ pub fn stratified_case(rng: &mut Rng, size: u32) -> GeneratedCase {
     let mut src = String::from("p0(X, Y) <- e0(X, Y).\np0(X, Y) <- e0(X, Z), p0(Z, Y).\n");
     for l in 1..layers {
         let below = l - 1;
-        match rng.index(4) {
+        match rng.index(5) {
             0 => src.push_str(&format!(
                 "p{l}(X, Y) <- p{below}(X, Y).\np{l}(X, Y) <- p{below}(X, Z), p{l}(Z, Y).\n"
             )),
@@ -77,6 +87,14 @@ pub fn stratified_case(rng: &mut Rng, size: u32) -> GeneratedCase {
                 src.push_str(&format!(
                     "g{l}(X, <Y>) <- p{below}(X, Y).\n\
                      p{l}(X, Y) <- g{l}(X, S), member(Y, S).\n"
+                ));
+            }
+            3 => {
+                // Three-way join back through the base edges: with a skewed
+                // `e0`, the scheduled order of these literals changes with
+                // the planner, so cost vs greedy divergence is observable.
+                src.push_str(&format!(
+                    "p{l}(X, Y) <- e0(X, Z), p{below}(Z, W), e0(W, Y).\n"
                 ));
             }
             _ => src.push_str(&format!("p{l}(X, Y) <- p{below}(X, Y), ~p{below}(Y, X).\n")),
@@ -105,11 +123,48 @@ pub fn stratified_case(rng: &mut Rng, size: u32) -> GeneratedCase {
         edb.push(("e1", vec![pick(rng)]));
     }
 
+    // A third of the larger cases skew one relation far past the others so
+    // join order matters. The inflating tuples draw from a domain about 4×
+    // wider than their own count: large relations with high distinct-value
+    // estimates, but sparse enough that `p0`'s transitive closure stays
+    // near-linear and the oracle's naive mode stays fast. Sizes below 4
+    // never skew, so case shrinking still converges on tiny programs.
+    let skew_factor = if size < 4 {
+        1
+    } else {
+        match rng.index(3) {
+            0 => 1,
+            profile => {
+                let factor = 10 + rng.index(41) as u32; // 10..=50
+                let extra = size * factor as usize;
+                let wide = (extra as i64 * 4).max(nodes + 1);
+                for _ in 0..extra {
+                    if profile == 1 {
+                        // `e0`-heavy: fat edge relation, endpoints mixing the
+                        // shared pool (joinable) with wide ints (selective).
+                        let a = if rng.index(2) == 0 {
+                            pick(rng)
+                        } else {
+                            GenConst::Int(rng.range(0, wide))
+                        };
+                        edb.push(("e0", vec![a, GenConst::Int(rng.range(0, wide))]));
+                    } else {
+                        // `e1`-heavy: fat marker relation, mostly off-domain,
+                        // so `~e1(Y)` probes a large relation it rarely hits.
+                        edb.push(("e1", vec![GenConst::Int(rng.range(0, wide))]));
+                    }
+                }
+                factor
+            }
+        }
+    };
+
     GeneratedCase {
         src,
         edb,
         layers,
         top: format!("p{}", layers - 1),
+        skew_factor,
     }
 }
 
@@ -130,8 +185,11 @@ mod tests {
         let mut negation = false;
         let mut grouping = false;
         let mut recursion = false;
+        let mut threeway = false;
         let mut sets = false;
         let mut compounds = false;
+        let mut balanced = false;
+        let mut skewed = false;
         for seed in 0..64 {
             let c = stratified_case(&mut Rng::new(crate::case_seed(seed)), 10);
             assert!(c.layers >= 2 && c.layers <= 4);
@@ -140,6 +198,13 @@ mod tests {
             negation |= c.src.contains('~');
             grouping |= c.src.contains("<Y>");
             recursion |= c.src.contains("p1(X, Z), p1(Z, Y)") || c.layers == 2;
+            threeway |= c.src.contains("e0(X, Z), p0(Z, W), e0(W, Y)");
+            balanced |= c.skew_factor == 1;
+            skewed |= c.skew_factor > 1;
+            if c.skew_factor > 1 {
+                assert!((10..=50).contains(&c.skew_factor));
+                assert!(c.edb.len() >= 10 * 10, "skewed case is not actually fat");
+            }
             for (_, args) in &c.edb {
                 for a in args {
                     sets |= matches!(a, GenConst::Set(_));
@@ -147,8 +212,9 @@ mod tests {
                 }
             }
         }
-        assert!(negation && grouping && recursion);
+        assert!(negation && grouping && recursion && threeway);
         assert!(sets && compounds, "nested EDB constants never generated");
+        assert!(balanced && skewed, "skew profiles never varied");
     }
 
     #[test]

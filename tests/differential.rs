@@ -1,14 +1,17 @@
-//! The differential test oracle: five independent evaluation modes must
+//! The differential test oracle: six independent evaluation modes must
 //! compute the *same* model on random stratified programs.
 //!
 //! The modes cross-check each other's weak spots — naive iteration is the
 //! most literal reading of §3.2 (slow but hard to get wrong), semi-naive
 //! adds the delta-frontier bookkeeping, the parallel configurations add the
-//! snapshot/merge round structure and work partitioning, and incremental
-//! maintenance adds delta seeding and truncate-and-replay. A bug in any one
-//! of those layers shows up as a divergence here, and the
-//! [`ldl_testkit::cases_shrink`] driver reports the minimal failing
-//! program/EDB size for the offending seed.
+//! snapshot/merge round structure and work partitioning, incremental
+//! maintenance adds delta seeding and truncate-and-replay, and the greedy
+//! planner configuration re-runs the join scheduling without relation
+//! statistics — on skewed EDBs (see [`ldl_testkit::gen`]) the cost-based
+//! planner picks genuinely different join orders, and this oracle is the
+//! proof they derive the same model. A bug in any one of those layers shows
+//! up as a divergence here, and the [`ldl_testkit::cases_shrink`] driver
+//! reports the minimal failing program/EDB size for the offending seed.
 //!
 //! Beyond set equality, the two parallel configurations must agree on every
 //! relation's *tuple insertion order*: the parallel evaluator's claim is
@@ -42,10 +45,20 @@ fn edb_of(case: &GeneratedCase) -> Database {
 }
 
 fn evaluate(case: &GeneratedCase, semi_naive: bool, parallelism: usize) -> Database {
+    evaluate_with_planner(case, semi_naive, parallelism, true)
+}
+
+fn evaluate_with_planner(
+    case: &GeneratedCase,
+    semi_naive: bool,
+    parallelism: usize,
+    cost_based: bool,
+) -> Database {
     let program = ldl1::parser::parse_program(&case.src).unwrap();
     let opts = EvalOptions {
         semi_naive,
         parallelism,
+        cost_based,
         ..EvalOptions::default()
     };
     Evaluator::with_options(opts)
@@ -89,10 +102,11 @@ fn insertion_orders(db: &Database) -> Vec<(Symbol, Vec<Vec<ldl1::value::ValueId>
         .collect()
 }
 
-/// naive ≡ semi-naive ≡ parallel(1) ≡ parallel(4) ≡ incremental, over 208
-/// random stratified programs mixing recursion, negation, and grouping.
+/// naive ≡ semi-naive ≡ parallel(1) ≡ parallel(4) ≡ incremental ≡ greedy
+/// planner, over 208 random stratified programs mixing recursion, negation,
+/// grouping, and skewed EDBs whose join plans differ between planners.
 #[test]
-fn five_evaluation_modes_agree() {
+fn six_evaluation_modes_agree() {
     cases_shrink(208, 12, |rng: &mut Rng, size: u32| {
         let case = stratified_case(rng, size);
 
@@ -101,12 +115,14 @@ fn five_evaluation_modes_agree() {
         let par1 = evaluate(&case, true, 1);
         let par4 = evaluate(&case, true, 4);
         let incremental = incremental_model(&case);
+        let greedy = evaluate_with_planner(&case, true, 1, false);
 
         let base = naive.to_fact_set();
         assert_eq!(base, semi.to_fact_set(), "naive vs semi-naive");
         assert_eq!(base, par1.to_fact_set(), "naive vs parallel(1)");
         assert_eq!(base, par4.to_fact_set(), "naive vs parallel(4)");
         assert_eq!(base, incremental, "naive vs incremental");
+        assert_eq!(base, greedy.to_fact_set(), "cost-based vs greedy planner");
 
         // Determinism is stronger than set equality: the parallel rounds
         // must reproduce the exact insertion order of the sequential run.
