@@ -1,0 +1,185 @@
+//! P15 — the cost of resource governance when nothing trips.
+//!
+//! Every budget check sits on the evaluator's hot path: an `attempts`
+//! increment plus an unarmed gate branch per derivation attempt, and a
+//! fuel/deadline/fact-count comparison per round. This bench runs two
+//! end-to-end kernels twice each — once with the default (unlimited)
+//! budget and once *governed*, with every limit set generously enough that
+//! none can trip and a live cancel token attached — and reports the
+//! governed/default overhead ratio. The acceptance bar is ≤2% median
+//! overhead per kernel (see EXPERIMENTS.md P15).
+//!
+//! * **tc_chain** — §1 ancestor transitive closure on a 1200-node chain:
+//!   many cheap derivation attempts, the worst case for per-attempt cost.
+//! * **young_family** — the §6 `young` query program evaluated in full on
+//!   a family forest: grouping + negation + recursion, so the round-level
+//!   checks in the grouping and negation paths are exercised too.
+//!
+//! Results go to `BENCH_budget_overhead.json` at the workspace root. If
+//! `BENCH_budget_overhead.baseline.json` exists, each kernel also reports
+//! its speedup over that saved run.
+//!
+//! `cargo bench -p ldl-bench --bench budget_overhead -- smoke` runs a tiny
+//! 1-iteration configuration for CI and skips the JSON file.
+
+use std::time::Duration;
+
+use ldl1::{Budget, CancelToken, Database, EvalOptions};
+use ldl_bench::{chain, eval_with, family_forest, opts, ANCESTOR, YOUNG};
+use ldl_testkit::{bench, Sample};
+
+/// A budget with every limit set far above what the kernels consume, plus
+/// an attached (never-cancelled) token: all governance machinery active,
+/// nothing trips.
+fn governed_opts() -> EvalOptions {
+    EvalOptions {
+        budget: Budget::unlimited()
+            .with_fuel(u64::MAX / 2)
+            .with_deadline(Duration::from_secs(3600))
+            .with_max_facts(u64::MAX / 2)
+            .with_cancel(CancelToken::new()),
+        ..opts(true, true)
+    }
+}
+
+fn kernel(name: &'static str, src: &str, db: &Database, governed: bool, iters: usize) -> Sample {
+    let o = if governed {
+        governed_opts()
+    } else {
+        opts(true, true)
+    };
+    bench("P15_budget_overhead", name, iters, || {
+        eval_with(src, db, o.clone());
+    })
+}
+
+fn kernel_name(base: &str, governed: bool) -> &'static str {
+    match (base, governed) {
+        ("tc_chain", false) => "tc_chain_default",
+        ("tc_chain", true) => "tc_chain_governed",
+        ("young_family", false) => "young_family_default",
+        _ => "young_family_governed",
+    }
+}
+
+/// Pull `"key": <number>` out of one flat JSON object chunk.
+fn json_number(chunk: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = chunk.find(&pat)? + pat.len();
+    let rest = chunk[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Per-kernel medians from a previous run's JSON, by kernel name.
+fn read_baseline(path: &str) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for chunk in text.split('{').skip(1) {
+        let name = chunk
+            .find("\"name\":")
+            .and_then(|i| {
+                chunk[i + 7..]
+                    .trim_start()
+                    .strip_prefix('"')
+                    .map(String::from)
+            })
+            .and_then(|s| s.split('"').next().map(String::from));
+        if let (Some(name), Some(median)) = (name, json_number(chunk, "median_ms")) {
+            out.push((name, median));
+        }
+    }
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "smoke" || a == "--smoke");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+
+    let (tc_db, young_db, iters) = if smoke {
+        (chain(60), family_forest(1, 3).0, 1)
+    } else {
+        (chain(1200), family_forest(3, 6).0, 15)
+    };
+
+    let mut results: Vec<(&str, Sample)> = Vec::new();
+    for governed in [false, true] {
+        results.push((
+            kernel_name("tc_chain", governed),
+            kernel(
+                kernel_name("tc_chain", governed),
+                ANCESTOR,
+                &tc_db,
+                governed,
+                iters,
+            ),
+        ));
+        results.push((
+            kernel_name("young_family", governed),
+            kernel(
+                kernel_name("young_family", governed),
+                YOUNG,
+                &young_db,
+                governed,
+                iters,
+            ),
+        ));
+    }
+    if smoke {
+        return; // rot check only: no JSON, no baseline comparison
+    }
+
+    let median = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s.median_ms())
+            .unwrap()
+    };
+
+    let baseline = read_baseline(&format!("{root}/BENCH_budget_overhead.baseline.json"));
+    let mut json = String::from("{\n  \"bench\": \"budget_overhead\",\n  \"kernels\": [\n");
+    for (i, (name, s)) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"median_ms\": {:.4}, \"min_ms\": {:.4}, \"iters\": {}",
+            s.median_ms(),
+            s.min.as_secs_f64() * 1e3,
+            s.iters
+        ));
+        if let Some((_, base)) = baseline.iter().find(|(n, _)| n == name) {
+            let speedup = base / s.median_ms().max(1e-9);
+            json.push_str(&format!(
+                ", \"baseline_median_ms\": {base:.4}, \"speedup\": {speedup:.2}"
+            ));
+            println!("P15_budget_overhead/{name}_speedup: {speedup:.2}x");
+        }
+        json.push_str(if i + 1 < results.len() { "},\n" } else { "}\n" });
+    }
+    json.push_str("  ],\n  \"governed_vs_default\": [\n");
+    let pairs = [
+        ("tc_chain", "tc_chain_default", "tc_chain_governed"),
+        (
+            "young_family",
+            "young_family_default",
+            "young_family_governed",
+        ),
+    ];
+    for (i, (base, default, governed)) in pairs.iter().enumerate() {
+        let (d, g) = (median(default), median(governed));
+        let overhead_pct = (g / d.max(1e-9) - 1.0) * 100.0;
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{base}\", \"default_ms\": {d:.4}, \"governed_ms\": {g:.4}, \
+             \"overhead_pct\": {overhead_pct:.2}}}{}\n",
+            if i + 1 < pairs.len() { "," } else { "" }
+        ));
+        println!("P15_budget_overhead/{base}_overhead: {overhead_pct:+.2}%");
+    }
+    json.push_str("  ]\n}\n");
+    let out = format!("{root}/BENCH_budget_overhead.json");
+    std::fs::write(&out, json).expect("write BENCH_budget_overhead.json");
+    println!("wrote {out}");
+}

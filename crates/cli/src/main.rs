@@ -15,8 +15,9 @@
 //! Inside a file, `?- q(…).` lines are answered as they are reached.
 
 use std::io::{BufRead, Write};
+use std::time::Duration;
 
-use ldl1::{Stratification, System};
+use ldl1::{Budget, CancelToken, Stratification, System};
 
 const HELP: &str = "\
 Input is LDL1/LDL1.5 source: facts, rules, and ?- queries.
@@ -30,11 +31,69 @@ Commands:
   :magic QUERY.       answer a query via the magic-set pipeline
   :stats              work counters of the last evaluation (full or incremental)
   :jobs [N]           show or set evaluation worker count (0 = all cores)
+  :limits [...]       show or set resource limits:
+                      :limits fuel N | timeout DUR | facts N | off
+                      (DUR like 500ms or 2s; programs with infinite models
+                      abort cleanly instead of hanging; Ctrl-C interrupts a
+                      running evaluation)
   :save FILE          write the model (all facts) as loadable fact syntax
   :quit               exit";
 
+/// Parse a duration: `200ms`, `2s`, `1.5s`, or a bare number of milliseconds.
+fn parse_duration(s: &str) -> Option<Duration> {
+    let s = s.trim();
+    if let Some(ms) = s.strip_suffix("ms") {
+        return ms.trim().parse::<u64>().ok().map(Duration::from_millis);
+    }
+    if let Some(secs) = s.strip_suffix('s') {
+        let v: f64 = secs.trim().parse().ok()?;
+        if !(v >= 0.0 && v.is_finite()) {
+            return None;
+        }
+        return Some(Duration::from_secs_f64(v));
+    }
+    s.parse::<u64>().ok().map(Duration::from_millis)
+}
+
+/// Describe the configured limits, `:limits`-style.
+fn show_limits(sys: &System) {
+    let b = sys.budget();
+    let fuel = b.fuel.map_or("off".into(), |n| n.to_string());
+    let timeout = b
+        .deadline
+        .map_or("off".into(), |d| format!("{}ms", d.as_millis()));
+    let facts = b.max_facts.map_or("off".into(), |n| n.to_string());
+    println!("limits: fuel {fuel}, timeout {timeout}, facts {facts}");
+}
+
+/// Route `SIGINT` to the process-global cancel token: a running evaluation
+/// aborts at its next round boundary instead of the process dying. The
+/// handler is async-signal-safe — cancelling the global token is a single
+/// atomic store into a const-initialized static.
+#[cfg(unix)]
+fn install_sigint() {
+    extern "C" fn on_sigint(_sig: i32) {
+        CancelToken::global().cancel();
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint() {}
+
 fn main() {
     let mut sys = System::new();
+    // Evaluations run under the global cancel token so Ctrl-C interrupts
+    // them; flags below layer resource limits on top.
+    CancelToken::global().reset();
+    sys.set_budget(Budget::unlimited().with_cancel(CancelToken::global()));
+    install_sigint();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut batch = false;
     let mut show_stats = false;
@@ -47,7 +106,8 @@ fn main() {
             "--explain" => show_plans = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: ldl1 [--batch] [--stats] [--explain] [--jobs N] [FILE...]\n\n{HELP}"
+                    "usage: ldl1 [--batch] [--stats] [--explain] [--jobs N] \
+                     [--timeout DUR] [--fuel N] [--max-facts N] [FILE...]\n\n{HELP}"
                 );
                 return;
             }
@@ -57,6 +117,48 @@ fn main() {
                     Some(n) => sys.set_parallelism(n),
                     None => {
                         eprintln!("error: --jobs requires a number (0 = all cores)");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--timeout" => {
+                let dur = iter.next().and_then(|v| parse_duration(v));
+                match dur {
+                    Some(d) => {
+                        let mut b = sys.budget().clone();
+                        b.deadline = Some(d);
+                        sys.set_budget(b);
+                    }
+                    None => {
+                        eprintln!("error: --timeout requires a duration (e.g. 200ms, 2s)");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--fuel" => {
+                let fuel = iter.next().and_then(|v| v.parse::<u64>().ok());
+                match fuel {
+                    Some(n) => {
+                        let mut b = sys.budget().clone();
+                        b.fuel = Some(n);
+                        sys.set_budget(b);
+                    }
+                    None => {
+                        eprintln!("error: --fuel requires a number (derivation attempts)");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--max-facts" => {
+                let facts = iter.next().and_then(|v| v.parse::<u64>().ok());
+                match facts {
+                    Some(n) => {
+                        let mut b = sys.budget().clone();
+                        b.max_facts = Some(n);
+                        sys.set_budget(b);
+                    }
+                    None => {
+                        eprintln!("error: --max-facts requires a number");
                         std::process::exit(1);
                     }
                 }
@@ -120,6 +222,9 @@ fn main() {
         }
         let trimmed = line.trim();
         if pending.is_empty() && trimmed.starts_with(':') {
+            // A Ctrl-C that tripped the token during (or between) earlier
+            // statements must not abort this one: re-arm before evaluating.
+            sys.interrupt_handle().reset();
             if !command(&mut sys, trimmed) {
                 break;
             }
@@ -131,6 +236,7 @@ fn main() {
             continue;
         }
         let stmt = std::mem::take(&mut pending);
+        sys.interrupt_handle().reset();
         if let Err(e) = statement(&mut sys, &stmt) {
             eprintln!("error: {e}");
         }
@@ -200,6 +306,37 @@ fn command(sys: &mut System, cmd: &str) -> bool {
             Err(e) => eprintln!("error: {e}"),
         },
         ":stats" => println!("{}", sys.last_stats()),
+        ":limits" => {
+            if rest.is_empty() {
+                show_limits(sys);
+            } else if rest == "off" {
+                let cancel = sys.interrupt_handle();
+                sys.set_budget(Budget::unlimited().with_cancel(cancel));
+                show_limits(sys);
+            } else {
+                match rest.split_once(char::is_whitespace) {
+                    Some(("fuel", v)) if v.trim().parse::<u64>().is_ok() => {
+                        let mut b = sys.budget().clone();
+                        b.fuel = Some(v.trim().parse().unwrap());
+                        sys.set_budget(b);
+                        show_limits(sys);
+                    }
+                    Some(("timeout", v)) if parse_duration(v).is_some() => {
+                        let mut b = sys.budget().clone();
+                        b.deadline = parse_duration(v);
+                        sys.set_budget(b);
+                        show_limits(sys);
+                    }
+                    Some(("facts", v)) if v.trim().parse::<u64>().is_ok() => {
+                        let mut b = sys.budget().clone();
+                        b.max_facts = Some(v.trim().parse().unwrap());
+                        sys.set_budget(b);
+                        show_limits(sys);
+                    }
+                    _ => eprintln!("error: usage: :limits [fuel N | timeout DUR | facts N | off]"),
+                }
+            }
+        }
         ":jobs" => {
             if rest.is_empty() {
                 println!("jobs: {}", sys.parallelism());

@@ -10,13 +10,17 @@ use ldl_stratify::Stratification;
 use ldl_value::{intern, Fact, Value};
 
 use crate::bindings::Bindings;
+use crate::budget::Budget;
 use crate::error::EvalError;
 use crate::fixpoint;
 use crate::stats::EvalStats;
 use crate::unify::match_slice;
 
 /// Evaluation configuration.
-#[derive(Clone, Copy, Debug)]
+///
+/// Not `Copy`: the [`Budget`] carries a shared [`CancelToken`](crate::CancelToken)
+/// handle. Clone it where a copy was implied.
+#[derive(Clone, Debug)]
 pub struct EvalOptions {
     /// Semi-naive (delta-driven) iteration instead of naive re-evaluation.
     pub semi_naive: bool,
@@ -50,6 +54,14 @@ pub struct EvalOptions {
     /// `false` restores the pure greedy planner (the ablation
     /// configuration); the computed model is identical either way.
     pub cost_based: bool,
+    /// Resource limits and the cancellation token for every evaluation
+    /// drive run under these options. Default: [`Budget::unlimited`].
+    /// Checked cooperatively at round boundaries, so an abort never breaks
+    /// the parallel evaluator's determinism — a run either completes
+    /// bit-identically or fails with
+    /// [`EvalError::ResourceExhausted`](crate::EvalError) and leaves the
+    /// caller's state untouched.
+    pub budget: Budget,
 }
 
 impl Default for EvalOptions {
@@ -61,6 +73,7 @@ impl Default for EvalOptions {
             dialect: Dialect::Ldl1,
             parallelism: env_default_parallelism(),
             cost_based: true,
+            budget: Budget::default(),
         }
     }
 }

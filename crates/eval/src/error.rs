@@ -6,6 +6,8 @@ use ldl_ast::rule::Rule;
 use ldl_ast::wf::WfError;
 use ldl_stratify::NotAdmissible;
 
+use crate::budget::ResourceKind;
+
 /// Errors raised while compiling or evaluating a program.
 #[derive(Clone, Debug)]
 pub enum EvalError {
@@ -32,6 +34,26 @@ pub enum EvalError {
         /// Conflicting arity.
         found: usize,
     },
+    /// Evaluation was aborted by its [`Budget`](crate::Budget): a resource
+    /// limit was exceeded, or the [`CancelToken`](crate::CancelToken)
+    /// tripped. The aborting operation is transactional — the `System` (or
+    /// the caller's database) is left in its pre-call state, and a retry
+    /// with a sufficient budget recomputes a model bit-identical to an
+    /// uninterrupted run.
+    ResourceExhausted {
+        /// Which limit tripped.
+        resource: ResourceKind,
+        /// How much had been consumed when the abort fired (attempts,
+        /// facts, milliseconds, or interned values, per `resource`;
+        /// attempts for an interrupt).
+        consumed: u64,
+        /// The configured limit (0 for an interrupt, which has none).
+        limit: u64,
+        /// The stratum being evaluated when the abort fired.
+        stratum: usize,
+        /// A head predicate of that stratum, as context.
+        pred: String,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -57,6 +79,37 @@ impl fmt::Display for EvalError {
                 f,
                 "predicate {pred} used with arity {found}, expected {expected}"
             ),
+            EvalError::ResourceExhausted {
+                resource: ResourceKind::Interrupt,
+                consumed,
+                stratum,
+                pred,
+                ..
+            } => write!(
+                f,
+                "evaluation interrupted (cancel token tripped after {consumed} derivation \
+                 attempts) in stratum {stratum} while evaluating {pred}"
+            ),
+            EvalError::ResourceExhausted {
+                resource,
+                consumed,
+                limit,
+                stratum,
+                pred,
+            } => {
+                let unit = match resource {
+                    ResourceKind::Fuel => "attempts",
+                    ResourceKind::Time => "ms",
+                    ResourceKind::Facts => "facts",
+                    ResourceKind::Interner => "values",
+                    ResourceKind::Interrupt => unreachable!("matched above"),
+                };
+                write!(
+                    f,
+                    "evaluation aborted: {resource} limit exceeded ({consumed} of {limit} {unit}) \
+                     in stratum {stratum} while evaluating {pred}"
+                )
+            }
         }
     }
 }

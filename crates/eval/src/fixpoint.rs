@@ -22,6 +22,7 @@ use ldl_value::fxhash::{FastMap, FastSet};
 use ldl_value::{Symbol, ValueId};
 
 use crate::bindings::Bindings;
+use crate::budget::{BudgetMeter, RoundGate};
 use crate::engine::EvalOptions;
 use crate::error::EvalError;
 use crate::grouping::run_grouping_rule;
@@ -217,10 +218,31 @@ pub fn evaluate_layers(
     opts: &EvalOptions,
     stats: &mut EvalStats,
 ) -> Result<(), EvalError> {
+    let mut meter = BudgetMeter::new(&opts.budget);
+    evaluate_layers_metered(program, db, strat, from, opts, stats, &mut meter)
+}
+
+/// [`evaluate_layers`] against a caller-owned [`BudgetMeter`], so one
+/// operation spanning several drives (an incremental update that falls back
+/// to replay) is metered as a whole.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn evaluate_layers_metered(
+    program: &Program,
+    db: &mut Database,
+    strat: &Stratification,
+    from: usize,
+    opts: &EvalOptions,
+    stats: &mut EvalStats,
+    meter: &mut BudgetMeter<'_>,
+) -> Result<(), EvalError> {
     let pool = Pool::new(opts.effective_parallelism());
     let mut cache = PlanCache::default();
-    for layer_rules in strat.rules_by_layer.iter().skip(from) {
+    for (k, layer_rules) in strat.rules_by_layer.iter().enumerate().skip(from) {
         let split = LayerSplit::classify(program, layer_rules);
+        meter.set_context(
+            k,
+            layer_rules.first().map(|&ri| program.rules[ri].head.pred),
+        );
         split.ensure_head_relations(program, db)?;
 
         // Lemma 3.2.3: grouping rules first, once, over the lower layers.
@@ -228,13 +250,13 @@ pub fn evaluate_layers(
         // strictly below this layer, so the grouping rules cannot observe
         // each other's heads — one parallel round, merged in rule order.
         let gplans = lookup_round_plans(&split.grouping, program, &mut cache, db, opts)?;
-        run_grouping_round(&gplans, db, &pool, opts, stats);
+        run_grouping_round(&gplans, db, &pool, opts, stats, meter)?;
 
         // Then the remaining rules to fixpoint.
         if opts.semi_naive {
-            semi_naive_cached(program, &split, &mut cache, db, &pool, opts, stats)?;
+            semi_naive_cached(program, &split, &mut cache, db, &pool, opts, stats, meter)?;
         } else {
-            naive_cached(program, &split, &mut cache, db, &pool, opts, stats)?;
+            naive_cached(program, &split, &mut cache, db, &pool, opts, stats, meter)?;
         }
     }
     cache.fold_into(stats);
@@ -260,6 +282,7 @@ pub(crate) fn lookup_round_plans(
 }
 
 /// Naive iteration over cached, re-costable plans.
+#[allow(clippy::too_many_arguments)]
 fn naive_cached(
     program: &Program,
     split: &LayerSplit,
@@ -268,6 +291,7 @@ fn naive_cached(
     pool: &Pool,
     opts: &EvalOptions,
     stats: &mut EvalStats,
+    meter: &mut BudgetMeter<'_>,
 ) -> Result<(), EvalError> {
     loop {
         let plans = lookup_round_plans(&split.rest, program, cache, db, opts)?;
@@ -278,7 +302,7 @@ fn naive_cached(
                 restrict: None,
             })
             .collect();
-        if run_round(&tasks, db, pool, opts, stats) == 0 {
+        if run_round(&tasks, db, pool, opts, stats, meter)? == 0 {
             return Ok(());
         }
     }
@@ -295,6 +319,7 @@ fn semi_naive_cached(
     pool: &Pool,
     opts: &EvalOptions,
     stats: &mut EvalStats,
+    meter: &mut BudgetMeter<'_>,
 ) -> Result<(), EvalError> {
     let delta_lo: FastMap<Symbol, usize> =
         split.preds.iter().map(|&p| (p, len_of(db, p))).collect();
@@ -306,10 +331,12 @@ fn semi_naive_cached(
             restrict: None,
         })
         .collect();
-    run_round(&tasks, db, pool, opts, stats);
+    run_round(&tasks, db, pool, opts, stats, meter)?;
     drop(tasks);
     drop(plans);
-    delta_loop_cached(program, split, cache, db, delta_lo, pool, opts, stats)
+    delta_loop_cached(
+        program, split, cache, db, delta_lo, pool, opts, stats, meter,
+    )
 }
 
 /// The cached semi-naive delta loop: each round looks its delta-first plan
@@ -327,6 +354,7 @@ pub(crate) fn delta_loop_cached(
     pool: &Pool,
     opts: &EvalOptions,
     stats: &mut EvalStats,
+    meter: &mut BudgetMeter<'_>,
 ) -> Result<(), EvalError> {
     // The delta occurrences: (rule id, body literal index) of every
     // positive relation literal over a predicate defined in this layer.
@@ -375,7 +403,7 @@ pub(crate) fn delta_loop_cached(
                 restrict: Some(*restrict),
             })
             .collect();
-        run_round(&tasks, db, pool, opts, stats);
+        run_round(&tasks, db, pool, opts, stats, meter)?;
         delta_lo = delta_hi;
     }
     Ok(())
@@ -419,14 +447,21 @@ impl DerivedBuf {
 
 /// Evaluate `plan` against an immutable `db`, returning the id-tuples its
 /// head derives (in body-solution order, duplicates included) plus the
-/// index probes and existential short-circuits the pass performed. This is
-/// the parallel work unit: it never mutates anything.
+/// index probes, existential short-circuits, and derivation attempts (body
+/// solutions enumerated — the fuel unit) the pass performed. This is the
+/// parallel work unit: it never mutates anything.
+///
+/// The `gate` is the cooperative-cancellation tap: one armed-only atomic
+/// tick per body solution, and an entry check that skips the whole pass
+/// when the token has already tripped (a partially-skipped round is fine —
+/// its buffers are discarded wholesale at the round boundary, never merged).
 pub(crate) fn derive_once(
     plan: &RulePlan,
     db: &Database,
     restrict: Option<DeltaRestriction>,
     use_indexes: bool,
-) -> (DerivedBuf, u64, u64) {
+    gate: RoundGate<'_>,
+) -> (DerivedBuf, u64, u64, u64) {
     take_index_probes(); // discard counts from unrelated callers
     take_exist_cuts();
     let mut derived = DerivedBuf {
@@ -434,8 +469,14 @@ pub(crate) fn derive_once(
         data: Vec::new(),
         count: 0,
     };
+    if gate.is_cancelled() {
+        return (derived, take_index_probes(), take_exist_cuts(), 0);
+    }
+    let mut attempts = 0u64;
     let mut b = Bindings::new();
     run_body(plan, db, restrict, use_indexes, &mut b, &mut |b2| {
+        attempts += 1;
+        gate.tick();
         // §3.2 applicability: Bθ must be a U-fact; an argument evaluating
         // outside U (scons onto a non-set, arithmetic failure) derives
         // nothing.
@@ -451,7 +492,7 @@ pub(crate) fn derive_once(
         }
         derived.count += 1;
     });
-    (derived, take_index_probes(), take_exist_cuts())
+    (derived, take_index_probes(), take_exist_cuts(), attempts)
 }
 
 /// Below this many delta tuples a pass is not worth splitting across
@@ -467,15 +508,22 @@ const MIN_SLICE: u32 = 64;
 /// to `parallelism` contiguous slices. Slices of one task stay adjacent in
 /// the merge, so the concatenated derivation order — and therefore every
 /// insertion position — is identical to an unsplit, single-threaded pass.
+///
+/// Budget checks bracket the round ([`BudgetMeter::check`] before the
+/// derive phase, charge-and-check after the merge). A round is therefore
+/// all-or-nothing with respect to aborts: either its full merge lands, or
+/// the error propagates with the caller responsible for discarding `db`.
 pub(crate) fn run_round(
     tasks: &[RoundTask<'_>],
     db: &mut Database,
     pool: &Pool,
     opts: &EvalOptions,
     stats: &mut EvalStats,
-) -> usize {
+    meter: &mut BudgetMeter<'_>,
+) -> Result<usize, EvalError> {
+    meter.check()?;
     if tasks.is_empty() {
-        return 0;
+        return Ok(0);
     }
     stats.rounds += 1;
     stats.rules_fired += tasks.len() as u64;
@@ -523,12 +571,15 @@ pub(crate) fn run_round(
     }
     stats.parallel_tasks += units.len() as u64;
 
-    // Derive phase: immutable snapshot, one buffer per unit.
-    let mut buffers: Vec<(DerivedBuf, u64, u64)> = Vec::new();
+    // Derive phase: immutable snapshot, one buffer per unit. The gate is a
+    // `Copy` view of the budget's cancel token, so every worker taps the
+    // same countdown/flag without touching the (exclusively borrowed) meter.
+    let gate = opts.budget.gate();
+    let mut buffers: Vec<(DerivedBuf, u64, u64, u64)> = Vec::new();
     buffers.resize_with(units.len(), Default::default);
     if pool.parallelism() == 1 || units.len() <= 1 {
         for ((plan, restrict), buf) in units.iter().zip(&mut buffers) {
-            *buf = derive_once(plan, db, *restrict, opts.use_indexes);
+            *buf = derive_once(plan, db, *restrict, opts.use_indexes, gate);
         }
     } else {
         let snapshot: &Database = db;
@@ -538,7 +589,7 @@ pub(crate) fn run_round(
             .zip(buffers.iter_mut())
             .map(|(&(plan, restrict), buf)| {
                 Box::new(move || {
-                    *buf = derive_once(plan, snapshot, restrict, use_indexes);
+                    *buf = derive_once(plan, snapshot, restrict, use_indexes, gate);
                 }) as Job<'_>
             })
             .collect();
@@ -550,9 +601,11 @@ pub(crate) fn run_round(
     // hash of a few u32s.
     let mut new = 0;
     let mut dedup = 0;
-    for ((plan, _), (buf, probes, cuts)) in units.iter().zip(buffers) {
+    let mut attempts = 0u64;
+    for ((plan, _), (buf, probes, cuts, att)) in units.iter().zip(buffers) {
         stats.index_probes += probes;
         stats.exist_cuts += cuts;
+        attempts += att;
         let pred = plan.head.pred;
         buf.for_each(&mut |t| {
             if db.insert_id_slice(pred, t) {
@@ -564,34 +617,44 @@ pub(crate) fn run_round(
     }
     stats.dedup_inserts += dedup;
     stats.facts_derived += new as u64;
-    new as usize
+    stats.attempts += attempts;
+    meter.charge(attempts, new as u64);
+    meter.check()?;
+    Ok(new as usize)
 }
 
 /// Apply every grouping rule of a layer once, in one parallel round.
+///
+/// Budget checks bracket the round exactly like [`run_round`]'s: an abort
+/// either fires before any grouping pass runs or after the whole round's
+/// merge, so a partially-built group set is never observable in `db`.
 fn run_grouping_round(
     plans: &[Arc<RulePlan>],
     db: &mut Database,
     pool: &Pool,
     opts: &EvalOptions,
     stats: &mut EvalStats,
-) {
+    meter: &mut BudgetMeter<'_>,
+) -> Result<(), EvalError> {
     if plans.is_empty() {
-        return;
+        return Ok(());
     }
+    meter.check()?;
     stats.rounds += 1;
     stats.rules_fired += plans.len() as u64;
     stats.parallel_tasks += plans.len() as u64;
     // A grouping rule must see *all* body solutions of its group in one
     // task (the aggregation is not decomposable), so the unit is the whole
     // rule — never a delta slice.
-    let mut buffers: Vec<(Vec<Tuple>, u64, u64)> = Vec::new();
+    let gate = opts.budget.gate();
+    let mut buffers: Vec<(Vec<Tuple>, u64, u64, u64)> = Vec::new();
     buffers.resize_with(plans.len(), Default::default);
     if pool.parallelism() == 1 || plans.len() <= 1 {
         for (plan, buf) in plans.iter().zip(&mut buffers) {
             take_index_probes();
             take_exist_cuts();
-            let out = run_grouping_rule(plan, db, opts.use_indexes);
-            *buf = (out, take_index_probes(), take_exist_cuts());
+            let (out, att) = run_grouping_rule(plan, db, opts.use_indexes, gate);
+            *buf = (out, take_index_probes(), take_exist_cuts(), att);
         }
     } else {
         let snapshot: &Database = db;
@@ -603,38 +666,48 @@ fn run_grouping_round(
                 Box::new(move || {
                     take_index_probes();
                     take_exist_cuts();
-                    let out = run_grouping_rule(plan, snapshot, use_indexes);
-                    *buf = (out, take_index_probes(), take_exist_cuts());
+                    let (out, att) = run_grouping_rule(plan, snapshot, use_indexes, gate);
+                    *buf = (out, take_index_probes(), take_exist_cuts(), att);
                 }) as Job<'_>
             })
             .collect();
         pool.run(jobs);
     }
-    for (plan, (buf, probes, cuts)) in plans.iter().zip(buffers) {
+    let mut new = 0u64;
+    let mut attempts = 0u64;
+    for (plan, (buf, probes, cuts, att)) in plans.iter().zip(buffers) {
         stats.index_probes += probes;
         stats.exist_cuts += cuts;
+        attempts += att;
         for t in buf {
             if db.insert_ids(plan.head.pred, t) {
-                stats.facts_derived += 1;
+                new += 1;
             } else {
                 stats.dedup_inserts += 1;
             }
         }
     }
+    stats.facts_derived += new;
+    stats.attempts += attempts;
+    meter.charge(attempts, new);
+    meter.check()
 }
 
 /// Run one compiled non-grouping rule, inserting derived facts. Returns the
-/// number of new facts. (The sequential convenience used by the magic-set
-/// evaluator's guarded passes; the fixpoints below batch whole rounds
-/// instead.)
+/// number of new facts, or the budget abort that cut the pass short. (The
+/// sequential convenience used by the magic-set evaluator's guarded passes;
+/// the fixpoints below batch whole rounds instead.)
 pub fn run_rule_once(
     plan: &RulePlan,
     db: &mut Database,
     restrict: Option<DeltaRestriction>,
     opts: &EvalOptions,
     stats: &mut EvalStats,
-) -> usize {
-    let (derived, probes, cuts) = derive_once(plan, db, restrict, opts.use_indexes);
+    meter: &mut BudgetMeter<'_>,
+) -> Result<usize, EvalError> {
+    meter.check()?;
+    let (derived, probes, cuts, attempts) =
+        derive_once(plan, db, restrict, opts.use_indexes, opts.budget.gate());
     stats.index_probes += probes;
     stats.exist_cuts += cuts;
     let mut new = 0usize;
@@ -649,7 +722,10 @@ pub fn run_rule_once(
     stats.dedup_inserts += dedup;
     stats.rules_fired += 1;
     stats.facts_derived += new as u64;
-    new
+    stats.attempts += attempts;
+    meter.charge(attempts, new as u64);
+    meter.check()?;
+    Ok(new)
 }
 
 /// Naive iteration: apply every rule to the whole database until nothing
@@ -661,9 +737,10 @@ pub fn naive_fixpoint(
     db: &mut Database,
     opts: &EvalOptions,
     stats: &mut EvalStats,
-) {
+    meter: &mut BudgetMeter<'_>,
+) -> Result<(), EvalError> {
     let pool = Pool::new(opts.effective_parallelism());
-    naive_pooled(plans, db, &pool, opts, stats);
+    naive_pooled(plans, db, &pool, opts, stats, meter)
 }
 
 fn naive_pooled(
@@ -672,7 +749,8 @@ fn naive_pooled(
     pool: &Pool,
     opts: &EvalOptions,
     stats: &mut EvalStats,
-) {
+    meter: &mut BudgetMeter<'_>,
+) -> Result<(), EvalError> {
     loop {
         let tasks: Vec<RoundTask<'_>> = plans
             .iter()
@@ -681,8 +759,8 @@ fn naive_pooled(
                 restrict: None,
             })
             .collect();
-        if run_round(&tasks, db, pool, opts, stats) == 0 {
-            break;
+        if run_round(&tasks, db, pool, opts, stats, meter)? == 0 {
+            return Ok(());
         }
     }
 }
@@ -696,9 +774,10 @@ pub fn semi_naive_fixpoint(
     db: &mut Database,
     opts: &EvalOptions,
     stats: &mut EvalStats,
-) {
+    meter: &mut BudgetMeter<'_>,
+) -> Result<(), EvalError> {
     let pool = Pool::new(opts.effective_parallelism());
-    semi_naive_pooled(plans, layer_preds, db, &pool, opts, stats);
+    semi_naive_pooled(plans, layer_preds, db, &pool, opts, stats, meter)
 }
 
 pub(crate) fn semi_naive_pooled(
@@ -708,7 +787,8 @@ pub(crate) fn semi_naive_pooled(
     pool: &Pool,
     opts: &EvalOptions,
     stats: &mut EvalStats,
-) {
+    meter: &mut BudgetMeter<'_>,
+) -> Result<(), EvalError> {
     // Invariant: every derivation whose recursive-literal tuples all have
     // positions below `delta_lo` has already been performed.
     let delta_lo: FastMap<Symbol, usize> =
@@ -724,9 +804,9 @@ pub(crate) fn semi_naive_pooled(
             restrict: None,
         })
         .collect();
-    run_round(&tasks, db, pool, opts, stats);
+    run_round(&tasks, db, pool, opts, stats, meter)?;
 
-    semi_naive_continue_pooled(plans, layer_preds, db, delta_lo, pool, opts, stats);
+    semi_naive_continue_pooled(plans, layer_preds, db, delta_lo, pool, opts, stats, meter)
 }
 
 /// The semi-naive delta loop, starting from a given per-predicate delta
@@ -741,11 +821,13 @@ pub fn semi_naive_continue(
     delta_lo: FastMap<Symbol, usize>,
     opts: &EvalOptions,
     stats: &mut EvalStats,
-) {
+    meter: &mut BudgetMeter<'_>,
+) -> Result<(), EvalError> {
     let pool = Pool::new(opts.effective_parallelism());
-    semi_naive_continue_pooled(plans, layer_preds, db, delta_lo, &pool, opts, stats);
+    semi_naive_continue_pooled(plans, layer_preds, db, delta_lo, &pool, opts, stats, meter)
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn semi_naive_continue_pooled(
     plans: &[RulePlan],
     layer_preds: &FastSet<Symbol>,
@@ -754,7 +836,8 @@ pub(crate) fn semi_naive_continue_pooled(
     pool: &Pool,
     opts: &EvalOptions,
     stats: &mut EvalStats,
-) {
+    meter: &mut BudgetMeter<'_>,
+) -> Result<(), EvalError> {
     // For each plan, a delta-first variant per scan over a predicate
     // defined in this layer: the delta literal runs as step 0 so a
     // restricted pass costs O(delta), not O(outer relation).
@@ -797,9 +880,10 @@ pub(crate) fn semi_naive_continue_pooled(
                 });
             }
         }
-        run_round(&tasks, db, pool, opts, stats);
+        run_round(&tasks, db, pool, opts, stats, meter)?;
         delta_lo = delta_hi;
     }
+    Ok(())
 }
 
 pub(crate) fn len_of(db: &Database, p: Symbol) -> usize {

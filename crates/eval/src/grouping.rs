@@ -19,15 +19,26 @@ use ldl_value::fxhash::{FastMap, FastSet};
 use ldl_value::{intern, ValueId};
 
 use crate::bindings::Bindings;
+use crate::budget::RoundGate;
 use crate::plan::{run_body, HeadKind, RulePlan};
 use crate::unify::eval_term;
 
 /// Evaluate a grouping rule once against `db`, returning the derived tuples
-/// (for the plan's head predicate).
+/// (for the plan's head predicate) and the number of body solutions
+/// enumerated (the derivation attempts charged against a fuel budget).
 ///
 /// Admissibility guarantees every body predicate lies in a strictly lower
 /// layer (§3.1 clause 2), so `db` already holds their complete relations.
-pub fn run_grouping_rule(plan: &RulePlan, db: &Database, use_indexes: bool) -> Vec<Tuple> {
+/// The `gate` only *flags* cancellation ([`RoundGate::tick`] per solution);
+/// the rule still runs to completion so its output is never a partial group
+/// set — the caller discards the whole round on abort. Pass
+/// [`RoundGate::open`] when evaluating without a budget.
+pub fn run_grouping_rule(
+    plan: &RulePlan,
+    db: &Database,
+    use_indexes: bool,
+    gate: RoundGate<'_>,
+) -> (Vec<Tuple>, u64) {
     let HeadKind::Grouping {
         group_pos,
         group_var,
@@ -43,8 +54,11 @@ pub fn run_grouping_rule(plan: &RulePlan, db: &Database, use_indexes: bool) -> V
     let mut groups: FastMap<Vec<ValueId>, (Vec<ValueId>, FastSet<ValueId>)> = FastMap::default();
     let mut key_order: Vec<Vec<ValueId>> = Vec::new();
 
+    let mut attempts = 0u64;
     let mut b = Bindings::new();
     run_body(plan, db, None, use_indexes, &mut b, &mut |b2| {
+        attempts += 1;
+        gate.tick();
         let Some(y) = b2.get(group_var) else {
             // Range restriction guarantees Y is bound; an unbound Y here
             // means the rule slipped past well-formedness — fail loudly.
@@ -86,7 +100,7 @@ pub fn run_grouping_rule(plan: &RulePlan, db: &Database, use_indexes: bool) -> V
         }
     });
 
-    key_order
+    let tuples = key_order
         .into_iter()
         .map(|key| {
             let (other, ys) = groups.remove(&key).expect("key recorded");
@@ -104,7 +118,8 @@ pub fn run_grouping_rule(plan: &RulePlan, db: &Database, use_indexes: bool) -> V
             }
             Tuple::from(args)
         })
-        .collect()
+        .collect();
+    (tuples, attempts)
 }
 
 #[cfg(test)]
@@ -127,7 +142,8 @@ mod tests {
     }
 
     fn run(plan: &RulePlan, db: &Database) -> Vec<Fact> {
-        run_grouping_rule(plan, db, false)
+        run_grouping_rule(plan, db, false, RoundGate::open())
+            .0
             .into_iter()
             .map(|t| resolve_fact(plan.head.pred, &t))
             .collect()

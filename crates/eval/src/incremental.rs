@@ -33,10 +33,11 @@ use ldl_value::Symbol;
 
 use std::sync::Arc;
 
+use crate::budget::BudgetMeter;
 use crate::engine::EvalOptions;
 use crate::error::EvalError;
 use crate::fixpoint::{
-    delta_loop_cached, evaluate_layers, len_of, run_round, LayerSplit, PlanCache, RoundTask,
+    delta_loop_cached, evaluate_layers_metered, len_of, run_round, LayerSplit, PlanCache, RoundTask,
 };
 use crate::plan::{ensure_plan_indexes, DeltaRestriction, RulePlan};
 use crate::pool::Pool;
@@ -73,10 +74,19 @@ pub fn apply_update(
     debug_assert_eq!(sens.len(), strat.num_layers());
     let pool = Pool::new(opts.effective_parallelism());
     let mut cache = PlanCache::default();
+    // One meter spans the whole update — seed rounds, delta loops, and any
+    // replay suffix are charged against the same budget.
+    let mut meter = BudgetMeter::new(&opts.budget);
     for (k, sens_k) in sens.iter().enumerate() {
+        meter.set_context(
+            k,
+            strat.rules_by_layer[k]
+                .first()
+                .map(|&ri| program.rules[ri].head.pred),
+        );
         if changed.keys().any(|&p| sens_k.requires_replay_for(p)) {
             cache.fold_into(stats);
-            return replay_from(program, strat, edb, db, k, opts, stats);
+            return replay_from(program, strat, edb, db, k, opts, stats, &mut meter);
         }
         if !changed.keys().any(|p| sens_k.positive.contains(p)) {
             stats.strata_skipped += 1;
@@ -130,7 +140,7 @@ pub fn apply_update(
                 restrict: Some(*restrict),
             })
             .collect();
-        run_round(&tasks, db, &pool, opts, stats);
+        run_round(&tasks, db, &pool, opts, stats, &mut meter)?;
         drop(tasks);
         drop(seed);
 
@@ -146,6 +156,7 @@ pub fn apply_update(
             &pool,
             opts,
             stats,
+            &mut meter,
         )?;
         stats.strata_delta += 1;
 
@@ -166,6 +177,7 @@ pub fn apply_update(
 /// re-evaluate those layers. Lower layers are already final (they were
 /// either untouched or delta-updated before `k` was reached), so this is
 /// exactly the `Mₖ = Lₖ(Mₖ₋₁)` suffix of Theorem 1's computation.
+#[allow(clippy::too_many_arguments)]
 fn replay_from(
     program: &Program,
     strat: &Stratification,
@@ -174,6 +186,7 @@ fn replay_from(
     k: usize,
     opts: &EvalOptions,
     stats: &mut EvalStats,
+    meter: &mut BudgetMeter<'_>,
 ) -> Result<(), EvalError> {
     for rules in strat.rules_by_layer.iter().skip(k) {
         for &ri in rules {
@@ -185,7 +198,7 @@ fn replay_from(
         }
     }
     stats.strata_replayed += (strat.num_layers() - k) as u64;
-    evaluate_layers(program, db, strat, k, opts, stats)
+    evaluate_layers_metered(program, db, strat, k, opts, stats, meter)
 }
 
 #[cfg(test)]

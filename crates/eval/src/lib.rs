@@ -21,6 +21,7 @@
 //! §2.3/§2.4 counterexamples).
 
 pub mod bindings;
+pub mod budget;
 pub mod builtins;
 pub mod engine;
 pub mod error;
@@ -34,6 +35,7 @@ pub mod pool;
 pub mod stats;
 pub mod unify;
 
+pub use budget::{Budget, BudgetMeter, CancelToken, ResourceKind, RoundGate};
 pub use engine::{EvalOptions, Evaluator, QueryAnswer};
 pub use error::EvalError;
 pub use explain::explain;

@@ -17,8 +17,25 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+
+/// Lock a mutex, tolerating poison. Every job runs inside `catch_unwind`,
+/// so the only way the state mutex gets poisoned is a panic in the pool's
+/// own bookkeeping (e.g. an allocation failure while queueing) — and the
+/// `State` invariants are maintained by straight-line code that either
+/// completes or leaves counters untouched, so the data behind a poisoned
+/// lock is still coherent. Recovering keeps the pool (and the `System` that
+/// owns it) usable after a worker panic instead of cascading
+/// `PoisonError` unwinds through every later evaluation.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// [`Condvar::wait`] with the same poison tolerance as [`lock`].
+fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|p| p.into_inner())
+}
 
 /// A borrowed unit of work: boxed so batches are homogeneous, `Send` so
 /// workers can run it, `'env` so it may capture the caller's borrows.
@@ -49,7 +66,7 @@ impl Shared {
     /// worker, and wake the submitter when the batch drains.
     fn execute(&self, job: StaticJob) {
         let result = catch_unwind(AssertUnwindSafe(job));
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock(&self.state);
         if let Err(payload) = result {
             st.panic.get_or_insert(payload);
         }
@@ -141,7 +158,7 @@ impl Pool {
             return;
         }
         {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = lock(&shared.state);
             st.pending += jobs.len();
             for job in jobs {
                 // SAFETY: `run` does not return until `pending` drops back
@@ -158,16 +175,16 @@ impl Pool {
 
         // Participate: drain the queue on this thread too.
         loop {
-            let job = shared.state.lock().unwrap().queue.pop_front();
+            let job = lock(&shared.state).queue.pop_front();
             match job {
                 Some(job) => shared.execute(job),
                 None => break,
             }
         }
         // Wait for in-flight jobs on the workers.
-        let mut st = shared.state.lock().unwrap();
+        let mut st = lock(&shared.state);
         while st.pending > 0 {
-            st = shared.done_cv.wait(st).unwrap();
+            st = wait(&shared.done_cv, st);
         }
         if let Some(payload) = st.panic.take() {
             drop(st);
@@ -179,7 +196,7 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         if let Some(shared) = &self.shared {
-            shared.state.lock().unwrap().shutdown = true;
+            lock(&shared.state).shutdown = true;
             shared.work_cv.notify_all();
         }
         for handle in self.workers.drain(..) {
@@ -200,7 +217,7 @@ impl std::fmt::Debug for Pool {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = lock(&shared.state);
             loop {
                 if let Some(job) = st.queue.pop_front() {
                     break Some(job);
@@ -208,7 +225,7 @@ fn worker_loop(shared: &Shared) {
                 if st.shutdown {
                     break None;
                 }
-                st = shared.work_cv.wait(st).unwrap();
+                st = wait(&shared.work_cv, st);
             }
         };
         match job {
@@ -313,5 +330,30 @@ mod tests {
             .collect();
         pool.run(jobs);
         assert_eq!(ran.load(Ordering::SeqCst), 12);
+    }
+
+    #[test]
+    fn poisoned_state_mutex_is_recovered() {
+        // Poison the mutex directly (a panic while holding the guard) and
+        // check the pool still runs batches: `lock` recovers the guard
+        // instead of unwrapping the `PoisonError`.
+        let pool = Pool::new(2);
+        let shared = pool.shared.as_ref().unwrap();
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = shared.state.lock().unwrap();
+            panic!("poison the pool mutex");
+        }));
+        assert!(shared.state.is_poisoned());
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<Job> = (0..8)
+            .map(|_| {
+                let counter = &counter;
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Job
+            })
+            .collect();
+        pool.run(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
     }
 }

@@ -13,6 +13,13 @@ use std::ops::AddAssign;
 pub struct EvalStats {
     /// Rule-pass executions (each `run_rule_once` or grouping-rule run).
     pub rules_fired: u64,
+    /// Derivation attempts: body solutions enumerated across all rule
+    /// passes (including ones whose head fell outside `U` or deduplicated
+    /// away). This is the unit the fuel budget
+    /// ([`Budget::fuel`](crate::Budget)) meters. Deterministic except for
+    /// rules whose *entire* body is existential (ground heads): their
+    /// short-circuit point, like `exist_cuts`, can vary with `parallelism`.
+    pub attempts: u64,
     /// Facts newly inserted into the database (duplicates excluded).
     pub facts_derived: u64,
     /// Derived tuples rejected by the duplicate filter at merge time — the
@@ -72,6 +79,7 @@ impl EvalStats {
 impl AddAssign for EvalStats {
     fn add_assign(&mut self, rhs: EvalStats) {
         self.rules_fired += rhs.rules_fired;
+        self.attempts += rhs.attempts;
         self.facts_derived += rhs.facts_derived;
         self.dedup_inserts += rhs.dedup_inserts;
         self.index_probes += rhs.index_probes;
@@ -92,8 +100,9 @@ impl fmt::Display for EvalStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rules fired: {}, facts derived: {}, dedup inserts: {}, index probes: {}, interned values: {}, strata replayed: {}, delta-updated: {}, skipped: {}, rounds: {}, tasks: {}, plan cache hits: {}, misses: {}, replans: {}, exist cuts: {}",
+            "rules fired: {}, attempts: {}, facts derived: {}, dedup inserts: {}, index probes: {}, interned values: {}, strata replayed: {}, delta-updated: {}, skipped: {}, rounds: {}, tasks: {}, plan cache hits: {}, misses: {}, replans: {}, exist cuts: {}",
             self.rules_fired,
+            self.attempts,
             self.facts_derived,
             self.dedup_inserts,
             self.index_probes,

@@ -21,6 +21,7 @@ fn all_configs() -> Vec<Evaluator> {
                         dialect: ldl_ast::wf::Dialect::Ldl1,
                         parallelism,
                         cost_based,
+                        ..EvalOptions::default()
                     }));
                 }
             }

@@ -51,7 +51,9 @@ pub use ldl_transform as transform;
 pub use ldl_value as value;
 
 pub use ldl_ast::program::Program;
-pub use ldl_eval::{check_model, EvalOptions, EvalStats, Evaluator, QueryAnswer};
+pub use ldl_eval::{
+    check_model, Budget, CancelToken, EvalOptions, EvalStats, Evaluator, QueryAnswer, ResourceKind,
+};
 pub use ldl_magic::MagicEvaluator;
 pub use ldl_storage::Database;
 pub use ldl_stratify::Stratification;
@@ -191,6 +193,29 @@ impl System {
         self.options.parallelism
     }
 
+    /// Set the resource budget every subsequent evaluation runs under:
+    /// fuel (derivation attempts), a wall-clock deadline, derived-fact and
+    /// interner-size caps, and/or a [`CancelToken`]. Aborted operations are
+    /// transactional — see [`eval::Budget`] — so a cached model (if any)
+    /// stays valid and the budget can be raised and the call retried.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.options.budget = budget;
+    }
+
+    /// The currently configured budget.
+    pub fn budget(&self) -> &Budget {
+        &self.options.budget
+    }
+
+    /// The cancel token evaluations run under — share it with another
+    /// thread (or a signal handler) and call [`CancelToken::cancel`] to
+    /// interrupt an evaluation in progress. The interrupted call fails with
+    /// [`eval::EvalError::ResourceExhausted`] and leaves the system in its
+    /// pre-call state; [`CancelToken::reset`] re-arms for the next call.
+    pub fn interrupt_handle(&self) -> CancelToken {
+        self.options.budget.cancel.clone()
+    }
+
     /// Choose the §4.2 grouping semantics — (ii) `PerGroup` (default) or
     /// (ii)′ `WithContext`. Recompiles the loaded rules; an error leaves
     /// the previous compilation (and semantics choice) in place.
@@ -273,8 +298,16 @@ impl System {
 
     /// Apply a committed batch: extend the EDB and, if a model is cached,
     /// propagate the new tuples through it incrementally.
+    ///
+    /// Transactional under resource aborts: if the incremental update runs
+    /// out of budget, the staged facts are rolled back out of the EDB and
+    /// the (half-updated) model is dropped, leaving the system exactly as
+    /// it was before the commit — re-submitting the batch under a
+    /// sufficient budget then produces the same state as an uninterrupted
+    /// commit.
     fn commit_facts(&mut self, staged: Vec<Fact>) -> Result<(), Error> {
         let opts = self.eval_options();
+        let edb_mark = self.edb.mark();
         let Some(cache) = &mut self.cache else {
             for f in staged {
                 self.edb.insert(f);
@@ -311,8 +344,17 @@ impl System {
         stats.interner_values = ldl_value::intern::len() as u64;
         self.last_stats = stats;
         if let Err(e) = res {
-            // The model may be half-updated; drop it so the next query
-            // recomputes (and re-raises the error) from scratch.
+            if matches!(e, ldl_eval::EvalError::ResourceExhausted { .. }) {
+                // Abort: undo the commit entirely. The staged facts leave
+                // the EDB; the half-updated model is dropped (replay may
+                // have truncated IDB relations with `set_relation`, so a
+                // positional rollback of the model is not possible — a
+                // retry recomputes it from the restored EDB, bit-identical
+                // to a never-interrupted run).
+                self.edb.truncate_to(&edb_mark);
+            }
+            // Otherwise the model may be half-updated; drop it so the next
+            // query recomputes (and re-raises the error) from scratch.
             self.cache = None;
             return Err(e.into());
         }
@@ -350,7 +392,7 @@ impl System {
     fn eval_options(&self) -> EvalOptions {
         EvalOptions {
             dialect: ast::wf::Dialect::Ldl15,
-            ..self.options
+            ..self.options.clone()
         }
     }
 
@@ -358,7 +400,7 @@ impl System {
     /// evaluation, then pattern matching).
     pub fn query(&mut self, query: &str) -> Result<Vec<QueryAnswer>, Error> {
         let atom = ldl_parser::parse_atom(query)?;
-        let options = self.options;
+        let options = self.options.clone();
         let m = self.model()?;
         Ok(Evaluator::with_options(options).query(m, &atom))
     }
@@ -375,7 +417,7 @@ impl System {
 
     /// All facts of one predicate in the model, sorted.
     pub fn facts(&mut self, pred: &str) -> Result<Vec<Fact>, Error> {
-        let options = self.options;
+        let options = self.options.clone();
         let m = self.model()?;
         Ok(Evaluator::with_options(options).facts(m, pred))
     }

@@ -27,7 +27,7 @@ use ldl_eval::fixpoint::{naive_fixpoint, run_rule_once, semi_naive_fixpoint};
 use ldl_eval::grouping::run_grouping_rule;
 use ldl_eval::plan::{ensure_indexes, HeadKind, RulePlan};
 use ldl_eval::stats::EvalStats;
-use ldl_eval::{EvalError, EvalOptions, Evaluator, QueryAnswer};
+use ldl_eval::{BudgetMeter, EvalError, EvalOptions, Evaluator, QueryAnswer};
 use ldl_storage::Database;
 use ldl_stratify::Stratification;
 use ldl_value::fxhash::FastSet;
@@ -119,19 +119,27 @@ impl MagicEvaluator {
         db.relation_mut(mp.seed.pred(), mp.seed.arity());
         db.insert(mp.seed.clone());
 
-        let run_base = |db: &mut Database, opts: &EvalOptions| {
+        // One meter spans the whole staged schedule, so a budget covers the
+        // query end to end rather than per fixpoint. The magic schedule is
+        // not layered; report the original query predicate's stratum.
+        let mut meter = BudgetMeter::new(&self.options.budget);
+        let run_base = |db: &mut Database,
+                        opts: &EvalOptions,
+                        meter: &mut BudgetMeter<'_>|
+         -> Result<(), EvalError> {
             ensure_indexes(&base, db);
             let mut stats = EvalStats::new();
             if opts.semi_naive {
-                semi_naive_fixpoint(&base, &base_preds, db, opts, &mut stats);
+                semi_naive_fixpoint(&base, &base_preds, db, opts, &mut stats, meter)
             } else {
-                naive_fixpoint(&base, db, opts, &mut stats);
+                naive_fixpoint(&base, db, opts, &mut stats, meter)
             }
         };
         let apply_guarded = |db: &mut Database,
                              opts: &EvalOptions,
+                             meter: &mut BudgetMeter<'_>,
                              pick: &dyn Fn(usize) -> bool|
-         -> usize {
+         -> Result<usize, EvalError> {
             let mut changed = 0;
             for (gs, plan) in &guarded {
                 if !pick(*gs) {
@@ -140,18 +148,25 @@ impl MagicEvaluator {
                 ensure_indexes(std::slice::from_ref(plan), db);
                 changed += match plan.head_kind {
                     HeadKind::Grouping { .. } => {
+                        meter.check()?;
+                        let (tuples, attempts) =
+                            run_grouping_rule(plan, db, opts.use_indexes, opts.budget.gate());
                         let mut n = 0;
-                        for t in run_grouping_rule(plan, db, opts.use_indexes) {
+                        for t in tuples {
                             if db.insert_ids(plan.head.pred, t) {
                                 n += 1;
                             }
                         }
-                        n
+                        meter.charge(attempts, n);
+                        meter.check()?;
+                        n as usize
                     }
-                    HeadKind::Simple => run_rule_once(plan, db, None, opts, &mut EvalStats::new()),
+                    HeadKind::Simple => {
+                        run_rule_once(plan, db, None, opts, &mut EvalStats::new(), meter)?
+                    }
                 };
             }
-            changed
+            Ok(changed)
         };
 
         // Stage-by-stage schedule. A guarded rule at stratum s (a group or a
@@ -167,19 +182,20 @@ impl MagicEvaluator {
         // binding was processed.
         let max_stratum = guarded.iter().map(|(s, _)| *s).max().unwrap_or(0);
         for s in 0..=max_stratum {
+            meter.set_context(s, Some(mp.query.pred));
             loop {
                 loop {
-                    run_base(&mut db, &self.options);
-                    if apply_guarded(&mut db, &self.options, &|gs| gs < s) == 0 {
+                    run_base(&mut db, &self.options, &mut meter)?;
+                    if apply_guarded(&mut db, &self.options, &mut meter, &|gs| gs < s)? == 0 {
                         break;
                     }
                 }
-                if apply_guarded(&mut db, &self.options, &|gs| gs == s) == 0 {
+                if apply_guarded(&mut db, &self.options, &mut meter, &|gs| gs == s)? == 0 {
                     break;
                 }
             }
         }
-        run_base(&mut db, &self.options);
+        run_base(&mut db, &self.options, &mut meter)?;
         Ok(db)
     }
 
@@ -201,7 +217,7 @@ impl MagicEvaluator {
         let db = self.evaluate(&mp, program, edb)?;
         let plain = Evaluator::with_options(EvalOptions {
             check_wf: false,
-            ..self.options
+            ..self.options.clone()
         });
         Ok(plain.query(&db, &mp.query))
     }

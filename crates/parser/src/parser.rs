@@ -10,9 +10,22 @@ use ldl_value::Value;
 use crate::error::{ParseError, Pos};
 use crate::lexer::{lex, Spanned, Tok};
 
+/// Maximum term/set nesting depth the recursive-descent parser accepts.
+/// The parser recurses once per nesting level, so unbounded input like a
+/// 100k-deep `scons` chain would overflow the stack; past this depth it
+/// returns a parse error instead. Debug builds spend roughly 8 KiB of
+/// stack per level (measured: depth 200 fits a 2 MiB thread, depth 300
+/// does not), so the limit is set to keep worst-case recursion near 1 MiB
+/// — safe on a default 2 MiB spawned thread — while still being far
+/// deeper than any realistic program nests. Lists and argument lists are
+/// parsed iteratively and do not count toward this limit.
+const MAX_DEPTH: usize = 128;
+
 struct Parser {
     toks: Vec<Spanned>,
     idx: usize,
+    /// Current term-nesting recursion depth (see [`MAX_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser {
@@ -20,6 +33,7 @@ impl Parser {
         Ok(Parser {
             toks: lex(src)?,
             idx: 0,
+            depth: 0,
         })
     }
 
@@ -111,6 +125,19 @@ impl Parser {
     }
 
     fn primary(&mut self) -> Result<Term, ParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err(format!(
+                "term nesting deeper than {MAX_DEPTH} levels; deeper terms \
+                 would overflow the parser stack"
+            )));
+        }
+        self.depth += 1;
+        let out = self.primary_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn primary_inner(&mut self) -> Result<Term, ParseError> {
         match self.next() {
             Some(Tok::Int(i)) => Ok(Term::int(i)),
             Some(Tok::Minus) => match self.next() {
@@ -351,6 +378,47 @@ pub fn parse_atom(src: &str) -> Result<Atom, ParseError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn deep_nesting_is_a_parse_error_not_a_stack_overflow() {
+        // A 100k-deep scons chain, parsed on a thread with the default
+        // (small) stack: the depth guard must reject the input long before
+        // the recursion endangers the stack. Debug builds burn ~8 KiB of
+        // stack per nesting level, so if the guard regressed this would
+        // overflow well before reaching the bottom of the chain.
+        let handle = std::thread::Builder::new()
+            .stack_size(2 * 1024 * 1024)
+            .spawn(|| {
+                let depth = 100_000;
+                let mut src = String::with_capacity(depth * 12 + 16);
+                src.push_str("p(");
+                for _ in 0..depth {
+                    src.push_str("scons(a, ");
+                }
+                src.push_str("{}");
+                for _ in 0..depth {
+                    src.push(')');
+                }
+                src.push_str(").");
+                parse_program(&src)
+            })
+            .unwrap();
+        let err = handle.join().unwrap().unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+
+        // Depth just below the limit still parses (the guard counts
+        // nesting, not tokens).
+        let mut ok = String::from("p(");
+        for _ in 0..64 {
+            ok.push_str("scons(a, ");
+        }
+        ok.push_str("{}");
+        for _ in 0..64 {
+            ok.push(')');
+        }
+        ok.push_str(").");
+        parse_program(&ok).unwrap();
+    }
 
     #[test]
     fn parse_ancestor_program() {

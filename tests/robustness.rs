@@ -1,7 +1,27 @@
 //! Failure injection and edge cases: the engine must fail loudly and
 //! precisely on bad programs, and behave sensibly at the boundaries of `U`.
 
-use ldl1::{Database, EvalOptions, Evaluator, Fact, System, Value};
+use std::time::Duration;
+
+use ldl1::eval::EvalError;
+use ldl1::{Budget, Database, EvalOptions, Evaluator, Fact, ResourceKind, System, Value};
+
+/// The canonical diverging program: its minimal model is infinite (n holds
+/// for z, s(z), s(s(z)), ... — §2.2's omega-closure universe), so bottom-up
+/// evaluation never reaches a fixpoint and *must* be stopped by a budget.
+const DIVERGING: &str = "n(z).\nn(s(X)) <- n(X).";
+
+/// Unwrap an evaluation error down to the `ResourceExhausted` variant and
+/// assert which resource tripped.
+fn expect_abort(err: ldl1::Error, want: ResourceKind) {
+    match &err {
+        ldl1::Error::Eval(EvalError::ResourceExhausted { resource, pred, .. }) => {
+            assert_eq!(*resource, want, "wrong resource in {err}");
+            assert_eq!(pred, "n", "abort should name the diverging predicate");
+        }
+        other => panic!("expected ResourceExhausted({want:?}), got {other:?}"),
+    }
+}
 
 #[test]
 fn arity_mismatch_across_rules_rejected() {
@@ -217,6 +237,226 @@ fn update_after_query_recomputes() {
         sys.query("kids(a, S)").unwrap()[0].bindings[0].1,
         Value::set(vec![Value::int(1), Value::int(2)])
     );
+}
+
+#[test]
+fn diverging_program_aborts_under_each_cap() {
+    // Every cap must stop the infinite fixpoint, sequentially and with a
+    // worker pool, and the diagnostic must name the tripped resource.
+    for jobs in [1, 4] {
+        for (budget, want) in [
+            (Budget::unlimited().with_fuel(10_000), ResourceKind::Fuel),
+            (
+                Budget::unlimited().with_deadline(Duration::from_millis(100)),
+                ResourceKind::Time,
+            ),
+            (
+                Budget::unlimited().with_max_facts(5_000),
+                ResourceKind::Facts,
+            ),
+            // The interner is process-global and already holds values from
+            // other tests, so a cap of 1 is exceeded on the first check.
+            (
+                Budget::unlimited().with_max_interned(1),
+                ResourceKind::Interner,
+            ),
+        ] {
+            let mut sys = System::new();
+            sys.set_parallelism(jobs);
+            sys.load(DIVERGING).unwrap();
+            sys.set_budget(budget);
+            expect_abort(sys.model().map(|_| ()).unwrap_err(), want);
+        }
+    }
+}
+
+#[test]
+fn cancelled_token_aborts_immediately_and_reset_recovers() {
+    let mut sys = System::new();
+    sys.load("p(X) <- e(X). e(1).").unwrap();
+    let handle = sys.interrupt_handle();
+    sys.set_budget(Budget::unlimited().with_cancel(handle.clone()));
+    handle.cancel();
+    expect_interrupt(sys.facts("p").map(|_| ()).unwrap_err());
+    // reset() re-arms the same system; the query then succeeds normally.
+    handle.reset();
+    assert_eq!(sys.facts("p").unwrap().len(), 1);
+}
+
+/// Like [`expect_abort`] but for external cancellation, where the stratum
+/// context depends on where the check lands.
+fn expect_interrupt(err: ldl1::Error) {
+    match &err {
+        ldl1::Error::Eval(EvalError::ResourceExhausted { resource, .. }) => {
+            assert_eq!(*resource, ResourceKind::Interrupt, "{err}");
+        }
+        other => panic!("expected interrupt abort, got {other:?}"),
+    }
+}
+
+#[test]
+fn aborted_commit_rolls_back_and_retry_matches_clean_run() {
+    // Transactionality of the incremental path: a batch commit that runs out
+    // of fuel must leave the System exactly as it was before the commit, and
+    // retrying with a bigger budget must produce the same model a clean
+    // system (which never saw the abort) computes.
+    let rules = "r(X, Y) <- e(X, Y).\n\
+                 r(X, Y) <- e(X, Z), r(Z, Y).\n\
+                 reach(X, <Y>) <- r(X, Y).";
+    let mut sys = System::new();
+    sys.load(rules).unwrap();
+    for i in 0..20 {
+        sys.insert("e", vec![Value::int(i), Value::int(i + 1)]);
+    }
+    // Materialise the model so the next commit takes the incremental path.
+    let before = sys.model().unwrap().dump();
+
+    // A commit whose maintenance work exceeds the fuel budget aborts...
+    sys.set_budget(Budget::unlimited().with_fuel(10));
+    let mut batch = sys.batch();
+    for i in 20..40 {
+        batch.insert("e", vec![Value::int(i), Value::int(i + 1)]);
+    }
+    let err = batch.commit().map(|_| ()).unwrap_err();
+    match &err {
+        ldl1::Error::Eval(EvalError::ResourceExhausted { resource, .. }) => {
+            assert_eq!(*resource, ResourceKind::Fuel, "{err}");
+        }
+        other => panic!("expected fuel abort, got {other:?}"),
+    }
+
+    // ...and the EDB is rolled back: the model is byte-identical to the
+    // pre-commit state once the budget allows recomputation.
+    sys.set_budget(Budget::unlimited());
+    assert_eq!(sys.model().unwrap().dump(), before);
+
+    // Retrying the same batch under a sufficient budget now succeeds, and
+    // the result is bit-identical to a clean system that never aborted.
+    let mut batch = sys.batch();
+    for i in 20..40 {
+        batch.insert("e", vec![Value::int(i), Value::int(i + 1)]);
+    }
+    batch.commit().unwrap();
+    let retried = sys.model().unwrap().dump();
+
+    let mut clean = System::new();
+    clean.load(rules).unwrap();
+    for i in 0..40 {
+        clean.insert("e", vec![Value::int(i), Value::int(i + 1)]);
+    }
+    assert_eq!(retried, clean.model().unwrap().dump());
+}
+
+#[test]
+fn abort_during_grouping_never_leaks_partial_sets() {
+    // Fuel runs out while grouping rules are active: no partially built
+    // group set may survive into a later successful evaluation.
+    let rules = "r(X, Y) <- e(X, Y).\n\
+                 r(X, Y) <- e(X, Z), r(Z, Y).\n\
+                 reach(X, <Y>) <- r(X, Y).";
+    let mut aborted = 0;
+    for fuel in [1, 10, 100, 1000] {
+        let mut sys = System::new();
+        sys.load(rules).unwrap();
+        for i in 0..30 {
+            sys.insert("e", vec![Value::int(i), Value::int(i + 1)]);
+        }
+        sys.set_budget(Budget::unlimited().with_fuel(fuel));
+        if sys.model().is_err() {
+            aborted += 1;
+        }
+        sys.set_budget(Budget::unlimited());
+        let reach = sys.facts("reach").unwrap();
+        // Node 0 reaches exactly nodes 1..=30.
+        let full = reach
+            .iter()
+            .find(|f| f.args()[0] == Value::int(0))
+            .expect("reach(0, S) exists after retry");
+        assert_eq!(full.args()[1].as_set().unwrap().len(), 30, "fuel={fuel}");
+    }
+    assert!(aborted >= 2, "too few fuel levels aborted ({aborted})");
+}
+
+#[test]
+fn abort_during_negation_stratum_is_transactional() {
+    // Stratum 0 (reachability) fits the budget; the fuel runs out in the
+    // negation stratum. The abort must name a stratum > 0 and a retry must
+    // match a clean run exactly.
+    let rules = "r(X, Y) <- e(X, Y).\n\
+                 r(X, Y) <- e(X, Z), r(Z, Y).\n\
+                 unreached(Y) <- e(Y, _), ~r(z0, Y).";
+    let build = |sys: &mut System| {
+        sys.load(rules).unwrap();
+        sys.fact("e(z0, z1).").unwrap();
+        for i in 1..15 {
+            sys.insert(
+                "e",
+                vec![
+                    Value::atom(&format!("z{i}")),
+                    Value::atom(&format!("z{}", i + 1)),
+                ],
+            );
+        }
+        // A second component the z0-walk never reaches.
+        for i in 0..15 {
+            sys.insert(
+                "e",
+                vec![
+                    Value::atom(&format!("w{i}")),
+                    Value::atom(&format!("w{}", i + 1)),
+                ],
+            );
+        }
+    };
+
+    // Find a fuel level that aborts *past* stratum 0 by scanning upward;
+    // the exact threshold depends on join order, the property under test
+    // does not.
+    let mut aborted_in_negation = false;
+    for fuel in (50..2000).step_by(50) {
+        let mut sys = System::new();
+        build(&mut sys);
+        sys.set_budget(Budget::unlimited().with_fuel(fuel));
+        match sys.model().map(|db| db.dump()) {
+            Err(ldl1::Error::Eval(EvalError::ResourceExhausted { stratum, .. })) => {
+                if stratum > 0 {
+                    aborted_in_negation = true;
+                    // Retry under no budget must equal a clean run.
+                    sys.set_budget(Budget::unlimited());
+                    let retried = sys.model().unwrap().dump();
+                    let mut clean = System::new();
+                    build(&mut clean);
+                    assert_eq!(retried, clean.model().unwrap().dump());
+                }
+            }
+            Err(other) => panic!("unexpected error: {other:?}"),
+            Ok(_) => break, // fuel now covers the whole evaluation
+        }
+    }
+    assert!(
+        aborted_in_negation,
+        "no fuel level hit the negation stratum; tighten the scan"
+    );
+}
+
+#[test]
+fn magic_query_aborts_under_fuel_too() {
+    // The magic-sets pipeline threads the same budget. The diverging
+    // predicate is kept pure-IDB (seeded from an EDB relation) because the
+    // magic rewrite reads EDB facts through the original predicate name,
+    // and the query is all-free so the rewrite degenerates to the full
+    // (infinite) bottom-up evaluation.
+    let mut sys = System::new();
+    sys.load("n(X) <- base(X).\nn(s(X)) <- n(X).\nbase(z).")
+        .unwrap();
+    sys.set_budget(Budget::unlimited().with_fuel(5_000));
+    let err = sys.query_magic("n(X)").map(|_| ()).unwrap_err();
+    match &err {
+        ldl1::Error::Eval(EvalError::ResourceExhausted { resource, .. }) => {
+            assert_eq!(*resource, ResourceKind::Fuel, "{err}");
+        }
+        other => panic!("expected fuel abort from magic query, got {other:?}"),
+    }
 }
 
 #[test]
