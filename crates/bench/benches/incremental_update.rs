@@ -66,8 +66,8 @@ fn main() {
         turn += 1;
         let t = tails[c];
         tails[c] = t + 1;
-        let mut b = sys.batch();
-        b.insert("par", vec![Value::int(t), Value::int(t + 1)]);
+        let mut b = sys.mutate();
+        b.assert("par", vec![Value::int(t), Value::int(t + 1)]);
         b.commit().unwrap();
     });
 

@@ -1,0 +1,248 @@
+//! P16 — differential deletion: retracting or updating one fact in a
+//! cached model vs recomputing the model from scratch.
+//!
+//! Two workloads:
+//!
+//! * **ancestor forest** — the P11 10,000-edge forest (1,000 chains × 10
+//!   edges). Each timed batch retracts (or updates) one chain's tail edge,
+//!   so DRed overdeletes and rederives only along that chain; the full
+//!   recompute re-derives all ~55,000 `anc` facts. Acceptance bar: ≥10×
+//!   for both the retract and the update batch (expected: orders of
+//!   magnitude).
+//! * **BOM churn** — the §1 bill-of-materials program at the paper's
+//!   scale, updating one leaf price per batch. The set-valued `tc` heads
+//!   are not invertible, so maintenance falls back to replaying the `tc`
+//!   stratum while the `part` grouping layer below is preserved — this is
+//!   the honest cost of the replay fallback, reported without a bar.
+//!
+//! Results go to `BENCH_retract_update.json` at the workspace root. If
+//! `BENCH_retract_update.baseline.json` exists, each kernel also reports
+//! its speedup over that saved run.
+//!
+//! `cargo bench -p ldl-bench --bench retract_update -- smoke` runs a tiny
+//! 1-iteration configuration for CI and skips the JSON file.
+
+use ldl1::{Database, EvalOptions, Evaluator, System, Value};
+use ldl_bench::{bom, opts, ANCESTOR, BOM};
+use ldl_testkit::{bench, Sample};
+
+const STRIDE: i64 = 1_000_000; // id space per chain, room to grow
+
+fn edges(chains: i64, links: i64) -> Vec<(i64, i64)> {
+    let mut es = Vec::new();
+    for c in 0..chains {
+        let base = c * STRIDE;
+        for i in 0..links {
+            es.push((base + i, base + i + 1));
+        }
+    }
+    es
+}
+
+fn ancestor_system(es: &[(i64, i64)]) -> System {
+    let mut sys = System::new();
+    sys.load(ANCESTOR).unwrap();
+    for &(x, y) in es {
+        sys.insert("par", vec![Value::int(x), Value::int(y)]);
+    }
+    sys.model().unwrap(); // build + cache the model
+    sys
+}
+
+/// Pull `"key": <number>` out of one flat JSON object chunk.
+fn json_number(chunk: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = chunk.find(&pat)? + pat.len();
+    let rest = chunk[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Per-kernel medians from a previous run's JSON, by kernel name.
+fn read_baseline(path: &str) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for chunk in text.split('{').skip(1) {
+        let name = chunk
+            .find("\"name\":")
+            .and_then(|i| {
+                chunk[i + 7..]
+                    .trim_start()
+                    .strip_prefix('"')
+                    .map(String::from)
+            })
+            .and_then(|s| s.split('"').next().map(String::from));
+        if let (Some(name), Some(median)) = (name, json_number(chunk, "median_ms")) {
+            out.push((name, median));
+        }
+    }
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "smoke" || a == "--smoke");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+
+    let (chains, links, full_iters, batch_iters, bom_depth) = if smoke {
+        (20i64, 5i64, 1usize, 2usize, 2u32)
+    } else {
+        (1_000, 10, 5, 50, 2)
+    };
+    let es = edges(chains, links);
+
+    // Baseline: full recompute of the model over the surviving edge set.
+    let mut db = Database::new();
+    for &(x, y) in &es {
+        db.insert_tuple("par", vec![Value::int(x), Value::int(y)]);
+    }
+    let program = ldl1::parser::parse_program(ANCESTOR).unwrap();
+    let ev = Evaluator::with_options(EvalOptions {
+        check_wf: false,
+        ..opts(true, true)
+    });
+    let full = bench(
+        "P16_retract_update",
+        "full_recompute_10k_edges",
+        full_iters,
+        || {
+            ev.evaluate(&program, &db).unwrap();
+        },
+    );
+
+    // Retraction: one-fact batches against the cached model, each deleting
+    // a different chain's tail edge — DRed walks only that chain.
+    let mut sys = ancestor_system(&es);
+    let mut turn = 0usize;
+    let retract = bench(
+        "P16_retract_update",
+        "one_fact_retract",
+        batch_iters,
+        || {
+            let base = (turn as i64 % chains) * STRIDE;
+            turn += 1;
+            let t = base + links - 1;
+            let mut b = sys.mutate();
+            b.retract("par", vec![Value::int(t), Value::int(t + 1)]);
+            b.commit().unwrap();
+        },
+    );
+
+    // Update: move a different chain's tail edge to a fresh endpoint in one
+    // transactional batch (retract + assert, netted and maintained together).
+    let mut sys = ancestor_system(&es);
+    let mut turn = 0usize;
+    let update = bench("P16_retract_update", "one_fact_update", batch_iters, || {
+        let base = (turn as i64 % chains) * STRIDE;
+        turn += 1;
+        let t = base + links - 1;
+        let mut b = sys.mutate();
+        b.update(
+            "par",
+            vec![Value::int(t), Value::int(t + 1)],
+            vec![Value::int(t), Value::int(t + 1000 + turn as i64)],
+        );
+        b.commit().unwrap();
+    });
+
+    // BOM churn: update one leaf price per batch. Non-invertible set heads
+    // force the replay fallback for the `tc` stratum; the `part` grouping
+    // layer below survives untouched.
+    let bom_db = bom(bom_depth, 2);
+    let bom_program = ldl1::parser::parse_program(BOM).unwrap();
+    let bom_full = bench(
+        "P16_retract_update",
+        "bom_full_recompute",
+        full_iters,
+        || {
+            ev.evaluate(&bom_program, &bom_db).unwrap();
+        },
+    );
+    let mut sys = System::new();
+    sys.load(BOM).unwrap();
+    let mut leaves: Vec<(i64, i64)> = Vec::new();
+    for f in bom_db.to_fact_set() {
+        let args = f.args();
+        if f.pred().to_string() == "q" {
+            leaves.push((args[0].as_int().unwrap(), args[1].as_int().unwrap()));
+        }
+        sys.insert(&f.pred().to_string(), args.to_vec());
+    }
+    sys.model().unwrap();
+    let mut turn = 0usize;
+    let bom_churn = bench(
+        "P16_retract_update",
+        "bom_price_update",
+        batch_iters,
+        || {
+            let i = turn % leaves.len();
+            turn += 1;
+            let (part, price) = leaves[i];
+            let next = price % 97 + 1 + (turn as i64 % 3);
+            let mut b = sys.mutate();
+            b.update(
+                "q",
+                vec![Value::int(part), Value::int(price)],
+                vec![Value::int(part), Value::int(next)],
+            );
+            b.commit().unwrap();
+            leaves[i] = (part, next);
+        },
+    );
+
+    let retract_speedup = retract.speedup_over(&full);
+    let update_speedup = update.speedup_over(&full);
+    let bom_speedup = bom_churn.speedup_over(&bom_full);
+    println!("P16_retract_update/retract_speedup: {retract_speedup:.1}x (acceptance bar: 10x)");
+    println!("P16_retract_update/update_speedup: {update_speedup:.1}x (acceptance bar: 10x)");
+    println!("P16_retract_update/bom_churn_speedup: {bom_speedup:.2}x (replay fallback, no bar)");
+    if !smoke {
+        assert!(
+            retract_speedup >= 10.0,
+            "one-fact retraction must beat full recompute by >=10x, got {retract_speedup:.1}x"
+        );
+        assert!(
+            update_speedup >= 10.0,
+            "one-fact update must beat full recompute by >=10x, got {update_speedup:.1}x"
+        );
+    }
+    if smoke {
+        return; // rot check only: no JSON, no baseline comparison
+    }
+
+    let results: Vec<(&str, &Sample)> = vec![
+        ("full_recompute_10k_edges", &full),
+        ("one_fact_retract", &retract),
+        ("one_fact_update", &update),
+        ("bom_full_recompute", &bom_full),
+        ("bom_price_update", &bom_churn),
+    ];
+    let baseline = read_baseline(&format!("{root}/BENCH_retract_update.baseline.json"));
+    let mut json = String::from("{\n  \"bench\": \"retract_update\",\n  \"kernels\": [\n");
+    for (i, (name, s)) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"median_ms\": {:.4}, \"min_ms\": {:.4}, \"iters\": {}",
+            s.median_ms(),
+            s.min.as_secs_f64() * 1e3,
+            s.iters
+        ));
+        if let Some((_, base)) = baseline.iter().find(|(n, _)| n == name) {
+            let speedup = base / s.median_ms().max(1e-9);
+            json.push_str(&format!(
+                ", \"baseline_median_ms\": {base:.4}, \"speedup\": {speedup:.2}"
+            ));
+            println!("P16_retract_update/{name}_vs_baseline: {speedup:.2}x");
+        }
+        json.push_str(if i + 1 < results.len() { "},\n" } else { "}\n" });
+    }
+    json.push_str(&format!(
+        "  ],\n  \"speedups\": {{\"one_fact_retract\": {retract_speedup:.1}, \
+         \"one_fact_update\": {update_speedup:.1}, \"bom_price_update\": {bom_speedup:.2}}}\n}}\n"
+    ));
+    let out = format!("{root}/BENCH_retract_update.json");
+    std::fs::write(&out, json).expect("write BENCH_retract_update.json");
+    println!("wrote {out}");
+}

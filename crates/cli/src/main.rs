@@ -27,6 +27,9 @@ Commands:
   :program            show the compiled core-LDL1 program
   :strata             show the layering of the current program
   :facts PRED         list the model's facts for one predicate
+  :retract FACT.      remove a stored fact (the model is maintained
+                      differentially — counting / delete-rederive)
+  :update OLD. => NEW.  replace a stored fact in one transaction
   :plan [PRED]        show the join plans (step order, indexes, estimates)
   :magic QUERY.       answer a query via the magic-set pipeline
   :stats              work counters of the last evaluation (full or incremental)
@@ -299,6 +302,20 @@ fn command(sys: &mut System, cmd: &str) -> bool {
             match result {
                 Ok(()) => println!("saved model to {rest}"),
                 Err(e) => eprintln!("error: {e}"),
+            }
+        }
+        ":retract" => match sys.retract(rest) {
+            Ok(()) => {}
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ":update" => {
+            // `:update old(…). => new(…).`
+            match rest.split_once("=>") {
+                Some((old, new)) => match sys.update(old.trim(), new.trim()) {
+                    Ok(()) => {}
+                    Err(e) => eprintln!("error: {e}"),
+                },
+                None => eprintln!("error: usage: :update OLD. => NEW."),
             }
         }
         ":magic" => match sys.query_magic(rest) {

@@ -98,6 +98,54 @@ impl LayerSplit {
     }
 }
 
+/// Can this layer's fixpoint predicates carry exact derivation counts?
+///
+/// Counting maintenance (the non-recursive arm of differential deletion,
+/// see [`crate::retract`]) needs every tuple's count to equal its number of
+/// distinct derivations (plus one EDB unit when the tuple is also stored).
+/// That bookkeeping is exact precisely when the layer is *non-recursive*:
+/// no fixpoint rule reads any of the layer's own fixpoint predicates, so
+/// semi-naive round 0 enumerates every derivation exactly once and the
+/// duplicate-insert path of [`ldl_storage::Relation`] turns each duplicate
+/// into a count increment. Layers where a grouping head coincides with a
+/// fixpoint head are excluded too — grouping inserts are replacements, not
+/// derivations.
+pub(crate) fn counting_eligible(program: &Program, split: &LayerSplit) -> bool {
+    if split.rest.is_empty() {
+        return false;
+    }
+    if split
+        .grouping
+        .iter()
+        .any(|&ri| split.preds.contains(&program.rules[ri].head.pred))
+    {
+        return false;
+    }
+    split.rest.iter().all(|&ri| {
+        program.rules[ri].body.iter().all(|l| {
+            Builtin::resolve(l.atom.pred, l.atom.arity()).is_some()
+                || !split.preds.contains(&l.atom.pred)
+        })
+    })
+}
+
+/// A copy of `plan` with its existential tail disabled, so a pass
+/// enumerates *every* body solution. Counting layers need this: a tuple's
+/// derivation count is its number of body solutions across all rules, and
+/// that number must not depend on which plan shape (round 0, delta-first,
+/// or a retraction's `rm$`-variant) produced or removed the derivation.
+/// Full enumeration is join-order-invariant, witness cuts are not.
+pub(crate) fn full_enumeration(plan: &RulePlan) -> RulePlan {
+    RulePlan {
+        head: plan.head.clone(),
+        head_kind: plan.head_kind.clone(),
+        steps: plan.steps.clone(),
+        scan_steps: plan.scan_steps.clone(),
+        exist_from: plan.steps.len(),
+        est_rows: plan.est_rows.clone(),
+    }
+}
+
 /// Compiled-plan cache for one evaluation (or incremental-update) drive.
 ///
 /// Keyed by `(rule id, role)`: role 0 is the full round-0 plan, role
@@ -245,6 +293,18 @@ pub(crate) fn evaluate_layers_metered(
         );
         split.ensure_head_relations(program, db)?;
 
+        // Non-recursive layers carry per-tuple derivation counts so that a
+        // later retraction can be absorbed by decrement-to-zero instead of
+        // a replay (see `counting_eligible`). Enabling is idempotent, and a
+        // replayed layer re-enables after its relations were reset.
+        let counting = opts.semi_naive && counting_eligible(program, &split);
+        if counting {
+            for &ri in &split.rest {
+                let head = &program.rules[ri].head;
+                db.relation_mut(head.pred, head.arity()).enable_counts();
+            }
+        }
+
         // Lemma 3.2.3: grouping rules first, once, over the lower layers.
         // Admissibility (§3.1 clause 2) puts every grouping body predicate
         // strictly below this layer, so the grouping rules cannot observe
@@ -252,8 +312,24 @@ pub(crate) fn evaluate_layers_metered(
         let gplans = lookup_round_plans(&split.grouping, program, &mut cache, db, opts)?;
         run_grouping_round(&gplans, db, &pool, opts, stats, meter)?;
 
-        // Then the remaining rules to fixpoint.
-        if opts.semi_naive {
+        // Then the remaining rules to fixpoint. A counting layer reads only
+        // completed lower layers (that is what made it eligible), so one
+        // full round *is* its fixpoint — run it over plans whose
+        // existential tails are disabled, because the duplicate-insert
+        // count increments must see every body solution, not the first
+        // witness of a projected-away tail.
+        if counting {
+            let plans = lookup_round_plans(&split.rest, program, &mut cache, db, opts)?;
+            let full: Vec<RulePlan> = plans.iter().map(|p| full_enumeration(p)).collect();
+            let tasks: Vec<RoundTask<'_>> = full
+                .iter()
+                .map(|plan| RoundTask {
+                    plan,
+                    restrict: None,
+                })
+                .collect();
+            run_round(&tasks, db, &pool, opts, stats, meter)?;
+        } else if opts.semi_naive {
             semi_naive_cached(program, &split, &mut cache, db, &pool, opts, stats, meter)?;
         } else {
             naive_cached(program, &split, &mut cache, db, &pool, opts, stats, meter)?;
@@ -432,7 +508,7 @@ pub(crate) struct DerivedBuf {
 
 impl DerivedBuf {
     /// Visit each derived tuple as a borrowed id-slice, in derivation order.
-    fn for_each(&self, f: &mut impl FnMut(&[ValueId])) {
+    pub(crate) fn for_each(&self, f: &mut impl FnMut(&[ValueId])) {
         if self.arity == 0 {
             for _ in 0..self.count {
                 f(&[]);

@@ -37,10 +37,12 @@ use crate::budget::BudgetMeter;
 use crate::engine::EvalOptions;
 use crate::error::EvalError;
 use crate::fixpoint::{
-    delta_loop_cached, evaluate_layers_metered, len_of, run_round, LayerSplit, PlanCache, RoundTask,
+    counting_eligible, delta_loop_cached, evaluate_layers_metered, len_of, run_round, LayerSplit,
+    PlanCache, RoundTask,
 };
 use crate::plan::{ensure_plan_indexes, DeltaRestriction, RulePlan};
 use crate::pool::Pool;
+use crate::retract::counting_insert_layer;
 use crate::stats::EvalStats;
 
 /// The changed-predicate frontier: for each predicate, the insertion
@@ -67,16 +69,36 @@ pub fn apply_update(
     sens: &[LayerSensitivity],
     edb: &Database,
     db: &mut Database,
+    changed: DeltaFrontier,
+    opts: &EvalOptions,
+    stats: &mut EvalStats,
+) -> Result<(), EvalError> {
+    // One meter spans the whole update — seed rounds, delta loops, and any
+    // replay suffix are charged against the same budget.
+    let mut meter = BudgetMeter::new(&opts.budget);
+    apply_update_metered(
+        program, strat, sens, edb, db, changed, opts, stats, &mut meter,
+    )
+}
+
+/// [`apply_update`] against a caller-owned [`BudgetMeter`], so a mutation
+/// batch's deletion sweep and insertion propagation share one budget (see
+/// [`crate::retract::apply_mutations`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_update_metered(
+    program: &Program,
+    strat: &Stratification,
+    sens: &[LayerSensitivity],
+    edb: &Database,
+    db: &mut Database,
     mut changed: DeltaFrontier,
     opts: &EvalOptions,
     stats: &mut EvalStats,
+    meter: &mut BudgetMeter<'_>,
 ) -> Result<(), EvalError> {
     debug_assert_eq!(sens.len(), strat.num_layers());
     let pool = Pool::new(opts.effective_parallelism());
     let mut cache = PlanCache::default();
-    // One meter spans the whole update — seed rounds, delta loops, and any
-    // replay suffix are charged against the same budget.
-    let mut meter = BudgetMeter::new(&opts.budget);
     for (k, sens_k) in sens.iter().enumerate() {
         meter.set_context(
             k,
@@ -86,7 +108,7 @@ pub fn apply_update(
         );
         if changed.keys().any(|&p| sens_k.requires_replay_for(p)) {
             cache.fold_into(stats);
-            return replay_from(program, strat, edb, db, k, opts, stats, &mut meter);
+            return replay_from(program, strat, edb, db, k, opts, stats, meter);
         }
         if !changed.keys().any(|p| sens_k.positive.contains(p)) {
             stats.strata_skipped += 1;
@@ -101,63 +123,79 @@ pub fn apply_update(
 
         let pre: DeltaFrontier = split.preds.iter().map(|&p| (p, len_of(db, p))).collect();
 
-        // Seed: one delta-restricted pass per occurrence of a changed
-        // predicate in a rule body. Restricting one occurrence at a time
-        // while the others see the full (new-tuple-inclusive) relation
-        // covers every derivation that uses at least one new tuple. Each
-        // pass runs a delta-first plan variant — the same cached role the
-        // semi-naive loop uses, so its cost is proportional to the delta,
-        // not to the database. All seed passes read the same snapshot, so
-        // they run as one parallel round; anything a seed pass derives
-        // lands above `pre` and is picked up by the delta loop below.
-        let mut seed: Vec<(Arc<RulePlan>, DeltaRestriction)> = Vec::new();
-        for &ri in &split.rest {
-            for (occ, lit) in program.rules[ri].body.iter().enumerate() {
-                if !lit.positive
-                    || ldl_ast::program::Builtin::resolve(lit.atom.pred, lit.atom.arity()).is_some()
-                {
-                    continue;
-                }
-                if let Some(&lo) = changed.get(&lit.atom.pred) {
-                    let hi = len_of(db, lit.atom.pred) as u32;
-                    if (lo as u32) < hi {
-                        let variant = cache.get(program, ri, occ + 1, db, opts.cost_based)?;
-                        ensure_plan_indexes(&variant, db);
-                        let restrict = DeltaRestriction {
-                            step: 0,
-                            lo: lo as u32,
-                            hi,
-                        };
-                        seed.push((variant, restrict));
+        // A layer carrying derivation counts needs *exact* delta passes:
+        // the one-occurrence-at-a-time seed scheme below enumerates a
+        // derivation once per changed occurrence it uses, which is fine for
+        // sets (duplicates merge away) but would inflate counts. The
+        // counting variant decomposes the delta exactly instead.
+        let counting = counting_eligible(program, &split)
+            && !split.preds.is_empty()
+            && split
+                .preds
+                .iter()
+                .all(|&p| db.relation(p).is_some_and(|r| r.counts_enabled()));
+        if counting {
+            counting_insert_layer(program, &split, db, &changed, opts, stats, meter)?;
+        } else {
+            // Seed: one delta-restricted pass per occurrence of a changed
+            // predicate in a rule body. Restricting one occurrence at a time
+            // while the others see the full (new-tuple-inclusive) relation
+            // covers every derivation that uses at least one new tuple. Each
+            // pass runs a delta-first plan variant — the same cached role the
+            // semi-naive loop uses, so its cost is proportional to the delta,
+            // not to the database. All seed passes read the same snapshot, so
+            // they run as one parallel round; anything a seed pass derives
+            // lands above `pre` and is picked up by the delta loop below.
+            let mut seed: Vec<(Arc<RulePlan>, DeltaRestriction)> = Vec::new();
+            for &ri in &split.rest {
+                for (occ, lit) in program.rules[ri].body.iter().enumerate() {
+                    if !lit.positive
+                        || ldl_ast::program::Builtin::resolve(lit.atom.pred, lit.atom.arity())
+                            .is_some()
+                    {
+                        continue;
+                    }
+                    if let Some(&lo) = changed.get(&lit.atom.pred) {
+                        let hi = len_of(db, lit.atom.pred) as u32;
+                        if (lo as u32) < hi {
+                            let variant = cache.get(program, ri, occ + 1, db, opts.cost_based)?;
+                            ensure_plan_indexes(&variant, db);
+                            let restrict = DeltaRestriction {
+                                step: 0,
+                                lo: lo as u32,
+                                hi,
+                            };
+                            seed.push((variant, restrict));
+                        }
                     }
                 }
             }
-        }
-        let tasks: Vec<RoundTask<'_>> = seed
-            .iter()
-            .map(|(variant, restrict)| RoundTask {
-                plan: variant,
-                restrict: Some(*restrict),
-            })
-            .collect();
-        run_round(&tasks, db, &pool, opts, stats, &mut meter)?;
-        drop(tasks);
-        drop(seed);
+            let tasks: Vec<RoundTask<'_>> = seed
+                .iter()
+                .map(|(variant, restrict)| RoundTask {
+                    plan: variant,
+                    restrict: Some(*restrict),
+                })
+                .collect();
+            run_round(&tasks, db, &pool, opts, stats, meter)?;
+            drop(tasks);
+            drop(seed);
 
-        // Everything the seed round derived sits above `pre`; let the
-        // ordinary semi-naive delta loop run the layer to fixpoint from
-        // there.
-        delta_loop_cached(
-            program,
-            &split,
-            &mut cache,
-            db,
-            pre.clone(),
-            &pool,
-            opts,
-            stats,
-            &mut meter,
-        )?;
+            // Everything the seed round derived sits above `pre`; let the
+            // ordinary semi-naive delta loop run the layer to fixpoint from
+            // there.
+            delta_loop_cached(
+                program,
+                &split,
+                &mut cache,
+                db,
+                pre.clone(),
+                &pool,
+                opts,
+                stats,
+                meter,
+            )?;
+        }
         stats.strata_delta += 1;
 
         // New facts of this layer's predicates join the frontier for the
@@ -178,7 +216,7 @@ pub fn apply_update(
 /// either untouched or delta-updated before `k` was reached), so this is
 /// exactly the `Mₖ = Lₖ(Mₖ₋₁)` suffix of Theorem 1's computation.
 #[allow(clippy::too_many_arguments)]
-fn replay_from(
+pub(crate) fn replay_from(
     program: &Program,
     strat: &Stratification,
     edb: &Database,

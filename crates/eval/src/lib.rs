@@ -32,6 +32,7 @@ pub mod incremental;
 pub mod model;
 pub mod plan;
 pub mod pool;
+pub mod retract;
 pub mod stats;
 pub mod unify;
 
@@ -41,4 +42,5 @@ pub use error::EvalError;
 pub use explain::explain;
 pub use incremental::{apply_update, DeltaFrontier};
 pub use model::{check_model, ModelViolation};
+pub use retract::apply_mutations;
 pub use stats::EvalStats;

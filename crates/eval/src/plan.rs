@@ -636,7 +636,9 @@ fn run_steps(
                 }
             }
             for pos in lo..hi {
-                on_tuple(rel.get(pos), b);
+                if rel.is_live(pos) {
+                    on_tuple(rel.get(pos), b);
+                }
             }
         }
         Step::NegScan {
@@ -812,7 +814,7 @@ fn exists_steps(
                 }
             }
             for pos in lo..hi {
-                if witness(rel.get(pos), b) {
+                if rel.is_live(pos) && witness(rel.get(pos), b) {
                     return true;
                 }
             }

@@ -1,0 +1,1137 @@
+//! Differential deletion: counting maintenance and DRed.
+//!
+//! [`apply_mutations`] is the transactional entry point behind the `ldl1`
+//! mutation-batch API: it applies a net set of EDB retractions and
+//! assertions to an already-evaluated model *in place*, producing the same
+//! fact set a from-scratch evaluation over the surviving EDB would. The
+//! deletion side picks its algorithm per stratum, driven by the same
+//! sensitivity analysis the insert path uses:
+//!
+//! * **Counting** (non-recursive strata): every tuple of the stratum's
+//!   fixpoint predicates carries a derivation count — the number of body
+//!   solutions that derive it, plus one unit when the tuple is also stored
+//!   as an EDB fact (see `fixpoint::counting_eligible`). Deleting
+//!   a set of lower-stratum tuples removes exactly the derivations
+//!   enumerated by the *subset rules*: for each rule and each non-empty
+//!   subset `S` of its deleted-predicate occurrences, a pass that reads the
+//!   deleted tuples (`rm$q`) at the occurrences in `S` and the surviving
+//!   relation elsewhere. Each lost body solution is produced by exactly one
+//!   subset — the set of occurrences where it used a deleted tuple — so
+//!   decrementing per derived head tuple and tombstoning at zero is exact,
+//!   and costs work proportional to the *affected* derivations. This is the
+//!   bag-semantics argument of "Datalog: Bag Semantics via Set Semantics"
+//!   specialized to the non-recursive case.
+//! * **DRed** (recursive strata, or strata without counts): overdelete
+//!   everything derivable from a deleted tuple (`del$` rules, run by the
+//!   ordinary semi-naive machinery since overdeletion is itself recursive),
+//!   then rederive the overdeleted tuples still supported by the surviving
+//!   facts — a `del$h`-first join per rule, run to fixpoint.
+//! * **Replay**: a deleted predicate read under negation or inside a
+//!   grouping body, a retraction aimed at a grouping head, or a rule head
+//!   whose arguments are not invertible patterns (set construction,
+//!   arithmetic) falls back to the stratum truncate-and-replay path that
+//!   insertion already uses — always sound, never differential.
+//!
+//! Everything is metered by one [`BudgetMeter`]: a batch that trips its
+//! budget mid-flight aborts as a unit, and [`apply_mutations`] restores the
+//! EDB bit-identically (tombstoned positions revived, appended tuples
+//! truncated) so a retry replays the exact same insertion positions.
+
+use ldl_ast::literal::{Atom, Literal};
+use ldl_ast::program::{Builtin, Program};
+use ldl_ast::term::{Term, Var};
+use ldl_storage::{Database, Relation, Tuple};
+use ldl_stratify::{LayerSensitivity, Stratification};
+use ldl_value::fxhash::{FastMap, FastSet};
+use ldl_value::{Fact, Symbol, ValueId};
+
+use crate::budget::BudgetMeter;
+use crate::engine::EvalOptions;
+use crate::error::EvalError;
+use crate::fixpoint::{
+    counting_eligible, derive_once, full_enumeration, len_of, run_rule_once, semi_naive_pooled,
+    DerivedBuf, LayerSplit,
+};
+use crate::incremental::{apply_update_metered, replay_from, DeltaFrontier};
+use crate::plan::{ensure_plan_indexes, DeltaRestriction, RulePlan};
+use crate::pool::Pool;
+use crate::stats::EvalStats;
+
+/// Apply a net mutation batch — `retractions` then `assertions`, both
+/// already validated and deduplicated by the caller — to an evaluated
+/// model, in place.
+///
+/// Preconditions:
+/// * `db` is a model of `program` w.r.t. `edb`;
+/// * every retraction is currently present in `edb`, and no fact appears in
+///   both lists (the `ldl1` batch builder nets mutations before calling);
+/// * `program` passed well-formedness when the model was built.
+///
+/// On success `edb` holds the post-batch extensional database and `db` is a
+/// model of `program` w.r.t. it. On error (typically a tripped
+/// [`crate::Budget`]) `edb` is restored bit-identically — every tombstoned
+/// position revived, every appended tuple truncated — and `db` is left
+/// *inconsistent*: the caller must discard it and re-evaluate from `edb`.
+/// A retried batch therefore reproduces the exact same insertion positions.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_mutations(
+    program: &Program,
+    strat: &Stratification,
+    sens: &[LayerSensitivity],
+    edb: &mut Database,
+    db: &mut Database,
+    retractions: &[Fact],
+    assertions: &[Fact],
+    opts: &EvalOptions,
+    stats: &mut EvalStats,
+) -> Result<(), EvalError> {
+    let mark = edb.mark();
+    let mut undo: Vec<(Symbol, u32)> = Vec::new();
+    let result = mutate_inner(
+        program,
+        strat,
+        sens,
+        edb,
+        db,
+        retractions,
+        assertions,
+        opts,
+        stats,
+        &mut undo,
+    );
+    if result.is_err() {
+        // Roll the EDB back: drop post-mark appends, then revive the
+        // tombstoned positions (their tuples were never physically removed,
+        // so the original insertion order — and thus every future delta
+        // frontier — is preserved exactly).
+        edb.truncate_to(&mark);
+        for &(p, pos) in &undo {
+            edb.revive(p, pos);
+        }
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn mutate_inner(
+    program: &Program,
+    strat: &Stratification,
+    sens: &[LayerSensitivity],
+    edb: &mut Database,
+    db: &mut Database,
+    retractions: &[Fact],
+    assertions: &[Fact],
+    opts: &EvalOptions,
+    stats: &mut EvalStats,
+    undo: &mut Vec<(Symbol, u32)>,
+) -> Result<(), EvalError> {
+    debug_assert_eq!(sens.len(), strat.num_layers());
+    // Predicates defined by rules: a retraction on one of those is a
+    // *support* loss — the fact may survive via a derivation — and must be
+    // resolved at the defining stratum, not applied to `db` up front.
+    let idb_heads: FastSet<Symbol> = program.rules.iter().map(|r| r.head.pred).collect();
+
+    // Phase 1: retract from the EDB, recording tombstoned positions for
+    // rollback. Pure-EDB predicates are deleted from the model immediately
+    // and seed the deletion frontier.
+    let mut deleted: FastMap<Symbol, Vec<Tuple>> = FastMap::default();
+    let mut pending: FastMap<Symbol, Vec<Tuple>> = FastMap::default();
+    for f in retractions {
+        let Some(pos) = edb.remove(f) else {
+            continue; // caller validates presence; tolerate a stale entry
+        };
+        undo.push((f.pred(), pos));
+        let tuple = ldl_storage::tuple(f.args().to_vec());
+        if idb_heads.contains(&f.pred()) {
+            pending.entry(f.pred()).or_default().push(tuple);
+        } else if db.remove_ids(f.pred(), &tuple).is_some() {
+            stats.facts_retracted += 1;
+            deleted.entry(f.pred()).or_default().push(tuple);
+        }
+    }
+
+    // One meter spans the deletion sweep, any replay suffix, and the
+    // insertion propagation: the batch aborts as a unit.
+    let mut meter = BudgetMeter::new(&opts.budget);
+    let pool = Pool::new(opts.effective_parallelism());
+
+    // Phase 2: deletion sweep, bottom-up. Each stratum absorbs the frontier
+    // reaching it (counting or DRed) and contributes its own losses, or the
+    // whole suffix replays from the post-retraction EDB.
+    let mut replayed = false;
+    for (k, sens_k) in sens.iter().enumerate() {
+        if deleted.is_empty() && pending.is_empty() {
+            break;
+        }
+        meter.set_context(
+            k,
+            strat.rules_by_layer[k]
+                .first()
+                .map(|&ri| program.rules[ri].head.pred),
+        );
+        let split = LayerSplit::classify(program, &strat.rules_by_layer[k]);
+        let heads = layer_heads(program, &split);
+        let grouping_pending = split
+            .grouping
+            .iter()
+            .any(|&ri| pending.contains_key(&program.rules[ri].head.pred));
+
+        // Deletions under negation or grouping bodies flip conclusions the
+        // differential passes cannot retract one by one; a retraction aimed
+        // at a grouping head replaces a set rather than removing a tuple;
+        // and a non-invertible rule head cannot anchor the DRed rederive
+        // join. All three fall back to stratum replay over the
+        // post-retraction EDB — the same path the insert side uses.
+        let counting = !heads.is_empty()
+            && counting_eligible(program, &split)
+            && heads
+                .iter()
+                .all(|&(h, _)| db.relation(h).is_some_and(|r| r.counts_enabled()));
+        let layer_pending_any = heads.iter().any(|&(h, _)| pending.contains_key(&h));
+        let affected = layer_pending_any || deleted.keys().any(|p| sens_k.positive.contains(p));
+        if deleted.keys().any(|&p| sens_k.requires_replay_for(p))
+            || grouping_pending
+            || (affected && !counting && !rederive_compatible(program, &split))
+        {
+            replay_from(program, strat, edb, db, k, opts, stats, &mut meter)?;
+            deleted.clear();
+            pending.clear();
+            replayed = true;
+            break;
+        }
+        if !affected {
+            continue;
+        }
+
+        let layer_pending: Vec<(Symbol, Vec<Tuple>)> = heads
+            .iter()
+            .filter_map(|&(h, _)| pending.remove(&h).map(|ts| (h, ts)))
+            .collect();
+
+        let losses = if counting {
+            counting_delete_layer(
+                program,
+                &split,
+                db,
+                &deleted,
+                &layer_pending,
+                opts,
+                stats,
+                &mut meter,
+            )?
+        } else {
+            dred_delete_layer(
+                program,
+                &split,
+                &heads,
+                edb,
+                db,
+                &deleted,
+                &layer_pending,
+                &pool,
+                opts,
+                stats,
+                &mut meter,
+            )?
+        };
+        stats.facts_retracted += losses.len() as u64;
+        for (h, t) in losses {
+            deleted.entry(h).or_default().push(t);
+        }
+    }
+    debug_assert!(pending.is_empty() || replayed);
+
+    // Phase 3: append the assertions to both databases and propagate them
+    // through the (now deletion-consistent) model with the ordinary
+    // insert-side machinery. A fact that is already derived registers its
+    // EDB support as a count increment on counting strata.
+    let mut changed = DeltaFrontier::default();
+    for f in assertions {
+        edb.insert(f.clone());
+        let lo = len_of(db, f.pred());
+        if db.insert(f.clone()) {
+            changed.entry(f.pred()).or_insert(lo);
+        }
+    }
+    if !changed.is_empty() {
+        apply_update_metered(
+            program, strat, sens, edb, db, changed, opts, stats, &mut meter,
+        )?;
+    }
+    Ok(())
+}
+
+/// This layer's fixpoint head predicates with their arities, in first-rule
+/// order — the deterministic iteration order every deletion pass uses.
+fn layer_heads(program: &Program, split: &LayerSplit) -> Vec<(Symbol, usize)> {
+    let mut heads: Vec<(Symbol, usize)> = Vec::new();
+    for &ri in &split.rest {
+        let head = &program.rules[ri].head;
+        if !heads.iter().any(|&(h, _)| h == head.pred) {
+            heads.push((head.pred, head.arity()));
+        }
+    }
+    heads
+}
+
+/// Can every head argument of this layer's fixpoint rules be used as a
+/// *pattern* in a body literal? The DRed rederive join puts `del$h(head
+/// args)` in body position; variables, constants, and free compounds unify
+/// against stored values, but evaluating terms (arithmetic, `scons`, set
+/// enumeration, grouping) do not invert.
+fn rederive_compatible(program: &Program, split: &LayerSplit) -> bool {
+    fn invertible(t: &Term) -> bool {
+        match t {
+            Term::Var(_) | Term::Const(_) => true,
+            Term::Compound(_, args) => args.iter().all(invertible),
+            _ => false,
+        }
+    }
+    split
+        .rest
+        .iter()
+        .all(|&ri| program.rules[ri].head.args.iter().all(invertible))
+}
+
+fn scratch_name(prefix: &str, p: Symbol) -> Symbol {
+    Symbol::intern(&format!("{prefix}${p}"))
+}
+
+/// One support loss for `h`'s tuple `t`: decrement its derivation count and
+/// tombstone it when the last support is gone.
+fn lose_support(db: &mut Database, h: Symbol, t: &[ValueId], out: &mut Vec<(Symbol, Tuple)>) {
+    let rel = db.relation_mut(h, t.len());
+    let Some(pos) = rel.position_of(t) else {
+        // Exactness of the counting scheme guarantees every enumerated loss
+        // targets a live tuple; tolerate drift rather than corrupt state.
+        debug_assert!(false, "support loss for absent tuple of {h}");
+        return;
+    };
+    if rel.decrement_count(pos, 1) == 0 {
+        rel.remove_slice(t);
+        out.push((h, t.iter().copied().collect()));
+    }
+}
+
+/// Counting deletion for one non-recursive stratum: enumerate the lost
+/// derivations with the subset rules, decrement, and tombstone at zero.
+/// Returns the tuples this stratum lost, in death order.
+#[allow(clippy::too_many_arguments)]
+fn counting_delete_layer(
+    program: &Program,
+    split: &LayerSplit,
+    db: &mut Database,
+    deleted: &FastMap<Symbol, Vec<Tuple>>,
+    layer_pending: &[(Symbol, Vec<Tuple>)],
+    opts: &EvalOptions,
+    stats: &mut EvalStats,
+    meter: &mut BudgetMeter<'_>,
+) -> Result<Vec<(Symbol, Tuple)>, EvalError> {
+    meter.check()?;
+    // `rm$q` holds exactly the tuples q lost — the deleted side of the
+    // OLD = NEW ∪ deleted split the subset rules enumerate over.
+    let mut rm_names: FastMap<Symbol, Symbol> = FastMap::default();
+    for (&q, tuples) in deleted {
+        let Some(arity) = db.relation(q).map(Relation::arity) else {
+            continue;
+        };
+        let name = scratch_name("rm", q);
+        let mut rel = Relation::new(arity);
+        for t in tuples {
+            rel.insert(t.clone());
+        }
+        db.set_relation(name, rel);
+        rm_names.insert(q, name);
+    }
+
+    // Enumerate lost derivations. Each pass is a read-only `derive_once`
+    // over the post-deletion database plus the `rm$` relations; plans are
+    // compiled fresh (they mix scratch relations, so the per-drive cache
+    // does not apply) with existential tails disabled — the loss count must
+    // match the full enumeration that built the counts.
+    let gate = opts.budget.gate();
+    let mut passes: Vec<(Symbol, DerivedBuf)> = Vec::new();
+    for &ri in &split.rest {
+        let rule = &program.rules[ri];
+        let occs: Vec<usize> = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                l.positive
+                    && Builtin::resolve(l.atom.pred, l.atom.arity()).is_none()
+                    && rm_names.contains_key(&l.atom.pred)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if occs.is_empty() {
+            continue;
+        }
+        for mask in 1u32..(1u32 << occs.len()) {
+            let mut synth = rule.clone();
+            for (bit, &occ) in occs.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    synth.body[occ].atom.pred = rm_names[&rule.body[occ].atom.pred];
+                }
+            }
+            let plan = full_enumeration(&RulePlan::compile_with(
+                &synth,
+                Some(db),
+                opts.cost_based,
+                None,
+            )?);
+            ensure_plan_indexes(&plan, db);
+            meter.check()?;
+            let (buf, probes, cuts, attempts) =
+                derive_once(&plan, db, None, opts.use_indexes, gate);
+            stats.rules_fired += 1;
+            stats.index_probes += probes;
+            stats.exist_cuts += cuts;
+            stats.attempts += attempts;
+            meter.charge(attempts, 0);
+            passes.push((rule.head.pred, buf));
+        }
+    }
+    for (_, name) in rm_names {
+        db.remove_relation(name);
+    }
+
+    // Apply the losses: pending EDB units first, then the enumerated
+    // derivations in pass order — a fixed order, so the death order (and
+    // with it every downstream frontier) is deterministic.
+    let mut out: Vec<(Symbol, Tuple)> = Vec::new();
+    for (h, tuples) in layer_pending {
+        for t in tuples {
+            lose_support(db, *h, t, &mut out);
+        }
+    }
+    for (h, buf) in &passes {
+        buf.for_each(&mut |t| lose_support(db, *h, t, &mut out));
+    }
+    stats.strata_counting += 1;
+    meter.check()?;
+    Ok(out)
+}
+
+/// DRed for one stratum: overdelete everything derivable from a lost
+/// tuple, then rederive what the surviving facts still support. Returns
+/// the net losses in overdeletion order.
+#[allow(clippy::too_many_arguments)]
+fn dred_delete_layer(
+    program: &Program,
+    split: &LayerSplit,
+    heads: &[(Symbol, usize)],
+    edb: &Database,
+    db: &mut Database,
+    deleted: &FastMap<Symbol, Vec<Tuple>>,
+    layer_pending: &[(Symbol, Vec<Tuple>)],
+    pool: &Pool,
+    opts: &EvalOptions,
+    stats: &mut EvalStats,
+    meter: &mut BudgetMeter<'_>,
+) -> Result<Vec<(Symbol, Tuple)>, EvalError> {
+    meter.check()?;
+    let layer_set: FastSet<Symbol> = heads.iter().map(|&(h, _)| h).collect();
+    let is_deletable = |l: &Literal| {
+        l.positive
+            && Builtin::resolve(l.atom.pred, l.atom.arity()).is_none()
+            && (deleted.contains_key(&l.atom.pred) || layer_set.contains(&l.atom.pred))
+    };
+    // Deletable body occurrences per rule, in body order — the pivots of
+    // the overdeletion variants.
+    let rule_occs: Vec<(usize, Vec<usize>)> = split
+        .rest
+        .iter()
+        .map(|&ri| {
+            let occs = program.rules[ri]
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| is_deletable(l))
+                .map(|(i, _)| i)
+                .collect();
+            (ri, occs)
+        })
+        .collect();
+
+    // A lower-frontier occurrence *after* the pivot must read the
+    // pre-deletion value (OLD = NEW ∪ deleted); occurrences before the
+    // pivot read the surviving relation, so each lost solution is covered
+    // by its first deleted occurrence. `old$q` is materialized only where
+    // actually needed.
+    let mut needs_old: FastSet<Symbol> = FastSet::default();
+    for (ri, occs) in &rule_occs {
+        for &j in occs.iter().skip(1) {
+            let p = program.rules[*ri].body[j].atom.pred;
+            if deleted.contains_key(&p) && !layer_set.contains(&p) {
+                needs_old.insert(p);
+            }
+        }
+    }
+
+    // Scratch relations: del$h per stratum head (seeded with this
+    // stratum's pending EDB-support losses), del$q per lower frontier
+    // predicate (seeded with its losses), old$q where required.
+    let mut temp: Vec<Symbol> = Vec::new();
+    for &(h, arity) in heads {
+        let dn = scratch_name("del", h);
+        db.set_relation(dn, Relation::new(arity));
+        temp.push(dn);
+    }
+    for (h, tuples) in layer_pending {
+        for t in tuples {
+            db.relation_mut(scratch_name("del", *h), t.len())
+                .insert(t.clone());
+        }
+    }
+    for (&q, tuples) in deleted {
+        let Some(qrel) = db.relation(q) else { continue };
+        let arity = qrel.arity();
+        let old = if needs_old.contains(&q) {
+            let mut orel = Relation::new(arity);
+            for t in qrel.iter() {
+                orel.insert(t.clone());
+            }
+            for t in tuples {
+                orel.insert(t.clone());
+            }
+            Some(orel)
+        } else {
+            None
+        };
+        let mut drel = Relation::new(arity);
+        for t in tuples {
+            drel.insert(t.clone());
+        }
+        let dn = scratch_name("del", q);
+        db.set_relation(dn, drel);
+        temp.push(dn);
+        if let Some(orel) = old {
+            let on = scratch_name("old", q);
+            db.set_relation(on, orel);
+            temp.push(on);
+        }
+    }
+
+    // Overdeletion rules: one variant per deletable occurrence (the
+    // pivot), head rewritten to del$h, the pivot to del$p, and later
+    // lower-frontier occurrences to old$q. Same-stratum occurrences other
+    // than the pivot keep reading the stratum's relations, which still
+    // hold their pre-deletion contents throughout this fixpoint.
+    let mut del_plans: Vec<RulePlan> = Vec::new();
+    for (ri, occs) in &rule_occs {
+        let rule = &program.rules[*ri];
+        for (vi, &occ) in occs.iter().enumerate() {
+            let mut synth = rule.clone();
+            synth.head = Atom::new(scratch_name("del", rule.head.pred), rule.head.args.clone());
+            synth.body[occ].atom.pred = scratch_name("del", rule.body[occ].atom.pred);
+            for &j in &occs[vi + 1..] {
+                let p = rule.body[j].atom.pred;
+                if needs_old.contains(&p) {
+                    synth.body[j].atom.pred = scratch_name("old", p);
+                }
+            }
+            let plan = RulePlan::compile_with(&synth, Some(db), opts.cost_based, None)?;
+            ensure_plan_indexes(&plan, db);
+            del_plans.push(plan);
+        }
+    }
+    let del_set: FastSet<Symbol> = heads.iter().map(|&(h, _)| scratch_name("del", h)).collect();
+    semi_naive_pooled(&del_plans, &del_set, db, pool, opts, stats, meter)?;
+
+    // Remove the overdeleted tuples, then rederive: a tuple comes back if
+    // it is still an EDB fact, or if some rule body still derives it from
+    // the surviving facts — the latter via a del$h-first join so the pass
+    // costs O(overdeleted), not O(stratum).
+    let mut over: Vec<(Symbol, Vec<Tuple>)> = Vec::new();
+    for &(h, _) in heads {
+        let dn = scratch_name("del", h);
+        let candidates: Vec<Tuple> = db
+            .relation(dn)
+            .map(|r| r.iter().cloned().collect())
+            .unwrap_or_default();
+        let mut removed = Vec::new();
+        for t in candidates {
+            if db.remove_ids(h, &t).is_some() {
+                removed.push(t);
+            }
+        }
+        over.push((h, removed));
+    }
+    for (h, removed) in &over {
+        if let Some(erel) = edb.relation(*h) {
+            for t in removed {
+                if erel.contains(t) {
+                    db.insert_id_slice(*h, t);
+                }
+            }
+        }
+    }
+    let mut rederive_plans: Vec<RulePlan> = Vec::new();
+    for &ri in &split.rest {
+        let rule = &program.rules[ri];
+        let mut synth = rule.clone();
+        synth.body.insert(
+            0,
+            Literal::pos(Atom::new(
+                scratch_name("del", rule.head.pred),
+                rule.head.args.clone(),
+            )),
+        );
+        let plan = RulePlan::compile_with(&synth, Some(db), opts.cost_based, Some(0))?;
+        ensure_plan_indexes(&plan, db);
+        rederive_plans.push(plan);
+    }
+    semi_naive_pooled(&rederive_plans, &layer_set, db, pool, opts, stats, meter)?;
+
+    for name in temp {
+        db.remove_relation(name);
+    }
+    let mut out: Vec<(Symbol, Tuple)> = Vec::new();
+    for (h, removed) in over {
+        for t in removed {
+            if !db.relation(h).is_some_and(|r| r.contains(&t)) {
+                out.push((h, t));
+            }
+        }
+    }
+    stats.strata_dred += 1;
+    meter.check()?;
+    Ok(out)
+}
+
+/// The exact insertion pass for a counting stratum, replacing the
+/// one-occurrence-at-a-time seed scheme of [`crate::incremental`] (which
+/// enumerates a derivation once per changed occurrence it uses — harmless
+/// for sets, wrong for counts). The delta is decomposed by *first changed
+/// occurrence*: variant `i` restricts occurrence `i` to the delta range,
+/// guards every earlier changed occurrence with `~ins$q(args)` so it binds
+/// an old tuple, and leaves later occurrences unrestricted. Each new
+/// derivation is enumerated exactly once, and the duplicate-insert path
+/// turns it into a count increment.
+pub(crate) fn counting_insert_layer(
+    program: &Program,
+    split: &LayerSplit,
+    db: &mut Database,
+    changed: &DeltaFrontier,
+    opts: &EvalOptions,
+    stats: &mut EvalStats,
+    meter: &mut BudgetMeter<'_>,
+) -> Result<(), EvalError> {
+    let mut ins_names: FastMap<Symbol, Symbol> = FastMap::default();
+    let mut temp: Vec<Symbol> = Vec::new();
+    for &ri in &split.rest {
+        let rule = &program.rules[ri];
+        let occs: Vec<usize> = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                l.positive
+                    && Builtin::resolve(l.atom.pred, l.atom.arity()).is_none()
+                    && changed
+                        .get(&l.atom.pred)
+                        .is_some_and(|&lo| lo < len_of(db, l.atom.pred))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if occs.is_empty() {
+            continue;
+        }
+        // `_` in a changed occurrence gets a fresh name: the not-in-delta
+        // guard must test the exact tuple its positive twin bound, and an
+        // anonymous column would quantify over the whole delta instead.
+        let mut base = rule.clone();
+        let mut fresh = 0usize;
+        for &occ in &occs {
+            for a in &mut base.body[occ].atom.args {
+                *a = deanon(a, &mut fresh);
+            }
+        }
+        for (vi, &occ) in occs.iter().enumerate() {
+            let pred = rule.body[occ].atom.pred;
+            let lo = changed[&pred] as u32;
+            let hi = len_of(db, pred) as u32;
+            let mut synth = base.clone();
+            for &g in &occs[..vi] {
+                let gpred = rule.body[g].atom.pred;
+                let gname = match ins_names.get(&gpred) {
+                    Some(&n) => n,
+                    None => {
+                        let n = scratch_name("ins", gpred);
+                        let rel_src = db.relation(gpred).expect("changed predicate exists");
+                        let glo = changed[&gpred];
+                        let mut rel = Relation::new(rel_src.arity());
+                        for t in rel_src.range(glo, rel_src.len()).to_vec() {
+                            rel.insert(t);
+                        }
+                        db.set_relation(n, rel);
+                        ins_names.insert(gpred, n);
+                        temp.push(n);
+                        n
+                    }
+                };
+                synth.body.push(Literal::neg(Atom::new(
+                    gname,
+                    base.body[g].atom.args.clone(),
+                )));
+            }
+            let plan = full_enumeration(&RulePlan::compile_with(
+                &synth,
+                Some(db),
+                opts.cost_based,
+                Some(occ),
+            )?);
+            ensure_plan_indexes(&plan, db);
+            run_rule_once(
+                &plan,
+                db,
+                Some(DeltaRestriction { step: 0, lo, hi }),
+                opts,
+                stats,
+                meter,
+            )?;
+        }
+    }
+    for name in temp {
+        db.remove_relation(name);
+    }
+    Ok(())
+}
+
+/// Replace every anonymous variable in `t` with a fresh named one (`$dN` —
+/// `$` cannot appear in source identifiers, so no capture is possible).
+fn deanon(t: &Term, fresh: &mut usize) -> Term {
+    match t {
+        Term::Anon => {
+            let v = Term::Var(Var::new(&format!("$d{fresh}")));
+            *fresh += 1;
+            v
+        }
+        Term::Compound(f, args) => {
+            Term::Compound(*f, args.iter().map(|a| deanon(a, fresh)).collect())
+        }
+        Term::SetEnum(xs) => Term::SetEnum(xs.iter().map(|a| deanon(a, fresh)).collect()),
+        Term::Scons(h, s) => Term::Scons(Box::new(deanon(h, fresh)), Box::new(deanon(s, fresh))),
+        Term::Arith(op, l, r) => {
+            Term::Arith(*op, Box::new(deanon(l, fresh)), Box::new(deanon(r, fresh)))
+        }
+        Term::Group(inner) => Term::Group(Box::new(deanon(inner, fresh))),
+        Term::Var(_) | Term::Const(_) => t.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldl_parser::parse_program;
+    use ldl_value::Value;
+
+    fn setup(
+        src: &str,
+        edb_facts: &[(&str, Vec<Value>)],
+    ) -> (Program, Stratification, Database, Database) {
+        let program = parse_program(src).unwrap();
+        let strat = Stratification::canonical(&program).unwrap();
+        let mut edb = Database::new();
+        for (p, args) in edb_facts {
+            edb.insert_tuple(*p, args.clone());
+        }
+        let mut stats = EvalStats::new();
+        let db =
+            crate::fixpoint::evaluate(&program, &edb, &strat, &EvalOptions::default(), &mut stats)
+                .unwrap();
+        (program, strat, edb, db)
+    }
+
+    fn mutate(
+        program: &Program,
+        strat: &Stratification,
+        edb: &mut Database,
+        db: &mut Database,
+        retract: &[(&str, Vec<Value>)],
+        assert: &[(&str, Vec<Value>)],
+    ) -> EvalStats {
+        let sens = strat.sensitivity(program);
+        let mut stats = EvalStats::new();
+        let retractions: Vec<Fact> = retract
+            .iter()
+            .map(|(p, args)| Fact::new(*p, args.clone()))
+            .collect();
+        let assertions: Vec<Fact> = assert
+            .iter()
+            .map(|(p, args)| Fact::new(*p, args.clone()))
+            .collect();
+        apply_mutations(
+            program,
+            strat,
+            &sens,
+            edb,
+            db,
+            &retractions,
+            &assertions,
+            &EvalOptions::default(),
+            &mut stats,
+        )
+        .unwrap();
+        stats
+    }
+
+    fn full(program: &Program, edb: &Database) -> Database {
+        let strat = Stratification::canonical(program).unwrap();
+        let mut stats = EvalStats::new();
+        crate::fixpoint::evaluate(program, edb, &strat, &EvalOptions::default(), &mut stats)
+            .unwrap()
+    }
+
+    #[test]
+    fn counting_retraction_removes_unsupported_facts() {
+        // Non-recursive: p is counting-maintained.
+        let src = "p(X) <- e(X).\np(X) <- f(X).";
+        let (program, strat, mut edb, mut db) = setup(
+            src,
+            &[
+                ("e", vec![Value::int(1)]),
+                ("f", vec![Value::int(1)]),
+                ("e", vec![Value::int(2)]),
+            ],
+        );
+        // p(1) has two derivations: removing e(1) keeps it alive.
+        let stats = mutate(
+            &program,
+            &strat,
+            &mut edb,
+            &mut db,
+            &[("e", vec![Value::int(1)])],
+            &[],
+        );
+        assert_eq!(stats.strata_counting, 1);
+        assert_eq!(stats.strata_replayed, 0);
+        assert!(db.contains(&Fact::new("p", vec![Value::int(1)])));
+        // Removing f(1) kills the last support.
+        mutate(
+            &program,
+            &strat,
+            &mut edb,
+            &mut db,
+            &[("f", vec![Value::int(1)])],
+            &[],
+        );
+        assert!(!db.contains(&Fact::new("p", vec![Value::int(1)])));
+        assert!(db.contains(&Fact::new("p", vec![Value::int(2)])));
+        assert_eq!(db.to_fact_set(), full(&program, &edb).to_fact_set());
+    }
+
+    #[test]
+    fn counting_projection_multiplicity_is_exact() {
+        // Projection: p(X) <- e(X, Y) has one derivation per Y. Deleting
+        // one of two witnesses must keep p alive; deleting both kills it.
+        let src = "p(X) <- e(X, Y).";
+        let (program, strat, mut edb, mut db) = setup(
+            src,
+            &[
+                ("e", vec![Value::int(1), Value::int(10)]),
+                ("e", vec![Value::int(1), Value::int(11)]),
+            ],
+        );
+        mutate(
+            &program,
+            &strat,
+            &mut edb,
+            &mut db,
+            &[("e", vec![Value::int(1), Value::int(10)])],
+            &[],
+        );
+        assert!(db.contains(&Fact::new("p", vec![Value::int(1)])));
+        mutate(
+            &program,
+            &strat,
+            &mut edb,
+            &mut db,
+            &[("e", vec![Value::int(1), Value::int(11)])],
+            &[],
+        );
+        assert!(!db.contains(&Fact::new("p", vec![Value::int(1)])));
+        assert_eq!(db.to_fact_set(), full(&program, &edb).to_fact_set());
+    }
+
+    #[test]
+    fn counting_self_join_subsets_are_exact() {
+        // Two occurrences of e in one rule: the subset rules must count a
+        // derivation using two deleted tuples exactly once.
+        let src = "p(X, Z) <- e(X, Y), e(Y, Z).";
+        let (program, strat, mut edb, mut db) = setup(
+            src,
+            &[
+                ("e", vec![Value::int(1), Value::int(2)]),
+                ("e", vec![Value::int(2), Value::int(3)]),
+                ("e", vec![Value::int(2), Value::int(2)]),
+            ],
+        );
+        // Delete both tuples feeding p(1,3) (via 1→2→3) in one batch, plus
+        // the self-loop feeding p(2,2): every subset size is exercised.
+        let stats = mutate(
+            &program,
+            &strat,
+            &mut edb,
+            &mut db,
+            &[
+                ("e", vec![Value::int(1), Value::int(2)]),
+                ("e", vec![Value::int(2), Value::int(2)]),
+            ],
+            &[],
+        );
+        assert_eq!(stats.strata_counting, 1);
+        assert_eq!(db.to_fact_set(), full(&program, &edb).to_fact_set());
+    }
+
+    const TC: &str = "r(X, Y) <- e(X, Y).\nr(X, Y) <- e(X, Z), r(Z, Y).";
+
+    #[test]
+    fn dred_retraction_on_transitive_closure() {
+        let (program, strat, mut edb, mut db) = setup(
+            TC,
+            &[
+                ("e", vec![Value::int(1), Value::int(2)]),
+                ("e", vec![Value::int(2), Value::int(3)]),
+                ("e", vec![Value::int(1), Value::int(3)]),
+            ],
+        );
+        // Removing 2→3 kills r(2,3) but r(1,3) survives via the direct edge.
+        let stats = mutate(
+            &program,
+            &strat,
+            &mut edb,
+            &mut db,
+            &[("e", vec![Value::int(2), Value::int(3)])],
+            &[],
+        );
+        assert_eq!(stats.strata_dred, 1);
+        assert_eq!(stats.strata_replayed, 0);
+        assert!(!db.contains(&Fact::new("r", vec![Value::int(2), Value::int(3)])));
+        assert!(db.contains(&Fact::new("r", vec![Value::int(1), Value::int(3)])));
+        assert_eq!(db.to_fact_set(), full(&program, &edb).to_fact_set());
+    }
+
+    #[test]
+    fn dred_rederives_through_alternate_paths() {
+        // A diamond: 1→2→4 and 1→3→4; deleting one path keeps r(1,4).
+        let (program, strat, mut edb, mut db) = setup(
+            TC,
+            &[
+                ("e", vec![Value::int(1), Value::int(2)]),
+                ("e", vec![Value::int(2), Value::int(4)]),
+                ("e", vec![Value::int(1), Value::int(3)]),
+                ("e", vec![Value::int(3), Value::int(4)]),
+            ],
+        );
+        mutate(
+            &program,
+            &strat,
+            &mut edb,
+            &mut db,
+            &[("e", vec![Value::int(2), Value::int(4)])],
+            &[],
+        );
+        assert!(db.contains(&Fact::new("r", vec![Value::int(1), Value::int(4)])));
+        assert!(!db.contains(&Fact::new("r", vec![Value::int(2), Value::int(4)])));
+        assert_eq!(db.to_fact_set(), full(&program, &edb).to_fact_set());
+    }
+
+    #[test]
+    fn retracting_edb_fact_of_idb_head_keeps_derivable_tuple() {
+        // r(1,2) is both stored and derivable: retracting the stored fact
+        // must keep the derivable tuple (and vice versa kill it when the
+        // derivation goes too).
+        let (program, strat, mut edb, mut db) = setup(
+            TC,
+            &[
+                ("e", vec![Value::int(1), Value::int(2)]),
+                ("r", vec![Value::int(1), Value::int(2)]),
+                ("r", vec![Value::int(7), Value::int(8)]),
+            ],
+        );
+        mutate(
+            &program,
+            &strat,
+            &mut edb,
+            &mut db,
+            &[("r", vec![Value::int(1), Value::int(2)])],
+            &[],
+        );
+        assert!(db.contains(&Fact::new("r", vec![Value::int(1), Value::int(2)])));
+        mutate(
+            &program,
+            &strat,
+            &mut edb,
+            &mut db,
+            &[("r", vec![Value::int(7), Value::int(8)])],
+            &[],
+        );
+        assert!(!db.contains(&Fact::new("r", vec![Value::int(7), Value::int(8)])));
+        assert_eq!(db.to_fact_set(), full(&program, &edb).to_fact_set());
+    }
+
+    #[test]
+    fn deletion_under_negation_replays() {
+        let src = "anc(X, Y) <- par(X, Y).\n\
+                   anc(X, Y) <- par(X, Z), anc(Z, Y).\n\
+                   leaf(X) <- node(X), ~par(X, _).";
+        let (program, strat, mut edb, mut db) = setup(
+            src,
+            &[
+                ("par", vec![Value::atom("a"), Value::atom("b")]),
+                ("node", vec![Value::atom("a")]),
+                ("node", vec![Value::atom("b")]),
+            ],
+        );
+        assert!(!db.contains(&Fact::new("leaf", vec![Value::atom("a")])));
+        // a loses its only child: leaf(a) must *appear* — only replay can
+        // create facts from a deletion under negation.
+        let stats = mutate(
+            &program,
+            &strat,
+            &mut edb,
+            &mut db,
+            &[("par", vec![Value::atom("a"), Value::atom("b")])],
+            &[],
+        );
+        assert!(stats.strata_replayed > 0);
+        assert!(db.contains(&Fact::new("leaf", vec![Value::atom("a")])));
+        assert_eq!(db.to_fact_set(), full(&program, &edb).to_fact_set());
+    }
+
+    #[test]
+    fn grouping_reader_replays_on_deletion() {
+        let src = "kids(P, <K>) <- par(P, K).";
+        let (program, strat, mut edb, mut db) = setup(
+            src,
+            &[
+                ("par", vec![Value::atom("p"), Value::atom("a")]),
+                ("par", vec![Value::atom("p"), Value::atom("b")]),
+            ],
+        );
+        let stats = mutate(
+            &program,
+            &strat,
+            &mut edb,
+            &mut db,
+            &[("par", vec![Value::atom("p"), Value::atom("b")])],
+            &[],
+        );
+        assert!(stats.strata_replayed > 0);
+        let kids = db.relation(Symbol::intern("kids")).unwrap();
+        assert_eq!(kids.live_len(), 1);
+        assert_eq!(db.to_fact_set(), full(&program, &edb).to_fact_set());
+    }
+
+    #[test]
+    fn mixed_batch_retract_and_assert_in_one_commit() {
+        let (program, strat, mut edb, mut db) = setup(
+            TC,
+            &[
+                ("e", vec![Value::int(1), Value::int(2)]),
+                ("e", vec![Value::int(2), Value::int(3)]),
+            ],
+        );
+        // Swap the 2→3 edge for 2→4 in a single transaction.
+        let stats = mutate(
+            &program,
+            &strat,
+            &mut edb,
+            &mut db,
+            &[("e", vec![Value::int(2), Value::int(3)])],
+            &[("e", vec![Value::int(2), Value::int(4)])],
+        );
+        assert!(stats.facts_retracted > 0);
+        assert!(!db.contains(&Fact::new("r", vec![Value::int(1), Value::int(3)])));
+        assert!(db.contains(&Fact::new("r", vec![Value::int(1), Value::int(4)])));
+        assert_eq!(db.to_fact_set(), full(&program, &edb).to_fact_set());
+    }
+
+    #[test]
+    fn budget_abort_rolls_the_edb_back_bit_identically() {
+        use crate::budget::Budget;
+        let (program, strat, mut edb, mut db) = setup(
+            TC,
+            &[
+                ("e", vec![Value::int(1), Value::int(2)]),
+                ("e", vec![Value::int(2), Value::int(3)]),
+            ],
+        );
+        let before: Vec<(Symbol, Vec<Tuple>)> = {
+            let mut preds: Vec<Symbol> = edb.predicates().collect();
+            preds.sort_by_key(|p| p.to_string());
+            preds
+                .into_iter()
+                .map(|p| {
+                    let r = edb.relation(p).unwrap();
+                    (p, r.iter().cloned().collect())
+                })
+                .collect()
+        };
+        let sens = strat.sensitivity(&program);
+        let mut stats = EvalStats::new();
+        let opts = EvalOptions {
+            budget: Budget {
+                fuel: Some(0),
+                ..Budget::default()
+            },
+            ..EvalOptions::default()
+        };
+        let err = apply_mutations(
+            &program,
+            &strat,
+            &sens,
+            &mut edb,
+            &mut db,
+            &[Fact::new("e", vec![Value::int(2), Value::int(3)])],
+            &[Fact::new("e", vec![Value::int(3), Value::int(4)])],
+            &opts,
+            &mut stats,
+        );
+        assert!(matches!(err, Err(EvalError::ResourceExhausted { .. })));
+        // The EDB is exactly what it was — same tuples, same positions.
+        let after: Vec<(Symbol, Vec<Tuple>)> = {
+            let mut preds: Vec<Symbol> = edb.predicates().collect();
+            preds.sort_by_key(|p| p.to_string());
+            preds
+                .into_iter()
+                .map(|p| {
+                    let r = edb.relation(p).unwrap();
+                    (p, r.iter().cloned().collect())
+                })
+                .collect()
+        };
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn deletions_cascade_across_strata() {
+        // Layer 0 counting (p), layer above recursive over p. The `~stop`
+        // literal forces the layer boundary — all-positive rules would
+        // collapse into one (recursive, hence DRed-only) stratum.
+        let src = "p(X, Y) <- e(X, Y).\n\
+                   q(X, Y) <- p(X, Y), ~stop(X).\n\
+                   q(X, Y) <- p(X, Z), q(Z, Y), ~stop(X).";
+        let (program, strat, mut edb, mut db) = setup(
+            src,
+            &[
+                ("e", vec![Value::int(1), Value::int(2)]),
+                ("e", vec![Value::int(2), Value::int(3)]),
+            ],
+        );
+        let stats = mutate(
+            &program,
+            &strat,
+            &mut edb,
+            &mut db,
+            &[("e", vec![Value::int(2), Value::int(3)])],
+            &[],
+        );
+        assert!(stats.strata_counting >= 1);
+        assert!(stats.strata_dred >= 1);
+        assert!(!db.contains(&Fact::new("q", vec![Value::int(1), Value::int(3)])));
+        assert_eq!(db.to_fact_set(), full(&program, &edb).to_fact_set());
+    }
+}

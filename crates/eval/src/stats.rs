@@ -40,6 +40,16 @@ pub struct EvalStats {
     pub strata_replayed: u64,
     /// Strata updated by delta-restricted propagation only.
     pub strata_delta: u64,
+    /// Strata whose deletions were absorbed by counting maintenance
+    /// (derivation-count decrements, non-recursive strata only).
+    pub strata_counting: u64,
+    /// Strata whose deletions ran the DRed overdelete/rederive pass
+    /// (recursive strata, or strata without derivation counts).
+    pub strata_dred: u64,
+    /// Facts removed from the model database by differential maintenance
+    /// (tombstoned EDB facts plus derived facts that lost their last
+    /// derivation), net of rederivations.
+    pub facts_retracted: u64,
     /// Strata skipped entirely because no changed predicate reaches them.
     pub strata_skipped: u64,
     /// Evaluation rounds executed (one round = every eligible rule pass of
@@ -86,6 +96,9 @@ impl AddAssign for EvalStats {
         self.interner_values = self.interner_values.max(rhs.interner_values);
         self.strata_replayed += rhs.strata_replayed;
         self.strata_delta += rhs.strata_delta;
+        self.strata_counting += rhs.strata_counting;
+        self.strata_dred += rhs.strata_dred;
+        self.facts_retracted += rhs.facts_retracted;
         self.strata_skipped += rhs.strata_skipped;
         self.rounds += rhs.rounds;
         self.parallel_tasks += rhs.parallel_tasks;
@@ -100,15 +113,18 @@ impl fmt::Display for EvalStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rules fired: {}, attempts: {}, facts derived: {}, dedup inserts: {}, index probes: {}, interned values: {}, strata replayed: {}, delta-updated: {}, skipped: {}, rounds: {}, tasks: {}, plan cache hits: {}, misses: {}, replans: {}, exist cuts: {}",
+            "rules fired: {}, attempts: {}, facts derived: {}, facts retracted: {}, dedup inserts: {}, index probes: {}, interned values: {}, strata replayed: {}, delta-updated: {}, counting: {}, dred: {}, skipped: {}, rounds: {}, tasks: {}, plan cache hits: {}, misses: {}, replans: {}, exist cuts: {}",
             self.rules_fired,
             self.attempts,
             self.facts_derived,
+            self.facts_retracted,
             self.dedup_inserts,
             self.index_probes,
             self.interner_values,
             self.strata_replayed,
             self.strata_delta,
+            self.strata_counting,
+            self.strata_dred,
             self.strata_skipped,
             self.rounds,
             self.parallel_tasks,

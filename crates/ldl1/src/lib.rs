@@ -79,6 +79,45 @@ pub enum Error {
         /// The offending fact, as written.
         text: String,
     },
+    /// A mutation batch failed validation before anything was applied.
+    Mutation(MutationError),
+}
+
+/// A mutation batch rejected during validation — raised by
+/// [`MutationBatch::commit`] *before* any change is applied, so the system
+/// is untouched.
+///
+/// Marked `#[non_exhaustive]`: future versions may add variants, so match
+/// with a `_` arm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MutationError {
+    /// A retraction (or the old side of an update) names a fact that is not
+    /// in the extensional database at that point of the batch. Retracting a
+    /// *derived* fact's stored twin is fine; retracting a fact that was
+    /// never stored is a bug in the caller, not a no-op.
+    RetractUnknownFact {
+        /// The missing fact.
+        fact: Fact,
+    },
+}
+
+impl fmt::Display for MutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutationError::RetractUnknownFact { fact } => {
+                write!(f, "cannot retract {fact}: not in the extensional database")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MutationError {}
+
+impl From<MutationError> for Error {
+    fn from(e: MutationError) -> Error {
+        Error::Mutation(e)
+    }
 }
 
 impl fmt::Display for Error {
@@ -88,6 +127,7 @@ impl fmt::Display for Error {
             Error::Transform(e) => write!(f, "{e}"),
             Error::Eval(e) => write!(f, "{e}"),
             Error::NotGround { text } => write!(f, "fact is not ground: {text}"),
+            Error::Mutation(e) => write!(f, "{e}"),
         }
     }
 }
@@ -99,6 +139,7 @@ impl std::error::Error for Error {
             Error::Transform(e) => Some(e),
             Error::Eval(e) => Some(e),
             Error::NotGround { .. } => None,
+            Error::Mutation(e) => Some(e),
         }
     }
 }
@@ -124,12 +165,14 @@ impl From<ldl_eval::EvalError> for Error {
 /// A deductive database session: rules + facts + cached model.
 ///
 /// Programs may use the full LDL1.5 surface; they are macro-expanded to
-/// core LDL1 on load (§4). Facts can be added incrementally — one at a
-/// time with [`System::fact`]/[`System::insert`], or transactionally with
-/// [`System::batch`]. Once a model has been computed it is *maintained*:
-/// committing new facts seeds the semi-naive machinery with them as the
-/// initial delta instead of recomputing from scratch (see
-/// [`eval::incremental`]). Loading new rules or changing the grouping
+/// core LDL1 on load (§4). Facts can be asserted, retracted, and updated —
+/// one at a time with [`System::fact`] / [`System::retract`] /
+/// [`System::update`], or transactionally with [`System::mutate`]. Once a
+/// model has been computed it is *maintained*: committed assertions seed
+/// the semi-naive machinery as the initial delta, and committed
+/// retractions run counting-based or delete-rederive maintenance per
+/// stratum (see [`eval::incremental`] and [`eval::retract`]) instead of
+/// recomputing from scratch. Loading new rules or changing the grouping
 /// semantics invalidates the cache.
 #[derive(Clone, Debug)]
 pub struct System {
@@ -261,11 +304,29 @@ impl System {
     }
 
     /// Add one fact, e.g. `sys.fact("parent(abe, bob).")`. A convenience
-    /// for a batch of one: if a model is cached, it is maintained
+    /// for a mutation batch of one: if a model is cached, it is maintained
     /// incrementally.
     pub fn fact(&mut self, src: &str) -> Result<(), Error> {
-        let mut b = self.batch();
-        b.fact(src)?;
+        let mut b = self.mutate();
+        b.assert_fact(src)?;
+        b.commit()
+    }
+
+    /// Remove one stored fact, e.g. `sys.retract("parent(abe, bob).")`.
+    /// A convenience for a mutation batch of one; fails with
+    /// [`MutationError::RetractUnknownFact`] if the fact is not stored.
+    pub fn retract(&mut self, src: &str) -> Result<(), Error> {
+        let mut b = self.mutate();
+        b.retract_fact(src)?;
+        b.commit()
+    }
+
+    /// Replace one stored fact with another, e.g.
+    /// `sys.update("salary(joe, 10).", "salary(joe, 20).")` — a retraction
+    /// and an assertion committed as one transaction.
+    pub fn update(&mut self, old: &str, new: &str) -> Result<(), Error> {
+        let mut b = self.mutate();
+        b.update_fact(old, new)?;
         b.commit()
     }
 
@@ -273,18 +334,37 @@ impl System {
     /// incremental-maintenance failure invalidates the cached model (the
     /// error resurfaces from the next full evaluation).
     pub fn insert(&mut self, pred: &str, args: Vec<Value>) {
-        let mut b = self.batch();
-        b.insert(pred, args);
+        let mut b = self.mutate();
+        b.assert(pred, args);
         let _ = b.commit();
     }
 
-    /// Start a transaction: facts staged on the returned [`Batch`] become
-    /// visible all at once when it commits, and the cached model (if any)
-    /// is brought up to date in a single incremental step.
-    pub fn batch(&mut self) -> Batch<'_> {
-        Batch {
+    /// Start a mutation transaction: assertions, retractions, and updates
+    /// staged on the returned [`MutationBatch`] become visible all at once
+    /// when it commits, and the cached model (if any) is brought from the
+    /// old state to the new state in a single differential-maintenance
+    /// step — counting or delete-rederive per stratum, never a full
+    /// recompute unless a deletion touches negation or grouping.
+    pub fn mutate(&mut self) -> MutationBatch<'_> {
+        MutationBatch {
             sys: self,
             staged: Vec::new(),
+        }
+    }
+
+    /// Start an insert-only transaction.
+    ///
+    /// A compatibility shim from before retractions existed: [`Batch`]
+    /// stages assertions only and forwards to the same commit machinery as
+    /// [`System::mutate`]. Existing code keeps compiling; new code should
+    /// call [`System::mutate`], which also stages retractions and updates.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use System::mutate, which also stages retractions"
+    )]
+    pub fn batch(&mut self) -> Batch<'_> {
+        Batch {
+            inner: self.mutate(),
         }
     }
 
@@ -355,6 +435,53 @@ impl System {
             }
             // Otherwise the model may be half-updated; drop it so the next
             // query recomputes (and re-raises the error) from scratch.
+            self.cache = None;
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Apply a committed mutation batch: `del` and `ins` are the net,
+    /// validated, disjoint deletion and insertion sets.
+    ///
+    /// Insert-only batches reuse the pure-insertion path ([`commit_facts`](
+    /// System::commit_facts)). Batches with deletions go through
+    /// [`eval::apply_mutations`]: counting maintenance or delete-rederive
+    /// per stratum, with the EDB restored bit-identically if the budget
+    /// trips mid-batch (the half-updated model is dropped either way, and
+    /// the error resurfaces; a retry recomputes from the restored EDB).
+    fn commit_mutations(&mut self, del: Vec<Fact>, ins: Vec<Fact>) -> Result<(), Error> {
+        if del.is_empty() {
+            return self.commit_facts(ins);
+        }
+        let opts = self.eval_options();
+        let Some(cache) = &mut self.cache else {
+            for f in &del {
+                self.edb.remove(f);
+            }
+            for f in ins {
+                self.edb.insert(f);
+            }
+            return Ok(());
+        };
+        let mut stats = EvalStats::new();
+        let res = eval::apply_mutations(
+            &self.compiled,
+            &cache.strat,
+            &cache.sens,
+            &mut self.edb,
+            &mut cache.db,
+            &del,
+            &ins,
+            &opts,
+            &mut stats,
+        );
+        stats.interner_values = ldl_value::intern::len() as u64;
+        self.last_stats = stats;
+        if let Err(e) = res {
+            // `apply_mutations` already restored the EDB; the model may be
+            // half-updated, so drop it — the next query recomputes (and
+            // re-raises any non-budget error) from scratch.
             self.cache = None;
             return Err(e.into());
         }
@@ -442,44 +569,115 @@ impl System {
     }
 }
 
-/// A transaction of facts to assert against a [`System`].
+/// One staged change to the extensional database.
 ///
-/// Facts staged with [`Batch::fact`] / [`Batch::insert`] are invisible —
-/// to queries and to the EDB — until [`Batch::commit`]. Commit applies
-/// them atomically with respect to the model: the cached model goes from
-/// the old state to the new state in one incremental-maintenance step,
-/// never exposing a half-updated intermediate. Duplicate facts (already
-/// in the EDB, or staged twice) are no-ops. Dropping a batch without
-/// committing discards it.
-#[derive(Debug)]
-pub struct Batch<'a> {
-    sys: &'a mut System,
-    staged: Vec<Fact>,
+/// The unit of the [`MutationBatch`] API: a batch is an ordered list of
+/// mutations, validated and *netted* (a retraction cancelling an earlier
+/// assertion, and vice versa) before anything is applied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Store a fact. A no-op if the fact is already stored.
+    Assert(Fact),
+    /// Remove a stored fact. Fails validation with
+    /// [`MutationError::RetractUnknownFact`] if the fact is not stored at
+    /// this point of the batch.
+    Retract(Fact),
+    /// Retract `old` and assert `new` as one step. The two need not share
+    /// a predicate.
+    Update {
+        /// The stored fact to remove.
+        old: Fact,
+        /// The fact replacing it.
+        new: Fact,
+    },
 }
 
-impl Batch<'_> {
-    /// Stage one fact written in concrete syntax, e.g.
-    /// `b.fact("parent(abe, bob).")`. Fails with [`Error::NotGround`] if
-    /// the fact contains variables.
-    pub fn fact(&mut self, src: &str) -> Result<&mut Self, Error> {
-        let atom = ldl_parser::parse_atom(src)?;
-        let args: Option<Vec<Value>> = atom.args.iter().map(|t| t.to_value()).collect();
-        let Some(args) = args else {
-            return Err(Error::NotGround {
-                text: src.trim().to_string(),
-            });
-        };
-        self.staged.push(Fact::new(atom.pred, args));
-        Ok(self)
+/// A transaction of assertions, retractions, and updates against a
+/// [`System`].
+///
+/// Mutations staged on the batch are invisible — to queries and to the
+/// EDB — until [`MutationBatch::commit`]. Commit first *validates* the
+/// whole batch against a virtual EDB state (every retraction must hit a
+/// stored fact; [`MutationError`] aborts before anything is applied), nets
+/// it down to one set of deletions and one set of insertions, and applies
+/// both atomically: the cached model goes from the old state to the new
+/// state in one differential-maintenance step, never exposing a
+/// half-updated intermediate. A batch aborted by a resource budget rolls
+/// the EDB back bit-identically, so a retried commit reproduces the exact
+/// state an uninterrupted one would have. Dropping a batch without
+/// committing discards it.
+///
+/// ```
+/// use ldl1::System;
+///
+/// let mut sys = System::new();
+/// sys.load("tc(X, Y) <- e(X, Y). tc(X, Y) <- e(X, Z), tc(Z, Y).").unwrap();
+/// sys.fact("e(1, 2).").unwrap();
+/// sys.fact("e(2, 3).").unwrap();
+/// assert_eq!(sys.query("tc(1, X)").unwrap().len(), 2);
+///
+/// let mut m = sys.mutate();
+/// m.retract_fact("e(2, 3).").unwrap();
+/// m.assert_fact("e(2, 4).").unwrap();
+/// m.commit().unwrap();
+/// assert_eq!(sys.query("tc(1, 4)").unwrap().len(), 1);
+/// assert_eq!(sys.query("tc(1, 3)").unwrap().len(), 0);
+/// ```
+#[derive(Debug)]
+pub struct MutationBatch<'a> {
+    sys: &'a mut System,
+    staged: Vec<Mutation>,
+}
+
+impl MutationBatch<'_> {
+    /// Stage an assertion from parts.
+    pub fn assert(&mut self, pred: &str, args: Vec<Value>) -> &mut Self {
+        self.push(Mutation::Assert(Fact::new(pred, args)))
     }
 
-    /// Stage one fact from parts.
-    pub fn insert(&mut self, pred: &str, args: Vec<Value>) -> &mut Self {
-        self.staged.push(Fact::new(pred, args));
+    /// Stage a retraction from parts.
+    pub fn retract(&mut self, pred: &str, args: Vec<Value>) -> &mut Self {
+        self.push(Mutation::Retract(Fact::new(pred, args)))
+    }
+
+    /// Stage an update from parts: retract `pred(old_args…)`, assert
+    /// `pred(new_args…)`.
+    pub fn update(&mut self, pred: &str, old_args: Vec<Value>, new_args: Vec<Value>) -> &mut Self {
+        self.push(Mutation::Update {
+            old: Fact::new(pred, old_args),
+            new: Fact::new(pred, new_args),
+        })
+    }
+
+    /// Stage an assertion written in concrete syntax, e.g.
+    /// `m.assert_fact("parent(abe, bob).")`. Fails with
+    /// [`Error::NotGround`] if the fact contains variables.
+    pub fn assert_fact(&mut self, src: &str) -> Result<&mut Self, Error> {
+        let f = parse_ground_fact(src)?;
+        Ok(self.push(Mutation::Assert(f)))
+    }
+
+    /// Stage a retraction written in concrete syntax.
+    pub fn retract_fact(&mut self, src: &str) -> Result<&mut Self, Error> {
+        let f = parse_ground_fact(src)?;
+        Ok(self.push(Mutation::Retract(f)))
+    }
+
+    /// Stage an update written in concrete syntax: retract `old`, assert
+    /// `new`.
+    pub fn update_fact(&mut self, old: &str, new: &str) -> Result<&mut Self, Error> {
+        let old = parse_ground_fact(old)?;
+        let new = parse_ground_fact(new)?;
+        Ok(self.push(Mutation::Update { old, new }))
+    }
+
+    /// Stage a pre-built [`Mutation`].
+    pub fn push(&mut self, m: Mutation) -> &mut Self {
+        self.staged.push(m);
         self
     }
 
-    /// Number of staged facts (duplicates included — they collapse on
+    /// Number of staged mutations (duplicates included — they net out on
     /// commit).
     pub fn len(&self) -> usize {
         self.staged.len()
@@ -490,12 +688,110 @@ impl Batch<'_> {
         self.staged.is_empty()
     }
 
+    /// Validate, net, and apply the staged mutations.
+    ///
+    /// Validation walks the batch in order against a virtual EDB state: a
+    /// fact is *present* if it is stored and not yet retracted by the
+    /// batch, or asserted earlier in the batch. A retraction of an absent
+    /// fact fails the whole commit with
+    /// [`MutationError::RetractUnknownFact`], applying nothing. The
+    /// surviving net deletions and insertions then commit atomically; see
+    /// [`MutationBatch`] for the transactional guarantees.
+    pub fn commit(self) -> Result<(), Error> {
+        let MutationBatch { sys, staged } = self;
+        let mut del: Vec<Fact> = Vec::new();
+        let mut ins: Vec<Fact> = Vec::new();
+        let mut del_set: ldl_value::fxhash::FastSet<Fact> = Default::default();
+        let mut ins_set: ldl_value::fxhash::FastSet<Fact> = Default::default();
+        for m in staged {
+            let (retract, assert) = match m {
+                Mutation::Assert(f) => (None, Some(f)),
+                Mutation::Retract(f) => (Some(f), None),
+                Mutation::Update { old, new } => (Some(old), Some(new)),
+            };
+            // A fact is present in the virtual state iff it is stored and
+            // not netted out, or asserted earlier in this batch.
+            if let Some(f) = retract {
+                if ins_set.remove(&f) {
+                    // cancels an assertion staged earlier in this batch
+                } else if sys.edb.contains(&f) && !del_set.contains(&f) {
+                    del_set.insert(f.clone());
+                    del.push(f);
+                } else {
+                    return Err(MutationError::RetractUnknownFact { fact: f }.into());
+                }
+            }
+            if let Some(f) = assert {
+                if del_set.remove(&f) {
+                    // cancels a retraction staged earlier in this batch
+                } else if !sys.edb.contains(&f) && ins_set.insert(f.clone()) {
+                    ins.push(f);
+                }
+                // else: already stored, or already staged — a no-op
+            }
+        }
+        // Retract-assert-retract cycles can stage the same fact twice; keep
+        // each net change once, at its first staging position.
+        let mut seen: ldl_value::fxhash::FastSet<Fact> = Default::default();
+        del.retain(|f| del_set.contains(f) && seen.insert(f.clone()));
+        seen.clear();
+        ins.retain(|f| ins_set.contains(f) && seen.insert(f.clone()));
+        sys.commit_mutations(del, ins)
+    }
+}
+
+/// An insert-only transaction — the pre-retraction batch API, kept as a
+/// source-compatible shim over [`MutationBatch`].
+///
+/// Obtained from the deprecated [`System::batch`]; new code should use
+/// [`System::mutate`].
+#[derive(Debug)]
+pub struct Batch<'a> {
+    inner: MutationBatch<'a>,
+}
+
+impl Batch<'_> {
+    /// Stage one fact written in concrete syntax, e.g.
+    /// `b.fact("parent(abe, bob).")`. Fails with [`Error::NotGround`] if
+    /// the fact contains variables.
+    pub fn fact(&mut self, src: &str) -> Result<&mut Self, Error> {
+        self.inner.assert_fact(src)?;
+        Ok(self)
+    }
+
+    /// Stage one fact from parts.
+    pub fn insert(&mut self, pred: &str, args: Vec<Value>) -> &mut Self {
+        self.inner.assert(pred, args);
+        self
+    }
+
+    /// Number of staged facts (duplicates included — they collapse on
+    /// commit).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
     /// Apply the staged facts: extend the EDB, and bring the cached model
     /// (if any) up to date in one incremental step.
     pub fn commit(self) -> Result<(), Error> {
-        let Batch { sys, staged } = self;
-        sys.commit_facts(staged)
+        self.inner.commit()
     }
+}
+
+fn parse_ground_fact(src: &str) -> Result<Fact, Error> {
+    let atom = ldl_parser::parse_atom(src)?;
+    let args: Option<Vec<Value>> = atom.args.iter().map(|t| t.to_value()).collect();
+    let Some(args) = args else {
+        return Err(Error::NotGround {
+            text: src.trim().to_string(),
+        });
+    };
+    Ok(Fact::new(atom.pred, args))
 }
 
 fn compile_ldl15(source: &Program, semantics: GroupingSemantics) -> Result<Program, Error> {
@@ -549,7 +845,9 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn batch_commit_is_one_step() {
+        // Compatibility: the insert-only Batch shim keeps working.
         let mut sys = System::new();
         sys.load(
             "tc(X, Y) <- e(X, Y). tc(X, Y) <- e(X, Z), tc(Z, Y).\n\
@@ -622,6 +920,102 @@ mod tests {
         sys.fact("e(1).").unwrap();
         // Nothing changed, so no evaluation ran at all.
         assert_eq!(sys.last_stats(), before);
+        assert_eq!(sys.query("r(X)").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn retraction_maintains_model_differentially() {
+        let mut sys = System::new();
+        sys.load(
+            "tc(X, Y) <- e(X, Y). tc(X, Y) <- e(X, Z), tc(Z, Y).\n\
+             e(1, 2). e(2, 3). e(1, 3).",
+        )
+        .unwrap();
+        assert_eq!(sys.query("tc(X, Y)").unwrap().len(), 3);
+        sys.retract("e(2, 3).").unwrap();
+        let stats = sys.last_stats();
+        assert_eq!(stats.strata_dred, 1, "{stats}");
+        assert_eq!(stats.strata_replayed, 0, "{stats}");
+        // tc(1,3) survives via the direct edge; tc(2,3) is gone.
+        assert_eq!(sys.query("tc(1, 3)").unwrap().len(), 1);
+        assert_eq!(sys.query("tc(2, 3)").unwrap().len(), 0);
+
+        let mut fresh = System::new();
+        fresh
+            .load(
+                "tc(X, Y) <- e(X, Y). tc(X, Y) <- e(X, Z), tc(Z, Y).\n\
+                 e(1, 2). e(1, 3).",
+            )
+            .unwrap();
+        assert_eq!(sys.model_facts().unwrap(), fresh.model_facts().unwrap());
+    }
+
+    #[test]
+    fn update_is_one_transaction() {
+        let mut sys = System::new();
+        sys.load("total(D, <S>) <- salary(D, _, S).").unwrap();
+        sys.fact("salary(sales, joe, 10).").unwrap();
+        sys.fact("salary(sales, sue, 20).").unwrap();
+        assert_eq!(
+            sys.query("total(sales, S)").unwrap()[0].bindings[0]
+                .1
+                .to_string(),
+            "{10, 20}"
+        );
+        sys.update("salary(sales, joe, 10).", "salary(sales, joe, 15).")
+            .unwrap();
+        assert_eq!(
+            sys.query("total(sales, S)").unwrap()[0].bindings[0]
+                .1
+                .to_string(),
+            "{15, 20}"
+        );
+        assert!(!sys.edb().contains(&Fact::new(
+            "salary",
+            vec![Value::atom("sales"), Value::atom("joe"), Value::int(10)]
+        )));
+    }
+
+    #[test]
+    fn retract_unknown_fact_fails_whole_batch() {
+        let mut sys = System::new();
+        sys.load("r(X) <- e(X). e(1).").unwrap();
+        sys.query("r(X)").unwrap();
+        let mut m = sys.mutate();
+        m.assert_fact("e(2).").unwrap();
+        m.retract_fact("e(99).").unwrap();
+        let err = m.commit().unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Mutation(MutationError::RetractUnknownFact { .. })
+        ));
+        // Nothing was applied — not even the valid assertion.
+        assert_eq!(sys.query("r(X)").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn mutations_net_out_before_commit() {
+        let mut sys = System::new();
+        sys.load("r(X) <- e(X). e(1).").unwrap();
+        sys.query("r(X)").unwrap();
+        let before = sys.last_stats();
+        let mut m = sys.mutate();
+        m.assert("e", vec![Value::int(2)]);
+        m.retract("e", vec![Value::int(2)]); // cancels the assert
+        m.retract("e", vec![Value::int(1)]);
+        m.assert("e", vec![Value::int(1)]); // cancels the retract
+        m.commit().unwrap();
+        // The batch netted to nothing: no evaluation ran at all.
+        assert_eq!(sys.last_stats(), before);
+        assert_eq!(sys.query("r(X)").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn retraction_without_model_edits_edb_only() {
+        let mut sys = System::new();
+        sys.load("r(X) <- e(X). e(1). e(2).").unwrap();
+        // No model computed yet: the retraction edits the EDB directly.
+        sys.retract("e(2).").unwrap();
         assert_eq!(sys.query("r(X)").unwrap().len(), 1);
     }
 

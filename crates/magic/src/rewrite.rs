@@ -14,7 +14,7 @@ use ldl_ast::literal::{Atom, Literal};
 use ldl_ast::program::Program;
 use ldl_ast::rule::Rule;
 use ldl_ast::term::Term;
-use ldl_value::fxhash::FastMap;
+use ldl_value::fxhash::{FastMap, FastSet};
 use ldl_value::{Fact, Symbol, Value};
 
 use crate::adorn::{adorned_name, AdornedProgram, Adornment};
@@ -83,6 +83,40 @@ pub fn rewrite_magic(adorned: &AdornedProgram, query: &Atom) -> MagicProgram {
         ))];
         body.extend(ar.rule.body.iter().cloned());
         program.push(Rule::new(ar.rule.head.clone(), body));
+    }
+
+    // Import rules: a predicate with rules may *also* have stored facts
+    // (mixed EDB/IDB). The rewrite renames every IDB occurrence to its
+    // adorned version, which would silently drop those facts — so each
+    // adorned predicate additionally imports the original relation,
+    // guarded by its magic predicate to preserve the binding restriction:
+    //
+    //     p'a(V̄) <- m'p'a(V̄_b), p(V̄).
+    let mut imported: FastSet<Symbol> = FastSet::default();
+    for ar in &adorned.rules {
+        let apred = ar.rule.head.pred;
+        if !imported.insert(apred) {
+            continue; // one import per distinct (predicate, adornment)
+        }
+        let vars: Vec<Term> = (0..ar.rule.head.arity())
+            .map(|i| Term::var(&format!("V{i}")))
+            .collect();
+        let bound_vars: Vec<Term> = vars
+            .iter()
+            .zip(&ar.head_adornment.0)
+            .filter(|(_, &b)| b)
+            .map(|(t, _)| t.clone())
+            .collect();
+        program.push(Rule::new(
+            Atom::new(apred, vars.clone()),
+            vec![
+                Literal::pos(Atom::new(
+                    magic_name(ar.head_pred, &ar.head_adornment),
+                    bound_vars,
+                )),
+                Literal::pos(Atom::new(ar.head_pred, vars)),
+            ],
+        ));
     }
 
     // Seed: the ground query arguments at bound positions. Adornment marks

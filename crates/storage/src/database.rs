@@ -104,9 +104,31 @@ impl Database {
         self.relations.keys().copied()
     }
 
-    /// Total number of facts.
+    /// Total number of (live) facts.
     pub fn num_facts(&self) -> usize {
-        self.relations.values().map(Relation::len).sum()
+        self.relations.values().map(Relation::live_len).sum()
+    }
+
+    /// Tombstone one fact (see [`Relation::remove_slice`]). Returns the
+    /// tombstoned insertion position, or `None` when the fact is not
+    /// (live) in the database.
+    pub fn remove(&mut self, fact: &Fact) -> Option<u32> {
+        let ids: Vec<ValueId> = fact.args().iter().map(intern::id_of).collect();
+        self.remove_ids(fact.pred(), &ids)
+    }
+
+    /// Tombstone one already-interned tuple. Returns the tombstoned
+    /// position, or `None` when absent.
+    pub fn remove_ids(&mut self, pred: Symbol, tuple: &[ValueId]) -> Option<u32> {
+        self.relations.get_mut(&pred)?.remove_slice(tuple)
+    }
+
+    /// Undo a tombstone recorded by [`Database::remove`] — the rollback
+    /// half of a failed mutation batch (see [`Relation::revive`]).
+    pub fn revive(&mut self, pred: Symbol, pos: u32) {
+        if let Some(rel) = self.relations.get_mut(&pred) {
+            rel.revive(pos);
+        }
     }
 
     /// All facts of one predicate (ids resolved back to structural values —
@@ -200,9 +222,9 @@ impl Database {
             return Some(0.0);
         }
         if bound_cols.is_empty() {
-            return Some(rel.len() as f64);
+            return Some(rel.live_len() as f64);
         }
-        Some(rel.len() as f64 / rel.key_distinct_estimate(bound_cols))
+        Some(rel.live_len() as f64 / rel.key_distinct_estimate(bound_cols))
     }
 
     /// Remove one relation wholesale (used when an IDB predicate is rebuilt
@@ -305,6 +327,24 @@ mod tests {
         assert!(!db.contains(&Fact::new("p", vec![Value::int(2)])));
         // Rolled-back facts can be inserted again as new.
         assert!(db.insert_tuple("p", vec![Value::int(2)]));
+    }
+
+    #[test]
+    fn remove_and_revive_round_trip() {
+        let mut db = Database::new();
+        db.insert_tuple("p", vec![Value::int(1)]);
+        db.insert_tuple("p", vec![Value::int(2)]);
+        let pos = db.remove(&Fact::new("p", vec![Value::int(1)])).unwrap();
+        assert!(!db.contains(&Fact::new("p", vec![Value::int(1)])));
+        assert_eq!(db.num_facts(), 1);
+        assert!(db.remove(&Fact::new("p", vec![Value::int(9)])).is_none());
+        assert!(db.remove(&Fact::new("q", vec![Value::int(1)])).is_none());
+        db.revive(Symbol::intern("p"), pos);
+        assert!(db.contains(&Fact::new("p", vec![Value::int(1)])));
+        assert_eq!(db.num_facts(), 2);
+        // to_fact_set / dump see only live facts.
+        db.remove(&Fact::new("p", vec![Value::int(2)]));
+        assert_eq!(db.dump(), "p(1).\n");
     }
 
     #[test]

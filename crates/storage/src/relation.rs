@@ -43,6 +43,27 @@ impl Index {
         let key: Box<[ValueId]> = self.cols.iter().map(|&c| tuple[c]).collect();
         self.map.entry(key).or_default().push(pos);
     }
+
+    /// Drop `pos` from the posting list of `tuple`'s key (tombstoning).
+    fn remove(&mut self, tuple: &[ValueId], pos: u32) {
+        let key: Box<[ValueId]> = self.cols.iter().map(|&c| tuple[c]).collect();
+        if let Some(postings) = self.map.get_mut(&key) {
+            postings.retain(|&p| p != pos);
+            if postings.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
+
+    /// Re-insert `pos` into `tuple`'s posting list at its sorted slot —
+    /// postings must stay ascending so probe results keep insertion order
+    /// (the bit-for-bit determinism contract).
+    fn add_sorted(&mut self, tuple: &[ValueId], pos: u32) {
+        let key: Box<[ValueId]> = self.cols.iter().map(|&c| tuple[c]).collect();
+        let postings = self.map.entry(key).or_default();
+        let slot = postings.partition_point(|&p| p < pos);
+        postings.insert(slot, pos);
+    }
 }
 
 /// A fixed-width linear-counting sketch estimating the number of distinct
@@ -110,7 +131,22 @@ impl ColSketch {
 pub struct Relation {
     arity: usize,
     tuples: Vec<Tuple>,
-    seen: FastSet<Tuple>,
+    /// Duplicate filter *and* position map: each live tuple maps to its
+    /// insertion position. Removed (tombstoned) tuples are absent, so
+    /// `contains`/`position_of` see only live facts.
+    seen: FastMap<Tuple, u32>,
+    /// Tombstoned insertion positions. `None` (no heap) until the first
+    /// removal — the append-only fast path never touches it. Positions are
+    /// never reused, so deltas `[lo, hi)` and marks stay valid; readers
+    /// skip dead positions via [`Relation::is_live`].
+    dead: Option<Box<FastSet<u32>>>,
+    /// Live tuple count: `tuples.len() - dead.len()`.
+    live: usize,
+    /// Per-position derivation counts (counting-based maintenance for
+    /// non-recursive strata). `None` unless [`Relation::enable_counts`] was
+    /// called; when present, a duplicate insert *increments* the existing
+    /// position's count instead of being a pure no-op.
+    counts: Option<Vec<u32>>,
     /// Keyed by the sorted, deduplicated column list (probed borrowed as
     /// `&[usize]`), so relations of any width can be indexed.
     indexes: FastMap<Vec<usize>, Index>,
@@ -131,7 +167,10 @@ impl Relation {
         Relation {
             arity,
             tuples: Vec::new(),
-            seen: FastSet::default(),
+            seen: FastMap::default(),
+            dead: None,
+            live: 0,
+            counts: None,
             indexes: FastMap::default(),
             sketches: vec![ColSketch::default(); arity],
             stats_epoch: 0,
@@ -144,24 +183,36 @@ impl Relation {
         self.arity
     }
 
-    /// Number of (distinct) tuples.
+    /// Number of insertion positions (including tombstoned ones). Stays
+    /// *physical*: delta frontiers and snapshot marks are defined over this
+    /// value, and removals must not shift them. For the number of facts the
+    /// relation currently holds, see [`Relation::live_len`].
     pub fn len(&self) -> usize {
         self.tuples.len()
     }
 
-    /// Is the relation empty?
+    /// Number of live (non-tombstoned) tuples.
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    /// Does the relation hold no live tuples?
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.live == 0
     }
 
     /// Insert a tuple; returns `true` iff it was new. Panics on arity
     /// mismatch (a schema violation is a caller bug, not data).
     pub fn insert(&mut self, tuple: Tuple) -> bool {
         assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
-        if !self.seen.insert(Arc::clone(&tuple)) {
+        if let Some(&pos) = self.seen.get(tuple.as_ref() as &[ValueId]) {
+            if let Some(counts) = &mut self.counts {
+                counts[pos as usize] += 1;
+            }
             return false;
         }
         let pos = u32::try_from(self.tuples.len()).expect("relation exceeds u32 tuples");
+        self.seen.insert(Arc::clone(&tuple), pos);
         for idx in self.indexes.values_mut() {
             idx.add(&tuple, pos);
         }
@@ -169,6 +220,10 @@ impl Relation {
             sk.observe(v);
         }
         self.tuples.push(tuple);
+        if let Some(counts) = &mut self.counts {
+            counts.push(1);
+        }
+        self.live += 1;
         if self.tuples.len() >= self.next_epoch_len {
             self.stats_epoch += 1;
             self.next_epoch_len = self.tuples.len() + (self.tuples.len() / 2).max(16);
@@ -179,35 +234,131 @@ impl Relation {
     /// Insert a borrowed tuple; returns `true` iff it was new. The
     /// duplicate probe happens on the borrowed slice, so a rejected
     /// duplicate allocates nothing — this is the merge-phase hot path,
-    /// where semi-naive evaluation rejects most derivations.
+    /// where semi-naive evaluation rejects most derivations. On a
+    /// count-carrying relation the rejected duplicate still bumps the
+    /// tuple's derivation count.
     pub fn insert_slice(&mut self, tuple: &[ValueId]) -> bool {
         assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
-        if self.seen.contains(tuple) {
+        if let Some(&pos) = self.seen.get(tuple) {
+            if let Some(counts) = &mut self.counts {
+                counts[pos as usize] += 1;
+            }
             return false;
         }
         self.insert(Tuple::from(tuple))
     }
 
-    /// Does the relation contain exactly this tuple?
+    /// Does the relation contain exactly this tuple (live — a tombstoned
+    /// tuple is gone)?
     pub fn contains(&self, tuple: &[ValueId]) -> bool {
-        // FastSet<Arc<[ValueId]>> can be probed with a borrowed slice
+        // FastMap<Arc<[ValueId]>, u32> can be probed with a borrowed slice
         // because Arc<[ValueId]>: Borrow<[ValueId]>.
-        self.seen.contains(tuple)
+        self.seen.contains_key(tuple)
     }
 
-    /// The tuple at insertion position `pos`.
+    /// The insertion position of a live tuple, if present.
+    pub fn position_of(&self, tuple: &[ValueId]) -> Option<u32> {
+        self.seen.get(tuple).copied()
+    }
+
+    /// The tuple at insertion position `pos` (defined for tombstoned
+    /// positions too — the tuple data is retained so rollback can revive
+    /// it; scan loops filter with [`Relation::is_live`]).
     pub fn get(&self, pos: u32) -> &Tuple {
         &self.tuples[pos as usize]
     }
 
-    /// All tuples in insertion order.
-    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
-        self.tuples.iter()
+    /// Is insertion position `pos` live (not tombstoned)?
+    #[inline]
+    pub fn is_live(&self, pos: u32) -> bool {
+        match &self.dead {
+            None => true,
+            Some(d) => !d.contains(&pos),
+        }
     }
 
-    /// Tuples in the insertion range `[from, to)` — a delta.
+    /// All live tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples
+            .iter()
+            .enumerate()
+            .filter(|&(pos, _)| self.is_live(pos as u32))
+            .map(|(_, t)| t)
+    }
+
+    /// Tuples in the insertion range `[from, to)` — a delta. Physical: a
+    /// delta range is always freshly inserted (hence live) when consumed;
+    /// callers walking historical ranges must filter with
+    /// [`Relation::is_live`].
     pub fn range(&self, from: usize, to: usize) -> &[Tuple] {
         &self.tuples[from..to]
+    }
+
+    /// Tombstone a live tuple: removes it from the duplicate filter and
+    /// every index posting list, marks its position dead, and bumps the
+    /// statistics epoch. The position itself (and the tuple data) is
+    /// retained so outstanding marks/deltas stay valid and
+    /// [`Relation::revive`] can restore the exact pre-removal state.
+    /// Returns the tombstoned position, or `None` if the tuple was not
+    /// live.
+    pub fn remove_slice(&mut self, tuple: &[ValueId]) -> Option<u32> {
+        let pos = self.seen.remove(tuple)?;
+        self.dead.get_or_insert_with(Default::default).insert(pos);
+        self.live -= 1;
+        let t = Arc::clone(&self.tuples[pos as usize]);
+        for idx in self.indexes.values_mut() {
+            idx.remove(&t, pos);
+        }
+        self.stats_epoch += 1;
+        Some(pos)
+    }
+
+    /// Undo a tombstone: restore position `pos` to the duplicate filter and
+    /// index posting lists (at its sorted slot, so probe order is exactly
+    /// the pre-removal order — rollback is bit-identical). No-op if `pos`
+    /// is not tombstoned.
+    pub fn revive(&mut self, pos: u32) {
+        if !self.dead.as_mut().is_some_and(|d| d.remove(&pos)) {
+            return;
+        }
+        let t = Arc::clone(&self.tuples[pos as usize]);
+        for idx in self.indexes.values_mut() {
+            idx.add_sorted(&t, pos);
+        }
+        self.seen.insert(t, pos);
+        self.live += 1;
+        self.stats_epoch += 1;
+    }
+
+    /// Start carrying per-tuple derivation counts (counting-based
+    /// maintenance). Existing tuples are assigned count 1; from here on a
+    /// duplicate insert increments the tuple's count instead of being a
+    /// pure no-op, so the semi-naive merge phase records multiplicities as
+    /// a side effect. Idempotent.
+    pub fn enable_counts(&mut self) {
+        if self.counts.is_none() {
+            self.counts = Some(vec![1; self.tuples.len()]);
+        }
+    }
+
+    /// Does this relation carry derivation counts?
+    pub fn counts_enabled(&self) -> bool {
+        self.counts.is_some()
+    }
+
+    /// The derivation count at position `pos`. Panics unless
+    /// [`Relation::enable_counts`] was called.
+    pub fn count_at(&self, pos: u32) -> u32 {
+        self.counts.as_ref().expect("counts not enabled")[pos as usize]
+    }
+
+    /// Decrement the derivation count at `pos` by `by` (saturating) and
+    /// return the new count. The caller tombstones the tuple when this
+    /// reaches zero. Panics unless counts are enabled.
+    pub fn decrement_count(&mut self, pos: u32, by: u32) -> u32 {
+        let c = &mut self.counts.as_mut().expect("counts not enabled")[pos as usize];
+        *c = c.saturating_sub(by);
+        *c
     }
 
     /// Ensure a hash index exists on `cols` (sorted, deduplicated by caller
@@ -227,7 +378,18 @@ impl Relation {
             cols: cols.clone(),
             map: FastMap::default(),
         };
+        // Skip tombstoned positions: an index built after a removal must
+        // agree with one that witnessed it (probes never check liveness).
+        // `revive` re-adds the position to every index, so a later rollback
+        // still restores the pre-removal posting lists exactly.
         for (pos, t) in self.tuples.iter().enumerate() {
+            if self
+                .dead
+                .as_ref()
+                .is_some_and(|d| d.contains(&(pos as u32)))
+            {
+                continue;
+            }
             idx.add(t, pos as u32);
         }
         self.indexes.insert(cols, idx);
@@ -267,9 +429,9 @@ impl Relation {
     }
 
     /// Estimated number of distinct values in column `col` (linear-counting
-    /// sketch, clamped to `[1, len]`; `0.0` for an empty relation).
+    /// sketch, clamped to `[1, live_len]`; `0.0` for an empty relation).
     pub fn distinct_estimate(&self, col: usize) -> f64 {
-        self.sketches[col].estimate(self.tuples.len())
+        self.sketches[col].estimate(self.live)
     }
 
     /// Estimated number of distinct *combinations* over `cols`: the product
@@ -278,13 +440,13 @@ impl Relation {
     /// columns, which errs toward predicting *fewer* matching rows — the
     /// same bias every textbook System-R-style estimator accepts.
     pub fn key_distinct_estimate(&self, cols: &[usize]) -> f64 {
-        if self.tuples.is_empty() {
+        if self.live == 0 {
             return 0.0;
         }
-        let len = self.tuples.len() as f64;
+        let len = self.live as f64;
         let mut combo = 1.0f64;
         for &c in cols {
-            combo *= self.sketches[c].estimate(self.tuples.len());
+            combo *= self.sketches[c].estimate(self.live);
             if combo >= len {
                 return len;
             }
@@ -302,10 +464,26 @@ impl Relation {
         if len >= self.tuples.len() {
             return;
         }
-        for dropped in self.tuples.drain(len..) {
-            self.seen.remove(&dropped);
-        }
         let cutoff = len as u32;
+        // Tombstones at or beyond the cutoff die with their positions;
+        // tombstones below it survive (rollback revives them separately).
+        if let Some(d) = &mut self.dead {
+            d.retain(|&p| p < cutoff);
+            if d.is_empty() {
+                self.dead = None;
+            }
+        }
+        for dropped in self.tuples.drain(len..) {
+            // Forget the tuple only if its *live* position is being dropped
+            // — the same value may also sit tombstoned below the cutoff.
+            if (self.seen.get(dropped.as_ref() as &[ValueId])).is_some_and(|&p| p >= cutoff) {
+                self.seen.remove(dropped.as_ref() as &[ValueId]);
+            }
+        }
+        if let Some(counts) = &mut self.counts {
+            counts.truncate(len);
+        }
+        self.live = len - self.dead.as_ref().map_or(0, |d| d.len());
         for idx in self.indexes.values_mut() {
             idx.map.retain(|_, postings| {
                 postings.retain(|&pos| pos < cutoff);
@@ -313,12 +491,20 @@ impl Relation {
             });
         }
         // Sketch bits cannot be un-set per dropped tuple; rebuild them from
-        // the surviving tuples (truncation is the rare snapshot-rollback
-        // path, never the insert hot path) and invalidate cached plans.
+        // the surviving live tuples (truncation is the rare
+        // snapshot-rollback path, never the insert hot path) and invalidate
+        // cached plans.
         for sk in &mut self.sketches {
             *sk = ColSketch::default();
         }
-        for t in &self.tuples {
+        for (pos, t) in self.tuples.iter().enumerate() {
+            if self
+                .dead
+                .as_ref()
+                .is_some_and(|d| d.contains(&(pos as u32)))
+            {
+                continue;
+            }
             for (sk, &v) in self.sketches.iter_mut().zip(t.iter()) {
                 sk.observe(v);
             }
@@ -522,6 +708,105 @@ mod tests {
         assert!(r.insert(Arc::clone(&empty)));
         assert!(!r.insert(empty));
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn remove_tombstones_and_revive_restores() {
+        let mut r = Relation::new(2);
+        r.ensure_index(&[0]);
+        r.insert(t(&[1, 10]));
+        r.insert(t(&[1, 20]));
+        r.insert(t(&[2, 30]));
+        let pos = r.remove_slice(&[id(1), id(10)]).unwrap();
+        assert_eq!(pos, 0);
+        assert_eq!(r.len(), 3, "len stays physical");
+        assert_eq!(r.live_len(), 2);
+        assert!(!r.contains(&[id(1), id(10)]));
+        assert!(!r.is_live(0) && r.is_live(1) && r.is_live(2));
+        // Index postings are pruned eagerly…
+        assert_eq!(r.probe(&[0], &[id(1)]), &[1]);
+        // …and iter skips the tombstone.
+        assert_eq!(r.iter().count(), 2);
+        // Removing a non-member (or the same tuple twice) is None.
+        assert!(r.remove_slice(&[id(1), id(10)]).is_none());
+        assert!(r.remove_slice(&[id(9), id(9)]).is_none());
+
+        r.revive(pos);
+        assert!(r.contains(&[id(1), id(10)]));
+        assert_eq!(r.live_len(), 3);
+        // Posting order is restored ascending, not appended.
+        assert_eq!(r.probe(&[0], &[id(1)]), &[0, 1]);
+        r.revive(pos); // double revive is a no-op
+        assert_eq!(r.live_len(), 3);
+    }
+
+    #[test]
+    fn removed_tuple_can_be_reinserted_at_new_position() {
+        let mut r = Relation::new(1);
+        r.insert(t(&[7]));
+        r.remove_slice(&[id(7)]).unwrap();
+        assert!(r.insert(t(&[7])), "tombstoned tuple is re-insertable");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.live_len(), 1);
+        assert_eq!(r.position_of(&[id(7)]), Some(1));
+    }
+
+    #[test]
+    fn truncate_interacts_with_tombstones() {
+        let mut r = Relation::new(1);
+        r.insert(t(&[1]));
+        r.insert(t(&[2]));
+        let p1 = r.remove_slice(&[id(1)]).unwrap();
+        let mark = r.len();
+        r.insert(t(&[1])); // revived-by-reinsert above the mark
+        r.insert(t(&[3]));
+        r.remove_slice(&[id(3)]).unwrap();
+
+        r.truncate(mark);
+        // The pre-mark tombstone survives; post-mark state is gone.
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.live_len(), 1);
+        assert!(!r.contains(&[id(1)]));
+        assert!(r.contains(&[id(2)]));
+        r.revive(p1);
+        assert!(r.contains(&[id(1)]));
+        assert_eq!(r.live_len(), 2);
+    }
+
+    #[test]
+    fn counts_track_duplicate_insertions() {
+        let mut r = Relation::new(1);
+        r.insert(t(&[1]));
+        r.enable_counts();
+        assert!(r.counts_enabled());
+        assert_eq!(r.count_at(0), 1, "existing tuples start at count 1");
+        r.insert(t(&[1])); // duplicate → increment
+        r.insert_slice(&[id(1)]);
+        assert_eq!(r.count_at(0), 3);
+        r.insert(t(&[2]));
+        assert_eq!(r.count_at(1), 1);
+        assert_eq!(r.decrement_count(0, 2), 1);
+        assert_eq!(r.decrement_count(0, 1), 0);
+        // Count 0 is the caller's cue to tombstone; storage doesn't do it.
+        assert!(r.contains(&[id(1)]));
+        r.enable_counts(); // idempotent: counts survive
+        assert_eq!(r.count_at(1), 1);
+    }
+
+    #[test]
+    fn estimates_follow_live_count() {
+        let mut r = Relation::new(1);
+        for x in 0..20 {
+            r.insert(t(&[x]));
+        }
+        for x in 0..19 {
+            r.remove_slice(&[id(x)]);
+        }
+        assert!(r.distinct_estimate(0) <= 1.0);
+        assert_eq!(r.key_distinct_estimate(&[0]), 1.0);
+        r.remove_slice(&[id(19)]);
+        assert!(r.is_empty());
+        assert_eq!(r.key_distinct_estimate(&[0]), 0.0);
     }
 
     #[test]

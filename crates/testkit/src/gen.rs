@@ -101,6 +101,13 @@ pub fn stratified_case(rng: &mut Rng, size: u32) -> GeneratedCase {
         }
     }
 
+    // A minority of cases store facts for the *IDB* head `p0` as well:
+    // mixed EDB/IDB predicates are where magic-set rewrites and
+    // retraction-of-stored-twin maintenance historically break, so the
+    // differential oracle must see them. (Sizes below 3 stay pure-EDB so
+    // shrinking converges on the simplest shape first.)
+    let mixed_idb = size >= 3 && rng.index(3) == 0;
+
     // One shared node pool per case: mostly ints, with a set-valued and a
     // compound-valued minority. Edges and markers index into the same pool,
     // so nested values participate in joins and negation, not just storage.
@@ -121,6 +128,13 @@ pub fn stratified_case(rng: &mut Rng, size: u32) -> GeneratedCase {
     }
     for _ in 0..rng.index(size + 1) {
         edb.push(("e1", vec![pick(rng)]));
+    }
+    if mixed_idb {
+        for _ in 0..(1 + rng.index(size)) {
+            let a = pick(rng);
+            let b = pick(rng);
+            edb.push(("p0", vec![a, b]));
+        }
     }
 
     // A third of the larger cases skew one relation far past the others so
@@ -166,6 +180,139 @@ pub fn stratified_case(rng: &mut Rng, size: u32) -> GeneratedCase {
         top: format!("p{}", layers - 1),
         skew_factor,
     }
+}
+
+/// A generated EDB tuple: `(predicate, ground arguments)`.
+pub type GenTuple = (&'static str, Vec<GenConst>);
+
+/// One step of a generated mutation sequence.
+///
+/// Plain data, like [`GenConst`]: the oracle converts to engine facts and
+/// stages them on whatever mutation API it is testing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GenMutation {
+    /// Assert `pred(args…)`. May duplicate a present fact (a no-op the
+    /// engine must tolerate).
+    Assert(&'static str, Vec<GenConst>),
+    /// Retract `pred(args…)`. The generator only emits retractions of
+    /// facts present in the virtual state at that point, so every
+    /// generated batch commits cleanly.
+    Retract(&'static str, Vec<GenConst>),
+    /// Replace `pred(old…)` with `pred(new…)` in one step.
+    Update {
+        /// The predicate both sides share.
+        pred: &'static str,
+        /// The present fact to remove.
+        old: Vec<GenConst>,
+        /// The arguments replacing it.
+        new: Vec<GenConst>,
+    },
+}
+
+/// Generate `batches` transactional mutation batches against `case`'s EDB,
+/// returning them together with the surviving EDB after all of them — the
+/// input for a one-shot recompute the oracle compares against.
+///
+/// The generator tracks the virtual EDB state batch by batch (set
+/// semantics, like the engine): retractions and update-old sides always
+/// name a present fact, assertions recombine argument values already in
+/// the case (plus occasional fresh integers) so new tuples actually join
+/// with existing ones. Batches are weighted toward churn — roughly half
+/// the steps delete something — because deletion is the path under test.
+pub fn mutation_sequence(
+    rng: &mut Rng,
+    case: &GeneratedCase,
+    batches: usize,
+) -> (Vec<Vec<GenMutation>>, Vec<GenTuple>) {
+    // Engine equality is *structural on values*, not on `GenConst` spellings:
+    // `Set([1, 0])` and `Set([0, 1])` name the same fact. The virtual state
+    // must track canonical tuples, or retracting one spelling would leave the
+    // equal twin "alive" here while the engine removed the fact.
+    let canon_const = |c: &GenConst| -> GenConst {
+        match c {
+            GenConst::Set(xs) => {
+                let mut v = xs.clone();
+                v.sort_unstable();
+                v.dedup();
+                GenConst::Set(v)
+            }
+            other => other.clone(),
+        }
+    };
+    let canon = |args: &[GenConst]| -> Vec<GenConst> { args.iter().map(canon_const).collect() };
+
+    // The virtual state starts as the case EDB under set semantics.
+    let mut live: Vec<GenTuple> = Vec::new();
+    for (pred, args) in &case.edb {
+        let t = (*pred, canon(args));
+        if !live.contains(&t) {
+            live.push(t);
+        }
+    }
+    // Argument pool for fresh assertions: every constant the case already
+    // uses, so generated tuples connect to the existing graph.
+    let pool: Vec<GenConst> = {
+        let mut p: Vec<GenConst> = Vec::new();
+        for (_, args) in &case.edb {
+            for a in args {
+                let a = canon_const(a);
+                if !p.contains(&a) {
+                    p.push(a);
+                }
+            }
+        }
+        if p.is_empty() {
+            p.push(GenConst::Int(0));
+        }
+        p
+    };
+    let fresh = |rng: &mut Rng| -> GenConst {
+        if rng.index(4) == 0 {
+            GenConst::Int(rng.range(0, 1 + pool.len() as i64 * 2))
+        } else {
+            pool[rng.index(pool.len())].clone()
+        }
+    };
+    let preds: [(&'static str, usize); 3] = [("e0", 2), ("e1", 1), ("p0", 2)];
+
+    let mut out: Vec<Vec<GenMutation>> = Vec::new();
+    for _ in 0..batches {
+        let mut batch: Vec<GenMutation> = Vec::new();
+        for _ in 0..(1 + rng.index(3)) {
+            let deletion_possible = !live.is_empty();
+            match rng.index(4) {
+                0 | 1 if deletion_possible => {
+                    let i = rng.index(live.len());
+                    let (pred, args) = live.swap_remove(i);
+                    if rng.index(2) == 0 {
+                        batch.push(GenMutation::Retract(pred, args));
+                    } else {
+                        let new: Vec<GenConst> = args.iter().map(|_| fresh(rng)).collect();
+                        let t = (pred, new.clone());
+                        if !live.contains(&t) {
+                            live.push(t);
+                        }
+                        batch.push(GenMutation::Update {
+                            pred,
+                            old: args,
+                            new,
+                        });
+                    }
+                }
+                _ => {
+                    let (pred, arity) = preds[rng.index(preds.len())];
+                    let args: Vec<GenConst> = (0..arity).map(|_| fresh(rng)).collect();
+                    let t = (pred, args.clone());
+                    if !live.contains(&t) {
+                        live.push(t);
+                    }
+                    batch.push(GenMutation::Assert(pred, args));
+                }
+            }
+        }
+        out.push(batch);
+    }
+    (out, live)
 }
 
 #[cfg(test)]
@@ -215,6 +362,69 @@ mod tests {
         assert!(negation && grouping && recursion && threeway);
         assert!(sets && compounds, "nested EDB constants never generated");
         assert!(balanced && skewed, "skew profiles never varied");
+    }
+
+    #[test]
+    fn mutation_sequences_are_valid_and_deterministic() {
+        let case = stratified_case(&mut Rng::new(7), 6);
+        let (a, live_a) = mutation_sequence(&mut Rng::new(11), &case, 5);
+        let (b, live_b) = mutation_sequence(&mut Rng::new(11), &case, 5);
+        assert_eq!(a, b);
+        assert_eq!(live_a, live_b);
+
+        // Replaying the batches against the case EDB must never retract an
+        // absent fact, and must land on the surviving EDB the generator
+        // reported.
+        let mut live: Vec<(&'static str, Vec<GenConst>)> = Vec::new();
+        for t in &case.edb {
+            if !live.contains(t) {
+                live.push(t.clone());
+            }
+        }
+        for batch in &a {
+            for m in batch {
+                match m {
+                    GenMutation::Assert(p, args) => {
+                        let t = (*p, args.clone());
+                        if !live.contains(&t) {
+                            live.push(t);
+                        }
+                    }
+                    GenMutation::Retract(p, args) => {
+                        let t = (*p, args.clone());
+                        let i = live
+                            .iter()
+                            .position(|x| *x == t)
+                            .expect("retraction of an absent fact");
+                        live.remove(i);
+                    }
+                    GenMutation::Update { pred, old, new } => {
+                        let t = (*pred, old.clone());
+                        let i = live
+                            .iter()
+                            .position(|x| *x == t)
+                            .expect("update of an absent fact");
+                        live.remove(i);
+                        let t = (*pred, new.clone());
+                        if !live.contains(&t) {
+                            live.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(live.len(), live_a.len());
+        assert!(live.iter().all(|t| live_a.contains(t)));
+    }
+
+    #[test]
+    fn mixed_idb_cases_store_facts_for_rule_heads() {
+        let mut seen = false;
+        for seed in 0..32 {
+            let c = stratified_case(&mut Rng::new(crate::case_seed(seed)), 8);
+            seen |= c.edb.iter().any(|(p, _)| *p == "p0");
+        }
+        assert!(seen, "no mixed EDB/IDB case in 32 seeds");
     }
 
     #[test]

@@ -204,9 +204,9 @@ fn incremental_abort_then_recommit_matches_clean_model() {
             cancel.trip_after(rng.range(0, 50) as u64);
             let mut failed = false;
             {
-                let mut b = sys.batch();
+                let mut b = sys.mutate();
                 for (pred, args) in chunk {
-                    b.insert(pred, args.iter().map(value_of).collect());
+                    b.assert(pred, args.iter().map(value_of).collect());
                 }
                 match b.commit() {
                     Ok(()) => {}
@@ -221,9 +221,9 @@ fn incremental_abort_then_recommit_matches_clean_model() {
             if failed {
                 // Rolled back: re-stage the identical chunk and commit for
                 // real this time.
-                let mut b = sys.batch();
+                let mut b = sys.mutate();
                 for (pred, args) in chunk {
-                    b.insert(pred, args.iter().map(value_of).collect());
+                    b.assert(pred, args.iter().map(value_of).collect());
                 }
                 b.commit().unwrap();
             }

@@ -20,7 +20,7 @@
 //! facts.
 
 use ldl1::{Database, EvalOptions, Evaluator, FactSet, Symbol, System, Value};
-use ldl_testkit::gen::{stratified_case, GenConst, GeneratedCase};
+use ldl_testkit::gen::{mutation_sequence, stratified_case, GenConst, GenMutation, GeneratedCase};
 use ldl_testkit::{cases_shrink, Rng};
 
 /// Generated constants include nested sets and compounds, so the oracle
@@ -78,9 +78,9 @@ fn incremental_model(case: &GeneratedCase) -> FactSet {
     }
     sys.model_facts().unwrap(); // cache a model before the commits
     for chunk in case.edb[split..].chunks(3) {
-        let mut b = sys.batch();
+        let mut b = sys.mutate();
         for (pred, args) in chunk {
-            b.insert(pred, args.iter().map(value_of).collect());
+            b.assert(pred, args.iter().map(value_of).collect());
         }
         b.commit().unwrap();
     }
@@ -136,6 +136,118 @@ fn six_evaluation_modes_agree() {
             insertion_orders(&par4),
             "snapshot rounds diverged from sequential insertion order"
         );
+    });
+}
+
+/// A differential system over `case`, with a cached model so every commit
+/// runs maintenance (counting / DRed / replay) rather than a recompute.
+fn differential_system(case: &GeneratedCase, parallelism: usize) -> System {
+    let mut sys = System::with_options(EvalOptions {
+        parallelism,
+        ..EvalOptions::default()
+    });
+    sys.load(&case.src).unwrap();
+    for (pred, args) in &case.edb {
+        sys.insert(pred, args.iter().map(value_of).collect());
+    }
+    sys.model_facts().unwrap();
+    sys
+}
+
+fn apply_gen_batch(sys: &mut System, batch: &[GenMutation]) {
+    let mut b = sys.mutate();
+    for m in batch {
+        match m {
+            GenMutation::Assert(p, args) => {
+                b.assert(p, args.iter().map(value_of).collect());
+            }
+            GenMutation::Retract(p, args) => {
+                b.retract(p, args.iter().map(value_of).collect());
+            }
+            GenMutation::Update { pred, old, new } => {
+                b.update(
+                    pred,
+                    old.iter().map(value_of).collect(),
+                    new.iter().map(value_of).collect(),
+                );
+            }
+        }
+    }
+    b.commit().unwrap();
+}
+
+/// The differential-maintenance oracle: random interleavings of
+/// assert/retract/update batches, committed against a live model, must land
+/// on exactly the model a one-shot recompute builds from the surviving EDB.
+/// Sequential and parallel(4) maintenance must agree bit-for-bit with each
+/// other — counting decrements and DRed rederivation are required to be
+/// schedule-invariant, not just set-equivalent.
+#[test]
+fn mutation_interleavings_match_one_shot_recompute() {
+    cases_shrink(208, 10, |rng: &mut Rng, size: u32| {
+        let case = stratified_case(rng, size);
+        let batches = 1 + rng.index(4);
+        let (muts, survivors) = mutation_sequence(rng, &case, batches);
+
+        let mut seq = differential_system(&case, 1);
+        let mut par = differential_system(&case, 4);
+        for batch in &muts {
+            apply_gen_batch(&mut seq, batch);
+            apply_gen_batch(&mut par, batch);
+        }
+
+        let surviving = GeneratedCase {
+            edb: survivors,
+            ..case.clone()
+        };
+        let oracle = evaluate(&surviving, true, 1).to_fact_set();
+        assert_eq!(
+            seq.model_facts().unwrap(),
+            oracle,
+            "sequential maintenance diverged after {muts:?}"
+        );
+        assert_eq!(
+            par.model_facts().unwrap(),
+            oracle,
+            "parallel(4) maintenance diverged after {muts:?}"
+        );
+        assert_eq!(
+            insertion_orders(seq.model().unwrap()),
+            insertion_orders(par.model().unwrap()),
+            "parallel maintenance permuted tuple insertion order"
+        );
+    });
+}
+
+/// The magic arm of the oracle: after a churned mutation history — which
+/// leaves `p0` a mixed EDB/IDB predicate whenever facts were asserted into
+/// it — a magic-sets query on the top predicate must agree with the plain
+/// query over the maintained model. Pins the §6 pipeline (sips → adornment
+/// → rewrite with EDB-import rules → staged evaluation) over generated
+/// programs, not just hand-written cases.
+#[test]
+fn magic_queries_agree_after_mutations() {
+    cases_shrink(48, 8, |rng: &mut Rng, size: u32| {
+        let case = stratified_case(rng, size);
+        let (muts, _) = mutation_sequence(rng, &case, 2);
+        let mut sys = differential_system(&case, 1);
+        for batch in &muts {
+            apply_gen_batch(&mut sys, batch);
+        }
+        let q = format!("{}(X, Y)", case.top);
+        let plain: std::collections::BTreeSet<String> = sys
+            .query(&q)
+            .unwrap()
+            .iter()
+            .map(|a| format!("{a:?}"))
+            .collect();
+        let magic: std::collections::BTreeSet<String> = sys
+            .query_magic(&q)
+            .unwrap()
+            .iter()
+            .map(|a| format!("{a:?}"))
+            .collect();
+        assert_eq!(plain, magic, "magic vs plain diverged on {q}");
     });
 }
 

@@ -379,16 +379,16 @@ fn incremental_commits_match_full_recompute() {
         // incremental path, then interleave batches with queries.
         sys.model_facts().unwrap();
         for _ in 0..3 {
-            let mut b = sys.batch();
+            let mut b = sys.mutate();
             for _ in 0..rng.index(4) {
                 if rng.chance(2, 3) {
                     let e = (rng.range(0, 6), rng.range(0, 6));
                     edges.push(e);
-                    b.insert("e0", vec![Value::int(e.0), Value::int(e.1)]);
+                    b.assert("e0", vec![Value::int(e.0), Value::int(e.1)]);
                 } else {
                     let m = rng.range(0, 6);
                     marked.push(m);
-                    b.insert("e1", vec![Value::int(m)]);
+                    b.assert("e1", vec![Value::int(m)]);
                 }
             }
             b.commit().unwrap();

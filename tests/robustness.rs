@@ -313,9 +313,9 @@ fn aborted_commit_rolls_back_and_retry_matches_clean_run() {
 
     // A commit whose maintenance work exceeds the fuel budget aborts...
     sys.set_budget(Budget::unlimited().with_fuel(10));
-    let mut batch = sys.batch();
+    let mut batch = sys.mutate();
     for i in 20..40 {
-        batch.insert("e", vec![Value::int(i), Value::int(i + 1)]);
+        batch.assert("e", vec![Value::int(i), Value::int(i + 1)]);
     }
     let err = batch.commit().map(|_| ()).unwrap_err();
     match &err {
@@ -332,9 +332,9 @@ fn aborted_commit_rolls_back_and_retry_matches_clean_run() {
 
     // Retrying the same batch under a sufficient budget now succeeds, and
     // the result is bit-identical to a clean system that never aborted.
-    let mut batch = sys.batch();
+    let mut batch = sys.mutate();
     for i in 20..40 {
-        batch.insert("e", vec![Value::int(i), Value::int(i + 1)]);
+        batch.assert("e", vec![Value::int(i), Value::int(i + 1)]);
     }
     batch.commit().unwrap();
     let retried = sys.model().unwrap().dump();
