@@ -1,0 +1,176 @@
+//! P17 — compiled register programs vs the plan interpreter.
+//!
+//! Two end-to-end kernels, each run twice through the public evaluator —
+//! once with `compiled: false` (the recursive plan interpreter over
+//! `Bindings`) and once with `compiled: true` (the flat register programs
+//! of `eval/ram.rs` run by `eval/exec.rs`):
+//!
+//! * **tc_chain** — transitive closure over a 300-edge strided chain
+//!   ([`ldl_bench::strided_chain`]), then the [`ldl_bench::TC_FAR`] query
+//!   layer `far(X, Y) <- anc(X, Z), anc(Z, Y), Y - X > 2800.` The closure
+//!   itself is merge/dedup-bound and nearly identical under both executors;
+//!   the query layer composes ~4.5M candidate pairs and rejects ~95% of
+//!   them at the filter, which is exactly the per-candidate
+//!   probe→match→filter path the register programs fuse (and evaluate on
+//!   native integers — the stride keeps the arithmetic outside the
+//!   interner's small-integer cache, where the plan interpreter pays an
+//!   intern-table lock per intermediate).
+//! * **BOM** — component closure over a depth-9 binary part tree
+//!   ([`ldl_bench::part_tree`]), then the [`ldl_bench::BOM_PAIRS`] costing
+//!   query pairing subparts of a common assembly whose combined price
+//!   exceeds a budget. ~1.5M candidate pairs, mostly rejected at the
+//!   `CS + CT > 9500` filter over 500..<5000 prices.
+//!
+//! Both executors produce bit-identical models and statistics (the
+//! differential oracle and golden suite pin this); the bench measures the
+//! time difference only. Results go to `BENCH_compiled_exec.json` at the
+//! workspace root (see EXPERIMENTS.md P17), including a
+//! `compiled_vs_interpreted` section with the speedup the lowering must
+//! sustain (the P17 acceptance bar is ≥2× end-to-end on both kernels). If
+//! `BENCH_compiled_exec.baseline.json` exists, each kernel also reports
+//! its speedup over that saved run.
+//!
+//! `cargo bench -p ldl-bench --bench compiled_exec -- smoke` runs a tiny
+//! 1-iteration configuration for CI and skips the JSON file.
+
+use ldl1::EvalOptions;
+use ldl_bench::{eval_with, part_tree, strided_chain, BOM_PAIRS, TC_FAR};
+use ldl_testkit::{bench, Sample};
+
+fn exec_opts(compiled: bool) -> EvalOptions {
+    EvalOptions {
+        check_wf: false,
+        parallelism: 1,
+        compiled,
+        ..EvalOptions::default()
+    }
+}
+
+fn tc_chain_kernel(compiled: bool, n: i64, iters: usize) -> Sample {
+    let db = strided_chain(n, 10);
+    let name = kernel_name("tc_chain", compiled);
+    bench("P17_compiled_exec", name, iters, || {
+        eval_with(TC_FAR, &db, exec_opts(compiled));
+    })
+}
+
+fn bom_kernel(compiled: bool, depth: u32, iters: usize) -> Sample {
+    let db = part_tree(depth);
+    let name = kernel_name("bom", compiled);
+    bench("P17_compiled_exec", name, iters, || {
+        eval_with(BOM_PAIRS, &db, exec_opts(compiled));
+    })
+}
+
+fn kernel_name(base: &str, compiled: bool) -> &'static str {
+    // `bench` wants a `&'static str`; enumerate the four names instead of
+    // leaking formatted strings.
+    match (base, compiled) {
+        ("tc_chain", false) => "tc_chain_interpreted",
+        ("tc_chain", true) => "tc_chain_compiled",
+        ("bom", false) => "bom_interpreted",
+        _ => "bom_compiled",
+    }
+}
+
+/// Pull `"key": <number>` out of one flat JSON object chunk.
+fn json_number(chunk: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = chunk.find(&pat)? + pat.len();
+    let rest = chunk[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Per-kernel medians from a previous run's JSON, by kernel name.
+fn read_baseline(path: &str) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for chunk in text.split('{').skip(1) {
+        let name = chunk
+            .find("\"name\":")
+            .and_then(|i| {
+                chunk[i + 7..]
+                    .trim_start()
+                    .strip_prefix('"')
+                    .map(String::from)
+            })
+            .and_then(|s| s.split('"').next().map(String::from));
+        if let (Some(name), Some(median)) = (name, json_number(chunk, "median_ms")) {
+            out.push((name, median));
+        }
+    }
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "smoke" || a == "--smoke");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+
+    let mut results: Vec<(&str, Sample)> = Vec::new();
+    if smoke {
+        for compiled in [false, true] {
+            results.push((kernel_name("tc_chain", compiled), {
+                tc_chain_kernel(compiled, 60, 1)
+            }));
+            results.push((kernel_name("bom", compiled), { bom_kernel(compiled, 5, 1) }));
+        }
+        return; // rot check only: no JSON, no baseline comparison
+    }
+    for compiled in [false, true] {
+        results.push((kernel_name("tc_chain", compiled), {
+            tc_chain_kernel(compiled, 300, 9)
+        }));
+        results.push((kernel_name("bom", compiled), { bom_kernel(compiled, 9, 9) }));
+    }
+
+    let median = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s.median_ms())
+            .unwrap()
+    };
+    let pairs = [
+        ("tc_chain", "tc_chain_interpreted", "tc_chain_compiled"),
+        ("bom", "bom_interpreted", "bom_compiled"),
+    ];
+
+    let baseline = read_baseline(&format!("{root}/BENCH_compiled_exec.baseline.json"));
+    let mut json = String::from("{\n  \"bench\": \"compiled_exec\",\n  \"kernels\": [\n");
+    for (i, (name, s)) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"median_ms\": {:.4}, \"min_ms\": {:.4}, \"iters\": {}",
+            s.median_ms(),
+            s.min.as_secs_f64() * 1e3,
+            s.iters
+        ));
+        if let Some((_, base)) = baseline.iter().find(|(n, _)| n == name) {
+            let speedup = base / s.median_ms().max(1e-9);
+            json.push_str(&format!(
+                ", \"baseline_median_ms\": {base:.4}, \"speedup\": {speedup:.2}"
+            ));
+            println!("P17_compiled_exec/{name}_speedup: {speedup:.2}x");
+        }
+        json.push_str(if i + 1 < results.len() { "},\n" } else { "}\n" });
+    }
+    json.push_str("  ],\n  \"compiled_vs_interpreted\": [\n");
+    for (i, (kernel, interp, compiled)) in pairs.iter().enumerate() {
+        let (ip, cp) = (median(interp), median(compiled));
+        let speedup = ip / cp.max(1e-9);
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{kernel}\", \"interpreted_ms\": {ip:.4}, \
+             \"compiled_ms\": {cp:.4}, \"compiled_vs_interpreted_speedup\": {speedup:.2}}}{}\n",
+            if i + 1 < pairs.len() { "," } else { "" }
+        ));
+        println!("P17_compiled_exec/{kernel}_compiled_vs_interpreted: {speedup:.2}x");
+    }
+    json.push_str("  ]\n}\n");
+    let out = format!("{root}/BENCH_compiled_exec.json");
+    std::fs::write(&out, json).expect("write BENCH_compiled_exec.json");
+    println!("wrote {out}");
+}

@@ -43,11 +43,63 @@ pub const BOM: &str = "part(P, <S>) <- p(P, S).\n\
 pub const BOOK_DEAL: &str = "book_deal({X, Y, Z}) <- book(X, Px), book(Y, Py), \
                              book(Z, Pz), Px + Py + Pz < 100.";
 
+/// The P17 tc_chain kernel: transitive closure over a strided chain (see
+/// [`strided_chain`]) followed by an arithmetic query layer selecting the
+/// far-apart pairs. Closure plus a compose-and-filter query — the filter
+/// rejects most candidate pairs, so the per-candidate join/filter work the
+/// register programs fuse dominates the shared fixpoint bookkeeping.
+pub const TC_FAR: &str = "anc(X, Y) <- par(X, Y).\n\
+                          anc(X, Y) <- par(X, Z), anc(Z, Y).\n\
+                          far(X, Y) <- anc(X, Z), anc(Z, Y), Y - X > 2800.";
+
+/// The P17 BOM kernel: component closure over a part tree (see
+/// [`part_tree`]), then a costing query pairing subparts of a common
+/// assembly whose combined price busts a budget. Same shape as the §1
+/// bill-of-materials costing queries, sized so the pair join dominates.
+pub const BOM_PAIRS: &str = "uses(P, S) <- sub(P, S).\n\
+     uses(P, S) <- sub(P, M), uses(M, S).\n\
+     splurge(S, T) <- uses(P, S), uses(P, T), price(S, CS), price(T, CT), \
+     CS + CT > 9500.";
+
 /// A chain `0 → 1 → … → n` as a `par` EDB.
 pub fn chain(n: i64) -> Database {
     let mut db = Database::new();
     for i in 0..n {
         db.insert_tuple("par", vec![Value::int(i), Value::int(i + 1)]);
+    }
+    db
+}
+
+/// A chain `0 → stride → 2·stride → …` of `n` `par` edges. The stride
+/// spreads node ids across the integer range so the [`TC_FAR`] query's
+/// arithmetic works on values outside the interner's small-integer cache —
+/// chain-closure differences all being < 256 would make the kernel
+/// unrepresentatively cheap for the plan interpreter.
+pub fn strided_chain(n: i64, stride: i64) -> Database {
+    let mut db = Database::new();
+    for i in 0..n {
+        db.insert_tuple(
+            "par",
+            vec![Value::int(i * stride), Value::int((i + 1) * stride)],
+        );
+    }
+    db
+}
+
+/// A complete binary part tree of the given depth as a `sub` EDB (parent
+/// part, subpart), every part carrying a seedless pseudo-random `price` in
+/// 500..<5000 — the [`BOM_PAIRS`] workload.
+pub fn part_tree(depth: u32) -> Database {
+    let mut db = Database::new();
+    let n = (1i64 << (depth + 1)) - 1;
+    for i in 2..=n {
+        db.insert_tuple("sub", vec![Value::int(i / 2), Value::int(i)]);
+    }
+    for i in 1..=n {
+        db.insert_tuple(
+            "price",
+            vec![Value::int(i), Value::int(500 + (i * 137) % 4500)],
+        );
     }
     db
 }
@@ -230,6 +282,9 @@ mod tests {
         assert!(db.num_facts() > 0);
         assert!(leaf.starts_with('n'));
         assert!(bom(2, 2).num_facts() >= 6);
+        assert_eq!(strided_chain(10, 7).num_facts(), 10);
+        // 2^(d+1)-1 parts: each a price fact, all but the root a sub fact.
+        assert_eq!(part_tree(3).num_facts(), 15 + 14);
         assert_eq!(books(5, 1).num_facts(), 5);
         let g = random_graph(10, 20, 42);
         assert_eq!(

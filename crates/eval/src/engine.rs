@@ -54,6 +54,21 @@ pub struct EvalOptions {
     /// `false` restores the pure greedy planner (the ablation
     /// configuration); the computed model is identical either way.
     pub cost_based: bool,
+    /// Run rule bodies through the lowered RAM-style register programs
+    /// ([`crate::ram`]) instead of the recursive plan interpreter. Each
+    /// cached plan is lowered once (on first use) into a flat sequence of
+    /// fused scan/probe/filter/negation/builtin operators over value
+    /// registers; a tight loop ([`crate::exec`]) then drives it. The
+    /// computed model, every tuple's insertion position, the derivation
+    /// `attempts` charged against a fuel budget, and the probe/cut counters
+    /// are all bit-for-bit identical to the interpreter — compiled mode is
+    /// purely an execution-speed choice, pinned by the differential oracle.
+    ///
+    /// Defaults to `true`; the process-wide default can be overridden with
+    /// the `LDL1_COMPILED` environment variable (read once) — `0` or
+    /// `false` selects the interpreter, which CI uses to run the whole
+    /// suite through both executors.
+    pub compiled: bool,
     /// Resource limits and the cancellation token for every evaluation
     /// drive run under these options. Default: [`Budget::unlimited`].
     /// Checked cooperatively at round boundaries, so an abort never breaks
@@ -73,6 +88,7 @@ impl Default for EvalOptions {
             dialect: Dialect::Ldl1,
             parallelism: env_default_parallelism(),
             cost_based: true,
+            compiled: env_default_compiled(),
             budget: Budget::default(),
         }
     }
@@ -99,6 +115,20 @@ fn env_default_parallelism() -> usize {
             .ok()
             .and_then(|v| v.trim().parse().ok())
             .unwrap_or(1)
+    })
+}
+
+/// The process-wide default for [`EvalOptions::compiled`]: `false` when
+/// `LDL1_COMPILED` is set to `0` or `false`, else `true`. Cached after the
+/// first read.
+fn env_default_compiled() -> bool {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<bool> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("LDL1_COMPILED").map_or(true, |v| {
+            let v = v.trim();
+            v != "0" && !v.eq_ignore_ascii_case("false")
+        })
     })
 }
 

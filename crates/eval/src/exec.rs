@@ -1,0 +1,693 @@
+//! The tight interpreter loop for lowered `RamProgram`s.
+//!
+//! `run_ram` is the compiled counterpart of `run_body`
+//! (`crate::plan::run_body`): it enumerates exactly the same body solutions
+//! in exactly the same order, performing the same index probes and the same
+//! existential short-circuits, but drives the join from a flat op list over
+//! a dense `ValueId` register file instead of walking term trees against a
+//! binding trail. On entry every op's loop-invariant state — its relation,
+//! its hash index, its delta range — is resolved once into a `ROp` table,
+//! so the per-tuple path never re-hashes a predicate name or an index
+//! descriptor (the plan interpreter re-resolves both on every step entry).
+//! Ops that bridge into the general matcher or the built-in evaluator seed
+//! a scratch [`Bindings`] from registers (bind-if-absent: values are
+//! single-assignment along a derivation path, so a variable already present
+//! holds the same id) and copy solution values back into registers — one
+//! source of truth for every multi-solution semantics.
+//!
+//! The equivalence is load-bearing: `tests/differential.rs` pins compiled ≡
+//! interpreted across every evaluation mode, including derivation-attempt
+//! counts (the fuel unit) and insertion positions at any worker count.
+
+use ldl_storage::{Database, IndexRef, Relation};
+use ldl_value::arith::{ArithOp, CmpOp};
+use ldl_value::intern::{self, Node};
+use ldl_value::ValueId;
+
+use crate::bindings::Bindings;
+use crate::builtins::eval_builtin;
+use crate::plan::{neg_holds, note_exist_cut, note_index_probe, DeltaRestriction};
+use crate::ram::{eval_expr, ArithDst, ColAct, Op, RamProgram};
+use crate::unify::match_slice;
+
+/// One op's run-invariant state, resolved once per `run_ram` call: the
+/// database is frozen for the duration of a pass, so relation pointers,
+/// index handles, and the delta range cannot change under the join.
+struct ROp<'a> {
+    /// The op's relation (scans, bridges, all-ground negation).
+    rel: Option<&'a Relation>,
+    /// The probe index, when `use_indexes` holds and the op names key
+    /// columns the relation has an index for; `None` falls back to the
+    /// full scan exactly like the interpreter.
+    idx: Option<IndexRef<'a>>,
+    /// Scan range start (delta restriction or 0).
+    lo: u32,
+    /// Scan range end (delta restriction or the relation's length).
+    hi: u32,
+}
+
+/// Per-run execution context (everything loop-invariant).
+struct Ctx<'a> {
+    prog: &'a RamProgram,
+    db: &'a Database,
+    rops: Box<[ROp<'a>]>,
+    use_indexes: bool,
+}
+
+fn resolve<'a>(
+    op: &Op,
+    i: usize,
+    db: &'a Database,
+    restrict: Option<DeltaRestriction>,
+    use_indexes: bool,
+) -> ROp<'a> {
+    match op {
+        Op::Scan {
+            pred, index_cols, ..
+        }
+        | Op::ScanBridge {
+            pred, index_cols, ..
+        } => {
+            let rel = db.relation(*pred);
+            let len = rel.map_or(0, |r| r.len() as u32);
+            let (lo, hi) = match restrict {
+                Some(r) if r.step == i => (r.lo, r.hi),
+                _ => (0, len),
+            };
+            let idx = if use_indexes && !index_cols.is_empty() {
+                rel.and_then(|r| r.index(index_cols))
+            } else {
+                None
+            };
+            ROp { rel, idx, lo, hi }
+        }
+        Op::Neg { pred, .. } => ROp {
+            rel: db.relation(*pred),
+            idx: None,
+            lo: 0,
+            hi: 0,
+        },
+        _ => ROp {
+            rel: None,
+            idx: None,
+            lo: 0,
+            hi: 0,
+        },
+    }
+}
+
+/// Execute a lowered body against `db`, calling `k` once per solution with
+/// the register file. `regs` must hold at least `prog.nregs` slots; `b` is
+/// the scratch binding environment for bridge ops (left restored).
+///
+/// Mirrors `run_body`: the empty-relation pre-check short-circuits the
+/// whole pass, `restrict` confines op `step` to a delta range, and
+/// `use_indexes = false` forces full scans.
+pub(crate) fn run_ram<K: FnMut(&[ValueId])>(
+    prog: &RamProgram,
+    db: &Database,
+    restrict: Option<DeltaRestriction>,
+    use_indexes: bool,
+    regs: &mut [ValueId],
+    b: &mut Bindings,
+    k: &mut K,
+) {
+    for &pred in prog.scan_preds.iter() {
+        if db.relation(pred).is_none_or(|r| r.is_empty()) {
+            return;
+        }
+    }
+    let rops: Box<[ROp<'_>]> = prog
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(i, op)| resolve(op, i, db, restrict, use_indexes))
+        .collect();
+    let ctx = Ctx {
+        prog,
+        db,
+        rops,
+        use_indexes,
+    };
+    exec_op(&ctx, 0, regs, b, k);
+}
+
+/// Match one tuple against a fused column-action list. Bind actions write
+/// registers; the caller relies on left-to-right order for repeated-var
+/// checks and in-step `Eval` dependencies.
+#[inline]
+fn match_cols(cols: &[(usize, ColAct)], tuple: &[ValueId], regs: &mut [ValueId]) -> bool {
+    for (c, act) in cols {
+        let v = tuple[*c];
+        match act {
+            ColAct::Bind(r) => regs[*r as usize] = v,
+            ColAct::Check(r) => {
+                if regs[*r as usize] != v {
+                    return false;
+                }
+            }
+            ColAct::Const(id) => {
+                if *id != v {
+                    return false;
+                }
+            }
+            ColAct::Eval(e) => {
+                if eval_expr(e, regs) != Some(v) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Evaluate the probe-key expressions into the stack/heap buffer, exactly
+/// like the interpreter's `probe_key`. `None` ⇒ a key term failed to
+/// evaluate — no tuple can match, and no probe is counted.
+fn eval_key<'k>(
+    key: &[crate::ram::Expr],
+    regs: &[ValueId],
+    stack: &'k mut [ValueId; 8],
+    heap: &'k mut Vec<ValueId>,
+) -> Option<&'k [ValueId]> {
+    if key.len() <= stack.len() {
+        for (slot, e) in stack.iter_mut().zip(key) {
+            *slot = eval_expr(e, regs)?;
+        }
+        Some(&stack[..key.len()])
+    } else {
+        for e in key {
+            heap.push(eval_expr(e, regs)?);
+        }
+        Some(&heap[..])
+    }
+}
+
+/// Evaluate an all-ground negation (shared by run and exists modes): the
+/// argument expressions in order — a failure means the fact is outside `U`,
+/// so ¬ holds — then one hash containment test against the frozen lower
+/// layers. Mirror of `neg_holds`'s all-ground arm.
+fn neg_op(key: &[crate::ram::Expr], rel: Option<&Relation>, regs: &[ValueId]) -> bool {
+    let mut stack = [ValueId::FILLER; 8];
+    let mut heap: Vec<ValueId> = Vec::new();
+    match eval_key(key, regs, &mut stack, &mut heap) {
+        None => true,
+        Some(vals) => !rel.is_some_and(|r| r.contains(vals)),
+    }
+}
+
+/// The integer behind an interned id, if it is one.
+#[inline]
+fn as_int(v: ValueId) -> Option<i64> {
+    match intern::node(v) {
+        Node::Int(x) => Some(*x),
+        _ => None,
+    }
+}
+
+/// `ArithOp` on native integers — the same checked operations as
+/// [`ArithOp::eval_ids`], minus the interning of the result.
+#[inline]
+fn arith_i64(op: ArithOp, x: i64, y: i64) -> Option<i64> {
+    match op {
+        ArithOp::Add => x.checked_add(y),
+        ArithOp::Sub => x.checked_sub(y),
+        ArithOp::Mul => x.checked_mul(y),
+        ArithOp::Div => x.checked_div(y),
+        ArithOp::Mod => x.checked_rem(y),
+    }
+}
+
+/// Evaluate an expression to a native integer *without interning any
+/// intermediate*: the win that makes compiled arithmetic filters fast — the
+/// interpreter's `eval_ids` hashes every partial sum through the intern
+/// table. `None` exactly when the interpreted evaluation would be `None` or
+/// a non-integer: a non-`Int` register/constant, an arithmetic failure, or
+/// a shape (compound, set) that can only evaluate to a non-integer.
+fn eval_num(e: &crate::ram::Expr, regs: &[ValueId]) -> Option<i64> {
+    use crate::ram::Expr;
+    match e {
+        Expr::Reg(r) => as_int(regs[*r as usize]),
+        Expr::Const(v) => as_int(*v),
+        Expr::Arith(op, l, r) => arith_i64(*op, eval_num(l, regs)?, eval_num(r, regs)?),
+        _ => None,
+    }
+}
+
+/// Evaluate a fused comparison: `true` exactly when the *positive* literal
+/// has a solution (the caller inverts for negation). Both sides integer ⇒
+/// compare natively (id equality on interned ints coincides with value
+/// equality); otherwise fall back to the interpreter-mirroring id path,
+/// which handles strings and treats an operand outside `U` as `false` —
+/// `eval_term`'s `None` in both of the interpreter's `Cmp` arms.
+fn cmp_op(op: CmpOp, lhs: &crate::ram::Expr, rhs: &crate::ram::Expr, regs: &[ValueId]) -> bool {
+    if let (Some(l), Some(r)) = (eval_num(lhs, regs), eval_num(rhs, regs)) {
+        return match op {
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+        };
+    }
+    match (eval_expr(lhs, regs), eval_expr(rhs, regs)) {
+        (Some(l), Some(r)) => op.eval_ids(l, r) == Some(true),
+        _ => false,
+    }
+}
+
+/// Forward-mode arithmetic result on native integers. `None` exactly when
+/// the interpreter's `eval_ids` chain fails: a non-integer operand (no
+/// arithmetic shape can evaluate to an integer any other way) or overflow.
+fn arith_val(
+    op: ArithOp,
+    x: &crate::ram::Expr,
+    y: &crate::ram::Expr,
+    regs: &[ValueId],
+) -> Option<i64> {
+    arith_i64(op, eval_num(x, regs)?, eval_num(y, regs)?)
+}
+
+fn exec_op<K: FnMut(&[ValueId])>(
+    ctx: &Ctx<'_>,
+    i: usize,
+    regs: &mut [ValueId],
+    b: &mut Bindings,
+    k: &mut K,
+) {
+    if i == ctx.prog.exist_from && i < ctx.prog.ops.len() {
+        // The existential tail: one witness suffices, the head registers
+        // are already final (tail ops bind no head variable).
+        if exists_op(ctx, i, regs, b) {
+            note_exist_cut();
+            k(regs);
+        }
+        return;
+    }
+    let Some(op) = ctx.prog.ops.get(i) else {
+        k(regs);
+        return;
+    };
+    match op {
+        Op::Scan {
+            key,
+            cols,
+            probe_cols,
+            ..
+        } => {
+            let r = &ctx.rops[i];
+            let Some(rel) = r.rel else {
+                return;
+            };
+            if rel.is_empty() {
+                return;
+            }
+            if let Some(idx) = r.idx {
+                let mut stack = [ValueId::FILLER; 8];
+                let mut heap: Vec<ValueId> = Vec::new();
+                let Some(probe) = eval_key(key, regs, &mut stack, &mut heap) else {
+                    return;
+                };
+                note_index_probe();
+                for &pos in idx.probe(probe) {
+                    if pos >= r.lo && pos < r.hi && match_cols(probe_cols, rel.get(pos), regs) {
+                        exec_op(ctx, i + 1, regs, b, k);
+                    }
+                }
+                return;
+            }
+            for pos in r.lo..r.hi {
+                if rel.is_live(pos) && match_cols(cols, rel.get(pos), regs) {
+                    exec_op(ctx, i + 1, regs, b, k);
+                }
+            }
+        }
+        Op::ScanBridge {
+            args,
+            index_cols,
+            in_vars,
+            out_vars,
+            ..
+        } => {
+            let r = &ctx.rops[i];
+            let Some(rel) = r.rel else {
+                return;
+            };
+            if rel.is_empty() {
+                return;
+            }
+            let (lo, hi) = (r.lo, r.hi);
+            let m = b.mark();
+            for &(v, reg) in in_vars.iter() {
+                if b.get(v).is_none() {
+                    b.bind(v, regs[reg as usize]);
+                }
+            }
+            if let Some(idx) = r.idx {
+                let mut stack = [ValueId::FILLER; 8];
+                let mut heap: Vec<ValueId> = Vec::new();
+                let Some(probe) =
+                    crate::plan::probe_key(args, index_cols, b, &mut stack, &mut heap)
+                else {
+                    b.undo(m);
+                    return;
+                };
+                note_index_probe();
+                // The posting list borrows the relation, not `b`, so the
+                // per-position matches below can reborrow `b` freely.
+                for &pos in idx.probe(probe) {
+                    if pos >= lo && pos < hi {
+                        match_slice(args, rel.get(pos), b, &mut |b2| {
+                            for &(v, reg) in out_vars.iter() {
+                                regs[reg as usize] =
+                                    b2.get(v).expect("positive match binds its variables");
+                            }
+                            exec_op(ctx, i + 1, regs, b2, k);
+                        });
+                    }
+                }
+                b.undo(m);
+                return;
+            }
+            for pos in lo..hi {
+                if rel.is_live(pos) {
+                    match_slice(args, rel.get(pos), b, &mut |b2| {
+                        for &(v, reg) in out_vars.iter() {
+                            regs[reg as usize] =
+                                b2.get(v).expect("positive match binds its variables");
+                        }
+                        exec_op(ctx, i + 1, regs, b2, k);
+                    });
+                }
+            }
+            b.undo(m);
+        }
+        Op::Neg { key, .. } => {
+            if neg_op(key, ctx.rops[i].rel, regs) {
+                exec_op(ctx, i + 1, regs, b, k);
+            }
+        }
+        Op::NegBridge {
+            pred,
+            args,
+            index_cols,
+            in_vars,
+        } => {
+            let m = b.mark();
+            for &(v, r) in in_vars.iter() {
+                if b.get(v).is_none() {
+                    b.bind(v, regs[r as usize]);
+                }
+            }
+            let holds = neg_holds(*pred, args, index_cols, ctx.db, ctx.use_indexes, b);
+            b.undo(m);
+            if holds {
+                exec_op(ctx, i + 1, regs, b, k);
+            }
+        }
+        Op::Cmp {
+            op,
+            lhs,
+            rhs,
+            negated,
+        } => {
+            if cmp_op(*op, lhs, rhs, regs) != *negated {
+                exec_op(ctx, i + 1, regs, b, k);
+            }
+        }
+        Op::Assign { dst, src } => {
+            if let Some(v) = eval_expr(src, regs) {
+                regs[*dst as usize] = v;
+                exec_op(ctx, i + 1, regs, b, k);
+            }
+        }
+        Op::ArithF {
+            op,
+            x,
+            y,
+            dst,
+            negated,
+        } => {
+            let z = arith_val(*op, x, y, regs);
+            match dst {
+                ArithDst::Bind(r) => {
+                    if let Some(z) = z {
+                        regs[*r as usize] = intern::mk_int(z);
+                        exec_op(ctx, i + 1, regs, b, k);
+                    }
+                }
+                ArithDst::Check(e) => {
+                    let holds = matches!((z, eval_num(e, regs)), (Some(z), Some(c)) if z == c);
+                    if holds != *negated {
+                        exec_op(ctx, i + 1, regs, b, k);
+                    }
+                }
+            }
+        }
+        Op::Builtin {
+            builtin,
+            args,
+            negated,
+            in_vars,
+            out_vars,
+        } => {
+            let m = b.mark();
+            for &(v, r) in in_vars.iter() {
+                if b.get(v).is_none() {
+                    b.bind(v, regs[r as usize]);
+                }
+            }
+            if *negated {
+                let mut any = false;
+                eval_builtin(*builtin, args, b, &mut |_| any = true);
+                b.undo(m);
+                if !any {
+                    exec_op(ctx, i + 1, regs, b, k);
+                }
+            } else {
+                eval_builtin(*builtin, args, b, &mut |b2| {
+                    for &(v, r) in out_vars.iter() {
+                        regs[r as usize] = b2.get(v).expect("built-in mode binds its outputs");
+                    }
+                    exec_op(ctx, i + 1, regs, b2, k);
+                });
+                b.undo(m);
+            }
+        }
+    }
+}
+
+/// Does the op tail `ops[i..]` have at least one solution? A
+/// short-circuiting mirror of [`exec_op`], matching `exists_steps`
+/// operation-for-operation (same probes, same first-witness order).
+fn exists_op(ctx: &Ctx<'_>, i: usize, regs: &mut [ValueId], b: &mut Bindings) -> bool {
+    let Some(op) = ctx.prog.ops.get(i) else {
+        return true;
+    };
+    match op {
+        Op::Scan {
+            key,
+            cols,
+            probe_cols,
+            ..
+        } => {
+            let r = &ctx.rops[i];
+            let Some(rel) = r.rel else {
+                return false;
+            };
+            if rel.is_empty() {
+                return false;
+            }
+            if let Some(idx) = r.idx {
+                let mut stack = [ValueId::FILLER; 8];
+                let mut heap: Vec<ValueId> = Vec::new();
+                let Some(probe) = eval_key(key, regs, &mut stack, &mut heap) else {
+                    return false;
+                };
+                note_index_probe();
+                for &pos in idx.probe(probe) {
+                    if pos >= r.lo
+                        && pos < r.hi
+                        && match_cols(probe_cols, rel.get(pos), regs)
+                        && exists_op(ctx, i + 1, regs, b)
+                    {
+                        return true;
+                    }
+                }
+                return false;
+            }
+            for pos in r.lo..r.hi {
+                if rel.is_live(pos)
+                    && match_cols(cols, rel.get(pos), regs)
+                    && exists_op(ctx, i + 1, regs, b)
+                {
+                    return true;
+                }
+            }
+            false
+        }
+        Op::ScanBridge {
+            args,
+            index_cols,
+            in_vars,
+            out_vars,
+            ..
+        } => {
+            let r = &ctx.rops[i];
+            let Some(rel) = r.rel else {
+                return false;
+            };
+            if rel.is_empty() {
+                return false;
+            }
+            let (lo, hi) = (r.lo, r.hi);
+            let m = b.mark();
+            for &(v, reg) in in_vars.iter() {
+                if b.get(v).is_none() {
+                    b.bind(v, regs[reg as usize]);
+                }
+            }
+            let found = 'search: {
+                if let Some(idx) = r.idx {
+                    let mut stack = [ValueId::FILLER; 8];
+                    let mut heap: Vec<ValueId> = Vec::new();
+                    let Some(probe) =
+                        crate::plan::probe_key(args, index_cols, b, &mut stack, &mut heap)
+                    else {
+                        break 'search false;
+                    };
+                    note_index_probe();
+                    for &pos in idx.probe(probe) {
+                        if pos >= lo
+                            && pos < hi
+                            && bridge_witness(ctx, i, args, out_vars, rel.get(pos), regs, b)
+                        {
+                            break 'search true;
+                        }
+                    }
+                    break 'search false;
+                }
+                for pos in lo..hi {
+                    if rel.is_live(pos)
+                        && bridge_witness(ctx, i, args, out_vars, rel.get(pos), regs, b)
+                    {
+                        break 'search true;
+                    }
+                }
+                false
+            };
+            b.undo(m);
+            found
+        }
+        Op::Neg { key, .. } => neg_op(key, ctx.rops[i].rel, regs) && exists_op(ctx, i + 1, regs, b),
+        Op::NegBridge {
+            pred,
+            args,
+            index_cols,
+            in_vars,
+        } => {
+            let m = b.mark();
+            for &(v, r) in in_vars.iter() {
+                if b.get(v).is_none() {
+                    b.bind(v, regs[r as usize]);
+                }
+            }
+            let holds = neg_holds(*pred, args, index_cols, ctx.db, ctx.use_indexes, b);
+            b.undo(m);
+            holds && exists_op(ctx, i + 1, regs, b)
+        }
+        Op::Cmp {
+            op,
+            lhs,
+            rhs,
+            negated,
+        } => (cmp_op(*op, lhs, rhs, regs) != *negated) && exists_op(ctx, i + 1, regs, b),
+        Op::Assign { dst, src } => match eval_expr(src, regs) {
+            Some(v) => {
+                regs[*dst as usize] = v;
+                exists_op(ctx, i + 1, regs, b)
+            }
+            None => false,
+        },
+        Op::ArithF {
+            op,
+            x,
+            y,
+            dst,
+            negated,
+        } => {
+            let z = arith_val(*op, x, y, regs);
+            match dst {
+                ArithDst::Bind(r) => match z {
+                    Some(z) => {
+                        regs[*r as usize] = intern::mk_int(z);
+                        exists_op(ctx, i + 1, regs, b)
+                    }
+                    None => false,
+                },
+                ArithDst::Check(e) => {
+                    let holds = matches!((z, eval_num(e, regs)), (Some(z), Some(c)) if z == c);
+                    holds != *negated && exists_op(ctx, i + 1, regs, b)
+                }
+            }
+        }
+        Op::Builtin {
+            builtin,
+            args,
+            negated,
+            in_vars,
+            out_vars,
+        } => {
+            let m = b.mark();
+            for &(v, r) in in_vars.iter() {
+                if b.get(v).is_none() {
+                    b.bind(v, regs[r as usize]);
+                }
+            }
+            let result = if *negated {
+                let mut any = false;
+                eval_builtin(*builtin, args, b, &mut |_| any = true);
+                b.undo(m);
+                !any && exists_op(ctx, i + 1, regs, b)
+            } else {
+                let mut found = false;
+                eval_builtin(*builtin, args, b, &mut |b2| {
+                    if !found {
+                        for &(v, r) in out_vars.iter() {
+                            regs[r as usize] = b2.get(v).expect("built-in mode binds its outputs");
+                        }
+                        found = exists_op(ctx, i + 1, regs, b2);
+                    }
+                });
+                b.undo(m);
+                found
+            };
+            result
+        }
+    }
+}
+
+/// One tuple's witness check for a bridge scan in exists mode: `<t>`
+/// patterns can match a tuple several ways, and one successful continuation
+/// is enough (the `if !found` guard mirrors `exists_steps`).
+fn bridge_witness(
+    ctx: &Ctx<'_>,
+    i: usize,
+    args: &[ldl_ast::term::Term],
+    out_vars: &[(ldl_ast::term::Var, crate::ram::Reg)],
+    tuple: &[ValueId],
+    regs: &mut [ValueId],
+    b: &mut Bindings,
+) -> bool {
+    let mut found = false;
+    match_slice(args, tuple, b, &mut |b2| {
+        if !found {
+            for &(v, r) in out_vars {
+                regs[r as usize] = b2.get(v).expect("positive match binds its variables");
+            }
+            found = exists_op(ctx, i + 1, regs, b2);
+        }
+    });
+    found
+}

@@ -49,6 +49,12 @@ pub fn explain(program: &Program, db: &Database, opts: &EvalOptions, pred: Optio
                 if plan.steps.is_empty() {
                     let _ = writeln!(out, "  (no body: the head is a fact)");
                 }
+                if opts.compiled && !plan.steps.is_empty() {
+                    let _ = writeln!(out, "  compiled:");
+                    for line in crate::ram::render(&plan.lowered()) {
+                        let _ = writeln!(out, "    {line}");
+                    }
+                }
             }
         }
     }

@@ -25,12 +25,14 @@ use crate::bindings::Bindings;
 use crate::budget::{BudgetMeter, RoundGate};
 use crate::engine::EvalOptions;
 use crate::error::EvalError;
+use crate::exec::run_ram;
 use crate::grouping::run_grouping_rule;
 use crate::plan::{
     ensure_indexes, ensure_plan_indexes, run_body, take_exist_cuts, take_index_probes,
     DeltaRestriction, RulePlan,
 };
 use crate::pool::{Job, Pool};
+use crate::ram::{eval_expr, take_lowerings, HeadIr};
 use crate::stats::EvalStats;
 use crate::unify::eval_term;
 
@@ -136,14 +138,9 @@ pub(crate) fn counting_eligible(program: &Program, split: &LayerSplit) -> bool {
 /// or a retraction's `rm$`-variant) produced or removed the derivation.
 /// Full enumeration is join-order-invariant, witness cuts are not.
 pub(crate) fn full_enumeration(plan: &RulePlan) -> RulePlan {
-    RulePlan {
-        head: plan.head.clone(),
-        head_kind: plan.head_kind.clone(),
-        steps: plan.steps.clone(),
-        scan_steps: plan.scan_steps.clone(),
-        exist_from: plan.steps.len(),
-        est_rows: plan.est_rows.clone(),
-    }
+    let mut full = plan.clone();
+    full.exist_from = plan.steps.len();
+    full
 }
 
 /// Compiled-plan cache for one evaluation (or incremental-update) drive.
@@ -521,11 +518,32 @@ impl DerivedBuf {
     }
 }
 
+/// One rule pass's output: the derived buffer plus the per-pass counters,
+/// drained from the worker thread's thread-locals.
+#[derive(Default)]
+pub(crate) struct PassOut {
+    /// Derived head tuples in body-solution order.
+    pub(crate) buf: DerivedBuf,
+    /// Index probes performed.
+    pub(crate) probes: u64,
+    /// Existential short-circuits taken.
+    pub(crate) cuts: u64,
+    /// Body solutions enumerated (the fuel unit).
+    pub(crate) attempts: u64,
+    /// Plan lowerings performed (compiled mode, first use of a plan).
+    pub(crate) lowerings: u64,
+}
+
 /// Evaluate `plan` against an immutable `db`, returning the id-tuples its
 /// head derives (in body-solution order, duplicates included) plus the
-/// index probes, existential short-circuits, and derivation attempts (body
-/// solutions enumerated — the fuel unit) the pass performed. This is the
-/// parallel work unit: it never mutates anything.
+/// index probes, existential short-circuits, plan lowerings, and derivation
+/// attempts (body solutions enumerated — the fuel unit) the pass performed.
+/// This is the parallel work unit: it never mutates anything.
+///
+/// With `compiled` set the body runs through the lowered register program
+/// ([`crate::exec`]) instead of the tree-walking interpreter; both modes
+/// enumerate identical solutions in identical order with identical
+/// counters (pinned by the differential oracle).
 ///
 /// The `gate` is the cooperative-cancellation tap: one armed-only atomic
 /// tick per body solution, and an entry check that skips the whole pass
@@ -536,19 +554,67 @@ pub(crate) fn derive_once(
     db: &Database,
     restrict: Option<DeltaRestriction>,
     use_indexes: bool,
+    compiled: bool,
     gate: RoundGate<'_>,
-) -> (DerivedBuf, u64, u64, u64) {
+) -> PassOut {
     take_index_probes(); // discard counts from unrelated callers
     take_exist_cuts();
-    let mut derived = DerivedBuf {
-        arity: plan.head.arity(),
-        data: Vec::new(),
-        count: 0,
+    take_lowerings();
+    let mut out = PassOut {
+        buf: DerivedBuf {
+            arity: plan.head.arity(),
+            data: Vec::new(),
+            count: 0,
+        },
+        ..PassOut::default()
     };
     if gate.is_cancelled() {
-        return (derived, take_index_probes(), take_exist_cuts(), 0);
+        out.probes = take_index_probes();
+        out.cuts = take_exist_cuts();
+        out.lowerings = take_lowerings();
+        return out;
     }
     let mut attempts = 0u64;
+    let derived = &mut out.buf;
+    if compiled {
+        let prog = plan.lowered();
+        if let HeadIr::Simple(head) = &prog.head {
+            let mut regs = vec![ValueId::FILLER; prog.nregs];
+            let mut b = Bindings::new();
+            run_ram(
+                &prog,
+                db,
+                restrict,
+                use_indexes,
+                &mut regs,
+                &mut b,
+                &mut |regs| {
+                    attempts += 1;
+                    gate.tick();
+                    // §3.2 applicability: Bθ must be a U-fact; an argument
+                    // evaluating outside U derives nothing.
+                    let start = derived.data.len();
+                    for e in head.iter() {
+                        match eval_expr(e, regs) {
+                            Some(v) => derived.data.push(v),
+                            None => {
+                                derived.data.truncate(start);
+                                return;
+                            }
+                        }
+                    }
+                    derived.count += 1;
+                },
+            );
+            out.probes = take_index_probes();
+            out.cuts = take_exist_cuts();
+            out.attempts = attempts;
+            out.lowerings = take_lowerings();
+            return out;
+        }
+        // A grouping-head plan reaching derive_once (it should not) falls
+        // through to the interpreter.
+    }
     let mut b = Bindings::new();
     run_body(plan, db, restrict, use_indexes, &mut b, &mut |b2| {
         attempts += 1;
@@ -568,7 +634,11 @@ pub(crate) fn derive_once(
         }
         derived.count += 1;
     });
-    (derived, take_index_probes(), take_exist_cuts(), attempts)
+    out.probes = take_index_probes();
+    out.cuts = take_exist_cuts();
+    out.attempts = attempts;
+    out.lowerings = take_lowerings();
+    out
 }
 
 /// Below this many delta tuples a pass is not worth splitting across
@@ -651,11 +721,15 @@ pub(crate) fn run_round(
     // `Copy` view of the budget's cancel token, so every worker taps the
     // same countdown/flag without touching the (exclusively borrowed) meter.
     let gate = opts.budget.gate();
-    let mut buffers: Vec<(DerivedBuf, u64, u64, u64)> = Vec::new();
+    let compiled = opts.compiled;
+    if compiled {
+        stats.compiled_rounds += 1;
+    }
+    let mut buffers: Vec<PassOut> = Vec::new();
     buffers.resize_with(units.len(), Default::default);
     if pool.parallelism() == 1 || units.len() <= 1 {
         for ((plan, restrict), buf) in units.iter().zip(&mut buffers) {
-            *buf = derive_once(plan, db, *restrict, opts.use_indexes, gate);
+            *buf = derive_once(plan, db, *restrict, opts.use_indexes, compiled, gate);
         }
     } else {
         let snapshot: &Database = db;
@@ -665,7 +739,7 @@ pub(crate) fn run_round(
             .zip(buffers.iter_mut())
             .map(|(&(plan, restrict), buf)| {
                 Box::new(move || {
-                    *buf = derive_once(plan, snapshot, restrict, use_indexes, gate);
+                    *buf = derive_once(plan, snapshot, restrict, use_indexes, compiled, gate);
                 }) as Job<'_>
             })
             .collect();
@@ -678,12 +752,13 @@ pub(crate) fn run_round(
     let mut new = 0;
     let mut dedup = 0;
     let mut attempts = 0u64;
-    for ((plan, _), (buf, probes, cuts, att)) in units.iter().zip(buffers) {
-        stats.index_probes += probes;
-        stats.exist_cuts += cuts;
-        attempts += att;
+    for ((plan, _), out) in units.iter().zip(buffers) {
+        stats.index_probes += out.probes;
+        stats.exist_cuts += out.cuts;
+        stats.lowerings += out.lowerings;
+        attempts += out.attempts;
         let pred = plan.head.pred;
-        buf.for_each(&mut |t| {
+        out.buf.for_each(&mut |t| {
             if db.insert_id_slice(pred, t) {
                 new += 1;
             } else {
@@ -723,14 +798,26 @@ fn run_grouping_round(
     // task (the aggregation is not decomposable), so the unit is the whole
     // rule — never a delta slice.
     let gate = opts.budget.gate();
-    let mut buffers: Vec<(Vec<Tuple>, u64, u64, u64)> = Vec::new();
+    let compiled = opts.compiled;
+    if compiled {
+        stats.compiled_rounds += 1;
+    }
+    #[allow(clippy::type_complexity)]
+    let mut buffers: Vec<(Vec<Tuple>, u64, u64, u64, u64)> = Vec::new();
     buffers.resize_with(plans.len(), Default::default);
     if pool.parallelism() == 1 || plans.len() <= 1 {
         for (plan, buf) in plans.iter().zip(&mut buffers) {
             take_index_probes();
             take_exist_cuts();
-            let (out, att) = run_grouping_rule(plan, db, opts.use_indexes, gate);
-            *buf = (out, take_index_probes(), take_exist_cuts(), att);
+            take_lowerings();
+            let (out, att) = run_grouping_rule(plan, db, opts.use_indexes, compiled, gate);
+            *buf = (
+                out,
+                take_index_probes(),
+                take_exist_cuts(),
+                take_lowerings(),
+                att,
+            );
         }
     } else {
         let snapshot: &Database = db;
@@ -742,8 +829,15 @@ fn run_grouping_round(
                 Box::new(move || {
                     take_index_probes();
                     take_exist_cuts();
-                    let (out, att) = run_grouping_rule(plan, snapshot, use_indexes, gate);
-                    *buf = (out, take_index_probes(), take_exist_cuts(), att);
+                    take_lowerings();
+                    let (out, att) = run_grouping_rule(plan, snapshot, use_indexes, compiled, gate);
+                    *buf = (
+                        out,
+                        take_index_probes(),
+                        take_exist_cuts(),
+                        take_lowerings(),
+                        att,
+                    );
                 }) as Job<'_>
             })
             .collect();
@@ -751,9 +845,10 @@ fn run_grouping_round(
     }
     let mut new = 0u64;
     let mut attempts = 0u64;
-    for (plan, (buf, probes, cuts, att)) in plans.iter().zip(buffers) {
+    for (plan, (buf, probes, cuts, lowerings, att)) in plans.iter().zip(buffers) {
         stats.index_probes += probes;
         stats.exist_cuts += cuts;
+        stats.lowerings += lowerings;
         attempts += att;
         for t in buf {
             if db.insert_ids(plan.head.pred, t) {
@@ -782,13 +877,23 @@ pub fn run_rule_once(
     meter: &mut BudgetMeter<'_>,
 ) -> Result<usize, EvalError> {
     meter.check()?;
-    let (derived, probes, cuts, attempts) =
-        derive_once(plan, db, restrict, opts.use_indexes, opts.budget.gate());
-    stats.index_probes += probes;
-    stats.exist_cuts += cuts;
+    let out = derive_once(
+        plan,
+        db,
+        restrict,
+        opts.use_indexes,
+        opts.compiled,
+        opts.budget.gate(),
+    );
+    stats.index_probes += out.probes;
+    stats.exist_cuts += out.cuts;
+    stats.lowerings += out.lowerings;
+    if opts.compiled {
+        stats.compiled_rounds += 1;
+    }
     let mut new = 0usize;
     let mut dedup = 0u64;
-    derived.for_each(&mut |t| {
+    out.buf.for_each(&mut |t| {
         if db.insert_id_slice(plan.head.pred, t) {
             new += 1;
         } else {
@@ -798,8 +903,8 @@ pub fn run_rule_once(
     stats.dedup_inserts += dedup;
     stats.rules_fired += 1;
     stats.facts_derived += new as u64;
-    stats.attempts += attempts;
-    meter.charge(attempts, new as u64);
+    stats.attempts += out.attempts;
+    meter.charge(out.attempts, new as u64);
     meter.check()?;
     Ok(new)
 }

@@ -20,7 +20,9 @@ use ldl_value::{intern, ValueId};
 
 use crate::bindings::Bindings;
 use crate::budget::RoundGate;
+use crate::exec::run_ram;
 use crate::plan::{run_body, HeadKind, RulePlan};
+use crate::ram::{eval_expr, HeadIr};
 use crate::unify::eval_term;
 
 /// Evaluate a grouping rule once against `db`, returning the derived tuples
@@ -29,6 +31,8 @@ use crate::unify::eval_term;
 ///
 /// Admissibility guarantees every body predicate lies in a strictly lower
 /// layer (§3.1 clause 2), so `db` already holds their complete relations.
+/// With `compiled` set the body runs through the lowered register program;
+/// the partitioning and emitted tuples are bit-for-bit the interpreter's.
 /// The `gate` only *flags* cancellation ([`RoundGate::tick`] per solution);
 /// the rule still runs to completion so its output is never a partial group
 /// set — the caller discards the whole round on abort. Pass
@@ -37,6 +41,7 @@ pub fn run_grouping_rule(
     plan: &RulePlan,
     db: &Database,
     use_indexes: bool,
+    compiled: bool,
     gate: RoundGate<'_>,
 ) -> (Vec<Tuple>, u64) {
     let HeadKind::Grouping {
@@ -55,50 +60,103 @@ pub fn run_grouping_rule(
     let mut key_order: Vec<Vec<ValueId>> = Vec::new();
 
     let mut attempts = 0u64;
-    let mut b = Bindings::new();
-    run_body(plan, db, None, use_indexes, &mut b, &mut |b2| {
-        attempts += 1;
-        gate.tick();
-        let Some(y) = b2.get(group_var) else {
-            // Range restriction guarantees Y is bound; an unbound Y here
-            // means the rule slipped past well-formedness — fail loudly.
-            panic!("group variable {group_var} unbound in grouping rule");
+    if compiled {
+        let prog = plan.lowered();
+        let HeadIr::Grouping {
+            group_reg,
+            key_regs,
+            other,
+            ..
+        } = &prog.head
+        else {
+            unreachable!("grouping plan lowers to a grouping head");
         };
-        let key: Option<Vec<ValueId>> = zbar
-            .iter()
-            .map(|&z| b2.get(z).ok_or(()))
-            .collect::<Result<_, _>>()
-            .ok();
-        let Some(key) = key else {
-            panic!("head variable unbound in grouping rule");
-        };
-        match groups.get_mut(&key) {
-            Some((_, ys)) => {
-                ys.insert(y);
-            }
-            None => {
-                // Evaluate the non-group head arguments under this
-                // solution's bindings (they depend only on Z̄, so any
-                // representative of the class gives the same values).
-                let other: Option<Vec<ValueId>> = plan
-                    .head
-                    .args
+        let mut regs = vec![ValueId::FILLER; prog.nregs];
+        let mut b = Bindings::new();
+        run_ram(
+            &prog,
+            db,
+            None,
+            use_indexes,
+            &mut regs,
+            &mut b,
+            &mut |regs| {
+                attempts += 1;
+                gate.tick();
+                let Some(y) = group_reg.map(|r| regs[r as usize]) else {
+                    panic!("group variable {group_var} unbound in grouping rule");
+                };
+                let key: Option<Vec<ValueId>> = key_regs
                     .iter()
-                    .enumerate()
-                    .filter(|(i, _)| *i != group_pos)
-                    .map(|(_, t)| eval_term(t, b2))
-                    .collect();
-                if let Some(other) = other {
-                    let mut ys = FastSet::default();
-                    ys.insert(y);
-                    key_order.push(key.clone());
-                    groups.insert(key, (other, ys));
+                    .map(|k| k.map(|r| regs[r as usize]).ok_or(()))
+                    .collect::<Result<_, _>>()
+                    .ok();
+                let Some(key) = key else {
+                    panic!("head variable unbound in grouping rule");
+                };
+                match groups.get_mut(&key) {
+                    Some((_, ys)) => {
+                        ys.insert(y);
+                    }
+                    None => {
+                        let o: Option<Vec<ValueId>> =
+                            other.iter().map(|e| eval_expr(e, regs)).collect();
+                        if let Some(o) = o {
+                            let mut ys = FastSet::default();
+                            ys.insert(y);
+                            key_order.push(key.clone());
+                            groups.insert(key, (o, ys));
+                        }
+                    }
                 }
-                // `None` (an argument outside U) derives nothing for this
-                // class, matching the applicability condition of §3.2.
+            },
+        );
+    } else {
+        let mut b = Bindings::new();
+        run_body(plan, db, None, use_indexes, &mut b, &mut |b2| {
+            attempts += 1;
+            gate.tick();
+            let Some(y) = b2.get(group_var) else {
+                // Range restriction guarantees Y is bound; an unbound Y here
+                // means the rule slipped past well-formedness — fail loudly.
+                panic!("group variable {group_var} unbound in grouping rule");
+            };
+            let key: Option<Vec<ValueId>> = zbar
+                .iter()
+                .map(|&z| b2.get(z).ok_or(()))
+                .collect::<Result<_, _>>()
+                .ok();
+            let Some(key) = key else {
+                panic!("head variable unbound in grouping rule");
+            };
+            match groups.get_mut(&key) {
+                Some((_, ys)) => {
+                    ys.insert(y);
+                }
+                None => {
+                    // Evaluate the non-group head arguments under this
+                    // solution's bindings (they depend only on Z̄, so any
+                    // representative of the class gives the same values).
+                    let other: Option<Vec<ValueId>> = plan
+                        .head
+                        .args
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != group_pos)
+                        .map(|(_, t)| eval_term(t, b2))
+                        .collect();
+                    if let Some(other) = other {
+                        let mut ys = FastSet::default();
+                        ys.insert(y);
+                        key_order.push(key.clone());
+                        groups.insert(key, (other, ys));
+                    }
+                    // `None` (an argument outside U) derives nothing for this
+                    // class, matching the applicability condition of §3.2.
+                }
             }
-        }
-    });
+        });
+    }
 
     let tuples = key_order
         .into_iter()
@@ -142,8 +200,10 @@ mod tests {
     }
 
     fn run(plan: &RulePlan, db: &Database) -> Vec<Fact> {
-        run_grouping_rule(plan, db, false, RoundGate::open())
-            .0
+        let interpreted = run_grouping_rule(plan, db, false, false, RoundGate::open()).0;
+        let compiled = run_grouping_rule(plan, db, false, true, RoundGate::open()).0;
+        assert_eq!(interpreted, compiled, "compiled grouping diverges");
+        interpreted
             .into_iter()
             .map(|t| resolve_fact(plan.head.pred, &t))
             .collect()

@@ -25,6 +25,7 @@ pub mod budget;
 pub mod builtins;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod explain;
 pub mod fixpoint;
 pub mod grouping;
@@ -32,6 +33,7 @@ pub mod incremental;
 pub mod model;
 pub mod plan;
 pub mod pool;
+pub mod ram;
 pub mod retract;
 pub mod stats;
 pub mod unify;

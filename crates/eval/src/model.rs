@@ -63,7 +63,8 @@ pub fn check_model(program: &Program, m: &FactSet) -> Result<(), ModelViolation>
             HeadKind::Grouping { .. } => {
                 // §2.2: for each Z̄-class with a non-empty finite group, the
                 // corresponding p-tuple must be present.
-                let (tuples, _) = run_grouping_rule(&plan, &db, true, crate::RoundGate::open());
+                let (tuples, _) =
+                    run_grouping_rule(&plan, &db, true, false, crate::RoundGate::open());
                 for tuple in tuples {
                     let required = resolve_fact(plan.head.pred, &tuple);
                     if !m.contains(&required) {

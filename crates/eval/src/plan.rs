@@ -58,6 +58,17 @@ pub fn take_index_probes() -> u64 {
     INDEX_PROBES.with(|c| c.replace(0))
 }
 
+/// Count one index probe (shared with the compiled executor, so both
+/// execution modes report identical totals).
+pub(crate) fn note_index_probe() {
+    INDEX_PROBES.with(|c| c.set(c.get() + 1));
+}
+
+/// Count one existential short-circuit (shared with the compiled executor).
+pub(crate) fn note_exist_cut() {
+    EXIST_CUTS.with(|c| c.set(c.get() + 1));
+}
+
 thread_local! {
     /// Existential short-circuits taken on this thread since the last
     /// [`take_exist_cuts`]: body-tail existence checks that found a witness
@@ -127,7 +138,7 @@ pub enum HeadKind {
 }
 
 /// A compiled rule.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct RulePlan {
     /// The rule head.
     pub head: Atom,
@@ -150,6 +161,26 @@ pub struct RulePlan {
     /// statistics-free compiles, and delta-restricted first steps (their
     /// cardinality is the delta's, unknown at compile time).
     pub est_rows: Vec<f64>,
+    /// The plan's lowered register program ([`crate::ram`]), built lazily on
+    /// first compiled execution and then shared — the `OnceLock` runs the
+    /// lowering exactly once even when parallel workers race, which keeps
+    /// the `lowerings` stat deterministic. Cloning a plan drops the cache
+    /// (the clone may be mutated into a variant before execution).
+    pub(crate) ram: std::sync::OnceLock<std::sync::Arc<crate::ram::RamProgram>>,
+}
+
+impl Clone for RulePlan {
+    fn clone(&self) -> RulePlan {
+        RulePlan {
+            head: self.head.clone(),
+            head_kind: self.head_kind.clone(),
+            steps: self.steps.clone(),
+            scan_steps: self.scan_steps.clone(),
+            exist_from: self.exist_from,
+            est_rows: self.est_rows.clone(),
+            ram: std::sync::OnceLock::new(),
+        }
+    }
 }
 
 impl RulePlan {
@@ -323,7 +354,15 @@ impl RulePlan {
             scan_steps,
             exist_from,
             est_rows,
+            ram: std::sync::OnceLock::new(),
         })
+    }
+
+    /// The plan's lowered register program, built on first use and cached.
+    pub(crate) fn lowered(&self) -> std::sync::Arc<crate::ram::RamProgram> {
+        self.ram
+            .get_or_init(|| std::sync::Arc::new(crate::ram::lower(self)))
+            .clone()
     }
 
     /// A variant of this plan that executes scan step `step` (an index into
@@ -403,6 +442,7 @@ impl RulePlan {
             scan_steps,
             exist_from,
             est_rows,
+            ram: std::sync::OnceLock::new(),
         }
     }
 
@@ -426,7 +466,7 @@ impl RulePlan {
 
 /// Can `t` be evaluated to a single key value right now? `_` never binds
 /// and `<t>` patterns are multi-valued, so neither qualifies.
-fn term_bound(t: &Term, bound: &FastSet<Var>) -> bool {
+pub(crate) fn term_bound(t: &Term, bound: &FastSet<Var>) -> bool {
     let mut vs = Vec::new();
     t.vars(&mut vs);
     !has_anon(t) && !t.has_group() && vs.iter().all(|v| bound.contains(v))
@@ -525,7 +565,7 @@ fn compute_exist_from(head: &Atom, steps: &[Step]) -> usize {
     steps.len()
 }
 
-fn has_anon(t: &Term) -> bool {
+pub(crate) fn has_anon(t: &Term) -> bool {
     match t {
         Term::Anon => true,
         Term::Var(_) | Term::Const(_) => false,
@@ -674,7 +714,7 @@ fn run_steps(
 /// Keys are almost always 1–3 columns, so `stack` makes the common probe
 /// allocation-free; `heap` is the spillover for wider keys. `None` if a key
 /// term fails to evaluate (e.g. arithmetic overflow) — no tuple can match.
-fn probe_key<'k>(
+pub(crate) fn probe_key<'k>(
     args: &[Term],
     cols: &[usize],
     b: &mut Bindings,
@@ -700,7 +740,7 @@ fn probe_key<'k>(
 /// `young(X, <Y>) <- ¬a(X, Z), sg(X, Y)` when written safely as `~a(X, _)`
 /// ("X has no descendants"). The existential probes an index on the ground
 /// columns when one is available and stops at the first match either way.
-fn neg_holds(
+pub(crate) fn neg_holds(
     pred: Symbol,
     args: &[Term],
     index_cols: &[usize],

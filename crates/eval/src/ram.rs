@@ -1,0 +1,806 @@
+//! RAM-style intermediate representation: lowering [`RulePlan`]s into flat
+//! register-machine programs.
+//!
+//! Interpreting a plan walks term trees per tuple: every column match
+//! dispatches on the pattern's shape, every variable read scans the binding
+//! trail, and every constant re-hashes its `Value` through the interner.
+//! Lowering removes all of that from the hot loop. A `RamProgram` is a
+//! `Vec<Op>` mirroring the plan's steps one-to-one (so delta restrictions,
+//! `exist_from`, and delta-first variants carry over by index), operating on
+//! a dense file of [`ValueId`] registers:
+//!
+//! * simple columns compile to `bind r` / `check r` / `const #id` actions
+//!   (constants are interned **once**, at lowering time);
+//! * index probe keys compile to per-column `Expr`s evaluated straight
+//!   from registers;
+//! * all-ground negation compiles to expression evaluation plus one hash
+//!   containment test;
+//! * head projection compiles to an `Expr` per head argument, written
+//!   directly into the derivation buffer.
+//!
+//! Columns and literals the register machine cannot express natively —
+//! multi-solution set patterns like `{X, Y}` or `scons(H, T)`, `_`-negation,
+//! and every built-in — fall back to ops that bridge into the existing
+//! matcher ([`crate::unify`]) and built-in evaluator through a scratch
+//! [`Bindings`](crate::bindings::Bindings), seeded from registers. The
+//! bridge keeps a single source of truth for the multi-solution semantics:
+//! compiled execution is bit-for-bit identical to interpretation (solution
+//! order, derivation attempts, index-probe and existential-cut counts),
+//! which `tests/differential.rs` pins across every evaluation mode.
+//!
+//! Lowering happens at most once per plan: `RulePlan::lowered` caches the
+//! program in a `OnceLock`, so a cached plan reused across rounds (or
+//! shared by parallel workers) is lowered exactly once — the total counted
+//! by [`take_lowerings`] is deterministic at any worker count.
+
+use std::cell::Cell;
+
+use ldl_ast::program::Builtin;
+use ldl_ast::term::{Term, Var};
+use ldl_value::arith::{ArithOp, CmpOp};
+use ldl_value::fxhash::{FastMap, FastSet};
+use ldl_value::intern::{self, Node};
+use ldl_value::{Symbol, ValueId};
+
+use crate::plan::{has_anon, term_bound, HeadKind, RulePlan, Step};
+
+thread_local! {
+    /// Plan lowerings performed on this thread since the last
+    /// [`take_lowerings`]. Drained per work unit like the index-probe
+    /// counter, so the summed total is deterministic at any worker count
+    /// (each plan's `OnceLock` runs the lowering exactly once).
+    static LOWERINGS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Drain this thread's lowering counter (returns the count, resets to 0).
+pub fn take_lowerings() -> u64 {
+    LOWERINGS.with(|c| c.replace(0))
+}
+
+/// A register index into the program's dense `ValueId` file.
+pub(crate) type Reg = u32;
+
+/// A register-evaluable term: the compiled form of [`eval_term`]
+/// (`crate::unify::eval_term`) with constants pre-interned and variables
+/// resolved to registers. `Fail` marks positions that can never evaluate
+/// (`_`, `<t>`, or a variable the body never binds) — the interpreter's
+/// `None` result, made static.
+#[derive(Clone, Debug)]
+pub(crate) enum Expr {
+    /// Read a register.
+    Reg(Reg),
+    /// A constant, interned at lowering time.
+    Const(ValueId),
+    /// `f(e₁, …, eₙ)`.
+    Compound(Symbol, Box<[Expr]>),
+    /// An enumerated set `{e₁, …, eₙ}`.
+    Set(Box<[Expr]>),
+    /// `scons(e, S)` — fails on a non-set tail.
+    Scons(Box<Expr>, Box<Expr>),
+    /// Arithmetic, with the interpreter's overflow-to-`None` semantics.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Never evaluates (outside `U`).
+    Fail,
+}
+
+/// Evaluate a compiled expression against the register file. Mirrors
+/// `eval_term` exactly, including every `None` ("outside U") case.
+pub(crate) fn eval_expr(e: &Expr, regs: &[ValueId]) -> Option<ValueId> {
+    match e {
+        Expr::Reg(r) => Some(regs[*r as usize]),
+        Expr::Const(v) => Some(*v),
+        Expr::Compound(f, args) => {
+            let ids: Option<Vec<ValueId>> = args.iter().map(|a| eval_expr(a, regs)).collect();
+            Some(intern::mk_compound(*f, ids?))
+        }
+        Expr::Set(args) => {
+            let ids: Option<Vec<ValueId>> = args.iter().map(|a| eval_expr(a, regs)).collect();
+            Some(intern::mk_set(ids?))
+        }
+        Expr::Scons(h, tail) => {
+            let head = eval_expr(h, regs)?;
+            let tail = eval_expr(tail, regs)?;
+            match intern::node(tail) {
+                Node::Set(elems) => {
+                    // S ∪ {h}: same insertion the interpreter performs.
+                    match elems.binary_search_by(|&x| intern::cmp_ids(x, head)) {
+                        Ok(_) => Some(tail),
+                        Err(at) => {
+                            let mut out = Vec::with_capacity(elems.len() + 1);
+                            out.extend_from_slice(&elems[..at]);
+                            out.push(head);
+                            out.extend_from_slice(&elems[at..]);
+                            Some(intern::mk_set_sorted(out))
+                        }
+                    }
+                }
+                _ => None,
+            }
+        }
+        Expr::Arith(op, l, r) => op.eval_ids(eval_expr(l, regs)?, eval_expr(r, regs)?),
+        Expr::Fail => None,
+    }
+}
+
+/// What a fused scan does with one tuple column.
+#[derive(Clone, Debug)]
+pub(crate) enum ColAct {
+    /// Write the column value into a register (first occurrence of a var).
+    Bind(Reg),
+    /// The column must equal a register (repeated var).
+    Check(Reg),
+    /// The column must equal a pre-interned constant.
+    Const(ValueId),
+    /// The column must equal the expression's value (a ground complex term;
+    /// canonical interning makes id equality coincide with the structural
+    /// match). A failed evaluation matches nothing.
+    Eval(Expr),
+}
+
+/// One fused operator. Ops mirror the source plan's steps by index, so a
+/// [`DeltaRestriction`](crate::plan::DeltaRestriction) naming step `i`
+/// restricts op `i`, and `exist_from` splits the op list exactly where it
+/// split the step list.
+#[derive(Clone, Debug)]
+pub(crate) enum Op {
+    /// A positive relation literal whose columns are all register-expressible:
+    /// full scan over `cols`, or an index probe evaluating `key` and
+    /// matching only `probe_cols` (key equality is implied by the posting
+    /// list).
+    Scan {
+        /// The relation scanned/probed.
+        pred: Symbol,
+        /// Sorted ground column positions (index key), empty ⇒ full scan.
+        index_cols: Box<[usize]>,
+        /// Key expressions, one per index column.
+        key: Box<[Expr]>,
+        /// `(column, action)` for the full-scan path — every non-`_` column.
+        cols: Box<[(usize, ColAct)]>,
+        /// `cols` minus the index-key columns, for the probed path.
+        probe_cols: Box<[(usize, ColAct)]>,
+    },
+    /// A positive literal with at least one multi-solution column pattern:
+    /// bridge to the general matcher through a scratch `Bindings` seeded
+    /// from `in_vars`, reading solution values back via `out_vars`.
+    ScanBridge {
+        /// The relation scanned/probed.
+        pred: Symbol,
+        /// The literal's argument patterns.
+        args: Box<[Term]>,
+        /// Index key columns (ground at this point), empty ⇒ full scan.
+        index_cols: Box<[usize]>,
+        /// Variables already bound: seeded into the scratch bindings.
+        in_vars: Box<[(Var, Reg)]>,
+        /// Variables this literal binds: copied back into registers per
+        /// solution.
+        out_vars: Box<[(Var, Reg)]>,
+    },
+    /// All-ground negation: evaluate the argument expressions in order (a
+    /// failure means the fact is outside `U`, so the negation holds) and
+    /// test containment against the frozen lower layers.
+    Neg {
+        /// The negated relation.
+        pred: Symbol,
+        /// Argument expressions, in argument order.
+        key: Box<[Expr]>,
+    },
+    /// `_`-existential negation: bridge to the interpreter's existence
+    /// check (index-probed on the ground columns when possible).
+    NegBridge {
+        /// The negated relation.
+        pred: Symbol,
+        /// The argument patterns (containing `_`).
+        args: Box<[Term]>,
+        /// Ground columns probed through an index.
+        index_cols: Box<[usize]>,
+        /// Bound variables to seed into the scratch bindings.
+        in_vars: Box<[(Var, Reg)]>,
+    },
+    /// A comparison whose solutions are decidable by expression evaluation
+    /// alone: evaluate both sides and test. Covers every ordered comparison
+    /// and `/=` (the interpreter's `eval_ids` arm), plus `=` when the
+    /// matched side is [`eval_matchable`]. An operand outside `U` fails the
+    /// positive literal and satisfies the negated one, exactly like the
+    /// interpreter's `eval_term` returning `None`.
+    Cmp {
+        /// The comparison.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Expr,
+        /// Right operand.
+        rhs: Expr,
+        /// `~`-negated comparisons invert the (total) test.
+        negated: bool,
+    },
+    /// `V = e` with `V` unbound: evaluate `e` into a register. A source
+    /// outside `U` derives nothing (the interpreter's failed `eval_term`).
+    Assign {
+        /// Destination register (the unbound variable).
+        dst: Reg,
+        /// The ground side.
+        src: Expr,
+    },
+    /// Forward-mode arithmetic `op(x, y, z)` with `x`, `y` ground: compute
+    /// the result and either bind it (free plain-variable `z`) or compare
+    /// it against `z`'s value. Overflow or a non-integer operand fails the
+    /// literal — `eval_ids`' `None` — and a negated literal then holds.
+    ArithF {
+        /// The operator.
+        op: ArithOp,
+        /// First operand.
+        x: Expr,
+        /// Second operand.
+        y: Expr,
+        /// Where the result goes.
+        dst: ArithDst,
+        /// `~`-negated arithmetic acts as an inverted filter (always
+        /// `Check`: negated built-ins are fully bound).
+        negated: bool,
+    },
+    /// A built-in literal: bridge to the built-in evaluator (single source
+    /// of truth for modes and multi-solution semantics).
+    Builtin {
+        /// Which built-in.
+        builtin: Builtin,
+        /// Argument terms.
+        args: Box<[Term]>,
+        /// Negated built-ins are fully bound and act as filters.
+        negated: bool,
+        /// Bound variables to seed into the scratch bindings.
+        in_vars: Box<[(Var, Reg)]>,
+        /// Variables the built-in binds: copied back per solution.
+        out_vars: Box<[(Var, Reg)]>,
+    },
+}
+
+/// Destination of a forward-mode arithmetic result (see [`Op::ArithF`]).
+#[derive(Clone, Debug)]
+pub(crate) enum ArithDst {
+    /// Bind the result to a register (the third argument is a free
+    /// plain variable).
+    Bind(Reg),
+    /// The result must equal this expression's value (the interpreter's
+    /// `match_term` on an [`eval_matchable`] third argument).
+    Check(Expr),
+}
+
+/// The compiled head projection.
+#[derive(Clone, Debug)]
+pub(crate) enum HeadIr {
+    /// Project one expression per head argument, in order.
+    Simple(Box<[Expr]>),
+    /// §2.2 grouping: partition solutions by the `Z̄` registers, collect the
+    /// group register's values per class.
+    Grouping {
+        /// Head argument position of the `<X>`.
+        group_pos: usize,
+        /// The grouped variable (for diagnostics).
+        group_var: Var,
+        /// The grouped variable's register; `None` if the body never binds
+        /// it (a well-formedness escape, reported at run time exactly like
+        /// the interpreter does).
+        group_reg: Option<Reg>,
+        /// One register per `Z̄` variable, in `vars_outside_group` order.
+        key_regs: Box<[Option<Reg>]>,
+        /// The non-group head arguments, in order (evaluated once per
+        /// distinct key).
+        other: Box<[Expr]>,
+    },
+}
+
+/// A lowered rule body: the flat program the tight interpreter in
+/// [`crate::exec`] runs.
+#[derive(Debug)]
+pub(crate) struct RamProgram {
+    /// Fused operators, one per plan step (same indices).
+    pub(crate) ops: Box<[Op]>,
+    /// Head projection.
+    pub(crate) head: HeadIr,
+    /// First op of the existential tail (`ops.len()` ⇒ no tail).
+    pub(crate) exist_from: usize,
+    /// Predicates of the positive relation literals, for the empty-relation
+    /// pre-check.
+    pub(crate) scan_preds: Box<[Symbol]>,
+    /// Register-file size.
+    pub(crate) nregs: usize,
+}
+
+fn reg_of(regs: &mut FastMap<Var, Reg>, v: Var) -> Reg {
+    let next = regs.len() as Reg;
+    *regs.entry(v).or_insert(next)
+}
+
+/// The named variables of `args` in first-occurrence order, deduplicated.
+fn ordered_vars(args: &[Term]) -> Vec<Var> {
+    let mut vs = Vec::new();
+    for t in args {
+        t.vars(&mut vs);
+    }
+    let mut seen: FastSet<Var> = FastSet::default();
+    vs.retain(|v| seen.insert(*v));
+    vs
+}
+
+/// Lower one term to an expression. Variables outside `bound` — and the
+/// never-evaluable `_` / `<t>` shapes — become [`Expr::Fail`], matching
+/// `eval_term`'s `None`.
+fn lower_expr(t: &Term, regs: &mut FastMap<Var, Reg>, bound: &FastSet<Var>) -> Expr {
+    match t {
+        Term::Var(v) => {
+            if bound.contains(v) {
+                Expr::Reg(reg_of(regs, *v))
+            } else {
+                Expr::Fail
+            }
+        }
+        Term::Anon | Term::Group(_) => Expr::Fail,
+        Term::Const(v) => Expr::Const(intern::id_of(v)),
+        Term::Compound(f, args) => Expr::Compound(
+            *f,
+            args.iter().map(|a| lower_expr(a, regs, bound)).collect(),
+        ),
+        Term::SetEnum(args) => Expr::Set(args.iter().map(|a| lower_expr(a, regs, bound)).collect()),
+        Term::Scons(h, tail) => Expr::Scons(
+            Box::new(lower_expr(h, regs, bound)),
+            Box::new(lower_expr(tail, regs, bound)),
+        ),
+        Term::Arith(op, l, r) => Expr::Arith(
+            *op,
+            Box::new(lower_expr(l, regs, bound)),
+            Box::new(lower_expr(r, regs, bound)),
+        ),
+    }
+}
+
+/// Is matching pattern `t` against a ground value equivalent to evaluating
+/// `t` and comparing interned ids? True for the deterministic single-
+/// solution shapes: a bound variable, a constant, a compound of such, and
+/// arithmetic (whose `match_term` arm literally *is* eval-and-compare, with
+/// an unbound operand failing both ways). Set patterns (`{…}`, `scons`),
+/// `<t>`, `_`, and unbound variables match by decomposition or bind — not
+/// expressible as a register comparison.
+fn eval_matchable(t: &Term, bound: &FastSet<Var>) -> bool {
+    match t {
+        Term::Var(v) => bound.contains(v),
+        Term::Const(_) => true,
+        Term::Compound(_, args) => args.iter().all(|a| eval_matchable(a, bound)),
+        Term::Arith(..) => true,
+        Term::Anon | Term::Group(_) | Term::SetEnum(_) | Term::Scons(..) => false,
+    }
+}
+
+/// `t` as a plain not-yet-bound variable, if it is one.
+fn unbound_var(t: &Term, bound: &FastSet<Var>) -> Option<Var> {
+    match t {
+        Term::Var(v) if !bound.contains(v) => Some(*v),
+        _ => None,
+    }
+}
+
+/// Try to lower a built-in literal to a fused register op; `None` falls
+/// back to the evaluator bridge. Each specialization mirrors one arm of
+/// [`eval_builtin`](crate::builtins::eval_builtin): comparisons and `=` with
+/// an eval-matchable matched side become [`Op::Cmp`], `=` binding a fresh
+/// variable becomes [`Op::Assign`], forward-mode arithmetic becomes
+/// [`Op::ArithF`]. Set built-ins and the inverse/generative modes keep the
+/// bridge (multi-solution semantics live in one place).
+fn lower_builtin(
+    builtin: Builtin,
+    args: &[Term],
+    negated: bool,
+    regs: &mut FastMap<Var, Reg>,
+    bound: &FastSet<Var>,
+) -> Option<Op> {
+    match builtin {
+        Builtin::Cmp(CmpOp::Eq) => {
+            let g0 = term_bound(&args[0], bound);
+            let g1 = term_bound(&args[1], bound);
+            // The interpreter matches the side opposite the first ground
+            // one; `eval_ids(Eq)` is id equality, which coincides with the
+            // match exactly when the matched side is eval-matchable. With
+            // neither side ground there is no solution either way (a
+            // non-ground term never evaluates), so the comparison op —
+            // which then always fails — is still an exact mirror.
+            let matched = if g0 { &args[1] } else { &args[0] };
+            if (!g0 && !g1) || eval_matchable(matched, bound) {
+                return Some(Op::Cmp {
+                    op: CmpOp::Eq,
+                    lhs: lower_expr(&args[0], regs, bound),
+                    rhs: lower_expr(&args[1], regs, bound),
+                    negated,
+                });
+            }
+            if !negated && (g0 || g1) {
+                if let Some(v) = unbound_var(matched, bound) {
+                    let src = if g0 { &args[0] } else { &args[1] };
+                    return Some(Op::Assign {
+                        dst: reg_of(regs, v),
+                        src: lower_expr(src, regs, bound),
+                    });
+                }
+            }
+            None
+        }
+        // Ordered comparisons and `/=` evaluate both sides uncondition-
+        // ally (`eval_ids` arm) — always expressible on registers.
+        Builtin::Cmp(op) => Some(Op::Cmp {
+            op,
+            lhs: lower_expr(&args[0], regs, bound),
+            rhs: lower_expr(&args[1], regs, bound),
+            negated,
+        }),
+        Builtin::Arith(op) => {
+            if !(term_bound(&args[0], bound) && term_bound(&args[1], bound)) {
+                return None; // inverse modes: bridge
+            }
+            let x = lower_expr(&args[0], regs, bound);
+            let y = lower_expr(&args[1], regs, bound);
+            if eval_matchable(&args[2], bound) {
+                let check = lower_expr(&args[2], regs, bound);
+                return Some(Op::ArithF {
+                    op,
+                    x,
+                    y,
+                    dst: ArithDst::Check(check),
+                    negated,
+                });
+            }
+            if !negated {
+                if let Some(v) = unbound_var(&args[2], bound) {
+                    return Some(Op::ArithF {
+                        op,
+                        x,
+                        y,
+                        dst: ArithDst::Bind(reg_of(regs, v)),
+                        negated: false,
+                    });
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Lower a positive scan step. Columns are walked left-to-right with a
+/// running bound set (mirroring the matcher's binding order): a repeated
+/// variable within one literal — `e(X, X)` — binds at its first column and
+/// checks at the second. Any multi-solution column (a set pattern or a
+/// complex term with an unbound variable) makes the whole literal a bridge
+/// op.
+fn lower_scan(
+    pred: Symbol,
+    args: &[Term],
+    index_cols: &[usize],
+    regs: &mut FastMap<Var, Reg>,
+    bound: &mut FastSet<Var>,
+) -> Op {
+    // Key expressions read the step-entry bindings; the planner only puts
+    // ground-at-entry terms into `index_cols`.
+    let key: Box<[Expr]> = index_cols
+        .iter()
+        .map(|&c| lower_expr(&args[c], regs, bound))
+        .collect();
+
+    let mut cur = bound.clone();
+    let mut cols: Vec<(usize, ColAct)> = Vec::new();
+    let mut fused = true;
+    for (c, t) in args.iter().enumerate() {
+        match t {
+            Term::Anon => {}
+            Term::Var(v) => {
+                if cur.contains(v) {
+                    cols.push((c, ColAct::Check(reg_of(regs, *v))));
+                } else {
+                    cols.push((c, ColAct::Bind(reg_of(regs, *v))));
+                    cur.insert(*v);
+                }
+            }
+            Term::Const(v) => cols.push((c, ColAct::Const(intern::id_of(v)))),
+            t if term_bound(t, &cur) => {
+                // Ground complex term: one canonical value, so the
+                // structural match is an id comparison.
+                cols.push((c, ColAct::Eval(lower_expr(t, regs, &cur))));
+            }
+            _ => {
+                fused = false;
+                break;
+            }
+        }
+    }
+
+    let op = if fused {
+        let probe_cols: Box<[(usize, ColAct)]> = cols
+            .iter()
+            .filter(|(c, _)| !index_cols.contains(c))
+            .cloned()
+            .collect();
+        Op::Scan {
+            pred,
+            index_cols: index_cols.into(),
+            key,
+            cols: cols.into_boxed_slice(),
+            probe_cols,
+        }
+    } else {
+        let vars = ordered_vars(args);
+        let in_vars: Box<[(Var, Reg)]> = vars
+            .iter()
+            .filter(|v| bound.contains(v))
+            .map(|&v| (v, reg_of(regs, v)))
+            .collect();
+        let out_vars: Box<[(Var, Reg)]> = vars
+            .iter()
+            .filter(|v| !bound.contains(v))
+            .map(|&v| (v, reg_of(regs, v)))
+            .collect();
+        Op::ScanBridge {
+            pred,
+            args: args.into(),
+            index_cols: index_cols.into(),
+            in_vars,
+            out_vars,
+        }
+    };
+    // Positive literals bind all their variables (emit_step's bookkeeping).
+    for v in ordered_vars(args) {
+        bound.insert(v);
+    }
+    op
+}
+
+/// Lower a compiled plan into a flat register program. Called exactly once
+/// per plan through `RulePlan::lowered`'s `OnceLock`.
+pub(crate) fn lower(plan: &RulePlan) -> RamProgram {
+    LOWERINGS.with(|c| c.set(c.get() + 1));
+    let mut regs: FastMap<Var, Reg> = FastMap::default();
+    let mut bound: FastSet<Var> = FastSet::default();
+    let mut ops: Vec<Op> = Vec::with_capacity(plan.steps.len());
+    for step in &plan.steps {
+        match step {
+            Step::Scan {
+                pred,
+                args,
+                index_cols,
+            } => ops.push(lower_scan(*pred, args, index_cols, &mut regs, &mut bound)),
+            Step::NegScan {
+                pred,
+                args,
+                index_cols,
+            } => {
+                if args.iter().any(has_anon) {
+                    let in_vars: Box<[(Var, Reg)]> = ordered_vars(args)
+                        .into_iter()
+                        .filter(|v| bound.contains(v))
+                        .map(|v| (v, reg_of(&mut regs, v)))
+                        .collect();
+                    ops.push(Op::NegBridge {
+                        pred: *pred,
+                        args: args.as_slice().into(),
+                        index_cols: index_cols.as_slice().into(),
+                        in_vars,
+                    });
+                } else {
+                    let key: Box<[Expr]> = args
+                        .iter()
+                        .map(|t| lower_expr(t, &mut regs, &bound))
+                        .collect();
+                    ops.push(Op::Neg { pred: *pred, key });
+                }
+            }
+            Step::BuiltinStep {
+                builtin,
+                args,
+                negated,
+            } => {
+                let vars = ordered_vars(args);
+                let op = lower_builtin(*builtin, args, *negated, &mut regs, &bound).unwrap_or_else(
+                    || {
+                        let in_vars: Box<[(Var, Reg)]> = vars
+                            .iter()
+                            .filter(|v| bound.contains(v))
+                            .map(|&v| (v, reg_of(&mut regs, v)))
+                            .collect();
+                        let out_vars: Box<[(Var, Reg)]> = vars
+                            .iter()
+                            .filter(|v| !bound.contains(v))
+                            .map(|&v| (v, reg_of(&mut regs, v)))
+                            .collect();
+                        Op::Builtin {
+                            builtin: *builtin,
+                            args: args.as_slice().into(),
+                            negated: *negated,
+                            in_vars,
+                            out_vars,
+                        }
+                    },
+                );
+                ops.push(op);
+                if !negated {
+                    for v in vars {
+                        bound.insert(v);
+                    }
+                }
+            }
+        }
+    }
+
+    let head = match plan.head_kind {
+        HeadKind::Simple => HeadIr::Simple(
+            plan.head
+                .args
+                .iter()
+                .map(|t| lower_expr(t, &mut regs, &bound))
+                .collect(),
+        ),
+        HeadKind::Grouping {
+            group_pos,
+            group_var,
+        } => {
+            let group_reg = bound
+                .contains(&group_var)
+                .then(|| reg_of(&mut regs, group_var));
+            let key_regs: Box<[Option<Reg>]> = plan
+                .head
+                .vars_outside_group()
+                .into_iter()
+                .map(|z| bound.contains(&z).then(|| reg_of(&mut regs, z)))
+                .collect();
+            let other: Box<[Expr]> = plan
+                .head
+                .args
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != group_pos)
+                .map(|(_, t)| lower_expr(t, &mut regs, &bound))
+                .collect();
+            HeadIr::Grouping {
+                group_pos,
+                group_var,
+                group_reg,
+                key_regs,
+                other,
+            }
+        }
+    };
+
+    RamProgram {
+        ops: ops.into_boxed_slice(),
+        head,
+        exist_from: plan.exist_from,
+        scan_preds: plan.scan_steps.iter().map(|&(_, p)| p).collect(),
+        nregs: regs.len(),
+    }
+}
+
+/// Render the op sequence for `explain`/`:plan`, one line per op plus a
+/// final head-projection line.
+pub(crate) fn render(prog: &RamProgram) -> Vec<String> {
+    fn expr(e: &Expr) -> String {
+        match e {
+            Expr::Reg(r) => format!("r{r}"),
+            Expr::Const(v) => format!("{}", intern::resolve(*v)),
+            Expr::Compound(f, args) => {
+                let inner: Vec<String> = args.iter().map(expr).collect();
+                format!("{f}({})", inner.join(", "))
+            }
+            Expr::Set(args) => {
+                let inner: Vec<String> = args.iter().map(expr).collect();
+                format!("{{{}}}", inner.join(", "))
+            }
+            Expr::Scons(h, t) => format!("scons({}, {})", expr(h), expr(t)),
+            Expr::Arith(op, l, r) => format!("({} {} {})", expr(l), op.name(), expr(r)),
+            Expr::Fail => "⊥".into(),
+        }
+    }
+    fn acts(cols: &[(usize, ColAct)]) -> String {
+        let inner: Vec<String> = cols
+            .iter()
+            .map(|(c, a)| match a {
+                ColAct::Bind(r) => format!("{c}→r{r}"),
+                ColAct::Check(r) => format!("{c}=r{r}"),
+                ColAct::Const(v) => format!("{c}={}", intern::resolve(*v)),
+                ColAct::Eval(e) => format!("{c}={}", expr(e)),
+            })
+            .collect();
+        format!("[{}]", inner.join(", "))
+    }
+    let mut out = Vec::with_capacity(prog.ops.len() + 1);
+    for (i, op) in prog.ops.iter().enumerate() {
+        let tail = if i >= prog.exist_from { " ∃" } else { "" };
+        let line = match op {
+            Op::Scan {
+                pred,
+                index_cols,
+                key,
+                cols,
+                ..
+            } => {
+                if index_cols.is_empty() {
+                    format!("scan {pred} {}{tail}", acts(cols))
+                } else {
+                    let ks: Vec<String> = key.iter().map(expr).collect();
+                    format!(
+                        "probe {pred} via {index_cols:?} key [{}] {}{tail}",
+                        ks.join(", "),
+                        acts(cols)
+                    )
+                }
+            }
+            Op::ScanBridge {
+                pred, index_cols, ..
+            } => {
+                if index_cols.is_empty() {
+                    format!("scan {pred} (general match){tail}")
+                } else {
+                    format!("probe {pred} via {index_cols:?} (general match){tail}")
+                }
+            }
+            Op::Neg { pred, key } => {
+                let ks: Vec<String> = key.iter().map(expr).collect();
+                format!("reject {pred}({}){tail}", ks.join(", "))
+            }
+            Op::NegBridge { pred, .. } => format!("reject {pred} (existential){tail}"),
+            Op::Cmp {
+                op,
+                lhs,
+                rhs,
+                negated,
+            } => {
+                let neg = if *negated { "~" } else { "" };
+                format!(
+                    "filter {neg}({} {} {}){tail}",
+                    expr(lhs),
+                    op.name(),
+                    expr(rhs)
+                )
+            }
+            Op::Assign { dst, src } => format!("let r{dst} = {}{tail}", expr(src)),
+            Op::ArithF {
+                op,
+                x,
+                y,
+                dst,
+                negated,
+            } => {
+                let neg = if *negated { "~" } else { "" };
+                let rhs = format!("({} {} {})", expr(x), op.name(), expr(y));
+                match dst {
+                    ArithDst::Bind(r) => format!("let r{r} = {neg}{rhs}{tail}"),
+                    ArithDst::Check(e) => format!("filter {neg}({} = {rhs}){tail}", expr(e)),
+                }
+            }
+            Op::Builtin {
+                builtin, negated, ..
+            } => {
+                let neg = if *negated { "~" } else { "" };
+                format!("builtin {neg}{builtin:?}{tail}")
+            }
+        };
+        out.push(format!("{i}. {line}"));
+    }
+    match &prog.head {
+        HeadIr::Simple(exprs) => {
+            let es: Vec<String> = exprs.iter().map(expr).collect();
+            out.push(format!("emit [{}]", es.join(", ")));
+        }
+        HeadIr::Grouping {
+            group_pos,
+            group_var,
+            group_reg,
+            key_regs,
+            ..
+        } => {
+            let g = group_reg.map_or("⊥".into(), |r| format!("r{r}"));
+            let ks: Vec<String> = key_regs
+                .iter()
+                .map(|k| k.map_or("⊥".into(), |r| format!("r{r}")))
+                .collect();
+            out.push(format!(
+                "group <{group_var}>={g} by [{}] at position {group_pos}",
+                ks.join(", ")
+            ));
+        }
+    }
+    out
+}

@@ -382,14 +382,17 @@ fn counting_delete_layer(
             )?);
             ensure_plan_indexes(&plan, db);
             meter.check()?;
-            let (buf, probes, cuts, attempts) =
-                derive_once(&plan, db, None, opts.use_indexes, gate);
+            let out = derive_once(&plan, db, None, opts.use_indexes, opts.compiled, gate);
             stats.rules_fired += 1;
-            stats.index_probes += probes;
-            stats.exist_cuts += cuts;
-            stats.attempts += attempts;
-            meter.charge(attempts, 0);
-            passes.push((rule.head.pred, buf));
+            stats.index_probes += out.probes;
+            stats.exist_cuts += out.cuts;
+            stats.attempts += out.attempts;
+            stats.lowerings += out.lowerings;
+            if opts.compiled {
+                stats.compiled_rounds += 1;
+            }
+            meter.charge(out.attempts, 0);
+            passes.push((rule.head.pred, out.buf));
         }
     }
     for (_, name) in rm_names {

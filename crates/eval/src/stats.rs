@@ -77,6 +77,17 @@ pub struct EvalStats {
     /// rules whose *entire* body is existential (ground heads): each delta
     /// slice then performs its own check.
     pub exist_cuts: u64,
+    /// Rule plans lowered to RAM-style register programs (compiled mode
+    /// only). Each cached plan is lowered at most once, on its first
+    /// compiled execution, so this counts distinct programs built — it does
+    /// not grow with rounds. Always `0` with
+    /// [`EvalOptions::compiled`](crate::EvalOptions) off.
+    pub lowerings: u64,
+    /// Evaluation rounds (and single rule passes) executed through the
+    /// compiled register programs rather than the plan interpreter. Equal to
+    /// `rounds` plus the per-rule passes of incremental maintenance when
+    /// compiled mode is on; `0` when it is off.
+    pub compiled_rounds: u64,
 }
 
 impl EvalStats {
@@ -106,6 +117,8 @@ impl AddAssign for EvalStats {
         self.plan_cache_misses += rhs.plan_cache_misses;
         self.plan_replans += rhs.plan_replans;
         self.exist_cuts += rhs.exist_cuts;
+        self.lowerings += rhs.lowerings;
+        self.compiled_rounds += rhs.compiled_rounds;
     }
 }
 
@@ -113,7 +126,7 @@ impl fmt::Display for EvalStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rules fired: {}, attempts: {}, facts derived: {}, facts retracted: {}, dedup inserts: {}, index probes: {}, interned values: {}, strata replayed: {}, delta-updated: {}, counting: {}, dred: {}, skipped: {}, rounds: {}, tasks: {}, plan cache hits: {}, misses: {}, replans: {}, exist cuts: {}",
+            "rules fired: {}, attempts: {}, facts derived: {}, facts retracted: {}, dedup inserts: {}, index probes: {}, interned values: {}, strata replayed: {}, delta-updated: {}, counting: {}, dred: {}, skipped: {}, rounds: {}, tasks: {}, plan cache hits: {}, misses: {}, replans: {}, exist cuts: {}, lowerings: {}, compiled rounds: {}",
             self.rules_fired,
             self.attempts,
             self.facts_derived,
@@ -131,7 +144,9 @@ impl fmt::Display for EvalStats {
             self.plan_cache_hits,
             self.plan_cache_misses,
             self.plan_replans,
-            self.exist_cuts
+            self.exist_cuts,
+            self.lowerings,
+            self.compiled_rounds
         )
     }
 }

@@ -149,8 +149,13 @@ impl MagicEvaluator {
                 changed += match plan.head_kind {
                     HeadKind::Grouping { .. } => {
                         meter.check()?;
-                        let (tuples, attempts) =
-                            run_grouping_rule(plan, db, opts.use_indexes, opts.budget.gate());
+                        let (tuples, attempts) = run_grouping_rule(
+                            plan,
+                            db,
+                            opts.use_indexes,
+                            opts.compiled,
+                            opts.budget.gate(),
+                        );
                         let mut n = 0;
                         for t in tuples {
                             if db.insert_ids(plan.head.pred, t) {

@@ -16,4 +16,4 @@ pub mod database;
 pub mod relation;
 
 pub use database::{resolve_fact, tuple, Database, Mark};
-pub use relation::{Relation, Tuple};
+pub use relation::{IndexRef, Relation, Tuple};

@@ -156,6 +156,22 @@ fn minimal_failing_size<E>(
     (max_size, original)
 }
 
+/// The compiled-execution settings a suite should cover: both executors by
+/// default, or only the one `LDL1_COMPILED` pins (`0`/`false` ⇒ the plan
+/// interpreter, any other value ⇒ the register programs). Pinning lets a CI
+/// matrix leg run each configuration exactly once instead of every suite
+/// twice; the unpinned default keeps local `cargo test` covering both. The
+/// first element is the configuration whose output a blessing run records.
+pub fn compiled_matrix() -> Vec<bool> {
+    match std::env::var("LDL1_COMPILED") {
+        Err(_) => vec![true, false],
+        Ok(v) => {
+            let v = v.trim();
+            vec![v != "0" && !v.eq_ignore_ascii_case("false")]
+        }
+    }
+}
+
 /// One benchmark measurement: per-iteration wall-clock statistics.
 #[derive(Clone, Copy, Debug)]
 pub struct Sample {

@@ -172,6 +172,153 @@ fn magic_abort_then_retry_matches_clean_answers() {
     });
 }
 
+/// Compiled-mode trip points: the fuel unit is the derivation attempt, and
+/// the compiled executor charges attempts at exactly the interpreter's
+/// points — asserted here via `attempts` parity on the clean runs, then
+/// exercised by tripping both executors at the same counts. Retrying after
+/// an abort reproduces the clean reference bit for bit regardless of which
+/// executor aborted and which one retries.
+#[test]
+fn compiled_abort_then_retry_matches_interpreter() {
+    cases_shrink(24, 10, |rng: &mut Rng, size: u32| {
+        let case = stratified_case(rng, size);
+        let program = ldl1::parser::parse_program(&case.src).unwrap();
+        let edb = edb_of(&case);
+        let mk = |compiled: bool, cancel: &CancelToken| EvalOptions {
+            compiled,
+            ..opts(1, true, cancel)
+        };
+
+        let quiet = CancelToken::new();
+        let (reference, int_stats) = Evaluator::with_options(mk(false, &quiet))
+            .evaluate_stats(&program, &edb)
+            .unwrap();
+        let (compiled_ref, cmp_stats) = Evaluator::with_options(mk(true, &quiet))
+            .evaluate_stats(&program, &edb)
+            .unwrap();
+        assert_eq!(
+            int_stats.attempts, cmp_stats.attempts,
+            "compiled execution changed the attempt accounting"
+        );
+        assert_eq!(
+            insertion_orders(&reference),
+            insertion_orders(&compiled_ref),
+            "clean compiled run diverged"
+        );
+
+        let total = int_stats.attempts.max(1);
+        for _ in 0..3 {
+            let n = rng.range(0, total as i64) as u64;
+            // Same-executor retry, both executors.
+            for compiled in [true, false] {
+                let ev = Evaluator::with_options(mk(compiled, &CancelToken::new()));
+                let retried = trip_then_retry(&ev, &program, &edb, n);
+                assert_eq!(
+                    insertion_orders(&retried),
+                    insertion_orders(&reference),
+                    "compiled={compiled} trip={n}"
+                );
+            }
+            // Cross-executor retry: abort under one executor, retry under
+            // the other — an abort may not leak state that skews either.
+            for (abort_compiled, retry_compiled) in [(true, false), (false, true)] {
+                let cancel = CancelToken::new();
+                cancel.trip_after(n);
+                match Evaluator::with_options(mk(abort_compiled, &cancel)).evaluate(&program, &edb)
+                {
+                    Ok(db) => assert_eq!(insertion_orders(&db), insertion_orders(&reference)),
+                    Err(e) => assert_interrupt(&e),
+                }
+                cancel.reset();
+                let retried = Evaluator::with_options(mk(retry_compiled, &cancel))
+                    .evaluate(&program, &edb)
+                    .expect("cross-executor retry must succeed");
+                assert_eq!(
+                    insertion_orders(&retried),
+                    insertion_orders(&reference),
+                    "abort compiled={abort_compiled}, retry compiled={retry_compiled}, trip={n}"
+                );
+            }
+        }
+    });
+}
+
+/// Compiled-mode incremental aborts: run the same mutation history through
+/// a compiled and an interpreted system, tripping both at the *same* fuel
+/// count per chunk. Because compiled maintenance charges attempts at the
+/// interpreter's exact points, the two must agree on *whether* each commit
+/// aborts — not just on the final model — and an aborted commit must roll
+/// back to the identical (bit-for-bit) state in both.
+#[test]
+fn compiled_incremental_abort_rolls_back_like_interpreter() {
+    fn commit_chunk(
+        sys: &mut System,
+        chunk: &[(&'static str, Vec<GenConst>)],
+    ) -> Result<(), ldl1::Error> {
+        let mut b = sys.mutate();
+        for (pred, args) in chunk {
+            b.assert(pred, args.iter().map(value_of).collect());
+        }
+        b.commit()
+    }
+
+    cases_shrink(16, 8, |rng: &mut Rng, size: u32| {
+        let case = stratified_case(rng, size);
+        if case.edb.len() < 4 {
+            return;
+        }
+        let split = case.edb.len() / 2;
+        let mk = |compiled: bool| {
+            let cancel = CancelToken::new();
+            let mut sys = System::with_options(EvalOptions {
+                compiled,
+                ..EvalOptions::default()
+            });
+            sys.set_budget(Budget::unlimited().with_cancel(cancel.clone()));
+            sys.load(&case.src).unwrap();
+            for (pred, args) in &case.edb[..split] {
+                sys.insert(pred, args.iter().map(value_of).collect());
+            }
+            sys.model_facts().unwrap(); // cache a model: commits go incremental
+            (sys, cancel)
+        };
+        let (mut compiled, cmp_cancel) = mk(true);
+        let (mut interp, int_cancel) = mk(false);
+
+        for chunk in case.edb[split..].chunks(3) {
+            let fuel = rng.range(0, 50) as u64;
+            let mut aborted = [false, false];
+            for (slot, (sys, cancel)) in [(&mut compiled, &cmp_cancel), (&mut interp, &int_cancel)]
+                .into_iter()
+                .enumerate()
+            {
+                cancel.trip_after(fuel);
+                match commit_chunk(sys, chunk) {
+                    Ok(()) => {}
+                    Err(ldl1::Error::Eval(e)) => {
+                        assert_interrupt(&e);
+                        aborted[slot] = true;
+                    }
+                    Err(other) => panic!("unexpected commit error: {other}"),
+                }
+                cancel.reset();
+                if aborted[slot] {
+                    commit_chunk(sys, chunk).unwrap();
+                }
+            }
+            assert_eq!(
+                aborted[0], aborted[1],
+                "executors disagreed on whether fuel={fuel} trips this commit"
+            );
+            assert_eq!(
+                insertion_orders(compiled.model().unwrap()),
+                insertion_orders(interp.model().unwrap()),
+                "states diverged after fuel={fuel} commit"
+            );
+        }
+    });
+}
+
 /// The incremental path: a batch commit aborted mid-maintenance rolls the
 /// EDB back, and re-committing the same facts converges to the same model a
 /// never-aborted incremental run (and a from-scratch run) produces.

@@ -1,4 +1,4 @@
-//! The differential test oracle: six independent evaluation modes must
+//! The differential test oracle: seven independent evaluation modes must
 //! compute the *same* model on random stratified programs.
 //!
 //! The modes cross-check each other's weak spots — naive iteration is the
@@ -9,9 +9,14 @@
 //! planner configuration re-runs the join scheduling without relation
 //! statistics — on skewed EDBs (see [`ldl_testkit::gen`]) the cost-based
 //! planner picks genuinely different join orders, and this oracle is the
-//! proof they derive the same model. A bug in any one of those layers shows
-//! up as a divergence here, and the [`ldl_testkit::cases_shrink`] driver
-//! reports the minimal failing program/EDB size for the offending seed.
+//! proof they derive the same model. The seventh arm pins the compiled
+//! executor: every mode re-run through the lowered register programs
+//! ([`EvalOptions::compiled`]) must reproduce the interpreter bit-for-bit —
+//! same facts, same insertion orders, and at parallelism 1 the same
+//! derivation-attempt / index-probe / existential-cut counts. A bug in any
+//! one of those layers shows up as a divergence here, and the
+//! [`ldl_testkit::cases_shrink`] driver reports the minimal failing
+//! program/EDB size for the offending seed.
 //!
 //! Beyond set equality, the two parallel configurations must agree on every
 //! relation's *tuple insertion order*: the parallel evaluator's claim is
@@ -261,6 +266,199 @@ fn naive_parallel_agrees_too() {
         let par = evaluate(&case, false, 4);
         assert_eq!(seq.to_fact_set(), par.to_fact_set());
         assert_eq!(insertion_orders(&seq), insertion_orders(&par));
+    });
+}
+
+/// Evaluate one mode with the compiled flag pinned explicitly (rather than
+/// inherited from `LDL1_COMPILED`), returning the work counters too.
+fn evaluate_pinned(
+    case: &GeneratedCase,
+    semi_naive: bool,
+    parallelism: usize,
+    compiled: bool,
+) -> (Database, ldl1::EvalStats) {
+    let program = ldl1::parser::parse_program(&case.src).unwrap();
+    let opts = EvalOptions {
+        semi_naive,
+        parallelism,
+        compiled,
+        ..EvalOptions::default()
+    };
+    Evaluator::with_options(opts)
+        .evaluate_stats(&program, &edb_of(case))
+        .unwrap()
+}
+
+/// [`incremental_model`] with the compiled flag pinned.
+fn incremental_model_pinned(case: &GeneratedCase, compiled: bool) -> FactSet {
+    let mut sys = System::with_options(EvalOptions {
+        compiled,
+        ..EvalOptions::default()
+    });
+    sys.load(&case.src).unwrap();
+    let split = case.edb.len() / 2;
+    for (pred, args) in &case.edb[..split] {
+        sys.insert(pred, args.iter().map(value_of).collect());
+    }
+    sys.model_facts().unwrap();
+    for chunk in case.edb[split..].chunks(3) {
+        let mut b = sys.mutate();
+        for (pred, args) in chunk {
+            b.assert(pred, args.iter().map(value_of).collect());
+        }
+        b.commit().unwrap();
+    }
+    sys.model_facts().unwrap()
+}
+
+/// The seventh arm: compiled execution ≡ interpretation, across naive,
+/// semi-naive, parallel(1), parallel(4), and incremental maintenance, over
+/// 208 random stratified programs. "≡" is the strong claim — identical
+/// fact sets, identical per-relation tuple insertion orders, and (at
+/// parallelism 1, where they are deterministic) identical `attempts`,
+/// `index_probes`, and `exist_cuts` counters. The counter equalities are
+/// what let compiled mode share the interpreter's fuel accounting: a budget
+/// trips at the same derivation in either executor (see
+/// `tests/abort_retry.rs`).
+#[test]
+fn compiled_execution_matches_interpreter() {
+    cases_shrink(208, 12, |rng: &mut Rng, size: u32| {
+        let case = stratified_case(rng, size);
+
+        let (int_semi, int_stats) = evaluate_pinned(&case, true, 1, false);
+        let (cmp_semi, cmp_stats) = evaluate_pinned(&case, true, 1, true);
+        assert_eq!(
+            int_semi.to_fact_set(),
+            cmp_semi.to_fact_set(),
+            "compiled vs interpreted semi-naive"
+        );
+        assert_eq!(
+            insertion_orders(&int_semi),
+            insertion_orders(&cmp_semi),
+            "compiled semi-naive permuted tuple insertion order"
+        );
+        assert_eq!(
+            (
+                int_stats.attempts,
+                int_stats.index_probes,
+                int_stats.exist_cuts
+            ),
+            (
+                cmp_stats.attempts,
+                cmp_stats.index_probes,
+                cmp_stats.exist_cuts
+            ),
+            "compiled execution changed the work counters"
+        );
+        assert_eq!(
+            int_stats.compiled_rounds, 0,
+            "interpreter counted compiled rounds"
+        );
+        assert_eq!(int_stats.lowerings, 0, "interpreter lowered plans");
+        if !case.src.is_empty() {
+            assert!(cmp_stats.compiled_rounds > 0, "compiled run never compiled");
+        }
+
+        let (int_naive, _) = evaluate_pinned(&case, false, 1, false);
+        let (cmp_naive, _) = evaluate_pinned(&case, false, 1, true);
+        assert_eq!(
+            insertion_orders(&int_naive),
+            insertion_orders(&cmp_naive),
+            "compiled vs interpreted naive"
+        );
+
+        let (cmp_par4, _) = evaluate_pinned(&case, true, 4, true);
+        assert_eq!(
+            insertion_orders(&int_semi),
+            insertion_orders(&cmp_par4),
+            "compiled parallel(4) diverged from sequential interpretation"
+        );
+
+        assert_eq!(
+            incremental_model_pinned(&case, false),
+            incremental_model_pinned(&case, true),
+            "compiled vs interpreted incremental maintenance"
+        );
+    });
+}
+
+/// A differential system with the compiled flag pinned and a cached model,
+/// so every commit runs maintenance through the chosen executor.
+fn differential_system_pinned(case: &GeneratedCase, parallelism: usize, compiled: bool) -> System {
+    let mut sys = System::with_options(EvalOptions {
+        parallelism,
+        compiled,
+        ..EvalOptions::default()
+    });
+    sys.load(&case.src).unwrap();
+    for (pred, args) in &case.edb {
+        sys.insert(pred, args.iter().map(value_of).collect());
+    }
+    sys.model_facts().unwrap();
+    sys
+}
+
+/// The mutation-interleaving compiled arm: random assert/retract/update
+/// batches maintained by the compiled executor (sequentially and at
+/// parallelism 4) must land on exactly the state the interpreter maintains
+/// — counting decrements, DRed overdelete/rederive, and replay all run
+/// their rule passes through the register programs, and none of it may
+/// move a tuple.
+#[test]
+fn compiled_mutation_maintenance_matches_interpreter() {
+    cases_shrink(96, 10, |rng: &mut Rng, size: u32| {
+        let case = stratified_case(rng, size);
+        let batches = 1 + rng.index(4);
+        let (muts, survivors) = mutation_sequence(rng, &case, batches);
+
+        let mut interp = differential_system_pinned(&case, 1, false);
+        let mut compiled = differential_system_pinned(&case, 1, true);
+        let mut compiled_par = differential_system_pinned(&case, 4, true);
+        for batch in &muts {
+            apply_gen_batch(&mut interp, batch);
+            apply_gen_batch(&mut compiled, batch);
+            apply_gen_batch(&mut compiled_par, batch);
+        }
+
+        let surviving = GeneratedCase {
+            edb: survivors,
+            ..case.clone()
+        };
+        let (oracle, _) = evaluate_pinned(&surviving, true, 1, true);
+        assert_eq!(
+            compiled.model_facts().unwrap(),
+            oracle.to_fact_set(),
+            "compiled maintenance diverged from one-shot recompute after {muts:?}"
+        );
+        assert_eq!(
+            insertion_orders(interp.model().unwrap()),
+            insertion_orders(compiled.model().unwrap()),
+            "compiled maintenance permuted tuple insertion order"
+        );
+        assert_eq!(
+            insertion_orders(compiled.model().unwrap()),
+            insertion_orders(compiled_par.model().unwrap()),
+            "compiled parallel(4) maintenance permuted tuple insertion order"
+        );
+    });
+}
+
+/// The magic leg of the compiled arm: the §6 pipeline's staged evaluation
+/// (base fixpoints plus guarded grouping/negation rules) runs through the
+/// register programs too, and its answers must match the interpreter's.
+#[test]
+fn compiled_magic_queries_agree() {
+    cases_shrink(48, 8, |rng: &mut Rng, size: u32| {
+        let case = stratified_case(rng, size);
+        let answers = |compiled: bool| -> std::collections::BTreeSet<String> {
+            let sys = differential_system_pinned(&case, 1, compiled);
+            sys.query_magic(&format!("{}(X, Y)", case.top))
+                .unwrap()
+                .iter()
+                .map(|a| format!("{a:?}"))
+                .collect()
+        };
+        assert_eq!(answers(false), answers(true), "compiled magic diverged");
     });
 }
 

@@ -5,6 +5,17 @@ use std::time::Duration;
 
 use ldl1::eval::EvalError;
 use ldl1::{Budget, Database, EvalOptions, Evaluator, Fact, ResourceKind, System, Value};
+use ldl_testkit::compiled_matrix;
+
+/// A system with the compiled flag pinned explicitly — the budget/abort
+/// tests below run once per executor ([`compiled_matrix`]), since resource
+/// governance must trip and roll back identically under both.
+fn sys_with(compiled: bool) -> System {
+    System::with_options(EvalOptions {
+        compiled,
+        ..EvalOptions::default()
+    })
+}
 
 /// The canonical diverging program: its minimal model is infinite (n holds
 /// for z, s(z), s(s(z)), ... — §2.2's omega-closure universe), so bottom-up
@@ -242,45 +253,51 @@ fn update_after_query_recomputes() {
 #[test]
 fn diverging_program_aborts_under_each_cap() {
     // Every cap must stop the infinite fixpoint, sequentially and with a
-    // worker pool, and the diagnostic must name the tripped resource.
-    for jobs in [1, 4] {
-        for (budget, want) in [
-            (Budget::unlimited().with_fuel(10_000), ResourceKind::Fuel),
-            (
-                Budget::unlimited().with_deadline(Duration::from_millis(100)),
-                ResourceKind::Time,
-            ),
-            (
-                Budget::unlimited().with_max_facts(5_000),
-                ResourceKind::Facts,
-            ),
-            // The interner is process-global and already holds values from
-            // other tests, so a cap of 1 is exceeded on the first check.
-            (
-                Budget::unlimited().with_max_interned(1),
-                ResourceKind::Interner,
-            ),
-        ] {
-            let mut sys = System::new();
-            sys.set_parallelism(jobs);
-            sys.load(DIVERGING).unwrap();
-            sys.set_budget(budget);
-            expect_abort(sys.model().map(|_| ()).unwrap_err(), want);
+    // worker pool, under either executor, and the diagnostic must name the
+    // tripped resource.
+    for compiled in compiled_matrix() {
+        for jobs in [1, 4] {
+            for (budget, want) in [
+                (Budget::unlimited().with_fuel(10_000), ResourceKind::Fuel),
+                (
+                    Budget::unlimited().with_deadline(Duration::from_millis(100)),
+                    ResourceKind::Time,
+                ),
+                (
+                    Budget::unlimited().with_max_facts(5_000),
+                    ResourceKind::Facts,
+                ),
+                // The interner is process-global and already holds values
+                // from other tests, so a cap of 1 is exceeded on the first
+                // check.
+                (
+                    Budget::unlimited().with_max_interned(1),
+                    ResourceKind::Interner,
+                ),
+            ] {
+                let mut sys = sys_with(compiled);
+                sys.set_parallelism(jobs);
+                sys.load(DIVERGING).unwrap();
+                sys.set_budget(budget);
+                expect_abort(sys.model().map(|_| ()).unwrap_err(), want);
+            }
         }
     }
 }
 
 #[test]
 fn cancelled_token_aborts_immediately_and_reset_recovers() {
-    let mut sys = System::new();
-    sys.load("p(X) <- e(X). e(1).").unwrap();
-    let handle = sys.interrupt_handle();
-    sys.set_budget(Budget::unlimited().with_cancel(handle.clone()));
-    handle.cancel();
-    expect_interrupt(sys.facts("p").map(|_| ()).unwrap_err());
-    // reset() re-arms the same system; the query then succeeds normally.
-    handle.reset();
-    assert_eq!(sys.facts("p").unwrap().len(), 1);
+    for compiled in compiled_matrix() {
+        let mut sys = sys_with(compiled);
+        sys.load("p(X) <- e(X). e(1).").unwrap();
+        let handle = sys.interrupt_handle();
+        sys.set_budget(Budget::unlimited().with_cancel(handle.clone()));
+        handle.cancel();
+        expect_interrupt(sys.facts("p").map(|_| ()).unwrap_err());
+        // reset() re-arms the same system; the query then succeeds normally.
+        handle.reset();
+        assert_eq!(sys.facts("p").unwrap().len(), 1);
+    }
 }
 
 /// Like [`expect_abort`] but for external cancellation, where the stratum
@@ -303,48 +320,56 @@ fn aborted_commit_rolls_back_and_retry_matches_clean_run() {
     let rules = "r(X, Y) <- e(X, Y).\n\
                  r(X, Y) <- e(X, Z), r(Z, Y).\n\
                  reach(X, <Y>) <- r(X, Y).";
-    let mut sys = System::new();
-    sys.load(rules).unwrap();
-    for i in 0..20 {
-        sys.insert("e", vec![Value::int(i), Value::int(i + 1)]);
-    }
-    // Materialise the model so the next commit takes the incremental path.
-    let before = sys.model().unwrap().dump();
-
-    // A commit whose maintenance work exceeds the fuel budget aborts...
-    sys.set_budget(Budget::unlimited().with_fuel(10));
-    let mut batch = sys.mutate();
-    for i in 20..40 {
-        batch.assert("e", vec![Value::int(i), Value::int(i + 1)]);
-    }
-    let err = batch.commit().map(|_| ()).unwrap_err();
-    match &err {
-        ldl1::Error::Eval(EvalError::ResourceExhausted { resource, .. }) => {
-            assert_eq!(*resource, ResourceKind::Fuel, "{err}");
+    for compiled in compiled_matrix() {
+        let mut sys = sys_with(compiled);
+        sys.load(rules).unwrap();
+        for i in 0..20 {
+            sys.insert("e", vec![Value::int(i), Value::int(i + 1)]);
         }
-        other => panic!("expected fuel abort, got {other:?}"),
-    }
+        // Materialise the model so the next commit takes the incremental
+        // path.
+        let before = sys.model().unwrap().dump();
 
-    // ...and the EDB is rolled back: the model is byte-identical to the
-    // pre-commit state once the budget allows recomputation.
-    sys.set_budget(Budget::unlimited());
-    assert_eq!(sys.model().unwrap().dump(), before);
+        // A commit whose maintenance work exceeds the fuel budget aborts...
+        sys.set_budget(Budget::unlimited().with_fuel(10));
+        let mut batch = sys.mutate();
+        for i in 20..40 {
+            batch.assert("e", vec![Value::int(i), Value::int(i + 1)]);
+        }
+        let err = batch.commit().map(|_| ()).unwrap_err();
+        match &err {
+            ldl1::Error::Eval(EvalError::ResourceExhausted { resource, .. }) => {
+                assert_eq!(*resource, ResourceKind::Fuel, "{err}");
+            }
+            other => panic!("expected fuel abort, got {other:?}"),
+        }
 
-    // Retrying the same batch under a sufficient budget now succeeds, and
-    // the result is bit-identical to a clean system that never aborted.
-    let mut batch = sys.mutate();
-    for i in 20..40 {
-        batch.assert("e", vec![Value::int(i), Value::int(i + 1)]);
-    }
-    batch.commit().unwrap();
-    let retried = sys.model().unwrap().dump();
+        // ...and the EDB is rolled back: the model is byte-identical to the
+        // pre-commit state once the budget allows recomputation.
+        sys.set_budget(Budget::unlimited());
+        assert_eq!(sys.model().unwrap().dump(), before);
 
-    let mut clean = System::new();
-    clean.load(rules).unwrap();
-    for i in 0..40 {
-        clean.insert("e", vec![Value::int(i), Value::int(i + 1)]);
+        // Retrying the same batch under a sufficient budget now succeeds,
+        // and the result is bit-identical to a clean system that never
+        // aborted.
+        let mut batch = sys.mutate();
+        for i in 20..40 {
+            batch.assert("e", vec![Value::int(i), Value::int(i + 1)]);
+        }
+        batch.commit().unwrap();
+        let retried = sys.model().unwrap().dump();
+
+        let mut clean = sys_with(compiled);
+        clean.load(rules).unwrap();
+        for i in 0..40 {
+            clean.insert("e", vec![Value::int(i), Value::int(i + 1)]);
+        }
+        assert_eq!(
+            retried,
+            clean.model().unwrap().dump(),
+            "compiled={compiled}"
+        );
     }
-    assert_eq!(retried, clean.model().unwrap().dump());
 }
 
 #[test]
@@ -354,27 +379,32 @@ fn abort_during_grouping_never_leaks_partial_sets() {
     let rules = "r(X, Y) <- e(X, Y).\n\
                  r(X, Y) <- e(X, Z), r(Z, Y).\n\
                  reach(X, <Y>) <- r(X, Y).";
-    let mut aborted = 0;
-    for fuel in [1, 10, 100, 1000] {
-        let mut sys = System::new();
-        sys.load(rules).unwrap();
-        for i in 0..30 {
-            sys.insert("e", vec![Value::int(i), Value::int(i + 1)]);
+    for compiled in compiled_matrix() {
+        let mut aborted = 0;
+        for fuel in [1, 10, 100, 1000] {
+            let mut sys = sys_with(compiled);
+            sys.load(rules).unwrap();
+            for i in 0..30 {
+                sys.insert("e", vec![Value::int(i), Value::int(i + 1)]);
+            }
+            sys.set_budget(Budget::unlimited().with_fuel(fuel));
+            if sys.model().is_err() {
+                aborted += 1;
+            }
+            sys.set_budget(Budget::unlimited());
+            let reach = sys.facts("reach").unwrap();
+            // Node 0 reaches exactly nodes 1..=30.
+            let full = reach
+                .iter()
+                .find(|f| f.args()[0] == Value::int(0))
+                .expect("reach(0, S) exists after retry");
+            assert_eq!(full.args()[1].as_set().unwrap().len(), 30, "fuel={fuel}");
         }
-        sys.set_budget(Budget::unlimited().with_fuel(fuel));
-        if sys.model().is_err() {
-            aborted += 1;
-        }
-        sys.set_budget(Budget::unlimited());
-        let reach = sys.facts("reach").unwrap();
-        // Node 0 reaches exactly nodes 1..=30.
-        let full = reach
-            .iter()
-            .find(|f| f.args()[0] == Value::int(0))
-            .expect("reach(0, S) exists after retry");
-        assert_eq!(full.args()[1].as_set().unwrap().len(), 30, "fuel={fuel}");
+        assert!(
+            aborted >= 2,
+            "too few fuel levels aborted ({aborted}) compiled={compiled}"
+        );
     }
-    assert!(aborted >= 2, "too few fuel levels aborted ({aborted})");
 }
 
 #[test]
@@ -412,31 +442,33 @@ fn abort_during_negation_stratum_is_transactional() {
     // Find a fuel level that aborts *past* stratum 0 by scanning upward;
     // the exact threshold depends on join order, the property under test
     // does not.
-    let mut aborted_in_negation = false;
-    for fuel in (50..2000).step_by(50) {
-        let mut sys = System::new();
-        build(&mut sys);
-        sys.set_budget(Budget::unlimited().with_fuel(fuel));
-        match sys.model().map(|db| db.dump()) {
-            Err(ldl1::Error::Eval(EvalError::ResourceExhausted { stratum, .. })) => {
-                if stratum > 0 {
-                    aborted_in_negation = true;
-                    // Retry under no budget must equal a clean run.
-                    sys.set_budget(Budget::unlimited());
-                    let retried = sys.model().unwrap().dump();
-                    let mut clean = System::new();
-                    build(&mut clean);
-                    assert_eq!(retried, clean.model().unwrap().dump());
+    for compiled in compiled_matrix() {
+        let mut aborted_in_negation = false;
+        for fuel in (50..2000).step_by(50) {
+            let mut sys = sys_with(compiled);
+            build(&mut sys);
+            sys.set_budget(Budget::unlimited().with_fuel(fuel));
+            match sys.model().map(|db| db.dump()) {
+                Err(ldl1::Error::Eval(EvalError::ResourceExhausted { stratum, .. })) => {
+                    if stratum > 0 {
+                        aborted_in_negation = true;
+                        // Retry under no budget must equal a clean run.
+                        sys.set_budget(Budget::unlimited());
+                        let retried = sys.model().unwrap().dump();
+                        let mut clean = sys_with(compiled);
+                        build(&mut clean);
+                        assert_eq!(retried, clean.model().unwrap().dump());
+                    }
                 }
+                Err(other) => panic!("unexpected error: {other:?}"),
+                Ok(_) => break, // fuel now covers the whole evaluation
             }
-            Err(other) => panic!("unexpected error: {other:?}"),
-            Ok(_) => break, // fuel now covers the whole evaluation
         }
+        assert!(
+            aborted_in_negation,
+            "no fuel level hit the negation stratum (compiled={compiled}); tighten the scan"
+        );
     }
-    assert!(
-        aborted_in_negation,
-        "no fuel level hit the negation stratum; tighten the scan"
-    );
 }
 
 #[test]
@@ -446,16 +478,18 @@ fn magic_query_aborts_under_fuel_too() {
     // magic rewrite reads EDB facts through the original predicate name,
     // and the query is all-free so the rewrite degenerates to the full
     // (infinite) bottom-up evaluation.
-    let mut sys = System::new();
-    sys.load("n(X) <- base(X).\nn(s(X)) <- n(X).\nbase(z).")
-        .unwrap();
-    sys.set_budget(Budget::unlimited().with_fuel(5_000));
-    let err = sys.query_magic("n(X)").map(|_| ()).unwrap_err();
-    match &err {
-        ldl1::Error::Eval(EvalError::ResourceExhausted { resource, .. }) => {
-            assert_eq!(*resource, ResourceKind::Fuel, "{err}");
+    for compiled in compiled_matrix() {
+        let mut sys = sys_with(compiled);
+        sys.load("n(X) <- base(X).\nn(s(X)) <- n(X).\nbase(z).")
+            .unwrap();
+        sys.set_budget(Budget::unlimited().with_fuel(5_000));
+        let err = sys.query_magic("n(X)").map(|_| ()).unwrap_err();
+        match &err {
+            ldl1::Error::Eval(EvalError::ResourceExhausted { resource, .. }) => {
+                assert_eq!(*resource, ResourceKind::Fuel, "{err}");
+            }
+            other => panic!("expected fuel abort from magic query, got {other:?}"),
         }
-        other => panic!("expected fuel abort from magic query, got {other:?}"),
     }
 }
 
