@@ -1,6 +1,8 @@
 //! P12 — parallel stratum evaluation: the same workload at 1/2/4/8 workers.
 //!
-//! Two workloads with different parallelism profiles:
+//! Four workloads with different parallelism profiles (the last two are the
+//! P18 hash-partitioning profiles; see `benches/partition_join.rs` for the
+//! partitioned-vs-sliced comparison itself):
 //!
 //! * **ancestor, 10k edges** (1,000 chains × 10 links): the semi-naive delta
 //!   stays wide for all ten rounds — thousands of tuples per round — so the
@@ -23,7 +25,7 @@
 //! 1-iteration configuration for CI.
 
 use ldl1::{Database, EvalOptions, Value};
-use ldl_bench::{bom, eval_with, opts, ANCESTOR, BOM};
+use ldl_bench::{bom, eval_with, opts, random_graph, skewed_graph, ANCESTOR, BOM};
 use ldl_testkit::{bench, Sample};
 
 const JOBS: [usize; 4] = [1, 2, 4, 8];
@@ -92,4 +94,21 @@ fn main() {
 
     let bom_db = bom(depth, 2);
     sweep("bom", BOM, &bom_db, iters);
+
+    // P18 profiles. `giant_rule_tc` is one recursive rule over a dense
+    // random graph: every round is a single huge rule pass, so worker
+    // utilisation depends entirely on how that one pass is split — the
+    // hash-partitioned path's best case. `skewed_key_tc` routes half of
+    // every delta through one hub key, the partitioned path's worst case:
+    // one shard inherits most of the work while the rest idle.
+    let (gn, ge, sn, se) = if smoke {
+        (20, 60, 20, 60)
+    } else {
+        (120, 720, 120, 720)
+    };
+    let giant_db = random_graph(gn, ge, 7);
+    sweep("giant_rule_tc", ANCESTOR, &giant_db, iters);
+
+    let skew_db = skewed_graph(sn, se, 11);
+    sweep("skewed_key_tc", ANCESTOR, &skew_db, iters);
 }

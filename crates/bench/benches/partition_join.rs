@@ -1,0 +1,220 @@
+//! P18 — hash-partitioned joins vs delta-slice parallelism.
+//!
+//! One single-giant-rule kernel and one skewed-key kernel, each run at 8
+//! workers twice through the public evaluator — once with `partitioned:
+//! false` (contiguous delta slices, the only parallel axis before P18) and
+//! once with `partitioned: true` (shards own a hash range of the join key,
+//! probe a shard-local sub-index, and pre-dedup their output before the
+//! sequential merge):
+//!
+//! * **giant_tc** — transitive closure over a dense 140-node random graph
+//!   ([`ldl_bench::random_graph`]). Every round is one huge recursive rule
+//!   pass and most derivations are re-derivations of facts already in the
+//!   model, which is exactly the duplicate traffic the shard-local
+//!   pre-dedup intercepts before the merge thread sees it.
+//! * **skewed_tc** — the same closure over a hub graph
+//!   ([`ldl_bench::skewed_graph`]) where half of every delta routes through
+//!   one key. The partitioned path's worst case: one shard inherits most of
+//!   the probe work. The pre-dedup still prunes merge traffic, but wall
+//!   time shows how partitioning degrades under skew.
+//!
+//! Models and deterministic work counters are bit-identical between the two
+//! modes (the differential oracle's eighth arm pins this), so alongside
+//! wall time the bench reports a machine-independent effect metric:
+//! **merge candidates** — tuples the sequential merge thread must
+//! hash-and-test, `facts_derived + dedup_inserts − partition_prefiltered`.
+//! Delta slices forward every derived tuple to the merge; partitioned
+//! shards drop snapshot hits and within-shard repeats at the worker. The
+//! P18 acceptance bar is a ≥ 1.7× merge-candidate reduction on the
+//! single-giant-rule kernel at 8 workers (wall-clock speedup scales with
+//! the machine — on a single-core container the threads time-slice one CPU
+//! and wall ratios hover near 1.0×; see EXPERIMENTS.md P18).
+//!
+//! Results go to `BENCH_partition_join.json` at the workspace root. If
+//! `BENCH_partition_join.baseline.json` exists, each kernel also reports
+//! its speedup over that saved run.
+//!
+//! `cargo bench -p ldl-bench --bench partition_join -- smoke` runs a tiny
+//! 1-iteration configuration for CI and skips the JSON file.
+
+use ldl1::{Database, EvalOptions, EvalStats};
+use ldl_bench::{eval_with, random_graph, skewed_graph, ANCESTOR};
+use ldl_testkit::{bench, Sample};
+
+const JOBS: usize = 8;
+
+fn part_opts(partitioned: bool) -> EvalOptions {
+    EvalOptions {
+        check_wf: false,
+        parallelism: JOBS,
+        partitioned,
+        ..EvalOptions::default()
+    }
+}
+
+/// Tuples the sequential merge thread must hash-and-test: everything the
+/// workers forwarded. Identical to `facts_derived + dedup_inserts` for the
+/// sliced mode (it prefilters nothing); partitioned shards subtract what
+/// their pre-dedup dropped at the worker.
+fn merge_candidates(stats: &EvalStats) -> u64 {
+    stats.facts_derived + stats.dedup_inserts - stats.partition_prefiltered
+}
+
+fn stats_of(src: &str, db: &Database, partitioned: bool) -> EvalStats {
+    let program = ldl1::parser::parse_program(src).expect("benchmark program parses");
+    let (_, stats) = ldl1::Evaluator::with_options(part_opts(partitioned))
+        .evaluate_stats(&program, db)
+        .expect("benchmark program evaluates");
+    stats
+}
+
+fn kernel(label: &'static str, db: &Database, iters: usize) -> Vec<(&'static str, Sample)> {
+    // The models must be identical; the oracle pins the stronger claim
+    // (insertion orders and counters) — this is the bench's own rot check.
+    let sliced_model = eval_with(ANCESTOR, db, part_opts(false)).to_fact_set();
+    let parted_model = eval_with(ANCESTOR, db, part_opts(true)).to_fact_set();
+    assert_eq!(
+        sliced_model, parted_model,
+        "{label}: partitioning changed the model"
+    );
+
+    [false, true]
+        .into_iter()
+        .map(|partitioned| {
+            let name = kernel_name(label, partitioned);
+            let s = bench("P18_partition_join", name, iters, || {
+                eval_with(ANCESTOR, db, part_opts(partitioned));
+            });
+            (name, s)
+        })
+        .collect()
+}
+
+fn kernel_name(base: &str, partitioned: bool) -> &'static str {
+    match (base, partitioned) {
+        ("giant_tc", false) => "giant_tc_sliced_j8",
+        ("giant_tc", true) => "giant_tc_partitioned_j8",
+        ("skewed_tc", false) => "skewed_tc_sliced_j8",
+        _ => "skewed_tc_partitioned_j8",
+    }
+}
+
+/// Pull `"key": <number>` out of one flat JSON object chunk.
+fn json_number(chunk: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = chunk.find(&pat)? + pat.len();
+    let rest = chunk[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Per-kernel medians from a previous run's JSON, by kernel name.
+fn read_baseline(path: &str) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for chunk in text.split('{').skip(1) {
+        let name = chunk
+            .find("\"name\":")
+            .and_then(|i| {
+                chunk[i + 7..]
+                    .trim_start()
+                    .strip_prefix('"')
+                    .map(String::from)
+            })
+            .and_then(|s| s.split('"').next().map(String::from));
+        if let (Some(name), Some(median)) = (name, json_number(chunk, "median_ms")) {
+            out.push((name, median));
+        }
+    }
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "smoke" || a == "--smoke");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+
+    let (n, e, iters) = if smoke { (24, 96, 1) } else { (140, 980, 9) };
+    let giant_db = random_graph(n, e, 7);
+    let skew_db = skewed_graph(n, e, 11);
+
+    let mut results: Vec<(&str, Sample)> = Vec::new();
+    results.extend(kernel("giant_tc", &giant_db, iters));
+    results.extend(kernel("skewed_tc", &skew_db, iters));
+    if smoke {
+        // Rot check only — but still require the partitioned path to have
+        // actually engaged (a silently-disabled partitioner would otherwise
+        // keep this bench green forever).
+        let s = stats_of(ANCESTOR, &giant_db, true);
+        assert!(s.partitioned_passes > 0, "partitioning never engaged");
+        return; // no JSON, no baseline comparison
+    }
+
+    let median = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s.median_ms())
+            .unwrap()
+    };
+
+    let baseline = read_baseline(&format!("{root}/BENCH_partition_join.baseline.json"));
+    let mut json = String::from("{\n  \"bench\": \"partition_join\",\n  \"kernels\": [\n");
+    for (i, (name, s)) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"median_ms\": {:.4}, \"min_ms\": {:.4}, \"iters\": {}",
+            s.median_ms(),
+            s.min.as_secs_f64() * 1e3,
+            s.iters
+        ));
+        if let Some((_, base)) = baseline.iter().find(|(n, _)| n == name) {
+            let speedup = base / s.median_ms().max(1e-9);
+            json.push_str(&format!(
+                ", \"baseline_median_ms\": {base:.4}, \"speedup\": {speedup:.2}"
+            ));
+            println!("P18_partition_join/{name}_speedup: {speedup:.2}x");
+        }
+        json.push_str(if i + 1 < results.len() { "},\n" } else { "}\n" });
+    }
+
+    json.push_str("  ],\n  \"partitioned_vs_sliced\": [\n");
+    let sections = [("giant_tc", &giant_db), ("skewed_tc", &skew_db)];
+    for (i, (label, db)) in sections.iter().enumerate() {
+        let sliced = stats_of(ANCESTOR, db, false);
+        let parted = stats_of(ANCESTOR, db, true);
+        assert!(
+            parted.partitioned_passes > 0,
+            "{label}: partitioning never engaged"
+        );
+        let (sc, pc) = (merge_candidates(&sliced), merge_candidates(&parted));
+        let reduction = sc as f64 / (pc as f64).max(1.0);
+        let (sm, pm) = (
+            median(kernel_name(label, false)),
+            median(kernel_name(label, true)),
+        );
+        let wall = sm / pm.max(1e-9);
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{label}\", \"jobs\": {JOBS}, \
+             \"sliced_ms\": {sm:.4}, \"partitioned_ms\": {pm:.4}, \
+             \"wall_speedup\": {wall:.2}, \
+             \"sliced_merge_candidates\": {sc}, \
+             \"partitioned_merge_candidates\": {pc}, \
+             \"merge_candidate_reduction\": {reduction:.2}, \
+             \"partitioned_passes\": {}, \"shard_probes\": {}, \
+             \"prefiltered\": {}}}{}\n",
+            parted.partitioned_passes,
+            parted.shard_probes,
+            parted.partition_prefiltered,
+            if i + 1 < sections.len() { "," } else { "" }
+        ));
+        println!("P18_partition_join/{label}_merge_candidate_reduction_j8: {reduction:.2}x");
+        println!("P18_partition_join/{label}_wall_speedup_j8: {wall:.2}x");
+    }
+    json.push_str("  ]\n}\n");
+    let out = format!("{root}/BENCH_partition_join.json");
+    std::fs::write(&out, json).expect("write BENCH_partition_join.json");
+    println!("wrote {out}");
+}

@@ -136,6 +136,26 @@ pub fn random_graph(n: i64, e: usize, seed: u64) -> Database {
     db
 }
 
+/// A seeded random `par` graph with a *hub*: half the edges emanate from
+/// node 0, the rest are uniform over `n` nodes. The P18 skewed-key
+/// workload — hash-partitioning the recursive ancestor rule by its join key
+/// routes every hub-sourced delta tuple to the same shard, so this measures
+/// how the partitioned path degrades (and when the planner should prefer
+/// delta slices) under worst-case key skew.
+pub fn skewed_graph(n: i64, e: usize, seed: u64) -> Database {
+    let mut rng = Rng::new(seed);
+    let mut db = Database::new();
+    for i in 0..n {
+        db.insert_tuple("node", vec![Value::int(i)]);
+    }
+    for k in 0..e {
+        let a = if k % 2 == 0 { 0 } else { rng.range(0, n) };
+        let b = rng.range(0, n);
+        db.insert_tuple("par", vec![Value::int(a), Value::int(b)]);
+    }
+    db
+}
+
 /// A forest of `roots` complete binary family trees of the given depth,
 /// with `p` (parent) and `siblings` relations — the §6 workload. Returns
 /// the database and the name of one childless leaf to query.
@@ -291,6 +311,15 @@ mod tests {
             g.num_facts(),
             10 + g.relation("par".into()).map_or(0, |r| r.len())
         );
+        let s = skewed_graph(10, 40, 42);
+        let hub_edges = s
+            .to_fact_set()
+            .iter()
+            .filter(|f| f.pred().to_string() == "par" && f.args()[0] == Value::int(0))
+            .count();
+        // 20 of the 40 draws source from the hub; distinct hub edges cap at
+        // the 10 possible targets, so most targets should be covered.
+        assert!(hub_edges >= 5, "hub holds a large share of the edges");
     }
 
     #[test]

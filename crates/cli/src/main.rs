@@ -33,7 +33,8 @@ Commands:
   :plan [PRED]        show the join plans (step order, indexes, estimates)
   :magic QUERY.       answer a query via the magic-set pipeline
   :stats              work counters of the last evaluation (full or incremental)
-  :jobs [N]           show or set evaluation worker count (0 = all cores)
+  :jobs [N]           show or set evaluation worker count
+                      (a positive integer, or 'auto'/'all' for every core)
   :limits [...]       show or set resource limits:
                       :limits fuel N | timeout DUR | facts N | off
                       (DUR like 500ms or 2s; programs with infinite models
@@ -115,11 +116,14 @@ fn main() {
                 return;
             }
             "--jobs" | "-j" => {
-                let jobs = iter.next().and_then(|v| v.parse::<usize>().ok());
+                let jobs = iter
+                    .next()
+                    .ok_or_else(|| "--jobs requires a worker count".to_string())
+                    .and_then(|v| ldl1::parse_jobs(v));
                 match jobs {
-                    Some(n) => sys.set_parallelism(n),
-                    None => {
-                        eprintln!("error: --jobs requires a number (0 = all cores)");
+                    Ok(n) => sys.set_parallelism(n),
+                    Err(e) => {
+                        eprintln!("error: {e}");
                         std::process::exit(1);
                     }
                 }
@@ -358,9 +362,9 @@ fn command(sys: &mut System, cmd: &str) -> bool {
             if rest.is_empty() {
                 println!("jobs: {}", sys.parallelism());
             } else {
-                match rest.parse::<usize>() {
+                match ldl1::parse_jobs(rest) {
                     Ok(n) => sys.set_parallelism(n),
-                    Err(_) => eprintln!("error: :jobs takes a number (0 = all cores)"),
+                    Err(e) => eprintln!("error: :jobs: {e}"),
                 }
             }
         }

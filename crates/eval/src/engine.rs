@@ -69,6 +69,21 @@ pub struct EvalOptions {
     /// `false` selects the interpreter, which CI uses to run the whole
     /// suite through both executors.
     pub compiled: bool,
+    /// Split large delta ranges across workers by *hash of the join key*
+    /// (shard-local probing of a partitioned index) instead of by
+    /// contiguous position slices, whenever a plan's shape admits it
+    /// ([`PartitionSpec`](crate::PartitionSpec)) — the configuration that
+    /// lets a single large recursive rule use every worker without all of
+    /// them probing one shared index. Tasks without a usable key fall back
+    /// to contiguous slicing. Only engages at an effective parallelism
+    /// above 1; the computed model, every insertion position, and the
+    /// deterministic counters are bit-for-bit identical either way (the
+    /// merge re-interleaves shard outputs in source-position order).
+    ///
+    /// Defaults to `true`; the process-wide default can be overridden with
+    /// the `LDL1_PARTITIONED` environment variable (read once) — `0` or
+    /// `false` forces delta-slice parallelism everywhere.
+    pub partitioned: bool,
     /// Resource limits and the cancellation token for every evaluation
     /// drive run under these options. Default: [`Budget::unlimited`].
     /// Checked cooperatively at round boundaries, so an abort never breaks
@@ -89,6 +104,7 @@ impl Default for EvalOptions {
             parallelism: env_default_parallelism(),
             cost_based: true,
             compiled: env_default_compiled(),
+            partitioned: env_default_partitioned(),
             budget: Budget::default(),
         }
     }
@@ -105,16 +121,40 @@ impl EvalOptions {
     }
 }
 
+/// Parse a worker-count spelling as used by `LDL1_JOBS` and the CLI's
+/// `--jobs`: a positive integer, or `auto`/`all` for "every available
+/// core" (the programmatic `parallelism = 0`). Rejections are explicit —
+/// `0` and garbage produce an error instead of a silent fallback, so a
+/// typo in CI cannot quietly serialize (or fail to serialize) a run.
+pub fn parse_jobs(s: &str) -> Result<usize, String> {
+    let s = s.trim();
+    if s.eq_ignore_ascii_case("auto") || s.eq_ignore_ascii_case("all") {
+        return Ok(0);
+    }
+    match s.parse::<usize>() {
+        Ok(0) => {
+            Err("worker count 0 is reserved; use 'auto' (or 'all') for every available core".into())
+        }
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "invalid worker count '{s}': expected a positive integer, 'auto', or 'all'"
+        )),
+    }
+}
+
 /// The process-wide default for [`EvalOptions::parallelism`]: `LDL1_JOBS`
-/// if set to a number, else 1. Cached after the first read.
+/// parsed by [`parse_jobs`] when set, else 1. An invalid value panics with
+/// a diagnostic rather than silently falling back to one worker. Cached
+/// after the first read.
 fn env_default_parallelism() -> usize {
     use std::sync::OnceLock;
     static CACHE: OnceLock<usize> = OnceLock::new();
-    *CACHE.get_or_init(|| {
-        std::env::var("LDL1_JOBS")
-            .ok()
-            .and_then(|v| v.trim().parse().ok())
-            .unwrap_or(1)
+    *CACHE.get_or_init(|| match std::env::var("LDL1_JOBS") {
+        Err(_) => 1,
+        Ok(v) => match parse_jobs(&v) {
+            Ok(n) => n,
+            Err(e) => panic!("LDL1_JOBS: {e}"),
+        },
     })
 }
 
@@ -126,6 +166,20 @@ fn env_default_compiled() -> bool {
     static CACHE: OnceLock<bool> = OnceLock::new();
     *CACHE.get_or_init(|| {
         std::env::var("LDL1_COMPILED").map_or(true, |v| {
+            let v = v.trim();
+            v != "0" && !v.eq_ignore_ascii_case("false")
+        })
+    })
+}
+
+/// The process-wide default for [`EvalOptions::partitioned`]: `false` when
+/// `LDL1_PARTITIONED` is set to `0` or `false`, else `true`. Cached after
+/// the first read.
+fn env_default_partitioned() -> bool {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<bool> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("LDL1_PARTITIONED").map_or(true, |v| {
             let v = v.trim();
             v != "0" && !v.eq_ignore_ascii_case("false")
         })

@@ -96,6 +96,75 @@ fn resolve<'a>(
     }
 }
 
+/// A lowered body resolved against one frozen database snapshot, ready to
+/// run repeatedly with different step-0 delta ranges. Partitioned execution
+/// drives one `Prepared` per shard, re-pointing the range at each delta
+/// position instead of re-resolving every op per position.
+pub(crate) struct Prepared<'a> {
+    ctx: Ctx<'a>,
+}
+
+impl<'a> Prepared<'a> {
+    /// Re-point op `i`'s scan range (ops mirror plan steps by index, so the
+    /// delta step's index is also its op index).
+    pub(crate) fn set_range(&mut self, i: usize, lo: u32, hi: u32) {
+        let r = &mut self.ctx.rops[i];
+        r.lo = lo;
+        r.hi = hi;
+    }
+
+    /// Run the body, calling `k` once per solution with the register file.
+    /// `regs` must hold at least `prog.nregs` slots; `b` is the scratch
+    /// binding environment for bridge ops (left restored).
+    pub(crate) fn run<K: FnMut(&[ValueId])>(
+        &self,
+        regs: &mut [ValueId],
+        b: &mut Bindings,
+        k: &mut K,
+    ) {
+        exec_op(&self.ctx, 0, regs, b, k);
+    }
+}
+
+/// Resolve every op of `prog` against `db` once. `None` when a positive
+/// scan relation is empty or absent — the whole pass has no solutions
+/// (`run_body`'s pre-check). `shard_idx` substitutes a shard-local
+/// sub-index at one op; it is applied only where normal resolution already
+/// produced an index, so the index-ablation and missing-index paths behave
+/// exactly like the full probe.
+pub(crate) fn prepare<'a>(
+    prog: &'a RamProgram,
+    db: &'a Database,
+    restrict: Option<DeltaRestriction>,
+    use_indexes: bool,
+    shard_idx: Option<(usize, IndexRef<'a>)>,
+) -> Option<Prepared<'a>> {
+    for &pred in prog.scan_preds.iter() {
+        if db.relation(pred).is_none_or(|r| r.is_empty()) {
+            return None;
+        }
+    }
+    let mut rops: Box<[ROp<'a>]> = prog
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(i, op)| resolve(op, i, db, restrict, use_indexes))
+        .collect();
+    if let Some((i, idx)) = shard_idx {
+        if rops[i].idx.is_some() {
+            rops[i].idx = Some(idx);
+        }
+    }
+    Some(Prepared {
+        ctx: Ctx {
+            prog,
+            db,
+            rops,
+            use_indexes,
+        },
+    })
+}
+
 /// Execute a lowered body against `db`, calling `k` once per solution with
 /// the register file. `regs` must hold at least `prog.nregs` slots; `b` is
 /// the scratch binding environment for bridge ops (left restored).
@@ -112,24 +181,9 @@ pub(crate) fn run_ram<K: FnMut(&[ValueId])>(
     b: &mut Bindings,
     k: &mut K,
 ) {
-    for &pred in prog.scan_preds.iter() {
-        if db.relation(pred).is_none_or(|r| r.is_empty()) {
-            return;
-        }
+    if let Some(prepared) = prepare(prog, db, restrict, use_indexes, None) {
+        prepared.run(regs, b, k);
     }
-    let rops: Box<[ROp<'_>]> = prog
-        .ops
-        .iter()
-        .enumerate()
-        .map(|(i, op)| resolve(op, i, db, restrict, use_indexes))
-        .collect();
-    let ctx = Ctx {
-        prog,
-        db,
-        rops,
-        use_indexes,
-    };
-    exec_op(&ctx, 0, regs, b, k);
 }
 
 /// Match one tuple against a fused column-action list. Bind actions write

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use ldl_ast::program::{Builtin, Program};
 use ldl_ast::rule::Rule;
-use ldl_storage::{Database, Tuple};
+use ldl_storage::{shard_of_projection, Database, Relation, Tuple};
 use ldl_stratify::Stratification;
 use ldl_value::fxhash::{FastMap, FastSet};
 use ldl_value::{Symbol, ValueId};
@@ -25,11 +25,11 @@ use crate::bindings::Bindings;
 use crate::budget::{BudgetMeter, RoundGate};
 use crate::engine::EvalOptions;
 use crate::error::EvalError;
-use crate::exec::run_ram;
+use crate::exec::{prepare, run_ram};
 use crate::grouping::run_grouping_rule;
 use crate::plan::{
-    ensure_indexes, ensure_plan_indexes, run_body, take_exist_cuts, take_index_probes,
-    DeltaRestriction, RulePlan,
+    ensure_indexes, ensure_plan_indexes, run_body, run_steps, take_exist_cuts, take_index_probes,
+    DeltaRestriction, PartitionSpec, RulePlan,
 };
 use crate::pool::{Job, Pool};
 use crate::ram::{eval_expr, take_lowerings, HeadIr};
@@ -532,6 +532,16 @@ pub(crate) struct PassOut {
     pub(crate) attempts: u64,
     /// Plan lowerings performed (compiled mode, first use of a plan).
     pub(crate) lowerings: u64,
+    /// Partitioned units only: `(step-0 position, tuples emitted)` per
+    /// source position that emitted anything, in ascending position order.
+    /// The merge interleaves the runs of one task's shard group by
+    /// position, reconstructing the exact sequential derivation order.
+    pub(crate) runs: Vec<(u32, u32)>,
+    /// Partitioned units only: candidates dropped by shard-local pre-dedup
+    /// (already in the snapshot head relation, or repeated within this
+    /// unit). Counted into `dedup_inserts` at merge so the total is
+    /// identical to an unpartitioned run.
+    pub(crate) prefiltered: u64,
 }
 
 /// Evaluate `plan` against an immutable `db`, returning the id-tuples its
@@ -549,6 +559,10 @@ pub(crate) struct PassOut {
 /// tick per body solution, and an entry check that skips the whole pass
 /// when the token has already tripped (a partially-skipped round is fine —
 /// its buffers are discarded wholesale at the round boundary, never merged).
+///
+/// With `part` set the unit is one shard of a hash-partitioned task and
+/// runs through [`derive_partitioned`] instead: only the delta positions
+/// whose key projection hashes onto the shard are enumerated.
 pub(crate) fn derive_once(
     plan: &RulePlan,
     db: &Database,
@@ -556,7 +570,12 @@ pub(crate) fn derive_once(
     use_indexes: bool,
     compiled: bool,
     gate: RoundGate<'_>,
+    part: Option<PartCfg<'_>>,
 ) -> PassOut {
+    if let Some(p) = part {
+        let r = restrict.expect("partitioned units are delta-restricted");
+        return derive_partitioned(plan, db, r, use_indexes, compiled, gate, p);
+    }
     take_index_probes(); // discard counts from unrelated callers
     take_exist_cuts();
     take_lowerings();
@@ -641,6 +660,268 @@ pub(crate) fn derive_once(
     out
 }
 
+/// One shard's view of a hash-partitioned task: this unit enumerates only
+/// the delta positions whose key projection hashes onto `shard`, probing
+/// the partitioned index's matching sub-index (compiled mode).
+#[derive(Clone, Copy)]
+pub(crate) struct PartCfg<'p> {
+    /// The plan's partitioning recipe.
+    pub(crate) spec: &'p PartitionSpec,
+    /// This unit's shard (`0..nshards`).
+    pub(crate) shard: u32,
+    /// Total shard count (the round's worker count).
+    pub(crate) nshards: u32,
+    /// Drop candidates already present in the snapshot head relation (or
+    /// repeated within this unit) on the worker, before the sequential
+    /// merge. Sound only when the head relation carries no derivation
+    /// counts — a counting head needs every duplicate insert.
+    pub(crate) prededup: bool,
+}
+
+/// [`derive_once`] for one shard of a partitioned task: walk the delta
+/// range position by position, keep only this shard's tuples, and run the
+/// body restricted to `[pos, pos + 1)`. The per-position runs recorded in
+/// [`PassOut::runs`] let the merge interleave the shard group back into
+/// ascending position order — the exact sequential derivation order — so
+/// solutions, insertion positions, and every deterministic counter are
+/// bit-for-bit identical to slice-parallel and sequential execution (the
+/// [`PartitionSpec`] shape constraints are what make the per-position walk
+/// observationally equivalent; see `plan.rs`).
+fn derive_partitioned(
+    plan: &RulePlan,
+    db: &Database,
+    restrict: DeltaRestriction,
+    use_indexes: bool,
+    compiled: bool,
+    gate: RoundGate<'_>,
+    part: PartCfg<'_>,
+) -> PassOut {
+    debug_assert_eq!(restrict.step, 0, "partitioned units drive step 0");
+    take_index_probes(); // discard counts from unrelated callers
+    take_exist_cuts();
+    take_lowerings();
+    let mut out = PassOut {
+        buf: DerivedBuf {
+            arity: plan.head.arity(),
+            data: Vec::new(),
+            count: 0,
+        },
+        ..PassOut::default()
+    };
+    if !gate.is_cancelled() {
+        partitioned_pass(
+            plan,
+            db,
+            restrict,
+            use_indexes,
+            compiled,
+            gate,
+            part,
+            &mut out,
+        );
+    }
+    out.probes = take_index_probes();
+    out.cuts = take_exist_cuts();
+    out.lowerings = take_lowerings();
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn partitioned_pass(
+    plan: &RulePlan,
+    db: &Database,
+    restrict: DeltaRestriction,
+    use_indexes: bool,
+    compiled: bool,
+    gate: RoundGate<'_>,
+    part: PartCfg<'_>,
+    out: &mut PassOut,
+) {
+    let spec = part.spec;
+    let Some(&(0, scan_pred)) = plan.scan_steps.first() else {
+        unreachable!("partition spec requires a step-0 scan");
+    };
+    let Some(rel0) = db.relation(scan_pred) else {
+        return;
+    };
+    let arity = plan.head.arity();
+    // Zero-arity heads skip pre-dedup: their single tuple is not worth a
+    // seen-set, and the run counts must keep carrying the emissions.
+    let prededup = part.prededup && arity > 0;
+    let head_rel = db.relation(plan.head.pred);
+    let mut seen: FastSet<Box<[ValueId]>> = FastSet::default();
+    let mut attempts = 0u64;
+    let mut prefiltered = 0u64;
+
+    macro_rules! shard_scan {
+        (|$pos:ident| $body:expr) => {
+            for $pos in restrict.lo..restrict.hi {
+                if !rel0.is_live($pos)
+                    || shard_of_projection(&spec.scan_cols, rel0.get($pos), part.nshards)
+                        != part.shard
+                {
+                    continue;
+                }
+                let before = out.buf.count;
+                $body;
+                let emitted = (out.buf.count - before) as u32;
+                if emitted > 0 {
+                    out.runs.push(($pos, emitted));
+                }
+            }
+        };
+    }
+    // Shared per-solution tail: the head tuple sits at `buf.data[start..]`;
+    // keep it, or pre-filter a duplicate away. (Mirrors `derive_once`'s
+    // head projection, plus the dedup the merge would otherwise perform.)
+    macro_rules! commit_head {
+        ($start:ident) => {
+            if prededup {
+                let t = &out.buf.data[$start..];
+                if head_rel.is_some_and(|r| r.contains(t)) || seen.contains(t) {
+                    prefiltered += 1;
+                    out.buf.data.truncate($start);
+                } else {
+                    seen.insert(out.buf.data[$start..].into());
+                    out.buf.count += 1;
+                }
+            } else {
+                out.buf.count += 1;
+            }
+        };
+    }
+
+    if compiled {
+        let prog = plan.lowered();
+        if let HeadIr::Simple(head) = &prog.head {
+            // Shard-local probing: substitute this shard's sub-index at the
+            // probe op. `prepare` applies it only where the full index
+            // resolved, so index-ablation runs keep full scans; when the
+            // partitioned index is missing the full probe stands in
+            // (identical matches — a shard's scan tuples only ever probe
+            // keys that hash to the same shard).
+            let shard_idx = db
+                .relation(spec.probe_pred)
+                .and_then(|r| r.part_shard(&spec.probe_cols, part.nshards, part.shard))
+                .map(|idx| (spec.probe_step, idx));
+            let Some(mut prepared) = prepare(&prog, db, Some(restrict), use_indexes, shard_idx)
+            else {
+                return; // an empty body relation: no solutions
+            };
+            let mut regs = vec![ValueId::FILLER; prog.nregs];
+            let mut b = Bindings::new();
+            shard_scan!(|pos| {
+                prepared.set_range(0, pos, pos + 1);
+                prepared.run(&mut regs, &mut b, &mut |regs| {
+                    attempts += 1;
+                    gate.tick();
+                    let start = out.buf.data.len();
+                    for e in head.iter() {
+                        match eval_expr(e, regs) {
+                            Some(v) => out.buf.data.push(v),
+                            None => {
+                                out.buf.data.truncate(start);
+                                return;
+                            }
+                        }
+                    }
+                    commit_head!(start);
+                })
+            });
+            out.attempts = attempts;
+            out.prefiltered = prefiltered;
+            return;
+        }
+        // Grouping-head plans never reach partitioned units; fall through
+        // to the interpreter like `derive_once` does.
+    }
+    // Interpreter path: full-index probes (identical postings — see above),
+    // with `run_body`'s empty-relation pre-check hoisted out of the
+    // per-position loop.
+    for &(_, pred) in &plan.scan_steps {
+        if db.relation(pred).is_none_or(|r| r.is_empty()) {
+            return;
+        }
+    }
+    let mut b = Bindings::new();
+    shard_scan!(|pos| {
+        let r = DeltaRestriction {
+            step: 0,
+            lo: pos,
+            hi: pos + 1,
+        };
+        run_steps(plan, 0, db, Some(r), use_indexes, &mut b, &mut |b2| {
+            attempts += 1;
+            gate.tick();
+            let start = out.buf.data.len();
+            for t in &plan.head.args {
+                match eval_term(t, b2) {
+                    Some(v) => out.buf.data.push(v),
+                    None => {
+                        out.buf.data.truncate(start);
+                        return;
+                    }
+                }
+            }
+            commit_head!(start);
+        })
+    });
+    out.attempts = attempts;
+    out.prefiltered = prefiltered;
+}
+
+/// Merge one partitioned task's shard group: repeatedly take the shard
+/// whose next run has the smallest source position. Positions are disjoint
+/// across shards and ascending within each, so this emits every candidate
+/// in ascending step-0 position order — exactly the order the unsplit
+/// sequential pass would have produced. Returns `(new, dedup)` insert
+/// counts.
+fn merge_interleaved(
+    pred: Symbol,
+    arity: usize,
+    outs: &[PassOut],
+    db: &mut Database,
+) -> (u64, u64) {
+    let mut new = 0u64;
+    let mut dedup = 0u64;
+    // Per shard: (next run index, data offset of that run).
+    let mut cur: Vec<(usize, usize)> = vec![(0, 0); outs.len()];
+    loop {
+        let mut best: Option<(usize, u32)> = None;
+        for (s, out) in outs.iter().enumerate() {
+            if let Some(&(pos, _)) = out.runs.get(cur[s].0) {
+                if best.is_none_or(|(_, bp)| pos < bp) {
+                    best = Some((s, pos));
+                }
+            }
+        }
+        let Some((s, _)) = best else {
+            return (new, dedup);
+        };
+        let (ri, off) = cur[s];
+        let n = outs[s].runs[ri].1 as usize;
+        if arity == 0 {
+            for _ in 0..n {
+                if db.insert_id_slice(pred, &[]) {
+                    new += 1;
+                } else {
+                    dedup += 1;
+                }
+            }
+            cur[s] = (ri + 1, off);
+        } else {
+            for t in outs[s].buf.data[off..off + n * arity].chunks_exact(arity) {
+                if db.insert_id_slice(pred, t) {
+                    new += 1;
+                } else {
+                    dedup += 1;
+                }
+            }
+            cur[s] = (ri + 1, off + n * arity);
+        }
+    }
+}
+
 /// Below this many delta tuples a pass is not worth splitting across
 /// workers: the per-task dispatch cost would outweigh the join work.
 const MIN_SLICE: u32 = 64;
@@ -674,8 +955,10 @@ pub(crate) fn run_round(
     stats.rounds += 1;
     stats.rules_fired += tasks.len() as u64;
 
-    // Expand tasks into work units, slicing large ranges.
-    let mut units: Vec<(&RulePlan, Option<DeltaRestriction>)> = Vec::new();
+    // Expand tasks into work units: hash-partition by join key where a
+    // task's plan admits it, slice large ranges contiguously otherwise.
+    type Unit<'p> = (&'p RulePlan, Option<DeltaRestriction>, Option<PartCfg<'p>>);
+    let mut units: Vec<Unit<'_>> = Vec::new();
     for t in tasks {
         let range = match t.restrict {
             Some(r) => Some(r),
@@ -696,6 +979,38 @@ pub(crate) fn run_round(
         };
         match range {
             Some(r) if pool.parallelism() > 1 && r.hi - r.lo >= 2 * MIN_SLICE => {
+                if let Some(spec) = t
+                    .plan
+                    .partition
+                    .as_ref()
+                    .filter(|_| opts.partitioned && r.step == 0)
+                {
+                    // One unit per shard, each probing its own sub-index of
+                    // the partitioned index (built here, against the
+                    // pre-round database — the snapshot workers will read).
+                    let nshards = pool.parallelism() as u32;
+                    if let Some(arity) = db.relation(spec.probe_pred).map(Relation::arity) {
+                        db.relation_mut(spec.probe_pred, arity)
+                            .ensure_part_index(&spec.probe_cols, nshards);
+                    }
+                    let prededup = !db
+                        .relation(t.plan.head.pred)
+                        .is_some_and(Relation::counts_enabled);
+                    for shard in 0..nshards {
+                        units.push((
+                            t.plan,
+                            Some(r),
+                            Some(PartCfg {
+                                spec,
+                                shard,
+                                nshards,
+                                prededup,
+                            }),
+                        ));
+                    }
+                    stats.partitioned_passes += u64::from(nshards);
+                    continue;
+                }
                 let span = r.hi - r.lo;
                 let slices = (span / MIN_SLICE).min(pool.parallelism() as u32).max(1);
                 let step = span / slices;
@@ -709,10 +1024,11 @@ pub(crate) fn run_round(
                             lo,
                             hi,
                         }),
+                        None,
                     ));
                 }
             }
-            _ => units.push((t.plan, t.restrict)),
+            _ => units.push((t.plan, t.restrict, None)),
         }
     }
     stats.parallel_tasks += units.len() as u64;
@@ -728,8 +1044,8 @@ pub(crate) fn run_round(
     let mut buffers: Vec<PassOut> = Vec::new();
     buffers.resize_with(units.len(), Default::default);
     if pool.parallelism() == 1 || units.len() <= 1 {
-        for ((plan, restrict), buf) in units.iter().zip(&mut buffers) {
-            *buf = derive_once(plan, db, *restrict, opts.use_indexes, compiled, gate);
+        for ((plan, restrict, part), buf) in units.iter().zip(&mut buffers) {
+            *buf = derive_once(plan, db, *restrict, opts.use_indexes, compiled, gate, *part);
         }
     } else {
         let snapshot: &Database = db;
@@ -737,9 +1053,9 @@ pub(crate) fn run_round(
         let jobs: Vec<Job<'_>> = units
             .iter()
             .zip(buffers.iter_mut())
-            .map(|(&(plan, restrict), buf)| {
+            .map(|(&(plan, restrict, part), buf)| {
                 Box::new(move || {
-                    *buf = derive_once(plan, snapshot, restrict, use_indexes, compiled, gate);
+                    *buf = derive_once(plan, snapshot, restrict, use_indexes, compiled, gate, part);
                 }) as Job<'_>
             })
             .collect();
@@ -748,28 +1064,50 @@ pub(crate) fn run_round(
 
     // Merge phase: sequential, in unit order — deterministic positions. The
     // tuples are already interned ids, so a rejected duplicate costs one
-    // hash of a few u32s.
-    let mut new = 0;
-    let mut dedup = 0;
+    // hash of a few u32s. A partitioned task's group of shard units merges
+    // as one interleave in source-position order.
+    let mut new = 0u64;
+    let mut dedup = 0u64;
     let mut attempts = 0u64;
-    for ((plan, _), out) in units.iter().zip(buffers) {
-        stats.index_probes += out.probes;
-        stats.exist_cuts += out.cuts;
-        stats.lowerings += out.lowerings;
-        attempts += out.attempts;
-        let pred = plan.head.pred;
-        out.buf.for_each(&mut |t| {
-            if db.insert_id_slice(pred, t) {
-                new += 1;
-            } else {
-                dedup += 1;
+    let mut i = 0;
+    while i < units.len() {
+        let (plan, _, part) = units[i];
+        if let Some(p) = part {
+            let group = &buffers[i..i + p.nshards as usize];
+            for out in group {
+                stats.index_probes += out.probes;
+                stats.shard_probes += out.probes;
+                stats.exist_cuts += out.cuts;
+                stats.lowerings += out.lowerings;
+                stats.partition_prefiltered += out.prefiltered;
+                attempts += out.attempts;
+                dedup += out.prefiltered;
             }
-        });
+            let (n, d) = merge_interleaved(plan.head.pred, plan.head.arity(), group, db);
+            new += n;
+            dedup += d;
+            i += p.nshards as usize;
+        } else {
+            let out = &buffers[i];
+            stats.index_probes += out.probes;
+            stats.exist_cuts += out.cuts;
+            stats.lowerings += out.lowerings;
+            attempts += out.attempts;
+            let pred = plan.head.pred;
+            out.buf.for_each(&mut |t| {
+                if db.insert_id_slice(pred, t) {
+                    new += 1;
+                } else {
+                    dedup += 1;
+                }
+            });
+            i += 1;
+        }
     }
     stats.dedup_inserts += dedup;
-    stats.facts_derived += new as u64;
+    stats.facts_derived += new;
     stats.attempts += attempts;
-    meter.charge(attempts, new as u64);
+    meter.charge(attempts, new);
     meter.check()?;
     Ok(new as usize)
 }
@@ -884,6 +1222,7 @@ pub fn run_rule_once(
         opts.use_indexes,
         opts.compiled,
         opts.budget.gate(),
+        None,
     );
     stats.index_probes += out.probes;
     stats.exist_cuts += out.cuts;

@@ -39,10 +39,11 @@ pub mod stats;
 pub mod unify;
 
 pub use budget::{Budget, BudgetMeter, CancelToken, ResourceKind, RoundGate};
-pub use engine::{EvalOptions, Evaluator, QueryAnswer};
+pub use engine::{parse_jobs, EvalOptions, Evaluator, QueryAnswer};
 pub use error::EvalError;
 pub use explain::explain;
 pub use incremental::{apply_update, DeltaFrontier};
 pub use model::{check_model, ModelViolation};
+pub use plan::PartitionSpec;
 pub use retract::apply_mutations;
 pub use stats::EvalStats;

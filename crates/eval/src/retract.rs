@@ -382,7 +382,7 @@ fn counting_delete_layer(
             )?);
             ensure_plan_indexes(&plan, db);
             meter.check()?;
-            let out = derive_once(&plan, db, None, opts.use_indexes, opts.compiled, gate);
+            let out = derive_once(&plan, db, None, opts.use_indexes, opts.compiled, gate, None);
             stats.rules_fired += 1;
             stats.index_probes += out.probes;
             stats.exist_cuts += out.cuts;

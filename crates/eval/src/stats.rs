@@ -88,6 +88,23 @@ pub struct EvalStats {
     /// `rounds` plus the per-rule passes of incremental maintenance when
     /// compiled mode is on; `0` when it is off.
     pub compiled_rounds: u64,
+    /// Hash-partitioned work units executed: one per shard of each task
+    /// split by join key instead of by contiguous delta slice. Like
+    /// `parallel_tasks` this depends on `parallelism` (partitioning only
+    /// engages above one worker); always `0` with
+    /// [`EvalOptions::partitioned`](crate::EvalOptions) off.
+    pub partitioned_passes: u64,
+    /// Index probes answered by a shard-local sub-index rather than the
+    /// full index (a subset of `index_probes`, which counts both kinds).
+    /// Varies with `parallelism` exactly as `partitioned_passes` does.
+    pub shard_probes: u64,
+    /// Candidate tuples dropped by a partitioned unit's shard-local
+    /// pre-dedup before the sequential merge (already present in the
+    /// snapshot head relation, or repeated within the unit). These are
+    /// counted into `dedup_inserts` at merge time — that total stays
+    /// identical to an unpartitioned run — so this counter measures how
+    /// much duplicate traffic never reached the merge thread.
+    pub partition_prefiltered: u64,
 }
 
 impl EvalStats {
@@ -119,6 +136,9 @@ impl AddAssign for EvalStats {
         self.exist_cuts += rhs.exist_cuts;
         self.lowerings += rhs.lowerings;
         self.compiled_rounds += rhs.compiled_rounds;
+        self.partitioned_passes += rhs.partitioned_passes;
+        self.shard_probes += rhs.shard_probes;
+        self.partition_prefiltered += rhs.partition_prefiltered;
     }
 }
 
@@ -126,7 +146,7 @@ impl fmt::Display for EvalStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rules fired: {}, attempts: {}, facts derived: {}, facts retracted: {}, dedup inserts: {}, index probes: {}, interned values: {}, strata replayed: {}, delta-updated: {}, counting: {}, dred: {}, skipped: {}, rounds: {}, tasks: {}, plan cache hits: {}, misses: {}, replans: {}, exist cuts: {}, lowerings: {}, compiled rounds: {}",
+            "rules fired: {}, attempts: {}, facts derived: {}, facts retracted: {}, dedup inserts: {}, index probes: {}, interned values: {}, strata replayed: {}, delta-updated: {}, counting: {}, dred: {}, skipped: {}, rounds: {}, tasks: {}, plan cache hits: {}, misses: {}, replans: {}, exist cuts: {}, lowerings: {}, compiled rounds: {}, partitioned passes: {}, shard probes: {}, prefiltered: {}",
             self.rules_fired,
             self.attempts,
             self.facts_derived,
@@ -146,7 +166,10 @@ impl fmt::Display for EvalStats {
             self.plan_replans,
             self.exist_cuts,
             self.lowerings,
-            self.compiled_rounds
+            self.compiled_rounds,
+            self.partitioned_passes,
+            self.shard_probes,
+            self.partition_prefiltered
         )
     }
 }

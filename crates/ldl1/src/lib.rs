@@ -52,7 +52,8 @@ pub use ldl_value as value;
 
 pub use ldl_ast::program::Program;
 pub use ldl_eval::{
-    check_model, Budget, CancelToken, EvalOptions, EvalStats, Evaluator, QueryAnswer, ResourceKind,
+    check_model, parse_jobs, Budget, CancelToken, EvalOptions, EvalStats, Evaluator, QueryAnswer,
+    ResourceKind,
 };
 pub use ldl_magic::MagicEvaluator;
 pub use ldl_storage::Database;

@@ -16,4 +16,4 @@ pub mod database;
 pub mod relation;
 
 pub use database::{resolve_fact, tuple, Database, Mark};
-pub use relation::{IndexRef, Relation, Tuple};
+pub use relation::{shard_of_key, shard_of_projection, IndexRef, Relation, Tuple};

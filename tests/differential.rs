@@ -1,4 +1,4 @@
-//! The differential test oracle: seven independent evaluation modes must
+//! The differential test oracle: eight independent evaluation modes must
 //! compute the *same* model on random stratified programs.
 //!
 //! The modes cross-check each other's weak spots — naive iteration is the
@@ -16,7 +16,11 @@
 //! derivation-attempt / index-probe / existential-cut counts. A bug in any
 //! one of those layers shows up as a divergence here, and the
 //! [`ldl_testkit::cases_shrink`] driver reports the minimal failing
-//! program/EDB size for the offending seed.
+//! program/EDB size for the offending seed. The eighth arm pins
+//! hash-partitioned parallel execution ([`EvalOptions::partitioned`]):
+//! sharding work by join key instead of by contiguous delta slice must be
+//! invisible — same facts, same insertion orders, same work counters — at
+//! every tested worker count.
 //!
 //! Beyond set equality, the two parallel configurations must agree on every
 //! relation's *tuple insertion order*: the parallel evaluator's claim is
@@ -459,6 +463,133 @@ fn compiled_magic_queries_agree() {
                 .collect()
         };
         assert_eq!(answers(false), answers(true), "compiled magic diverged");
+    });
+}
+
+/// Evaluate one mode with *both* the compiled and the partitioned flag
+/// pinned explicitly (rather than inherited from `LDL1_COMPILED` /
+/// `LDL1_PARTITIONED`), returning the work counters too.
+fn evaluate_part(
+    case: &GeneratedCase,
+    parallelism: usize,
+    compiled: bool,
+    partitioned: bool,
+) -> (Database, ldl1::EvalStats) {
+    let program = ldl1::parser::parse_program(&case.src).unwrap();
+    let opts = EvalOptions {
+        semi_naive: true,
+        parallelism,
+        compiled,
+        partitioned,
+        ..EvalOptions::default()
+    };
+    Evaluator::with_options(opts)
+        .evaluate_stats(&program, &edb_of(case))
+        .unwrap()
+}
+
+/// The eighth arm: hash-partitioned parallel execution ≡ delta-slice
+/// parallel execution, bit-for-bit, at every tested worker count and under
+/// both executors. "≡" is the same strong claim the compiled arm makes —
+/// identical fact sets, identical per-relation tuple insertion orders, and
+/// identical `attempts` / `index_probes` / `exist_cuts` counters (shard
+/// routing may answer a probe from a shard-local sub-index, but it must
+/// perform exactly the probes and enumerate exactly the matches the full
+/// index would). Partitioning is a work-distribution choice; nothing about
+/// the result, its order, or the metered work may depend on it.
+#[test]
+fn partitioned_execution_matches_slicing() {
+    cases_shrink(208, 12, |rng: &mut Rng, size: u32| {
+        let case = stratified_case(rng, size);
+        let (base_db, base_stats) = evaluate_part(&case, 1, true, false);
+        let base_orders = insertion_orders(&base_db);
+        for &jobs in &[1usize, 4, 8] {
+            for &compiled in &[false, true] {
+                let (sliced, s_stats) = evaluate_part(&case, jobs, compiled, false);
+                let (parted, p_stats) = evaluate_part(&case, jobs, compiled, true);
+                assert_eq!(
+                    insertion_orders(&sliced),
+                    insertion_orders(&parted),
+                    "partitioned permuted insertion order at jobs={jobs} compiled={compiled}"
+                );
+                assert_eq!(
+                    base_orders,
+                    insertion_orders(&parted),
+                    "partitioned diverged from sequential at jobs={jobs} compiled={compiled}"
+                );
+                assert_eq!(
+                    (s_stats.attempts, s_stats.index_probes, s_stats.exist_cuts),
+                    (p_stats.attempts, p_stats.index_probes, p_stats.exist_cuts),
+                    "partitioning changed the work counters at jobs={jobs} compiled={compiled}"
+                );
+                assert_eq!(
+                    s_stats.partitioned_passes, 0,
+                    "slice-only run counted partitioned passes"
+                );
+                if jobs == 1 {
+                    assert_eq!(
+                        p_stats.partitioned_passes, 0,
+                        "partitioning engaged at one worker"
+                    );
+                }
+            }
+        }
+        let _ = base_stats;
+    });
+}
+
+/// A differential system with parallelism, executor, *and* partitioning all
+/// pinned, so mutation maintenance runs through the chosen configuration.
+fn differential_system_part(case: &GeneratedCase, parallelism: usize, partitioned: bool) -> System {
+    let mut sys = System::with_options(EvalOptions {
+        parallelism,
+        compiled: true,
+        partitioned,
+        ..EvalOptions::default()
+    });
+    sys.load(&case.src).unwrap();
+    for (pred, args) in &case.edb {
+        sys.insert(pred, args.iter().map(value_of).collect());
+    }
+    sys.model_facts().unwrap();
+    sys
+}
+
+/// The mutation-interleaving leg of the eighth arm: differential
+/// maintenance (counting decrements, DRed overdelete/rederive, replay) with
+/// partitioning on must land tuple-for-tuple on the state slice-only
+/// maintenance builds, at four and eight workers.
+#[test]
+fn partitioned_mutation_maintenance_matches_slicing() {
+    cases_shrink(96, 10, |rng: &mut Rng, size: u32| {
+        let case = stratified_case(rng, size);
+        let batches = 1 + rng.index(4);
+        let (muts, _) = mutation_sequence(rng, &case, batches);
+
+        let mut systems: Vec<(String, System)> = Vec::new();
+        for &jobs in &[4usize, 8] {
+            for &part in &[false, true] {
+                systems.push((
+                    format!("jobs={jobs} partitioned={part}"),
+                    differential_system_part(&case, jobs, part),
+                ));
+            }
+        }
+        for batch in &muts {
+            for (_, sys) in &mut systems {
+                apply_gen_batch(sys, batch);
+            }
+        }
+        let (first_name, first) = &mut systems[0];
+        let first_name = first_name.clone();
+        let reference = insertion_orders(first.model().unwrap());
+        for (name, sys) in &mut systems[1..] {
+            assert_eq!(
+                reference,
+                insertion_orders(sys.model().unwrap()),
+                "{name} maintenance diverged from {first_name} after {muts:?}"
+            );
+        }
     });
 }
 
