@@ -1,0 +1,204 @@
+//! P19 — flat paged tuple arenas vs per-tuple heap allocations.
+//!
+//! Three storage-level kernels drive `ldl_storage::Relation` directly, and
+//! two end-to-end kernels run the public evaluator, so the bench separates
+//! "what the representation costs" from "what the engine feels":
+//!
+//! * **bulk_insert** — build a fresh indexed relation from 200k distinct
+//!   pre-interned tuples via [`Relation::insert_slice`]. This is the
+//!   accept path of the semi-naive merge phase: before P19 every accepted
+//!   tuple cost one `Arc<[ValueId]>` allocation plus one `Box<[ValueId]>`
+//!   index key allocation; the arena stores rows in paged flat memory and
+//!   keys indexes by row position, so the path allocates only when a page
+//!   or table doubles.
+//! * **dedup** — the same build immediately replayed: every tuple is
+//!   offered twice, so half the inserts are duplicate rejections — the
+//!   dominant merge-phase operation semi-naive evaluation exists to
+//!   minimize. Probes hash the borrowed slice and compare it against rows
+//!   in arena pages.
+//! * **index_probe** — probe a 200k-row relation's single-column index
+//!   (10k distinct keys, 20 rows each) half a million times and walk the
+//!   posting lists. Pure read path: hash the key, compare it against the
+//!   indexed rows in place, return the borrowed postings.
+//! * **tc_chain / bom** — the P17 end-to-end kernels
+//!   ([`ldl_bench::TC_FAR`] over a strided chain, [`ldl_bench::BOM_PAIRS`]
+//!   over a part tree), measuring how much of the storage win survives
+//!   whole-engine evaluation.
+//!
+//! Results go to `BENCH_tuple_store.json` at the workspace root. If
+//! `BENCH_tuple_store.baseline.json` exists (a run committed *before* the
+//! arena landed), each kernel reports its speedup over that saved run —
+//! the P19 acceptance bar is ≥1.5× on dedup or index_probe and ≥1.2× on
+//! tc_chain or bom.
+//!
+//! `cargo bench -p ldl-bench --bench tuple_store -- smoke` runs a tiny
+//! configuration for CI and skips the JSON file.
+
+use ldl1::EvalOptions;
+use ldl_bench::{eval_with, part_tree, strided_chain, BOM_PAIRS, TC_FAR};
+use ldl_storage::Relation;
+use ldl_testkit::{bench, Sample};
+use ldl_value::{intern, ValueId};
+
+/// Pre-interned two-column rows: `n` tuples, `keys` distinct first columns
+/// (so the index kernel gets `n / keys` rows per posting list).
+fn rows(n: i64, keys: i64) -> Vec<[ValueId; 2]> {
+    (0..n)
+        .map(|i| [intern::mk_int(i % keys), intern::mk_int(i)])
+        .collect()
+}
+
+fn bulk_insert_kernel(rows: &[[ValueId; 2]], iters: usize) -> Sample {
+    bench("P19_tuple_store", "bulk_insert", iters, || {
+        let mut r = Relation::new(2);
+        r.ensure_index(&[0]);
+        for t in rows {
+            r.insert_slice(t);
+        }
+        assert_eq!(r.len(), rows.len());
+    })
+}
+
+fn dedup_kernel(rows: &[[ValueId; 2]], iters: usize) -> Sample {
+    bench("P19_tuple_store", "dedup", iters, || {
+        let mut r = Relation::new(2);
+        for t in rows {
+            r.insert_slice(t);
+        }
+        let mut rejected = 0usize;
+        for t in rows {
+            if !r.insert_slice(t) {
+                rejected += 1;
+            }
+        }
+        assert_eq!(rejected, rows.len());
+    })
+}
+
+fn index_probe_kernel(rows: &[[ValueId; 2]], keys: i64, rounds: usize, iters: usize) -> Sample {
+    let mut r = Relation::new(2);
+    r.ensure_index(&[0]);
+    for t in rows {
+        r.insert_slice(t);
+    }
+    let key_ids: Vec<[ValueId; 1]> = (0..keys).map(|k| [intern::mk_int(k)]).collect();
+    let per_key = rows.len() / keys as usize;
+    bench("P19_tuple_store", "index_probe", iters, || {
+        let idx = r.index(&[0]).expect("index exists");
+        let mut hits = 0usize;
+        for _ in 0..rounds {
+            for key in &key_ids {
+                hits += idx.probe(key).len();
+            }
+        }
+        assert_eq!(hits, rounds * keys as usize * per_key);
+    })
+}
+
+fn e2e_opts() -> EvalOptions {
+    EvalOptions {
+        check_wf: false,
+        parallelism: 1,
+        ..EvalOptions::default()
+    }
+}
+
+/// Pull `"key": <number>` out of one flat JSON object chunk.
+fn json_number(chunk: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = chunk.find(&pat)? + pat.len();
+    let rest = chunk[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Per-kernel medians from a previous run's JSON, by kernel name.
+fn read_baseline(path: &str) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for chunk in text.split('{').skip(1) {
+        let name = chunk
+            .find("\"name\":")
+            .and_then(|i| {
+                chunk[i + 7..]
+                    .trim_start()
+                    .strip_prefix('"')
+                    .map(String::from)
+            })
+            .and_then(|s| s.split('"').next().map(String::from));
+        if let (Some(name), Some(median)) = (name, json_number(chunk, "median_ms")) {
+            out.push((name, median));
+        }
+    }
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "smoke" || a == "--smoke");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+
+    let (n, keys, rounds, iters) = if smoke {
+        (2_000i64, 100i64, 2usize, 1usize)
+    } else {
+        (200_000, 10_000, 50, 9)
+    };
+    let data = rows(n, keys);
+
+    let mut results: Vec<(&str, Sample)> = Vec::new();
+    results.push(("bulk_insert", bulk_insert_kernel(&data, iters)));
+    results.push(("dedup", dedup_kernel(&data, iters)));
+    results.push((
+        "index_probe",
+        index_probe_kernel(&data, keys, rounds, iters),
+    ));
+    if smoke {
+        // Rot check only: tiny end-to-end runs, no JSON, no baseline.
+        let tc = eval_with(TC_FAR, &strided_chain(60, 10), e2e_opts());
+        assert!(tc.num_facts() > 0);
+        let bom = eval_with(BOM_PAIRS, &part_tree(5), e2e_opts());
+        assert!(bom.num_facts() > 0);
+        return;
+    }
+
+    let tc_db = strided_chain(300, 10);
+    results.push((
+        "tc_chain",
+        bench("P19_tuple_store", "tc_chain", iters, || {
+            eval_with(TC_FAR, &tc_db, e2e_opts());
+        }),
+    ));
+    let bom_db = part_tree(9);
+    results.push((
+        "bom",
+        bench("P19_tuple_store", "bom", iters, || {
+            eval_with(BOM_PAIRS, &bom_db, e2e_opts());
+        }),
+    ));
+
+    let baseline = read_baseline(&format!("{root}/BENCH_tuple_store.baseline.json"));
+    let mut json = String::from("{\n  \"bench\": \"tuple_store\",\n  \"kernels\": [\n");
+    for (i, (name, s)) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"median_ms\": {:.4}, \"min_ms\": {:.4}, \"iters\": {}",
+            s.median_ms(),
+            s.min.as_secs_f64() * 1e3,
+            s.iters
+        ));
+        if let Some((_, base)) = baseline.iter().find(|(n, _)| n == name) {
+            let speedup = base / s.median_ms().max(1e-9);
+            json.push_str(&format!(
+                ", \"baseline_median_ms\": {base:.4}, \"speedup\": {speedup:.2}"
+            ));
+            println!("P19_tuple_store/{name}_speedup: {speedup:.2}x");
+        }
+        json.push_str(if i + 1 < results.len() { "},\n" } else { "}\n" });
+    }
+    json.push_str("  ]\n}\n");
+    let out = format!("{root}/BENCH_tuple_store.json");
+    std::fs::write(&out, json).expect("write BENCH_tuple_store.json");
+    println!("wrote {out}");
+}

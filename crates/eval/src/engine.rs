@@ -319,6 +319,7 @@ impl Evaluator {
         let mut stats = EvalStats::new();
         let db = fixpoint::evaluate(program, edb, strat, &self.options, &mut stats)?;
         stats.interner_values = intern::len() as u64;
+        stats.record_arena(&db);
         Ok((db, stats))
     }
 

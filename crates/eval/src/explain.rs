@@ -52,10 +52,11 @@ pub fn explain(program: &Program, db: &Database, opts: &EvalOptions, pred: Optio
                 if let Some(part) = &plan.partition {
                     let _ = writeln!(
                         out,
-                        "  partition: hash step-1 cols {:?} -> shard-local probe of {} at step {}",
+                        "  partition: hash step-1 cols {:?} -> shard-local probe of {} at step {} (gated: delta >= {} tuples)",
                         part.scan_cols,
                         part.probe_pred,
-                        part.probe_step + 1
+                        part.probe_step + 1,
+                        part.min_delta
                     );
                 }
                 if opts.compiled && !plan.steps.is_empty() {

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use ldl_ast::program::{Builtin, Program};
 use ldl_ast::rule::Rule;
-use ldl_storage::{shard_of_projection, Database, Relation, Tuple};
+use ldl_storage::{shard_of_projection, Database, Relation};
 use ldl_stratify::Stratification;
 use ldl_value::fxhash::{FastMap, FastSet};
 use ldl_value::{Symbol, ValueId};
@@ -979,12 +979,12 @@ pub(crate) fn run_round(
         };
         match range {
             Some(r) if pool.parallelism() > 1 && r.hi - r.lo >= 2 * MIN_SLICE => {
-                if let Some(spec) = t
-                    .plan
-                    .partition
-                    .as_ref()
-                    .filter(|_| opts.partitioned && r.step == 0)
-                {
+                if let Some(spec) = t.plan.partition.as_ref().filter(|spec| {
+                    // Volume gate (P18): below `min_delta` tuples the
+                    // nshards-fold delta walk costs more than the join work
+                    // it distributes — fall through to contiguous slicing.
+                    opts.partitioned && r.step == 0 && r.hi - r.lo >= spec.min_delta
+                }) {
                     // One unit per shard, each probing its own sub-index of
                     // the partitioned index (built here, against the
                     // pre-round database — the snapshot workers will read).
@@ -1141,7 +1141,7 @@ fn run_grouping_round(
         stats.compiled_rounds += 1;
     }
     #[allow(clippy::type_complexity)]
-    let mut buffers: Vec<(Vec<Tuple>, u64, u64, u64, u64)> = Vec::new();
+    let mut buffers: Vec<(Vec<Vec<ValueId>>, u64, u64, u64, u64)> = Vec::new();
     buffers.resize_with(plans.len(), Default::default);
     if pool.parallelism() == 1 || plans.len() <= 1 {
         for (plan, buf) in plans.iter().zip(&mut buffers) {
@@ -1189,7 +1189,7 @@ fn run_grouping_round(
         stats.lowerings += lowerings;
         attempts += att;
         for t in buf {
-            if db.insert_ids(plan.head.pred, t) {
+            if db.insert_id_slice(plan.head.pred, &t) {
                 new += 1;
             } else {
                 stats.dedup_inserts += 1;

@@ -14,7 +14,7 @@
 //! value depth. The final set is canonicalized by *structural* order
 //! ([`intern::mk_set`]) — never by raw id order, which is run-dependent.
 
-use ldl_storage::{Database, Tuple};
+use ldl_storage::Database;
 use ldl_value::fxhash::{FastMap, FastSet};
 use ldl_value::{intern, ValueId};
 
@@ -43,7 +43,7 @@ pub fn run_grouping_rule(
     use_indexes: bool,
     compiled: bool,
     gate: RoundGate<'_>,
-) -> (Vec<Tuple>, u64) {
+) -> (Vec<Vec<ValueId>>, u64) {
     let HeadKind::Grouping {
         group_pos,
         group_var,
@@ -174,7 +174,7 @@ pub fn run_grouping_rule(
                     args.push(v);
                 }
             }
-            Tuple::from(args)
+            args
         })
         .collect();
     (tuples, attempts)

@@ -76,9 +76,11 @@ pub fn apply_update(
     // One meter spans the whole update — seed rounds, delta loops, and any
     // replay suffix are charged against the same budget.
     let mut meter = BudgetMeter::new(&opts.budget);
-    apply_update_metered(
+    let result = apply_update_metered(
         program, strat, sens, edb, db, changed, opts, stats, &mut meter,
-    )
+    );
+    stats.record_arena(db);
+    result
 }
 
 /// [`apply_update`] against a caller-owned [`BudgetMeter`], so a mutation

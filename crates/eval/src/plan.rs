@@ -618,7 +618,17 @@ pub struct PartitionSpec {
     pub probe_pred: Symbol,
     /// The probe step's (sorted) index columns — the partitioned index key.
     pub probe_cols: Vec<usize>,
+    /// Tuple-volume gate: a pass whose delta covers fewer tuples than this
+    /// is not worth sharding — each shard walks the whole delta to filter
+    /// its keys, so nshards × (hash + skip) dominates the actual join work
+    /// on tiny passes (the P18 single-core regression). The round executor
+    /// falls back to contiguous slicing below the threshold.
+    pub min_delta: u32,
 }
+
+/// Default partition volume gate (see [`PartitionSpec::min_delta`]): below
+/// ~1k delta tuples the per-shard delta walk costs more than it saves.
+pub const PARTITION_MIN_DELTA: u32 = 1024;
 
 /// Find a partitioning for a delta-first plan, or `None` when no later step
 /// probes a key bound entirely by step 0 (the caller then falls back to
@@ -689,6 +699,7 @@ fn compute_partition(
             probe_step: i,
             probe_pred: *pred,
             probe_cols: pcols.clone(),
+            min_delta: PARTITION_MIN_DELTA,
         });
     }
     None

@@ -40,12 +40,16 @@
 use ldl_ast::literal::{Atom, Literal};
 use ldl_ast::program::{Builtin, Program};
 use ldl_ast::term::{Term, Var};
-use ldl_storage::{Database, Relation, Tuple};
+use ldl_storage::{Database, Relation};
 use ldl_stratify::{LayerSensitivity, Stratification};
 use ldl_value::fxhash::{FastMap, FastSet};
 use ldl_value::{Fact, Symbol, ValueId};
 
 use crate::budget::BudgetMeter;
+
+/// An owned row snapshot — tuples pulled out of a relation's arena so they
+/// survive the mutations the deletion sweep performs on it.
+type Row = Vec<ValueId>;
 use crate::engine::EvalOptions;
 use crate::error::EvalError;
 use crate::fixpoint::{
@@ -109,6 +113,7 @@ pub fn apply_mutations(
             edb.revive(p, pos);
         }
     }
+    stats.record_arena(db);
     result
 }
 
@@ -134,14 +139,14 @@ fn mutate_inner(
     // Phase 1: retract from the EDB, recording tombstoned positions for
     // rollback. Pure-EDB predicates are deleted from the model immediately
     // and seed the deletion frontier.
-    let mut deleted: FastMap<Symbol, Vec<Tuple>> = FastMap::default();
-    let mut pending: FastMap<Symbol, Vec<Tuple>> = FastMap::default();
+    let mut deleted: FastMap<Symbol, Vec<Row>> = FastMap::default();
+    let mut pending: FastMap<Symbol, Vec<Row>> = FastMap::default();
     for f in retractions {
         let Some(pos) = edb.remove(f) else {
             continue; // caller validates presence; tolerate a stale entry
         };
         undo.push((f.pred(), pos));
-        let tuple = ldl_storage::tuple(f.args().to_vec());
+        let tuple = ldl_storage::intern_ids(f.args());
         if idb_heads.contains(&f.pred()) {
             pending.entry(f.pred()).or_default().push(tuple);
         } else if db.remove_ids(f.pred(), &tuple).is_some() {
@@ -203,7 +208,7 @@ fn mutate_inner(
             continue;
         }
 
-        let layer_pending: Vec<(Symbol, Vec<Tuple>)> = heads
+        let layer_pending: Vec<(Symbol, Vec<Row>)> = heads
             .iter()
             .filter_map(|&(h, _)| pending.remove(&h).map(|ts| (h, ts)))
             .collect();
@@ -299,7 +304,7 @@ fn scratch_name(prefix: &str, p: Symbol) -> Symbol {
 
 /// One support loss for `h`'s tuple `t`: decrement its derivation count and
 /// tombstone it when the last support is gone.
-fn lose_support(db: &mut Database, h: Symbol, t: &[ValueId], out: &mut Vec<(Symbol, Tuple)>) {
+fn lose_support(db: &mut Database, h: Symbol, t: &[ValueId], out: &mut Vec<(Symbol, Row)>) {
     let rel = db.relation_mut(h, t.len());
     let Some(pos) = rel.position_of(t) else {
         // Exactness of the counting scheme guarantees every enumerated loss
@@ -309,7 +314,7 @@ fn lose_support(db: &mut Database, h: Symbol, t: &[ValueId], out: &mut Vec<(Symb
     };
     if rel.decrement_count(pos, 1) == 0 {
         rel.remove_slice(t);
-        out.push((h, t.iter().copied().collect()));
+        out.push((h, t.to_vec()));
     }
 }
 
@@ -321,12 +326,12 @@ fn counting_delete_layer(
     program: &Program,
     split: &LayerSplit,
     db: &mut Database,
-    deleted: &FastMap<Symbol, Vec<Tuple>>,
-    layer_pending: &[(Symbol, Vec<Tuple>)],
+    deleted: &FastMap<Symbol, Vec<Row>>,
+    layer_pending: &[(Symbol, Vec<Row>)],
     opts: &EvalOptions,
     stats: &mut EvalStats,
     meter: &mut BudgetMeter<'_>,
-) -> Result<Vec<(Symbol, Tuple)>, EvalError> {
+) -> Result<Vec<(Symbol, Row)>, EvalError> {
     meter.check()?;
     // `rm$q` holds exactly the tuples q lost — the deleted side of the
     // OLD = NEW ∪ deleted split the subset rules enumerate over.
@@ -338,7 +343,7 @@ fn counting_delete_layer(
         let name = scratch_name("rm", q);
         let mut rel = Relation::new(arity);
         for t in tuples {
-            rel.insert(t.clone());
+            rel.insert_slice(t);
         }
         db.set_relation(name, rel);
         rm_names.insert(q, name);
@@ -402,7 +407,7 @@ fn counting_delete_layer(
     // Apply the losses: pending EDB units first, then the enumerated
     // derivations in pass order — a fixed order, so the death order (and
     // with it every downstream frontier) is deterministic.
-    let mut out: Vec<(Symbol, Tuple)> = Vec::new();
+    let mut out: Vec<(Symbol, Row)> = Vec::new();
     for (h, tuples) in layer_pending {
         for t in tuples {
             lose_support(db, *h, t, &mut out);
@@ -426,13 +431,13 @@ fn dred_delete_layer(
     heads: &[(Symbol, usize)],
     edb: &Database,
     db: &mut Database,
-    deleted: &FastMap<Symbol, Vec<Tuple>>,
-    layer_pending: &[(Symbol, Vec<Tuple>)],
+    deleted: &FastMap<Symbol, Vec<Row>>,
+    layer_pending: &[(Symbol, Vec<Row>)],
     pool: &Pool,
     opts: &EvalOptions,
     stats: &mut EvalStats,
     meter: &mut BudgetMeter<'_>,
-) -> Result<Vec<(Symbol, Tuple)>, EvalError> {
+) -> Result<Vec<(Symbol, Row)>, EvalError> {
     meter.check()?;
     let layer_set: FastSet<Symbol> = heads.iter().map(|&(h, _)| h).collect();
     let is_deletable = |l: &Literal| {
@@ -484,7 +489,7 @@ fn dred_delete_layer(
     for (h, tuples) in layer_pending {
         for t in tuples {
             db.relation_mut(scratch_name("del", *h), t.len())
-                .insert(t.clone());
+                .insert_slice(t);
         }
     }
     for (&q, tuples) in deleted {
@@ -493,10 +498,10 @@ fn dred_delete_layer(
         let old = if needs_old.contains(&q) {
             let mut orel = Relation::new(arity);
             for t in qrel.iter() {
-                orel.insert(t.clone());
+                orel.insert_slice(t);
             }
             for t in tuples {
-                orel.insert(t.clone());
+                orel.insert_slice(t);
             }
             Some(orel)
         } else {
@@ -504,7 +509,7 @@ fn dred_delete_layer(
         };
         let mut drel = Relation::new(arity);
         for t in tuples {
-            drel.insert(t.clone());
+            drel.insert_slice(t);
         }
         let dn = scratch_name("del", q);
         db.set_relation(dn, drel);
@@ -546,12 +551,12 @@ fn dred_delete_layer(
     // it is still an EDB fact, or if some rule body still derives it from
     // the surviving facts — the latter via a del$h-first join so the pass
     // costs O(overdeleted), not O(stratum).
-    let mut over: Vec<(Symbol, Vec<Tuple>)> = Vec::new();
+    let mut over: Vec<(Symbol, Vec<Row>)> = Vec::new();
     for &(h, _) in heads {
         let dn = scratch_name("del", h);
-        let candidates: Vec<Tuple> = db
+        let candidates: Vec<Row> = db
             .relation(dn)
-            .map(|r| r.iter().cloned().collect())
+            .map(|r| r.iter().map(<[ValueId]>::to_vec).collect())
             .unwrap_or_default();
         let mut removed = Vec::new();
         for t in candidates {
@@ -590,7 +595,7 @@ fn dred_delete_layer(
     for name in temp {
         db.remove_relation(name);
     }
-    let mut out: Vec<(Symbol, Tuple)> = Vec::new();
+    let mut out: Vec<(Symbol, Row)> = Vec::new();
     for (h, removed) in over {
         for t in removed {
             if !db.relation(h).is_some_and(|r| r.contains(&t)) {
@@ -665,8 +670,8 @@ pub(crate) fn counting_insert_layer(
                         let rel_src = db.relation(gpred).expect("changed predicate exists");
                         let glo = changed[&gpred];
                         let mut rel = Relation::new(rel_src.arity());
-                        for t in rel_src.range(glo, rel_src.len()).to_vec() {
-                            rel.insert(t);
+                        for t in rel_src.range(glo, rel_src.len()) {
+                            rel.insert_slice(t);
                         }
                         db.set_relation(n, rel);
                         ins_names.insert(gpred, n);
@@ -1062,14 +1067,14 @@ mod tests {
                 ("e", vec![Value::int(2), Value::int(3)]),
             ],
         );
-        let before: Vec<(Symbol, Vec<Tuple>)> = {
+        let before: Vec<(Symbol, Vec<Row>)> = {
             let mut preds: Vec<Symbol> = edb.predicates().collect();
             preds.sort_by_key(|p| p.to_string());
             preds
                 .into_iter()
                 .map(|p| {
                     let r = edb.relation(p).unwrap();
-                    (p, r.iter().cloned().collect())
+                    (p, r.iter().map(<[ValueId]>::to_vec).collect())
                 })
                 .collect()
         };
@@ -1095,14 +1100,14 @@ mod tests {
         );
         assert!(matches!(err, Err(EvalError::ResourceExhausted { .. })));
         // The EDB is exactly what it was — same tuples, same positions.
-        let after: Vec<(Symbol, Vec<Tuple>)> = {
+        let after: Vec<(Symbol, Vec<Row>)> = {
             let mut preds: Vec<Symbol> = edb.predicates().collect();
             preds.sort_by_key(|p| p.to_string());
             preds
                 .into_iter()
                 .map(|p| {
                     let r = edb.relation(p).unwrap();
-                    (p, r.iter().cloned().collect())
+                    (p, r.iter().map(<[ValueId]>::to_vec).collect())
                 })
                 .collect()
         };

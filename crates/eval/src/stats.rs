@@ -105,12 +105,35 @@ pub struct EvalStats {
     /// identical to an unpartitioned run — so this counter measures how
     /// much duplicate traffic never reached the merge thread.
     pub partition_prefiltered: u64,
+    /// Bytes of flat tuple-arena page memory reserved across the model
+    /// database's relations when the operation finished. A gauge like
+    /// `interner_values` (combined by `max`): it measures where the stored
+    /// tuples sit, not work performed.
+    pub arena_bytes: u64,
+    /// Arena pages allocated across the model database's relations when the
+    /// operation finished (each page holds a fixed power-of-two number of
+    /// rows of its relation's arity). A gauge, combined by `max`.
+    pub arena_pages: u64,
 }
 
 impl EvalStats {
     /// A zeroed counter set.
     pub fn new() -> EvalStats {
         EvalStats::default()
+    }
+
+    /// Record the tuple-arena gauges from `db`'s relations (summed over
+    /// relations, `max`-combined across operations like every gauge).
+    pub fn record_arena(&mut self, db: &ldl_storage::Database) {
+        let (mut bytes, mut pages) = (0u64, 0u64);
+        for p in db.predicates() {
+            if let Some(r) = db.relation(p) {
+                bytes += r.arena_bytes() as u64;
+                pages += r.arena_pages() as u64;
+            }
+        }
+        self.arena_bytes = self.arena_bytes.max(bytes);
+        self.arena_pages = self.arena_pages.max(pages);
     }
 }
 
@@ -139,6 +162,8 @@ impl AddAssign for EvalStats {
         self.partitioned_passes += rhs.partitioned_passes;
         self.shard_probes += rhs.shard_probes;
         self.partition_prefiltered += rhs.partition_prefiltered;
+        self.arena_bytes = self.arena_bytes.max(rhs.arena_bytes);
+        self.arena_pages = self.arena_pages.max(rhs.arena_pages);
     }
 }
 
@@ -146,7 +171,7 @@ impl fmt::Display for EvalStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rules fired: {}, attempts: {}, facts derived: {}, facts retracted: {}, dedup inserts: {}, index probes: {}, interned values: {}, strata replayed: {}, delta-updated: {}, counting: {}, dred: {}, skipped: {}, rounds: {}, tasks: {}, plan cache hits: {}, misses: {}, replans: {}, exist cuts: {}, lowerings: {}, compiled rounds: {}, partitioned passes: {}, shard probes: {}, prefiltered: {}",
+            "rules fired: {}, attempts: {}, facts derived: {}, facts retracted: {}, dedup inserts: {}, index probes: {}, interned values: {}, strata replayed: {}, delta-updated: {}, counting: {}, dred: {}, skipped: {}, rounds: {}, tasks: {}, plan cache hits: {}, misses: {}, replans: {}, exist cuts: {}, lowerings: {}, compiled rounds: {}, partitioned passes: {}, shard probes: {}, prefiltered: {}, arena bytes: {}, arena pages: {}",
             self.rules_fired,
             self.attempts,
             self.facts_derived,
@@ -169,7 +194,9 @@ impl fmt::Display for EvalStats {
             self.compiled_rounds,
             self.partitioned_passes,
             self.shard_probes,
-            self.partition_prefiltered
+            self.partition_prefiltered,
+            self.arena_bytes,
+            self.arena_pages
         )
     }
 }

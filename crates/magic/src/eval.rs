@@ -158,7 +158,7 @@ impl MagicEvaluator {
                         );
                         let mut n = 0;
                         for t in tuples {
-                            if db.insert_ids(plan.head.pred, t) {
+                            if db.insert_id_slice(plan.head.pred, &t) {
                                 n += 1;
                             }
                         }

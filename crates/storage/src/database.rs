@@ -3,7 +3,7 @@
 use ldl_value::fxhash::FastMap;
 use ldl_value::{intern, Fact, FactSet, Symbol, Value, ValueId};
 
-use crate::relation::{Relation, Tuple};
+use crate::relation::Relation;
 
 /// A database: a collection of facts (§6: "A database D is a collection of
 /// facts"), organized as one [`Relation`] per predicate symbol.
@@ -37,22 +37,15 @@ impl Database {
     /// iff the fact was new. This is the structural entry point: arguments
     /// are interned here, once, and the engine runs on the resulting ids.
     pub fn insert(&mut self, fact: Fact) -> bool {
-        let tuple: Tuple = fact.args().iter().map(intern::id_of).collect();
-        let rel = self
-            .relations
-            .entry(fact.pred())
-            .or_insert_with(|| Relation::new(fact.arity()));
-        rel.insert(tuple)
+        let ids: Vec<ValueId> = fact.args().iter().map(intern::id_of).collect();
+        self.insert_id_slice(fact.pred(), &ids)
     }
 
-    /// Insert an already-interned tuple — the evaluation hot path; no
-    /// structural value is touched. Returns `true` iff the tuple was new.
-    pub fn insert_ids(&mut self, pred: Symbol, tuple: Tuple) -> bool {
-        let rel = self
-            .relations
-            .entry(pred)
-            .or_insert_with(|| Relation::new(tuple.len()));
-        rel.insert(tuple)
+    /// Insert an already-interned owned tuple.
+    #[deprecated(note = "use `insert_id_slice` — tuples are copied into the relation's arena")]
+    #[allow(deprecated)]
+    pub fn insert_ids(&mut self, pred: Symbol, tuple: crate::relation::Tuple) -> bool {
+        self.insert_id_slice(pred, &tuple)
     }
 
     /// Insert an interned tuple borrowed from a derivation buffer — the
@@ -246,7 +239,15 @@ pub struct Mark {
 }
 
 /// Convenience: make an interned tuple from structural values.
-pub fn tuple(vals: Vec<Value>) -> Tuple {
+#[deprecated(note = "use `intern_ids` — owned shared tuples are gone from the storage layer")]
+#[allow(deprecated)]
+pub fn tuple(vals: Vec<Value>) -> crate::relation::Tuple {
+    vals.iter().map(intern::id_of).collect()
+}
+
+/// Intern structural values into a flat id vector — the borrowed-slice
+/// counterpart of the old `tuple` helper, for [`Database::insert_id_slice`].
+pub fn intern_ids(vals: &[Value]) -> Vec<ValueId> {
     vals.iter().map(intern::id_of).collect()
 }
 

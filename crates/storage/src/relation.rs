@@ -1,29 +1,323 @@
-//! Append-only relations with hash indexes.
+//! Append-only relations over flat paged tuple arenas, with
+//! position-keyed hash indexes.
 //!
-//! Tuples are stored as interned [`ValueId`]s: the duplicate filter and
-//! every index probe hash and compare a few `u32`s regardless of how deep
-//! the underlying values are. Structural [`ldl_value::Value`]s exist only
+//! Tuples are stored as interned [`ValueId`]s laid out contiguously in
+//! fixed-stride arena pages: row `pos` of an arity-`k` relation is `k`
+//! consecutive ids inside one page, so a scan is a linear memory walk and
+//! a row access is a shift, a mask, and an add — no per-tuple heap
+//! allocation, no pointer chasing. The duplicate filter and every index
+//! key onto that arena by *row position*: a lookup hashes the probe slice
+//! and compares it against rows in place, so neither the insert path nor
+//! the probe path allocates. Structural [`ldl_value::Value`]s exist only
 //! at the [`crate::Database`] fact boundary.
 
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use ldl_value::fxhash::{FastMap, FastSet};
+use ldl_value::fxhash::{FastMap, FastSet, FxHasher};
 use ldl_value::{intern, ValueId};
 
-/// A ground tuple of interned values. Cheap to clone (shared allocation).
+/// A ground tuple of interned values as an owned shared allocation.
+#[deprecated(
+    note = "tuples live in flat paged arenas now; work with `&[ValueId]` row \
+            slices (`Relation::get`, `Relation::insert_slice`) instead"
+)]
 pub type Tuple = Arc<[ValueId]>;
+
+/// Positions are dense `u32`s; the top two values are reserved for the
+/// hash-table sentinels, so a relation holds at most `u32::MAX - 2` rows.
+const MAX_ROWS: u32 = u32::MAX - 2;
+
+/// Hash a slice of interned ids (FxHash fold — one multiply-xor per id).
+#[inline]
+fn hash_ids(ids: &[ValueId]) -> u64 {
+    let mut h = FxHasher::default();
+    for v in ids {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Hash the projection of `row` onto `cols` — the same stream
+/// [`hash_ids`] produces for the materialized key, without materializing
+/// it.
+#[inline]
+fn hash_projection(cols: &[usize], row: &[ValueId]) -> u64 {
+    let mut h = FxHasher::default();
+    for &c in cols {
+        row[c].hash(&mut h);
+    }
+    h.finish()
+}
+
+/// The paged flat row arena: rows of a fixed arity stored contiguously in
+/// chunks of `1 << shift` rows. Pages are append-only and never move or
+/// reallocate once created (each is created at full capacity), so row
+/// positions are stable and borrowed row slices stay valid for the life
+/// of a `&Rows` borrow regardless of how many rows were appended before
+/// it was taken.
+#[derive(Clone, Debug)]
+struct Rows {
+    arity: usize,
+    /// `log2` of rows per page.
+    shift: u32,
+    /// `(1 << shift) - 1`.
+    mask: u32,
+    /// Row count.
+    len: u32,
+    pages: Vec<Vec<ValueId>>,
+}
+
+impl Rows {
+    fn new(arity: usize) -> Rows {
+        // Target ≈ 4096 ids (16 KiB) per page, at a power-of-two row
+        // count so addressing is shift/mask. Wide relations degrade to
+        // one row per page rather than overflowing; arity 0 stores no
+        // page data, so its nominal page size is moot.
+        let target = 4096usize.checked_div(arity).unwrap_or(4096).max(1);
+        let per_page = 1usize << (usize::BITS - 1 - target.leading_zeros());
+        let shift = per_page.trailing_zeros();
+        Rows {
+            arity,
+            shift,
+            mask: (per_page - 1) as u32,
+            len: 0,
+            pages: Vec::new(),
+        }
+    }
+
+    /// The row at `pos` as a borrowed slice of `arity` ids.
+    #[inline]
+    fn get(&self, pos: u32) -> &[ValueId] {
+        if self.arity == 0 {
+            return &[];
+        }
+        let page = (pos >> self.shift) as usize;
+        let off = ((pos & self.mask) as usize) * self.arity;
+        &self.pages[page][off..off + self.arity]
+    }
+
+    /// Append one row, returning its position. Allocates only when a new
+    /// page is opened (every `1 << shift` rows).
+    #[inline]
+    fn push(&mut self, row: &[ValueId]) -> u32 {
+        debug_assert_eq!(row.len(), self.arity);
+        let pos = self.len;
+        self.len += 1;
+        if self.arity > 0 {
+            let page = (pos >> self.shift) as usize;
+            if page == self.pages.len() {
+                let cap = ((self.mask as usize) + 1) * self.arity;
+                self.pages.push(Vec::with_capacity(cap));
+            }
+            self.pages[page].extend_from_slice(row);
+        }
+        pos
+    }
+
+    /// Drop every row at position `n` or beyond.
+    fn truncate(&mut self, n: u32) {
+        if n >= self.len {
+            return;
+        }
+        self.len = n;
+        if self.arity == 0 {
+            return;
+        }
+        let full = (n >> self.shift) as usize;
+        let rem = (n & self.mask) as usize;
+        if rem == 0 {
+            self.pages.truncate(full);
+        } else {
+            self.pages.truncate(full + 1);
+            self.pages[full].truncate(rem * self.arity);
+        }
+    }
+
+    /// Bytes of arena page memory currently reserved.
+    fn bytes(&self) -> usize {
+        self.pages
+            .iter()
+            .map(|p| p.capacity() * std::mem::size_of::<ValueId>())
+            .sum()
+    }
+}
+
+/// Open-addressed hash-table core shared by the duplicate filter and the
+/// indexes: 1-byte tags (empty / deleted / 7 hash bits) probed first, a
+/// `u32` payload per slot (a row position or a bucket handle). Key
+/// storage lives *outside* the table — callers compare candidate payloads
+/// against arena rows in place — so growing or probing never touches an
+/// owned key.
+#[derive(Clone, Debug, Default)]
+struct RawTable {
+    tags: Vec<u8>,
+    slots: Vec<u32>,
+    live: usize,
+    tombs: usize,
+}
+
+const T_EMPTY: u8 = 0;
+const T_DELETED: u8 = 1;
+
+/// Seven hash bits plus the occupied bit — probing rejects almost every
+/// non-matching slot without fetching the row it points at.
+#[inline]
+fn tag_of(h: u64) -> u8 {
+    (h >> 57) as u8 | 0x80
+}
+
+impl RawTable {
+    /// The payload whose key matches, per `eq` (called only on slots whose
+    /// tag byte matches the hash).
+    #[inline]
+    fn find(&self, h: u64, eq: impl Fn(u32) -> bool) -> Option<u32> {
+        Some(self.slots[self.find_slot(h, eq)?])
+    }
+
+    /// The slot index holding a matching payload.
+    #[inline]
+    fn find_slot(&self, h: u64, eq: impl Fn(u32) -> bool) -> Option<usize> {
+        if self.tags.is_empty() {
+            return None;
+        }
+        let mask = self.tags.len() - 1;
+        let tag = tag_of(h);
+        let mut i = (h as usize) & mask;
+        let mut step = 0;
+        loop {
+            let t = self.tags[i];
+            if t == T_EMPTY {
+                return None;
+            }
+            if t == tag && eq(self.slots[i]) {
+                return Some(i);
+            }
+            // Triangular probing: visits every slot of a power-of-two
+            // table exactly once.
+            step += 1;
+            i = (i + step) & mask;
+        }
+    }
+
+    /// Insert a payload under `h`. The key must be absent (callers probe
+    /// first) and capacity ensured ([`RawTable::ensure_cap`]).
+    fn insert(&mut self, h: u64, payload: u32) {
+        let mask = self.tags.len() - 1;
+        let mut i = (h as usize) & mask;
+        let mut step = 0;
+        while self.tags[i] & 0x80 != 0 {
+            step += 1;
+            i = (i + step) & mask;
+        }
+        if self.tags[i] == T_DELETED {
+            self.tombs -= 1;
+        }
+        self.tags[i] = tag_of(h);
+        self.slots[i] = payload;
+        self.live += 1;
+    }
+
+    /// Tombstone slot `i` (from [`RawTable::find_slot`]).
+    fn delete_slot(&mut self, i: usize) {
+        self.tags[i] = T_DELETED;
+        self.live -= 1;
+        self.tombs += 1;
+    }
+
+    /// Make room for one more entry, rehashing stored payloads through
+    /// `rehash` when the table grows or needs its tombstones compacted.
+    fn ensure_cap(&mut self, rehash: impl Fn(u32) -> u64) {
+        let cap = self.tags.len();
+        if cap == 0 {
+            self.tags = vec![T_EMPTY; 16];
+            self.slots = vec![0; 16];
+            return;
+        }
+        if (self.live + self.tombs + 1) * 4 <= cap * 3 {
+            return;
+        }
+        // Grow when genuinely full; rehash at the same size when
+        // tombstones are the bulk of the occupancy.
+        let new_cap = if (self.live + 1) * 2 > cap {
+            cap * 2
+        } else {
+            cap
+        };
+        let old_tags = std::mem::replace(&mut self.tags, vec![T_EMPTY; new_cap]);
+        let old_slots = std::mem::replace(&mut self.slots, vec![0; new_cap]);
+        self.tombs = 0;
+        let mask = new_cap - 1;
+        for (t, s) in old_tags.into_iter().zip(old_slots) {
+            if t & 0x80 == 0 {
+                continue;
+            }
+            let h = rehash(s);
+            let mut i = (h as usize) & mask;
+            let mut step = 0;
+            while self.tags[i] != T_EMPTY {
+                step += 1;
+                i = (i + step) & mask;
+            }
+            self.tags[i] = tag_of(h);
+            self.slots[i] = s;
+        }
+    }
+
+    /// Reset to empty, keeping capacity.
+    fn clear(&mut self) {
+        self.tags.iter_mut().for_each(|t| *t = T_EMPTY);
+        self.live = 0;
+        self.tombs = 0;
+    }
+}
+
+/// The duplicate filter *and* position map: row positions keyed by their
+/// arena content. Each live tuple maps to its insertion position; removed
+/// (tombstoned) tuples are absent, so `contains`/`position_of` see only
+/// live facts. No owned keys — lookups compare the probe slice against
+/// the arena.
+#[derive(Clone, Debug, Default)]
+struct Seen {
+    table: RawTable,
+}
+
+impl Seen {
+    #[inline]
+    fn get(&self, rows: &Rows, key: &[ValueId]) -> Option<u32> {
+        self.table.find(hash_ids(key), |p| rows.get(p) == key)
+    }
+
+    /// Record `pos` (whose row must not already be present).
+    fn insert(&mut self, rows: &Rows, pos: u32) {
+        let h = hash_ids(rows.get(pos));
+        self.table.ensure_cap(|p| hash_ids(rows.get(p)));
+        self.table.insert(h, pos);
+    }
+
+    fn remove(&mut self, rows: &Rows, key: &[ValueId]) -> Option<u32> {
+        let i = self
+            .table
+            .find_slot(hash_ids(key), |p| rows.get(p) == key)?;
+        let pos = self.table.slots[i];
+        self.table.delete_slot(i);
+        Some(pos)
+    }
+}
 
 /// An opaque handle to one of a relation's hash indexes (see
 /// [`Relation::index`]).
 #[derive(Clone, Copy, Debug)]
-pub struct IndexRef<'a>(&'a Index);
+pub struct IndexRef<'a> {
+    idx: &'a Index,
+}
 
 impl<'a> IndexRef<'a> {
     /// Insertion positions of all tuples whose projection equals `key` (ids
     /// in sorted column order). Borrowed key: a probe allocates nothing.
     pub fn probe(self, key: &[ValueId]) -> &'a [u32] {
-        debug_assert_eq!(key.len(), self.0.cols.len());
-        self.0.map.get(key).map_or(&[], |v| &v[..])
+        debug_assert_eq!(key.len(), self.idx.cols.len());
+        self.idx.probe(key)
     }
 }
 
@@ -56,23 +350,152 @@ pub fn shard_of_key(key: &[ValueId], nshards: u32) -> u32 {
     (h % u64::from(nshards)) as u32
 }
 
-/// A hash index over a subset of columns.
+/// A hash index over a subset of columns, keyed by row position.
 ///
 /// Maps the projection of a tuple onto `cols` to the positions (insertion
-/// indices) of all tuples with that projection. Maintained incrementally as
-/// tuples are inserted.
+/// indices) of all tuples with that projection. The table stores bucket
+/// handles; bucket `b`'s projected key lives at stride-`cols.len()` offset
+/// `b` of the flat `keys` arena, immediately comparable against a borrowed
+/// probe slice — a probe never touches the row arena, and the only
+/// allocations are the amortized growth of `keys` and the posting lists
+/// (nothing per tuple). Maintained incrementally as tuples are inserted.
 #[derive(Clone, Debug)]
 struct Index {
     cols: Vec<usize>,
-    map: FastMap<Box<[ValueId]>, Vec<u32>>,
+    table: RawTable,
+    /// Flat key arena: bucket `b`'s projected key ids are
+    /// `keys[b*k .. (b+1)*k]` with `k = cols.len()`.
+    keys: Vec<ValueId>,
+    /// Posting lists (ascending positions). An empty list is a free
+    /// bucket awaiting reuse via `free`.
+    buckets: Vec<Vec<u32>>,
+    free: Vec<u32>,
+}
+
+impl Index {
+    fn new(cols: Vec<usize>) -> Index {
+        Index {
+            cols,
+            table: RawTable::default(),
+            keys: Vec::new(),
+            buckets: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Bucket `b`'s projected key.
+    #[inline]
+    fn key_at(&self, b: u32) -> &[ValueId] {
+        let k = self.cols.len();
+        let at = b as usize * k;
+        &self.keys[at..at + k]
+    }
+
+    fn probe(&self, key: &[ValueId]) -> &[u32] {
+        let h = hash_ids(key);
+        match self.table.find(h, |b| self.key_at(b) == key) {
+            Some(b) => &self.buckets[b as usize],
+            None => &[],
+        }
+    }
+
+    fn add(&mut self, tuple: &[ValueId], pos: u32) {
+        self.upsert(tuple, pos, false);
+    }
+
+    /// Re-insert `pos` into `tuple`'s posting list at its sorted slot —
+    /// postings must stay ascending so probe results keep insertion order
+    /// (the bit-for-bit determinism contract).
+    fn add_sorted(&mut self, tuple: &[ValueId], pos: u32) {
+        self.upsert(tuple, pos, true);
+    }
+
+    fn upsert(&mut self, tuple: &[ValueId], pos: u32, sorted: bool) {
+        let h = hash_projection(&self.cols, tuple);
+        if let Some(b) = self.table.find(h, |b| {
+            self.cols
+                .iter()
+                .zip(self.key_at(b))
+                .all(|(&c, &k)| tuple[c] == k)
+        }) {
+            let postings = &mut self.buckets[b as usize];
+            if sorted {
+                let at = postings.partition_point(|&p| p < pos);
+                postings.insert(at, pos);
+            } else {
+                postings.push(pos);
+            }
+            return;
+        }
+        let (keys, k) = (&self.keys, self.cols.len());
+        self.table
+            .ensure_cap(|b| hash_ids(&keys[b as usize * k..(b as usize + 1) * k]));
+        let b = match self.free.pop() {
+            Some(b) => {
+                let at = b as usize * k;
+                for (slot, &c) in self.keys[at..at + k].iter_mut().zip(&self.cols) {
+                    *slot = tuple[c];
+                }
+                b
+            }
+            None => {
+                self.buckets.push(Vec::new());
+                self.keys.extend(self.cols.iter().map(|&c| tuple[c]));
+                (self.buckets.len() - 1) as u32
+            }
+        };
+        self.buckets[b as usize].push(pos);
+        self.table.insert(h, b);
+    }
+
+    /// Drop `pos` from the posting list of `tuple`'s key (tombstoning).
+    fn remove(&mut self, tuple: &[ValueId], pos: u32) {
+        let h = hash_projection(&self.cols, tuple);
+        let Some(i) = self.table.find_slot(h, |b| {
+            self.cols
+                .iter()
+                .zip(self.key_at(b))
+                .all(|(&c, &k)| tuple[c] == k)
+        }) else {
+            return;
+        };
+        let b = self.table.slots[i];
+        let postings = &mut self.buckets[b as usize];
+        postings.retain(|&p| p != pos);
+        if postings.is_empty() {
+            self.table.delete_slot(i);
+            self.free.push(b);
+        }
+    }
+
+    /// Prune every posting at position `cutoff` or beyond and rebuild the
+    /// table from the surviving buckets (truncation is the rare
+    /// snapshot-rollback path). Freed buckets keep their stale key bytes;
+    /// reuse overwrites them.
+    fn truncate(&mut self, cutoff: u32) {
+        self.table.clear();
+        self.free.clear();
+        for b in 0..self.buckets.len() {
+            self.buckets[b].retain(|&p| p < cutoff);
+            if self.buckets[b].is_empty() {
+                self.free.push(b as u32);
+                continue;
+            }
+            let h = hash_ids(self.key_at(b as u32));
+            let (keys, k) = (&self.keys, self.cols.len());
+            self.table
+                .ensure_cap(|bb| hash_ids(&keys[bb as usize * k..(bb as usize + 1) * k]));
+            self.table.insert(h, b as u32);
+        }
+    }
 }
 
 /// A hash index split into shard-local sub-indexes by [`shard_of_key`] of
 /// the key projection. Each shard's sub-index holds exactly the posting
 /// lists of the keys it owns, so a partitioned join worker probes a private
-/// map — and because a key hashes to one shard, a probe routed to the right
-/// shard returns the identical (ascending) posting list the full index
-/// would. Maintained incrementally alongside the plain indexes.
+/// table — and because a key hashes to one shard, a probe routed to the
+/// right shard returns the identical (ascending) posting list the full
+/// index would. Maintained incrementally alongside the plain indexes.
 #[derive(Clone, Debug)]
 struct PartIndex {
     cols: Vec<usize>,
@@ -98,34 +521,6 @@ impl PartIndex {
     fn add_sorted(&mut self, tuple: &[ValueId], pos: u32) {
         let s = self.shard_of(tuple);
         self.shards[s].add_sorted(tuple, pos);
-    }
-}
-
-impl Index {
-    fn add(&mut self, tuple: &[ValueId], pos: u32) {
-        let key: Box<[ValueId]> = self.cols.iter().map(|&c| tuple[c]).collect();
-        self.map.entry(key).or_default().push(pos);
-    }
-
-    /// Drop `pos` from the posting list of `tuple`'s key (tombstoning).
-    fn remove(&mut self, tuple: &[ValueId], pos: u32) {
-        let key: Box<[ValueId]> = self.cols.iter().map(|&c| tuple[c]).collect();
-        if let Some(postings) = self.map.get_mut(&key) {
-            postings.retain(|&p| p != pos);
-            if postings.is_empty() {
-                self.map.remove(&key);
-            }
-        }
-    }
-
-    /// Re-insert `pos` into `tuple`'s posting list at its sorted slot —
-    /// postings must stay ascending so probe results keep insertion order
-    /// (the bit-for-bit determinism contract).
-    fn add_sorted(&mut self, tuple: &[ValueId], pos: u32) {
-        let key: Box<[ValueId]> = self.cols.iter().map(|&c| tuple[c]).collect();
-        let postings = self.map.entry(key).or_default();
-        let slot = postings.partition_point(|&p| p < pos);
-        postings.insert(slot, pos);
     }
 }
 
@@ -193,17 +588,15 @@ impl ColSketch {
 #[derive(Clone, Debug)]
 pub struct Relation {
     arity: usize,
-    tuples: Vec<Tuple>,
-    /// Duplicate filter *and* position map: each live tuple maps to its
-    /// insertion position. Removed (tombstoned) tuples are absent, so
-    /// `contains`/`position_of` see only live facts.
-    seen: FastMap<Tuple, u32>,
+    rows: Rows,
+    /// Duplicate filter *and* position map (see [`Seen`]).
+    seen: Seen,
     /// Tombstoned insertion positions. `None` (no heap) until the first
     /// removal — the append-only fast path never touches it. Positions are
     /// never reused, so deltas `[lo, hi)` and marks stay valid; readers
     /// skip dead positions via [`Relation::is_live`].
     dead: Option<Box<FastSet<u32>>>,
-    /// Live tuple count: `tuples.len() - dead.len()`.
+    /// Live tuple count: `rows.len - dead.len()`.
     live: usize,
     /// Per-position derivation counts (counting-based maintenance for
     /// non-recursive strata). `None` unless [`Relation::enable_counts`] was
@@ -234,8 +627,8 @@ impl Relation {
     pub fn new(arity: usize) -> Relation {
         Relation {
             arity,
-            tuples: Vec::new(),
-            seen: FastMap::default(),
+            rows: Rows::new(arity),
+            seen: Seen::default(),
             dead: None,
             live: 0,
             counts: None,
@@ -257,7 +650,7 @@ impl Relation {
     /// value, and removals must not shift them. For the number of facts the
     /// relation currently holds, see [`Relation::live_len`].
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.rows.len as usize
     }
 
     /// Number of live (non-tombstoned) tuples.
@@ -270,74 +663,79 @@ impl Relation {
         self.live == 0
     }
 
-    /// Insert a tuple; returns `true` iff it was new. Panics on arity
-    /// mismatch (a schema violation is a caller bug, not data).
+    /// Arena pages currently allocated.
+    pub fn arena_pages(&self) -> usize {
+        self.rows.pages.len()
+    }
+
+    /// Bytes of arena page memory currently reserved.
+    pub fn arena_bytes(&self) -> usize {
+        self.rows.bytes()
+    }
+
+    /// Insert an owned tuple; returns `true` iff it was new.
+    #[deprecated(note = "use `insert_slice` — rows are copied into the arena, not shared")]
+    #[allow(deprecated)]
     pub fn insert(&mut self, tuple: Tuple) -> bool {
+        self.insert_slice(&tuple)
+    }
+
+    /// Insert a borrowed tuple; returns `true` iff it was new. This is the
+    /// merge-phase hot path: a rejected duplicate hashes the borrowed
+    /// slice and compares it against the arena, and an accepted tuple is
+    /// copied into the current arena page — neither side performs a
+    /// per-tuple heap allocation (pages, tables, and posting lists
+    /// amortize their growth). On a count-carrying relation a rejected
+    /// duplicate still bumps the tuple's derivation count. Panics on arity
+    /// mismatch (a schema violation is a caller bug, not data).
+    pub fn insert_slice(&mut self, tuple: &[ValueId]) -> bool {
         assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
-        if let Some(&pos) = self.seen.get(tuple.as_ref() as &[ValueId]) {
+        if let Some(pos) = self.seen.get(&self.rows, tuple) {
             if let Some(counts) = &mut self.counts {
                 counts[pos as usize] += 1;
             }
             return false;
         }
-        let pos = u32::try_from(self.tuples.len()).expect("relation exceeds u32 tuples");
-        self.seen.insert(Arc::clone(&tuple), pos);
+        assert!(self.rows.len < MAX_ROWS, "relation exceeds u32 tuples");
+        let pos = self.rows.push(tuple);
+        self.seen.insert(&self.rows, pos);
         for idx in self.indexes.values_mut() {
-            idx.add(&tuple, pos);
+            idx.add(tuple, pos);
         }
         for pidx in self.part_indexes.values_mut() {
-            pidx.add(&tuple, pos);
+            pidx.add(tuple, pos);
         }
         for (sk, &v) in self.sketches.iter_mut().zip(tuple.iter()) {
             sk.observe(v);
         }
-        self.tuples.push(tuple);
         if let Some(counts) = &mut self.counts {
             counts.push(1);
         }
         self.live += 1;
-        if self.tuples.len() >= self.next_epoch_len {
+        if self.len() >= self.next_epoch_len {
             self.stats_epoch += 1;
-            self.next_epoch_len = self.tuples.len() + (self.tuples.len() / 2).max(16);
+            self.next_epoch_len = self.len() + (self.len() / 2).max(16);
         }
         true
-    }
-
-    /// Insert a borrowed tuple; returns `true` iff it was new. The
-    /// duplicate probe happens on the borrowed slice, so a rejected
-    /// duplicate allocates nothing — this is the merge-phase hot path,
-    /// where semi-naive evaluation rejects most derivations. On a
-    /// count-carrying relation the rejected duplicate still bumps the
-    /// tuple's derivation count.
-    pub fn insert_slice(&mut self, tuple: &[ValueId]) -> bool {
-        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
-        if let Some(&pos) = self.seen.get(tuple) {
-            if let Some(counts) = &mut self.counts {
-                counts[pos as usize] += 1;
-            }
-            return false;
-        }
-        self.insert(Tuple::from(tuple))
     }
 
     /// Does the relation contain exactly this tuple (live — a tombstoned
     /// tuple is gone)?
     pub fn contains(&self, tuple: &[ValueId]) -> bool {
-        // FastMap<Arc<[ValueId]>, u32> can be probed with a borrowed slice
-        // because Arc<[ValueId]>: Borrow<[ValueId]>.
-        self.seen.contains_key(tuple)
+        self.seen.get(&self.rows, tuple).is_some()
     }
 
     /// The insertion position of a live tuple, if present.
     pub fn position_of(&self, tuple: &[ValueId]) -> Option<u32> {
-        self.seen.get(tuple).copied()
+        self.seen.get(&self.rows, tuple)
     }
 
-    /// The tuple at insertion position `pos` (defined for tombstoned
-    /// positions too — the tuple data is retained so rollback can revive
+    /// The row at insertion position `pos` (defined for tombstoned
+    /// positions too — the row data is retained so rollback can revive
     /// it; scan loops filter with [`Relation::is_live`]).
-    pub fn get(&self, pos: u32) -> &Tuple {
-        &self.tuples[pos as usize]
+    #[inline]
+    pub fn get(&self, pos: u32) -> &[ValueId] {
+        self.rows.get(pos)
     }
 
     /// Is insertion position `pos` live (not tombstoned)?
@@ -350,39 +748,38 @@ impl Relation {
     }
 
     /// All live tuples in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
-        self.tuples
-            .iter()
-            .enumerate()
-            .filter(|&(pos, _)| self.is_live(pos as u32))
-            .map(|(_, t)| t)
+    pub fn iter(&self) -> impl Iterator<Item = &[ValueId]> + '_ {
+        (0..self.rows.len)
+            .filter(|&pos| self.is_live(pos))
+            .map(|pos| self.rows.get(pos))
     }
 
     /// Tuples in the insertion range `[from, to)` — a delta. Physical: a
     /// delta range is always freshly inserted (hence live) when consumed;
     /// callers walking historical ranges must filter with
     /// [`Relation::is_live`].
-    pub fn range(&self, from: usize, to: usize) -> &[Tuple] {
-        &self.tuples[from..to]
+    pub fn range(&self, from: usize, to: usize) -> impl Iterator<Item = &[ValueId]> + '_ {
+        debug_assert!(from <= to && to <= self.len());
+        (from as u32..to as u32).map(|pos| self.rows.get(pos))
     }
 
     /// Tombstone a live tuple: removes it from the duplicate filter and
     /// every index posting list, marks its position dead, and bumps the
-    /// statistics epoch. The position itself (and the tuple data) is
+    /// statistics epoch. The position itself (and the row data) is
     /// retained so outstanding marks/deltas stay valid and
     /// [`Relation::revive`] can restore the exact pre-removal state.
     /// Returns the tombstoned position, or `None` if the tuple was not
     /// live.
     pub fn remove_slice(&mut self, tuple: &[ValueId]) -> Option<u32> {
-        let pos = self.seen.remove(tuple)?;
+        let pos = self.seen.remove(&self.rows, tuple)?;
         self.dead.get_or_insert_with(Default::default).insert(pos);
         self.live -= 1;
-        let t = Arc::clone(&self.tuples[pos as usize]);
+        let rows = &self.rows;
         for idx in self.indexes.values_mut() {
-            idx.remove(&t, pos);
+            idx.remove(rows.get(pos), pos);
         }
         for pidx in self.part_indexes.values_mut() {
-            pidx.remove(&t, pos);
+            pidx.remove(rows.get(pos), pos);
         }
         self.stats_epoch += 1;
         Some(pos)
@@ -396,14 +793,14 @@ impl Relation {
         if !self.dead.as_mut().is_some_and(|d| d.remove(&pos)) {
             return;
         }
-        let t = Arc::clone(&self.tuples[pos as usize]);
+        let rows = &self.rows;
         for idx in self.indexes.values_mut() {
-            idx.add_sorted(&t, pos);
+            idx.add_sorted(rows.get(pos), pos);
         }
         for pidx in self.part_indexes.values_mut() {
-            pidx.add_sorted(&t, pos);
+            pidx.add_sorted(rows.get(pos), pos);
         }
-        self.seen.insert(t, pos);
+        self.seen.insert(&self.rows, pos);
         self.live += 1;
         self.stats_epoch += 1;
     }
@@ -415,7 +812,7 @@ impl Relation {
     /// a side effect. Idempotent.
     pub fn enable_counts(&mut self) {
         if self.counts.is_none() {
-            self.counts = Some(vec![1; self.tuples.len()]);
+            self.counts = Some(vec![1; self.len()]);
         }
     }
 
@@ -452,23 +849,16 @@ impl Relation {
         if self.indexes.contains_key(cols.as_slice()) {
             return;
         }
-        let mut idx = Index {
-            cols: cols.clone(),
-            map: FastMap::default(),
-        };
+        let mut idx = Index::new(cols.clone());
         // Skip tombstoned positions: an index built after a removal must
         // agree with one that witnessed it (probes never check liveness).
         // `revive` re-adds the position to every index, so a later rollback
         // still restores the pre-removal posting lists exactly.
-        for (pos, t) in self.tuples.iter().enumerate() {
-            if self
-                .dead
-                .as_ref()
-                .is_some_and(|d| d.contains(&(pos as u32)))
-            {
+        for pos in 0..self.rows.len {
+            if self.dead.as_ref().is_some_and(|d| d.contains(&pos)) {
                 continue;
             }
-            idx.add(t, pos as u32);
+            idx.add(self.rows.get(pos), pos);
         }
         self.indexes.insert(cols, idx);
     }
@@ -497,22 +887,13 @@ impl Relation {
         let mut pidx = PartIndex {
             cols: cols.clone(),
             nshards,
-            shards: (0..nshards)
-                .map(|_| Index {
-                    cols: cols.clone(),
-                    map: FastMap::default(),
-                })
-                .collect(),
+            shards: (0..nshards).map(|_| Index::new(cols.clone())).collect(),
         };
-        for (pos, t) in self.tuples.iter().enumerate() {
-            if self
-                .dead
-                .as_ref()
-                .is_some_and(|d| d.contains(&(pos as u32)))
-            {
+        for pos in 0..self.rows.len {
+            if self.dead.as_ref().is_some_and(|d| d.contains(&pos)) {
                 continue;
             }
-            pidx.add(t, pos as u32);
+            pidx.add(self.rows.get(pos), pos);
         }
         self.part_indexes.insert(cols, pidx);
     }
@@ -525,7 +906,7 @@ impl Relation {
         if pidx.nshards != nshards {
             return None;
         }
-        pidx.shards.get(shard as usize).map(IndexRef)
+        pidx.shards.get(shard as usize).map(|idx| IndexRef { idx })
     }
 
     /// Probe the index on `cols` (which must exist) with `key` ids in the
@@ -542,7 +923,7 @@ impl Relation {
     /// then probe through the handle (one hash of `cols` instead of one per
     /// probe).
     pub fn index(&self, cols: &[usize]) -> Option<IndexRef<'_>> {
-        self.indexes.get(cols).map(IndexRef)
+        self.indexes.get(cols).map(|idx| IndexRef { idx })
     }
 
     /// Does an index exist on `cols`?
@@ -594,7 +975,7 @@ impl Relation {
     /// their identities, so outstanding delta ranges `[lo, hi)` with
     /// `hi <= len` stay valid. No-op if `len >= self.len()`.
     pub fn truncate(&mut self, len: usize) {
-        if len >= self.tuples.len() {
+        if len >= self.len() {
             return;
         }
         let cutoff = len as u32;
@@ -606,29 +987,27 @@ impl Relation {
                 self.dead = None;
             }
         }
-        for dropped in self.tuples.drain(len..) {
-            // Forget the tuple only if its *live* position is being dropped
-            // — the same value may also sit tombstoned below the cutoff.
-            if (self.seen.get(dropped.as_ref() as &[ValueId])).is_some_and(|&p| p >= cutoff) {
-                self.seen.remove(dropped.as_ref() as &[ValueId]);
+        // Forget each dropped row from the duplicate filter — but only if
+        // its *live* position is being dropped: the same value may also
+        // sit tombstoned below the cutoff. Must run before the arena is
+        // truncated (the filter compares against row data).
+        for pos in cutoff..self.rows.len {
+            let row = self.rows.get(pos);
+            if self.seen.get(&self.rows, row).is_some_and(|p| p >= cutoff) {
+                self.seen.remove(&self.rows, row);
             }
         }
+        self.rows.truncate(cutoff);
         if let Some(counts) = &mut self.counts {
             counts.truncate(len);
         }
         self.live = len - self.dead.as_ref().map_or(0, |d| d.len());
         for idx in self.indexes.values_mut() {
-            idx.map.retain(|_, postings| {
-                postings.retain(|&pos| pos < cutoff);
-                !postings.is_empty()
-            });
+            idx.truncate(cutoff);
         }
         for pidx in self.part_indexes.values_mut() {
             for idx in &mut pidx.shards {
-                idx.map.retain(|_, postings| {
-                    postings.retain(|&pos| pos < cutoff);
-                    !postings.is_empty()
-                });
+                idx.truncate(cutoff);
             }
         }
         // Sketch bits cannot be un-set per dropped tuple; rebuild them from
@@ -638,20 +1017,16 @@ impl Relation {
         for sk in &mut self.sketches {
             *sk = ColSketch::default();
         }
-        for (pos, t) in self.tuples.iter().enumerate() {
-            if self
-                .dead
-                .as_ref()
-                .is_some_and(|d| d.contains(&(pos as u32)))
-            {
+        for pos in 0..self.rows.len {
+            if self.dead.as_ref().is_some_and(|d| d.contains(&pos)) {
                 continue;
             }
-            for (sk, &v) in self.sketches.iter_mut().zip(t.iter()) {
+            for (sk, &v) in self.sketches.iter_mut().zip(self.rows.get(pos)) {
                 sk.observe(v);
             }
         }
         self.stats_epoch += 1;
-        self.next_epoch_len = self.tuples.len() + (self.tuples.len() / 2).max(16);
+        self.next_epoch_len = self.len() + (self.len() / 2).max(16);
     }
 }
 
@@ -665,16 +1040,16 @@ mod tests {
         intern::mk_int(v)
     }
 
-    fn t(vals: &[i64]) -> Tuple {
+    fn t(vals: &[i64]) -> Vec<ValueId> {
         vals.iter().map(|&v| id(v)).collect()
     }
 
     #[test]
     fn insert_dedups() {
         let mut r = Relation::new(2);
-        assert!(r.insert(t(&[1, 2])));
-        assert!(!r.insert(t(&[1, 2])));
-        assert!(r.insert(t(&[1, 3])));
+        assert!(r.insert_slice(&t(&[1, 2])));
+        assert!(!r.insert_slice(&t(&[1, 2])));
+        assert!(r.insert_slice(&t(&[1, 3])));
         assert_eq!(r.len(), 2);
         assert!(r.contains(&[id(1), id(2)]));
         assert!(!r.contains(&[id(2), id(1)]));
@@ -684,15 +1059,27 @@ mod tests {
     #[should_panic(expected = "arity mismatch")]
     fn arity_checked() {
         let mut r = Relation::new(2);
-        r.insert(t(&[1]));
+        r.insert_slice(&t(&[1]));
+    }
+
+    #[test]
+    fn deprecated_owned_insert_still_works() {
+        #[allow(deprecated)]
+        {
+            let mut r = Relation::new(2);
+            let tuple: Tuple = t(&[1, 2]).into();
+            assert!(r.insert(Arc::clone(&tuple)));
+            assert!(!r.insert(tuple));
+            assert_eq!(r.len(), 1);
+        }
     }
 
     #[test]
     fn index_probe() {
         let mut r = Relation::new(2);
-        r.insert(t(&[1, 10]));
-        r.insert(t(&[1, 20]));
-        r.insert(t(&[2, 30]));
+        r.insert_slice(&t(&[1, 10]));
+        r.insert_slice(&t(&[1, 20]));
+        r.insert_slice(&t(&[2, 30]));
         r.ensure_index(&[0]);
         let hits = r.probe(&[0], &[id(1)]);
         assert_eq!(hits.len(), 2);
@@ -705,17 +1092,17 @@ mod tests {
     fn index_maintained_incrementally() {
         let mut r = Relation::new(2);
         r.ensure_index(&[1]);
-        r.insert(t(&[1, 10]));
-        r.insert(t(&[2, 10]));
+        r.insert_slice(&t(&[1, 10]));
+        r.insert_slice(&t(&[2, 10]));
         assert_eq!(r.probe(&[1], &[id(10)]).len(), 2);
-        r.insert(t(&[3, 10]));
+        r.insert_slice(&t(&[3, 10]));
         assert_eq!(r.probe(&[1], &[id(10)]).len(), 3);
     }
 
     #[test]
     fn multi_column_index_key_order_is_sorted_cols() {
         let mut r = Relation::new(3);
-        r.insert(t(&[1, 2, 3]));
+        r.insert_slice(&t(&[1, 2, 3]));
         r.ensure_index(&[2, 0]); // normalized to [0, 2]
         assert!(r.has_index(&[0, 2]));
         let hits = r.probe(&[0, 2], &[id(1), id(3)]);
@@ -728,8 +1115,8 @@ mod tests {
         // panicked on any column ≥ 64.
         let arity = 70;
         let mut r = Relation::new(arity);
-        r.insert((0..arity as i64).map(id).collect());
-        r.insert((100..100 + arity as i64).map(id).collect());
+        r.insert_slice(&(0..arity as i64).map(id).collect::<Vec<_>>());
+        r.insert_slice(&(100..100 + arity as i64).map(id).collect::<Vec<_>>());
         r.ensure_index(&[68]);
         assert!(r.has_index(&[68]));
         assert_eq!(r.probe(&[68], &[id(68)]).len(), 1);
@@ -742,12 +1129,12 @@ mod tests {
     #[test]
     fn ranges_are_deltas() {
         let mut r = Relation::new(1);
-        r.insert(t(&[1]));
+        r.insert_slice(&t(&[1]));
         let mark = r.len();
-        r.insert(t(&[2]));
-        r.insert(t(&[1])); // duplicate, not part of the delta
-        r.insert(t(&[3]));
-        let delta = r.range(mark, r.len());
+        r.insert_slice(&t(&[2]));
+        r.insert_slice(&t(&[1])); // duplicate, not part of the delta
+        r.insert_slice(&t(&[3]));
+        let delta: Vec<Vec<ValueId>> = r.range(mark, r.len()).map(<[ValueId]>::to_vec).collect();
         assert_eq!(delta.len(), 2);
         assert_eq!(delta[0][0], id(2));
         assert_eq!(delta[1][0], id(3));
@@ -757,18 +1144,18 @@ mod tests {
     fn truncate_restores_snapshot() {
         let mut r = Relation::new(2);
         r.ensure_index(&[0]);
-        r.insert(t(&[1, 10]));
-        r.insert(t(&[1, 20]));
+        r.insert_slice(&t(&[1, 10]));
+        r.insert_slice(&t(&[1, 20]));
         let mark = r.len();
-        r.insert(t(&[1, 30]));
-        r.insert(t(&[2, 40]));
+        r.insert_slice(&t(&[1, 30]));
+        r.insert_slice(&t(&[2, 40]));
         assert_eq!(r.probe(&[0], &[id(1)]).len(), 3);
 
         r.truncate(mark);
         assert_eq!(r.len(), 2);
         // Duplicate filter forgets the dropped tuples…
         assert!(!r.contains(&[id(1), id(30)]));
-        assert!(r.insert(t(&[1, 30])));
+        assert!(r.insert_slice(&t(&[1, 30])));
         // …and indexes are pruned: the (2, 40) posting list is gone, the
         // re-inserted (1, 30) shows up again.
         r.truncate(2);
@@ -780,10 +1167,34 @@ mod tests {
     }
 
     #[test]
+    fn arena_pages_grow_and_truncate() {
+        let mut r = Relation::new(3);
+        assert_eq!(r.arena_pages(), 0);
+        let per_page = 1usize << Rows::new(3).shift;
+        for x in 0..(2 * per_page + 3) as i64 {
+            r.insert_slice(&t(&[x, x + 1, x + 2]));
+        }
+        assert_eq!(r.arena_pages(), 3);
+        assert!(r.arena_bytes() >= 3 * per_page * std::mem::size_of::<ValueId>());
+        // Row addressing is stable across page boundaries.
+        let boundary = per_page as u32;
+        assert_eq!(r.get(boundary - 1)[0], id(per_page as i64 - 1));
+        assert_eq!(r.get(boundary)[0], id(per_page as i64));
+        // Truncating to a page boundary drops whole pages; to mid-page
+        // keeps the partial page.
+        r.truncate(per_page + 1);
+        assert_eq!(r.arena_pages(), 2);
+        r.truncate(per_page);
+        assert_eq!(r.arena_pages(), 1);
+        assert!(r.insert_slice(&t(&[9999, 0, 0])));
+        assert_eq!(r.get(per_page as u32)[0], id(9999));
+    }
+
+    #[test]
     fn distinct_estimates_track_column_cardinality() {
         let mut r = Relation::new(2);
         for x in 0..600 {
-            r.insert(t(&[x, x % 4])); // column 0: 600 distinct, column 1: 4
+            r.insert_slice(&t(&[x, x % 4])); // column 0: 600 distinct, column 1: 4
         }
         assert_eq!(r.distinct_estimate(0), 600.0, "saturated sketch → len");
         let low = r.distinct_estimate(1);
@@ -798,7 +1209,7 @@ mod tests {
     fn distinct_estimate_small_relation_is_accurate() {
         let mut r = Relation::new(1);
         for x in 0..20 {
-            r.insert(t(&[x]));
+            r.insert_slice(&t(&[x]));
         }
         let est = r.distinct_estimate(0);
         assert!((15.0..=25.0).contains(&est), "20 distinct estimated {est}");
@@ -808,11 +1219,11 @@ mod tests {
     fn stats_epoch_bumps_geometrically_and_on_truncate() {
         let mut r = Relation::new(1);
         assert_eq!(r.stats_epoch(), 0);
-        r.insert(t(&[0]));
+        r.insert_slice(&t(&[0]));
         let e1 = r.stats_epoch();
         assert_eq!(e1, 1, "first insert crosses the initial threshold");
         for x in 1..1000 {
-            r.insert(t(&[x]));
+            r.insert_slice(&t(&[x]));
         }
         let grown = r.stats_epoch();
         // ~1.5× growth schedule: far fewer epochs than inserts.
@@ -822,7 +1233,7 @@ mod tests {
         );
         // Duplicates never bump (len does not change).
         let before = r.stats_epoch();
-        r.insert(t(&[5]));
+        r.insert_slice(&t(&[5]));
         assert_eq!(r.stats_epoch(), before);
 
         r.truncate(10);
@@ -837,7 +1248,7 @@ mod tests {
         let mut r = Relation::new(1);
         // Same canonical set inserted via two surface orders is one value…
         let s12 = intern::id_of(&Value::set(vec![Value::int(1), Value::int(2)]));
-        r.insert(Arc::from(vec![s12]));
+        r.insert_slice(&[s12]);
         let one = r.distinct_estimate(0);
         assert!((0.9..=1.5).contains(&one));
     }
@@ -845,19 +1256,21 @@ mod tests {
     #[test]
     fn zero_arity_relation_holds_one_tuple() {
         let mut r = Relation::new(0);
-        let empty: Tuple = Arc::from(Vec::<ValueId>::new());
-        assert!(r.insert(Arc::clone(&empty)));
-        assert!(!r.insert(empty));
+        assert!(r.insert_slice(&[]));
+        assert!(!r.insert_slice(&[]));
         assert_eq!(r.len(), 1);
+        assert_eq!(r.get(0), &[] as &[ValueId]);
+        assert_eq!(r.iter().count(), 1);
+        assert_eq!(r.arena_bytes(), 0);
     }
 
     #[test]
     fn remove_tombstones_and_revive_restores() {
         let mut r = Relation::new(2);
         r.ensure_index(&[0]);
-        r.insert(t(&[1, 10]));
-        r.insert(t(&[1, 20]));
-        r.insert(t(&[2, 30]));
+        r.insert_slice(&t(&[1, 10]));
+        r.insert_slice(&t(&[1, 20]));
+        r.insert_slice(&t(&[2, 30]));
         let pos = r.remove_slice(&[id(1), id(10)]).unwrap();
         assert_eq!(pos, 0);
         assert_eq!(r.len(), 3, "len stays physical");
@@ -884,9 +1297,12 @@ mod tests {
     #[test]
     fn removed_tuple_can_be_reinserted_at_new_position() {
         let mut r = Relation::new(1);
-        r.insert(t(&[7]));
+        r.insert_slice(&t(&[7]));
         r.remove_slice(&[id(7)]).unwrap();
-        assert!(r.insert(t(&[7])), "tombstoned tuple is re-insertable");
+        assert!(
+            r.insert_slice(&t(&[7])),
+            "tombstoned tuple is re-insertable"
+        );
         assert_eq!(r.len(), 2);
         assert_eq!(r.live_len(), 1);
         assert_eq!(r.position_of(&[id(7)]), Some(1));
@@ -895,12 +1311,12 @@ mod tests {
     #[test]
     fn truncate_interacts_with_tombstones() {
         let mut r = Relation::new(1);
-        r.insert(t(&[1]));
-        r.insert(t(&[2]));
+        r.insert_slice(&t(&[1]));
+        r.insert_slice(&t(&[2]));
         let p1 = r.remove_slice(&[id(1)]).unwrap();
         let mark = r.len();
-        r.insert(t(&[1])); // revived-by-reinsert above the mark
-        r.insert(t(&[3]));
+        r.insert_slice(&t(&[1])); // revived-by-reinsert above the mark
+        r.insert_slice(&t(&[3]));
         r.remove_slice(&[id(3)]).unwrap();
 
         r.truncate(mark);
@@ -917,14 +1333,14 @@ mod tests {
     #[test]
     fn counts_track_duplicate_insertions() {
         let mut r = Relation::new(1);
-        r.insert(t(&[1]));
+        r.insert_slice(&t(&[1]));
         r.enable_counts();
         assert!(r.counts_enabled());
         assert_eq!(r.count_at(0), 1, "existing tuples start at count 1");
-        r.insert(t(&[1])); // duplicate → increment
+        r.insert_slice(&t(&[1])); // duplicate → increment
         r.insert_slice(&[id(1)]);
         assert_eq!(r.count_at(0), 3);
-        r.insert(t(&[2]));
+        r.insert_slice(&t(&[2]));
         assert_eq!(r.count_at(1), 1);
         assert_eq!(r.decrement_count(0, 2), 1);
         assert_eq!(r.decrement_count(0, 1), 0);
@@ -938,7 +1354,7 @@ mod tests {
     fn estimates_follow_live_count() {
         let mut r = Relation::new(1);
         for x in 0..20 {
-            r.insert(t(&[x]));
+            r.insert_slice(&t(&[x]));
         }
         for x in 0..19 {
             r.remove_slice(&[id(x)]);
@@ -955,13 +1371,13 @@ mod tests {
         let nshards = 4;
         let mut r = Relation::new(2);
         for x in 0..200 {
-            r.insert(t(&[x % 20, x]));
+            r.insert_slice(&t(&[x % 20, x]));
         }
         r.ensure_index(&[0]);
         r.ensure_part_index(&[0], nshards);
         for key_val in 0..20 {
             let key = [id(key_val)];
-            let full = r.probe(&[0], &key);
+            let full = r.probe(&[0], &key).to_vec();
             let s = shard_of_key(&key, nshards);
             let shard = r.part_shard(&[0], nshards, s).unwrap();
             // The owning shard returns the identical ascending posting
@@ -991,10 +1407,10 @@ mod tests {
         let nshards = 3;
         let mut r = Relation::new(2);
         r.ensure_part_index(&[0], nshards);
-        r.insert(t(&[1, 10]));
-        r.insert(t(&[1, 20]));
+        r.insert_slice(&t(&[1, 10]));
+        r.insert_slice(&t(&[1, 20]));
         let mark = r.len();
-        r.insert(t(&[1, 30]));
+        r.insert_slice(&t(&[1, 30]));
         let key = [id(1)];
         let s = shard_of_key(&key, nshards);
         let probe = |r: &Relation| -> Vec<u32> {
@@ -1033,7 +1449,7 @@ mod tests {
         // Every key lands in range, and the projection/key forms agree.
         let mut r = Relation::new(2);
         for x in 0..50 {
-            r.insert(t(&[x, x * 2]));
+            r.insert_slice(&t(&[x, x * 2]));
         }
         for x in 0..50i64 {
             let s = shard_of_key(&[id(x)], 7);
@@ -1051,7 +1467,7 @@ mod tests {
         let mut r = Relation::new(2);
         let s12 = intern::id_of(&Value::set(vec![Value::int(1), Value::int(2)]));
         let s21 = intern::id_of(&Value::set(vec![Value::int(2), Value::int(1)]));
-        r.insert(Arc::from(vec![intern::id_of(&Value::atom("a")), s12]));
+        r.insert_slice(&[intern::id_of(&Value::atom("a")), s12]);
         r.ensure_index(&[1]);
         // Canonical sets: {2,1} interns equal to {1,2}.
         assert_eq!(r.probe(&[1], &[s21]).len(), 1);

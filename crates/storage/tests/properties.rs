@@ -1,0 +1,280 @@
+//! Storage-level property tests: random insert / tombstone / revive /
+//! index / part-index / truncate sequences checked against a naive
+//! `Vec<Vec<ValueId>>` model, plus an arena-paging regression sweep.
+//!
+//! The model is the obvious thing a relation pretends to be: an
+//! insertion-ordered list of rows with a live flag (and a derivation count
+//! when counting is on). Every storage invariant the evaluator relies on is
+//! phrased against it — physical `len`, live iteration order, eager posting
+//! removal, ascending probe results, shard-routing agreement, and
+//! truncate's interaction with tombstones.
+
+use ldl_storage::{shard_of_key, Relation};
+use ldl_testkit::{cases, Rng};
+use ldl_value::{intern, ValueId};
+
+/// The naive reference: rows in insertion order with liveness + counts.
+#[derive(Default)]
+struct Model {
+    rows: Vec<Vec<ValueId>>,
+    live: Vec<bool>,
+    counts: Vec<u32>,
+}
+
+impl Model {
+    fn live_pos_of(&self, t: &[ValueId]) -> Option<usize> {
+        (0..self.rows.len()).find(|&p| self.live[p] && self.rows[p] == t)
+    }
+
+    fn insert(&mut self, t: &[ValueId], counting: bool) -> bool {
+        if let Some(p) = self.live_pos_of(t) {
+            if counting {
+                self.counts[p] += 1;
+            }
+            return false;
+        }
+        self.rows.push(t.to_vec());
+        self.live.push(true);
+        self.counts.push(1);
+        true
+    }
+
+    fn remove(&mut self, t: &[ValueId]) -> Option<usize> {
+        let p = self.live_pos_of(t)?;
+        self.live[p] = false;
+        Some(p)
+    }
+
+    fn truncate(&mut self, n: usize) {
+        if n < self.rows.len() {
+            self.rows.truncate(n);
+            self.live.truncate(n);
+            self.counts.truncate(n);
+        }
+    }
+
+    /// Dead positions safe to revive: their content is not live elsewhere
+    /// (the only way the engine's rollback ever calls revive).
+    fn revivable(&self) -> Vec<usize> {
+        (0..self.rows.len())
+            .filter(|&p| !self.live[p] && self.live_pos_of(&self.rows[p]).is_none())
+            .collect()
+    }
+}
+
+fn check_agreement(r: &Relation, m: &Model, indexes: &[Vec<usize>], parts: &[(Vec<usize>, u32)]) {
+    assert_eq!(r.len(), m.rows.len(), "physical len");
+    let live_count = m.live.iter().filter(|&&l| l).count();
+    assert_eq!(r.live_len(), live_count, "live len");
+    assert_eq!(r.is_empty(), live_count == 0);
+
+    // Row access, liveness, and membership per position.
+    for (p, row) in m.rows.iter().enumerate() {
+        assert_eq!(r.get(p as u32), row.as_slice(), "row data at {p}");
+        assert_eq!(r.is_live(p as u32), m.live[p], "liveness at {p}");
+        if m.live[p] {
+            assert_eq!(r.position_of(row), Some(p as u32));
+            assert!(r.contains(row));
+            if r.counts_enabled() {
+                assert_eq!(r.count_at(p as u32), m.counts[p], "count at {p}");
+            }
+        }
+    }
+    // Tuples with no live occurrence are absent from the dedup filter.
+    for (p, row) in m.rows.iter().enumerate() {
+        if !m.live[p] && m.live_pos_of(row).is_none() {
+            assert!(!r.contains(row), "tombstoned tuple at {p} still visible");
+        }
+    }
+
+    // Live iteration order is insertion order.
+    let got: Vec<&[ValueId]> = r.iter().collect();
+    let want: Vec<&[ValueId]> = m
+        .rows
+        .iter()
+        .enumerate()
+        .filter(|&(p, _)| m.live[p])
+        .map(|(_, row)| row.as_slice())
+        .collect();
+    assert_eq!(got, want, "iteration order");
+
+    // Every index answers every key with the ascending live positions.
+    for cols in indexes {
+        let mut keys: Vec<Vec<ValueId>> = Vec::new();
+        for row in &m.rows {
+            let key: Vec<ValueId> = cols.iter().map(|&c| row[c]).collect();
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+        for key in &keys {
+            let want: Vec<u32> = m
+                .rows
+                .iter()
+                .enumerate()
+                .filter(|&(p, row)| m.live[p] && cols.iter().zip(key).all(|(&c, &k)| row[c] == k))
+                .map(|(p, _)| p as u32)
+                .collect();
+            assert_eq!(
+                r.probe(cols, key),
+                want.as_slice(),
+                "probe {cols:?}/{key:?}"
+            );
+        }
+        // And misses miss.
+        let miss: Vec<ValueId> = cols.iter().map(|_| intern::mk_int(-777)).collect();
+        assert!(r.probe(cols, &miss).is_empty());
+    }
+
+    // Partitioned indexes: the owning shard returns the full index's
+    // postings; the other shards return nothing for that key.
+    for (cols, nshards) in parts {
+        let mut keys: Vec<Vec<ValueId>> = Vec::new();
+        for (p, row) in m.rows.iter().enumerate() {
+            if !m.live[p] {
+                continue;
+            }
+            let key: Vec<ValueId> = cols.iter().map(|&c| row[c]).collect();
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+        for key in &keys {
+            let want: Vec<u32> = m
+                .rows
+                .iter()
+                .enumerate()
+                .filter(|&(p, row)| m.live[p] && cols.iter().zip(key).all(|(&c, &k)| row[c] == k))
+                .map(|(p, _)| p as u32)
+                .collect();
+            let owner = shard_of_key(key, *nshards);
+            for s in 0..*nshards {
+                let shard = r.part_shard(cols, *nshards, s).expect("shard exists");
+                let expect: &[u32] = if s == owner { &want } else { &[] };
+                assert_eq!(shard.probe(key), expect, "shard {s}/{nshards} of {key:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn random_op_sequences_match_naive_model() {
+    cases(40, |rng: &mut Rng| {
+        let arity = rng.range(1, 5) as usize;
+        let pool = rng.range(2, 5); // small value pool → frequent duplicates
+        let counting = rng.chance(1, 2);
+        let mut r = Relation::new(arity);
+        let mut m = Model::default();
+        if counting {
+            r.enable_counts();
+        }
+        let mut indexes: Vec<Vec<usize>> = Vec::new();
+        let mut parts: Vec<(Vec<usize>, u32)> = Vec::new();
+        let tuple = |rng: &mut Rng| -> Vec<ValueId> {
+            (0..arity)
+                .map(|_| intern::mk_int(rng.range(0, pool)))
+                .collect()
+        };
+
+        let ops = rng.range(30, 120);
+        for op in 0..ops {
+            match rng.range(0, 100) {
+                // Insert (the common op — the others need population).
+                0..=54 => {
+                    let t = tuple(rng);
+                    assert_eq!(r.insert_slice(&t), m.insert(&t, counting), "insert {t:?}");
+                }
+                55..=69 => {
+                    let t = tuple(rng);
+                    let got = r.remove_slice(&t);
+                    let want = m.remove(&t).map(|p| p as u32);
+                    assert_eq!(got, want, "remove {t:?}");
+                }
+                70..=79 => {
+                    let candidates = m.revivable();
+                    if let Some(&p) = candidates.first() {
+                        r.revive(p as u32);
+                        m.live[p] = true;
+                    }
+                }
+                80..=87 => {
+                    let mut cols: Vec<usize> = (0..arity).filter(|_| rng.chance(1, 2)).collect();
+                    if cols.is_empty() {
+                        cols.push(rng.range(0, arity as i64) as usize);
+                    }
+                    r.ensure_index(&cols);
+                    cols.sort_unstable();
+                    cols.dedup();
+                    if !indexes.contains(&cols) {
+                        indexes.push(cols);
+                    }
+                }
+                88..=93 => {
+                    let col = rng.range(0, arity as i64) as usize;
+                    let nshards = rng.range(1, 5) as u32;
+                    r.ensure_part_index(&[col], nshards);
+                    parts.retain(|(c, _)| c != &vec![col]);
+                    parts.push((vec![col], nshards));
+                }
+                _ => {
+                    let n = rng.range(0, m.rows.len() as i64 + 1) as usize;
+                    r.truncate(n);
+                    m.truncate(n);
+                }
+            }
+            if op % 13 == 0 {
+                check_agreement(&r, &m, &indexes, &parts);
+            }
+        }
+        check_agreement(&r, &m, &indexes, &parts);
+    });
+}
+
+/// Pages hold `prev_pow2(max(1, 4096 / arity))` rows; this sweep crosses
+/// several page boundaries at every arity 1..8 and checks that row
+/// addressing, the dedup filter, index probes, and truncation all stay
+/// exact across them.
+#[test]
+fn arena_paging_is_exact_across_page_boundaries_at_arities_1_to_8() {
+    for arity in 1usize..=8 {
+        let target = (4096 / arity).max(1);
+        let per_page = 1usize << (usize::BITS - 1 - target.leading_zeros());
+        let n = 2 * per_page + per_page / 3 + 5; // lands mid-third-page
+        let mut r = Relation::new(arity);
+        r.ensure_index(&[arity - 1]);
+        let row = |i: usize| -> Vec<ValueId> {
+            (0..arity)
+                .map(|c| intern::mk_int((i * arity + c) as i64))
+                .collect()
+        };
+        for i in 0..n {
+            assert!(r.insert_slice(&row(i)), "arity {arity}: insert {i}");
+        }
+        assert_eq!(r.len(), n);
+        assert_eq!(r.arena_pages(), 3, "arity {arity}: page count");
+        // Rows on both sides of each boundary read back exactly.
+        for &p in &[
+            0,
+            per_page - 1,
+            per_page,
+            2 * per_page - 1,
+            2 * per_page,
+            n - 1,
+        ] {
+            assert_eq!(r.get(p as u32), row(p).as_slice(), "arity {arity}: row {p}");
+            assert_eq!(r.position_of(&row(p)), Some(p as u32));
+            assert_eq!(r.probe(&[arity - 1], &[row(p)[arity - 1]]), &[p as u32]);
+        }
+        // Duplicates across a page boundary are still rejected.
+        assert!(!r.insert_slice(&row(0)));
+        assert!(!r.insert_slice(&row(per_page)));
+        // Truncate to one row past the first boundary, then regrow.
+        r.truncate(per_page + 1);
+        assert_eq!(r.arena_pages(), 2, "arity {arity}: post-truncate pages");
+        assert!(r.contains(&row(per_page)));
+        assert!(!r.contains(&row(per_page + 1)));
+        assert!(r.insert_slice(&row(per_page + 1)));
+        assert_eq!(r.get((per_page + 1) as u32), row(per_page + 1).as_slice());
+        assert!(r.arena_bytes() >= 2 * per_page * arity * std::mem::size_of::<ValueId>());
+    }
+}

@@ -220,6 +220,68 @@ pub fn bench(group: &str, label: &str, iters: usize, mut f: impl FnMut()) -> Sam
     s
 }
 
+/// A [`std::alloc::GlobalAlloc`] wrapper over the system allocator that
+/// counts allocation calls, for asserting that a hot path is
+/// allocation-free. Install it in a dedicated integration-test binary (its
+/// own process — the counter is global) with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: ldl_testkit::CountingAlloc = ldl_testkit::CountingAlloc::new();
+/// ```
+///
+/// then bracket the code under test with [`CountingAlloc::count`] /
+/// [`CountingAlloc::delta`]. Reallocations count as one call; frees count
+/// nothing.
+pub struct CountingAlloc {
+    allocs: std::sync::atomic::AtomicU64,
+}
+
+impl CountingAlloc {
+    /// A zeroed counting allocator (usable as a `static` initializer).
+    pub const fn new() -> CountingAlloc {
+        CountingAlloc {
+            allocs: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Allocation calls made so far by this process.
+    pub fn count(&self) -> u64 {
+        self.allocs.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Allocation calls since a previous [`CountingAlloc::count`] reading.
+    pub fn delta(&self, since: u64) -> u64 {
+        self.count() - since
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> CountingAlloc {
+        CountingAlloc::new()
+    }
+}
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic
+// with no effect on allocation behavior.
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        self.allocs
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        self.allocs
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        unsafe { std::alloc::System.realloc(ptr, layout, new_size) }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -81,6 +81,7 @@ const FIRST_CHUNK_BITS: u32 = 12;
 const CHUNK_COUNT: usize = 21;
 
 /// `(chunk, offset, capacity)` of arena index `idx`.
+#[inline]
 fn locate(idx: u32) -> (usize, usize, usize) {
     let bucket = ((idx >> FIRST_CHUNK_BITS) + 1).ilog2();
     let start = ((1u64 << bucket) - 1) << FIRST_CHUNK_BITS;
@@ -114,6 +115,7 @@ struct Arena {
     ids: Mutex<FastMap<Node, u32>>,
 }
 
+#[inline]
 fn arena() -> &'static Arena {
     static ARENA: OnceLock<Arena> = OnceLock::new();
     ARENA.get_or_init(|| Arena {
@@ -155,6 +157,7 @@ fn intern_node(node: Node) -> ValueId {
     ValueId(idx)
 }
 
+#[inline]
 fn slot(id: ValueId) -> &'static Slot {
     let arena = arena();
     let len = arena.len.load(Ordering::Acquire);
@@ -168,6 +171,7 @@ fn slot(id: ValueId) -> &'static Slot {
 }
 
 /// The interned node for `id` — the lock-free hot read path.
+#[inline]
 pub fn node(id: ValueId) -> &'static Node {
     &slot(id).node
 }
@@ -178,6 +182,7 @@ pub fn node(id: ValueId) -> &'static Node {
 /// ValueId`, which hashes the assignment-order-dependent id). This is the
 /// hash the storage layer's per-column distinct-count sketches observe;
 /// O(1), one arena read.
+#[inline]
 pub fn struct_hash(id: ValueId) -> u64 {
     slot(id).shash
 }
@@ -220,6 +225,7 @@ fn structural_hash(node: &Node) -> u64 {
 }
 
 /// Number of distinct values interned so far (the interner size statistic).
+#[inline]
 pub fn len() -> usize {
     arena().len.load(Ordering::Acquire) as usize
 }
@@ -261,6 +267,7 @@ pub fn cmp_id_slices(xs: &[ValueId], ys: &[ValueId]) -> std::cmp::Ordering {
 }
 
 /// Intern an integer.
+#[inline]
 pub fn mk_int(i: i64) -> ValueId {
     // Small non-negative integers dominate generated EDBs and arithmetic;
     // serve them from a lock-free table.
