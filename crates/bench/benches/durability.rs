@@ -1,0 +1,177 @@
+//! P20 — what durability costs, and what recovery costs.
+//!
+//! Four commit kernels measure the write path — the same 500 single-fact
+//! mutation batches committed under each durability mode — so the fsync
+//! tax and the group-commit rebate are directly comparable:
+//!
+//! * **commit_memory** — no data directory at all: the in-memory floor.
+//! * **commit_nosync** — WAL appends, `SyncPolicy::Never`: serialization
+//!   plus page-cache writes, no waiting on the platter.
+//! * **commit_group16** — `SyncPolicy::EveryN(16)`: one fsync amortized
+//!   over sixteen acknowledged commits.
+//! * **commit_fsync** — `SyncPolicy::Always` (the default): every commit
+//!   waits for its record to be durable.
+//!
+//! Two recovery kernels measure the read path on the directory those
+//! commits produced:
+//!
+//! * **recover_replay** — reopen with no snapshot: header scan plus 500
+//!   record decodes replayed into a fresh database.
+//! * **recover_snapshot** — reopen after a checkpoint: one snapshot load,
+//!   zero replay. The gap between these two is why checkpoints exist.
+//!
+//! Results go to `BENCH_durability.json` at the workspace root, with
+//! per-kernel speedups against `BENCH_durability.baseline.json` when
+//! present. `cargo bench -p ldl-bench --bench durability -- smoke` runs a
+//! tiny configuration for CI and skips the JSON file.
+
+use std::path::PathBuf;
+
+use ldl1::{EvalOptions, StoreOptions, SyncPolicy, System, Value};
+use ldl_testkit::{bench, Sample};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ldl-bench-durability-{}-{tag}", std::process::id()))
+}
+
+/// Commit `n` single-fact batches to `sys`; the commit path is the
+/// no-model fast path (apply + log), so the kernel isolates storage and
+/// durability cost from evaluation.
+fn drive_commits(sys: &mut System, n: i64) {
+    for i in 0..n {
+        let mut b = sys.mutate();
+        b.assert("p", vec![Value::int(i), Value::int(i * 7)]);
+        b.commit().expect("commit");
+    }
+}
+
+fn commit_kernel(name: &'static str, sync: Option<SyncPolicy>, n: i64, iters: usize) -> Sample {
+    bench("P20_durability", name, iters, || match sync {
+        None => {
+            let mut sys = System::new();
+            drive_commits(&mut sys, n);
+        }
+        Some(sync) => {
+            let dir = temp_dir(name);
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut sys = System::open_with(&dir, EvalOptions::default(), StoreOptions { sync })
+                .expect("open data dir");
+            drive_commits(&mut sys, n);
+            drop(sys);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    })
+}
+
+fn recover_kernel(name: &'static str, checkpointed: bool, n: i64, iters: usize) -> Sample {
+    let dir = temp_dir(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut sys = System::open(&dir).expect("open data dir");
+    drive_commits(&mut sys, n);
+    if checkpointed {
+        sys.checkpoint().expect("checkpoint");
+    }
+    drop(sys);
+    let sample = bench("P20_durability", name, iters, || {
+        let sys = System::open(&dir).expect("recover");
+        let info = sys.recovery_info().expect("recovery info");
+        assert_eq!(info.last_seq, n as u64);
+        assert_eq!(info.replayed, if checkpointed { 0 } else { n as u64 });
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    sample
+}
+
+/// Pull `"key": <number>` out of one flat JSON object chunk.
+fn json_number(chunk: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = chunk.find(&pat)? + pat.len();
+    let rest = chunk[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Per-kernel medians from a previous run's JSON, by kernel name.
+fn read_baseline(path: &str) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for chunk in text.split('{').skip(1) {
+        let name = chunk
+            .find("\"name\":")
+            .and_then(|i| {
+                chunk[i + 7..]
+                    .trim_start()
+                    .strip_prefix('"')
+                    .map(String::from)
+            })
+            .and_then(|s| s.split('"').next().map(String::from));
+        if let (Some(name), Some(median)) = (name, json_number(chunk, "median_ms")) {
+            out.push((name, median));
+        }
+    }
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "smoke" || a == "--smoke");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+
+    let (n, iters) = if smoke { (50i64, 1usize) } else { (500, 7) };
+
+    let results: Vec<(&str, Sample)> = vec![
+        (
+            "commit_memory",
+            commit_kernel("commit_memory", None, n, iters),
+        ),
+        (
+            "commit_nosync",
+            commit_kernel("commit_nosync", Some(SyncPolicy::Never), n, iters),
+        ),
+        (
+            "commit_group16",
+            commit_kernel("commit_group16", Some(SyncPolicy::EveryN(16)), n, iters),
+        ),
+        (
+            "commit_fsync",
+            commit_kernel("commit_fsync", Some(SyncPolicy::Always), n, iters),
+        ),
+        (
+            "recover_replay",
+            recover_kernel("recover_replay", false, n, iters),
+        ),
+        (
+            "recover_snapshot",
+            recover_kernel("recover_snapshot", true, n, iters),
+        ),
+    ];
+    if smoke {
+        return; // rot check only: no JSON, no baseline
+    }
+
+    let baseline = read_baseline(&format!("{root}/BENCH_durability.baseline.json"));
+    let mut json = String::from("{\n  \"bench\": \"durability\",\n  \"kernels\": [\n");
+    for (i, (name, s)) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"median_ms\": {:.4}, \"min_ms\": {:.4}, \"iters\": {}",
+            s.median_ms(),
+            s.min.as_secs_f64() * 1e3,
+            s.iters
+        ));
+        if let Some((_, base)) = baseline.iter().find(|(n, _)| n == name) {
+            let speedup = base / s.median_ms().max(1e-9);
+            json.push_str(&format!(
+                ", \"baseline_median_ms\": {base:.4}, \"speedup\": {speedup:.2}"
+            ));
+            println!("P20_durability/{name}_speedup: {speedup:.2}x");
+        }
+        json.push_str(if i + 1 < results.len() { "},\n" } else { "}\n" });
+    }
+    json.push_str("  ]\n}\n");
+    let out = format!("{root}/BENCH_durability.json");
+    std::fs::write(&out, json).expect("write BENCH_durability.json");
+    println!("wrote {out}");
+}

@@ -41,6 +41,8 @@ Commands:
                       abort cleanly instead of hanging; Ctrl-C interrupts a
                       running evaluation)
   :save FILE          write the model (all facts) as loadable fact syntax
+  :checkpoint         (with --data-dir) snapshot the database and restart
+                      the write-ahead log; prints the snapshot path + size
   :quit               exit";
 
 /// Parse a duration: `200ms`, `2s`, `1.5s`, or a bare number of milliseconds.
@@ -91,14 +93,61 @@ fn install_sigint() {
 #[cfg(not(unix))]
 fn install_sigint() {}
 
+/// Open a durable system on `dir`, reporting what recovery did. A corrupt
+/// directory is a clean diagnostic and exit code 1 — never a panic.
+fn open_data_dir(dir: &str) -> System {
+    match System::open(dir) {
+        Ok(sys) => {
+            if let Some(info) = sys.recovery_info() {
+                if let Some(seq) = info.snapshot_seq {
+                    eprintln!("{dir}: loaded snapshot at batch {seq}");
+                }
+                if info.replayed > 0 || info.snapshot_seq.is_some() {
+                    eprintln!(
+                        "{dir}: replayed {} batch(es), now at batch {}",
+                        info.replayed, info.last_seq
+                    );
+                }
+                if let Some(t) = &info.truncation {
+                    eprintln!("{dir}: warning: {t}");
+                }
+            }
+            sys
+        }
+        Err(e) => {
+            // `Error::Corrupt` lands here with file offset + detail.
+            eprintln!("error: {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
-    let mut sys = System::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--data-dir` decides how the system is *constructed*, so resolve it
+    // before the positional left-to-right pass loads any file.
+    let mut data_dir: Option<String> = None;
+    let mut pre = args.iter();
+    while let Some(a) = pre.next() {
+        if a == "--data-dir" {
+            match pre.next() {
+                Some(d) => data_dir = Some(d.clone()),
+                None => {
+                    eprintln!("error: --data-dir requires a directory");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    let mut sys = match &data_dir {
+        Some(dir) => open_data_dir(dir),
+        None => System::new(),
+    };
     // Evaluations run under the global cancel token so Ctrl-C interrupts
     // them; flags below layer resource limits on top.
     CancelToken::global().reset();
     sys.set_budget(Budget::unlimited().with_cancel(CancelToken::global()));
     install_sigint();
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut batch = false;
     let mut show_stats = false;
     let mut show_plans = false;
@@ -111,9 +160,14 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: ldl1 [--batch] [--stats] [--explain] [--jobs N] \
-                     [--timeout DUR] [--fuel N] [--max-facts N] [FILE...]\n\n{HELP}"
+                     [--timeout DUR] [--fuel N] [--max-facts N] \
+                     [--data-dir DIR] [FILE...]\n\n{HELP}"
                 );
                 return;
+            }
+            "--data-dir" => {
+                // Consumed by the pre-scan; skip the directory operand here.
+                let _ = iter.next();
             }
             "--jobs" | "-j" => {
                 let jobs = iter
@@ -324,6 +378,15 @@ fn command(sys: &mut System, cmd: &str) -> bool {
         }
         ":magic" => match sys.query_magic(rest) {
             Ok(answers) => print_answers(&answers),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ":checkpoint" => match sys.checkpoint() {
+            Ok(ck) => println!(
+                "checkpoint: {} ({} bytes, batch {})",
+                ck.path.display(),
+                ck.bytes,
+                ck.seq
+            ),
             Err(e) => eprintln!("error: {e}"),
         },
         ":stats" => println!("{}", sys.last_stats()),

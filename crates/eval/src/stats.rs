@@ -114,6 +114,12 @@ pub struct EvalStats {
     /// operation finished (each page holds a fixed power-of-two number of
     /// rows of its relation's arity). A gauge, combined by `max`.
     pub arena_pages: u64,
+    /// Committed mutation batches appended to the write-ahead log by the
+    /// operation. Always `0` when the system has no data directory
+    /// attached.
+    pub wal_records: u64,
+    /// Bytes appended to the write-ahead log (record framing included).
+    pub wal_bytes: u64,
 }
 
 impl EvalStats {
@@ -164,6 +170,8 @@ impl AddAssign for EvalStats {
         self.partition_prefiltered += rhs.partition_prefiltered;
         self.arena_bytes = self.arena_bytes.max(rhs.arena_bytes);
         self.arena_pages = self.arena_pages.max(rhs.arena_pages);
+        self.wal_records += rhs.wal_records;
+        self.wal_bytes += rhs.wal_bytes;
     }
 }
 
@@ -171,7 +179,7 @@ impl fmt::Display for EvalStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rules fired: {}, attempts: {}, facts derived: {}, facts retracted: {}, dedup inserts: {}, index probes: {}, interned values: {}, strata replayed: {}, delta-updated: {}, counting: {}, dred: {}, skipped: {}, rounds: {}, tasks: {}, plan cache hits: {}, misses: {}, replans: {}, exist cuts: {}, lowerings: {}, compiled rounds: {}, partitioned passes: {}, shard probes: {}, prefiltered: {}, arena bytes: {}, arena pages: {}",
+            "rules fired: {}, attempts: {}, facts derived: {}, facts retracted: {}, dedup inserts: {}, index probes: {}, interned values: {}, strata replayed: {}, delta-updated: {}, counting: {}, dred: {}, skipped: {}, rounds: {}, tasks: {}, plan cache hits: {}, misses: {}, replans: {}, exist cuts: {}, lowerings: {}, compiled rounds: {}, partitioned passes: {}, shard probes: {}, prefiltered: {}, arena bytes: {}, arena pages: {}, wal records: {}, wal bytes: {}",
             self.rules_fired,
             self.attempts,
             self.facts_derived,
@@ -196,7 +204,9 @@ impl fmt::Display for EvalStats {
             self.shard_probes,
             self.partition_prefiltered,
             self.arena_bytes,
-            self.arena_pages
+            self.arena_pages,
+            self.wal_records,
+            self.wal_bytes
         )
     }
 }

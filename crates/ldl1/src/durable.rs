@@ -1,0 +1,153 @@
+//! Durability and concurrent-read support for [`System`](crate::System):
+//! the glue between the engine and the [`ldl_wal`] store, plus
+//! epoch-published immutable model snapshots.
+//!
+//! # Snapshot reads
+//!
+//! A [`Reader`] is a cheap, `Clone + Send + Sync` handle that any number
+//! of threads can hold while one thread owns the `&mut System` and
+//! commits mutations. Each successful commit *publishes* the freshly
+//! maintained model: an immutable [`Snapshot`] (an `Arc` of the model
+//! database plus its evaluation options) swapped into a shared slot under
+//! a mutex, with a monotonically increasing epoch. Readers grab the
+//! current `Arc` and query it lock-free from then on — they never see a
+//! half-applied batch, because publication happens only after a commit
+//! has fully succeeded, and the published database is never mutated
+//! again (maintenance works on the writer's own copy).
+//!
+//! Publication clones the model once per commit, so it costs nothing
+//! until the first [`System::reader`] call activates it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ldl_eval::{EvalOptions, Evaluator, QueryAnswer};
+use ldl_storage::Database;
+use ldl_value::Fact;
+
+use crate::Error;
+
+/// One published, immutable model: what a [`Snapshot`] dereferences to.
+#[derive(Debug)]
+pub(crate) struct PublishedModel {
+    pub(crate) model: Database,
+    pub(crate) options: EvalOptions,
+    pub(crate) epoch: u64,
+}
+
+/// The slot a writer publishes into and readers read from.
+#[derive(Debug)]
+pub(crate) struct ReaderShared {
+    slot: Mutex<Arc<PublishedModel>>,
+    epoch: AtomicU64,
+}
+
+impl ReaderShared {
+    pub(crate) fn new(model: Database, options: EvalOptions) -> ReaderShared {
+        ReaderShared {
+            slot: Mutex::new(Arc::new(PublishedModel {
+                model,
+                options,
+                epoch: 1,
+            })),
+            epoch: AtomicU64::new(1),
+        }
+    }
+
+    /// Swap in a new model under the next epoch. Readers holding the old
+    /// `Arc` keep their consistent view; new [`Reader::latest`] calls see
+    /// this one.
+    pub(crate) fn publish(&self, model: Database, options: EvalOptions) {
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        let published = Arc::new(PublishedModel {
+            model,
+            options,
+            epoch,
+        });
+        *self.slot.lock().expect("reader slot poisoned") = published;
+    }
+
+    /// The current publication epoch.
+    pub(crate) fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+/// An immutable, consistent view of the model at one publication epoch.
+///
+/// Obtained from [`Reader::latest`] or [`System::snapshot`](
+/// crate::System::snapshot). Queries run against the captured model and
+/// are unaffected by any commit that happens afterwards.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    inner: Arc<PublishedModel>,
+}
+
+impl Snapshot {
+    /// A snapshot outside any publication channel (from
+    /// [`System::snapshot`](crate::System::snapshot)).
+    pub(crate) fn one_off(model: Database, options: EvalOptions, epoch: u64) -> Snapshot {
+        Snapshot {
+            inner: Arc::new(PublishedModel {
+                model,
+                options,
+                epoch,
+            }),
+        }
+    }
+
+    /// The publication epoch this snapshot was taken at. Strictly
+    /// increasing across publications of one system.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch
+    }
+
+    /// Answer a query against this snapshot's model — the same semantics
+    /// as [`System::query`](crate::System::query), minus any evaluation
+    /// (the model was computed before publication).
+    pub fn query(&self, query: &str) -> Result<Vec<QueryAnswer>, Error> {
+        let atom = ldl_parser::parse_atom(query)?;
+        Ok(Evaluator::with_options(self.inner.options.clone()).query(&self.inner.model, &atom))
+    }
+
+    /// All facts of one predicate in this snapshot's model, sorted.
+    pub fn facts(&self, pred: &str) -> Vec<Fact> {
+        Evaluator::with_options(self.inner.options.clone()).facts(&self.inner.model, pred)
+    }
+
+    /// Total facts in the snapshot's model.
+    pub fn num_facts(&self) -> usize {
+        self.inner.model.num_facts()
+    }
+}
+
+/// A concurrent read handle: clone it into as many threads as you like;
+/// each [`Reader::latest`] call returns the most recently published
+/// [`Snapshot`].
+#[derive(Clone, Debug)]
+pub struct Reader {
+    shared: Arc<ReaderShared>,
+}
+
+impl Reader {
+    pub(crate) fn new(shared: Arc<ReaderShared>) -> Reader {
+        Reader { shared }
+    }
+
+    /// The most recently published snapshot.
+    pub fn latest(&self) -> Snapshot {
+        Snapshot {
+            inner: self
+                .shared
+                .slot
+                .lock()
+                .expect("reader slot poisoned")
+                .clone(),
+        }
+    }
+
+    /// The current publication epoch, without taking a snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+}

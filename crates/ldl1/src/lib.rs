@@ -40,6 +40,12 @@
 //! | [`magic`] | §6 — sips, adornment, generalized magic sets |
 
 use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+mod durable;
+
+pub use durable::{Reader, Snapshot};
 
 pub use ldl_ast as ast;
 pub use ldl_eval as eval;
@@ -49,6 +55,7 @@ pub use ldl_storage as storage;
 pub use ldl_stratify as stratify;
 pub use ldl_transform as transform;
 pub use ldl_value as value;
+pub use ldl_wal as wal;
 
 pub use ldl_ast::program::Program;
 pub use ldl_eval::{
@@ -60,6 +67,7 @@ pub use ldl_storage::Database;
 pub use ldl_stratify::Stratification;
 pub use ldl_transform::head_terms::GroupingSemantics;
 pub use ldl_value::{Fact, FactSet, SetValue, Symbol, Value};
+pub use ldl_wal::{CheckpointInfo, RecoveryInfo, StoreOptions, SyncPolicy, Truncation};
 
 /// Any error the system can raise.
 ///
@@ -82,6 +90,25 @@ pub enum Error {
     },
     /// A mutation batch failed validation before anything was applied.
     Mutation(MutationError),
+    /// The durability layer failed an I/O operation (append, sync,
+    /// snapshot install). The in-memory system is intact; the write-ahead
+    /// log refuses further appends until a successful
+    /// [`System::checkpoint`] re-establishes agreement with memory.
+    Durability(ldl_wal::WalError),
+    /// A data directory's *non-recoverable* region is damaged: a bad
+    /// magic number or version, or a snapshot failing its checksum. (A
+    /// torn or corrupt log *tail* is not an error — recovery truncates it
+    /// and reports it in [`RecoveryInfo::truncation`].)
+    Corrupt {
+        /// Byte offset of the damage within the offending file.
+        offset: u64,
+        /// What was wrong there.
+        detail: String,
+    },
+    /// A durability operation ([`System::checkpoint`]) was requested on a
+    /// system with no data directory attached — use [`System::open`] or
+    /// [`System::persist`] first.
+    NoDataDir,
 }
 
 /// A mutation batch rejected during validation — raised by
@@ -129,6 +156,11 @@ impl fmt::Display for Error {
             Error::Eval(e) => write!(f, "{e}"),
             Error::NotGround { text } => write!(f, "fact is not ground: {text}"),
             Error::Mutation(e) => write!(f, "{e}"),
+            Error::Durability(e) => write!(f, "{e}"),
+            Error::Corrupt { offset, detail } => {
+                write!(f, "corrupt durable state at byte {offset}: {detail}")
+            }
+            Error::NoDataDir => write!(f, "no data directory attached to this system"),
         }
     }
 }
@@ -141,6 +173,18 @@ impl std::error::Error for Error {
             Error::Eval(e) => Some(e),
             Error::NotGround { .. } => None,
             Error::Mutation(e) => Some(e),
+            Error::Durability(e) => Some(e),
+            Error::Corrupt { .. } => None,
+            Error::NoDataDir => None,
+        }
+    }
+}
+
+impl From<ldl_wal::WalError> for Error {
+    fn from(e: ldl_wal::WalError) -> Error {
+        match e {
+            ldl_wal::WalError::Corrupt { offset, detail } => Error::Corrupt { offset, detail },
+            other => Error::Durability(other),
         }
     }
 }
@@ -175,7 +219,7 @@ impl From<ldl_eval::EvalError> for Error {
 /// stratum (see [`eval::incremental`] and [`eval::retract`]) instead of
 /// recomputing from scratch. Loading new rules or changing the grouping
 /// semantics invalidates the cache.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct System {
     source: Program,
     compiled: Program,
@@ -184,6 +228,31 @@ pub struct System {
     grouping_semantics: GroupingSemantics,
     cache: Option<CachedModel>,
     last_stats: EvalStats,
+    durable: Option<ldl_wal::Store>,
+    recovery: Option<RecoveryInfo>,
+    readers: Option<Arc<durable::ReaderShared>>,
+}
+
+impl Clone for System {
+    /// A clone is an **in-memory fork**: it copies the rules, EDB, cached
+    /// model, and options, but *not* the data directory (two writers on
+    /// one log would corrupt it), the recovery report, or the reader
+    /// publication channel. Call [`System::persist`] on the clone to give
+    /// it its own directory.
+    fn clone(&self) -> System {
+        System {
+            source: self.source.clone(),
+            compiled: self.compiled.clone(),
+            edb: self.edb.clone(),
+            options: self.options.clone(),
+            grouping_semantics: self.grouping_semantics,
+            cache: self.cache.clone(),
+            last_stats: self.last_stats,
+            durable: None,
+            recovery: None,
+            readers: None,
+        }
+    }
 }
 
 /// The evaluated model plus everything incremental maintenance needs to
@@ -213,7 +282,156 @@ impl System {
             grouping_semantics: GroupingSemantics::PerGroup,
             cache: None,
             last_stats: EvalStats::new(),
+            durable: None,
+            recovery: None,
+            readers: None,
         }
+    }
+
+    /// Open (creating if needed) a durable system backed by the data
+    /// directory `dir`: recover the extensional database from the latest
+    /// snapshot plus the write-ahead log's tail, then keep every committed
+    /// mutation batch logged. Rules are **not** persisted — load them
+    /// after opening, as on any fresh system; the recovered EDB then
+    /// drives evaluation exactly as if the facts had just been asserted.
+    ///
+    /// A torn or corrupt log tail (a crash mid-commit) is truncated and
+    /// reported in [`System::recovery_info`], never an error; damage to
+    /// the non-recoverable region (snapshot checksum, file magic) is
+    /// [`Error::Corrupt`].
+    pub fn open(dir: impl AsRef<Path>) -> Result<System, Error> {
+        System::open_with(dir, EvalOptions::default(), StoreOptions::default())
+    }
+
+    /// [`System::open`] with explicit evaluation and durability options
+    /// (e.g. a group-commit [`SyncPolicy`]).
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        options: EvalOptions,
+        store: StoreOptions,
+    ) -> Result<System, Error> {
+        let (store, edb, info) = ldl_wal::Store::open(dir, store)?;
+        Ok(System {
+            edb,
+            options,
+            durable: Some(store),
+            recovery: Some(info),
+            ..System::new()
+        })
+    }
+
+    /// Attach this in-memory system to a data directory and checkpoint
+    /// the current EDB into it, making the directory's durable state
+    /// equal to this system's facts (any previous contents of `dir` are
+    /// superseded by the new snapshot). Subsequent commits are logged.
+    pub fn persist(&mut self, dir: impl AsRef<Path>) -> Result<CheckpointInfo, Error> {
+        let (store, _, _) = ldl_wal::Store::open(dir, StoreOptions::default())?;
+        self.durable = Some(store);
+        self.recovery = None;
+        self.checkpoint()
+    }
+
+    /// Snapshot the current EDB, install it atomically, and restart the
+    /// write-ahead log from it (bounding recovery time). Returns where
+    /// the snapshot went, its size, and the sequence number it covers.
+    /// Fails with [`Error::NoDataDir`] when no data directory is
+    /// attached.
+    pub fn checkpoint(&mut self) -> Result<CheckpointInfo, Error> {
+        let store = self.durable.as_mut().ok_or(Error::NoDataDir)?;
+        Ok(store.checkpoint(&self.edb)?)
+    }
+
+    /// What recovery found when this system was [`System::open`]ed:
+    /// snapshot sequence, batches replayed, and any truncated log tail.
+    /// `None` for in-memory systems and after [`System::persist`].
+    pub fn recovery_info(&self) -> Option<&RecoveryInfo> {
+        self.recovery.as_ref()
+    }
+
+    /// The attached data directory, if any.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.durable.as_ref().map(|s| s.dir())
+    }
+
+    /// Force any unsynced log records to stable storage (a no-op without
+    /// a data directory). Only needed under a group-commit or no-sync
+    /// [`SyncPolicy`].
+    pub fn sync(&mut self) -> Result<(), Error> {
+        if let Some(store) = &mut self.durable {
+            store.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Direct access to the underlying durable store, if attached. This
+    /// is a hook for fault-injection tests (swapping the log's byte sink
+    /// via [`wal::Store::set_wal_file`]) and diagnostics; normal use goes
+    /// through [`System::checkpoint`] and [`System::sync`].
+    pub fn wal_store_mut(&mut self) -> Option<&mut ldl_wal::Store> {
+        self.durable.as_mut()
+    }
+
+    /// A concurrent read handle: clone it into any number of threads,
+    /// each calling [`Reader::latest`] for an immutable [`Snapshot`] of
+    /// the most recently committed model while this thread keeps
+    /// committing mutations. Forces an initial model computation, and
+    /// from then on every successful commit publishes the freshly
+    /// maintained model (one model clone per commit — the cost is only
+    /// paid once a reader exists).
+    pub fn reader(&mut self) -> Result<Reader, Error> {
+        self.model()?;
+        let shared = match &self.readers {
+            Some(s) => Arc::clone(s),
+            None => {
+                let cache = self.cache.as_ref().expect("model just computed");
+                let shared = Arc::new(durable::ReaderShared::new(
+                    cache.db.clone(),
+                    self.eval_options(),
+                ));
+                self.readers = Some(Arc::clone(&shared));
+                shared
+            }
+        };
+        Ok(durable::Reader::new(shared))
+    }
+
+    /// A one-off immutable [`Snapshot`] of the current model — like
+    /// [`Reader::latest`] but without activating continuous publication
+    /// (so later commits pay nothing for it).
+    pub fn snapshot(&mut self) -> Result<Snapshot, Error> {
+        self.model()?;
+        let cache = self.cache.as_ref().expect("model just computed");
+        let epoch = self.readers.as_ref().map_or(0, |s| s.current_epoch());
+        Ok(Snapshot::one_off(
+            cache.db.clone(),
+            self.eval_options(),
+            epoch,
+        ))
+    }
+
+    /// Append a committed batch to the write-ahead log, if one is
+    /// attached. Called *after* the in-memory commit succeeded, so an
+    /// aborted batch leaves zero trace in the log; on an append failure
+    /// the store poisons itself (see [`Error::Durability`]).
+    fn log_commit(&mut self, del: &[Fact], ins: &[Fact]) -> Result<(), Error> {
+        if del.is_empty() && ins.is_empty() {
+            return Ok(());
+        }
+        let Some(store) = &mut self.durable else {
+            return Ok(());
+        };
+        let info = store.append(del, ins)?;
+        self.last_stats.wal_records += 1;
+        self.last_stats.wal_bytes += info.bytes;
+        Ok(())
+    }
+
+    /// Publish the cached model to concurrent readers, if both exist.
+    fn publish(&mut self) {
+        let (Some(shared), Some(cache)) = (&self.readers, &self.cache) else {
+            return;
+        };
+        shared.publish(cache.db.clone(), self.eval_options());
     }
 
     /// Override evaluation options.
@@ -390,26 +608,35 @@ impl System {
         let opts = self.eval_options();
         let edb_mark = self.edb.mark();
         let Some(cache) = &mut self.cache else {
+            let mut applied = Vec::new();
             for f in staged {
-                self.edb.insert(f);
+                if self.edb.insert(f.clone()) {
+                    applied.push(f);
+                }
             }
-            return Ok(());
+            return self.log_commit(&[], &applied);
         };
         // Stage into the model first, recording each predicate's
         // pre-insertion length the first time it grows: the delta frontier
         // `[lo, len)` for incremental propagation. Duplicates (already in
         // the model) are no-ops and join no frontier.
         let mut changed = eval::DeltaFrontier::default();
+        let mut applied = Vec::new();
         for f in staged {
             let pred = f.pred();
             let lo = cache.db.relation(pred).map_or(0, |r| r.len());
             if cache.db.insert(f.clone()) {
                 changed.entry(pred).or_insert(lo);
             }
-            self.edb.insert(f);
+            if self.edb.insert(f.clone()) {
+                applied.push(f);
+            }
         }
         if changed.is_empty() {
-            return Ok(());
+            // The model already contained every staged fact (e.g. stored
+            // twins of derived facts), but the EDB may still have grown —
+            // the log tracks the EDB.
+            return self.log_commit(&[], &applied);
         }
         let mut stats = EvalStats::new();
         let res = eval::apply_update(
@@ -431,14 +658,24 @@ impl System {
                 // have truncated IDB relations with `set_relation`, so a
                 // positional rollback of the model is not possible — a
                 // retry recomputes it from the restored EDB, bit-identical
-                // to a never-interrupted run).
+                // to a never-interrupted run). The aborted batch is never
+                // logged — the write-ahead log tracks the EDB, which is
+                // back to its pre-commit state.
                 self.edb.truncate_to(&edb_mark);
+                self.cache = None;
+                return Err(e.into());
             }
             // Otherwise the model may be half-updated; drop it so the next
-            // query recomputes (and re-raises the error) from scratch.
+            // query recomputes (and re-raises the error) from scratch. The
+            // EDB *kept* the staged facts, so the log must record them —
+            // a log failure here additionally poisons the store, which
+            // `Store::broken` reports.
             self.cache = None;
+            let _ = self.log_commit(&[], &applied);
             return Err(e.into());
         }
+        self.log_commit(&[], &applied)?;
+        self.publish();
         Ok(())
     }
 
@@ -460,10 +697,10 @@ impl System {
             for f in &del {
                 self.edb.remove(f);
             }
-            for f in ins {
-                self.edb.insert(f);
+            for f in &ins {
+                self.edb.insert(f.clone());
             }
-            return Ok(());
+            return self.log_commit(&del, &ins);
         };
         let mut stats = EvalStats::new();
         let res = eval::apply_mutations(
@@ -482,10 +719,15 @@ impl System {
         if let Err(e) = res {
             // `apply_mutations` already restored the EDB; the model may be
             // half-updated, so drop it — the next query recomputes (and
-            // re-raises any non-budget error) from scratch.
+            // re-raises any non-budget error) from scratch. The restored
+            // EDB means the aborted batch must leave zero trace in the
+            // write-ahead log, which it does: logging happens below, only
+            // after success.
             self.cache = None;
             return Err(e.into());
         }
+        self.log_commit(&del, &ins)?;
+        self.publish();
         Ok(())
     }
 
@@ -510,6 +752,7 @@ impl System {
             let sens = strat.sensitivity(&self.compiled);
             self.last_stats = stats;
             self.cache = Some(CachedModel { db, strat, sens });
+            self.publish();
         }
         Ok(&self.cache.as_ref().expect("just computed").db)
     }

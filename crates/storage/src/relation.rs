@@ -1063,18 +1063,6 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_owned_insert_still_works() {
-        #[allow(deprecated)]
-        {
-            let mut r = Relation::new(2);
-            let tuple: Tuple = t(&[1, 2]).into();
-            assert!(r.insert(Arc::clone(&tuple)));
-            assert!(!r.insert(tuple));
-            assert_eq!(r.len(), 1);
-        }
-    }
-
-    #[test]
     fn index_probe() {
         let mut r = Relation::new(2);
         r.insert_slice(&t(&[1, 10]));

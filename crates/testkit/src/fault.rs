@@ -1,0 +1,197 @@
+//! I/O fault injection for crash-recovery testing.
+//!
+//! [`IoFault`] implements [`ldl_wal::WalFile`], so it can be swapped in
+//! for the real log file with `Store::set_wal_file`. It captures every
+//! appended byte in memory and simulates one of the ways a real disk
+//! loses data at a crash ([`Fault`]). After driving the workload, a test
+//! calls [`IoFault::persisted`] for the bytes that "survived", writes
+//! them back to the data directory ([`materialize`]), and reopens the
+//! store — exactly what a process restart after `kill -9` sees.
+//!
+//! The injector is deterministic: the same workload and fault always
+//! produce the same surviving image.
+
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use ldl_wal::WalFile;
+
+/// One way a crash can mangle the write-ahead log.
+#[derive(Clone, Copy, Debug)]
+pub enum Fault {
+    /// The process dies mid-`write`: bytes up to the `N`-th appended byte
+    /// (counting from the moment the injector was attached) reach the
+    /// disk, the rest of that write is lost, and the write call fails.
+    /// Every later operation fails too — the process is "dead".
+    KillAtByte(u64),
+    /// Silent media corruption: every write succeeds, but the surviving
+    /// image has one bit flipped at `offset` (within the appended stream;
+    /// out-of-range offsets flip nothing).
+    FlipBit {
+        /// Byte offset within the bytes appended after attach.
+        offset: u64,
+        /// Which bit (0–7) to flip.
+        bit: u8,
+    },
+    /// The final `fsync` never reaches the platter: every operation
+    /// succeeds, but the surviving image only contains the bytes covered
+    /// by the *second-to-last* sync. Under `SyncPolicy::Never` nothing
+    /// appended after attach survives.
+    DropLastSync,
+}
+
+#[derive(Debug)]
+struct State {
+    fault: Fault,
+    written: Vec<u8>,
+    /// Bytes covered by the most recent `sync_data`.
+    synced: u64,
+    /// Bytes covered by the sync before that.
+    synced_prev: u64,
+    dead: bool,
+}
+
+/// A fault-injecting [`WalFile`]. Cloning shares the captured state, so
+/// keep a clone around to call [`IoFault::persisted`] after handing one
+/// to `Store::set_wal_file`.
+#[derive(Clone, Debug)]
+pub struct IoFault {
+    state: Arc<Mutex<State>>,
+}
+
+impl IoFault {
+    /// A fresh injector simulating `fault`.
+    pub fn new(fault: Fault) -> IoFault {
+        IoFault {
+            state: Arc::new(Mutex::new(State {
+                fault,
+                written: Vec::new(),
+                synced: 0,
+                synced_prev: 0,
+                dead: false,
+            })),
+        }
+    }
+
+    /// Total bytes accepted since attach (whether or not they survive).
+    pub fn written(&self) -> u64 {
+        self.state.lock().expect("fault state").written.len() as u64
+    }
+
+    /// Whether the simulated process has already crashed.
+    pub fn dead(&self) -> bool {
+        self.state.lock().expect("fault state").dead
+    }
+
+    /// The bytes that survive the crash — what the next process finds
+    /// appended to the log after the attach point.
+    pub fn persisted(&self) -> Vec<u8> {
+        let s = self.state.lock().expect("fault state");
+        match s.fault {
+            // The killed write already cut `written` at the fault byte.
+            Fault::KillAtByte(_) => s.written.clone(),
+            Fault::FlipBit { offset, bit } => {
+                let mut out = s.written.clone();
+                if let Some(b) = out.get_mut(offset as usize) {
+                    *b ^= 1 << (bit & 7);
+                }
+                out
+            }
+            Fault::DropLastSync => s.written[..s.synced_prev as usize].to_vec(),
+        }
+    }
+}
+
+fn crashed() -> io::Error {
+    io::Error::other("injected crash: the simulated process is dead")
+}
+
+impl WalFile for IoFault {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut s = self.state.lock().expect("fault state");
+        if s.dead {
+            return Err(crashed());
+        }
+        if let Fault::KillAtByte(n) = s.fault {
+            let cur = s.written.len() as u64;
+            if cur + buf.len() as u64 > n {
+                let keep = n.saturating_sub(cur) as usize;
+                s.written.extend_from_slice(&buf[..keep]);
+                s.dead = true;
+                return Err(io::Error::other(format!(
+                    "injected crash: write killed at appended byte {n}"
+                )));
+            }
+        }
+        s.written.extend_from_slice(buf);
+        Ok(())
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        let mut s = self.state.lock().expect("fault state");
+        if s.dead {
+            return Err(crashed());
+        }
+        s.synced_prev = s.synced;
+        s.synced = s.written.len() as u64;
+        Ok(())
+    }
+}
+
+/// Simulate the restart after the crash: overwrite `dir`'s log with the
+/// bytes it held *before* the injector was attached (`pre_attach`)
+/// followed by what survived the fault. Reopening the store on `dir`
+/// then recovers exactly what a real post-crash process would.
+pub fn materialize(dir: &Path, pre_attach: &[u8], injector: &IoFault) -> io::Result<()> {
+    let mut bytes = pre_attach.to_vec();
+    bytes.extend_from_slice(&injector.persisted());
+    std::fs::write(dir.join(ldl_wal::WAL_FILE), bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_at_byte_cuts_and_kills() {
+        let mut f = IoFault::new(Fault::KillAtByte(10));
+        f.write_all(b"01234567").unwrap(); // 8 bytes: fine
+        let err = f.write_all(b"abcdef").unwrap_err(); // would reach 14 > 10
+        assert!(err.to_string().contains("killed"), "{err}");
+        assert!(f.dead());
+        assert_eq!(f.persisted(), b"01234567ab"); // exactly 10 bytes
+        assert!(f.write_all(b"x").is_err());
+        assert!(f.sync_data().is_err());
+    }
+
+    #[test]
+    fn flip_bit_is_silent() {
+        let mut f = IoFault::new(Fault::FlipBit { offset: 2, bit: 0 });
+        f.write_all(b"aaaa").unwrap();
+        f.sync_data().unwrap();
+        assert!(!f.dead());
+        assert_eq!(f.persisted(), b"aa\x60a"); // 'a' = 0x61, bit 0 flipped
+                                               // Out-of-range flips are no-ops.
+        let mut g = IoFault::new(Fault::FlipBit { offset: 99, bit: 3 });
+        g.write_all(b"zz").unwrap();
+        assert_eq!(g.persisted(), b"zz");
+    }
+
+    #[test]
+    fn drop_last_sync_keeps_previous_watermark() {
+        let mut f = IoFault::new(Fault::DropLastSync);
+        f.write_all(b"first").unwrap();
+        f.sync_data().unwrap();
+        f.write_all(b"second").unwrap();
+        f.sync_data().unwrap();
+        f.write_all(b"unsynced").unwrap();
+        // The last sync covered "firstsecond"; dropping it leaves only
+        // what the sync before covered.
+        assert_eq!(f.persisted(), b"first");
+        // With no syncs at all, nothing survives.
+        let mut g = IoFault::new(Fault::DropLastSync);
+        g.write_all(b"gone").unwrap();
+        assert_eq!(g.persisted(), b"");
+    }
+}

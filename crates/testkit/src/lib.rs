@@ -14,9 +14,12 @@
 //!   the minimal failing one;
 //! * [`gen`] — random stratified LDL1 programs (recursion + negation +
 //!   grouping) for differential testing;
+//! * [`fault`] — an I/O fault injector implementing [`ldl_wal::WalFile`],
+//!   for crash-recovery testing of the durability layer;
 //! * [`bench()`] / [`Sample`] — wall-clock timing with median/min reporting
 //!   for the `harness = false` benchmark binaries.
 
+pub mod fault;
 pub mod gen;
 
 use std::time::{Duration, Instant};

@@ -1,0 +1,170 @@
+//! MVCC snapshot reads: concurrent readers always observe a *consistent*
+//! published model — complete batches, monotone epochs — while a writer
+//! commits at full speed.
+//!
+//! The writer commits batches that are individually consistent (`a(i)`
+//! and `b(i)` always enter together, and `ok(X) <- a(X), b(X)` derives
+//! their join). A reader that ever sees `a` without its partner `b`, or
+//! a derived `ok` set out of step with both, has observed a half-applied
+//! batch — the exact anomaly epoch publication must make impossible.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::thread;
+
+use ldl1::{System, Value};
+
+const PROGRAM: &str = "ok(X) <- a(X), b(X).";
+
+/// Assert one published snapshot is internally consistent, returning its
+/// epoch and how many batches it reflects.
+fn check_snapshot(snap: &ldl1::Snapshot) -> (u64, usize) {
+    let na = snap.facts("a").len();
+    let nb = snap.facts("b").len();
+    let nok = snap.facts("ok").len();
+    assert_eq!(na, nb, "half-applied batch: {na} a-facts vs {nb} b-facts");
+    assert_eq!(
+        nok, na,
+        "derived ok() out of step: {nok} vs {na} base facts"
+    );
+    (snap.epoch(), na)
+}
+
+/// Satellite 3: 8 reader threads hammer [`ldl1::Reader::latest`] while the
+/// writer commits 1 000 batches. Readers must never observe a
+/// half-applied batch, and epochs must be monotone per reader.
+#[test]
+fn concurrent_readers_never_observe_half_applied_batches() {
+    const READERS: usize = 8;
+    const BATCHES: i64 = 1_000;
+
+    let mut sys = System::new();
+    sys.load(PROGRAM).unwrap();
+    let reader = sys.reader().unwrap();
+    let done = AtomicBool::new(false);
+    let observations = AtomicU64::new(0);
+
+    thread::scope(|s| {
+        for _ in 0..READERS {
+            let reader = reader.clone();
+            let done = &done;
+            let observations = &observations;
+            s.spawn(move || {
+                let mut last_epoch = 0;
+                let mut last_seen = 0;
+                while !done.load(Ordering::Acquire) {
+                    let snap = reader.latest();
+                    let (epoch, seen) = check_snapshot(&snap);
+                    assert!(
+                        epoch >= last_epoch,
+                        "epoch went backwards: {epoch} < {last_epoch}"
+                    );
+                    if epoch == last_epoch {
+                        assert_eq!(seen, last_seen, "same epoch, different model");
+                    } else {
+                        assert!(seen >= last_seen, "model went backwards across epochs");
+                    }
+                    last_epoch = epoch;
+                    last_seen = seen;
+                    observations.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+
+        for i in 0..BATCHES {
+            let mut b = sys.mutate();
+            b.assert("a", vec![Value::int(i)]);
+            b.assert("b", vec![Value::int(i)]);
+            b.commit().unwrap();
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    assert!(
+        observations.load(Ordering::Relaxed) > 0,
+        "readers never got a single snapshot in"
+    );
+    // The final published snapshot reflects every batch.
+    let snap = reader.latest();
+    let (_, seen) = check_snapshot(&snap);
+    assert_eq!(seen, BATCHES as usize);
+    assert_eq!(snap.query("ok(X)").unwrap().len(), BATCHES as usize);
+}
+
+/// 64-thread smoke: far more readers than cores, a shorter writer run.
+/// Exercises contention on the publication slot itself.
+#[test]
+fn reader_smoke_64_threads() {
+    const READERS: usize = 64;
+    const BATCHES: i64 = 100;
+
+    let mut sys = System::new();
+    sys.load(PROGRAM).unwrap();
+    let reader = sys.reader().unwrap();
+    let done = AtomicBool::new(false);
+
+    thread::scope(|s| {
+        for _ in 0..READERS {
+            let reader = reader.clone();
+            let done = &done;
+            s.spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    check_snapshot(&reader.latest());
+                }
+            });
+        }
+        for i in 0..BATCHES {
+            let mut b = sys.mutate();
+            b.assert("a", vec![Value::int(i)]);
+            b.assert("b", vec![Value::int(i)]);
+            b.commit().unwrap();
+        }
+        done.store(true, Ordering::Release);
+    });
+    assert_eq!(check_snapshot(&reader.latest()).1, BATCHES as usize);
+}
+
+/// One-off snapshots work without activating publication, and a
+/// snapshot taken before later commits keeps answering from its frozen
+/// model (repeatable reads).
+#[test]
+fn one_off_snapshots_are_frozen() {
+    let mut sys = System::new();
+    sys.load(PROGRAM).unwrap();
+    for i in 0..5 {
+        let mut b = sys.mutate();
+        b.assert("a", vec![Value::int(i)]);
+        b.assert("b", vec![Value::int(i)]);
+        b.commit().unwrap();
+    }
+    let frozen = sys.snapshot().unwrap();
+    assert_eq!(frozen.facts("ok").len(), 5);
+    assert_eq!(frozen.num_facts(), 15);
+
+    // Commit more; the frozen snapshot must not move.
+    for i in 5..10 {
+        let mut b = sys.mutate();
+        b.assert("a", vec![Value::int(i)]);
+        b.assert("b", vec![Value::int(i)]);
+        b.commit().unwrap();
+    }
+    assert_eq!(frozen.facts("ok").len(), 5);
+    assert_eq!(frozen.query("ok(X)").unwrap().len(), 5);
+    assert_eq!(sys.snapshot().unwrap().facts("ok").len(), 10);
+
+    // Readers attached mid-stream see the current model and then advance.
+    let reader = sys.reader().unwrap();
+    let before = reader.latest();
+    assert_eq!(before.facts("ok").len(), 10);
+    let mut b = sys.mutate();
+    b.assert("a", vec![Value::int(100)]);
+    b.assert("b", vec![Value::int(100)]);
+    b.commit().unwrap();
+    let after = reader.latest();
+    assert!(after.epoch() > before.epoch());
+    assert_eq!(after.facts("ok").len(), 11);
+    assert_eq!(
+        before.facts("ok").len(),
+        10,
+        "old snapshot must stay frozen"
+    );
+}
