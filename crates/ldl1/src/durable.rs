@@ -18,7 +18,6 @@
 //! Publication clones the model once per commit, so it costs nothing
 //! until the first [`System::reader`] call activates it.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use ldl_eval::{EvalOptions, Evaluator, QueryAnswer};
@@ -35,11 +34,13 @@ pub(crate) struct PublishedModel {
     pub(crate) epoch: u64,
 }
 
-/// The slot a writer publishes into and readers read from.
+/// The slot a writer publishes into and readers read from. The epoch
+/// lives *inside* the published model — there is no separate counter to
+/// drift ahead of the slot, so [`Reader::epoch`] never reports a
+/// publication that [`Reader::latest`] cannot yet return.
 #[derive(Debug)]
 pub(crate) struct ReaderShared {
     slot: Mutex<Arc<PublishedModel>>,
-    epoch: AtomicU64,
 }
 
 impl ReaderShared {
@@ -50,7 +51,6 @@ impl ReaderShared {
                 options,
                 epoch: 1,
             })),
-            epoch: AtomicU64::new(1),
         }
     }
 
@@ -58,18 +58,18 @@ impl ReaderShared {
     /// `Arc` keep their consistent view; new [`Reader::latest`] calls see
     /// this one.
     pub(crate) fn publish(&self, model: Database, options: EvalOptions) {
-        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
-        let published = Arc::new(PublishedModel {
+        let mut slot = self.slot.lock().expect("reader slot poisoned");
+        let epoch = slot.epoch + 1;
+        *slot = Arc::new(PublishedModel {
             model,
             options,
             epoch,
         });
-        *self.slot.lock().expect("reader slot poisoned") = published;
     }
 
-    /// The current publication epoch.
+    /// The current publication epoch — the epoch of the slot's model.
     pub(crate) fn current_epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Acquire)
+        self.slot.lock().expect("reader slot poisoned").epoch
     }
 }
 
@@ -146,8 +146,11 @@ impl Reader {
         }
     }
 
-    /// The current publication epoch, without taking a snapshot.
+    /// The current publication epoch, without cloning a snapshot. Read
+    /// from the publication slot itself, so it never runs ahead of what
+    /// [`Reader::latest`] returns: `epoch() == N` guarantees a subsequent
+    /// `latest()` yields epoch `N` or later.
     pub fn epoch(&self) -> u64 {
-        self.shared.epoch.load(Ordering::Acquire)
+        self.shared.current_epoch()
     }
 }

@@ -109,6 +109,18 @@ pub enum Error {
     /// system with no data directory attached — use [`System::open`] or
     /// [`System::persist`] first.
     NoDataDir,
+    /// A commit failed twice over: evaluation raised `eval` — after which
+    /// the EDB *kept* the staged facts and the cached model was dropped —
+    /// and then appending those facts to the write-ahead log also failed
+    /// with `wal`, poisoning the store until a successful
+    /// [`System::checkpoint`]. Both failures matter: the first explains
+    /// the in-memory state, the second that it is not durable.
+    EvalAndDurability {
+        /// The evaluation failure that surfaced first.
+        eval: ldl_eval::EvalError,
+        /// The durability failure that followed.
+        wal: Box<Error>,
+    },
 }
 
 /// A mutation batch rejected during validation — raised by
@@ -161,6 +173,9 @@ impl fmt::Display for Error {
                 write!(f, "corrupt durable state at byte {offset}: {detail}")
             }
             Error::NoDataDir => write!(f, "no data directory attached to this system"),
+            Error::EvalAndDurability { eval, wal } => {
+                write!(f, "{eval}; additionally the write-ahead log failed: {wal}")
+            }
         }
     }
 }
@@ -176,6 +191,7 @@ impl std::error::Error for Error {
             Error::Durability(e) => Some(e),
             Error::Corrupt { .. } => None,
             Error::NoDataDir => None,
+            Error::EvalAndDurability { eval, .. } => Some(eval),
         }
     }
 }
@@ -668,15 +684,22 @@ impl System {
             // Otherwise the model may be half-updated; drop it so the next
             // query recomputes (and re-raises the error) from scratch. The
             // EDB *kept* the staged facts, so the log must record them —
-            // a log failure here additionally poisons the store, which
-            // `Store::broken` reports.
+            // if that append also fails the store poisons itself and both
+            // failures surface together as [`Error::EvalAndDurability`].
             self.cache = None;
-            let _ = self.log_commit(&[], &applied);
-            return Err(e.into());
+            return Err(match self.log_commit(&[], &applied) {
+                Ok(()) => e.into(),
+                Err(wal) => Error::EvalAndDurability {
+                    eval: e,
+                    wal: Box::new(wal),
+                },
+            });
         }
-        self.log_commit(&[], &applied)?;
+        // The in-memory commit stands even if the append fails (the store
+        // poisons itself), so readers must still see the new model.
+        let logged = self.log_commit(&[], &applied);
         self.publish();
-        Ok(())
+        logged
     }
 
     /// Apply a committed mutation batch: `del` and `ins` are the net,
@@ -726,9 +749,11 @@ impl System {
             self.cache = None;
             return Err(e.into());
         }
-        self.log_commit(&del, &ins)?;
+        // The in-memory commit stands even if the append fails (the store
+        // poisons itself), so readers must still see the new model.
+        let logged = self.log_commit(&del, &ins);
         self.publish();
-        Ok(())
+        logged
     }
 
     /// The compiled core-LDL1 program.

@@ -76,6 +76,18 @@ pub enum WalError {
         /// What was wrong there.
         detail: String,
     },
+    /// A batch's encoded payload exceeds what the record framing can
+    /// carry: recovery's scan treats any length over the cap as a corrupt
+    /// length field, so such a record would be acknowledged and then
+    /// silently truncated on the next open. The batch was **not**
+    /// appended and the store is not poisoned — split the batch and
+    /// retry.
+    BatchTooLarge {
+        /// Encoded payload size in bytes.
+        bytes: u64,
+        /// The largest payload one record can carry.
+        max: u64,
+    },
 }
 
 impl fmt::Display for WalError {
@@ -85,6 +97,11 @@ impl fmt::Display for WalError {
             WalError::Corrupt { offset, detail } => {
                 write!(f, "corrupt durable state at byte {offset}: {detail}")
             }
+            WalError::BatchTooLarge { bytes, max } => write!(
+                f,
+                "batch encodes to {bytes} bytes, over the {max}-byte record \
+                 cap; split the batch (nothing was appended)"
+            ),
         }
     }
 }
@@ -93,7 +110,7 @@ impl std::error::Error for WalError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             WalError::Io(e) => Some(e),
-            WalError::Corrupt { .. } => None,
+            WalError::Corrupt { .. } | WalError::BatchTooLarge { .. } => None,
         }
     }
 }

@@ -31,7 +31,22 @@ pub const WAL_HEADER_LEN: u64 = 24;
 pub(crate) const WAL_MAGIC: &[u8; 8] = b"LDL1WAL\0";
 pub(crate) const WAL_VERSION: u32 = 1;
 /// A record longer than this is a corrupt length field, not a real batch.
-const MAX_RECORD_LEN: u32 = 1 << 30;
+pub(crate) const MAX_RECORD_LEN: u32 = 1 << 30;
+
+/// Reject a payload the record framing cannot carry *before* it is
+/// written: [`scan`] treats any length over [`MAX_RECORD_LEN`] as a
+/// corrupt length field, so an oversized record would be acknowledged and
+/// then truncated (with everything after it) on the next recovery — and
+/// past `u32::MAX` the length field itself would silently wrap.
+pub(crate) fn check_payload_len(len: usize) -> Result<(), WalError> {
+    if len as u64 > MAX_RECORD_LEN as u64 {
+        return Err(WalError::BatchTooLarge {
+            bytes: len as u64,
+            max: MAX_RECORD_LEN as u64,
+        });
+    }
+    Ok(())
+}
 
 /// Serialize the log header for a log that continues from `base_seq`.
 pub(crate) fn encode_header(base_seq: u64) -> Vec<u8> {
@@ -43,8 +58,10 @@ pub(crate) fn encode_header(base_seq: u64) -> Vec<u8> {
     out
 }
 
-/// Serialize one record.
+/// Serialize one record. The payload must already have passed
+/// [`check_payload_len`].
 pub(crate) fn encode_record(seq: u64, payload: &[u8]) -> Vec<u8> {
+    debug_assert!(check_payload_len(payload.len()).is_ok());
     let mut crc = Crc32::new();
     crc.update(&seq.to_le_bytes()).update(payload);
     let mut out = Vec::with_capacity(16 + payload.len());
@@ -246,6 +263,23 @@ mod tests {
         let s = scan(&[]).unwrap();
         assert_eq!(s.valid_len, 0);
         assert!(s.truncated.is_none());
+    }
+
+    #[test]
+    fn payload_length_cap_matches_what_scan_accepts() {
+        // Everything append admits, scan replays; the first rejected
+        // length is exactly the first length scan calls absurd.
+        assert!(check_payload_len(0).is_ok());
+        assert!(check_payload_len(MAX_RECORD_LEN as usize).is_ok());
+        match check_payload_len(MAX_RECORD_LEN as usize + 1) {
+            Err(WalError::BatchTooLarge { bytes, max }) => {
+                assert_eq!(bytes, MAX_RECORD_LEN as u64 + 1);
+                assert_eq!(max, MAX_RECORD_LEN as u64);
+            }
+            other => panic!("expected BatchTooLarge, got {other:?}"),
+        }
+        // Past u32::MAX the length field would wrap; still rejected.
+        assert!(check_payload_len((1usize << 32) + 5).is_err());
     }
 
     #[test]

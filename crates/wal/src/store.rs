@@ -19,8 +19,11 @@
 //! [`Store::checkpoint`] writes a new snapshot covering everything logged
 //! so far, installs it by atomic rename, then starts a fresh log whose
 //! `base_seq` is the snapshot's sequence. A crash between the two steps
-//! leaves a snapshot that is *ahead* of the log's base — recovery handles
-//! it by replaying only records past the snapshot.
+//! leaves a snapshot that is *ahead* of the log's base — recovery replays
+//! only records past the snapshot, and if the old log's surviving tail
+//! ends *below* the snapshot's sequence (its last records were unsynced
+//! and torn), the log is recreated fresh so later appends continue the
+//! sequence without a gap.
 //!
 //! # Failure poisoning
 //!
@@ -82,8 +85,8 @@ pub struct RecoveryInfo {
     pub last_seq: u64,
     /// The torn/corrupt tail that was truncated, if any.
     pub truncation: Option<Truncation>,
-    /// Valid log length in bytes after recovery (0 when the log was
-    /// recreated fresh).
+    /// Valid log length in bytes after recovery (header-only when the
+    /// log was recreated fresh).
     pub wal_bytes: u64,
 }
 
@@ -208,6 +211,7 @@ impl Store {
         // CRC but does not decode is treated like any other corrupt tail.
         let mut valid_len = scan.valid_len;
         let mut last_seq = snap_seq;
+        let mut log_tail_seq = scan.base_seq;
         let mut replayed = 0u64;
         let mut offset = WAL_HEADER_LEN;
         for (seq, payload) in &scan.records {
@@ -235,20 +239,30 @@ impl Store {
                     }
                 }
             }
+            log_tail_seq = *seq;
             offset += rec_len;
         }
 
         // 4. Make the on-disk log agree with what we recovered, and open
-        // the append handle.
+        // the append handle. The kept log must end exactly at `last_seq`:
+        // a crash in checkpoint() between snapshot install and log
+        // recreation can leave a *stale* log whose last surviving record
+        // sits below the snapshot's sequence (its tail was unsynced and
+        // torn). Appending seq `last_seq + 1` after that record would
+        // open a sequence gap the next scan() truncates at — silently
+        // dropping committed batches — so such a log is recreated fresh,
+        // based at `last_seq`, exactly like an empty one.
+        let stale = log_tail_seq < last_seq;
         let mut file = OpenOptions::new()
             .create(true)
             .append(true)
             .open(&wal_path)?;
-        let wal_len = if fresh {
-            // Empty or torn-header log: start over, continuing from the
-            // snapshot's sequence.
+        let wal_len = if fresh || stale {
+            // Start over, continuing from the recovered sequence (for an
+            // empty or torn-header log that is the snapshot's sequence;
+            // every record a stale log held is covered by the snapshot).
             file.set_len(0)?;
-            let header = log::encode_header(snap_seq);
+            let header = log::encode_header(last_seq);
             io::Write::write_all(&mut file, &header)?;
             file.sync_data()?;
             WAL_HEADER_LEN
@@ -321,8 +335,13 @@ impl Store {
                 "log is poisoned by an earlier write failure ({why}); checkpoint to recover"
             ))));
         }
+        let payload = encode_batch(del, ins);
+        // An oversized payload would be acknowledged here and then
+        // rejected by recovery's scan as a corrupt length field — refuse
+        // it up front. Nothing was written, so the store is not poisoned.
+        log::check_payload_len(payload.len())?;
         let seq = self.last_seq + 1;
-        let record = log::encode_record(seq, &encode_batch(del, ins));
+        let record = log::encode_record(seq, &payload);
         if let Err(e) = self.file.write_all(&record) {
             self.broken = Some(e.to_string());
             return Err(e.into());
@@ -541,6 +560,59 @@ mod tests {
         assert_eq!(info.last_seq, 3);
         assert_eq!(db2.dump(), db.dump());
         drop(store2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_log_behind_snapshot_is_recreated() {
+        // A crash in checkpoint() between snapshot install and log
+        // recreation, where the old log's own tail was unsynced and torn:
+        // the snapshot covers sequence 3 but the surviving log ends at
+        // record 2. Appending to that log would write sequence 4 after
+        // record 2 — a gap the next scan() would truncate at, silently
+        // dropping the committed batch.
+        let dir = temp_dir("stale");
+        let (mut store, mut db, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        for i in 0..3 {
+            db.insert(fact("v", i));
+            store.append(&[], &[fact("v", i)]).unwrap();
+        }
+        let bytes = snapshot::encode(&db, 3);
+        install(&dir, SNAPSHOT_FILE, &bytes).unwrap();
+        drop(store);
+        // Tear off the log's last record, as a lost unsynced tail would.
+        let wal_path = dir.join(WAL_FILE);
+        let wal_bytes = fs::read(&wal_path).unwrap();
+        let scan = log::scan(&wal_bytes).unwrap();
+        let keep = WAL_HEADER_LEN
+            + scan.records[..2]
+                .iter()
+                .map(|(_, p)| 16 + p.len() as u64)
+                .sum::<u64>();
+        let f = OpenOptions::new().write(true).open(&wal_path).unwrap();
+        f.set_len(keep).unwrap();
+        drop(f);
+
+        let (mut store2, mut db2, info) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(info.snapshot_seq, Some(3));
+        assert_eq!(info.last_seq, 3);
+        assert_eq!(info.replayed, 0);
+        assert_eq!(
+            info.wal_bytes, WAL_HEADER_LEN,
+            "the stale log must be recreated fresh"
+        );
+        assert_eq!(db2.dump(), db.dump());
+
+        // The next append continues the sequence; a further recovery must
+        // keep it — before the fix it was silently dropped as a gap.
+        db2.insert(fact("v", 100));
+        let a = store2.append(&[], &[fact("v", 100)]).unwrap();
+        assert_eq!(a.seq, 4);
+        drop(store2);
+        let (_s3, db3, info3) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert!(info3.truncation.is_none(), "{:?}", info3.truncation);
+        assert_eq!(info3.last_seq, 4);
+        assert_eq!(db3.dump(), db2.dump());
         let _ = fs::remove_dir_all(&dir);
     }
 

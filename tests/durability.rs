@@ -394,6 +394,42 @@ fn persist_and_clone_semantics() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// A write-ahead-log failure must not desynchronize readers from the
+/// writer: the in-memory commit stands (the store poisons itself and the
+/// commit returns `Error::Durability`), so the freshly maintained model
+/// is still published — `Reader::latest` and `System::query` agree.
+#[test]
+fn wal_failure_still_publishes_to_readers() {
+    let dir = temp_dir("pubfail");
+    let mut sys = System::open(&dir).unwrap();
+    sys.load("ok(X) <- a(X), b(X).").unwrap();
+    let mut b = sys.mutate();
+    b.assert("a", vec![Value::int(1)]);
+    b.assert("b", vec![Value::int(1)]);
+    b.commit().unwrap();
+    let reader = sys.reader().unwrap();
+    assert_eq!(reader.latest().facts("ok").len(), 1);
+    let epoch_before = reader.epoch();
+
+    // Every further log write dies immediately.
+    sys.wal_store_mut()
+        .unwrap()
+        .set_wal_file(Box::new(IoFault::new(Fault::KillAtByte(0))));
+    let mut b = sys.mutate();
+    b.assert("a", vec![Value::int(2)]);
+    b.assert("b", vec![Value::int(2)]);
+    let err = b.commit().unwrap_err();
+    assert!(matches!(err, Error::Durability(_)), "{err}");
+    assert!(sys.wal_store_mut().unwrap().broken().is_some());
+
+    // The commit stood in memory, and readers see it despite the failure.
+    let snap = reader.latest();
+    assert!(snap.epoch() > epoch_before, "commit must still publish");
+    assert_eq!(snap.facts("ok").len(), 2);
+    assert_eq!(sys.query("ok(X)").unwrap().len(), 2);
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// Group commit: under `SyncPolicy::EveryN` a commit is acknowledged
 /// before its fsync; a crash that drops the unsynced tail loses at most
 /// the records since the last sync, and recovery still lands on a

@@ -123,6 +123,47 @@ fn reader_smoke_64_threads() {
     assert_eq!(check_snapshot(&reader.latest()).1, BATCHES as usize);
 }
 
+/// `Reader::epoch` is derived from the publication slot itself, so it can
+/// never run ahead of `Reader::latest`: a reader that observes epoch N
+/// and then grabs a snapshot must get epoch ≥ N. (A separate epoch
+/// counter bumped before the slot swap violated exactly this.)
+#[test]
+fn reader_epoch_never_runs_ahead_of_latest() {
+    const READERS: usize = 4;
+    const BATCHES: i64 = 500;
+
+    let mut sys = System::new();
+    sys.load(PROGRAM).unwrap();
+    let reader = sys.reader().unwrap();
+    let done = AtomicBool::new(false);
+
+    thread::scope(|s| {
+        for _ in 0..READERS {
+            let reader = reader.clone();
+            let done = &done;
+            s.spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    let polled = reader.epoch();
+                    let snap = reader.latest();
+                    assert!(
+                        snap.epoch() >= polled,
+                        "epoch() reported {polled} but latest() only had {}",
+                        snap.epoch()
+                    );
+                }
+            });
+        }
+        for i in 0..BATCHES {
+            let mut b = sys.mutate();
+            b.assert("a", vec![Value::int(i)]);
+            b.assert("b", vec![Value::int(i)]);
+            b.commit().unwrap();
+        }
+        done.store(true, Ordering::Release);
+    });
+    assert_eq!(reader.epoch(), reader.latest().epoch());
+}
+
 /// One-off snapshots work without activating publication, and a
 /// snapshot taken before later commits keeps answering from its frozen
 /// model (repeatable reads).
